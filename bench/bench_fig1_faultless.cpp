@@ -1,0 +1,40 @@
+// Figure 1 reproduction: HammerHead vs Bullshark (round-robin) latency-
+// throughput curves with 10, 50 and 100 validators, no faults.
+//
+// Paper reference (Section 5, "Benchmark in ideal conditions"):
+//   * peak throughput ~4,000 tx/s (10 and 50 validators), ~3,500 tx/s (100);
+//   * latency ~3 s for Bullshark, ~2.7 s for HammerHead before saturation;
+//   * the two systems otherwise overlap — HammerHead costs nothing when
+//     there are no faults (claim C1).
+// Absolute values from the simulation differ from the AWS testbed; the
+// sweep shape (flat latency until the knee, same peak for both systems) is
+// the reproduction target. See EXPERIMENTS.md.
+#include "bench_util.h"
+
+using namespace hammerhead;
+using namespace hammerhead::bench;
+
+int main() {
+  std::cout << "Figure 1: latency vs throughput, no faults "
+            << "(paper: Fig. 1, claim C1)\n";
+
+  const std::vector<std::size_t> committees =
+      quick_mode() ? std::vector<std::size_t>{10}
+                   : std::vector<std::size_t>{10, 50, 100};
+
+  for (std::size_t n : committees) {
+    const std::vector<double> loads =
+        n >= 100 ? std::vector<double>{1'000, 2'500, 3'500, 4'500}
+                 : std::vector<double>{500, 1'500, 2'500, 3'500, 4'500};
+    for (auto policy :
+         {harness::PolicyKind::HammerHead, harness::PolicyKind::RoundRobin}) {
+      print_header(std::string(harness::policy_name(policy)) + " - " +
+                   std::to_string(n) + " nodes");
+      for (double load : loads) {
+        auto cfg = paper_config(n, load, /*faults=*/0, policy);
+        print_run("n=" + std::to_string(n), harness::run_experiment(cfg));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Microbenchmark: Bullshark ordering throughput — how fast the committer
+// digests fully-linked DAG rounds (certificates/second of ordering work),
+// with round-robin and with HammerHead's scoring in the loop.
+#include <benchmark/benchmark.h>
+
+#include "hammerhead/consensus/committer.h"
+#include "hammerhead/core/policies.h"
+
+using namespace hammerhead;
+
+namespace {
+
+struct Setup {
+  explicit Setup(std::size_t n)
+      : committee(crypto::Committee::make_equal_stake(n, 1)) {
+    for (ValidatorIndex v = 0; v < n; ++v)
+      keys.push_back(crypto::Keypair::derive(1, v));
+  }
+
+  dag::CertPtr cert(Round r, ValidatorIndex a,
+                    const std::vector<Digest>& parents) {
+    auto header = std::make_shared<dag::Header>();
+    header->author = a;
+    header->round = r;
+    header->parents = parents;
+    header->payload = std::make_shared<dag::BlockPayload>();
+    header->finalize(keys[a]);
+    std::vector<ValidatorIndex> signers;
+    for (ValidatorIndex v = 0;
+         v < committee.size() - committee.max_faulty_count(); ++v)
+      signers.push_back(v);
+    return dag::Certificate::make(std::move(header), std::move(signers));
+  }
+
+  /// Pre-build `rounds` fully-linked rounds of certificates.
+  std::vector<dag::CertPtr> build(Round rounds) {
+    std::vector<dag::CertPtr> all;
+    std::vector<Digest> prev;
+    for (Round r = 0; r < rounds; ++r) {
+      std::vector<Digest> cur;
+      for (ValidatorIndex a = 0; a < committee.size(); ++a) {
+        auto c = cert(r, a, prev);
+        cur.push_back(c->digest());
+        all.push_back(std::move(c));
+      }
+      prev = std::move(cur);
+    }
+    return all;
+  }
+
+  crypto::Committee committee;
+  std::vector<crypto::Keypair> keys;
+};
+
+}  // namespace
+
+static void BM_CommitterOrdering(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool hammerhead = state.range(1) != 0;
+  Setup s(n);
+  const Round rounds = 40;
+  const auto certs = s.build(rounds);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    dag::Dag dag(s.committee);
+    std::unique_ptr<core::LeaderSchedulePolicy> policy;
+    if (hammerhead)
+      policy = std::make_unique<core::HammerHeadPolicy>(s.committee, 1);
+    else
+      policy = std::make_unique<core::RoundRobinPolicy>(s.committee, 1);
+    std::uint64_t delivered = 0;
+    consensus::BullsharkCommitter committer(
+        s.committee, dag, *policy,
+        [&](const consensus::CommittedSubDag& sd) {
+          delivered += sd.vertices.size();
+        });
+    state.ResumeTiming();
+    for (const auto& c : certs) {
+      dag.insert(c);
+      committer.on_cert_inserted(c);
+    }
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(certs.size()));
+}
+BENCHMARK(BM_CommitterOrdering)
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Args({100, 1});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Microbenchmarks: SHA-256 and the simulated signature scheme.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "hammerhead/crypto/keys.h"
+#include "hammerhead/crypto/sha256.h"
+
+using namespace hammerhead;
+
+static void BM_Sha256_64B(benchmark::State& state) {
+  const std::string msg(64, 'x');
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::Sha256::hash(msg));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha256_64B);
+
+static void BM_Sha256_4KiB(benchmark::State& state) {
+  const std::string msg(4096, 'x');
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::Sha256::hash(msg));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Sha256_4KiB);
+
+static void BM_Sha256_Streaming(benchmark::State& state) {
+  const std::string chunk(256, 'y');
+  for (auto _ : state) {
+    crypto::Sha256 h;
+    for (int i = 0; i < 16; ++i) h.update(chunk);
+    benchmark::DoNotOptimize(h.finalize());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Sha256_Streaming);
+
+static void BM_Sign(benchmark::State& state) {
+  const auto kp = crypto::Keypair::derive(1, 0);
+  const Digest msg = Digest::of_string("message");
+  for (auto _ : state) benchmark::DoNotOptimize(kp.sign("ctx", msg));
+}
+BENCHMARK(BM_Sign);
+
+static void BM_Verify(benchmark::State& state) {
+  const auto kp = crypto::Keypair::derive(1, 0);
+  const Digest msg = Digest::of_string("message");
+  const auto sig = kp.sign("ctx", msg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::verify(kp.public_key(), "ctx", msg, sig));
+}
+BENCHMARK(BM_Verify);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Microbenchmarks: DAG insertion, support counting and path queries at the
+// committee sizes of the paper's evaluation.
+#include <benchmark/benchmark.h>
+
+#include "hammerhead/dag/dag.h"
+
+using namespace hammerhead;
+
+namespace {
+
+struct Builder {
+  explicit Builder(std::size_t n)
+      : committee(crypto::Committee::make_equal_stake(n, 1)) {
+    for (ValidatorIndex v = 0; v < n; ++v)
+      keys.push_back(crypto::Keypair::derive(1, v));
+  }
+
+  dag::CertPtr cert(Round r, ValidatorIndex a, std::vector<Digest> parents) {
+    auto header = std::make_shared<dag::Header>();
+    header->author = a;
+    header->round = r;
+    header->parents = std::move(parents);
+    header->payload = std::make_shared<dag::BlockPayload>();
+    header->finalize(keys[a]);
+    std::vector<ValidatorIndex> signers;
+    for (ValidatorIndex v = 0;
+         v < committee.size() - committee.max_faulty_count(); ++v)
+      signers.push_back(v);
+    return dag::Certificate::make(std::move(header), std::move(signers));
+  }
+
+  /// Fill rounds 0..last fully; returns last-round digests.
+  std::vector<Digest> fill(dag::Dag& d, Round last) {
+    std::vector<Digest> prev;
+    for (Round r = 0; r <= last; ++r) {
+      std::vector<Digest> cur;
+      for (ValidatorIndex a = 0; a < committee.size(); ++a) {
+        auto c = cert(r, a, prev);
+        d.insert(c);
+        cur.push_back(c->digest());
+      }
+      prev = std::move(cur);
+    }
+    return prev;
+  }
+
+  crypto::Committee committee;
+  std::vector<crypto::Keypair> keys;
+};
+
+}  // namespace
+
+static void BM_DagInsertRound(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Builder b(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    dag::Dag d(b.committee);
+    std::vector<Digest> parents;
+    std::vector<dag::CertPtr> round0, round1;
+    for (ValidatorIndex a = 0; a < n; ++a) round0.push_back(b.cert(0, a, {}));
+    for (const auto& c : round0) parents.push_back(c->digest());
+    for (ValidatorIndex a = 0; a < n; ++a)
+      round1.push_back(b.cert(1, a, parents));
+    state.ResumeTiming();
+    for (auto& c : round0) d.insert(c);
+    for (auto& c : round1) d.insert(c);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DagInsertRound)->Arg(10)->Arg(50)->Arg(100);
+
+static void BM_DagDirectSupport(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Builder b(n);
+  dag::Dag d(b.committee);
+  b.fill(d, 4);
+  const auto anchor = d.get(2, 0);
+  for (auto _ : state) benchmark::DoNotOptimize(d.direct_support(*anchor));
+}
+BENCHMARK(BM_DagDirectSupport)->Arg(10)->Arg(50)->Arg(100);
+
+static void BM_DagPathQuery(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Builder b(n);
+  dag::Dag d(b.committee);
+  b.fill(d, 10);
+  const auto from = d.get(10, 0);
+  const auto to = d.get(2, n > 1 ? 1 : 0);
+  for (auto _ : state) benchmark::DoNotOptimize(d.has_path(*from, *to));
+}
+BENCHMARK(BM_DagPathQuery)->Arg(10)->Arg(50)->Arg(100);
+
+static void BM_DagCausalHistory(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Builder b(n);
+  dag::Dag d(b.committee);
+  b.fill(d, 10);
+  const auto root = d.get(10, 0);
+  for (auto _ : state) {
+    auto h = d.causal_history(*root, [](const dag::Certificate&) {
+      return true;
+    });
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_DagCausalHistory)->Arg(10)->Arg(50);
+
+BENCHMARK_MAIN();

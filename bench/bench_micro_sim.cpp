@@ -1,0 +1,69 @@
+// Microbenchmarks: discrete-event engine and network fan-out — the
+// substrate's event costs bound how large a committee the harness can
+// simulate per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "hammerhead/net/network.h"
+#include "hammerhead/sim/simulator.h"
+
+using namespace hammerhead;
+
+static void BM_SimScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    for (int i = 0; i < 10'000; ++i)
+      sim.schedule_after(static_cast<SimTime>(i % 997), [] {});
+    sim.run_to_completion();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_SimScheduleAndRun);
+
+static void BM_SimTimerCascade(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    int depth = 0;
+    std::function<void()> tick = [&] {
+      if (++depth < 10'000) sim.schedule_after(1, tick);
+    };
+    sim.schedule_after(1, tick);
+    sim.run_to_completion();
+    benchmark::DoNotOptimize(depth);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_SimTimerCascade);
+
+namespace {
+struct NoopMsg final : net::Message {
+  std::size_t wire_size() const override { return 100; }
+  const char* type_name() const override { return "noop"; }
+};
+}  // namespace
+
+static void BM_NetworkBroadcast(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim(1);
+    net::Network network(
+        sim, std::make_unique<net::UniformLatencyModel>(millis(5), millis(20)),
+        net::NetConfig{}, n);
+    std::uint64_t received = 0;
+    for (ValidatorIndex v = 0; v < n; ++v)
+      network.register_handler(
+          v, [&](ValidatorIndex, const net::MessagePtr&) { ++received; });
+    auto msg = std::make_shared<NoopMsg>();
+    state.ResumeTiming();
+    for (int round = 0; round < 10; ++round)
+      for (ValidatorIndex v = 0; v < n; ++v) network.broadcast(v, msg);
+    sim.run_to_completion();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10 *
+                          static_cast<int64_t>(state.range(0)) *
+                          (state.range(0) - 1));
+}
+BENCHMARK(BM_NetworkBroadcast)->Arg(10)->Arg(50)->Arg(100);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Schedule-cadence ablation (Section 5, footnote 15): the paper's evaluation
+// recomputes the schedule every 10 commits and excludes the bottom 33% of
+// validators; Sui mainnet runs the more conservative 300 commits / bottom
+// 20%. This bench sweeps both knobs under crash-faults, plus the rounds-based
+// cadence of Algorithm 2, showing the reactivity/stability trade-off: small T
+// evicts crashed leaders fast (low latency), huge T behaves like round-robin
+// for most of the run.
+#include "bench_util.h"
+
+using namespace hammerhead;
+using namespace hammerhead::bench;
+
+int main() {
+  const std::size_t n = quick_mode() ? 10 : 20;
+  const std::size_t faults = (n - 1) / 3;
+  const SimTime duration = bench_duration(seconds(120));
+
+  std::cout << "Schedule cadence and exclusion ablation (paper fn.15): n="
+            << n << ", faults=" << faults << "\n";
+
+  struct Case {
+    const char* label;
+    core::ScheduleCadence cadence;
+    double exclude;
+  };
+  const std::vector<Case> cases = {
+      {"commits(5)/33%", core::ScheduleCadence::commits(5), 1.0 / 3},
+      {"commits(10)/33% (eval)", core::ScheduleCadence::commits(10), 1.0 / 3},
+      {"commits(50)/33%", core::ScheduleCadence::commits(50), 1.0 / 3},
+      {"commits(300)/20% (mainnet)", core::ScheduleCadence::commits(300), 0.2},
+      {"rounds(20)/33% (Alg.2)", core::ScheduleCadence::rounds(20), 1.0 / 3},
+  };
+
+  std::printf("%-28s %8s %8s %8s %9s %9s\n", "cadence", "tput", "avg_s",
+              "p95_s", "skipped", "epochs");
+  for (const auto& c : cases) {
+    auto cfg = paper_config(n, /*load=*/500.0, faults,
+                            harness::PolicyKind::HammerHead);
+    cfg.duration = duration;
+    cfg.hh.cadence = c.cadence;
+    cfg.hh.exclude_fraction = c.exclude;
+    const auto r = harness::run_experiment(cfg);
+    std::printf("%-28s %8.0f %8.2f %8.2f %9llu %9llu\n", c.label,
+                r.throughput_tps, r.avg_latency_s, r.p95_latency_s,
+                static_cast<unsigned long long>(r.skipped_anchors),
+                static_cast<unsigned long long>(r.schedule_changes));
+  }
+  // Round-robin reference row.
+  auto cfg = paper_config(n, 500.0, faults, harness::PolicyKind::RoundRobin);
+  cfg.duration = duration;
+  const auto r = harness::run_experiment(cfg);
+  std::printf("%-28s %8.0f %8.2f %8.2f %9llu %9llu\n", "round-robin (ref)",
+              r.throughput_tps, r.avg_latency_s, r.p95_latency_s,
+              static_cast<unsigned long long>(r.skipped_anchors),
+              static_cast<unsigned long long>(r.schedule_changes));
+  std::cout << "\nExpected shape: more frequent recomputation -> faster "
+               "eviction of crashed leaders -> fewer skips and lower "
+               "latency; commits(300) barely reacts within the run.\n";
+  return 0;
+}

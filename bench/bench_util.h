@@ -1,0 +1,62 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Scale control: set HH_BENCH_QUICK=1 for a fast smoke pass (smaller
+// committees, shorter runs) or HH_BENCH_DURATION_S to override the simulated
+// duration. Default parameters follow the paper's setup (Section 5) scaled to
+// a single-core simulation: 13-region geo latency, schedule recomputed every
+// 10 commits, bottom 33% excluded, crash faults = max tolerable.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hammerhead/harness/experiment.h"
+
+namespace hammerhead::bench {
+
+inline bool quick_mode() {
+  const char* q = std::getenv("HH_BENCH_QUICK");
+  return q != nullptr && std::string(q) != "0";
+}
+
+inline SimTime bench_duration(SimTime fallback) {
+  if (const char* d = std::getenv("HH_BENCH_DURATION_S"))
+    return seconds(std::strtol(d, nullptr, 10));
+  return quick_mode() ? fallback / 4 : fallback;
+}
+
+/// The paper's evaluation configuration (Section 5): geo-distributed
+/// committee, schedule every 10 commits, exclude bottom 33%.
+inline harness::ExperimentConfig paper_config(std::size_t n, double load_tps,
+                                              std::size_t faults,
+                                              harness::PolicyKind policy) {
+  harness::ExperimentConfig cfg;
+  cfg.num_validators = n;
+  cfg.load_tps = load_tps;
+  cfg.faults = faults;
+  cfg.policy = policy;
+  cfg.latency = harness::LatencyKind::Geo;
+  cfg.hh.cadence = core::ScheduleCadence::commits(10);
+  cfg.hh.exclude_fraction = 1.0 / 3.0;
+  cfg.seed = 2024;
+  cfg.duration = bench_duration(seconds(90));
+  // The first schedule epochs (eviction of crashed leaders) complete inside
+  // the warm-up; the measured window reflects steady state, like the
+  // paper's 10-minute runs.
+  cfg.warmup = std::min<SimTime>(seconds(25), cfg.duration / 3);
+  return cfg;
+}
+
+inline void print_run(const std::string& tag,
+                      const harness::ExperimentResult& r) {
+  std::cout << tag << "  " << harness::result_row(r) << std::endl;
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << std::string(18, ' ') << harness::result_header() << std::endl;
+}
+
+}  // namespace hammerhead::bench

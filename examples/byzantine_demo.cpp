@@ -1,0 +1,74 @@
+// Byzantine-behaviour demo: what HammerHead's reputation does to misbehaving
+// validators that are NOT simply crashed.
+//
+//   * v(n-1) equivocates: two conflicting headers per round. Vote uniqueness
+//     confines it to at most one certificate per round; honest validators
+//     log refusals.
+//   * v(n-2) withholds votes (the strategy Section 7 says HammerHead
+//     discourages).
+//   * v(n-3) is a "just slow enough" proposer (the static-leader risk).
+//
+// The demo prints protocol health plus each suspect's share of committed
+// anchors under HammerHead vs round-robin.
+#include <iostream>
+
+#include "hammerhead/harness/experiment.h"
+
+using namespace hammerhead;
+
+int main() {
+  const std::size_t n = 13;
+  harness::ExperimentConfig cfg;
+  cfg.num_validators = n;
+  cfg.load_tps = 300;
+  cfg.duration = seconds(60);
+  cfg.warmup = seconds(20);
+  cfg.seed = 3;
+  cfg.hh.cadence = core::ScheduleCadence::commits(10);
+  cfg.behaviors = {
+      {static_cast<ValidatorIndex>(n - 1), node::Behavior::Equivocator},
+      {static_cast<ValidatorIndex>(n - 2), node::Behavior::VoteWithholder},
+      {static_cast<ValidatorIndex>(n - 3), node::Behavior::SlowProposer},
+  };
+  cfg.node.slow_proposer_delay = millis(700);
+  cfg.clients_avoid_crashed = true;
+
+  std::cout << "Committee of " << n << " with an equivocator (v" << n - 1
+            << "), a vote withholder (v" << n - 2
+            << ") and a slow proposer (v" << n - 3 << ").\n\n"
+            << harness::result_header() << "\n";
+
+  cfg.policy = harness::PolicyKind::HammerHead;
+  const auto hh = harness::run_experiment(cfg);
+  std::cout << harness::result_row(hh) << "\n";
+  cfg.policy = harness::PolicyKind::RoundRobin;
+  const auto rr = harness::run_experiment(cfg);
+  std::cout << harness::result_row(rr) << "\n\n";
+
+  auto share = [n](const harness::ExperimentResult& r, ValidatorIndex v) {
+    std::uint64_t total = 0;
+    for (auto c : r.anchors_by_author) total += c;
+    return total ? 100.0 * static_cast<double>(r.anchors_by_author[v]) /
+                       static_cast<double>(total)
+                 : 0.0;
+  };
+
+  std::cout << "Committed-anchor share (fair share would be "
+            << 100.0 / static_cast<double>(n) << "%):\n";
+  std::printf("  %-18s %11s %12s\n", "suspect", "hammerhead", "round-robin");
+  std::printf("  %-18s %10.1f%% %11.1f%%\n", "equivocator",
+              share(hh, static_cast<ValidatorIndex>(n - 1)),
+              share(rr, static_cast<ValidatorIndex>(n - 1)));
+  std::printf("  %-18s %10.1f%% %11.1f%%\n", "vote withholder",
+              share(hh, static_cast<ValidatorIndex>(n - 2)),
+              share(rr, static_cast<ValidatorIndex>(n - 2)));
+  std::printf("  %-18s %10.1f%% %11.1f%%\n", "slow proposer",
+              share(hh, static_cast<ValidatorIndex>(n - 3)),
+              share(rr, static_cast<ValidatorIndex>(n - 3)));
+
+  std::cout << "\nSafety held throughout (the run would have thrown on any "
+               "total-order violation); HammerHead pushes the misbehaving "
+               "validators out of the leader schedule while round-robin "
+               "keeps giving them slots.\n";
+  return 0;
+}

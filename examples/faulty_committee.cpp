@@ -1,0 +1,64 @@
+// Faulty-committee walkthrough: the paper's motivating scenario end-to-end.
+//
+// A 20-validator geo-distributed committee loses f = 6 validators to crashes
+// two seconds into the run. We race HammerHead against round-robin Bullshark
+// and print the story the paper tells in Section 1: round-robin keeps
+// electing the dead leaders (timeouts, skipped anchors, 2x latency);
+// HammerHead's reputation scores collapse for the crashed nodes, the next
+// schedule epoch evicts them, and performance returns to faultless levels.
+//
+//   ./build/examples/faulty_committee [n] [faults] [load_tps]
+#include <cstdlib>
+#include <iostream>
+
+#include "hammerhead/harness/experiment.h"
+
+using namespace hammerhead;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20;
+  const std::size_t faults =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : (n - 1) / 3;
+  const double load = argc > 3 ? std::strtod(argv[3], nullptr) : 500.0;
+
+  harness::ExperimentConfig cfg;
+  cfg.num_validators = n;
+  cfg.faults = faults;
+  cfg.crash_time = seconds(2);
+  cfg.load_tps = load;
+  cfg.duration = seconds(60);
+  cfg.warmup = seconds(20);
+  cfg.latency = harness::LatencyKind::Geo;
+  cfg.hh.cadence = core::ScheduleCadence::commits(10);
+  cfg.seed = 7;
+
+  std::cout << "Committee of " << n << ", " << faults
+            << " validators crash at t=2s, " << load << " tx/s offered.\n\n";
+
+  cfg.policy = harness::PolicyKind::HammerHead;
+  const auto hh = harness::run_experiment(cfg);
+  cfg.policy = harness::PolicyKind::RoundRobin;
+  const auto rr = harness::run_experiment(cfg);
+
+  std::cout << harness::result_header() << "\n"
+            << harness::result_row(hh) << "\n"
+            << harness::result_row(rr) << "\n\n";
+
+  std::cout << "Who authored committed anchors (leader utilization):\n";
+  std::cout << "  validator   hammerhead   round-robin\n";
+  for (std::size_t v = 0; v < n; ++v) {
+    std::printf("  v%-3zu %s  %10llu   %11llu\n", v,
+                v >= n - faults ? "(dead)" : "      ",
+                static_cast<unsigned long long>(hh.anchors_by_author[v]),
+                static_cast<unsigned long long>(rr.anchors_by_author[v]));
+  }
+
+  const double latency_gain =
+      hh.avg_latency_s > 0 ? rr.avg_latency_s / hh.avg_latency_s : 0;
+  std::cout << "\nHammerHead latency advantage under faults: "
+            << latency_gain << "x (paper reports ~2x at the fault bound)\n"
+            << "HammerHead skipped anchors: " << hh.skipped_anchors
+            << " (transient only)  vs round-robin: " << rr.skipped_anchors
+            << " (persistent)\n";
+  return 0;
+}

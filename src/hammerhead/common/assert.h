@@ -1,0 +1,49 @@
+// Invariant checking that stays on in release builds.
+//
+// A violated invariant in a consensus protocol is a safety bug; we always want
+// the loud failure, including inside RelWithDebInfo benchmark runs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hammerhead {
+
+/// Thrown when an internal invariant is violated. Deliberately distinct from
+/// std::logic_error so tests can assert on the exact failure class.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void invariant_failed(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace hammerhead
+
+// HH_ASSERT(cond) / HH_ASSERT_MSG(cond, "context " << value)
+#define HH_ASSERT(cond)                                                \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::hammerhead::detail::invariant_failed(#cond, __FILE__, __LINE__, \
+                                             std::string{});           \
+  } while (false)
+
+#define HH_ASSERT_MSG(cond, stream_expr)                               \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream hh_assert_os;                                 \
+      hh_assert_os << stream_expr;                                     \
+      ::hammerhead::detail::invariant_failed(#cond, __FILE__, __LINE__, \
+                                             hh_assert_os.str());      \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,15 @@
+#include "hammerhead/common/digest.h"
+
+#include "hammerhead/common/hex.h"
+
+namespace hammerhead {
+
+// Digest::of_bytes / of_string are defined in crypto/sha256.cpp to keep the
+// hash implementation in one translation unit; this file provides the
+// formatting helpers so hh_common has no dependency on hh_crypto.
+
+std::string Digest::to_hex() const { return hammerhead::to_hex(bytes_); }
+
+std::string Digest::brief() const { return to_hex().substr(0, 8); }
+
+}  // namespace hammerhead

@@ -1,0 +1,61 @@
+// 32-byte content digest used to identify headers, certificates and vertices.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+
+namespace hammerhead {
+
+class Digest {
+ public:
+  static constexpr std::size_t kSize = 32;
+
+  constexpr Digest() : bytes_{} {}
+  explicit Digest(const std::array<std::uint8_t, kSize>& bytes)
+      : bytes_(bytes) {}
+
+  /// Digest of raw bytes (SHA-256; implemented in crypto/sha256.cpp).
+  static Digest of_bytes(std::span<const std::uint8_t> data);
+  static Digest of_string(const std::string& s);
+
+  const std::array<std::uint8_t, kSize>& bytes() const { return bytes_; }
+  std::uint8_t* data() { return bytes_.data(); }
+  const std::uint8_t* data() const { return bytes_.data(); }
+
+  bool is_zero() const {
+    for (auto b : bytes_)
+      if (b != 0) return false;
+    return true;
+  }
+
+  /// First 8 bytes as a little-endian integer; handy for cheap hashing and
+  /// deterministic tie-breaking.
+  std::uint64_t prefix64() const {
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes_.data(), sizeof(v));
+    return v;
+  }
+
+  std::string to_hex() const;
+  /// Short human-readable form (first 8 hex chars) for logs.
+  std::string brief() const;
+
+  friend auto operator<=>(const Digest&, const Digest&) = default;
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_;
+};
+
+}  // namespace hammerhead
+
+template <>
+struct std::hash<hammerhead::Digest> {
+  std::size_t operator()(const hammerhead::Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.prefix64());
+  }
+};

@@ -1,0 +1,16 @@
+// Hex encoding helpers (logging / test fixtures).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hammerhead {
+
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Throws std::invalid_argument on non-hex input or odd length.
+std::vector<std::uint8_t> from_hex(const std::string& hex);
+
+}  // namespace hammerhead

@@ -1,0 +1,49 @@
+#include "hammerhead/common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace hammerhead {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+std::mutex g_mutex;
+
+void default_sink(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), msg.c_str());
+}
+
+LogSink& sink_storage() {
+  static LogSink sink = default_sink;
+  return sink;
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_mutex);
+  LogSink prev = sink_storage();
+  sink_storage() = std::move(sink);
+  return prev;
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::lock_guard lock(g_mutex);
+  if (sink_storage()) sink_storage()(level, msg);
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace hammerhead

@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// Simulations emit per-event detail at Debug level; benchmarks run at Warn to
+// keep output clean. The sink is global but swappable for tests.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace hammerhead {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Replace the sink (default writes to stderr). Returns the previous sink.
+LogSink set_log_sink(LogSink sink);
+
+void log_message(LogLevel level, const std::string& msg);
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace hammerhead
+
+#define HH_LOG(level, stream_expr)                                  \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::hammerhead::log_level())) {               \
+      std::ostringstream hh_log_os;                                  \
+      hh_log_os << stream_expr;                                      \
+      ::hammerhead::log_message(level, hh_log_os.str());             \
+    }                                                                \
+  } while (false)
+
+#define HH_DEBUG(s) HH_LOG(::hammerhead::LogLevel::Debug, s)
+#define HH_INFO(s) HH_LOG(::hammerhead::LogLevel::Info, s)
+#define HH_WARN(s) HH_LOG(::hammerhead::LogLevel::Warn, s)
+#define HH_ERROR(s) HH_LOG(::hammerhead::LogLevel::Error, s)

@@ -1,0 +1,49 @@
+// Deterministic byte serialization used to compute content digests.
+//
+// This is not a wire format (the simulator passes shared immutable objects);
+// it only needs to be an injective encoding so that digests commit to every
+// field. Integers are encoded little-endian fixed-width; containers are
+// length-prefixed.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hammerhead {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32(std::uint32_t v) { append_le(v); }
+
+  void u64(std::uint64_t v) { append_le(v); }
+
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    u64(data.size());
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void str(const std::string& s) {
+    bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    std::uint8_t tmp[sizeof(T)];
+    std::memcpy(tmp, &v, sizeof(T));  // host is little-endian on all targets
+    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace hammerhead

@@ -1,0 +1,39 @@
+// Fundamental scalar types shared by every subsystem.
+//
+// The simulator is fully deterministic, so time is a plain integer count of
+// simulated microseconds rather than std::chrono time_points; helpers below
+// keep call sites readable (ms(3) instead of 3'000).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hammerhead {
+
+/// Index of a validator inside a committee (dense, 0..n-1).
+using ValidatorIndex = std::uint32_t;
+
+/// DAG round number. Round 0 holds the genesis vertices.
+using Round = std::uint64_t;
+
+/// Voting power. The paper weighs leader slots and quorums by stake.
+using Stake = std::uint64_t;
+
+/// Simulated time in microseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// Monotonic identifier for a client transaction within a run.
+using TxId = std::uint64_t;
+
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+inline constexpr ValidatorIndex kInvalidValidator =
+    std::numeric_limits<ValidatorIndex>::max();
+
+/// Readable literals for simulated durations.
+constexpr SimTime micros(std::int64_t v) { return v; }
+constexpr SimTime millis(std::int64_t v) { return v * 1'000; }
+constexpr SimTime seconds(std::int64_t v) { return v * 1'000'000; }
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_millis(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace hammerhead

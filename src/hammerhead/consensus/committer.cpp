@@ -1,0 +1,188 @@
+#include "hammerhead/consensus/committer.h"
+
+#include <algorithm>
+
+#include "hammerhead/common/logging.h"
+
+namespace hammerhead::consensus {
+
+BullsharkCommitter::BullsharkCommitter(const crypto::Committee& committee,
+                                       dag::Dag& dag,
+                                       core::LeaderSchedulePolicy& policy,
+                                       CommitFn on_commit, CommitRule rule,
+                                       ClockFn clock)
+    : committee_(committee),
+      dag_(dag),
+      policy_(policy),
+      on_commit_(std::move(on_commit)),
+      rule_(rule),
+      clock_(std::move(clock)) {}
+
+void BullsharkCommitter::on_cert_inserted(const dag::CertPtr& cert) {
+  // Only vertices at rounds above the last committed anchor can change the
+  // trigger state; everything older is already covered by ordering.
+  if (static_cast<std::int64_t>(cert->round()) <= last_anchor_round_) return;
+  // Gate the scan (hot path at 100 validators): under DirectSupport a new
+  // direct commit can only appear when a vote arrives (odd-round cert) or
+  // when an anchor certificate itself shows up late.
+  if (rule_ == CommitRule::DirectSupport && cert->round() % 2 == 0 &&
+      policy_.leader(cert->round()) != cert->author())
+    return;
+  process();
+}
+
+bool BullsharkCommitter::triggered(const dag::Certificate& anchor) const {
+  switch (rule_) {
+    case CommitRule::DirectSupport:
+      return dag_.direct_support(anchor) >= committee_.validity_threshold();
+    case CommitRule::PaperTrigger: {
+      // Algorithm 2, TryCommitting(v): v at round a+2; votes are v's parents
+      // (round a+1); commit if the stake of parents with a path (i.e. a
+      // direct edge) to the anchor reaches f+1.
+      for (const dag::CertPtr& v : dag_.round_certs(anchor.round() + 2)) {
+        Stake support = 0;
+        for (const Digest& pd : v->parents()) {
+          dag::CertPtr parent = dag_.get(pd);
+          if (parent && parent->has_parent(anchor.digest()))
+            support += committee_.stake_of(parent->author());
+        }
+        if (support >= committee_.validity_threshold()) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void BullsharkCommitter::process() {
+  const auto max_round = dag_.max_round();
+  if (!max_round) return;
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Scan for the lowest directly-committed anchor above the last one.
+    for (std::int64_t a = last_anchor_round_ + 2;
+         a + 1 <= static_cast<std::int64_t>(*max_round); a += 2) {
+      const Round round = static_cast<Round>(a);
+      const ValidatorIndex leader = policy_.leader(round);
+      dag::CertPtr anchor = dag_.get(round, leader);
+      if (!anchor || !triggered(*anchor)) continue;
+      // Commit it (plus transitively reachable predecessors). Whether or not
+      // a schedule change interrupted the chain, rescan: either the schedule
+      // moved or last_anchor_round_ did.
+      commit_chain(std::move(anchor));
+      progress = true;
+      break;
+    }
+  }
+}
+
+bool BullsharkCommitter::commit_chain(dag::CertPtr anchor) {
+  // Walk back (Algorithm 2, orderAnchors): collect earlier anchors reachable
+  // from the direct commit, newest first, then order oldest first.
+  std::vector<dag::CertPtr> chain;
+  chain.push_back(anchor);
+  dag::CertPtr cur = anchor;
+  for (std::int64_t r = static_cast<std::int64_t>(anchor->round()) - 2;
+       r > last_anchor_round_; r -= 2) {
+    const Round round = static_cast<Round>(r);
+    dag::CertPtr prev = dag_.get(round, policy_.leader(round));
+    if (prev && dag_.has_path(*cur, *prev)) {
+      chain.push_back(prev);
+      cur = prev;
+    }
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  for (const dag::CertPtr& link : chain) {
+    // Schedule boundary (Algorithm 2, orderHistory lines 30-33): check
+    // before ordering; on a change, drop the rest of the (now stale) chain
+    // and let the caller re-evaluate under the new schedule.
+    if (policy_.maybe_change_schedule(link->round())) {
+      ++stats_.schedule_changes;
+      HH_DEBUG("committer: schedule change at anchor round " << link->round());
+      return true;
+    }
+    // Rounds between the previous anchor and this one had their anchors
+    // skipped (not reachable / no support).
+    for (std::int64_t r = last_anchor_round_ + 2;
+         r < static_cast<std::int64_t>(link->round()); r += 2) {
+      const Round round = static_cast<Round>(r);
+      policy_.on_anchor_skipped(round, policy_.leader(round));
+      ++stats_.skipped_anchors;
+    }
+    if (order_anchor(link)) {
+      ++stats_.schedule_changes;
+      HH_DEBUG("committer: schedule change after anchor round "
+               << link->round());
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BullsharkCommitter::order_anchor(const dag::CertPtr& anchor) {
+  std::vector<dag::CertPtr> vertices = dag_.causal_history(
+      *anchor,
+      [this](const dag::Certificate& c) { return !is_ordered(c.digest()); });
+  // Deterministic delivery order within the sub-DAG (Algorithm 2 line 35:
+  // "in some deterministic order").
+  std::sort(vertices.begin(), vertices.end(),
+            [](const dag::CertPtr& x, const dag::CertPtr& y) {
+              if (x->round() != y->round()) return x->round() < y->round();
+              return x->author() < y->author();
+            });
+
+  for (const dag::CertPtr& v : vertices) {
+    policy_.on_vertex_ordered(dag_, *v);
+    ordered_.insert(v->digest());
+    ordered_by_round_[v->round()].push_back(v->digest());
+  }
+  stats_.ordered_vertices += vertices.size();
+
+  last_anchor_round_ = static_cast<std::int64_t>(anchor->round());
+  ++commit_index_;
+  ++stats_.committed_anchors;
+  const bool schedule_changed = policy_.on_anchor_committed(*anchor);
+
+  CommittedSubDag subdag;
+  subdag.anchor = anchor;
+  subdag.vertices = std::move(vertices);
+  subdag.commit_index = commit_index_;
+  subdag.commit_time = clock_ ? clock_() : 0;
+  if (on_commit_) on_commit_(subdag);
+  return schedule_changed;
+}
+
+CommitterSnapshot BullsharkCommitter::snapshot(Round floor) const {
+  CommitterSnapshot snap;
+  snap.last_anchor_round = last_anchor_round_;
+  snap.commit_index = commit_index_;
+  for (const auto& [round, digests] : ordered_by_round_)
+    if (round >= floor) snap.ordered_by_round.emplace_back(round, digests);
+  return snap;
+}
+
+void BullsharkCommitter::install_snapshot(const CommitterSnapshot& snap) {
+  HH_ASSERT_MSG(commit_index_ == 0 && ordered_.empty(),
+                "snapshot install on a non-fresh committer");
+  last_anchor_round_ = snap.last_anchor_round;
+  commit_index_ = snap.commit_index;
+  for (const auto& [round, digests] : snap.ordered_by_round) {
+    for (const Digest& d : digests) {
+      ordered_.insert(d);
+      ordered_by_round_[round].push_back(d);
+    }
+  }
+}
+
+void BullsharkCommitter::prune_ordered_below(Round floor) {
+  for (auto it = ordered_by_round_.begin();
+       it != ordered_by_round_.end() && it->first < floor;
+       it = ordered_by_round_.erase(it)) {
+    for (const Digest& d : it->second) ordered_.erase(d);
+  }
+}
+
+}  // namespace hammerhead::consensus

@@ -1,0 +1,126 @@
+// Bullshark ordering (Algorithm 2 of the paper) with dynamic leader schedules.
+//
+// Anchors live at even rounds. An anchor is *directly committed* when it has
+// enough support from the next round; earlier anchors reachable from it are
+// committed transitively via the walk-back stack; everything else in between
+// is skipped. Ordering an anchor delivers its not-yet-ordered causal history
+// in a deterministic order (Byzantine Atomic Broadcast output).
+//
+// Schedule changes: right before ordering an anchor, the policy may declare a
+// new epoch starting at that anchor's round (maybe_change_schedule). The
+// committer then discards the pending walk-back chain and re-evaluates commit
+// triggers from scratch under the new schedule — the paper's "retroactive
+// schedule application". Because epoch boundaries are a deterministic function
+// of the ordered prefix, every honest validator derives the same schedule
+// sequence (Proposition 1) and hence the same total order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "hammerhead/core/policies.h"
+#include "hammerhead/dag/dag.h"
+
+namespace hammerhead::consensus {
+
+/// Which rule detects a directly committed anchor.
+enum class CommitRule {
+  /// Production Bullshark/Sui: the anchor is supported by round a+1 vertices
+  /// of cumulative stake >= f+1, counted across the whole local DAG.
+  DirectSupport,
+  /// Algorithm 2 verbatim: some single round a+2 vertex carries >= f+1 stake
+  /// of parents that link to the anchor.
+  PaperTrigger,
+};
+
+struct CommittedSubDag {
+  dag::CertPtr anchor;
+  /// The anchor's not-yet-ordered causal history, sorted by (round, author);
+  /// includes the anchor itself (last at its round). Concatenating these
+  /// vectors over commit_index yields the BAB total order.
+  std::vector<dag::CertPtr> vertices;
+  std::uint64_t commit_index = 0;
+  SimTime commit_time = 0;
+};
+
+/// Serializable committer positioning for state sync: where the commit
+/// sequence stands and which vertices at/above the horizon were already
+/// delivered (so they are not re-delivered by later anchors).
+struct CommitterSnapshot {
+  std::int64_t last_anchor_round = -2;
+  std::uint64_t commit_index = 0;
+  std::vector<std::pair<Round, std::vector<Digest>>> ordered_by_round;
+};
+
+struct CommitterStats {
+  std::uint64_t committed_anchors = 0;
+  std::uint64_t skipped_anchors = 0;
+  std::uint64_t ordered_vertices = 0;
+  std::uint64_t schedule_changes = 0;
+};
+
+class BullsharkCommitter {
+ public:
+  using CommitFn = std::function<void(const CommittedSubDag&)>;
+  using ClockFn = std::function<SimTime()>;
+
+  BullsharkCommitter(const crypto::Committee& committee, dag::Dag& dag,
+                     core::LeaderSchedulePolicy& policy, CommitFn on_commit,
+                     CommitRule rule = CommitRule::DirectSupport,
+                     ClockFn clock = nullptr);
+
+  /// Drive the commit machinery after a certificate entered the DAG.
+  void on_cert_inserted(const dag::CertPtr& cert);
+
+  /// Re-run the trigger scan unconditionally (used after recovery replay).
+  void process();
+
+  bool is_ordered(const Digest& digest) const {
+    return ordered_.count(digest) > 0;
+  }
+
+  /// Round of the last committed anchor, or -2 before the first commit.
+  std::int64_t last_anchor_round() const { return last_anchor_round_; }
+  std::uint64_t commit_index() const { return commit_index_; }
+  const CommitterStats& stats() const { return stats_; }
+
+  /// Forget ordered-markers for rounds below `floor` (pairs with
+  /// Dag::prune_below; only prune rounds well behind last_anchor_round()).
+  void prune_ordered_below(Round floor);
+
+  /// State sync: capture / install positioning (ordered markers restricted
+  /// to rounds >= floor on capture).
+  CommitterSnapshot snapshot(Round floor) const;
+  void install_snapshot(const CommitterSnapshot& snap);
+
+ private:
+  /// True iff `anchor` is directly committed under the configured rule.
+  bool triggered(const dag::Certificate& anchor) const;
+
+  /// Commit `anchor` and every earlier reachable anchor. Returns true if a
+  /// schedule change interrupted the chain (caller rescans).
+  bool commit_chain(dag::CertPtr anchor);
+
+  /// Deliver one anchor's sub-DAG. Returns true if the policy began a new
+  /// epoch effective from the next anchor round (commits cadence) — the
+  /// caller must discard its pending chain and rescan.
+  bool order_anchor(const dag::CertPtr& anchor);
+
+  const crypto::Committee& committee_;
+  dag::Dag& dag_;
+  core::LeaderSchedulePolicy& policy_;
+  CommitFn on_commit_;
+  CommitRule rule_;
+  ClockFn clock_;
+
+  std::unordered_set<Digest> ordered_;
+  std::map<Round, std::vector<Digest>> ordered_by_round_;  // for pruning
+  std::int64_t last_anchor_round_ = -2;
+  std::uint64_t commit_index_ = 0;
+  CommitterStats stats_;
+};
+
+}  // namespace hammerhead::consensus

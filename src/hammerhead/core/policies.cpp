@@ -1,0 +1,189 @@
+#include "hammerhead/core/policies.h"
+
+#include "hammerhead/common/logging.h"
+
+namespace hammerhead::core {
+
+namespace {
+bool cadence_due(const ScheduleCadence& cadence, Round anchor_round,
+                 Round epoch_initial_round, std::uint64_t commits_in_epoch) {
+  switch (cadence.kind) {
+    case ScheduleCadence::Kind::Rounds:
+      // Algorithm 2 line 30-31: t <- initialRound + T; if t <= anchor.round.
+      return epoch_initial_round + cadence.value <= anchor_round;
+    case ScheduleCadence::Kind::Commits:
+      return commits_in_epoch >= cadence.value;
+  }
+  return false;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- RoundRobin
+
+RoundRobinPolicy::RoundRobinPolicy(const crypto::Committee& committee,
+                                   std::uint64_t seed)
+    : history_(BaseSchedule::make(committee, seed)) {}
+
+ValidatorIndex RoundRobinPolicy::leader(Round round) const {
+  return history_.leader(round);
+}
+
+// ---------------------------------------------------------------- HammerHead
+
+HammerHeadPolicy::HammerHeadPolicy(const crypto::Committee& committee,
+                                   std::uint64_t seed, HammerHeadConfig config)
+    : committee_(committee),
+      config_(config),
+      history_(BaseSchedule::make(committee, seed)),
+      scores_(committee.size()) {}
+
+ValidatorIndex HammerHeadPolicy::leader(Round round) const {
+  return history_.leader(round);
+}
+
+void HammerHeadPolicy::on_vertex_ordered(const dag::Dag& dag,
+                                         const dag::Certificate& v) {
+  // "each validator receives 1 point each time they vote for a leader's
+  // proposal (a parent link from the block of the validator at round r to
+  // the leader, according to schedule S, of round r-1)".
+  if (v.round() == 0) return;
+  const Round prev = v.round() - 1;
+  const ValidatorIndex prev_leader = leader(prev);
+  const dag::CertPtr leader_cert = dag.get(prev, prev_leader);
+  if (leader_cert && v.has_parent(leader_cert->digest()))
+    scores_.add(v.author());
+}
+
+bool HammerHeadPolicy::on_anchor_committed(const dag::Certificate& anchor) {
+  ++commits_in_epoch_;
+  // Sui-style commits cadence: after the K-th commit of the epoch, the new
+  // schedule takes effect from the *next* anchor round; the boundary anchor
+  // stays committed under the old schedule.
+  if (config_.cadence.kind != ScheduleCadence::Kind::Commits) return false;
+  if (commits_in_epoch_ < config_.cadence.value) return false;
+  LeaderSwapTable table = LeaderSwapTable::from_scores(
+      committee_, scores_, config_.exclude_fraction);
+  HH_DEBUG("hammerhead: new epoch @round " << anchor.round() + 2 << " "
+                                           << table.to_string() << " scores "
+                                           << scores_.to_string());
+  history_.push_epoch(anchor.round() + 2, std::move(table));
+  scores_.reset();
+  commits_in_epoch_ = 0;
+  return true;
+}
+
+bool HammerHeadPolicy::maybe_change_schedule(Round anchor_round) {
+  // Algorithm 2 (rounds cadence): checked before ordering the anchor; the
+  // new epoch starts at the boundary anchor's round.
+  if (config_.cadence.kind != ScheduleCadence::Kind::Rounds) return false;
+  const ScheduleEpoch& epoch = history_.current();
+  if (!cadence_due(config_.cadence, anchor_round, epoch.initial_round,
+                   commits_in_epoch_))
+    return false;
+  LeaderSwapTable table = LeaderSwapTable::from_scores(
+      committee_, scores_, config_.exclude_fraction);
+  HH_DEBUG("hammerhead: new epoch @round " << anchor_round << " "
+                                           << table.to_string() << " scores "
+                                           << scores_.to_string());
+  history_.push_epoch(anchor_round, std::move(table));
+  scores_.reset();
+  commits_in_epoch_ = 0;
+  return true;
+}
+
+namespace {
+PolicySnapshot make_snapshot(const ScheduleHistory& history,
+                             const ReputationScores& scores,
+                             std::uint64_t commits_in_epoch) {
+  PolicySnapshot snap;
+  for (const auto& epoch : history.epochs()) {
+    PolicySnapshot::Epoch e;
+    e.initial_round = epoch.initial_round;
+    e.bad = epoch.table.bad();
+    e.good = epoch.table.good();
+    snap.epochs.push_back(std::move(e));
+  }
+  snap.scores = scores.points();
+  snap.commits_in_epoch = commits_in_epoch;
+  return snap;
+}
+
+void apply_snapshot(const PolicySnapshot& snap, ScheduleHistory& history,
+                    ReputationScores& scores,
+                    std::uint64_t& commits_in_epoch) {
+  HH_ASSERT_MSG(!snap.epochs.empty(), "empty policy snapshot");
+  std::vector<std::pair<Round, LeaderSwapTable>> epochs;
+  epochs.reserve(snap.epochs.size());
+  for (const auto& e : snap.epochs)
+    epochs.emplace_back(e.initial_round,
+                        LeaderSwapTable::from_sets(e.bad, e.good));
+  history.install_epochs(std::move(epochs));
+  scores.reset();
+  HH_ASSERT(snap.scores.size() == scores.size());
+  for (std::size_t v = 0; v < snap.scores.size(); ++v)
+    scores.add(static_cast<ValidatorIndex>(v), snap.scores[v]);
+  commits_in_epoch = snap.commits_in_epoch;
+}
+}  // namespace
+
+PolicySnapshot HammerHeadPolicy::snapshot() const {
+  return make_snapshot(history_, scores_, commits_in_epoch_);
+}
+
+void HammerHeadPolicy::install_snapshot(const PolicySnapshot& snap) {
+  apply_snapshot(snap, history_, scores_, commits_in_epoch_);
+}
+
+// ----------------------------------------------------------------- ShoalLike
+
+ShoalLikePolicy::ShoalLikePolicy(const crypto::Committee& committee,
+                                 std::uint64_t seed, HammerHeadConfig config)
+    : committee_(committee),
+      config_(config),
+      history_(BaseSchedule::make(committee, seed)),
+      scores_(committee.size()) {}
+
+ValidatorIndex ShoalLikePolicy::leader(Round round) const {
+  return history_.leader(round);
+}
+
+bool ShoalLikePolicy::on_anchor_committed(const dag::Certificate& anchor) {
+  scores_.add(anchor.author(), +1);
+  ++commits_in_epoch_;
+  if (config_.cadence.kind != ScheduleCadence::Kind::Commits) return false;
+  if (commits_in_epoch_ < config_.cadence.value) return false;
+  LeaderSwapTable table = LeaderSwapTable::from_scores(
+      committee_, scores_, config_.exclude_fraction);
+  history_.push_epoch(anchor.round() + 2, std::move(table));
+  scores_.reset();
+  commits_in_epoch_ = 0;
+  return true;
+}
+
+void ShoalLikePolicy::on_anchor_skipped(Round, ValidatorIndex leader) {
+  scores_.add(leader, -1);
+}
+
+bool ShoalLikePolicy::maybe_change_schedule(Round anchor_round) {
+  if (config_.cadence.kind != ScheduleCadence::Kind::Rounds) return false;
+  const ScheduleEpoch& epoch = history_.current();
+  if (!cadence_due(config_.cadence, anchor_round, epoch.initial_round,
+                   commits_in_epoch_))
+    return false;
+  LeaderSwapTable table = LeaderSwapTable::from_scores(
+      committee_, scores_, config_.exclude_fraction);
+  history_.push_epoch(anchor_round, std::move(table));
+  scores_.reset();
+  commits_in_epoch_ = 0;
+  return true;
+}
+
+PolicySnapshot ShoalLikePolicy::snapshot() const {
+  return make_snapshot(history_, scores_, commits_in_epoch_);
+}
+
+void ShoalLikePolicy::install_snapshot(const PolicySnapshot& snap) {
+  apply_snapshot(snap, history_, scores_, commits_in_epoch_);
+}
+
+}  // namespace hammerhead::core

@@ -1,0 +1,207 @@
+// Leader-schedule policies.
+//
+// The Bullshark committer (consensus/committer.h) is parameterized over a
+// LeaderSchedulePolicy; the paper's contribution — HammerHead — is one such
+// policy, alongside three comparison points:
+//   * RoundRobinPolicy: the Bullshark baseline of the evaluation,
+//   * StaticLeaderPolicy: the PBFT-style extreme discussed in Section 7,
+//   * ShoalLikePolicy: the concurrent-work scoring rule from Section 7
+//     (+ for committed leaders, - for skipped leaders) on the same
+//     schedule-change machinery.
+//
+// Contract (what makes schedule changes safe, Proposition 1):
+//  * leader(r) must be a deterministic function of the *ordered vertex
+//    prefix* the policy has been fed through on_vertex_ordered /
+//    on_anchor_committed / on_anchor_skipped / maybe_change_schedule.
+//  * maybe_change_schedule(a) is called by the committer right before anchor
+//    `a` would be ordered; returning true means a new epoch starts at round
+//    `a` and the committer must re-evaluate pending commits under the new
+//    schedule (retroactive application; the boundary anchor's own sub-DAG is
+//    NOT yet counted — "up to but excluding the committed leader").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hammerhead/core/schedule.h"
+#include "hammerhead/dag/dag.h"
+
+namespace hammerhead::core {
+
+/// When does a schedule epoch end?
+struct ScheduleCadence {
+  enum class Kind {
+    Rounds,   ///< Algorithm 2: initial_round + T <= anchor.round
+    Commits,  ///< Sui: every K committed anchors (eval: 10, mainnet: 300)
+  };
+  Kind kind = Kind::Commits;
+  std::uint64_t value = 10;
+
+  static ScheduleCadence rounds(std::uint64_t t) {
+    return {Kind::Rounds, t};
+  }
+  static ScheduleCadence commits(std::uint64_t k) {
+    return {Kind::Commits, k};
+  }
+};
+
+/// Serializable policy state for state sync: a validator that fell behind
+/// the garbage-collection horizon cannot replay the ordered prefix, so it
+/// installs a peer's schedule state instead (epochs + current epoch's
+/// accumulators). Everything here is a deterministic function of the ordered
+/// prefix, so installing it is equivalent to having replayed.
+struct PolicySnapshot {
+  struct Epoch {
+    Round initial_round = 0;
+    std::vector<ValidatorIndex> bad;
+    std::vector<ValidatorIndex> good;
+  };
+  std::vector<Epoch> epochs;
+  std::vector<std::int64_t> scores;
+  std::uint64_t commits_in_epoch = 0;
+};
+
+class LeaderSchedulePolicy {
+ public:
+  virtual ~LeaderSchedulePolicy() = default;
+
+  /// Effective leader of `round` (getLeader in Algorithm 1).
+  virtual ValidatorIndex leader(Round round) const = 0;
+
+  /// A vertex was ordered (delivered) as part of a committed sub-DAG.
+  virtual void on_vertex_ordered(const dag::Dag& dag,
+                                 const dag::Certificate& v) {
+    (void)dag;
+    (void)v;
+  }
+
+  /// An anchor was committed (called after its sub-DAG was ordered).
+  /// Returning true begins a new schedule epoch effective from the *next*
+  /// anchor round (anchor.round + 2) — the Sui-style commits cadence, where
+  /// the boundary anchor itself stays committed under the old schedule. The
+  /// committer re-evaluates pending commits when this returns true.
+  virtual bool on_anchor_committed(const dag::Certificate& anchor) {
+    (void)anchor;
+    return false;
+  }
+
+  /// An even round between two committed anchors produced no committed
+  /// anchor; `leader` was that round's (skipped) leader.
+  virtual void on_anchor_skipped(Round round, ValidatorIndex leader) {
+    (void)round;
+    (void)leader;
+  }
+
+  /// Called right before the anchor at `anchor_round` would be ordered.
+  /// Returning true begins a new schedule epoch at `anchor_round`, i.e. the
+  /// boundary anchor itself is re-evaluated under the new schedule — the
+  /// paper's Algorithm 2 (rounds cadence).
+  virtual bool maybe_change_schedule(Round anchor_round) {
+    (void)anchor_round;
+    return false;
+  }
+
+  virtual std::string name() const = 0;
+
+  /// Introspection for tests, metrics and examples (null if the policy has
+  /// no schedule history, e.g. the static leader).
+  virtual const ScheduleHistory* history() const { return nullptr; }
+
+  /// State-sync support (see PolicySnapshot). Stateless policies use the
+  /// defaults.
+  virtual PolicySnapshot snapshot() const { return {}; }
+  virtual void install_snapshot(const PolicySnapshot& snap) { (void)snap; }
+};
+
+/// The Bullshark baseline: stake-weighted round-robin, never changes.
+class RoundRobinPolicy final : public LeaderSchedulePolicy {
+ public:
+  RoundRobinPolicy(const crypto::Committee& committee, std::uint64_t seed);
+
+  ValidatorIndex leader(Round round) const override;
+  std::string name() const override { return "round-robin"; }
+  const ScheduleHistory* history() const override { return &history_; }
+
+ private:
+  ScheduleHistory history_;
+};
+
+/// PBFT-style fixed leader (Section 7: "the risk of having a leader that
+/// performs just slow enough ... is too great").
+class StaticLeaderPolicy final : public LeaderSchedulePolicy {
+ public:
+  explicit StaticLeaderPolicy(ValidatorIndex leader) : leader_(leader) {}
+
+  ValidatorIndex leader(Round) const override { return leader_; }
+  std::string name() const override { return "static-leader"; }
+
+ private:
+  ValidatorIndex leader_;
+};
+
+struct HammerHeadConfig {
+  ScheduleCadence cadence = ScheduleCadence::commits(10);
+  /// Stake fraction of the committee evicted from the schedule each epoch
+  /// (capped at the fault bound f). Eval: 1/3; Sui mainnet: 0.2.
+  double exclude_fraction = 1.0 / 3.0;
+};
+
+/// The paper's protocol: +1 reputation per ordered vertex that voted for the
+/// previous round's leader; every epoch the worst f swap out for the best f.
+class HammerHeadPolicy final : public LeaderSchedulePolicy {
+ public:
+  HammerHeadPolicy(const crypto::Committee& committee, std::uint64_t seed,
+                   HammerHeadConfig config = {});
+
+  ValidatorIndex leader(Round round) const override;
+  void on_vertex_ordered(const dag::Dag& dag,
+                         const dag::Certificate& v) override;
+  bool on_anchor_committed(const dag::Certificate& anchor) override;
+  bool maybe_change_schedule(Round anchor_round) override;
+  std::string name() const override { return "hammerhead"; }
+  const ScheduleHistory* history() const override { return &history_; }
+  PolicySnapshot snapshot() const override;
+  void install_snapshot(const PolicySnapshot& snap) override;
+
+  const ReputationScores& scores() const { return scores_; }
+  std::uint64_t commits_in_epoch() const { return commits_in_epoch_; }
+
+ private:
+  const crypto::Committee& committee_;
+  HammerHeadConfig config_;
+  ScheduleHistory history_;
+  ReputationScores scores_;
+  std::uint64_t commits_in_epoch_ = 0;
+};
+
+/// Shoal-like scoring on HammerHead's schedule machinery: committed leaders
+/// gain a point, skipped leaders lose one. Voting activity is ignored, which
+/// is exactly the contrast Section 7 draws ("HammerHead assigns scores based
+/// on the frequency of votes for leaders, discouraging Byzantine actors from
+/// withholding their votes").
+class ShoalLikePolicy final : public LeaderSchedulePolicy {
+ public:
+  ShoalLikePolicy(const crypto::Committee& committee, std::uint64_t seed,
+                  HammerHeadConfig config = {});
+
+  ValidatorIndex leader(Round round) const override;
+  bool on_anchor_committed(const dag::Certificate& anchor) override;
+  void on_anchor_skipped(Round round, ValidatorIndex leader) override;
+  bool maybe_change_schedule(Round anchor_round) override;
+  std::string name() const override { return "shoal-like"; }
+  const ScheduleHistory* history() const override { return &history_; }
+  PolicySnapshot snapshot() const override;
+  void install_snapshot(const PolicySnapshot& snap) override;
+
+  const ReputationScores& scores() const { return scores_; }
+
+ private:
+  const crypto::Committee& committee_;
+  HammerHeadConfig config_;
+  ScheduleHistory history_;
+  ReputationScores scores_;
+  std::uint64_t commits_in_epoch_ = 0;
+};
+
+}  // namespace hammerhead::core

@@ -1,0 +1,44 @@
+#include "hammerhead/core/reputation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace hammerhead::core {
+
+std::vector<ValidatorIndex> ReputationScores::ranked_worst_to_best() const {
+  std::vector<ValidatorIndex> order(points_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](ValidatorIndex a, ValidatorIndex b) {
+                     if (points_[a] != points_[b])
+                       return points_[a] < points_[b];
+                     return a < b;
+                   });
+  return order;
+}
+
+std::vector<ValidatorIndex> ReputationScores::ranked_best_to_worst() const {
+  std::vector<ValidatorIndex> order(points_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](ValidatorIndex a, ValidatorIndex b) {
+                     if (points_[a] != points_[b])
+                       return points_[a] > points_[b];
+                     return a < b;
+                   });
+  return order;
+}
+
+std::string ReputationScores::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (i) os << " ";
+    os << "v" << i << "=" << points_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace hammerhead::core

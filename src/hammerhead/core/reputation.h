@@ -1,0 +1,55 @@
+// Reputation scores (Section 3 of the paper).
+//
+// "Every validator starts with a reputation score of 0. Upon committing a
+// sub-dag in Bullshark we update the reputation score of each validator,
+// using some deterministic rule [...] each validator receives 1 point each
+// time they vote for a leader's proposal."
+//
+// Scores are a pure function of the committed (ordered) vertex sequence, so
+// every honest validator computes identical scores — that is what makes the
+// schedule change agreement-safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hammerhead/common/assert.h"
+#include "hammerhead/common/types.h"
+
+namespace hammerhead::core {
+
+class ReputationScores {
+ public:
+  explicit ReputationScores(std::size_t num_validators)
+      : points_(num_validators, 0) {}
+
+  void add(ValidatorIndex v, std::int64_t delta = 1) {
+    HH_ASSERT(v < points_.size());
+    points_[v] += delta;
+  }
+
+  std::int64_t score_of(ValidatorIndex v) const {
+    HH_ASSERT(v < points_.size());
+    return points_[v];
+  }
+
+  std::size_t size() const { return points_.size(); }
+  const std::vector<std::int64_t>& points() const { return points_; }
+
+  void reset() { std::fill(points_.begin(), points_.end(), 0); }
+
+  /// Validator indices sorted by (score ascending, index ascending).
+  /// "Any ties [...] are deterministically resolved."
+  std::vector<ValidatorIndex> ranked_worst_to_best() const;
+
+  /// Validator indices sorted by (score descending, index ascending).
+  std::vector<ValidatorIndex> ranked_best_to_worst() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> points_;
+};
+
+}  // namespace hammerhead::core

@@ -1,0 +1,137 @@
+#include "hammerhead/core/schedule.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <unordered_set>
+
+#include "hammerhead/common/assert.h"
+#include "hammerhead/common/rng.h"
+
+namespace hammerhead::core {
+
+BaseSchedule BaseSchedule::make(const crypto::Committee& committee,
+                                std::uint64_t seed) {
+  // Normalize stakes by their gcd so the slot list stays small, give each
+  // validator stake(u)/g consecutive slots, then apply a seeded permutation.
+  Stake g = 0;
+  for (const auto& v : committee.validators()) g = std::gcd(g, v.stake);
+  HH_ASSERT(g > 0);
+
+  std::vector<ValidatorIndex> slots;
+  for (const auto& v : committee.validators())
+    for (Stake s = 0; s < v.stake / g; ++s) slots.push_back(v.index);
+
+  Rng rng(seed ^ 0x5CEDC0FFEE5EEDULL);
+  rng.shuffle(slots);
+  return BaseSchedule(std::move(slots));
+}
+
+LeaderSwapTable LeaderSwapTable::from_scores(
+    const crypto::Committee& committee, const ReputationScores& scores,
+    double exclude_fraction) {
+  HH_ASSERT(scores.size() == committee.size());
+  HH_ASSERT_MSG(exclude_fraction >= 0.0 && exclude_fraction <= 1.0,
+                "exclude_fraction " << exclude_fraction);
+
+  // Stake budget for the bad set: the requested fraction of total stake,
+  // capped at f (liveness: we can never evict more than the fault bound).
+  const Stake requested = static_cast<Stake>(
+      static_cast<double>(committee.total_stake()) * exclude_fraction);
+  const Stake budget = std::min(requested, committee.max_faulty_stake());
+
+  LeaderSwapTable table;
+  Stake used = 0;
+  for (ValidatorIndex v : scores.ranked_worst_to_best()) {
+    const Stake s = committee.stake_of(v);
+    if (used + s > budget) break;
+    used += s;
+    table.bad_.push_back(v);
+  }
+  std::sort(table.bad_.begin(), table.bad_.end());
+
+  // G: the |B| best scorers that are not in B ("equal size to B").
+  std::unordered_set<ValidatorIndex> bad_set(table.bad_.begin(),
+                                             table.bad_.end());
+  for (ValidatorIndex v : scores.ranked_best_to_worst()) {
+    if (table.good_.size() == table.bad_.size()) break;
+    if (bad_set.count(v)) continue;
+    table.good_.push_back(v);
+  }
+  HH_ASSERT(table.good_.size() == table.bad_.size());
+  return table;
+}
+
+LeaderSwapTable LeaderSwapTable::from_sets(std::vector<ValidatorIndex> bad,
+                                           std::vector<ValidatorIndex> good) {
+  HH_ASSERT(std::is_sorted(bad.begin(), bad.end()));
+  HH_ASSERT(bad.size() == good.size());
+  LeaderSwapTable table;
+  table.bad_ = std::move(bad);
+  table.good_ = std::move(good);
+  return table;
+}
+
+ValidatorIndex LeaderSwapTable::apply(ValidatorIndex base_leader,
+                                      Round round) const {
+  if (bad_.empty()) return base_leader;
+  if (!std::binary_search(bad_.begin(), bad_.end(), base_leader))
+    return base_leader;
+  // Round-robin replacement of the evicted slot among the good set,
+  // deterministic in the round number.
+  return good_[anchor_slot(round) % good_.size()];
+}
+
+std::string LeaderSwapTable::to_string() const {
+  std::ostringstream os;
+  os << "bad={";
+  for (std::size_t i = 0; i < bad_.size(); ++i)
+    os << (i ? "," : "") << "v" << bad_[i];
+  os << "} good={";
+  for (std::size_t i = 0; i < good_.size(); ++i)
+    os << (i ? "," : "") << "v" << good_[i];
+  os << "}";
+  return os.str();
+}
+
+ScheduleHistory::ScheduleHistory(BaseSchedule base) : base_(std::move(base)) {
+  epochs_.push_back(ScheduleEpoch{0, 0, LeaderSwapTable{}});
+}
+
+ValidatorIndex ScheduleHistory::leader(Round round) const {
+  const ScheduleEpoch& epoch = epoch_for(round);
+  return epoch.table.apply(base_.slot(anchor_slot(round)), round);
+}
+
+const ScheduleEpoch& ScheduleHistory::epoch_for(Round round) const {
+  // Epochs are few (runs see tens of them); linear scan from the back.
+  for (auto it = epochs_.rbegin(); it != epochs_.rend(); ++it)
+    if (it->initial_round <= round) return *it;
+  return epochs_.front();
+}
+
+void ScheduleHistory::install_epochs(
+    std::vector<std::pair<Round, LeaderSwapTable>> epochs) {
+  HH_ASSERT_MSG(!epochs.empty(), "cannot install an empty epoch sequence");
+  std::vector<ScheduleEpoch> installed;
+  installed.reserve(epochs.size());
+  Round prev = 0;
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    HH_ASSERT_MSG(epochs[i].first >= prev, "epoch rounds must ascend");
+    prev = epochs[i].first;
+    installed.push_back(
+        ScheduleEpoch{epochs[i].first, i, std::move(epochs[i].second)});
+  }
+  epochs_ = std::move(installed);
+}
+
+void ScheduleHistory::push_epoch(Round initial_round, LeaderSwapTable table) {
+  HH_ASSERT_MSG(initial_round >= epochs_.back().initial_round,
+                "epoch start " << initial_round << " before current "
+                               << epochs_.back().initial_round);
+  epochs_.push_back(
+      ScheduleEpoch{initial_round, epochs_.back().epoch_index + 1,
+                    std::move(table)});
+}
+
+}  // namespace hammerhead::core

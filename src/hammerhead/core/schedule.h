@@ -1,0 +1,120 @@
+// Leader schedules: stake-weighted base round-robin, the bad->good swap table
+// derived from reputation scores, and the epoch history that resolves which
+// schedule is active for any given round.
+//
+// Paper, Section 3: the initial schedule S0 is "a fair round-robin unbiased of
+// the results of the previous epoch [...] each validator u being the leader of
+// TR * stake(u) / total_stake rounds in order and then randomly permute them".
+// A schedule change replaces the f lowest-reputation validators' slots with
+// the f highest-reputation validators (|G| = |B|), round-robin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hammerhead/common/types.h"
+#include "hammerhead/core/reputation.h"
+#include "hammerhead/crypto/committee.h"
+
+namespace hammerhead::core {
+
+/// Anchors live at even rounds; the slot index of round r is r / 2 so that
+/// consecutive anchors walk through the schedule.
+constexpr std::uint64_t anchor_slot(Round round) { return round / 2; }
+
+/// The stake-weighted, seed-permuted round-robin of leader slots shared by
+/// all schedules of a run.
+class BaseSchedule {
+ public:
+  static BaseSchedule make(const crypto::Committee& committee,
+                           std::uint64_t seed);
+
+  /// Base leader for slot `i` (wraps around).
+  ValidatorIndex slot(std::uint64_t i) const {
+    return slots_[i % slots_.size()];
+  }
+
+  std::size_t num_slots() const { return slots_.size(); }
+  const std::vector<ValidatorIndex>& slots() const { return slots_; }
+
+ private:
+  explicit BaseSchedule(std::vector<ValidatorIndex> slots)
+      : slots_(std::move(slots)) {}
+  std::vector<ValidatorIndex> slots_;
+};
+
+/// bad -> good replacement derived from one epoch's reputation scores.
+class LeaderSwapTable {
+ public:
+  /// No swaps (schedule S0).
+  LeaderSwapTable() = default;
+
+  /// Select B = lowest scorers whose cumulative stake stays within
+  /// min(exclude_fraction * total_stake, max_faulty_stake), and G = the
+  /// |B| best scorers among the rest. Ties resolve deterministically by
+  /// validator index.
+  static LeaderSwapTable from_scores(const crypto::Committee& committee,
+                                     const ReputationScores& scores,
+                                     double exclude_fraction);
+
+  /// Reconstruct from explicit sets (state-sync installation). `bad` must be
+  /// sorted; |good| == |bad|.
+  static LeaderSwapTable from_sets(std::vector<ValidatorIndex> bad,
+                                   std::vector<ValidatorIndex> good);
+
+  /// Resolve the effective leader for `round` given the base-schedule choice.
+  ValidatorIndex apply(ValidatorIndex base_leader, Round round) const;
+
+  bool is_identity() const { return bad_.empty(); }
+  const std::vector<ValidatorIndex>& bad() const { return bad_; }
+  const std::vector<ValidatorIndex>& good() const { return good_; }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<ValidatorIndex> bad_;   // sorted
+  std::vector<ValidatorIndex> good_;  // ranked best first
+};
+
+/// One schedule epoch: the swap table active from `initial_round` (inclusive)
+/// until the next epoch's initial round.
+struct ScheduleEpoch {
+  Round initial_round = 0;
+  std::uint64_t epoch_index = 0;
+  LeaderSwapTable table;
+};
+
+/// The full sequence of schedules a validator has advanced through. Leaders
+/// are resolved against the epoch covering the queried round, which is what
+/// lets a validator retroactively re-interpret rounds it processed late
+/// (Section 3.1: "they need to retroactively apply the new schedule").
+class ScheduleHistory {
+ public:
+  ScheduleHistory(BaseSchedule base);
+
+  /// Effective leader of `round` under the epoch covering that round. Rounds
+  /// beyond the last epoch's start use the latest schedule.
+  ValidatorIndex leader(Round round) const;
+
+  /// Begin a new epoch at `initial_round` (must be >= the current epoch's
+  /// initial round).
+  void push_epoch(Round initial_round, LeaderSwapTable table);
+
+  /// Replace the whole epoch sequence (state-sync installation). The list
+  /// must be non-empty and ascending in initial_round; epoch indices are
+  /// renumbered 0..k.
+  void install_epochs(std::vector<std::pair<Round, LeaderSwapTable>> epochs);
+
+  const ScheduleEpoch& current() const { return epochs_.back(); }
+  const ScheduleEpoch& epoch_for(Round round) const;
+  std::size_t num_epochs() const { return epochs_.size(); }
+  const std::vector<ScheduleEpoch>& epochs() const { return epochs_; }
+  const BaseSchedule& base() const { return base_; }
+
+ private:
+  BaseSchedule base_;
+  std::vector<ScheduleEpoch> epochs_;  // ascending initial_round
+};
+
+}  // namespace hammerhead::core

@@ -1,0 +1,44 @@
+#include "hammerhead/crypto/committee.h"
+
+#include <numeric>
+
+namespace hammerhead::crypto {
+
+Committee::Committee(std::vector<ValidatorInfo> validators)
+    : validators_(std::move(validators)) {
+  HH_ASSERT_MSG(validators_.size() >= 4,
+                "BFT committee needs at least 4 validators, got "
+                    << validators_.size());
+  for (std::size_t i = 0; i < validators_.size(); ++i) {
+    HH_ASSERT(validators_[i].index == i);
+    HH_ASSERT_MSG(validators_[i].stake > 0, "validator " << i << " has zero stake");
+    total_stake_ += validators_[i].stake;
+  }
+}
+
+Committee Committee::make_equal_stake(std::size_t n, std::uint64_t seed) {
+  return make_with_stakes(std::vector<Stake>(n, 1), seed);
+}
+
+Committee Committee::make_with_stakes(const std::vector<Stake>& stakes,
+                                      std::uint64_t seed) {
+  std::vector<ValidatorInfo> infos;
+  infos.reserve(stakes.size());
+  for (std::size_t i = 0; i < stakes.size(); ++i) {
+    ValidatorInfo info;
+    info.index = static_cast<ValidatorIndex>(i);
+    info.stake = stakes[i];
+    info.key = Keypair::derive(seed, info.index).public_key();
+    info.name = "v" + std::to_string(i);
+    infos.push_back(std::move(info));
+  }
+  return Committee(std::move(infos));
+}
+
+Stake Committee::stake_of_set(const std::vector<ValidatorIndex>& set) const {
+  Stake sum = 0;
+  for (ValidatorIndex i : set) sum += stake_of(i);
+  return sum;
+}
+
+}  // namespace hammerhead::crypto

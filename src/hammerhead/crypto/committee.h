@@ -1,0 +1,71 @@
+// Committee: the validator set of an epoch with stakes, keys and thresholds.
+//
+// Quorum arithmetic follows the BFT convention for n = 3f + 1 by stake:
+//   quorum_threshold  = 2f + 1  (certificate formation, DAG parent count)
+//   validity_threshold = f + 1  (anchor direct-commit support)
+// With weighted stake these become strict-majority style bounds computed from
+// total stake, mirroring Sui's Committee.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hammerhead/common/assert.h"
+#include "hammerhead/common/types.h"
+#include "hammerhead/crypto/keys.h"
+
+namespace hammerhead::crypto {
+
+struct ValidatorInfo {
+  ValidatorIndex index = 0;
+  Stake stake = 1;
+  PublicKey key;
+  std::string name;  ///< human-readable label for logs/metrics
+};
+
+class Committee {
+ public:
+  /// Equal-stake committee of `n` validators with keys derived from `seed`.
+  static Committee make_equal_stake(std::size_t n, std::uint64_t seed);
+
+  /// Arbitrary stake distribution (stakes[i] is validator i's stake).
+  static Committee make_with_stakes(const std::vector<Stake>& stakes,
+                                    std::uint64_t seed);
+
+  std::size_t size() const { return validators_.size(); }
+  Stake total_stake() const { return total_stake_; }
+
+  /// Maximum tolerated faulty stake: the largest f with total > 3f.
+  Stake max_faulty_stake() const { return (total_stake_ - 1) / 3; }
+
+  /// 2f+1 equivalent by stake (minimum stake of any quorum).
+  Stake quorum_threshold() const { return total_stake_ - max_faulty_stake(); }
+
+  /// f+1 equivalent by stake (any set this big contains an honest party).
+  Stake validity_threshold() const { return max_faulty_stake() + 1; }
+
+  const ValidatorInfo& validator(ValidatorIndex i) const {
+    HH_ASSERT_MSG(i < validators_.size(), "validator index " << i);
+    return validators_[i];
+  }
+
+  Stake stake_of(ValidatorIndex i) const { return validator(i).stake; }
+
+  const std::vector<ValidatorInfo>& validators() const { return validators_; }
+
+  /// Sum of stakes of the given validator indices.
+  Stake stake_of_set(const std::vector<ValidatorIndex>& set) const;
+
+  /// For convenience: max number of *equal-stake* faulty nodes, i.e. f for
+  /// n = 3f+1-style committees. Only meaningful with equal stakes.
+  std::size_t max_faulty_count() const { return (size() - 1) / 3; }
+
+ private:
+  explicit Committee(std::vector<ValidatorInfo> validators);
+
+  std::vector<ValidatorInfo> validators_;
+  Stake total_stake_ = 0;
+};
+
+}  // namespace hammerhead::crypto

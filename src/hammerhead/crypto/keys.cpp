@@ -1,0 +1,47 @@
+#include "hammerhead/crypto/keys.h"
+
+#include "hammerhead/common/hex.h"
+#include "hammerhead/common/serde.h"
+#include "hammerhead/crypto/sha256.h"
+
+namespace hammerhead::crypto {
+
+namespace {
+Signature compute_sig(const PublicKey& key, const std::string& context,
+                      const Digest& message) {
+  ByteWriter w;
+  w.bytes(key.bytes);
+  w.str(context);
+  w.bytes(message.bytes());
+  const Digest d = Sha256::hash(w.data());
+  Signature s;
+  s.bytes = d.bytes();
+  return s;
+}
+}  // namespace
+
+std::string PublicKey::brief() const {
+  return to_hex({bytes.data(), 4});
+}
+
+Keypair Keypair::derive(std::uint64_t seed, ValidatorIndex index) {
+  ByteWriter w;
+  w.str("hammerhead-keygen");
+  w.u64(seed);
+  w.u32(index);
+  Keypair kp;
+  kp.public_key_.bytes = Sha256::hash(w.data()).bytes();
+  return kp;
+}
+
+Signature Keypair::sign(const std::string& context,
+                        const Digest& message) const {
+  return compute_sig(public_key_, context, message);
+}
+
+bool verify(const PublicKey& signer, const std::string& context,
+            const Digest& message, const Signature& sig) {
+  return compute_sig(signer, context, message) == sig;
+}
+
+}  // namespace hammerhead::crypto

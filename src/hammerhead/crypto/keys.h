@@ -1,0 +1,62 @@
+// Simulated signature scheme.
+//
+// SUBSTITUTION (documented in DESIGN.md): the paper's implementation signs
+// headers/votes with Ed25519 via fastcrypto. Inside a deterministic simulation
+// the adversary never forges signatures, so cryptographic unforgeability buys
+// nothing; what the protocol relies on is (a) binding a message to an author,
+// (b) verifiability by everyone, and (c) a realistic CPU cost. We therefore
+// use sig = SHA256(public_key ‖ context ‖ message): anyone holding the public
+// key can recompute and check it. This is obviously NOT secure against a real
+// attacker (the public key is the signing key) — it is a simulation stand-in
+// with the same interface shape as Ed25519.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "hammerhead/common/digest.h"
+#include "hammerhead/common/types.h"
+
+namespace hammerhead::crypto {
+
+struct PublicKey {
+  std::array<std::uint8_t, 32> bytes{};
+
+  friend auto operator<=>(const PublicKey&, const PublicKey&) = default;
+  std::string brief() const;
+};
+
+struct Signature {
+  std::array<std::uint8_t, 32> bytes{};
+
+  friend auto operator<=>(const Signature&, const Signature&) = default;
+  bool is_zero() const {
+    for (auto b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+};
+
+class Keypair {
+ public:
+  /// Deterministically derive the keypair of validator `index` for a run
+  /// seeded with `seed`.
+  static Keypair derive(std::uint64_t seed, ValidatorIndex index);
+
+  const PublicKey& public_key() const { return public_key_; }
+
+  /// Sign a digest under a domain-separation context string.
+  Signature sign(const std::string& context, const Digest& message) const;
+
+ private:
+  Keypair() = default;
+  PublicKey public_key_;
+};
+
+/// Verify `sig` over (context, message) under `signer`.
+bool verify(const PublicKey& signer, const std::string& context,
+            const Digest& message, const Signature& sig);
+
+}  // namespace hammerhead::crypto

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// The paper's implementation uses fastcrypto for hashing and signatures; we
+// need a real, deterministic digest function for vertex identities and for
+// the simulated signature scheme (see keys.h). Streaming interface so large
+// payloads can be hashed incrementally.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "hammerhead/common/digest.h"
+
+namespace hammerhead::crypto {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Feed more input.
+  void update(std::span<const std::uint8_t> data);
+  void update(const std::string& s);
+
+  /// Finish and return the digest. The object must not be reused afterwards
+  /// (call reset() to start a new hash).
+  Digest finalize();
+
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(const std::string& s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace hammerhead::crypto

@@ -1,0 +1,166 @@
+#include "hammerhead/dag/dag.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "hammerhead/common/assert.h"
+
+namespace hammerhead::dag {
+
+Dag::Dag(const crypto::Committee& committee) : committee_(committee) {}
+
+bool Dag::parents_present(const Certificate& cert) const {
+  if (cert.round() == 0) return true;
+  if (cert.round() <= gc_floor_) return true;  // history pruned; accept
+  for (const auto& p : cert.parents())
+    if (by_digest_.count(p) == 0) return false;
+  return true;
+}
+
+std::vector<Digest> Dag::missing_parents(const Certificate& cert) const {
+  std::vector<Digest> missing;
+  if (cert.round() == 0 || cert.round() <= gc_floor_) return missing;
+  for (const auto& p : cert.parents())
+    if (by_digest_.count(p) == 0) missing.push_back(p);
+  return missing;
+}
+
+bool Dag::insert(CertPtr cert) {
+  HH_ASSERT(cert != nullptr);
+  if (cert->round() < gc_floor_) return false;  // below pruned history
+  if (by_digest_.count(cert->digest()) > 0) return false;
+  auto& round_map = rounds_[cert->round()];
+  if (round_map.count(cert->author()) > 0) return false;  // duplicate slot
+  HH_ASSERT_MSG(parents_present(*cert),
+                "insert of causally incomplete vertex r" << cert->round()
+                                                         << " by "
+                                                         << cert->author());
+  by_digest_.emplace(cert->digest(), cert);
+  round_map.emplace(cert->author(), cert);
+  if (!max_round_ || cert->round() > *max_round_) max_round_ = cert->round();
+  return true;
+}
+
+bool Dag::contains(const Digest& digest) const {
+  return by_digest_.count(digest) > 0;
+}
+
+bool Dag::contains(Round round, ValidatorIndex author) const {
+  auto it = rounds_.find(round);
+  return it != rounds_.end() && it->second.count(author) > 0;
+}
+
+CertPtr Dag::get(const Digest& digest) const {
+  auto it = by_digest_.find(digest);
+  return it == by_digest_.end() ? nullptr : it->second;
+}
+
+CertPtr Dag::get(Round round, ValidatorIndex author) const {
+  auto it = rounds_.find(round);
+  if (it == rounds_.end()) return nullptr;
+  auto jt = it->second.find(author);
+  return jt == it->second.end() ? nullptr : jt->second;
+}
+
+std::vector<CertPtr> Dag::round_certs(Round round) const {
+  std::vector<CertPtr> out;
+  auto it = rounds_.find(round);
+  if (it == rounds_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [author, cert] : it->second) out.push_back(cert);
+  return out;
+}
+
+std::size_t Dag::round_size(Round round) const {
+  auto it = rounds_.find(round);
+  return it == rounds_.end() ? 0 : it->second.size();
+}
+
+Stake Dag::round_stake(Round round) const {
+  auto it = rounds_.find(round);
+  if (it == rounds_.end()) return 0;
+  Stake sum = 0;
+  for (const auto& [author, cert] : it->second)
+    sum += committee_.stake_of(author);
+  return sum;
+}
+
+std::optional<Round> Dag::max_round() const { return max_round_; }
+
+Stake Dag::direct_support(const Certificate& anchor) const {
+  auto it = rounds_.find(anchor.round() + 1);
+  if (it == rounds_.end()) return 0;
+  Stake support = 0;
+  for (const auto& [author, cert] : it->second)
+    if (cert->has_parent(anchor.digest()))
+      support += committee_.stake_of(author);
+  return support;
+}
+
+bool Dag::has_path(const Certificate& from, const Certificate& to) const {
+  if (from.digest() == to.digest()) return true;
+  if (from.round() <= to.round()) return false;
+  HH_ASSERT_MSG(to.round() >= gc_floor_,
+                "path query below gc floor: " << to.round());
+
+  // BFS following parent edges, pruned at to.round().
+  std::unordered_set<Digest> visited;
+  std::deque<const Certificate*> frontier;
+  frontier.push_back(&from);
+  visited.insert(from.digest());
+  while (!frontier.empty()) {
+    const Certificate* cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& parent_digest : cur->parents()) {
+      if (parent_digest == to.digest()) return true;
+      if (!visited.insert(parent_digest).second) continue;
+      auto it = by_digest_.find(parent_digest);
+      if (it == by_digest_.end()) continue;  // pruned
+      const Certificate& parent = *it->second;
+      if (parent.round() > to.round()) frontier.push_back(it->second.get());
+    }
+  }
+  return false;
+}
+
+std::vector<CertPtr> Dag::causal_history(
+    const Certificate& root,
+    const std::function<bool(const Certificate&)>& keep) const {
+  std::vector<CertPtr> out;
+  if (!keep(root)) return out;
+  CertPtr root_ptr = get(root.digest());
+  HH_ASSERT(root_ptr != nullptr);
+
+  std::unordered_set<Digest> visited;
+  std::deque<CertPtr> frontier;
+  frontier.push_back(root_ptr);
+  visited.insert(root.digest());
+  while (!frontier.empty()) {
+    CertPtr cur = frontier.front();
+    frontier.pop_front();
+    out.push_back(cur);
+    for (const auto& parent_digest : cur->parents()) {
+      if (!visited.insert(parent_digest).second) continue;
+      auto it = by_digest_.find(parent_digest);
+      if (it == by_digest_.end()) continue;  // pruned below gc floor
+      if (!keep(*it->second)) continue;
+      frontier.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+void Dag::prune_below(Round floor) {
+  if (floor <= gc_floor_) return;
+  for (Round r = gc_floor_; r < floor; ++r) {
+    auto it = rounds_.find(r);
+    if (it == rounds_.end()) continue;
+    for (const auto& [author, cert] : it->second)
+      by_digest_.erase(cert->digest());
+    rounds_.erase(it);
+  }
+  gc_floor_ = floor;
+}
+
+}  // namespace hammerhead::dag

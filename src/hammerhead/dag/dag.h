@@ -1,0 +1,91 @@
+// The local DAG of one validator: certificate storage plus the structural
+// queries Bullshark/HammerHead need (path existence, causal history, anchor
+// support). Algorithm 1 in the paper.
+//
+// Causal completeness is an invariant: insert() rejects a certificate whose
+// parents are not all present (Claim 1 — "when an honest party adds a vertex,
+// the entire causal history is already in its DAG"). Buffering of early
+// arrivals is the synchronizer's job (node layer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hammerhead/crypto/committee.h"
+#include "hammerhead/dag/types.h"
+
+namespace hammerhead::dag {
+
+class Dag {
+ public:
+  explicit Dag(const crypto::Committee& committee);
+
+  /// Insert a certificate. Returns false if a certificate with the same
+  /// (author, round) or digest is already present (duplicate, not an error).
+  /// Throws InvariantViolation if parents are missing (round > gc floor) —
+  /// callers must only insert causally complete vertices.
+  bool insert(CertPtr cert);
+
+  /// True iff every parent of `cert` is present (always true at the gc
+  /// floor or below, where history has been pruned).
+  bool parents_present(const Certificate& cert) const;
+
+  /// Digests from `cert.parents()` that are not in the DAG.
+  std::vector<Digest> missing_parents(const Certificate& cert) const;
+
+  bool contains(const Digest& digest) const;
+  bool contains(Round round, ValidatorIndex author) const;
+
+  CertPtr get(const Digest& digest) const;
+  CertPtr get(Round round, ValidatorIndex author) const;
+
+  /// All certificates of a round (unspecified order; empty if none).
+  std::vector<CertPtr> round_certs(Round round) const;
+
+  /// Number of certificates in a round.
+  std::size_t round_size(Round round) const;
+
+  /// Total stake of the authors with a certificate in `round`.
+  Stake round_stake(Round round) const;
+
+  /// Highest round with at least one certificate; nullopt if empty.
+  std::optional<Round> max_round() const;
+
+  /// Total stake of round `anchor.round()+1` certificates that reference the
+  /// anchor as a parent ("votes" in Bullshark's commit rule).
+  Stake direct_support(const Certificate& anchor) const;
+
+  /// True iff a (directed, parent-following) path exists from `from` down to
+  /// `to`. Requires from.round() >= to.round(); equal rounds only when same
+  /// vertex.
+  bool has_path(const Certificate& from, const Certificate& to) const;
+
+  /// Collect the causal history of `root` (including `root`) restricted to
+  /// vertices for which `keep` returns true; `keep` typically filters out
+  /// already-ordered vertices. Traversal stops at vertices where keep=false
+  /// (their history was already delivered) and at the gc floor.
+  std::vector<CertPtr> causal_history(
+      const Certificate& root,
+      const std::function<bool(const Certificate&)>& keep) const;
+
+  /// Prune all rounds strictly below `floor`. Path queries must not be asked
+  /// to descend below the floor afterwards.
+  void prune_below(Round floor);
+  Round gc_floor() const { return gc_floor_; }
+
+  std::size_t total_certs() const { return by_digest_.size(); }
+
+ private:
+  const crypto::Committee& committee_;
+  // round -> author -> cert
+  std::unordered_map<Round, std::unordered_map<ValidatorIndex, CertPtr>>
+      rounds_;
+  std::unordered_map<Digest, CertPtr> by_digest_;
+  Round gc_floor_ = 0;
+  std::optional<Round> max_round_;
+};
+
+}  // namespace hammerhead::dag

@@ -1,0 +1,97 @@
+#include "hammerhead/dag/types.h"
+
+#include <algorithm>
+
+#include "hammerhead/common/assert.h"
+#include "hammerhead/common/serde.h"
+#include "hammerhead/crypto/sha256.h"
+
+namespace hammerhead::dag {
+
+Digest Header::compute_digest() const {
+  ByteWriter w;
+  w.str("header");
+  w.u32(author);
+  w.u64(round);
+  w.u64(parents.size());
+  for (const auto& p : parents) w.bytes(p.bytes());
+  // The payload is committed by its transaction ids; enough for an injective
+  // encoding in the simulation.
+  if (payload) {
+    w.u64(payload->txs.size());
+    for (const auto& tx : payload->txs) w.u64(tx.id);
+  } else {
+    w.u64(0);
+  }
+  return crypto::Sha256::hash(w.data());
+}
+
+void Header::finalize(const crypto::Keypair& author_key) {
+  digest = compute_digest();
+  signature = author_key.sign(kHeaderSigContext, digest);
+}
+
+bool Header::verify_content(const crypto::Committee& committee) const {
+  if (verify_state_ != 0) return verify_state_ == 1;
+  const bool ok =
+      author < committee.size() && compute_digest() == digest &&
+      crypto::verify(committee.validator(author).key, kHeaderSigContext,
+                     digest, signature);
+  verify_state_ = ok ? 1 : 2;
+  return ok;
+}
+
+Vote Vote::make(const Header& header, ValidatorIndex voter,
+                const crypto::Keypair& voter_key) {
+  Vote v;
+  v.header_digest = header.digest;
+  v.round = header.round;
+  v.header_author = header.author;
+  v.voter = voter;
+  v.signature = voter_key.sign(kVoteSigContext, header.digest);
+  return v;
+}
+
+bool Vote::verify(const crypto::Committee& committee) const {
+  if (voter >= committee.size()) return false;
+  return crypto::verify(committee.validator(voter).key, kVoteSigContext,
+                        header_digest, signature);
+}
+
+Stake Certificate::signer_stake(const crypto::Committee& committee) const {
+  Stake sum = 0;
+  for (ValidatorIndex v : signers) sum += committee.stake_of(v);
+  return sum;
+}
+
+bool Certificate::verify(const crypto::Committee& committee) const {
+  if (verify_state_ != 0) return verify_state_ == 1;
+  const bool ok = [&] {
+    if (!header) return false;
+    if (!header->verify_content(committee)) return false;
+    // Signers must be sorted, unique, and reach quorum by stake.
+    if (!std::is_sorted(signers.begin(), signers.end())) return false;
+    if (std::adjacent_find(signers.begin(), signers.end()) != signers.end())
+      return false;
+    for (ValidatorIndex v : signers)
+      if (v >= committee.size()) return false;
+    return signer_stake(committee) >= committee.quorum_threshold();
+  }();
+  verify_state_ = ok ? 1 : 2;
+  return ok;
+}
+
+CertPtr Certificate::make(HeaderPtr header,
+                          std::vector<ValidatorIndex> signers) {
+  HH_ASSERT(header != nullptr);
+  auto cert = std::make_shared<Certificate>();
+  std::sort(signers.begin(), signers.end());
+  signers.erase(std::unique(signers.begin(), signers.end()), signers.end());
+  cert->header = std::move(header);
+  cert->signers = std::move(signers);
+  cert->parent_set_.reserve(cert->header->parents.size());
+  for (const auto& p : cert->header->parents) cert->parent_set_.insert(p);
+  return cert;
+}
+
+}  // namespace hammerhead::dag

@@ -1,0 +1,135 @@
+// DAG vertex types: transactions, headers, votes, certificates.
+//
+// This mirrors Narwhal's data model (the substrate Bullshark and HammerHead
+// run on): each validator proposes one *header* per round referencing >= 2f+1
+// certificates of the previous round; validators countersign at most one
+// header per (author, round); 2f+1 votes form a *certificate*, the DAG vertex.
+// Certificates are transferable proof of reliable broadcast: at most one can
+// exist per (author, round), so the DAG is equivocation-free by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "hammerhead/common/digest.h"
+#include "hammerhead/common/types.h"
+#include "hammerhead/crypto/committee.h"
+#include "hammerhead/crypto/keys.h"
+
+namespace hammerhead::dag {
+
+/// A client transaction. The paper's workload is "simple increments of a
+/// shared counter"; what matters for the benchmarks is the submission time
+/// (for latency) and identity (for counting distinct committed transactions).
+struct Transaction {
+  TxId id = 0;
+  ValidatorIndex submitted_to = 0;
+  SimTime submit_time = 0;
+
+  /// Wire size of one transaction in bytes (shared-counter increment tx,
+  /// including signature and envelope — matches the order of magnitude of the
+  /// paper's benchmark transactions).
+  static constexpr std::size_t kWireSize = 512;
+};
+
+struct BlockPayload {
+  std::vector<Transaction> txs;
+  std::size_t wire_size() const { return txs.size() * Transaction::kWireSize; }
+};
+
+using PayloadPtr = std::shared_ptr<const BlockPayload>;
+
+struct Header {
+  ValidatorIndex author = 0;
+  Round round = 0;
+  /// Digests of parent certificates at `round - 1`. Empty only for round 0.
+  std::vector<Digest> parents;
+  PayloadPtr payload;
+  SimTime created_at = 0;
+
+  // Filled by finalize():
+  Digest digest;
+  crypto::Signature signature;
+
+  /// Compute the content digest and author signature. Must be called once,
+  /// after all other fields are set.
+  void finalize(const crypto::Keypair& author_key);
+
+  /// Recompute the digest from content (verification side).
+  Digest compute_digest() const;
+
+  /// Digest + author-signature check, memoized per object: headers are
+  /// immutable and shared by pointer inside the simulation, so checking the
+  /// same object on every delivery would only burn host CPU. The simulated
+  /// CPU cost of verification is charged by the node's cost model regardless.
+  bool verify_content(const crypto::Committee& committee) const;
+
+  std::size_t wire_size() const {
+    return 128 + parents.size() * Digest::kSize +
+           (payload ? payload->wire_size() : 0);
+  }
+
+ private:
+  mutable std::uint8_t verify_state_ = 0;  // 0 unknown, 1 ok, 2 bad
+};
+
+using HeaderPtr = std::shared_ptr<const Header>;
+
+/// A validator's signature over somebody's header.
+struct Vote {
+  Digest header_digest;
+  Round round = 0;
+  ValidatorIndex header_author = 0;
+  ValidatorIndex voter = 0;
+  crypto::Signature signature;
+
+  static Vote make(const Header& header, ValidatorIndex voter,
+                   const crypto::Keypair& voter_key);
+  bool verify(const crypto::Committee& committee) const;
+};
+
+/// The DAG vertex: a header plus a quorum of votes. In the simulation the
+/// certificate carries the full header (and payload) by shared pointer.
+struct Certificate {
+  HeaderPtr header;
+  /// Sorted, deduplicated voter indices whose combined stake reaches the
+  /// quorum threshold (includes the author's own signature).
+  std::vector<ValidatorIndex> signers;
+
+  ValidatorIndex author() const { return header->author; }
+  Round round() const { return header->round; }
+  /// A certificate is uniquely identified by its header digest (at most one
+  /// certificate can form per (author, round) thanks to vote uniqueness).
+  const Digest& digest() const { return header->digest; }
+  const std::vector<Digest>& parents() const { return header->parents; }
+
+  bool has_parent(const Digest& d) const { return parent_set_.count(d) > 0; }
+
+  /// Total stake of the signers.
+  Stake signer_stake(const crypto::Committee& committee) const;
+
+  /// Structural validity: quorum of distinct valid signers over this header.
+  bool verify(const crypto::Committee& committee) const;
+
+  std::size_t wire_size() const {
+    return header->wire_size() + signers.size() * 40;
+  }
+
+  static std::shared_ptr<const Certificate> make(
+      HeaderPtr header, std::vector<ValidatorIndex> signers);
+
+ private:
+  std::unordered_set<Digest> parent_set_;  // for O(1) support checks
+  mutable std::uint8_t verify_state_ = 0;  // memoized verify(); see Header
+};
+
+using CertPtr = std::shared_ptr<const Certificate>;
+
+/// Domain-separation contexts for signatures.
+inline constexpr const char* kHeaderSigContext = "narwhal-header";
+inline constexpr const char* kVoteSigContext = "narwhal-vote";
+
+}  // namespace hammerhead::dag

@@ -1,0 +1,74 @@
+#include "hammerhead/exec/state_machine.h"
+
+#include "hammerhead/common/assert.h"
+#include "hammerhead/common/serde.h"
+#include "hammerhead/crypto/sha256.h"
+
+namespace hammerhead::exec {
+
+namespace {
+Digest chain_digest(const Digest& prev, TxId id) {
+  ByteWriter w;
+  w.bytes(prev.bytes());
+  w.u64(id);
+  return crypto::Sha256::hash(w.data());
+}
+}  // namespace
+
+void SharedCounter::apply(const dag::Transaction& tx) {
+  ++count_;
+  running_ = chain_digest(running_, tx.id);
+}
+
+Digest SharedCounter::state_digest() const {
+  ByteWriter w;
+  w.str("shared-counter");
+  w.u64(count_);
+  w.bytes(running_.bytes());
+  return crypto::Sha256::hash(w.data());
+}
+
+void KvStateMachine::apply(const dag::Transaction& tx) {
+  Cell& cell = cells_[tx.id % cells_.size()];
+  ++cell.count;
+  cell.chain = chain_digest(cell.chain, tx.id);
+  ++count_;
+}
+
+Digest KvStateMachine::state_digest() const {
+  ByteWriter w;
+  w.str("kv-state");
+  for (const Cell& cell : cells_) {
+    w.u64(cell.count);
+    w.bytes(cell.chain.bytes());
+  }
+  return crypto::Sha256::hash(w.data());
+}
+
+void ExecutionEngine::on_subdag_committed(
+    const consensus::CommittedSubDag& subdag) {
+  HH_ASSERT_MSG(subdag.commit_index == last_commit_index_ + 1,
+                "commit index gap: expected " << last_commit_index_ + 1
+                                              << " got "
+                                              << subdag.commit_index);
+  for (const auto& vertex : subdag.vertices) {
+    if (!vertex->header->payload) continue;
+    for (const auto& tx : vertex->header->payload->txs) machine_->apply(tx);
+  }
+  last_commit_index_ = subdag.commit_index;
+  if (checkpoint_interval_ > 0 &&
+      last_commit_index_ % checkpoint_interval_ == 0) {
+    checkpoints_.emplace(last_commit_index_, machine_->state_digest());
+  }
+}
+
+bool ExecutionEngine::checkpoints_consistent(const ExecutionEngine& a,
+                                             const ExecutionEngine& b) {
+  for (const auto& [index, digest] : a.checkpoints_) {
+    auto it = b.checkpoints_.find(index);
+    if (it != b.checkpoints_.end() && it->second != digest) return false;
+  }
+  return true;
+}
+
+}  // namespace hammerhead::exec

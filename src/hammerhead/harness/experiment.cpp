@@ -1,0 +1,287 @@
+#include "hammerhead/harness/experiment.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <unordered_set>
+
+#include "hammerhead/common/logging.h"
+#include "hammerhead/sim/simulator.h"
+#include "hammerhead/storage/store.h"
+
+namespace hammerhead::harness {
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::RoundRobin: return "bullshark-rr";
+    case PolicyKind::HammerHead: return "hammerhead";
+    case PolicyKind::StaticLeader: return "static-leader";
+    case PolicyKind::ShoalLike: return "shoal-like";
+  }
+  return "?";
+}
+
+namespace {
+
+node::Validator::PolicyFactory make_policy_factory(
+    const ExperimentConfig& config) {
+  if (config.custom_policy) return config.custom_policy;
+  const std::uint64_t seed = config.seed;
+  switch (config.policy) {
+    case PolicyKind::RoundRobin:
+      return [seed](const crypto::Committee& c) {
+        return std::make_unique<core::RoundRobinPolicy>(c, seed);
+      };
+    case PolicyKind::HammerHead: {
+      const core::HammerHeadConfig hh = config.hh;
+      return [seed, hh](const crypto::Committee& c) {
+        return std::make_unique<core::HammerHeadPolicy>(c, seed, hh);
+      };
+    }
+    case PolicyKind::StaticLeader: {
+      const ValidatorIndex leader = config.static_leader;
+      return [leader](const crypto::Committee&) {
+        return std::make_unique<core::StaticLeaderPolicy>(leader);
+      };
+    }
+    case PolicyKind::ShoalLike: {
+      const core::HammerHeadConfig hh = config.hh;
+      return [seed, hh](const crypto::Committee& c) {
+        return std::make_unique<core::ShoalLikePolicy>(c, seed, hh);
+      };
+    }
+  }
+  HH_ASSERT(false);
+  return nullptr;
+}
+
+std::unique_ptr<net::LatencyModel> make_latency_model(
+    const ExperimentConfig& config) {
+  switch (config.latency) {
+    case LatencyKind::Geo:
+      return std::make_unique<net::GeoLatencyModel>(config.num_validators);
+    case LatencyKind::Uniform:
+      return std::make_unique<net::UniformLatencyModel>(
+          config.uniform_latency_min, config.uniform_latency_max);
+  }
+  HH_ASSERT(false);
+  return nullptr;
+}
+
+/// Poisson load generator colocated with one validator.
+class LoadGenerator {
+ public:
+  LoadGenerator(sim::Simulator& sim, node::Validator& validator,
+                MetricsCollector& metrics, double rate_tps,
+                SimTime client_latency, SimTime stop_at, Rng rng,
+                TxId id_base)
+      : sim_(sim),
+        validator_(validator),
+        metrics_(metrics),
+        mean_gap_us_(1e6 / rate_tps),
+        client_latency_(client_latency),
+        stop_at_(stop_at),
+        rng_(rng),
+        next_id_(id_base) {}
+
+  void start() { schedule_next(); }
+
+ private:
+  void schedule_next() {
+    const SimTime gap = std::max<SimTime>(
+        1, static_cast<SimTime>(rng_.next_exponential(mean_gap_us_)));
+    sim_.schedule_after(gap, [this]() {
+      if (sim_.now() >= stop_at_) return;
+      dag::Transaction tx;
+      tx.id = next_id_++;
+      tx.submitted_to = validator_.index();
+      tx.submit_time = sim_.now();
+      metrics_.on_tx_submitted(tx);
+      // Client -> validator hop.
+      sim_.schedule_after(client_latency_,
+                          [this, tx]() { validator_.submit_tx(tx); });
+      schedule_next();
+    });
+  }
+
+  sim::Simulator& sim_;
+  node::Validator& validator_;
+  MetricsCollector& metrics_;
+  double mean_gap_us_;
+  SimTime client_latency_;
+  SimTime stop_at_;
+  Rng rng_;
+  TxId next_id_;
+};
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  HH_ASSERT(config.num_validators >= 4);
+  HH_ASSERT(config.faults <= config.num_validators);
+
+  sim::Simulator sim(config.seed);
+  const crypto::Committee committee =
+      config.stakes.empty()
+          ? crypto::Committee::make_equal_stake(config.num_validators,
+                                                config.seed)
+          : crypto::Committee::make_with_stakes(config.stakes, config.seed);
+
+  net::Network network(sim, make_latency_model(config), config.net,
+                       config.num_validators);
+
+  MetricsCollector metrics(config.warmup);
+  // Leader-utilization accounting: committed-anchor authors as seen by
+  // validator 0 (live in every supported fault layout — crashes target the
+  // highest indices).
+  std::vector<std::uint64_t> anchors_by_author(config.num_validators, 0);
+
+  node::NodeConfig node_config = config.node;
+  node_config.key_seed = config.seed;
+
+  // Which validators crash at crash_time (Figure 2 style): the highest
+  // indices, which under the i % 13 region mapping still spread over regions.
+  std::unordered_set<ValidatorIndex> crashed_at_start;
+  for (std::size_t i = 0; i < config.faults; ++i)
+    crashed_at_start.insert(
+        static_cast<ValidatorIndex>(config.num_validators - 1 - i));
+
+  std::vector<std::unique_ptr<storage::Store>> stores;
+  std::vector<std::unique_ptr<node::Validator>> validators;
+  stores.reserve(config.num_validators);
+  validators.reserve(config.num_validators);
+
+  auto policy_factory = make_policy_factory(config);
+  const SimTime client_latency = config.client_latency;
+
+  for (ValidatorIndex v = 0; v < config.num_validators; ++v) {
+    node::NodeConfig vc = node_config;
+    for (const auto& [idx, behavior] : config.behaviors)
+      if (idx == v) vc.behavior = behavior;
+    stores.push_back(std::make_unique<storage::Store>());
+    validators.push_back(std::make_unique<node::Validator>(
+        sim, network, committee, v, *stores.back(), vc, policy_factory,
+        [&metrics, &anchors_by_author, client_latency](
+            ValidatorIndex self, const consensus::CommittedSubDag& sd) {
+          metrics.on_commit(self, sd, client_latency);
+          if (self == 0) ++anchors_by_author[sd.anchor->author()];
+        }));
+  }
+
+  for (auto& validator : validators) validator->start();
+
+  // Fault injection.
+  for (ValidatorIndex v : crashed_at_start) {
+    node::Validator* validator = validators[v].get();
+    sim.schedule_at(config.crash_time, [validator]() { validator->crash(); });
+  }
+  for (const CrashEvent& ev : config.crashes) {
+    node::Validator* validator = validators[ev.node].get();
+    sim.schedule_at(ev.at, [validator]() { validator->crash(); });
+    if (ev.recover_at)
+      sim.schedule_at(*ev.recover_at, [validator]() { validator->restart(); });
+  }
+  for (const SlowWindow& w : config.slow_windows) {
+    for (ValidatorIndex v : w.nodes) {
+      node::Validator* validator = validators[v].get();
+      net::Network* net_ptr = &network;
+      const double factor = w.factor;
+      sim.schedule_at(w.from, [validator, net_ptr, v, factor]() {
+        validator->set_cpu_slowdown(factor);
+        net_ptr->set_slowdown(v, factor);
+      });
+      sim.schedule_at(w.to, [validator, net_ptr, v]() {
+        validator->set_cpu_slowdown(1.0);
+        net_ptr->clear_slowdown(v);
+      });
+    }
+  }
+
+  // Load generators: one per targeted validator.
+  std::vector<ValidatorIndex> targets;
+  for (ValidatorIndex v = 0; v < config.num_validators; ++v) {
+    const bool avoided =
+        config.clients_avoid_crashed && crashed_at_start.count(v) > 0;
+    if (!avoided) targets.push_back(v);
+  }
+  HH_ASSERT(!targets.empty());
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  if (config.load_tps > 0) {
+    const double per_target = config.load_tps / static_cast<double>(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      generators.push_back(std::make_unique<LoadGenerator>(
+          sim, *validators[targets[i]], metrics, per_target, client_latency,
+          config.duration, sim.rng().fork(),
+          static_cast<TxId>(i) << 40));
+      generators.back()->start();
+    }
+  }
+
+  sim.run_until(config.duration);
+
+  // ---- collect results ----
+  ExperimentResult result;
+  result.policy =
+      config.custom_policy ? "custom" : policy_name(config.policy);
+  result.duration_s = to_seconds(config.duration);
+  result.offered_load_tps = config.load_tps;
+  result.submitted = metrics.submitted();
+  result.committed = metrics.committed();
+  const double measured_window_s =
+      to_seconds(config.duration - config.warmup);
+  result.throughput_tps =
+      measured_window_s > 0
+          ? static_cast<double>(metrics.measured_committed()) /
+                measured_window_s
+          : 0;
+  result.avg_latency_s = metrics.latency().mean_s();
+  result.p50_latency_s = metrics.latency().percentile_s(50);
+  result.p95_latency_s = metrics.latency().percentile_s(95);
+  result.stdev_latency_s = metrics.latency().stdev_s();
+
+  // Observer: lowest-indexed live honest validator.
+  const node::Validator* observer = nullptr;
+  for (const auto& validator : validators) {
+    if (validator->crashed()) continue;
+    observer = validator.get();
+    break;
+  }
+  HH_ASSERT(observer != nullptr);
+  const auto& cstats = observer->committer().stats();
+  result.committed_anchors = cstats.committed_anchors;
+  result.skipped_anchors = cstats.skipped_anchors;
+  result.schedule_changes = cstats.schedule_changes;
+  result.last_anchor_round = observer->committer().last_anchor_round();
+  for (const auto& validator : validators)
+    if (!validator->crashed())
+      result.leader_timeouts += validator->stats().leader_timeouts;
+
+  result.anchors_by_author = std::move(anchors_by_author);
+  return result;
+}
+
+std::string result_header() {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "policy" << std::right << std::setw(8)
+     << "load" << std::setw(10) << "tput" << std::setw(9) << "avg_s"
+     << std::setw(9) << "p50_s" << std::setw(9) << "p95_s" << std::setw(9)
+     << "commits" << std::setw(9) << "skipped" << std::setw(9) << "epochs"
+     << std::setw(10) << "timeouts";
+  return os.str();
+}
+
+std::string result_row(const ExperimentResult& r) {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << r.policy << std::right << std::fixed
+     << std::setw(8) << std::setprecision(0) << r.offered_load_tps
+     << std::setw(10) << std::setprecision(0) << r.throughput_tps
+     << std::setw(9) << std::setprecision(2) << r.avg_latency_s << std::setw(9)
+     << r.p50_latency_s << std::setw(9) << r.p95_latency_s << std::setw(9)
+     << r.committed_anchors << std::setw(9) << r.skipped_anchors
+     << std::setw(9) << r.schedule_changes << std::setw(10)
+     << r.leader_timeouts;
+  return os.str();
+}
+
+}  // namespace hammerhead::harness

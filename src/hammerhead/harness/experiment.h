@@ -1,0 +1,108 @@
+// Experiment runner: builds a committee, wires validators over the simulated
+// WAN, drives load generators and fault injection, and reports the metrics
+// the paper's figures plot. This is the stand-in for the paper's AWS
+// orchestrator (Appendix A).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hammerhead/core/policies.h"
+#include "hammerhead/harness/metrics.h"
+#include "hammerhead/net/network.h"
+#include "hammerhead/node/validator.h"
+
+namespace hammerhead::harness {
+
+enum class PolicyKind { RoundRobin, HammerHead, StaticLeader, ShoalLike };
+
+const char* policy_name(PolicyKind kind);
+
+enum class LatencyKind { Geo, Uniform };
+
+/// A window during which some validators run degraded (CPU and links slowed
+/// by `factor`) — models the Sui mainnet incident from Section 1.
+struct SlowWindow {
+  std::vector<ValidatorIndex> nodes;
+  double factor = 4.0;
+  SimTime from = 0;
+  SimTime to = 0;
+};
+
+struct CrashEvent {
+  ValidatorIndex node = 0;
+  SimTime at = 0;
+  std::optional<SimTime> recover_at;  // nullopt = stays down
+};
+
+struct ExperimentConfig {
+  std::size_t num_validators = 10;
+  std::uint64_t seed = 42;
+  std::vector<Stake> stakes;  // empty = equal stake
+
+  PolicyKind policy = PolicyKind::HammerHead;
+  core::HammerHeadConfig hh;            // cadence and exclusion fraction
+  ValidatorIndex static_leader = 0;     // for PolicyKind::StaticLeader
+  /// When set, overrides `policy`: every validator's leader schedule comes
+  /// from this factory. This is the extension point for user-defined
+  /// reputation policies (see examples/custom_reputation_policy.cpp).
+  node::Validator::PolicyFactory custom_policy;
+
+  LatencyKind latency = LatencyKind::Geo;
+  SimTime uniform_latency_min = millis(20);
+  SimTime uniform_latency_max = millis(60);
+  net::NetConfig net;
+  node::NodeConfig node;
+
+  SimTime duration = seconds(30);
+  SimTime warmup = seconds(5);
+  double load_tps = 1'000.0;
+  /// One-way client <-> validator latency (clients are colocated with the
+  /// validator they submit to, like the paper's per-instance load generators).
+  SimTime client_latency = micros(500);
+
+  /// The `faults` highest-indexed validators crash at `crash_time` and stay
+  /// down (the paper's Figure 2 setting, with crash_time = 0).
+  std::size_t faults = 0;
+  SimTime crash_time = 0;
+  std::vector<CrashEvent> crashes;      // additional explicit crash events
+  std::vector<SlowWindow> slow_windows;
+  /// Behaviour overrides for specific validators (Byzantine injection).
+  std::vector<std::pair<ValidatorIndex, node::Behavior>> behaviors;
+
+  /// Load generators only target validators that have not crashed by
+  /// `crash_time` (benchmark clients connect to live nodes).
+  bool clients_avoid_crashed = true;
+};
+
+struct ExperimentResult {
+  std::string policy;
+  double duration_s = 0;
+  double offered_load_tps = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  double throughput_tps = 0;  // measured window only
+  double avg_latency_s = 0;
+  double p50_latency_s = 0;
+  double p95_latency_s = 0;
+  double stdev_latency_s = 0;
+
+  // Observer-side protocol stats (first live honest validator).
+  std::uint64_t committed_anchors = 0;
+  std::uint64_t skipped_anchors = 0;
+  std::uint64_t schedule_changes = 0;
+  std::uint64_t leader_timeouts = 0;  // summed over live validators
+  std::int64_t last_anchor_round = -2;
+  /// How many committed anchors each validator authored (leader utilization
+  /// per validator, from the observer's commit stream).
+  std::vector<std::uint64_t> anchors_by_author;
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Render one result as an aligned table row; `header` prints column names.
+std::string result_row(const ExperimentResult& r);
+std::string result_header();
+
+}  // namespace hammerhead::harness

@@ -1,0 +1,76 @@
+#include "hammerhead/harness/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hammerhead/common/assert.h"
+
+namespace hammerhead::harness {
+
+void LatencyHistogram::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double LatencyHistogram::mean_s() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (SimTime s : samples_) sum += to_seconds(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyHistogram::stdev_s() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean_s();
+  double acc = 0;
+  for (SimTime s : samples_) {
+    const double d = to_seconds(s) - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double LatencyHistogram::percentile_s(double p) const {
+  HH_ASSERT(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return to_seconds(samples_[lo]) * (1.0 - frac) +
+         to_seconds(samples_[hi]) * frac;
+}
+
+double LatencyHistogram::max_s() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return to_seconds(samples_.back());
+}
+
+void MetricsCollector::on_tx_submitted(const dag::Transaction& tx) {
+  ++submitted_;
+  in_flight_.emplace(tx.id, tx.submit_time);
+}
+
+void MetricsCollector::on_commit(ValidatorIndex reporter,
+                                 const consensus::CommittedSubDag& sd,
+                                 SimTime client_return_latency) {
+  for (const auto& vertex : sd.vertices) {
+    if (!vertex->header->payload) continue;
+    for (const auto& tx : vertex->header->payload->txs) {
+      if (tx.submitted_to != reporter) continue;
+      auto it = in_flight_.find(tx.id);
+      if (it == in_flight_.end()) continue;  // already counted
+      ++committed_;
+      if (it->second >= measure_from_) {
+        latency_.record(sd.commit_time - it->second + client_return_latency);
+      }
+      in_flight_.erase(it);
+    }
+  }
+}
+
+}  // namespace hammerhead::harness

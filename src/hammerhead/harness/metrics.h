@@ -1,0 +1,71 @@
+// Measurement utilities: latency histogram and the per-run metrics collector.
+//
+// Latency is defined as in the paper (Section 5): "the time elapsed from when
+// the client submits the transaction to when it receives confirmation of the
+// transaction's finality"; throughput is "the number of distinct transactions
+// over the entire duration of the run". Each transaction is counted once, at
+// the validator it was submitted to.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hammerhead/common/types.h"
+#include "hammerhead/consensus/committer.h"
+
+namespace hammerhead::harness {
+
+class LatencyHistogram {
+ public:
+  void record(SimTime latency) {
+    samples_.push_back(latency);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean_s() const;
+  double stdev_s() const;
+  /// p in [0, 100].
+  double percentile_s(double p) const;
+  double max_s() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<SimTime> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Collects transaction latencies across the committee. Transactions
+/// submitted before `measure_from` are tracked for protocol correctness but
+/// excluded from the reported statistics (warm-up).
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(SimTime measure_from = 0)
+      : measure_from_(measure_from) {}
+
+  /// The load generator registers a submission.
+  void on_tx_submitted(const dag::Transaction& tx);
+
+  /// A validator reports a committed sub-DAG; the collector records latency
+  /// for transactions submitted to that validator (once each).
+  void on_commit(ValidatorIndex reporter, const consensus::CommittedSubDag& sd,
+                 SimTime client_return_latency);
+
+  std::uint64_t submitted() const { return submitted_; }
+  std::uint64_t committed() const { return committed_; }
+  std::uint64_t measured_committed() const {
+    return static_cast<std::uint64_t>(latency_.count());
+  }
+  const LatencyHistogram& latency() const { return latency_; }
+
+ private:
+  SimTime measure_from_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t committed_ = 0;
+  std::unordered_map<TxId, SimTime> in_flight_;  // id -> submit time
+  LatencyHistogram latency_;
+};
+
+}  // namespace hammerhead::harness

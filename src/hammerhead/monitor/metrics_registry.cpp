@@ -1,0 +1,137 @@
+#include "hammerhead/monitor/metrics_registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hammerhead::monitor {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  HH_ASSERT_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bounds must ascend");
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::quantile(double q) const {
+  HH_ASSERT(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const double hi = i < bounds_.size() ? bounds_[i]
+                                           : bounds_.empty()
+                                                 ? 0.0
+                                                 : bounds_.back() * 2;
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const std::uint64_t in_bucket = counts_[i];
+      if (in_bucket == 0) return hi;
+      const double before = static_cast<double>(cumulative - in_bucket);
+      const double frac =
+          (target - before) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> latency_seconds_buckets() {
+  return {0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0,
+          4.0,  5.0, 7.5,  10., 15.,  20., 30.};
+}
+
+std::string MetricsRegistry::render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ",";
+    first = false;
+    os << k << "=\"" << v << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  auto [it, inserted] =
+      instruments_.try_emplace({name, render_labels(labels)});
+  if (inserted) {
+    it->second.kind = Kind::Counter;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  HH_ASSERT_MSG(it->second.kind == Kind::Counter,
+                "metric '" << name << "' is not a counter");
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  auto [it, inserted] =
+      instruments_.try_emplace({name, render_labels(labels)});
+  if (inserted) {
+    it->second.kind = Kind::Gauge;
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  HH_ASSERT_MSG(it->second.kind == Kind::Gauge,
+                "metric '" << name << "' is not a gauge");
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds,
+                                      const Labels& labels) {
+  auto [it, inserted] =
+      instruments_.try_emplace({name, render_labels(labels)});
+  if (inserted) {
+    it->second.kind = Kind::Histogram;
+    it->second.histogram =
+        std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  HH_ASSERT_MSG(it->second.kind == Kind::Histogram,
+                "metric '" << name << "' is not a histogram");
+  return *it->second.histogram;
+}
+
+std::string MetricsRegistry::expose() const {
+  std::ostringstream os;
+  for (const auto& [key, instrument] : instruments_) {
+    const auto& [name, labels] = key;
+    switch (instrument.kind) {
+      case Kind::Counter:
+        os << name << labels << " " << instrument.counter->value() << "\n";
+        break;
+      case Kind::Gauge:
+        os << name << labels << " " << instrument.gauge->value() << "\n";
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *instrument.histogram;
+        std::uint64_t cumulative = 0;
+        const std::string inner =
+            labels.empty() ? "" : labels.substr(1, labels.size() - 2);
+        for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+          cumulative += h.bucket_counts()[i];
+          os << name << "_bucket{" << (inner.empty() ? "" : inner + ",")
+             << "le=\"" << h.upper_bounds()[i] << "\"} " << cumulative
+             << "\n";
+        }
+        os << name << "_bucket{" << (inner.empty() ? "" : inner + ",")
+           << "le=\"+Inf\"} " << h.count() << "\n";
+        os << name << "_sum" << labels << " " << h.sum() << "\n";
+        os << name << "_count" << labels << " " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hammerhead::monitor

@@ -1,0 +1,102 @@
+// Monitoring substrate ("production-ready and fully-featured: crash-recovery,
+// monitoring tools" — Section 4; the orchestrator of Appendix A deploys
+// Prometheus + Grafana).
+//
+// A MetricsRegistry holds named counters, gauges and histograms with label
+// sets, and renders the Prometheus text exposition format. Validators export
+// their protocol stats through it; the harness can scrape all validators and
+// the benches can dump a dashboard-like summary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hammerhead/common/assert.h"
+#include "hammerhead/common/types.h"
+
+namespace hammerhead::monitor {
+
+using Labels = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void increment(double delta = 1.0) {
+    HH_ASSERT_MSG(delta >= 0, "counter decrement " << delta);
+    value_ += delta;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram (Prometheus-style cumulative buckets + sum/count).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Cumulative count of observations <= upper_bounds[i].
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+
+  /// Approximate quantile by linear interpolation within buckets.
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;          // ascending; implicit +Inf at end
+  std::vector<std::uint64_t> counts_;   // per-bucket (non-cumulative)
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Buckets suitable for end-to-end latency in seconds (50 ms .. 30 s).
+std::vector<double> latency_seconds_buckets();
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create. The same (name, labels) pair always returns the same
+  /// instrument; using one name with two instrument kinds throws.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds,
+                       const Labels& labels = {});
+
+  /// Prometheus text exposition (stable ordering for tests).
+  std::string expose() const;
+
+  std::size_t size() const { return instruments_.size(); }
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Instrument {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  using Key = std::pair<std::string, std::string>;  // name, rendered labels
+
+  static std::string render_labels(const Labels& labels);
+
+  std::map<Key, Instrument> instruments_;
+};
+
+}  // namespace hammerhead::monitor

@@ -1,0 +1,95 @@
+#include "hammerhead/net/latency.h"
+
+#include <cmath>
+
+#include "hammerhead/common/assert.h"
+
+namespace hammerhead::net {
+
+UniformLatencyModel::UniformLatencyModel(SimTime min, SimTime max)
+    : min_(min), max_(max) {
+  HH_ASSERT(min > 0 && max >= min);
+}
+
+SimTime UniformLatencyModel::sample(ValidatorIndex, ValidatorIndex, Rng& rng) {
+  return rng.next_in(min_, max_);
+}
+
+SimTime UniformLatencyModel::expected(ValidatorIndex, ValidatorIndex) const {
+  return (min_ + max_) / 2;
+}
+
+const std::vector<Region>& aws_regions() {
+  // Section 5 of the paper: 13 regions. Coordinates are the approximate
+  // datacenter locations.
+  static const std::vector<Region> regions = {
+      {"us-east-1", 38.9, -77.0},       // N. Virginia
+      {"us-west-2", 45.8, -119.7},      // Oregon
+      {"ca-central-1", 45.5, -73.6},    // Montreal
+      {"eu-central-1", 50.1, 8.7},      // Frankfurt
+      {"eu-west-1", 53.3, -6.3},        // Ireland
+      {"eu-west-2", 51.5, -0.1},        // London
+      {"eu-west-3", 48.9, 2.4},         // Paris
+      {"eu-north-1", 59.3, 18.1},       // Stockholm
+      {"ap-south-1", 19.1, 72.9},       // Mumbai
+      {"ap-southeast-1", 1.3, 103.8},   // Singapore
+      {"ap-southeast-2", -33.9, 151.2}, // Sydney
+      {"ap-northeast-1", 35.7, 139.7},  // Tokyo
+      {"ap-northeast-2", 37.6, 127.0},  // Seoul
+  };
+  return regions;
+}
+
+namespace {
+double great_circle_km(const Region& a, const Region& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = M_PI / 180.0;
+  const double la1 = a.latitude * kDegToRad, lo1 = a.longitude * kDegToRad;
+  const double la2 = b.latitude * kDegToRad, lo2 = b.longitude * kDegToRad;
+  const double dlat = la2 - la1, dlon = lo2 - lo1;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(la1) * std::cos(la2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+}  // namespace
+
+SimTime GeoLatencyModel::region_rtt(std::size_t a, std::size_t b) {
+  const auto& regions = aws_regions();
+  HH_ASSERT(a < regions.size() && b < regions.size());
+  if (a == b) return millis(1);  // intra-region RTT ~1 ms
+  const double km = great_circle_km(regions[a], regions[b]);
+  // Fiber paths are ~40% longer than great circle; light in fiber ~200 km/ms
+  // one way => RTT ms ~ 2 * 1.4 * km / 200 = km / 71.4; plus ~4 ms overhead.
+  const double rtt_ms = km / 71.4 + 4.0;
+  return static_cast<SimTime>(rtt_ms * 1000.0);
+}
+
+GeoLatencyModel::GeoLatencyModel(std::size_t num_validators, double jitter_frac)
+    : n_(num_validators), jitter_frac_(jitter_frac) {
+  const std::size_t r = aws_regions().size();
+  one_way_.assign(r, std::vector<SimTime>(r, 0));
+  for (std::size_t a = 0; a < r; ++a)
+    for (std::size_t b = 0; b < r; ++b)
+      one_way_[a][b] = region_rtt(a, b) / 2;
+}
+
+std::size_t GeoLatencyModel::region_of(ValidatorIndex v) const {
+  return v % aws_regions().size();
+}
+
+SimTime GeoLatencyModel::expected(ValidatorIndex from, ValidatorIndex to) const {
+  return one_way_[region_of(from)][region_of(to)];
+}
+
+SimTime GeoLatencyModel::sample(ValidatorIndex from, ValidatorIndex to,
+                                Rng& rng) {
+  const SimTime base = expected(from, to);
+  // Multiplicative jitter, always >= 60% of base, unbounded-ish tail kept
+  // small. Normal in log space approximated by clamped normal.
+  const double mult =
+      std::max(0.6, rng.next_normal(1.0, jitter_frac_));
+  return static_cast<SimTime>(static_cast<double>(base) * mult);
+}
+
+}  // namespace hammerhead::net

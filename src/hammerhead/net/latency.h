@@ -1,0 +1,76 @@
+// Link latency models.
+//
+// The paper's testbed spreads validators over 13 AWS regions; the dominant
+// latency component is the WAN RTT between regions. GeoLatencyModel embeds
+// approximate coordinates for those 13 regions and derives one-way latency
+// from great-circle distance over fiber (~200 km/ms round trip -> we use
+// 100 km per RTT-millisecond) plus a fixed processing overhead and lognormal
+// jitter. Absolute values need not match AWS exactly; the *structure*
+// (nearby regions fast, trans-pacific slow) is what shapes the results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hammerhead/common/rng.h"
+#include "hammerhead/common/types.h"
+
+namespace hammerhead::net {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way delay for a message from `from` to `to` (>= some positive floor).
+  virtual SimTime sample(ValidatorIndex from, ValidatorIndex to, Rng& rng) = 0;
+
+  /// Expected (jitter-free) one-way delay; used by tests and for calibrating
+  /// timeouts.
+  virtual SimTime expected(ValidatorIndex from, ValidatorIndex to) const = 0;
+};
+
+/// Uniform latency in [min, max] between any pair; good for unit tests.
+class UniformLatencyModel final : public LatencyModel {
+ public:
+  UniformLatencyModel(SimTime min, SimTime max);
+  SimTime sample(ValidatorIndex, ValidatorIndex, Rng& rng) override;
+  SimTime expected(ValidatorIndex, ValidatorIndex) const override;
+
+ private:
+  SimTime min_;
+  SimTime max_;
+};
+
+/// The 13 AWS regions of the paper's evaluation (Section 5).
+struct Region {
+  std::string name;
+  double latitude;
+  double longitude;
+};
+
+const std::vector<Region>& aws_regions();
+
+/// Geo-distributed latency: validator i lives in region i % 13 (matching the
+/// paper's "distributed across those regions as equally as possible").
+class GeoLatencyModel final : public LatencyModel {
+ public:
+  /// jitter_frac: lognormal-ish multiplicative jitter, e.g. 0.05 = ±~5%.
+  explicit GeoLatencyModel(std::size_t num_validators,
+                           double jitter_frac = 0.05);
+
+  SimTime sample(ValidatorIndex from, ValidatorIndex to, Rng& rng) override;
+  SimTime expected(ValidatorIndex from, ValidatorIndex to) const override;
+
+  std::size_t region_of(ValidatorIndex v) const;
+  static SimTime region_rtt(std::size_t a, std::size_t b);
+
+ private:
+  std::size_t n_;
+  double jitter_frac_;
+  // Precomputed one-way expected latency per region pair, microseconds.
+  std::vector<std::vector<SimTime>> one_way_;
+};
+
+}  // namespace hammerhead::net

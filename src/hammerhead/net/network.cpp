@@ -1,0 +1,155 @@
+#include "hammerhead/net/network.h"
+
+#include <algorithm>
+
+#include "hammerhead/common/logging.h"
+
+namespace hammerhead::net {
+
+Network::Network(sim::Simulator& simulator,
+                 std::unique_ptr<LatencyModel> latency, NetConfig config,
+                 std::size_t num_nodes)
+    : sim_(simulator),
+      latency_(std::move(latency)),
+      config_(config),
+      handlers_(num_nodes),
+      crashed_(num_nodes, false),
+      slowdown_(num_nodes, 1.0),
+      egress_free_at_(num_nodes, 0),
+      in_partition_group_(num_nodes, false) {
+  HH_ASSERT(latency_ != nullptr);
+}
+
+void Network::register_handler(ValidatorIndex node, Handler handler) {
+  HH_ASSERT(node < handlers_.size());
+  handlers_[node] = std::move(handler);
+}
+
+bool Network::crosses_partition(ValidatorIndex a, ValidatorIndex b) const {
+  return partition_active_ &&
+         in_partition_group_[a] != in_partition_group_[b];
+}
+
+SimTime Network::compute_arrival(ValidatorIndex from, ValidatorIndex to,
+                                 std::size_t size) {
+  const SimTime now = sim_.now();
+
+  // Transmission delay: the sender's egress link is serialized.
+  SimTime depart = now;
+  if (!config_.unlimited_bandwidth) {
+    const SimTime tx = static_cast<SimTime>(
+        static_cast<double>(size) / config_.bandwidth_bytes_per_us);
+    depart = std::max(now, egress_free_at_[from]) + tx;
+    egress_free_at_[from] = depart;
+  }
+
+  // Propagation delay with slowdown factors on either endpoint.
+  SimTime lat = latency_->sample(from, to, sim_.rng());
+  const double factor = std::max(slowdown_[from], slowdown_[to]);
+  lat = static_cast<SimTime>(static_cast<double>(lat) * factor);
+
+  SimTime arrival = depart + lat;
+
+  // Pre-GST adversarial scheduling, bounded by partial synchrony:
+  // arrival <= max(GST, send_time) + delta.
+  if (now < config_.gst && config_.max_adversarial_delay > 0) {
+    arrival += static_cast<SimTime>(sim_.rng().next_below(
+        static_cast<std::uint64_t>(config_.max_adversarial_delay)));
+  }
+  const SimTime bound = std::max(config_.gst, now) + config_.delta;
+  arrival = std::min(arrival, bound);
+  // Propagation can never be instant.
+  return std::max(arrival, now + 1);
+}
+
+void Network::send(ValidatorIndex from, ValidatorIndex to, MessagePtr msg) {
+  HH_ASSERT(from < handlers_.size() && to < handlers_.size());
+  HH_ASSERT(msg != nullptr);
+  if (crashed_[from]) return;
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg->wire_size();
+
+  if (crosses_partition(from, to)) {
+    held_.push_back(Held{from, to, std::move(msg)});
+    return;
+  }
+
+  const SimTime arrival = compute_arrival(from, to, msg->wire_size());
+  sim_.schedule_at(arrival, [this, from, to, msg = std::move(msg)]() {
+    if (crashed_[to]) {
+      ++stats_.messages_dropped_crash;
+      return;
+    }
+    if (!handlers_[to]) return;
+    ++stats_.messages_delivered;
+    handlers_[to](from, msg);
+  });
+}
+
+void Network::broadcast(ValidatorIndex from, const MessagePtr& msg) {
+  for (ValidatorIndex to = 0; to < handlers_.size(); ++to) {
+    if (to == from) continue;
+    send(from, to, msg);
+  }
+}
+
+void Network::crash(ValidatorIndex node) {
+  HH_ASSERT(node < crashed_.size());
+  crashed_[node] = true;
+}
+
+void Network::recover(ValidatorIndex node) {
+  HH_ASSERT(node < crashed_.size());
+  crashed_[node] = false;
+}
+
+bool Network::is_crashed(ValidatorIndex node) const {
+  HH_ASSERT(node < crashed_.size());
+  return crashed_[node];
+}
+
+void Network::set_slowdown(ValidatorIndex node, double factor) {
+  HH_ASSERT(node < slowdown_.size());
+  HH_ASSERT_MSG(factor >= 1.0, "slowdown factor " << factor);
+  slowdown_[node] = factor;
+}
+
+void Network::clear_slowdown(ValidatorIndex node) {
+  HH_ASSERT(node < slowdown_.size());
+  slowdown_[node] = 1.0;
+}
+
+void Network::partition(const std::vector<ValidatorIndex>& group) {
+  std::fill(in_partition_group_.begin(), in_partition_group_.end(), false);
+  for (ValidatorIndex v : group) {
+    HH_ASSERT(v < in_partition_group_.size());
+    in_partition_group_[v] = true;
+  }
+  partition_active_ = true;
+}
+
+void Network::heal() {
+  partition_active_ = false;
+  // Flush buffered cross-partition traffic with fresh latency samples
+  // (reliable channels deliver once connectivity returns).
+  std::vector<Held> held;
+  held.swap(held_);
+  for (auto& h : held) {
+    if (crashed_[h.from]) continue;
+    const SimTime arrival =
+        compute_arrival(h.from, h.to, h.msg->wire_size());
+    ValidatorIndex from = h.from, to = h.to;
+    sim_.schedule_at(arrival, [this, from, to, msg = std::move(h.msg)]() {
+      if (crashed_[to]) {
+        ++stats_.messages_dropped_crash;
+        return;
+      }
+      if (!handlers_[to]) return;
+      ++stats_.messages_delivered;
+      handlers_[to](from, msg);
+    });
+  }
+}
+
+}  // namespace hammerhead::net

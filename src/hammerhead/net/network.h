@@ -1,0 +1,143 @@
+// Partially synchronous simulated network (Section 2.1 of the paper).
+//
+// Model:
+//  * Reliable authenticated point-to-point channels (the paper uses QUIC):
+//    messages between live honest nodes are never lost, only delayed.
+//  * Partial synchrony: before GST the adversary may add up to
+//    `max_adversarial_delay` to any message; after GST every message arrives
+//    within Delta. A message sent at time x arrives by Delta + max(GST, x).
+//  * Fault injection: crash (messages to/from dropped — the process is down),
+//    recovery, slowdown (multiplies link latency; models degraded validators
+//    like the Sui mainnet incident in Section 1), and partitions (cross-
+//    partition traffic is buffered and delivered at heal time, preserving
+//    reliability).
+//  * Bandwidth: each node has finite egress; consecutive sends queue behind
+//    one another (transmission delay = size / bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "hammerhead/common/types.h"
+#include "hammerhead/net/latency.h"
+#include "hammerhead/sim/simulator.h"
+
+namespace hammerhead::net {
+
+/// Discriminator for fast dispatch without dynamic_cast chains (the delivery
+/// path runs tens of thousands of times per simulated round).
+enum class MsgKind : std::uint8_t {
+  Header,
+  Vote,
+  Cert,
+  FetchReq,
+  FetchResp,
+  StateSyncReq,
+  StateSyncResp,
+  Rbc,
+  Other,
+};
+
+/// Base class for everything that travels on the wire. Concrete message types
+/// live in higher layers (dag, rbc, node); the network only needs a size for
+/// the bandwidth model and a name for tracing.
+class Message {
+ public:
+  virtual ~Message() = default;
+  virtual std::size_t wire_size() const = 0;
+  virtual const char* type_name() const = 0;
+  virtual MsgKind kind() const { return MsgKind::Other; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+struct NetConfig {
+  /// Global Stabilization Time. 0 = synchronous from the start.
+  SimTime gst = 0;
+  /// Post-GST delivery bound Delta. Every message arrives by
+  /// max(GST, send_time) + delta.
+  SimTime delta = seconds(2);
+  /// Max extra delay the adversary may add to a message sent before GST.
+  SimTime max_adversarial_delay = 0;
+  /// Egress bandwidth in bytes per microsecond (10 Gbps ~ 1250 B/us).
+  double bandwidth_bytes_per_us = 1250.0;
+  /// If true, bandwidth is ignored (unit tests).
+  bool unlimited_bandwidth = false;
+};
+
+struct NetStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped_crash = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  using Handler =
+      std::function<void(ValidatorIndex from, const MessagePtr& msg)>;
+
+  Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
+          NetConfig config, std::size_t num_nodes);
+
+  /// Install the delivery callback for a node. Must be called before the node
+  /// receives anything.
+  void register_handler(ValidatorIndex node, Handler handler);
+
+  /// Point-to-point send. No-op if the sender is crashed. Delivery is dropped
+  /// if the receiver is crashed at arrival time.
+  void send(ValidatorIndex from, ValidatorIndex to, MessagePtr msg);
+
+  /// Send to every node except `from` (the caller handles its own message
+  /// locally, mirroring a loopback fast path).
+  void broadcast(ValidatorIndex from, const MessagePtr& msg);
+
+  // --- fault injection -----------------------------------------------------
+  void crash(ValidatorIndex node);
+  void recover(ValidatorIndex node);
+  bool is_crashed(ValidatorIndex node) const;
+
+  /// Multiply latency of links touching `node` by `factor` (>= 1).
+  void set_slowdown(ValidatorIndex node, double factor);
+  void clear_slowdown(ValidatorIndex node);
+
+  /// Partition the network into {group} vs {everyone else} until heal().
+  /// Cross-partition messages are buffered and delivered shortly after heal
+  /// (reliable channels: delayed, not lost).
+  void partition(const std::vector<ValidatorIndex>& group);
+  void heal();
+  bool partitioned() const { return partition_active_; }
+
+  const NetStats& stats() const { return stats_; }
+  std::size_t num_nodes() const { return handlers_.size(); }
+  const LatencyModel& latency_model() const { return *latency_; }
+
+ private:
+  SimTime compute_arrival(ValidatorIndex from, ValidatorIndex to,
+                          std::size_t size);
+  bool crosses_partition(ValidatorIndex a, ValidatorIndex b) const;
+
+  sim::Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  NetConfig config_;
+  std::vector<Handler> handlers_;
+  std::vector<bool> crashed_;
+  std::vector<double> slowdown_;
+  std::vector<SimTime> egress_free_at_;
+  std::vector<bool> in_partition_group_;
+  bool partition_active_ = false;
+  SimTime partition_heal_hint_ = 0;
+  // Messages held back by an active partition: (from, to, msg).
+  struct Held {
+    ValidatorIndex from;
+    ValidatorIndex to;
+    MessagePtr msg;
+  };
+  std::vector<Held> held_;
+  NetStats stats_;
+};
+
+}  // namespace hammerhead::net

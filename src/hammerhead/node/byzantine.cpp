@@ -1,0 +1,69 @@
+#include "hammerhead/node/byzantine.h"
+
+#include <algorithm>
+
+namespace hammerhead::node {
+
+NodeConfig with_behavior(NodeConfig base, Behavior behavior) {
+  base.behavior = behavior;
+  return base;
+}
+
+NodeConfig slow_proposer(NodeConfig base, SimTime delay) {
+  base.behavior = Behavior::SlowProposer;
+  base.slow_proposer_delay = delay;
+  return base;
+}
+
+void Validator::propose_equivocating(Round round, std::vector<Digest> parents,
+                                     std::vector<dag::Transaction> txs) {
+  // Two conflicting headers for the same (author, round): header A carries
+  // the real batch, header B a fabricated transaction so the digests differ
+  // even at zero load.
+  dag::HeaderPtr header_a = build_header(round, parents, std::move(txs));
+  dag::Transaction fabricated;
+  fabricated.id = (1ull << 62) | round;
+  fabricated.submitted_to = self_;
+  fabricated.submit_time = sim_.now();
+  dag::HeaderPtr header_b =
+      build_header(round, std::move(parents), {fabricated});
+  HH_ASSERT(header_a->digest != header_b->digest);
+
+  last_proposed_round_ = round;
+  proposed_anything_ = true;
+  last_propose_time_ = sim_.now();
+  meta_table().put("last_proposed", round);
+  ++stats_.headers_proposed;
+
+  // The equivocator backs header A itself.
+  voted_table().put({self_, round}, header_a->digest);
+  for (const dag::HeaderPtr& h : {header_a, header_b}) {
+    PendingHeader pending;
+    pending.header = h;
+    pending.voters.insert(self_);
+    pending.voter_stake = committee_.stake_of(self_);
+    our_pending_.emplace(h->digest, std::move(pending));
+  }
+
+  // One conflicting header to each half of the committee — plus both
+  // headers to the lowest-indexed peer, which forces at least one honest
+  // node to observe (and refuse) the equivocation. Honest vote uniqueness
+  // must confine us to at most one certificate per round.
+  auto msg_a = std::make_shared<HeaderMsg>();
+  msg_a->header = header_a;
+  auto msg_b = std::make_shared<HeaderMsg>();
+  msg_b->header = header_b;
+  bool sent_overlap = false;
+  for (ValidatorIndex v = 0; v < committee_.size(); ++v) {
+    if (v == self_) continue;
+    network_.send(self_, v, v % 2 == 0 ? net::MessagePtr(msg_a)
+                                       : net::MessagePtr(msg_b));
+    if (!sent_overlap) {
+      network_.send(self_, v, v % 2 == 0 ? net::MessagePtr(msg_b)
+                                         : net::MessagePtr(msg_a));
+      sent_overlap = true;
+    }
+  }
+}
+
+}  // namespace hammerhead::node

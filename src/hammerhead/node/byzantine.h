@@ -1,0 +1,25 @@
+// Byzantine / faulty validator behaviours.
+//
+// The Validator class implements every behaviour behind NodeConfig::behavior;
+// this header provides convenience constructors for the fault-injection
+// configurations used by tests, benchmarks and the byzantine demo example.
+// Evaluating BFT protocols under *arbitrary* Byzantine strategies is an open
+// problem the paper acknowledges (claim C3, citing Twins); the behaviours
+// here are the specific adversaries the paper's design discussion calls out:
+// equivocation (safety stressor), vote withholding (the strategy HammerHead's
+// scoring punishes, Section 7) and slow proposing (the static-leader risk).
+#pragma once
+
+#include "hammerhead/node/validator.h"
+
+namespace hammerhead::node {
+
+/// An honest configuration with the given behaviour substituted.
+NodeConfig with_behavior(NodeConfig base, Behavior behavior);
+
+/// A "just slow enough" proposer (Section 7's static-leader discussion):
+/// delays its own header broadcasts by `delay` but otherwise follows the
+/// protocol, so it never looks crashed yet drags every round it leads.
+NodeConfig slow_proposer(NodeConfig base, SimTime delay);
+
+}  // namespace hammerhead::node

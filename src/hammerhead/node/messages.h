@@ -1,0 +1,95 @@
+// Wire messages exchanged by validators (Narwhal primary protocol).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hammerhead/consensus/committer.h"
+#include "hammerhead/core/policies.h"
+#include "hammerhead/dag/types.h"
+#include "hammerhead/net/network.h"
+
+namespace hammerhead::node {
+
+struct HeaderMsg final : net::Message {
+  dag::HeaderPtr header;
+
+  std::size_t wire_size() const override { return header->wire_size(); }
+  const char* type_name() const override { return "header"; }
+  net::MsgKind kind() const override { return net::MsgKind::Header; }
+};
+
+struct VoteMsg final : net::Message {
+  dag::Vote vote;
+
+  std::size_t wire_size() const override { return 120; }
+  const char* type_name() const override { return "vote"; }
+  net::MsgKind kind() const override { return net::MsgKind::Vote; }
+};
+
+struct CertMsg final : net::Message {
+  dag::CertPtr cert;
+
+  std::size_t wire_size() const override { return cert->wire_size(); }
+  const char* type_name() const override { return "cert"; }
+  net::MsgKind kind() const override { return net::MsgKind::Cert; }
+};
+
+/// Request the given certificates (and, implicitly, their causal history down
+/// to `have_up_to_round`, so a recovering validator catches up in one round
+/// trip instead of one per DAG round).
+struct FetchReqMsg final : net::Message {
+  std::vector<Digest> digests;
+  Round have_up_to_round = 0;
+
+  std::size_t wire_size() const override {
+    return 16 + digests.size() * Digest::kSize;
+  }
+  const char* type_name() const override { return "fetch-req"; }
+  net::MsgKind kind() const override { return net::MsgKind::FetchReq; }
+};
+
+struct FetchRespMsg final : net::Message {
+  /// Sorted by ascending round so the receiver can insert in order.
+  std::vector<dag::CertPtr> certs;
+
+  std::size_t wire_size() const override {
+    std::size_t s = 16;
+    for (const auto& c : certs) s += c->wire_size();
+    return s;
+  }
+  const char* type_name() const override { return "fetch-resp"; }
+  net::MsgKind kind() const override { return net::MsgKind::FetchResp; }
+};
+
+/// Ask a peer for a full state snapshot. Sent when the requester has fallen
+/// behind the garbage-collection horizon: the pruned part of the DAG can no
+/// longer be fetched certificate-by-certificate, so the peer ships its
+/// retained DAG suffix plus the consensus positioning (committer + policy
+/// snapshots). This models the state-sync / checkpoint mechanism production
+/// deployments run outside of consensus.
+struct StateSyncReqMsg final : net::Message {
+  Round have_up_to_round = 0;
+
+  std::size_t wire_size() const override { return 16; }
+  const char* type_name() const override { return "state-sync-req"; }
+  net::MsgKind kind() const override { return net::MsgKind::StateSyncReq; }
+};
+
+struct StateSyncRespMsg final : net::Message {
+  Round gc_floor = 0;
+  /// All retained certificates (rounds >= gc_floor), ascending by round.
+  std::vector<dag::CertPtr> certs;
+  consensus::CommitterSnapshot committer;
+  core::PolicySnapshot policy;
+
+  std::size_t wire_size() const override {
+    std::size_t s = 1024;  // snapshots
+    for (const auto& c : certs) s += c->wire_size();
+    return s;
+  }
+  const char* type_name() const override { return "state-sync-resp"; }
+  net::MsgKind kind() const override { return net::MsgKind::StateSyncResp; }
+};
+
+}  // namespace hammerhead::node

@@ -1,0 +1,53 @@
+#include "hammerhead/node/monitoring.h"
+
+namespace hammerhead::node {
+
+void export_validator_metrics(const Validator& validator,
+                              monitor::MetricsRegistry& registry) {
+  const monitor::Labels labels{
+      {"validator", std::to_string(validator.index())}};
+  const ValidatorStats& s = validator.stats();
+
+  auto set_gauge = [&](const char* name, double v) {
+    registry.gauge(name, labels).set(v);
+  };
+  set_gauge("hh_headers_proposed", static_cast<double>(s.headers_proposed));
+  set_gauge("hh_votes_sent", static_cast<double>(s.votes_sent));
+  set_gauge("hh_certs_formed", static_cast<double>(s.certs_formed));
+  set_gauge("hh_certs_received", static_cast<double>(s.certs_received));
+  set_gauge("hh_leader_timeouts", static_cast<double>(s.leader_timeouts));
+  set_gauge("hh_fetches_sent", static_cast<double>(s.fetches_sent));
+  set_gauge("hh_equivocations_observed",
+            static_cast<double>(s.equivocations_observed));
+  set_gauge("hh_txs_executed", static_cast<double>(s.txs_executed));
+  set_gauge("hh_restarts", static_cast<double>(s.restarts));
+  set_gauge("hh_state_syncs_completed",
+            static_cast<double>(s.state_syncs_completed));
+  set_gauge("hh_crashed", validator.crashed() ? 1 : 0);
+  set_gauge("hh_mempool_size", static_cast<double>(validator.mempool_size()));
+  set_gauge("hh_buffered_certs",
+            static_cast<double>(validator.buffered_certs()));
+
+  if (!validator.crashed()) {
+    set_gauge("hh_last_proposed_round",
+              static_cast<double>(validator.last_proposed_round()));
+    set_gauge("hh_commit_index",
+              static_cast<double>(validator.committer().commit_index()));
+    set_gauge("hh_last_anchor_round",
+              static_cast<double>(validator.committer().last_anchor_round()));
+    set_gauge(
+        "hh_skipped_anchors",
+        static_cast<double>(validator.committer().stats().skipped_anchors));
+    set_gauge(
+        "hh_schedule_epochs",
+        validator.policy().history()
+            ? static_cast<double>(validator.policy().history()->num_epochs())
+            : 0.0);
+    set_gauge("hh_dag_certs",
+              static_cast<double>(validator.dag().total_certs()));
+    set_gauge("hh_dag_gc_floor",
+              static_cast<double>(validator.dag().gc_floor()));
+  }
+}
+
+}  // namespace hammerhead::node

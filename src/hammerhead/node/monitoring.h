@@ -1,0 +1,24 @@
+// Validator metrics exporter: snapshots a validator's protocol state into a
+// monitor::MetricsRegistry, one labelled series per validator — what the
+// paper's Grafana dashboard scrapes from each node (Appendix A).
+#pragma once
+
+#include "hammerhead/monitor/metrics_registry.h"
+#include "hammerhead/node/validator.h"
+
+namespace hammerhead::node {
+
+/// Write/update the standard gauge+counter set for `validator` in `registry`
+/// (idempotent; call on every scrape). Series are labelled
+/// {validator="<index>"}.
+void export_validator_metrics(const Validator& validator,
+                              monitor::MetricsRegistry& registry);
+
+/// Scrape a whole committee into one registry.
+template <typename ValidatorRange>
+void export_committee_metrics(const ValidatorRange& validators,
+                              monitor::MetricsRegistry& registry) {
+  for (const auto& v : validators) export_validator_metrics(*v, registry);
+}
+
+}  // namespace hammerhead::node

@@ -1,0 +1,809 @@
+#include "hammerhead/node/validator.h"
+
+#include <algorithm>
+
+#include "hammerhead/common/logging.h"
+#include "hammerhead/node/byzantine.h"
+
+namespace hammerhead::node {
+
+Validator::Validator(sim::Simulator& simulator, net::Network& network,
+                     const crypto::Committee& committee, ValidatorIndex self,
+                     storage::Store& store, NodeConfig config,
+                     PolicyFactory policies, CommitCallback on_commit)
+    : sim_(simulator),
+      network_(network),
+      committee_(committee),
+      self_(self),
+      store_(store),
+      config_(config),
+      policy_factory_(std::move(policies)),
+      on_commit_(std::move(on_commit)),
+      keypair_(crypto::Keypair::derive(config.key_seed, self)) {
+  HH_ASSERT(policy_factory_ != nullptr);
+}
+
+storage::Table<std::pair<Round, ValidatorIndex>, dag::CertPtr>&
+Validator::cert_table() {
+  return store_.open_table<std::pair<Round, ValidatorIndex>, dag::CertPtr>(
+      "certs");
+}
+
+storage::Table<std::pair<ValidatorIndex, Round>, Digest>&
+Validator::voted_table() {
+  return store_.open_table<std::pair<ValidatorIndex, Round>, Digest>("voted");
+}
+
+storage::Table<std::string, std::uint64_t>& Validator::meta_table() {
+  return store_.open_table<std::string, std::uint64_t>("meta");
+}
+
+storage::Table<std::string, core::PolicySnapshot>&
+Validator::policy_snapshot_table() {
+  return store_.open_table<std::string, core::PolicySnapshot>("policy_snap");
+}
+
+storage::Table<std::string, consensus::CommitterSnapshot>&
+Validator::committer_snapshot_table() {
+  return store_.open_table<std::string, consensus::CommitterSnapshot>(
+      "committer_snap");
+}
+
+// --------------------------------------------------------------- lifecycle
+
+void Validator::start() {
+  HH_ASSERT_MSG(!started_, "validator " << self_ << " started twice");
+  started_ = true;
+  policy_ = policy_factory_(committee_);
+  dag_ = std::make_unique<dag::Dag>(committee_);
+  committer_ = std::make_unique<consensus::BullsharkCommitter>(
+      committee_, *dag_, *policy_,
+      [this](const consensus::CommittedSubDag& sd) { on_subdag_committed(sd); },
+      config_.commit_rule, [this] { return sim_.now(); });
+  network_.register_handler(
+      self_, [this](ValidatorIndex from, const net::MessagePtr& msg) {
+        on_network_message(from, msg);
+      });
+  propose(0);
+}
+
+void Validator::submit_tx(dag::Transaction tx) {
+  if (crashed_) return;  // the client's connection is refused
+  mempool_.push_back(tx);
+}
+
+void Validator::crash() {
+  crashed_ = true;
+  ++incarnation_;
+  network_.crash(self_);
+  // Volatile state is conceptually gone; restart() rebuilds it. We keep the
+  // objects alive until then only because nothing will touch them (guards on
+  // crashed_ + incarnation).
+}
+
+void Validator::restart() {
+  HH_ASSERT_MSG(crashed_, "restart of a live validator " << self_);
+  ++stats_.restarts;
+  network_.recover(self_);
+
+  // Drop every piece of volatile state.
+  policy_ = policy_factory_(committee_);
+  dag_ = std::make_unique<dag::Dag>(committee_);
+  committer_ = std::make_unique<consensus::BullsharkCommitter>(
+      committee_, *dag_, *policy_,
+      [this](const consensus::CommittedSubDag& sd) { on_subdag_committed(sd); },
+      config_.commit_rule, [this] { return sim_.now(); });
+  mempool_.clear();
+  our_pending_.clear();
+  buffered_.clear();
+  missing_count_.clear();
+  waiting_children_.clear();
+  outstanding_fetches_.clear();
+  round_stake_.clear();
+  quorum_reached_at_.clear();
+  max_quorum_round_ = 0;
+  have_quorum_anywhere_ = false;
+  leader_wait_round_.reset();
+  round_delay_timer_armed_ = false;
+  fetch_timer_armed_ = false;
+  last_propose_time_ = sim_.now();
+  cpu_free_at_ = sim_.now();
+
+  // Durable state: what round we proposed last (never re-propose lower —
+  // that could equivocate) and all certificates we had stored.
+  last_proposed_round_ = 0;
+  proposed_anything_ = false;
+  if (auto lp = meta_table().get("last_proposed")) {
+    last_proposed_round_ = static_cast<Round>(*lp);
+    proposed_anything_ = true;
+  }
+
+  // If a state sync happened in a previous incarnation, resume from its
+  // persisted horizon: install the snapshots, then replay the certificate
+  // suffix on top (ordering beyond the snapshot is re-derived, which is
+  // deterministic).
+  if (auto floor = meta_table().get("sync_floor")) {
+    dag_->prune_below(static_cast<Round>(*floor));
+    if (auto psnap = policy_snapshot_table().get("snap"))
+      policy_->install_snapshot(*psnap);
+    if (auto csnap = committer_snapshot_table().get("snap"))
+      committer_->install_snapshot(*csnap);
+  }
+  state_sync_retry_at_ = 0;
+
+  // Replay certificates in (round, author) order; parents precede children
+  // by construction, so plain insertion rebuilds the DAG, the committer
+  // state, the schedule epochs and the reputation scores deterministically.
+  replaying_ = true;
+  std::vector<dag::CertPtr> certs;
+  cert_table().for_each(
+      [&](const std::pair<Round, ValidatorIndex>&, const dag::CertPtr& cert) {
+        certs.push_back(cert);
+      });
+  for (const auto& cert : certs) {
+    if (dag_->insert(cert)) {
+      round_stake_[cert->round()] += committee_.stake_of(cert->author());
+      if (round_stake_[cert->round()] >= committee_.quorum_threshold()) {
+        if (!quorum_reached_at_.count(cert->round()))
+          quorum_reached_at_[cert->round()] = sim_.now();
+        if (!have_quorum_anywhere_ || cert->round() > max_quorum_round_) {
+          max_quorum_round_ = cert->round();
+          have_quorum_anywhere_ = true;
+        }
+      }
+    }
+  }
+  committer_->process();
+  replaying_ = false;
+  crashed_ = false;
+
+  HH_INFO("validator " << self_ << " recovered: " << certs.size()
+                       << " certs, last proposed round "
+                       << last_proposed_round_);
+  // Resume: catch-up happens organically as fresh certificates arrive and
+  // missing history is fetched; proposing resumes from the advance rule.
+  try_advance();
+}
+
+// ----------------------------------------------------------------- cpu model
+
+SimTime Validator::scaled(SimTime cost) const {
+  return static_cast<SimTime>(static_cast<double>(cost) * cpu_slowdown_);
+}
+
+void Validator::charge_cpu(SimTime cost) {
+  if (!config_.model_cpu) return;
+  cpu_free_at_ = std::max(cpu_free_at_, sim_.now()) + scaled(cost);
+}
+
+SimTime Validator::message_cost(const net::Message& msg) const {
+  if (!config_.model_cpu) return 0;
+  switch (msg.kind()) {
+    case net::MsgKind::Header: {
+      const auto& h = static_cast<const HeaderMsg&>(msg);
+      const std::size_t txs =
+          h.header->payload ? h.header->payload->txs.size() : 0;
+      return scaled(config_.cost_verify_header +
+                    static_cast<SimTime>(txs) * config_.cost_per_tx_verify);
+    }
+    case net::MsgKind::Vote:
+      return scaled(config_.cost_verify_vote);
+    case net::MsgKind::Cert: {
+      const auto& c = static_cast<const CertMsg&>(msg);
+      return scaled(config_.cost_verify_cert +
+                    config_.cost_verify_cert_per_signer *
+                        static_cast<SimTime>(c.cert->signers.size()));
+    }
+    case net::MsgKind::FetchResp: {
+      const auto& r = static_cast<const FetchRespMsg&>(msg);
+      return scaled(config_.cost_verify_cert *
+                    static_cast<SimTime>(
+                        std::max<std::size_t>(1, r.certs.size())));
+    }
+    default:
+      return scaled(micros(5));
+  }
+}
+
+void Validator::on_network_message(ValidatorIndex from,
+                                   const net::MessagePtr& msg) {
+  if (crashed_ || !started_) return;
+  // Single-core processing queue: work starts when the core frees up.
+  const SimTime start = std::max(sim_.now(), cpu_free_at_);
+  const SimTime done = start + message_cost(*msg);
+  cpu_free_at_ = done;
+  const std::uint64_t inc = incarnation_;
+  sim_.schedule_at(done, [this, from, msg, inc]() {
+    if (crashed_ || inc != incarnation_) return;
+    dispatch(from, msg);
+  });
+}
+
+void Validator::dispatch(ValidatorIndex from, const net::MessagePtr& msg) {
+  switch (msg->kind()) {
+    case net::MsgKind::Header:
+      handle_header(from, static_cast<const HeaderMsg&>(*msg).header);
+      break;
+    case net::MsgKind::Vote:
+      handle_vote(static_cast<const VoteMsg&>(*msg).vote);
+      break;
+    case net::MsgKind::Cert:
+      handle_cert(from, static_cast<const CertMsg&>(*msg).cert);
+      break;
+    case net::MsgKind::FetchReq:
+      handle_fetch_req(from, static_cast<const FetchReqMsg&>(*msg));
+      break;
+    case net::MsgKind::FetchResp:
+      handle_fetch_resp(from, static_cast<const FetchRespMsg&>(*msg));
+      break;
+    case net::MsgKind::StateSyncReq:
+      handle_state_sync_req(from, static_cast<const StateSyncReqMsg&>(*msg));
+      break;
+    case net::MsgKind::StateSyncResp:
+      handle_state_sync_resp(from,
+                             static_cast<const StateSyncRespMsg&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+// ------------------------------------------------------------------ proposer
+
+std::vector<dag::Transaction> Validator::take_batch() {
+  std::vector<dag::Transaction> txs;
+  const std::size_t n = std::min(mempool_.size(), config_.max_batch_txs);
+  txs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    txs.push_back(mempool_.front());
+    mempool_.pop_front();
+  }
+  return txs;
+}
+
+dag::HeaderPtr Validator::build_header(Round round,
+                                       std::vector<Digest> parents,
+                                       std::vector<dag::Transaction> txs) {
+  auto payload = std::make_shared<dag::BlockPayload>();
+  payload->txs = std::move(txs);
+  auto header = std::make_shared<dag::Header>();
+  header->author = self_;
+  header->round = round;
+  header->parents = std::move(parents);
+  header->payload = std::move(payload);
+  header->created_at = sim_.now();
+  header->finalize(keypair_);
+  return header;
+}
+
+void Validator::propose(Round round) {
+  HH_ASSERT_MSG(!proposed_anything_ || round > last_proposed_round_,
+                "validator " << self_ << " re-proposing round " << round);
+
+  std::vector<Digest> parents;
+  if (round > 0) {
+    std::optional<Digest> leader_digest;
+    if (config_.behavior == Behavior::ParentWithholder) {
+      if (auto leader_cert = dag_->get(round - 1, policy_->leader(round - 1)))
+        leader_digest = leader_cert->digest();
+    }
+    Stake parent_stake = 0;
+    std::vector<dag::CertPtr> withheld;
+    for (const auto& cert : dag_->round_certs(round - 1)) {
+      if (leader_digest && cert->digest() == *leader_digest) {
+        withheld.push_back(cert);
+        continue;
+      }
+      parents.push_back(cert->digest());
+      parent_stake += committee_.stake_of(cert->author());
+    }
+    // A header needs a quorum of parents; if withholding the leader would
+    // break that, the withholder has to include it after all.
+    if (parent_stake < committee_.quorum_threshold())
+      for (const auto& cert : withheld) parents.push_back(cert->digest());
+    // Canonical parent order (author) for deterministic digests.
+    std::sort(parents.begin(), parents.end());
+  }
+
+  auto txs = take_batch();
+  charge_cpu(config_.cost_sign +
+             static_cast<SimTime>(txs.size()) * config_.cost_per_tx_include +
+             config_.cost_store_write);
+
+  if (config_.behavior == Behavior::Equivocator && round > 0) {
+    propose_equivocating(round, std::move(parents), std::move(txs));
+    return;
+  }
+
+  dag::HeaderPtr header = build_header(round, std::move(parents), std::move(txs));
+  last_proposed_round_ = round;
+  proposed_anything_ = true;
+  last_propose_time_ = sim_.now();
+  meta_table().put("last_proposed", round);
+  ++stats_.headers_proposed;
+
+  // Self-vote, durably recorded like any other vote.
+  voted_table().put({self_, round}, header->digest);
+  PendingHeader pending;
+  pending.header = header;
+  pending.voters.insert(self_);
+  pending.voter_stake = committee_.stake_of(self_);
+  our_pending_.emplace(header->digest, std::move(pending));
+
+  broadcast_header(header);
+  // A committee where we alone reach quorum (stake) is impossible, so no
+  // certificate can form from the self-vote only; wait for votes.
+}
+
+void Validator::broadcast_header(const dag::HeaderPtr& header) {
+  auto msg = std::make_shared<HeaderMsg>();
+  msg->header = header;
+  if (config_.behavior == Behavior::SlowProposer) {
+    const std::uint64_t inc = incarnation_;
+    sim_.schedule_after(config_.slow_proposer_delay, [this, msg, inc]() {
+      if (crashed_ || inc != incarnation_) return;
+      network_.broadcast(self_, msg);
+    });
+    return;
+  }
+  network_.broadcast(self_, msg);
+}
+
+void Validator::try_advance() {
+  if (crashed_ || !started_ || !have_quorum_anywhere_) return;
+  const Round target = max_quorum_round_;
+  const Round next = target + 1;
+  if (proposed_anything_ && next <= last_proposed_round_) return;
+
+  // Batch-accumulation spacing between our own proposals.
+  const SimTime earliest = last_propose_time_ + config_.min_round_delay;
+  if (proposed_anything_ && sim_.now() < earliest) {
+    if (!round_delay_timer_armed_) {
+      round_delay_timer_armed_ = true;
+      const std::uint64_t inc = incarnation_;
+      sim_.schedule_at(earliest, [this, inc]() {
+        if (crashed_ || inc != incarnation_) return;
+        round_delay_timer_armed_ = false;
+        try_advance();
+      });
+    }
+    return;
+  }
+
+  // Leader-awareness (Bullshark): leaving an even round, give the anchor a
+  // chance to be among our parents so our header is a vote for it.
+  if (target % 2 == 0) {
+    const ValidatorIndex leader = policy_->leader(target);
+    if (!dag_->contains(target, leader)) {
+      const SimTime deadline =
+          quorum_reached_at_.at(target) + config_.leader_timeout;
+      if (sim_.now() < deadline) {
+        if (leader_wait_round_ != target) {
+          leader_wait_round_ = target;
+          const std::uint64_t inc = incarnation_;
+          sim_.schedule_at(deadline, [this, target, inc]() {
+            if (crashed_ || inc != incarnation_) return;
+            if (leader_wait_round_ == target) {
+              leader_wait_round_.reset();
+              ++stats_.leader_timeouts;
+              try_advance();
+            }
+          });
+        }
+        return;
+      }
+    } else if (leader_wait_round_ == target) {
+      leader_wait_round_.reset();
+    }
+  }
+  propose(next);
+}
+
+// ------------------------------------------------------------------- voting
+
+void Validator::handle_header(ValidatorIndex from,
+                              const dag::HeaderPtr& header) {
+  if (header->author != from) return;  // headers come from their author
+  if (!header->verify_content(committee_)) return;
+  maybe_vote(from, header);
+}
+
+void Validator::maybe_vote(ValidatorIndex from, const dag::HeaderPtr& header) {
+  if (config_.behavior == Behavior::VoteWithholder) return;
+
+  const std::pair<ValidatorIndex, Round> slot{header->author, header->round};
+  if (auto prior = voted_table().get(slot)) {
+    if (*prior != header->digest) {
+      // Equivocation attempt: we already countersigned a different header
+      // for this (author, round). Refuse.
+      ++stats_.equivocations_observed;
+      return;
+    }
+    // Duplicate delivery of a header we already voted for: re-send the vote
+    // (idempotent; helps an author that lost our first vote).
+  } else {
+    // Durable write *before* the vote leaves the node — after a crash and
+    // recovery we must never countersign a conflicting header.
+    voted_table().put(slot, header->digest);
+    charge_cpu(config_.cost_store_write + config_.cost_sign);
+  }
+
+  auto msg = std::make_shared<VoteMsg>();
+  msg->vote = dag::Vote::make(*header, self_, keypair_);
+  ++stats_.votes_sent;
+  network_.send(self_, from, std::move(msg));
+}
+
+void Validator::handle_vote(const dag::Vote& vote) {
+  auto it = our_pending_.find(vote.header_digest);
+  if (it == our_pending_.end()) return;
+  PendingHeader& pending = it->second;
+  if (pending.certified) return;
+  if (vote.voter >= committee_.size()) return;
+  if (!vote.verify(committee_)) return;
+  if (!pending.voters.insert(vote.voter).second) return;
+  pending.voter_stake += committee_.stake_of(vote.voter);
+  if (pending.voter_stake < committee_.quorum_threshold()) return;
+
+  pending.certified = true;
+  std::vector<ValidatorIndex> signers(pending.voters.begin(),
+                                      pending.voters.end());
+  dag::CertPtr cert = dag::Certificate::make(pending.header, std::move(signers));
+  ++stats_.certs_formed;
+  charge_cpu(config_.cost_store_write);
+
+  auto msg = std::make_shared<CertMsg>();
+  msg->cert = cert;
+  network_.broadcast(self_, msg);
+  ingest_cert(cert, kInvalidValidator);
+}
+
+// ----------------------------------------------------------- cert ingestion
+
+void Validator::handle_cert(ValidatorIndex from, const dag::CertPtr& cert) {
+  ++stats_.certs_received;
+  if (!cert->verify(committee_)) return;
+  ingest_cert(cert, from);
+}
+
+void Validator::ingest_cert(const dag::CertPtr& cert, ValidatorIndex source) {
+  if (dag_->contains(cert->digest())) return;
+  if (cert->round() < dag_->gc_floor()) return;  // ancient; pruned history
+  if (buffered_.count(cert->digest())) return;
+  maybe_request_state_sync(*cert, source);
+
+  const auto missing = dag_->missing_parents(*cert);
+  if (!missing.empty()) {
+    buffered_.emplace(cert->digest(), cert);
+    for (const Digest& d : missing)
+      waiting_children_[d].push_back(cert->digest());
+    missing_count_[cert->digest()] = missing.size();
+    // Ask the sender (or a deterministic peer when locally sourced). Fetches
+    // are retried after fetch_retry_delay — responses can be truncated
+    // during deep catch-up.
+    std::vector<Digest> to_fetch;
+    const SimTime now = sim_.now();
+    for (const Digest& d : missing) {
+      if (buffered_.count(d)) continue;  // already on its way via its parents
+      auto [it, inserted] =
+          outstanding_fetches_.try_emplace(d, now + config_.fetch_retry_delay);
+      if (!inserted) {
+        if (it->second > now) continue;  // a fetch is still in flight
+        it->second = now + config_.fetch_retry_delay;
+      }
+      to_fetch.push_back(d);
+    }
+    if (!to_fetch.empty()) {
+      ValidatorIndex target = source;
+      if (target == kInvalidValidator || target == self_)
+        target = cert->author() != self_ ? cert->author()
+                                         : (self_ + 1) % committee_.size();
+      request_fetch(target, std::move(to_fetch));
+    }
+    arm_fetch_retry_timer();
+    return;
+  }
+  insert_ready_cert(cert);
+}
+
+void Validator::insert_ready_cert(const dag::CertPtr& cert) {
+  // Iterative flush: inserting one certificate may ready buffered children.
+  std::vector<dag::CertPtr> ready{cert};
+  while (!ready.empty()) {
+    dag::CertPtr next = ready.back();
+    ready.pop_back();
+    if (!dag_->insert(next)) continue;
+    outstanding_fetches_.erase(next->digest());
+
+    if (!replaying_) {
+      cert_table().put({next->round(), next->author()}, next);
+      charge_cpu(config_.cost_store_write);
+    }
+
+    // Round bookkeeping for the proposer.
+    const Round r = next->round();
+    round_stake_[r] += committee_.stake_of(next->author());
+    if (round_stake_[r] >= committee_.quorum_threshold() &&
+        !quorum_reached_at_.count(r)) {
+      quorum_reached_at_[r] = sim_.now();
+      if (!have_quorum_anywhere_ || r > max_quorum_round_) {
+        max_quorum_round_ = r;
+        have_quorum_anywhere_ = true;
+      }
+    }
+
+    committer_->on_cert_inserted(next);
+
+    // Release buffered children waiting on this digest.
+    auto wit = waiting_children_.find(next->digest());
+    if (wit != waiting_children_.end()) {
+      for (const Digest& child_digest : wit->second) {
+        auto mit = missing_count_.find(child_digest);
+        if (mit == missing_count_.end()) continue;
+        if (--mit->second == 0) {
+          auto bit = buffered_.find(child_digest);
+          HH_ASSERT(bit != buffered_.end());
+          ready.push_back(bit->second);
+          buffered_.erase(bit);
+          missing_count_.erase(mit);
+        }
+      }
+      waiting_children_.erase(wit);
+    }
+  }
+  try_advance();
+}
+
+void Validator::arm_fetch_retry_timer() {
+  if (fetch_timer_armed_) return;
+  fetch_timer_armed_ = true;
+  const std::uint64_t inc = incarnation_;
+  sim_.schedule_after(config_.fetch_retry_delay, [this, inc]() {
+    if (crashed_ || inc != incarnation_) return;
+    fetch_timer_armed_ = false;
+    retry_fetches();
+  });
+}
+
+void Validator::retry_fetches() {
+  if (buffered_.empty()) return;
+  // Gather the lowest missing ancestry across all buffered certificates:
+  // (child round - 1, digest) pairs, deduplicated, lowest rounds first so
+  // truncated responses still let us make bottom-up progress.
+  const SimTime now = sim_.now();
+  std::vector<std::pair<Round, Digest>> wanted;
+  std::unordered_set<Digest> seen;
+  for (const auto& [digest, cert] : buffered_) {
+    for (const Digest& d : dag_->missing_parents(*cert)) {
+      if (buffered_.count(d)) continue;  // will arrive via its own ancestry
+      if (!seen.insert(d).second) continue;
+      auto it = outstanding_fetches_.find(d);
+      if (it != outstanding_fetches_.end() && it->second > now) continue;
+      wanted.emplace_back(cert->round() - 1, d);
+    }
+  }
+  if (!wanted.empty()) {
+    std::sort(wanted.begin(), wanted.end());
+    constexpr std::size_t kMaxRetryDigests = 64;
+    if (wanted.size() > kMaxRetryDigests) wanted.resize(kMaxRetryDigests);
+    std::vector<Digest> digests;
+    digests.reserve(wanted.size());
+    for (auto& [round, d] : wanted) {
+      digests.push_back(d);
+      outstanding_fetches_[d] = now + config_.fetch_retry_delay;
+    }
+    // Rotate targets so one unhelpful peer cannot stall catch-up.
+    ValidatorIndex target =
+        static_cast<ValidatorIndex>((self_ + 1 + fetch_peer_rotation_++) %
+                                    committee_.size());
+    if (target == self_) target = (target + 1) % committee_.size();
+    request_fetch(target, std::move(digests));
+  }
+  arm_fetch_retry_timer();
+}
+
+void Validator::request_fetch(ValidatorIndex target,
+                              std::vector<Digest> missing) {
+  if (target == self_ || target >= committee_.size()) return;
+  auto msg = std::make_shared<FetchReqMsg>();
+  msg->digests = std::move(missing);
+  msg->have_up_to_round =
+      static_cast<Round>(std::max<std::int64_t>(0, committer_->last_anchor_round()));
+  ++stats_.fetches_sent;
+  HH_DEBUG("FETCHREQ v" << self_ << " -> v" << target << " n=" << msg->digests.size()
+           << " have_up_to=" << msg->have_up_to_round);
+  network_.send(self_, target, std::move(msg));
+}
+
+void Validator::handle_fetch_req(ValidatorIndex from, const FetchReqMsg& req) {
+  auto resp = std::make_shared<FetchRespMsg>();
+  // Requested certificates plus their causal history above the requester's
+  // floor, sorted ascending. When the history exceeds the response cap, keep
+  // the LOWEST rounds: the requester can only insert bottom-up, so shipping
+  // the top of the range would make no progress (it re-fetches the rest).
+  std::unordered_set<Digest> visited;
+  std::vector<dag::CertPtr> frontier;
+  for (const Digest& d : req.digests) {
+    if (auto cert = dag_->get(d); cert && visited.insert(d).second)
+      frontier.push_back(cert);
+  }
+  std::vector<dag::CertPtr> collected;
+  while (!frontier.empty()) {
+    dag::CertPtr cur = frontier.back();
+    frontier.pop_back();
+    collected.push_back(cur);
+    if (cur->round() == 0 || cur->round() <= req.have_up_to_round) continue;
+    for (const Digest& pd : cur->parents()) {
+      if (!visited.insert(pd).second) continue;
+      if (auto parent = dag_->get(pd)) frontier.push_back(parent);
+    }
+  }
+  std::sort(collected.begin(), collected.end(),
+            [](const dag::CertPtr& a, const dag::CertPtr& b) {
+              if (a->round() != b->round()) return a->round() < b->round();
+              return a->author() < b->author();
+            });
+  if (collected.size() > config_.max_fetch_response_certs)
+    collected.resize(config_.max_fetch_response_certs);
+  resp->certs = std::move(collected);
+  HH_DEBUG("FETCHRESP v" << self_ << " -> v" << from << " n=" << resp->certs.size()
+           << (resp->certs.empty() ? "" : (" lo=" + std::to_string(resp->certs.front()->round()) + " hi=" + std::to_string(resp->certs.back()->round()))));
+  if (!resp->certs.empty()) network_.send(self_, from, std::move(resp));
+}
+
+void Validator::handle_fetch_resp(ValidatorIndex from,
+                                  const FetchRespMsg& resp) {
+  for (const auto& cert : resp.certs) {
+    if (!cert->verify(committee_)) return;  // malformed response; drop rest
+    ingest_cert(cert, from);
+  }
+}
+
+// --------------------------------------------------------------- state sync
+
+void Validator::maybe_request_state_sync(const dag::Certificate& evidence,
+                                         ValidatorIndex source) {
+  if (!config_.gc_enabled) return;
+  // Evidence of being beyond the horizon: the network produces certificates
+  // more than a GC window ahead of anything we can connect to.
+  const Round frontier =
+      dag_->max_round() ? *dag_->max_round() : dag_->gc_floor();
+  if (evidence.round() <= frontier + config_.gc_depth) return;
+  if (sim_.now() < state_sync_retry_at_) return;  // request in flight
+  state_sync_retry_at_ = sim_.now() + config_.leader_timeout;
+
+  ValidatorIndex target = source;
+  if (target == kInvalidValidator || target == self_)
+    target = evidence.author() != self_
+                 ? evidence.author()
+                 : (self_ + 1) % committee_.size();
+  auto msg = std::make_shared<StateSyncReqMsg>();
+  msg->have_up_to_round = frontier;
+  ++stats_.state_syncs_requested;
+  HH_INFO("validator " << self_ << " requests state sync from v" << target
+                       << " (frontier " << frontier << ", evidence round "
+                       << evidence.round() << ")");
+  network_.send(self_, target, std::move(msg));
+}
+
+void Validator::handle_state_sync_req(ValidatorIndex from,
+                                      const StateSyncReqMsg& req) {
+  (void)req;
+  const auto max_round = dag_->max_round();
+  if (!max_round) return;
+  auto resp = std::make_shared<StateSyncRespMsg>();
+  resp->gc_floor = dag_->gc_floor();
+  for (Round r = dag_->gc_floor(); r <= *max_round; ++r) {
+    auto certs = dag_->round_certs(r);
+    std::sort(certs.begin(), certs.end(),
+              [](const dag::CertPtr& a, const dag::CertPtr& b) {
+                return a->author() < b->author();
+              });
+    for (auto& c : certs) resp->certs.push_back(std::move(c));
+  }
+  resp->committer = committer_->snapshot(dag_->gc_floor());
+  resp->policy = policy_->snapshot();
+  network_.send(self_, from, std::move(resp));
+}
+
+void Validator::handle_state_sync_resp(ValidatorIndex from,
+                                       const StateSyncRespMsg& resp) {
+  (void)from;
+  // Only meaningful if the snapshot is actually ahead of us.
+  const Round frontier =
+      dag_->max_round() ? *dag_->max_round() : dag_->gc_floor();
+  if (resp.gc_floor <= frontier) return;
+  if (resp.policy.epochs.empty()) return;
+
+  HH_INFO("validator " << self_ << " installing state sync snapshot: floor "
+                       << resp.gc_floor << ", " << resp.certs.size()
+                       << " certs, commit index "
+                       << resp.committer.commit_index);
+
+  // Rebuild consensus state from the snapshot. This is a checkpoint install:
+  // the skipped part of the ordered log is NOT re-delivered (real
+  // deployments recover application state from a checkpoint store).
+  policy_ = policy_factory_(committee_);
+  policy_->install_snapshot(resp.policy);
+  dag_ = std::make_unique<dag::Dag>(committee_);
+  dag_->prune_below(resp.gc_floor);
+  committer_ = std::make_unique<consensus::BullsharkCommitter>(
+      committee_, *dag_, *policy_,
+      [this](const consensus::CommittedSubDag& sd) { on_subdag_committed(sd); },
+      config_.commit_rule, [this] { return sim_.now(); });
+  committer_->install_snapshot(resp.committer);
+
+  buffered_.clear();
+  missing_count_.clear();
+  waiting_children_.clear();
+  outstanding_fetches_.clear();
+  round_stake_.clear();
+  quorum_reached_at_.clear();
+  max_quorum_round_ = 0;
+  have_quorum_anywhere_ = false;
+  leader_wait_round_.reset();
+
+  // Persist the horizon so a later crash recovers from the synced state: the
+  // certificate table is rebuilt from the snapshot (the pre-sync prefix is
+  // unreachable below the floor anyway).
+  // NOTE: the voted table is intentionally kept — vote uniqueness must
+  // survive state sync exactly as it survives restarts.
+  cert_table().clear();
+  meta_table().put("sync_floor", resp.gc_floor);
+  policy_snapshot_table().put("snap", resp.policy);
+  committer_snapshot_table().put("snap", resp.committer);
+
+  replaying_ = true;  // suppress re-reporting of commits during install
+  for (const auto& cert : resp.certs) {
+    if (!cert->verify(committee_)) continue;
+    if (!dag_->parents_present(*cert)) continue;
+    if (dag_->insert(cert)) {
+      cert_table().put({cert->round(), cert->author()}, cert);
+      round_stake_[cert->round()] += committee_.stake_of(cert->author());
+      if (round_stake_[cert->round()] >= committee_.quorum_threshold()) {
+        if (!quorum_reached_at_.count(cert->round()))
+          quorum_reached_at_[cert->round()] = sim_.now();
+        if (!have_quorum_anywhere_ || cert->round() > max_quorum_round_) {
+          max_quorum_round_ = cert->round();
+          have_quorum_anywhere_ = true;
+        }
+      }
+    }
+  }
+  committer_->process();
+  replaying_ = false;
+  ++stats_.state_syncs_completed;
+  state_sync_retry_at_ = 0;
+  try_advance();
+}
+
+// -------------------------------------------------------------------- commit
+
+void Validator::on_subdag_committed(const consensus::CommittedSubDag& subdag) {
+  if (!replaying_) {
+    // Execution cost of the committed transactions (shared-counter workload).
+    std::size_t txs = 0;
+    for (const auto& v : subdag.vertices)
+      if (v->header->payload) txs += v->header->payload->txs.size();
+    stats_.txs_executed += txs;
+    charge_cpu(static_cast<SimTime>(txs) * config_.cost_per_tx_execute);
+    if (on_commit_) on_commit_(self_, subdag);
+  }
+  run_garbage_collection();
+}
+
+void Validator::run_garbage_collection() {
+  if (!config_.gc_enabled) return;
+  const std::int64_t last = committer_->last_anchor_round();
+  if (last <= static_cast<std::int64_t>(config_.gc_depth)) return;
+  const Round floor = static_cast<Round>(last) - config_.gc_depth;
+  if (floor <= dag_->gc_floor()) return;
+  dag_->prune_below(floor);
+  committer_->prune_ordered_below(floor);
+  for (auto it = round_stake_.begin(); it != round_stake_.end();)
+    it = it->first < floor ? round_stake_.erase(it) : std::next(it);
+  for (auto it = quorum_reached_at_.begin(); it != quorum_reached_at_.end();)
+    it = it->first < floor ? quorum_reached_at_.erase(it) : std::next(it);
+}
+
+}  // namespace hammerhead::node

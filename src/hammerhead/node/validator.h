@@ -1,0 +1,287 @@
+// A networked HammerHead/Bullshark validator.
+//
+// One Validator object is one node of the simulated deployment: it proposes
+// one header per round referencing 2f+1 parent certificates, countersigns
+// other validators' headers (at most once per (author, round), durably
+// recorded before the vote leaves the node), assembles certificates from
+// 2f+1 votes, inserts certificates into its local DAG and runs the Bullshark
+// committer with a pluggable leader-schedule policy (HammerHead, round-robin,
+// static, Shoal-like).
+//
+// Bullshark's leader-awareness lives in the round-advance rule: when leaving
+// an even round r (so that the next header votes on round r's anchor), the
+// proposer waits for the anchor certificate of round r or a leader timeout —
+// this wait is exactly the latency the paper's round-robin baseline pays for
+// crashed leaders, and what HammerHead avoids by evicting them from the
+// schedule.
+//
+// CPU model: the node is a single simulated core. Every inbound message and
+// every commit charges a configurable cost to a busy-until watermark;
+// processing starts when the core frees up. This produces realistic queueing
+// (latency knees near saturation) without modelling threads.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "hammerhead/consensus/committer.h"
+#include "hammerhead/core/policies.h"
+#include "hammerhead/crypto/committee.h"
+#include "hammerhead/dag/dag.h"
+#include "hammerhead/net/network.h"
+#include "hammerhead/node/messages.h"
+#include "hammerhead/sim/simulator.h"
+#include "hammerhead/storage/store.h"
+
+namespace hammerhead::node {
+
+/// Fault behaviours a validator can be configured with. Everything except
+/// Honest is for fault-injection tests and the Byzantine demo example.
+enum class Behavior {
+  Honest,
+  /// Proposes two conflicting headers per round, one to each half of the
+  /// committee. Vote uniqueness must confine it to at most one certificate.
+  Equivocator,
+  /// Never countersigns other validators' headers.
+  VoteWithholder,
+  /// Omits the leader's certificate from its parent edges whenever a quorum
+  /// of other parents is available — the "withholding their votes for honest
+  /// leaders" strategy of Section 7 that HammerHead's vote-frequency scoring
+  /// punishes (the withholder earns no reputation points and is evicted).
+  ParentWithholder,
+  /// Broadcasts its own headers only after an extra delay — the "just slow
+  /// enough" leader of the static-leader discussion.
+  SlowProposer,
+};
+
+struct NodeConfig {
+  // Proposer.
+  /// Per-header payload cap. This doubles as the coarse backpressure model:
+  /// when crashed leaders slow the round rate, per-round capacity
+  /// (proposers x cap x round rate) caps achievable throughput — the
+  /// mechanism behind Bullshark's 25-40% throughput loss under faults in
+  /// Figure 2.
+  std::size_t max_batch_txs = 600;
+  /// How long to wait for the anchor certificate when leaving an even round.
+  SimTime leader_timeout = millis(2'500);
+  /// Minimum spacing between our own proposals (Narwhal's header delay: time
+  /// spent accumulating a batch before the next header). Dominates the round
+  /// cadence when the WAN round trip is faster.
+  SimTime min_round_delay = millis(500);
+  consensus::CommitRule commit_rule = consensus::CommitRule::DirectSupport;
+  /// Rounds of DAG history kept below the last committed anchor.
+  Round gc_depth = 100;
+  bool gc_enabled = true;
+
+  // CPU cost model (single simulated core).
+  SimTime cost_verify_header = micros(30);
+  SimTime cost_verify_vote = micros(15);
+  SimTime cost_verify_cert = micros(40);
+  /// Per-signature component of certificate verification; makes large
+  /// committees measurably more expensive (the paper's 100-validator peak is
+  /// ~3,500 tx/s vs ~4,000 tx/s for 10/50).
+  SimTime cost_verify_cert_per_signer = micros(2);
+  SimTime cost_sign = micros(20);
+  SimTime cost_store_write = micros(5);
+  SimTime cost_per_tx_include = micros(5);
+  SimTime cost_per_tx_verify = micros(90);
+  SimTime cost_per_tx_execute = micros(140);
+  /// If false, CPU costs are ignored entirely (protocol-logic unit tests).
+  bool model_cpu = true;
+
+  // Fault behaviour.
+  Behavior behavior = Behavior::Honest;
+  SimTime slow_proposer_delay = millis(500);
+
+  std::size_t max_fetch_response_certs = 500;
+  /// A fetch for a missing certificate may be re-issued after this delay
+  /// (covers lost/truncated responses during catch-up).
+  SimTime fetch_retry_delay = millis(500);
+
+  /// Seed for key derivation; must match the Committee's seed.
+  std::uint64_t key_seed = 1;
+};
+
+struct ValidatorStats {
+  std::uint64_t headers_proposed = 0;
+  std::uint64_t votes_sent = 0;
+  std::uint64_t certs_formed = 0;
+  std::uint64_t certs_received = 0;
+  std::uint64_t leader_timeouts = 0;
+  std::uint64_t fetches_sent = 0;
+  std::uint64_t equivocations_observed = 0;
+  std::uint64_t txs_executed = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t state_syncs_requested = 0;
+  std::uint64_t state_syncs_completed = 0;
+};
+
+class Validator {
+ public:
+  using PolicyFactory =
+      std::function<std::unique_ptr<core::LeaderSchedulePolicy>(
+          const crypto::Committee&)>;
+  /// Invoked on every committed sub-DAG (after recovery replay is complete;
+  /// replayed commits are not re-reported).
+  using CommitCallback = std::function<void(
+      ValidatorIndex self, const consensus::CommittedSubDag&)>;
+
+  Validator(sim::Simulator& simulator, net::Network& network,
+            const crypto::Committee& committee, ValidatorIndex self,
+            storage::Store& store, NodeConfig config, PolicyFactory policies,
+            CommitCallback on_commit);
+
+  /// Begin operating: registers the network handler and proposes round 0.
+  void start();
+
+  /// Submit a client transaction into this validator's mempool.
+  void submit_tx(dag::Transaction tx);
+
+  /// Crash: drop all volatile state behaviourally (the node stops reacting);
+  /// the Store survives.
+  void crash();
+
+  /// Recover from the durable store and resume participation.
+  void restart();
+
+  bool crashed() const { return crashed_; }
+  ValidatorIndex index() const { return self_; }
+
+  /// Multiply every CPU cost by `factor` (degraded-node injection).
+  void set_cpu_slowdown(double factor) { cpu_slowdown_ = factor; }
+
+  // Introspection for tests and metrics.
+  const dag::Dag& dag() const { return *dag_; }
+  const consensus::BullsharkCommitter& committer() const { return *committer_; }
+  const core::LeaderSchedulePolicy& policy() const { return *policy_; }
+  core::LeaderSchedulePolicy& policy() { return *policy_; }
+  const ValidatorStats& stats() const { return stats_; }
+  Round last_proposed_round() const { return last_proposed_round_; }
+  std::size_t mempool_size() const { return mempool_.size(); }
+  std::size_t buffered_certs() const { return buffered_.size(); }
+  std::uint64_t state_syncs_completed() const {
+    return stats_.state_syncs_completed;
+  }
+
+ private:
+  // --- wiring ---------------------------------------------------------------
+  void on_network_message(ValidatorIndex from, const net::MessagePtr& msg);
+  void dispatch(ValidatorIndex from, const net::MessagePtr& msg);
+  SimTime message_cost(const net::Message& msg) const;
+  SimTime scaled(SimTime cost) const;
+  void charge_cpu(SimTime cost);
+
+  // --- protocol -------------------------------------------------------------
+  void handle_header(ValidatorIndex from, const dag::HeaderPtr& header);
+  void handle_vote(const dag::Vote& vote);
+  void handle_cert(ValidatorIndex from, const dag::CertPtr& cert);
+  void handle_fetch_req(ValidatorIndex from, const FetchReqMsg& req);
+  void handle_fetch_resp(ValidatorIndex from, const FetchRespMsg& resp);
+  void handle_state_sync_req(ValidatorIndex from, const StateSyncReqMsg& req);
+  void handle_state_sync_resp(ValidatorIndex from,
+                              const StateSyncRespMsg& resp);
+  /// Detect that we have fallen behind the GC horizon (incremental fetch can
+  /// no longer reconnect our DAG) and request a snapshot.
+  void maybe_request_state_sync(const dag::Certificate& evidence,
+                                ValidatorIndex source);
+
+  /// Insert a certificate (buffering if causally incomplete) and drive the
+  /// committer / round advance. `source` is who to fetch missing parents
+  /// from (kInvalidValidator when locally formed).
+  void ingest_cert(const dag::CertPtr& cert, ValidatorIndex source);
+  void insert_ready_cert(const dag::CertPtr& cert);
+  void request_fetch(ValidatorIndex source, std::vector<Digest> missing);
+  /// While certificates are buffered, periodically re-request their missing
+  /// ancestry from rotating peers — responses can be truncated or lost, and
+  /// deep catch-up (after recovery) needs repeated chunks.
+  void arm_fetch_retry_timer();
+  void retry_fetches();
+
+  void try_advance();
+  void propose(Round round);
+  /// Behavior::Equivocator's proposal path (implemented in byzantine.cpp):
+  /// two conflicting headers, one per committee half.
+  void propose_equivocating(Round round, std::vector<Digest> parents,
+                            std::vector<dag::Transaction> txs);
+  dag::HeaderPtr build_header(Round round, std::vector<Digest> parents,
+                              std::vector<dag::Transaction> txs);
+  void broadcast_header(const dag::HeaderPtr& header);
+  void maybe_vote(ValidatorIndex from, const dag::HeaderPtr& header);
+
+  void on_subdag_committed(const consensus::CommittedSubDag& subdag);
+  void run_garbage_collection();
+
+  std::vector<dag::Transaction> take_batch();
+
+  // --- durable state (survives crash) ----------------------------------------
+  // Tables: "certs" (round, author) -> cert; "voted" (author, round) ->
+  // header digest; "meta" key -> u64 (last proposed round).
+  storage::Table<std::pair<Round, ValidatorIndex>, dag::CertPtr>& cert_table();
+  storage::Table<std::pair<ValidatorIndex, Round>, Digest>& voted_table();
+  storage::Table<std::string, std::uint64_t>& meta_table();
+  storage::Table<std::string, core::PolicySnapshot>& policy_snapshot_table();
+  storage::Table<std::string, consensus::CommitterSnapshot>&
+  committer_snapshot_table();
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  const crypto::Committee& committee_;
+  ValidatorIndex self_;
+  storage::Store& store_;
+  NodeConfig config_;
+  PolicyFactory policy_factory_;
+  CommitCallback on_commit_;
+  crypto::Keypair keypair_;
+
+  // Volatile state (lost on crash, rebuilt on restart).
+  std::unique_ptr<core::LeaderSchedulePolicy> policy_;
+  std::unique_ptr<dag::Dag> dag_;
+  std::unique_ptr<consensus::BullsharkCommitter> committer_;
+  std::deque<dag::Transaction> mempool_;
+  bool started_ = false;
+  bool crashed_ = false;
+  bool replaying_ = false;
+  double cpu_slowdown_ = 1.0;
+  SimTime cpu_free_at_ = 0;
+  std::uint64_t incarnation_ = 0;  // bumped on crash; stale timers no-op
+
+  Round last_proposed_round_ = 0;
+  bool proposed_anything_ = false;
+  SimTime last_propose_time_ = 0;
+  bool round_delay_timer_armed_ = false;
+
+  // Round bookkeeping for the advance rule.
+  std::unordered_map<Round, Stake> round_stake_;
+  std::unordered_map<Round, SimTime> quorum_reached_at_;
+  Round max_quorum_round_ = 0;
+  bool have_quorum_anywhere_ = false;
+  std::optional<Round> leader_wait_round_;  // timer armed for this round
+
+  // Vote collection for our own headers.
+  struct PendingHeader {
+    dag::HeaderPtr header;
+    std::unordered_set<ValidatorIndex> voters;
+    Stake voter_stake = 0;
+    bool certified = false;
+  };
+  std::unordered_map<Digest, PendingHeader> our_pending_;
+
+  // Certificates waiting for parents.
+  std::unordered_map<Digest, dag::CertPtr> buffered_;
+  std::unordered_map<Digest, std::size_t> missing_count_;
+  std::unordered_map<Digest, std::vector<Digest>> waiting_children_;
+  /// Missing digest -> earliest time a fresh fetch may be issued for it.
+  std::unordered_map<Digest, SimTime> outstanding_fetches_;
+  bool fetch_timer_armed_ = false;
+  std::uint32_t fetch_peer_rotation_ = 0;
+  SimTime state_sync_retry_at_ = 0;  // no sync in flight when <= now
+
+  ValidatorStats stats_;
+};
+
+}  // namespace hammerhead::node

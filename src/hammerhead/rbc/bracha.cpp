@@ -1,0 +1,112 @@
+#include "hammerhead/rbc/bracha.h"
+
+#include "hammerhead/crypto/sha256.h"
+
+namespace hammerhead::rbc {
+
+BrachaBroadcaster::BrachaBroadcaster(net::Network& network,
+                                     const crypto::Committee& committee,
+                                     ValidatorIndex self, DeliverFn deliver)
+    : network_(network),
+      committee_(committee),
+      self_(self),
+      deliver_(std::move(deliver)) {
+  network_.register_handler(
+      self_, [this](ValidatorIndex from, const net::MessagePtr& msg) {
+        on_message(from, msg);
+      });
+}
+
+void BrachaBroadcaster::r_bcast(Payload payload, Round round) {
+  multicast(RbcPhase::Send, self_, round, std::move(payload));
+}
+
+void BrachaBroadcaster::multicast(RbcPhase phase, ValidatorIndex origin,
+                                  Round round, Payload payload) {
+  auto msg = std::make_shared<RbcMessage>();
+  msg->phase = phase;
+  msg->origin = origin;
+  msg->round = round;
+  msg->payload = std::move(payload);
+  // Handle our own copy synchronously (loopback), then fan out.
+  handle(self_, *msg);
+  network_.broadcast(self_, msg);
+}
+
+void BrachaBroadcaster::on_message(ValidatorIndex from,
+                                   const net::MessagePtr& msg) {
+  const auto* rbc = dynamic_cast<const RbcMessage*>(msg.get());
+  if (rbc == nullptr) return;  // not ours
+  // SEND must come from its claimed origin (authenticated channels).
+  if (rbc->phase == RbcPhase::Send && rbc->origin != from) return;
+  handle(from, *rbc);
+}
+
+Stake BrachaBroadcaster::stake_of(const std::set<ValidatorIndex>& set) const {
+  Stake sum = 0;
+  for (ValidatorIndex v : set) sum += committee_.stake_of(v);
+  return sum;
+}
+
+void BrachaBroadcaster::handle(ValidatorIndex from, const RbcMessage& m) {
+  const SlotKey key{m.origin, m.round};
+  SlotState& slot = slots_[key];
+  if (slot.delivered) return;
+
+  const Digest digest = crypto::Sha256::hash(
+      std::span<const std::uint8_t>(m.payload.data(), m.payload.size()));
+  slot.payloads.try_emplace(digest, m.payload);
+
+  switch (m.phase) {
+    case RbcPhase::Send:
+      if (!slot.sent_echo) {
+        slot.sent_echo = true;
+        multicast(RbcPhase::Echo, m.origin, m.round, m.payload);
+      }
+      break;
+    case RbcPhase::Echo:
+      slot.echoes[digest].insert(from);
+      break;
+    case RbcPhase::Ready:
+      slot.readies[digest].insert(from);
+      break;
+  }
+  maybe_progress(key, slot);
+}
+
+void BrachaBroadcaster::maybe_progress(const SlotKey& key, SlotState& slot) {
+  // READY amplification: 2f+1 echoes or f+1 readies for the same payload.
+  if (!slot.sent_ready) {
+    for (const auto& [digest, voters] : slot.echoes) {
+      if (stake_of(voters) >= committee_.quorum_threshold()) {
+        slot.sent_ready = true;
+        multicast(RbcPhase::Ready, key.origin, key.round,
+                  slot.payloads.at(digest));
+        break;
+      }
+    }
+  }
+  if (!slot.sent_ready) {
+    for (const auto& [digest, voters] : slot.readies) {
+      if (stake_of(voters) >= committee_.validity_threshold()) {
+        slot.sent_ready = true;
+        multicast(RbcPhase::Ready, key.origin, key.round,
+                  slot.payloads.at(digest));
+        break;
+      }
+    }
+  }
+  // Delivery: 2f+1 readies for the same payload.
+  if (!slot.delivered) {
+    for (const auto& [digest, voters] : slot.readies) {
+      if (stake_of(voters) >= committee_.quorum_threshold()) {
+        slot.delivered = true;
+        ++delivered_;
+        if (deliver_) deliver_(slot.payloads.at(digest), key.round, key.origin);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace hammerhead::rbc

@@ -1,0 +1,36 @@
+#include "hammerhead/sim/simulator.h"
+
+namespace hammerhead::sim {
+
+bool Simulator::step(SimTime deadline) {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (!cancelled_.empty() && cancelled_.erase(top.seq) > 0) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > deadline) return false;
+    Action action = std::move(top.action);
+    now_ = top.time;
+    heap_.pop();
+    ++executed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t count = 0;
+  while (step(deadline)) ++count;
+  if (now_ < deadline && deadline != kSimTimeNever) now_ = deadline;
+  return count;
+}
+
+std::uint64_t Simulator::run_to_completion() {
+  std::uint64_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+}  // namespace hammerhead::sim

@@ -1,0 +1,4 @@
+#include "hammerhead/storage/store.h"
+
+// Header-only implementation; this TU exists so hh_storage is a normal static
+// library target and a place for future non-template code.

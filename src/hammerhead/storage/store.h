@@ -1,0 +1,119 @@
+// Persistent store substrate (RocksDB stand-in).
+//
+// SUBSTITUTION (documented in DESIGN.md): the paper's implementation persists
+// headers, votes and certificates in RocksDB so a validator can crash and
+// recover without equivocating. In the simulation a "crash" destroys the
+// validator's volatile state but leaves its Store object intact, exactly like
+// a process restart with an intact disk. What matters for correctness is the
+// schema discipline — what is written *before* the node acts — which the node
+// layer enforces; the store provides typed named tables with write/read
+// accounting so tests can assert on durability behaviour.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+
+#include "hammerhead/common/assert.h"
+
+namespace hammerhead::storage {
+
+struct StoreStats {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t erases = 0;
+};
+
+/// An ordered typed table (think RocksDB column family). Ordered iteration is
+/// part of the contract: recovery replays certificates in round order.
+template <typename K, typename V>
+class Table {
+ public:
+  explicit Table(StoreStats& stats) : stats_(stats) {}
+
+  void put(const K& key, V value) {
+    ++stats_.writes;
+    map_[key] = std::move(value);
+  }
+
+  std::optional<V> get(const K& key) const {
+    ++stats_.reads;
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool contains(const K& key) const { return map_.count(key) > 0; }
+
+  void erase(const K& key) {
+    ++stats_.erases;
+    map_.erase(key);
+  }
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// In-order scan (ascending by key).
+  void for_each(const std::function<void(const K&, const V&)>& fn) const {
+    for (const auto& [k, v] : map_) fn(k, v);
+  }
+
+  std::optional<K> last_key() const {
+    if (map_.empty()) return std::nullopt;
+    return map_.rbegin()->first;
+  }
+
+  void clear() { map_.clear(); }
+
+ private:
+  std::map<K, V> map_;
+  StoreStats& stats_;
+};
+
+/// A collection of named typed tables. Reopening a table with the same name
+/// but different types is an invariant violation (schema mismatch).
+class Store {
+ public:
+  Store() = default;
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  template <typename K, typename V>
+  Table<K, V>& open_table(const std::string& name) {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      auto table = std::make_shared<Table<K, V>>(stats_);
+      tables_.emplace(name,
+                      Entry{std::type_index(typeid(Table<K, V>)), table});
+      return *table;
+    }
+    HH_ASSERT_MSG(it->second.type == std::type_index(typeid(Table<K, V>)),
+                  "table '" << name << "' reopened with different types");
+    return *std::static_pointer_cast<Table<K, V>>(it->second.table);
+  }
+
+  bool has_table(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  const StoreStats& stats() const { return stats_; }
+
+  /// Drop everything (used to model a disk wipe, NOT a crash).
+  void wipe() { tables_.clear(); }
+
+ private:
+  struct Entry {
+    std::type_index type;
+    std::shared_ptr<void> table;
+  };
+  std::unordered_map<std::string, Entry> tables_;
+  mutable StoreStats stats_;
+};
+
+}  // namespace hammerhead::storage

@@ -1,0 +1,161 @@
+// Shared fixture for networked protocol tests: a full committee of Validators
+// over the simulated network, with hooks for fault injection and for checking
+// the paper's correctness properties (total order, schedule agreement).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hammerhead/core/policies.h"
+#include "hammerhead/net/network.h"
+#include "hammerhead/node/byzantine.h"
+#include "hammerhead/node/validator.h"
+#include "hammerhead/sim/simulator.h"
+#include "hammerhead/storage/store.h"
+
+namespace hammerhead::test {
+
+struct ClusterOptions {
+  std::size_t n = 4;
+  std::uint64_t seed = 1;
+  net::NetConfig net;
+  node::NodeConfig node;
+  core::HammerHeadConfig hh;
+  bool use_hammerhead = true;  // false = round-robin baseline
+  SimTime latency_min = millis(5);
+  SimTime latency_max = millis(25);
+};
+
+inline node::NodeConfig fast_node_config() {
+  // Protocol-logic tests don't need the CPU model or slow production pacing.
+  node::NodeConfig cfg;
+  cfg.model_cpu = false;
+  cfg.min_round_delay = millis(20);
+  cfg.leader_timeout = millis(200);
+  return cfg;
+}
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options)
+      : options_(options),
+        sim_(options.seed),
+        committee_(crypto::Committee::make_equal_stake(options.n, options.seed)),
+        network_(sim_,
+                 std::make_unique<net::UniformLatencyModel>(
+                     options.latency_min, options.latency_max),
+                 options.net, options.n),
+        delivered_(options.n) {
+    options_.node.key_seed = options.seed;
+    for (ValidatorIndex v = 0; v < options.n; ++v) {
+      stores_.push_back(std::make_unique<storage::Store>());
+      validators_.push_back(std::make_unique<node::Validator>(
+          sim_, network_, committee_, v, *stores_[v], options_.node,
+          policy_factory(),
+          [this](ValidatorIndex self, const consensus::CommittedSubDag& sd) {
+            for (const auto& vert : sd.vertices)
+              delivered_[self].push_back(vert->digest());
+          }));
+    }
+  }
+
+  node::Validator::PolicyFactory policy_factory() const {
+    const std::uint64_t seed = options_.seed;
+    if (options_.use_hammerhead) {
+      const core::HammerHeadConfig hh = options_.hh;
+      return [seed, hh](const crypto::Committee& c) {
+        return std::make_unique<core::HammerHeadPolicy>(c, seed, hh);
+      };
+    }
+    return [seed](const crypto::Committee& c) {
+      return std::make_unique<core::RoundRobinPolicy>(c, seed);
+    };
+  }
+
+  void set_behavior(ValidatorIndex v, node::Behavior behavior) {
+    // Must be called before start(); rebuild the validator with the config.
+    node::NodeConfig cfg = options_.node;
+    cfg.behavior = behavior;
+    validators_[v] = std::make_unique<node::Validator>(
+        sim_, network_, committee_, v, *stores_[v], cfg, policy_factory(),
+        [this](ValidatorIndex self, const consensus::CommittedSubDag& sd) {
+          for (const auto& vert : sd.vertices)
+            delivered_[self].push_back(vert->digest());
+        });
+  }
+
+  void start() {
+    for (auto& v : validators_) v->start();
+  }
+
+  void run_for(SimTime duration) { sim_.run_until(sim_.now() + duration); }
+
+  /// BAB Total Order: every pair of delivery sequences is prefix-consistent.
+  /// Returns true and fills `details` otherwise.
+  bool total_order_holds(std::string* details = nullptr) const {
+    for (std::size_t a = 0; a < delivered_.size(); ++a) {
+      for (std::size_t b = a + 1; b < delivered_.size(); ++b) {
+        const auto& x = delivered_[a];
+        const auto& y = delivered_[b];
+        const std::size_t common = std::min(x.size(), y.size());
+        for (std::size_t i = 0; i < common; ++i) {
+          if (x[i] != y[i]) {
+            if (details)
+              *details = "divergence between v" + std::to_string(a) + " and v" +
+                         std::to_string(b) + " at position " +
+                         std::to_string(i);
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Schedule Agreement (Proposition 1): honest validators' epoch sequences
+  /// agree on their common prefix.
+  bool schedules_agree(const std::vector<ValidatorIndex>& honest) const {
+    const core::ScheduleHistory* ref = nullptr;
+    for (ValidatorIndex v : honest) {
+      const auto* h = validators_[v]->policy().history();
+      if (h == nullptr) continue;
+      if (ref == nullptr) {
+        ref = h;
+        continue;
+      }
+      const std::size_t common = std::min(ref->num_epochs(), h->num_epochs());
+      for (std::size_t i = 0; i < common; ++i) {
+        const auto& ea = ref->epochs()[i];
+        const auto& eb = h->epochs()[i];
+        if (ea.initial_round != eb.initial_round) return false;
+        if (ea.table.bad() != eb.table.bad()) return false;
+        if (ea.table.good() != eb.table.good()) return false;
+      }
+    }
+    return true;
+  }
+
+  sim::Simulator& sim() { return sim_; }
+  net::Network& network() { return network_; }
+  const crypto::Committee& committee() const { return committee_; }
+  node::Validator& validator(ValidatorIndex v) { return *validators_[v]; }
+  const std::vector<Digest>& delivered(ValidatorIndex v) const {
+    return delivered_[v];
+  }
+  std::size_t min_delivered(const std::vector<ValidatorIndex>& nodes) const {
+    std::size_t m = SIZE_MAX;
+    for (ValidatorIndex v : nodes) m = std::min(m, delivered_[v].size());
+    return m;
+  }
+
+ private:
+  ClusterOptions options_;
+  sim::Simulator sim_;
+  crypto::Committee committee_;
+  net::Network network_;
+  std::vector<std::unique_ptr<storage::Store>> stores_;
+  std::vector<std::unique_ptr<node::Validator>> validators_;
+  std::vector<std::vector<Digest>> delivered_;
+};
+
+}  // namespace test

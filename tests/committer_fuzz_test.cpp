@@ -1,0 +1,147 @@
+// Differential fuzzing of the committer: randomized DAGs (missing vertices,
+// partial parent sets, shuffled insertion) are processed incrementally and
+// compared against a from-scratch batch recomputation. Any divergence means
+// the incremental trigger/walk-back machinery depends on arrival order —
+// which would be a consensus bug, since validators see different orders.
+#include <gtest/gtest.h>
+
+#include "hammerhead/common/rng.h"
+#include "hammerhead/consensus/committer.h"
+#include "hammerhead/core/policies.h"
+#include "test_util.h"
+
+namespace hammerhead::consensus {
+namespace {
+
+using test::DagBuilder;
+
+struct GeneratedDag {
+  std::vector<dag::CertPtr> certs;  // causally ordered (parents first)
+};
+
+/// Random DAG: each round keeps a random quorum-or-more subset of authors;
+/// each vertex picks a random >= 2f+1 subset of the previous round as
+/// parents.
+GeneratedDag generate(DagBuilder& b, Rng& rng, Round rounds) {
+  GeneratedDag out;
+  const std::size_t n = b.committee().size();
+  const std::size_t quorum = n - b.committee().max_faulty_count();
+
+  std::vector<dag::CertPtr> prev;
+  for (ValidatorIndex a = 0; a < n; ++a)
+    prev.push_back(b.make_cert(0, a, {}));
+  out.certs = prev;
+
+  for (Round r = 1; r <= rounds; ++r) {
+    // Choose how many authors produce a vertex this round.
+    const std::size_t authors =
+        quorum + static_cast<std::size_t>(rng.next_below(n - quorum + 1));
+    std::vector<ValidatorIndex> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = static_cast<ValidatorIndex>(i);
+    rng.shuffle(pool);
+    pool.resize(authors);
+
+    std::vector<dag::CertPtr> cur;
+    for (ValidatorIndex a : pool) {
+      // Random parent subset of size >= quorum.
+      std::vector<dag::CertPtr> parent_pool = prev;
+      rng.shuffle(parent_pool);
+      const std::size_t num_parents =
+          std::min(parent_pool.size(),
+                   quorum + static_cast<std::size_t>(rng.next_below(
+                                parent_pool.size() - quorum + 1)));
+      parent_pool.resize(num_parents);
+      auto cert = b.make_cert(r, a, DagBuilder::digests_of(parent_pool));
+      cur.push_back(cert);
+      out.certs.push_back(cert);
+    }
+    prev = std::move(cur);
+    if (prev.size() < quorum) break;  // cannot extend further
+  }
+  return out;
+}
+
+std::vector<Digest> run_committer(const DagBuilder& b,
+                                  const std::vector<dag::CertPtr>& sequence,
+                                  bool hammerhead) {
+  dag::Dag dag(b.committee());
+  std::unique_ptr<core::LeaderSchedulePolicy> policy;
+  if (hammerhead) {
+    core::HammerHeadConfig cfg;
+    cfg.cadence = core::ScheduleCadence::commits(3);
+    policy = std::make_unique<core::HammerHeadPolicy>(b.committee(), 1, cfg);
+  } else {
+    policy = std::make_unique<core::RoundRobinPolicy>(b.committee(), 1);
+  }
+  std::vector<Digest> delivered;
+  BullsharkCommitter committer(
+      b.committee(), dag, *policy,
+      [&](const CommittedSubDag& sd) {
+        for (const auto& v : sd.vertices) delivered.push_back(v->digest());
+      });
+  // Insert respecting causal completeness: repeatedly sweep the sequence.
+  std::vector<dag::CertPtr> pending = sequence;
+  while (!pending.empty()) {
+    std::vector<dag::CertPtr> next;
+    bool progress = false;
+    for (auto& cert : pending) {
+      if (dag.parents_present(*cert)) {
+        if (dag.insert(cert)) committer.on_cert_inserted(cert);
+        progress = true;
+      } else {
+        next.push_back(cert);
+      }
+    }
+    if (!progress) break;  // remaining certs reference dropped vertices
+    pending = std::move(next);
+  }
+  return delivered;
+}
+
+class CommitterFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CommitterFuzz, ArrivalOrderIndependence) {
+  Rng rng(GetParam());
+  DagBuilder b(7, /*seed=*/3);
+  const GeneratedDag gen = generate(b, rng, 20);
+
+  for (bool hammerhead : {false, true}) {
+    const auto reference = run_committer(b, gen.certs, hammerhead);
+    // Replay several random permutations of arrival order.
+    for (int replay = 0; replay < 3; ++replay) {
+      auto shuffled = gen.certs;
+      rng.shuffle(shuffled);
+      const auto delivered = run_committer(b, shuffled, hammerhead);
+      ASSERT_EQ(delivered, reference)
+          << "delivery depends on arrival order (seed " << GetParam()
+          << ", hammerhead=" << hammerhead << ", replay " << replay << ")";
+    }
+  }
+}
+
+TEST_P(CommitterFuzz, PrefixConsistencyUnderTruncatedInput) {
+  // A validator with fewer certificates must deliver a prefix of what a
+  // validator with more certificates delivers.
+  Rng rng(GetParam() ^ 0xABCD);
+  DagBuilder b(7, /*seed=*/3);
+  const GeneratedDag gen = generate(b, rng, 20);
+
+  const auto full = run_committer(b, gen.certs, true);
+  for (double fraction : {0.5, 0.75, 0.9}) {
+    auto truncated = gen.certs;
+    truncated.resize(static_cast<std::size_t>(
+        static_cast<double>(truncated.size()) * fraction));
+    const auto partial = run_committer(b, truncated, true);
+    ASSERT_LE(partial.size(), full.size());
+    for (std::size_t i = 0; i < partial.size(); ++i)
+      ASSERT_EQ(partial[i], full[i])
+          << "prefix divergence at " << i << " (fraction " << fraction << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommitterFuzz,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                         12));
+
+}  // namespace
+}  // namespace hammerhead::consensus

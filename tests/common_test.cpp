@@ -1,0 +1,247 @@
+// Unit tests: common substrate (digest, hex, rng, logging, assertions).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "hammerhead/common/assert.h"
+#include "hammerhead/common/digest.h"
+#include "hammerhead/common/hex.h"
+#include "hammerhead/common/logging.h"
+#include "hammerhead/common/rng.h"
+#include "hammerhead/common/serde.h"
+#include "hammerhead/common/types.h"
+
+namespace hammerhead {
+namespace {
+
+// ------------------------------------------------------------------- types
+
+TEST(Types, DurationLiterals) {
+  EXPECT_EQ(micros(7), 7);
+  EXPECT_EQ(millis(3), 3'000);
+  EXPECT_EQ(seconds(2), 2'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_millis(millis(5)), 5.0);
+}
+
+// ------------------------------------------------------------------ assert
+
+TEST(Assert, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(HH_ASSERT(1 + 1 == 2));
+}
+
+TEST(Assert, FailingConditionThrowsInvariantViolation) {
+  EXPECT_THROW(HH_ASSERT(false), InvariantViolation);
+}
+
+TEST(Assert, MessageCarriesContext) {
+  try {
+    HH_ASSERT_MSG(false, "round " << 42);
+    FAIL() << "should have thrown";
+  } catch (const InvariantViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("round 42"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------------------- hex
+
+TEST(Hex, RoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x01, 0xab, 0xff, 0x7e};
+  EXPECT_EQ(to_hex(bytes), "0001abff7e");
+  EXPECT_EQ(from_hex("0001abff7e"), bytes);
+  EXPECT_EQ(from_hex("0001ABFF7E"), bytes);  // uppercase accepted
+}
+
+TEST(Hex, EmptyIsEmpty) {
+  EXPECT_EQ(to_hex(std::vector<std::uint8_t>{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ digest
+
+TEST(Digest, DefaultIsZero) {
+  Digest d;
+  EXPECT_TRUE(d.is_zero());
+  EXPECT_EQ(d.prefix64(), 0u);
+}
+
+TEST(Digest, OfStringIsDeterministicAndSensitive) {
+  const Digest a = Digest::of_string("hello");
+  const Digest b = Digest::of_string("hello");
+  const Digest c = Digest::of_string("hellp");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_FALSE(a.is_zero());
+}
+
+TEST(Digest, HexFormatting) {
+  const Digest d = Digest::of_string("x");
+  EXPECT_EQ(d.to_hex().size(), 64u);
+  EXPECT_EQ(d.brief(), d.to_hex().substr(0, 8));
+}
+
+TEST(Digest, WorksAsHashAndTreeKey) {
+  std::unordered_set<Digest> hset;
+  std::set<Digest> oset;
+  for (int i = 0; i < 100; ++i) {
+    const Digest d = Digest::of_string("key-" + std::to_string(i));
+    hset.insert(d);
+    oset.insert(d);
+  }
+  EXPECT_EQ(hset.size(), 100u);
+  EXPECT_EQ(oset.size(), 100u);
+}
+
+// ------------------------------------------------------------------- serde
+
+TEST(Serde, EncodesDistinctStructuresDistinctly) {
+  ByteWriter a, b;
+  a.str("ab");
+  a.str("c");
+  b.str("a");
+  b.str("bc");
+  // Length prefixes make the encoding injective.
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(Serde, IntegerWidths) {
+  ByteWriter w;
+  w.u8(0xff);
+  w.u32(1);
+  w.u64(2);
+  w.i64(-3);
+  EXPECT_EQ(w.data().size(), 1u + 4u + 8u + 8u);
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanIsApproximatelyRight) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Rng, NormalMomentsAreApproximatelyRight) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  // Forking must not replay the parent stream.
+  EXPECT_NE(parent.next(), child.next());
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+// ----------------------------------------------------------------- logging
+
+TEST(Logging, SinkReceivesMessagesAtOrAboveLevel) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  const LogLevel old_level = log_level();
+  auto old_sink = set_log_sink([&](LogLevel l, const std::string& m) {
+    captured.emplace_back(l, m);
+  });
+  set_log_level(LogLevel::Info);
+
+  HH_DEBUG("dropped");
+  HH_INFO("kept-info");
+  HH_ERROR("kept-error " << 5);
+
+  set_log_sink(old_sink);
+  set_log_level(old_level);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].second, "kept-info");
+  EXPECT_EQ(captured[1].second, "kept-error 5");
+  EXPECT_EQ(captured[1].first, LogLevel::Error);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::Debug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::Error), "ERROR");
+}
+
+}  // namespace
+}  // namespace hammerhead

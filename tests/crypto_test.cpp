@@ -1,0 +1,195 @@
+// Unit tests: SHA-256 against FIPS 180-4 vectors, simulated signatures,
+// committee stake arithmetic.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hammerhead/common/hex.h"
+#include "hammerhead/crypto/committee.h"
+#include "hammerhead/crypto/keys.h"
+#include "hammerhead/crypto/sha256.h"
+
+namespace hammerhead::crypto {
+namespace {
+
+// ------------------------------------------------------------------ sha256
+
+// Official NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::hash(std::string("")).to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::hash(std::string("abc")).to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::hash(std::string(
+                             "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmno"
+                             "mnopnopq"))
+                .to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1'000, 'a');
+  for (int i = 0; i < 1'000; ++i) h.update(chunk);
+  EXPECT_EQ(h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: padding goes entirely into a second block.
+  const std::string msg(64, 'x');
+  const Digest whole = Sha256::hash(msg);
+  Sha256 h;
+  h.update(msg.substr(0, 31));
+  h.update(msg.substr(31));
+  EXPECT_EQ(h.finalize(), whole);
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes: length fits the first block; 56: spills into a second.
+  for (std::size_t len : {55u, 56u, 63u, 65u}) {
+    const std::string msg(len, 'q');
+    Sha256 a;
+    a.update(msg);
+    Sha256 b;
+    for (char c : msg) b.update(std::string(1, c));
+    EXPECT_EQ(a.finalize(), b.finalize()) << "length " << len;
+  }
+}
+
+TEST(Sha256, StreamingEqualsOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  h.update(msg.substr(0, 10));
+  h.update(msg.substr(10, 20));
+  h.update(msg.substr(30));
+  EXPECT_EQ(h.finalize(), Sha256::hash(msg));
+}
+
+TEST(Sha256, ResetStartsFresh) {
+  Sha256 h;
+  h.update(std::string("garbage"));
+  h.reset();
+  h.update(std::string("abc"));
+  EXPECT_EQ(h.finalize().to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// -------------------------------------------------------------------- keys
+
+TEST(Keys, DerivationIsDeterministic) {
+  const Keypair a = Keypair::derive(42, 3);
+  const Keypair b = Keypair::derive(42, 3);
+  EXPECT_EQ(a.public_key(), b.public_key());
+}
+
+TEST(Keys, DistinctSeedsAndIndicesGiveDistinctKeys) {
+  EXPECT_NE(Keypair::derive(42, 3).public_key(),
+            Keypair::derive(42, 4).public_key());
+  EXPECT_NE(Keypair::derive(42, 3).public_key(),
+            Keypair::derive(43, 3).public_key());
+}
+
+TEST(Keys, SignVerifyRoundTrip) {
+  const Keypair kp = Keypair::derive(1, 0);
+  const Digest msg = Digest::of_string("message");
+  const Signature sig = kp.sign("ctx", msg);
+  EXPECT_TRUE(verify(kp.public_key(), "ctx", msg, sig));
+}
+
+TEST(Keys, VerifyRejectsWrongMessage) {
+  const Keypair kp = Keypair::derive(1, 0);
+  const Signature sig = kp.sign("ctx", Digest::of_string("m1"));
+  EXPECT_FALSE(verify(kp.public_key(), "ctx", Digest::of_string("m2"), sig));
+}
+
+TEST(Keys, VerifyRejectsWrongContext) {
+  const Keypair kp = Keypair::derive(1, 0);
+  const Digest msg = Digest::of_string("m");
+  const Signature sig = kp.sign("header", msg);
+  EXPECT_FALSE(verify(kp.public_key(), "vote", msg, sig));
+}
+
+TEST(Keys, VerifyRejectsWrongSigner) {
+  const Keypair kp1 = Keypair::derive(1, 0);
+  const Keypair kp2 = Keypair::derive(1, 1);
+  const Digest msg = Digest::of_string("m");
+  const Signature sig = kp1.sign("ctx", msg);
+  EXPECT_FALSE(verify(kp2.public_key(), "ctx", msg, sig));
+}
+
+TEST(Keys, ZeroSignatureIsInvalid) {
+  const Keypair kp = Keypair::derive(1, 0);
+  Signature zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(verify(kp.public_key(), "ctx", Digest::of_string("m"), zero));
+}
+
+// --------------------------------------------------------------- committee
+
+TEST(Committee, EqualStakeThresholds) {
+  // n = 3f + 1 -> f faulty, quorum 2f+1, validity f+1.
+  const Committee c4 = Committee::make_equal_stake(4, 1);
+  EXPECT_EQ(c4.total_stake(), 4u);
+  EXPECT_EQ(c4.max_faulty_stake(), 1u);
+  EXPECT_EQ(c4.quorum_threshold(), 3u);
+  EXPECT_EQ(c4.validity_threshold(), 2u);
+
+  const Committee c10 = Committee::make_equal_stake(10, 1);
+  EXPECT_EQ(c10.max_faulty_stake(), 3u);
+  EXPECT_EQ(c10.quorum_threshold(), 7u);
+  EXPECT_EQ(c10.validity_threshold(), 4u);
+
+  const Committee c100 = Committee::make_equal_stake(100, 1);
+  EXPECT_EQ(c100.max_faulty_stake(), 33u);
+  EXPECT_EQ(c100.quorum_threshold(), 67u);
+  EXPECT_EQ(c100.validity_threshold(), 34u);
+}
+
+TEST(Committee, WeightedStakes) {
+  const Committee c = Committee::make_with_stakes({10, 20, 30, 40}, 1);
+  EXPECT_EQ(c.total_stake(), 100u);
+  EXPECT_EQ(c.max_faulty_stake(), 33u);
+  EXPECT_EQ(c.quorum_threshold(), 67u);
+  EXPECT_EQ(c.validity_threshold(), 34u);
+  EXPECT_EQ(c.stake_of(3), 40u);
+  EXPECT_EQ(c.stake_of_set({0, 2}), 40u);
+}
+
+TEST(Committee, QuorumsAlwaysIntersectInHonestParty) {
+  // Structural check over several sizes: two quorums overlap in > f stake.
+  for (std::size_t n : {4u, 7u, 10u, 31u, 100u}) {
+    const Committee c = Committee::make_equal_stake(n, 1);
+    EXPECT_GT(2 * c.quorum_threshold(), c.total_stake() + c.max_faulty_stake())
+        << "n=" << n;
+  }
+}
+
+TEST(Committee, ValidatorKeysMatchDerivation) {
+  const Committee c = Committee::make_equal_stake(4, 99);
+  for (ValidatorIndex i = 0; i < 4; ++i)
+    EXPECT_EQ(c.validator(i).key, Keypair::derive(99, i).public_key());
+}
+
+TEST(Committee, RejectsTooSmall) {
+  EXPECT_THROW(Committee::make_equal_stake(3, 1), InvariantViolation);
+}
+
+TEST(Committee, RejectsZeroStake) {
+  EXPECT_THROW(Committee::make_with_stakes({1, 0, 1, 1}, 1),
+               InvariantViolation);
+}
+
+TEST(Committee, OutOfRangeValidatorThrows) {
+  const Committee c = Committee::make_equal_stake(4, 1);
+  EXPECT_THROW(c.validator(4), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace hammerhead::crypto

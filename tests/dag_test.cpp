@@ -1,0 +1,280 @@
+// Unit tests: DAG types (headers, votes, certificates) and the Dag store
+// (causal completeness, path queries, support counting, garbage collection).
+#include <gtest/gtest.h>
+
+#include "hammerhead/dag/dag.h"
+#include "test_util.h"
+
+namespace hammerhead::dag {
+namespace {
+
+using test::DagBuilder;
+
+std::vector<ValidatorIndex> all_of(std::size_t n) {
+  std::vector<ValidatorIndex> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<ValidatorIndex>(i);
+  return v;
+}
+
+// ------------------------------------------------------------------- types
+
+TEST(Types, HeaderDigestCommitsToAllFields) {
+  DagBuilder b(4);
+  auto base = b.make_cert(1, 0, {});
+  auto other_author = b.make_cert(1, 1, {});
+  auto other_round = b.make_cert(2, 0, {});
+  EXPECT_NE(base->digest(), other_author->digest());
+  EXPECT_NE(base->digest(), other_round->digest());
+}
+
+TEST(Types, HeaderDigestCommitsToPayload) {
+  DagBuilder b(4);
+  Transaction tx1{1, 0, 0};
+  Transaction tx2{2, 0, 0};
+  auto with_tx1 = b.make_cert(1, 0, {}, {tx1});
+  auto with_tx2 = b.make_cert(1, 0, {}, {tx2});
+  EXPECT_NE(with_tx1->digest(), with_tx2->digest());
+}
+
+TEST(Types, HeaderVerifyContentAcceptsValid) {
+  DagBuilder b(4);
+  auto cert = b.make_cert(1, 0, {});
+  EXPECT_TRUE(cert->header->verify_content(b.committee()));
+}
+
+TEST(Types, HeaderVerifyContentRejectsTamperedSignature) {
+  DagBuilder b(4);
+  auto payload = std::make_shared<BlockPayload>();
+  auto header = std::make_shared<Header>();
+  header->author = 0;
+  header->round = 1;
+  header->payload = payload;
+  header->finalize(crypto::Keypair::derive(1, 0));
+  // Break the signature.
+  auto tampered = std::make_shared<Header>(*header);
+  tampered->signature.bytes[0] ^= 0xff;
+  EXPECT_FALSE(tampered->verify_content(b.committee()));
+}
+
+TEST(Types, VoteRoundTrip) {
+  DagBuilder b(4);
+  auto cert = b.make_cert(1, 0, {});
+  const crypto::Keypair voter_key = crypto::Keypair::derive(1, 2);
+  const Vote vote = Vote::make(*cert->header, 2, voter_key);
+  EXPECT_TRUE(vote.verify(b.committee()));
+  EXPECT_EQ(vote.round, 1u);
+  EXPECT_EQ(vote.header_author, 0u);
+}
+
+TEST(Types, VoteWithWrongKeyFailsVerification) {
+  DagBuilder b(4);
+  auto cert = b.make_cert(1, 0, {});
+  // Voter 2 signs but the vote claims voter 3.
+  Vote vote = Vote::make(*cert->header, 2, crypto::Keypair::derive(1, 2));
+  vote.voter = 3;
+  EXPECT_FALSE(vote.verify(b.committee()));
+}
+
+TEST(Types, CertificateVerifyAcceptsQuorum) {
+  DagBuilder b(4);
+  auto cert = b.make_cert(1, 0, {});
+  EXPECT_TRUE(cert->verify(b.committee()));
+  EXPECT_EQ(cert->signer_stake(b.committee()), 3u);
+}
+
+TEST(Types, CertificateVerifyRejectsSubQuorum) {
+  DagBuilder b(4);
+  auto good = b.make_cert(1, 0, {});
+  auto bad = Certificate::make(good->header, {0, 1});  // only 2 of 4
+  EXPECT_FALSE(bad->verify(b.committee()));
+}
+
+TEST(Types, CertificateMakeDeduplicatesAndSortsSigners) {
+  DagBuilder b(4);
+  auto good = b.make_cert(1, 0, {});
+  auto cert = Certificate::make(good->header, {2, 0, 1, 2, 0});
+  EXPECT_EQ(cert->signers, (std::vector<ValidatorIndex>{0, 1, 2}));
+}
+
+TEST(Types, CertificateParentLookup) {
+  DagBuilder b(4);
+  auto p0 = b.make_cert(0, 0, {});
+  auto p1 = b.make_cert(0, 1, {});
+  auto child = b.make_cert(1, 0, {p0->digest(), p1->digest()});
+  EXPECT_TRUE(child->has_parent(p0->digest()));
+  EXPECT_TRUE(child->has_parent(p1->digest()));
+  EXPECT_FALSE(child->has_parent(Digest::of_string("nope")));
+}
+
+TEST(Types, WireSizesScaleWithContent) {
+  DagBuilder b(4);
+  auto small = b.make_cert(1, 0, {});
+  auto big = b.make_cert(1, 0, {}, std::vector<Transaction>(10));
+  EXPECT_GT(big->wire_size(), small->wire_size());
+  EXPECT_GE(big->wire_size() - small->wire_size(),
+            10 * Transaction::kWireSize);
+}
+
+// --------------------------------------------------------------------- dag
+
+TEST(DagStore, InsertAndLookup) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto cert = b.make_cert(0, 2, {});
+  EXPECT_TRUE(dag.insert(cert));
+  EXPECT_TRUE(dag.contains(cert->digest()));
+  EXPECT_TRUE(dag.contains(0, 2));
+  EXPECT_EQ(dag.get(0, 2), cert);
+  EXPECT_EQ(dag.get(cert->digest()), cert);
+  EXPECT_EQ(dag.max_round(), 0u);
+  EXPECT_EQ(dag.total_certs(), 1u);
+}
+
+TEST(DagStore, DuplicateInsertIsRejectedNotFatal) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto cert = b.make_cert(0, 2, {});
+  EXPECT_TRUE(dag.insert(cert));
+  EXPECT_FALSE(dag.insert(cert));
+  EXPECT_EQ(dag.total_certs(), 1u);
+}
+
+TEST(DagStore, CausallyIncompleteInsertThrows) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto parent = b.make_cert(0, 0, {});  // never inserted
+  auto child = b.make_cert(1, 0, {parent->digest()});
+  EXPECT_FALSE(dag.parents_present(*child));
+  EXPECT_EQ(dag.missing_parents(*child).size(), 1u);
+  EXPECT_THROW(dag.insert(child), InvariantViolation);
+}
+
+TEST(DagStore, RoundAccounting) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  b.add_round(dag, 0, {0, 1, 2}, {});
+  EXPECT_EQ(dag.round_size(0), 3u);
+  EXPECT_EQ(dag.round_stake(0), 3u);
+  EXPECT_EQ(dag.round_size(5), 0u);
+  EXPECT_EQ(dag.round_certs(0).size(), 3u);
+}
+
+TEST(DagStore, DirectSupportCountsVotes) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto r0 = b.add_round(dag, 0, all_of(4), {});
+  const CertPtr anchor = r0[1];  // vertex by validator 1 at round 0
+  // Round 1: validators 0 and 2 reference the anchor; validator 3 does not.
+  auto v0 = b.make_cert(1, 0, {anchor->digest(), r0[0]->digest()});
+  auto v2 = b.make_cert(1, 2, {anchor->digest(), r0[2]->digest()});
+  auto v3 = b.make_cert(1, 3, {r0[0]->digest(), r0[2]->digest()});
+  dag.insert(v0);
+  EXPECT_EQ(dag.direct_support(*anchor), 1u);
+  dag.insert(v2);
+  EXPECT_EQ(dag.direct_support(*anchor), 2u);
+  dag.insert(v3);
+  EXPECT_EQ(dag.direct_support(*anchor), 2u);  // v3 is not a vote
+}
+
+TEST(DagStore, PathFollowsParentEdges) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto last = b.add_full_rounds(dag, 3);
+  auto first = dag.get(0, 0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(dag.has_path(*last[0], *first));
+}
+
+TEST(DagStore, PathToSelfIsTrue) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto r0 = b.add_round(dag, 0, {0}, {});
+  EXPECT_TRUE(dag.has_path(*r0[0], *r0[0]));
+}
+
+TEST(DagStore, NoPathAcrossDisconnectedBranches) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto r0 = b.add_round(dag, 0, all_of(4), {});
+  // Vertex at round 1 referencing only vertices {0,1,2}; no path to 3's.
+  auto child =
+      b.make_cert(1, 0, {r0[0]->digest(), r0[1]->digest(), r0[2]->digest()});
+  dag.insert(child);
+  EXPECT_TRUE(dag.has_path(*child, *r0[0]));
+  EXPECT_FALSE(dag.has_path(*child, *r0[3]));
+}
+
+TEST(DagStore, PathNotFoundUpward) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto r0 = b.add_round(dag, 0, all_of(4), {});
+  auto r1 = b.add_round(dag, 1, all_of(4), DagBuilder::digests_of(r0));
+  EXPECT_FALSE(dag.has_path(*r0[0], *r1[0]));  // edges point down only
+}
+
+TEST(DagStore, CausalHistoryCollectsEverythingReachable) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto last = b.add_full_rounds(dag, 2);  // rounds 0,1,2 fully linked
+  auto history =
+      dag.causal_history(*last[0], [](const Certificate&) { return true; });
+  // last[0] + 4 vertices in round 1 + 4 in round 0.
+  EXPECT_EQ(history.size(), 9u);
+}
+
+TEST(DagStore, CausalHistoryRespectsKeepFilter) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto last = b.add_full_rounds(dag, 2);
+  // Filter out round 0: traversal must stop there.
+  auto history = dag.causal_history(*last[1], [](const Certificate& c) {
+    return c.round() >= 1;
+  });
+  EXPECT_EQ(history.size(), 5u);  // 1 at round 2 + 4 at round 1
+}
+
+TEST(DagStore, CausalHistoryEmptyWhenRootFiltered) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto r0 = b.add_round(dag, 0, {0}, {});
+  auto history =
+      dag.causal_history(*r0[0], [](const Certificate&) { return false; });
+  EXPECT_TRUE(history.empty());
+}
+
+TEST(DagStore, PruneBelowDropsOldRounds) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  b.add_full_rounds(dag, 5);
+  const std::size_t before = dag.total_certs();
+  dag.prune_below(3);
+  EXPECT_EQ(dag.gc_floor(), 3u);
+  EXPECT_EQ(dag.total_certs(), before - 3 * 4);
+  EXPECT_EQ(dag.round_size(2), 0u);
+  EXPECT_EQ(dag.round_size(3), 4u);
+}
+
+TEST(DagStore, InsertAtGcFloorToleratesMissingParents) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto last = b.add_full_rounds(dag, 4);
+  dag.prune_below(3);
+  // A certificate at the floor whose parents are pruned must be insertable
+  // (recovering peers fetch history only above the floor).
+  auto extra = b.make_cert(3, 0, {Digest::of_string("pruned-parent")});
+  EXPECT_TRUE(dag.parents_present(*extra));
+  (void)last;
+}
+
+TEST(DagStore, PruneIsIdempotentAndMonotone) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  b.add_full_rounds(dag, 4);
+  dag.prune_below(2);
+  dag.prune_below(2);
+  dag.prune_below(1);  // lower floor: no-op
+  EXPECT_EQ(dag.gc_floor(), 2u);
+}
+
+}  // namespace
+}  // namespace hammerhead::dag

@@ -1,0 +1,147 @@
+// Tests: execution substrate — deterministic state machines, checkpointing,
+// and replica state agreement on top of live committees (SMR end to end).
+#include <gtest/gtest.h>
+
+#include "cluster_util.h"
+#include "hammerhead/exec/state_machine.h"
+#include "test_util.h"
+
+namespace hammerhead::exec {
+namespace {
+
+dag::Transaction tx(TxId id) { return dag::Transaction{id, 0, 0}; }
+
+TEST(SharedCounter, CountsApplications) {
+  SharedCounter sm;
+  for (TxId i = 0; i < 10; ++i) sm.apply(tx(i));
+  EXPECT_EQ(sm.value(), 10u);
+  EXPECT_EQ(sm.applied_count(), 10u);
+}
+
+TEST(SharedCounter, DigestIsOrderSensitive) {
+  SharedCounter a, b;
+  a.apply(tx(1));
+  a.apply(tx(2));
+  b.apply(tx(2));
+  b.apply(tx(1));
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(SharedCounter, SameSequenceSameDigest) {
+  SharedCounter a, b;
+  for (TxId i = 0; i < 50; ++i) {
+    a.apply(tx(i * 7));
+    b.apply(tx(i * 7));
+  }
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+}
+
+TEST(KvStateMachine, RoutesByKey) {
+  KvStateMachine sm(4);
+  sm.apply(tx(0));
+  sm.apply(tx(4));
+  sm.apply(tx(1));
+  EXPECT_EQ(sm.cell_count(0), 2u);
+  EXPECT_EQ(sm.cell_count(1), 1u);
+  EXPECT_EQ(sm.cell_count(2), 0u);
+  EXPECT_EQ(sm.applied_count(), 3u);
+}
+
+TEST(KvStateMachine, DetectsCrossCellReordering) {
+  KvStateMachine a(4), b(4);
+  a.apply(tx(1));
+  a.apply(tx(5));  // same cell as 1: order matters inside the cell
+  b.apply(tx(5));
+  b.apply(tx(1));
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(ExecutionEngine, AppliesSubdagsAndCheckpoints) {
+  // Feed hand-made sub-DAGs through the engine.
+  test::DagBuilder builder(4);
+  ExecutionEngine engine(std::make_unique<SharedCounter>(),
+                         /*checkpoint_interval=*/2);
+  for (std::uint64_t index = 1; index <= 4; ++index) {
+    consensus::CommittedSubDag sd;
+    sd.commit_index = index;
+    sd.anchor = builder.make_cert(index * 2, 0, {},
+                                  {tx(index * 10), tx(index * 10 + 1)});
+    sd.vertices = {sd.anchor};
+    engine.on_subdag_committed(sd);
+  }
+  EXPECT_EQ(engine.machine().applied_count(), 8u);
+  EXPECT_EQ(engine.checkpoints().size(), 2u);  // indices 2 and 4
+  EXPECT_TRUE(engine.checkpoints().count(2));
+  EXPECT_TRUE(engine.checkpoints().count(4));
+}
+
+TEST(ExecutionEngine, RejectsCommitIndexGaps) {
+  test::DagBuilder builder(4);
+  ExecutionEngine engine(std::make_unique<SharedCounter>());
+  consensus::CommittedSubDag sd;
+  sd.commit_index = 2;  // gap: expected 1
+  sd.anchor = builder.make_cert(2, 0, {});
+  EXPECT_THROW(engine.on_subdag_committed(sd), InvariantViolation);
+}
+
+TEST(ExecutionEngine, CheckpointConsistencyDetectsDivergence) {
+  test::DagBuilder builder(4);
+  ExecutionEngine a(std::make_unique<SharedCounter>(), 1);
+  ExecutionEngine b(std::make_unique<SharedCounter>(), 1);
+  consensus::CommittedSubDag sd;
+  sd.commit_index = 1;
+  sd.anchor = builder.make_cert(2, 0, {}, {tx(1)});
+  sd.vertices = {sd.anchor};
+  a.on_subdag_committed(sd);
+  consensus::CommittedSubDag sd2 = sd;
+  sd2.anchor = builder.make_cert(2, 0, {}, {tx(2)});
+  sd2.vertices = {sd2.anchor};
+  b.on_subdag_committed(sd2);
+  EXPECT_FALSE(ExecutionEngine::checkpoints_consistent(a, b));
+}
+
+// --------------------------------------------------- end-to-end SMR checks
+
+TEST(StateMachineReplication, ReplicasConvergeUnderLoadAndFaults) {
+  // The strongest safety statement: every live validator's executed state
+  // digests agree at every common checkpoint, under crash faults and
+  // schedule changes.
+  test::ClusterOptions o;
+  o.n = 7;
+  o.node = test::fast_node_config();
+  o.node.gc_depth = 1'000;  // keep all payloads resolvable for the check
+  o.hh.cadence = core::ScheduleCadence::commits(4);
+  test::Cluster c(o);
+  c.start();
+  for (TxId i = 0; i < 500; ++i)
+    c.validator(static_cast<ValidatorIndex>(i % 7)).submit_tx(
+        {i, static_cast<ValidatorIndex>(i % 7), 0});
+  c.validator(6).crash();
+  c.run_for(seconds(6));
+
+  // Reconstruct each validator's executed sequence from its delivered
+  // digests (DAG payloads), apply to fresh state machines, compare.
+  std::vector<Digest> digests;
+  for (ValidatorIndex v = 0; v < 6; ++v) {
+    KvStateMachine sm;
+    for (const auto& d : c.delivered(v)) {
+      const auto cert = c.validator(v).dag().get(d);
+      if (!cert || !cert->header->payload) continue;
+      for (const auto& t : cert->header->payload->txs) sm.apply(t);
+    }
+    digests.push_back(sm.state_digest());
+  }
+  // All validators that delivered the same prefix length have equal state;
+  // compare the shortest prefix by recomputing: since sequences are prefix-
+  // consistent (total_order_holds), equal delivered counts => equal state.
+  for (ValidatorIndex a = 0; a < 6; ++a)
+    for (ValidatorIndex b = a + 1; b < 6; ++b)
+      if (c.delivered(a).size() == c.delivered(b).size()) {
+        EXPECT_EQ(digests[a], digests[b]) << "v" << a << " vs v" << b;
+      }
+  std::string why;
+  EXPECT_TRUE(c.total_order_holds(&why)) << why;
+}
+
+}  // namespace
+}  // namespace hammerhead::exec

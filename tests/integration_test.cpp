@@ -1,0 +1,206 @@
+// Integration tests: whole-committee behaviour across modules — total order
+// under churn, schedule agreement, leader eviction end-to-end, partitions,
+// GST transitions.
+#include <gtest/gtest.h>
+
+#include "cluster_util.h"
+
+namespace hammerhead {
+namespace {
+
+using test::Cluster;
+using test::ClusterOptions;
+using test::fast_node_config;
+
+std::vector<ValidatorIndex> range(std::size_t n) {
+  std::vector<ValidatorIndex> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<ValidatorIndex>(i);
+  return v;
+}
+
+TEST(Integration, TotalOrderFaultless) {
+  ClusterOptions o;
+  o.n = 7;
+  o.node = fast_node_config();
+  Cluster c(o);
+  c.start();
+  c.run_for(seconds(8));
+  std::string why;
+  EXPECT_TRUE(c.total_order_holds(&why)) << why;
+  EXPECT_GT(c.min_delivered(range(7)), 100u);
+}
+
+TEST(Integration, ScheduleAgreementFaultless) {
+  ClusterOptions o;
+  o.n = 7;
+  o.node = fast_node_config();
+  o.hh.cadence = core::ScheduleCadence::commits(5);
+  Cluster c(o);
+  c.start();
+  c.run_for(seconds(8));
+  EXPECT_TRUE(c.schedules_agree(range(7)));
+  // Several epochs must actually have happened for this to mean anything.
+  const auto* h = c.validator(0).policy().history();
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->num_epochs(), 4u);
+}
+
+TEST(Integration, HammerHeadEvictsCrashedLeadersEndToEnd) {
+  ClusterOptions o;
+  o.n = 10;
+  o.node = fast_node_config();
+  o.hh.cadence = core::ScheduleCadence::commits(5);
+  Cluster c(o);
+  c.start();
+  c.validator(8).crash();
+  c.validator(9).crash();
+  c.run_for(seconds(12));
+
+  // After convergence, live validators' current schedules never elect the
+  // crashed validators.
+  for (ValidatorIndex v = 0; v < 8; ++v) {
+    const auto* h = c.validator(v).policy().history();
+    ASSERT_NE(h, nullptr);
+    ASSERT_GE(h->num_epochs(), 2u) << "v" << v;
+    const auto& bad = h->current().table.bad();
+    EXPECT_TRUE(std::find(bad.begin(), bad.end(), 8u) != bad.end())
+        << "v" << v << " did not evict crashed validator 8";
+    EXPECT_TRUE(std::find(bad.begin(), bad.end(), 9u) != bad.end())
+        << "v" << v << " did not evict crashed validator 9";
+  }
+  std::string why;
+  EXPECT_TRUE(c.total_order_holds(&why)) << why;
+  EXPECT_TRUE(c.schedules_agree(range(8)));
+}
+
+TEST(Integration, RoundRobinKeepsElectingCrashedLeaders) {
+  // The baseline contrast: round-robin never adapts, so crashed validators
+  // keep owning anchor slots and every such round times out.
+  ClusterOptions o;
+  o.n = 10;
+  o.node = fast_node_config();
+  o.use_hammerhead = false;
+  Cluster c(o);
+  c.start();
+  c.validator(8).crash();
+  c.validator(9).crash();
+  c.run_for(seconds(12));
+  std::uint64_t timeouts = 0;
+  for (ValidatorIndex v = 0; v < 8; ++v)
+    timeouts += c.validator(v).stats().leader_timeouts;
+  EXPECT_GT(timeouts, 20u);
+  std::string why;
+  EXPECT_TRUE(c.total_order_holds(&why)) << why;
+}
+
+TEST(Integration, TotalOrderWithRoundsCadence) {
+  // Algorithm 2 verbatim (rounds cadence): the boundary anchor itself is
+  // re-evaluated under the new schedule; total order must still hold.
+  ClusterOptions o;
+  o.n = 7;
+  o.node = fast_node_config();
+  o.hh.cadence = core::ScheduleCadence::rounds(8);
+  Cluster c(o);
+  c.start();
+  c.validator(6).crash();
+  c.run_for(seconds(10));
+  std::string why;
+  EXPECT_TRUE(c.total_order_holds(&why)) << why;
+  EXPECT_TRUE(c.schedules_agree(range(6)));
+  const auto* h = c.validator(0).policy().history();
+  EXPECT_GE(h->num_epochs(), 2u);
+}
+
+TEST(Integration, PartitionHealsAndCommitsResume) {
+  ClusterOptions o;
+  o.n = 7;
+  o.node = fast_node_config();
+  Cluster c(o);
+  c.start();
+  c.run_for(seconds(2));
+  const auto before = c.validator(0).committer().commit_index();
+
+  // Partition 3 vs 4: neither side has a quorum of 5.
+  c.network().partition({0, 1, 2});
+  c.run_for(seconds(3));
+  const auto during = c.validator(0).committer().commit_index();
+  EXPECT_LE(during, before + 2);  // in-flight only
+
+  c.network().heal();
+  c.run_for(seconds(5));
+  EXPECT_GT(c.validator(0).committer().commit_index(), during + 5);
+  std::string why;
+  EXPECT_TRUE(c.total_order_holds(&why)) << why;
+}
+
+TEST(Integration, MinoritySideCatchesUpAfterHeal) {
+  ClusterOptions o;
+  o.n = 7;
+  o.node = fast_node_config();
+  Cluster c(o);
+  c.start();
+  c.run_for(seconds(1));
+  c.network().partition({5, 6});  // majority of 5 keeps committing
+  c.run_for(seconds(4));
+  const auto majority = c.validator(0).committer().commit_index();
+  const auto minority = c.validator(5).committer().commit_index();
+  EXPECT_GT(majority, minority);
+  c.network().heal();
+  c.run_for(seconds(6));
+  EXPECT_GE(c.validator(5).committer().commit_index(), majority);
+  std::string why;
+  EXPECT_TRUE(c.total_order_holds(&why)) << why;
+}
+
+TEST(Integration, AdversarialPreGstDelaysDoNotBreakSafety) {
+  ClusterOptions o;
+  o.n = 7;
+  o.node = fast_node_config();
+  o.net.gst = seconds(4);
+  o.net.delta = seconds(1);
+  o.net.max_adversarial_delay = seconds(3);
+  o.hh.cadence = core::ScheduleCadence::commits(3);
+  Cluster c(o);
+  c.start();
+  c.run_for(seconds(12));
+  std::string why;
+  EXPECT_TRUE(c.total_order_holds(&why)) << why;
+  EXPECT_TRUE(c.schedules_agree(range(7)));
+  // Liveness after GST: commits happened well beyond the pre-GST mess.
+  EXPECT_GT(c.validator(0).committer().commit_index(), 10u);
+}
+
+TEST(Integration, SlowValidatorLosesReputation) {
+  // A degraded (not crashed) validator — the Sui incident scenario — votes
+  // late, scores poorly, and ends up in the bad set.
+  ClusterOptions o;
+  o.n = 7;
+  o.node = fast_node_config();
+  o.hh.cadence = core::ScheduleCadence::commits(5);
+  Cluster c(o);
+  c.start();
+  c.network().set_slowdown(6, 12.0);
+  c.validator(6).set_cpu_slowdown(12.0);
+  c.run_for(seconds(12));
+  const auto* h = c.validator(0).policy().history();
+  ASSERT_GE(h->num_epochs(), 2u);
+  const auto& bad = h->current().table.bad();
+  EXPECT_TRUE(std::find(bad.begin(), bad.end(), 6u) != bad.end());
+}
+
+TEST(Integration, StakeWeightedCommitteeStillOrdersTotally) {
+  ClusterOptions o;
+  o.n = 4;
+  o.node = fast_node_config();
+  Cluster c(o);
+  // Cluster uses equal stakes internally; weighted stakes go through the
+  // harness (covered there). Here: sanity that 4-committee total order holds
+  // with hammerhead cadence pressure.
+  c.start();
+  c.run_for(seconds(6));
+  std::string why;
+  EXPECT_TRUE(c.total_order_holds(&why)) << why;
+}
+
+}  // namespace
+}  // namespace hammerhead

@@ -1,0 +1,140 @@
+// Unit tests: harness measurement utilities (latency histogram percentiles,
+// the transaction metrics collector's dedupe/warm-up semantics).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hammerhead/harness/metrics.h"
+#include "test_util.h"
+
+namespace hammerhead::harness {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZeroEverywhere) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_s(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile_s(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_s(), 0.0);
+  EXPECT_DOUBLE_EQ(h.stdev_s(), 0.0);
+}
+
+TEST(LatencyHistogram, MeanAndMax) {
+  LatencyHistogram h;
+  h.record(seconds(1));
+  h.record(seconds(2));
+  h.record(seconds(3));
+  EXPECT_DOUBLE_EQ(h.mean_s(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max_s(), 3.0);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(LatencyHistogram, PercentilesInterpolate) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.record(seconds(i));
+  EXPECT_NEAR(h.percentile_s(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.percentile_s(100), 100.0, 1e-9);
+  EXPECT_NEAR(h.percentile_s(50), 50.5, 0.01);
+  EXPECT_NEAR(h.percentile_s(95), 95.05, 0.1);
+}
+
+TEST(LatencyHistogram, SingleSample) {
+  LatencyHistogram h;
+  h.record(millis(1500));
+  EXPECT_DOUBLE_EQ(h.percentile_s(50), 1.5);
+  EXPECT_DOUBLE_EQ(h.stdev_s(), 0.0);
+}
+
+TEST(LatencyHistogram, StdevOfKnownSet) {
+  LatencyHistogram h;
+  h.record(seconds(2));
+  h.record(seconds(4));
+  h.record(seconds(4));
+  h.record(seconds(4));
+  h.record(seconds(5));
+  h.record(seconds(5));
+  h.record(seconds(7));
+  h.record(seconds(9));
+  // Sample stdev of {2,4,4,4,5,5,7,9} = sqrt(32/7).
+  EXPECT_NEAR(h.stdev_s(), std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(LatencyHistogram, RecordingAfterQueryKeepsSorting) {
+  LatencyHistogram h;
+  h.record(seconds(5));
+  (void)h.percentile_s(50);
+  h.record(seconds(1));
+  EXPECT_DOUBLE_EQ(h.percentile_s(0), 1.0);
+}
+
+// --------------------------------------------------------------- collector
+
+consensus::CommittedSubDag make_subdag(test::DagBuilder& b, Round round,
+                                       std::vector<dag::Transaction> txs,
+                                       std::uint64_t index, SimTime time) {
+  consensus::CommittedSubDag sd;
+  sd.anchor = b.make_cert(round, 0, {}, std::move(txs));
+  sd.vertices = {sd.anchor};
+  sd.commit_index = index;
+  sd.commit_time = time;
+  return sd;
+}
+
+TEST(MetricsCollector, RecordsLatencyForSubmittingValidatorOnly) {
+  test::DagBuilder b(4);
+  MetricsCollector collector(0);
+  dag::Transaction tx{1, /*submitted_to=*/2, /*submit_time=*/seconds(1)};
+  collector.on_tx_submitted(tx);
+
+  const auto sd = make_subdag(b, 2, {tx}, 1, seconds(3));
+  collector.on_commit(/*reporter=*/0, sd, 0);  // wrong reporter: ignored
+  EXPECT_EQ(collector.committed(), 0u);
+  collector.on_commit(/*reporter=*/2, sd, 0);
+  EXPECT_EQ(collector.committed(), 1u);
+  EXPECT_NEAR(collector.latency().mean_s(), 2.0, 1e-9);
+}
+
+TEST(MetricsCollector, CountsEachTransactionOnce) {
+  test::DagBuilder b(4);
+  MetricsCollector collector(0);
+  dag::Transaction tx{1, 2, 0};
+  collector.on_tx_submitted(tx);
+  const auto sd = make_subdag(b, 2, {tx}, 1, seconds(1));
+  collector.on_commit(2, sd, 0);
+  collector.on_commit(2, sd, 0);  // duplicate report (e.g. replay)
+  EXPECT_EQ(collector.committed(), 1u);
+  EXPECT_EQ(collector.latency().count(), 1u);
+}
+
+TEST(MetricsCollector, WarmupExcludedFromLatencyButCounted) {
+  test::DagBuilder b(4);
+  MetricsCollector collector(/*measure_from=*/seconds(10));
+  dag::Transaction early{1, 0, seconds(5)};
+  dag::Transaction late{2, 0, seconds(15)};
+  collector.on_tx_submitted(early);
+  collector.on_tx_submitted(late);
+  collector.on_commit(0, make_subdag(b, 2, {early, late}, 1, seconds(16)), 0);
+  EXPECT_EQ(collector.committed(), 2u);            // both committed
+  EXPECT_EQ(collector.measured_committed(), 1u);   // only the late one timed
+  EXPECT_NEAR(collector.latency().mean_s(), 1.0, 1e-9);
+}
+
+TEST(MetricsCollector, ClientReturnLatencyIncluded) {
+  test::DagBuilder b(4);
+  MetricsCollector collector(0);
+  dag::Transaction tx{1, 0, 0};
+  collector.on_tx_submitted(tx);
+  collector.on_commit(0, make_subdag(b, 2, {tx}, 1, seconds(2)), millis(500));
+  EXPECT_NEAR(collector.latency().mean_s(), 2.5, 1e-9);
+}
+
+TEST(MetricsCollector, UnknownTransactionIgnored) {
+  test::DagBuilder b(4);
+  MetricsCollector collector(0);
+  dag::Transaction tx{99, 0, 0};  // never submitted
+  collector.on_commit(0, make_subdag(b, 2, {tx}, 1, seconds(1)), 0);
+  EXPECT_EQ(collector.committed(), 0u);
+}
+
+}  // namespace
+}  // namespace hammerhead::harness

@@ -1,0 +1,175 @@
+// Tests: monitoring substrate (counters, gauges, histograms, exposition).
+#include <gtest/gtest.h>
+
+#include "hammerhead/monitor/metrics_registry.h"
+
+namespace hammerhead::monitor {
+namespace {
+
+TEST(Counter, IncrementsMonotonically) {
+  Counter c;
+  c.increment();
+  c.increment(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  EXPECT_THROW(c.increment(-1), InvariantViolation);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_DOUBLE_EQ(g.value(), 7);
+}
+
+TEST(Histogram, BucketsObservations) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(1.5);
+  h.observe(10.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.5);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);  // <= 1
+  EXPECT_EQ(h.bucket_counts()[1], 2u);  // (1, 2]
+  EXPECT_EQ(h.bucket_counts()[2], 0u);  // (2, 5]
+  EXPECT_EQ(h.bucket_counts()[3], 1u);  // > 5 (overflow)
+}
+
+TEST(Histogram, BoundaryGoesToLowerBucket) {
+  Histogram h({1.0, 2.0});
+  h.observe(1.0);  // 'le' semantics: lands in the <=1 bucket
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.observe(0.5);   // <=1
+  for (int i = 0; i < 100; ++i) h.observe(1.5);   // <=2
+  const double median = h.quantile(0.5);
+  EXPECT_GE(median, 0.5);
+  EXPECT_LE(median, 1.5);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GT(p99, 1.0);
+  EXPECT_LE(p99, 2.0);
+}
+
+TEST(Histogram, QuantileOnEmptyIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), InvariantViolation);
+}
+
+TEST(LatencyBuckets, CoverPaperRange) {
+  const auto buckets = latency_seconds_buckets();
+  EXPECT_GE(buckets.size(), 10u);
+  EXPECT_LE(buckets.front(), 0.1);   // sub-100ms resolution
+  EXPECT_GE(buckets.back(), 15.0);   // covers Figure 2's worst latencies
+  EXPECT_TRUE(std::is_sorted(buckets.begin(), buckets.end()));
+}
+
+TEST(Registry, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry reg;
+  reg.counter("commits_total").increment();
+  reg.counter("commits_total").increment();
+  EXPECT_DOUBLE_EQ(reg.counter("commits_total").value(), 2.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, LabelsDistinguishSeries) {
+  MetricsRegistry reg;
+  reg.counter("commits_total", {{"validator", "0"}}).increment();
+  reg.counter("commits_total", {{"validator", "1"}}).increment(5);
+  EXPECT_DOUBLE_EQ(
+      reg.counter("commits_total", {{"validator", "0"}}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      reg.counter("commits_total", {{"validator", "1"}}).value(), 5.0);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), InvariantViolation);
+}
+
+TEST(Registry, ExposesPrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.counter("commits_total", {{"validator", "3"}}).increment(7);
+  reg.gauge("round").set(42);
+  reg.histogram("latency_seconds", {1.0, 2.0}).observe(1.5);
+  const std::string text = reg.expose();
+  EXPECT_NE(text.find("commits_total{validator=\"3\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("round 42"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_sum 1.5"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 1"), std::string::npos);
+}
+
+TEST(Registry, HistogramBucketsAreCumulativeInExposition) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  const std::string text = reg.expose();
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"2\"} 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hammerhead::monitor
+
+// ------------------------------------------------------- validator export
+
+#include "cluster_util.h"
+#include "hammerhead/node/monitoring.h"
+
+namespace hammerhead::node {
+namespace {
+
+TEST(ValidatorExporter, ScrapesLiveCommittee) {
+  test::ClusterOptions o;
+  o.n = 4;
+  o.node = test::fast_node_config();
+  test::Cluster c(o);
+  c.start();
+  c.run_for(seconds(3));
+
+  monitor::MetricsRegistry reg;
+  for (ValidatorIndex v = 0; v < 4; ++v)
+    export_validator_metrics(c.validator(v), reg);
+
+  const std::string text = reg.expose();
+  EXPECT_NE(text.find("hh_commit_index{validator=\"0\"}"), std::string::npos);
+  EXPECT_NE(text.find("hh_headers_proposed{validator=\"3\"}"),
+            std::string::npos);
+  // Values reflect actual progress.
+  EXPECT_GT(reg.gauge("hh_commit_index", {{"validator", "0"}}).value(), 5.0);
+  EXPECT_GT(reg.gauge("hh_last_proposed_round", {{"validator", "1"}}).value(),
+            10.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("hh_crashed", {{"validator", "2"}}).value(), 0.0);
+}
+
+TEST(ValidatorExporter, ScrapeIsIdempotentAndTracksCrash) {
+  test::ClusterOptions o;
+  o.n = 4;
+  o.node = test::fast_node_config();
+  test::Cluster c(o);
+  c.start();
+  c.run_for(seconds(1));
+  monitor::MetricsRegistry reg;
+  export_validator_metrics(c.validator(2), reg);
+  const std::size_t series = reg.size();
+  c.validator(2).crash();
+  export_validator_metrics(c.validator(2), reg);
+  EXPECT_EQ(reg.size(), series);  // same series updated, none duplicated
+  EXPECT_DOUBLE_EQ(reg.gauge("hh_crashed", {{"validator", "2"}}).value(), 1.0);
+}
+
+}  // namespace
+}  // namespace hammerhead::node

@@ -1,0 +1,256 @@
+// Unit tests: latency models and the partially synchronous network
+// (GST bound, adversarial delay, crash/slowdown/partition injection,
+// bandwidth serialization).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hammerhead/net/latency.h"
+#include "hammerhead/net/network.h"
+#include "hammerhead/sim/simulator.h"
+
+namespace hammerhead::net {
+namespace {
+
+struct TestMsg final : Message {
+  int value = 0;
+  std::size_t size = 100;
+  std::size_t wire_size() const override { return size; }
+  const char* type_name() const override { return "test"; }
+};
+
+MessagePtr make_msg(int value, std::size_t size = 100) {
+  auto m = std::make_shared<TestMsg>();
+  m->value = value;
+  m->size = size;
+  return m;
+}
+
+int value_of(const MessagePtr& m) {
+  return static_cast<const TestMsg&>(*m).value;
+}
+
+struct Delivery {
+  ValidatorIndex to;
+  ValidatorIndex from;
+  int value;
+  SimTime at;
+};
+
+struct Fixture {
+  explicit Fixture(NetConfig cfg = {}, std::size_t n = 4,
+                   SimTime lat_min = millis(10), SimTime lat_max = millis(10))
+      : sim(1),
+        net(sim, std::make_unique<UniformLatencyModel>(lat_min, lat_max), cfg,
+            n) {
+    for (ValidatorIndex v = 0; v < n; ++v) {
+      net.register_handler(v, [this, v](ValidatorIndex from,
+                                        const MessagePtr& msg) {
+        deliveries.push_back({v, from, value_of(msg), sim.now()});
+      });
+    }
+  }
+  sim::Simulator sim;
+  Network net;
+  std::vector<Delivery> deliveries;
+};
+
+// ---------------------------------------------------------- latency models
+
+TEST(LatencyModel, UniformWithinBounds) {
+  UniformLatencyModel m(millis(5), millis(15));
+  Rng rng(1);
+  for (int i = 0; i < 1'000; ++i) {
+    const SimTime l = m.sample(0, 1, rng);
+    EXPECT_GE(l, millis(5));
+    EXPECT_LE(l, millis(15));
+  }
+  EXPECT_EQ(m.expected(0, 1), millis(10));
+}
+
+TEST(LatencyModel, ThirteenAwsRegions) {
+  EXPECT_EQ(aws_regions().size(), 13u);
+  EXPECT_EQ(aws_regions()[0].name, "us-east-1");
+}
+
+TEST(LatencyModel, GeoStructureIsPlausible) {
+  // Intra-region < intra-continent < trans-pacific.
+  GeoLatencyModel geo(13);
+  const SimTime same = GeoLatencyModel::region_rtt(0, 0);
+  const SimTime us_east_west = GeoLatencyModel::region_rtt(0, 1);
+  const SimTime london_paris = GeoLatencyModel::region_rtt(5, 6);
+  const SimTime virginia_sydney = GeoLatencyModel::region_rtt(0, 10);
+  EXPECT_LT(same, millis(2));
+  EXPECT_GT(us_east_west, millis(30));
+  EXPECT_LT(us_east_west, millis(110));
+  EXPECT_LT(london_paris, millis(20));
+  EXPECT_GT(virginia_sydney, millis(130));
+}
+
+TEST(LatencyModel, GeoIsSymmetric) {
+  for (std::size_t a = 0; a < 13; ++a)
+    for (std::size_t b = 0; b < 13; ++b)
+      EXPECT_EQ(GeoLatencyModel::region_rtt(a, b),
+                GeoLatencyModel::region_rtt(b, a));
+}
+
+TEST(LatencyModel, GeoValidatorsMapRoundRobinToRegions) {
+  GeoLatencyModel geo(30);
+  EXPECT_EQ(geo.region_of(0), 0u);
+  EXPECT_EQ(geo.region_of(13), 0u);
+  EXPECT_EQ(geo.region_of(14), 1u);
+}
+
+TEST(LatencyModel, GeoSampleJitterStaysNearExpected) {
+  GeoLatencyModel geo(13, 0.05);
+  Rng rng(2);
+  const SimTime expected = geo.expected(0, 10);
+  for (int i = 0; i < 500; ++i) {
+    const SimTime s = geo.sample(0, 10, rng);
+    EXPECT_GT(s, expected / 2);
+    EXPECT_LT(s, expected * 2);
+  }
+}
+
+// ----------------------------------------------------------------- network
+
+TEST(Network, DeliversPointToPoint) {
+  Fixture f;
+  f.net.send(0, 1, make_msg(42));
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].to, 1u);
+  EXPECT_EQ(f.deliveries[0].from, 0u);
+  EXPECT_EQ(f.deliveries[0].value, 42);
+  EXPECT_GE(f.deliveries[0].at, millis(10));
+}
+
+TEST(Network, BroadcastExcludesSender) {
+  Fixture f;
+  f.net.broadcast(2, make_msg(7));
+  f.sim.run_to_completion();
+  EXPECT_EQ(f.deliveries.size(), 3u);
+  for (const auto& d : f.deliveries) EXPECT_NE(d.to, 2u);
+}
+
+TEST(Network, CrashedSenderSendsNothing) {
+  Fixture f;
+  f.net.crash(0);
+  f.net.send(0, 1, make_msg(1));
+  f.sim.run_to_completion();
+  EXPECT_TRUE(f.deliveries.empty());
+}
+
+TEST(Network, CrashedReceiverDropsInFlight) {
+  Fixture f;
+  f.net.send(0, 1, make_msg(1));
+  f.net.crash(1);  // crashes before delivery
+  f.sim.run_to_completion();
+  EXPECT_TRUE(f.deliveries.empty());
+  EXPECT_EQ(f.net.stats().messages_dropped_crash, 1u);
+}
+
+TEST(Network, RecoveryRestoresDelivery) {
+  Fixture f;
+  f.net.crash(1);
+  EXPECT_TRUE(f.net.is_crashed(1));
+  f.net.recover(1);
+  EXPECT_FALSE(f.net.is_crashed(1));
+  f.net.send(0, 1, make_msg(5));
+  f.sim.run_to_completion();
+  EXPECT_EQ(f.deliveries.size(), 1u);
+}
+
+TEST(Network, SlowdownInflatesLatency) {
+  Fixture f;
+  f.net.set_slowdown(1, 4.0);
+  f.net.send(0, 1, make_msg(1));
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_GE(f.deliveries[0].at, millis(40));
+  f.deliveries.clear();
+  f.net.clear_slowdown(1);
+  f.net.send(0, 1, make_msg(2));
+  f.sim.run_to_completion();
+  EXPECT_LT(f.deliveries[0].at - millis(40), millis(20));
+}
+
+TEST(Network, PartitionBuffersAndHealDelivers) {
+  Fixture f;
+  f.net.partition({0, 1});  // {0,1} vs {2,3}
+  f.net.send(0, 2, make_msg(9));   // cross: held
+  f.net.send(0, 1, make_msg(10));  // same side: flows
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].value, 10);
+
+  f.net.heal();
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  EXPECT_EQ(f.deliveries[1].value, 9);  // reliable channels: late, not lost
+}
+
+TEST(Network, PartialSynchronyBoundsPreGstDelay) {
+  NetConfig cfg;
+  cfg.gst = seconds(10);
+  cfg.delta = seconds(1);
+  cfg.max_adversarial_delay = seconds(100);  // adversary wants huge delays
+  Fixture f(cfg);
+  f.net.send(0, 1, make_msg(1));  // sent at t=0 < GST
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  // Must arrive by max(GST, send) + delta = 11s.
+  EXPECT_LE(f.deliveries[0].at, seconds(11));
+  // And the adversary really did delay it past the raw latency.
+  EXPECT_GT(f.deliveries[0].at, millis(10));
+}
+
+TEST(Network, AfterGstDeliveryWithinDelta) {
+  NetConfig cfg;
+  cfg.gst = millis(5);
+  cfg.delta = seconds(1);
+  cfg.max_adversarial_delay = seconds(100);
+  Fixture f(cfg);
+  f.sim.schedule_at(millis(50), [&] { f.net.send(0, 1, make_msg(2)); });
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_LE(f.deliveries[0].at, millis(50) + seconds(1));
+}
+
+TEST(Network, BandwidthSerializesEgress) {
+  NetConfig cfg;
+  cfg.bandwidth_bytes_per_us = 1.0;  // 1 B/us: easy arithmetic
+  Fixture f(cfg);
+  // Two 10 KB messages: second waits for the first to clear the sender link.
+  f.net.send(0, 1, make_msg(1, 10'000));
+  f.net.send(0, 2, make_msg(2, 10'000));
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  // First: tx 10ms + lat 10ms = 20ms. Second: tx ends at 20ms + lat = 30ms.
+  EXPECT_NEAR(static_cast<double>(f.deliveries[0].at), millis(20), 1000.0);
+  EXPECT_NEAR(static_cast<double>(f.deliveries[1].at), millis(30), 1000.0);
+}
+
+TEST(Network, UnlimitedBandwidthSkipsSerialization) {
+  NetConfig cfg;
+  cfg.unlimited_bandwidth = true;
+  Fixture f(cfg);
+  f.net.send(0, 1, make_msg(1, 1'000'000));
+  f.net.send(0, 2, make_msg(2, 1'000'000));
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  EXPECT_LE(f.deliveries[1].at, millis(11));
+}
+
+TEST(Network, StatsCountTraffic) {
+  Fixture f;
+  f.net.broadcast(0, make_msg(1, 250));
+  f.sim.run_to_completion();
+  EXPECT_EQ(f.net.stats().messages_sent, 3u);
+  EXPECT_EQ(f.net.stats().messages_delivered, 3u);
+  EXPECT_EQ(f.net.stats().bytes_sent, 750u);
+}
+
+}  // namespace
+}  // namespace hammerhead::net

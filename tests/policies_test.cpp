@@ -1,0 +1,220 @@
+// Unit tests: leader-schedule policies (round-robin, static, HammerHead
+// scoring + cadences, Shoal-like scoring).
+#include <gtest/gtest.h>
+
+#include "hammerhead/core/policies.h"
+#include "test_util.h"
+
+namespace hammerhead::core {
+namespace {
+
+using test::DagBuilder;
+
+// ------------------------------------------------------------- round robin
+
+TEST(RoundRobin, MatchesBaseSchedule) {
+  DagBuilder b(7);
+  RoundRobinPolicy policy(b.committee(), 9);
+  const BaseSchedule base = BaseSchedule::make(b.committee(), 9);
+  for (Round r = 0; r < 40; ++r)
+    EXPECT_EQ(policy.leader(r), base.slot(anchor_slot(r)));
+}
+
+TEST(RoundRobin, EveryValidatorGetsSlots) {
+  DagBuilder b(7);
+  RoundRobinPolicy policy(b.committee(), 9);
+  std::set<ValidatorIndex> leaders;
+  for (Round r = 0; r < 14; r += 2) leaders.insert(policy.leader(r));
+  EXPECT_EQ(leaders.size(), 7u);
+}
+
+TEST(RoundRobin, NeverChangesSchedule) {
+  DagBuilder b(4);
+  RoundRobinPolicy policy(b.committee(), 9);
+  EXPECT_FALSE(policy.maybe_change_schedule(1000));
+  auto cert = b.make_cert(0, 0, {});
+  EXPECT_FALSE(policy.on_anchor_committed(*cert));
+  EXPECT_EQ(policy.history()->num_epochs(), 1u);
+}
+
+// ------------------------------------------------------------------ static
+
+TEST(StaticLeader, AlwaysSameLeader) {
+  StaticLeaderPolicy policy(3);
+  for (Round r = 0; r < 100; ++r) EXPECT_EQ(policy.leader(r), 3u);
+  EXPECT_EQ(policy.history(), nullptr);
+}
+
+// -------------------------------------------------------------- hammerhead
+
+struct HammerHeadFixture {
+  explicit HammerHeadFixture(std::size_t n, HammerHeadConfig cfg = {})
+      : builder(n), dag(builder.committee()),
+        policy(builder.committee(), 9, cfg) {}
+
+  DagBuilder builder;
+  dag::Dag dag;
+  HammerHeadPolicy policy;
+};
+
+TEST(HammerHead, VoteForLeaderEarnsOnePoint) {
+  HammerHeadFixture f(4);
+  auto r0 = f.builder.add_round(f.dag, 0, {0, 1, 2, 3}, {});
+  const ValidatorIndex leader0 = f.policy.leader(0);
+  const dag::CertPtr leader_cert = f.dag.get(0, leader0);
+  ASSERT_NE(leader_cert, nullptr);
+
+  // Vertex by validator 2 at round 1 referencing the round-0 leader: +1.
+  auto voter = f.builder.make_cert(
+      1, 2, {leader_cert->digest(), r0[(leader0 + 1) % 4]->digest()});
+  f.dag.insert(voter);
+  f.policy.on_vertex_ordered(f.dag, *voter);
+  EXPECT_EQ(f.policy.scores().score_of(2), 1);
+
+  // Vertex by validator 3 NOT referencing the leader: no point.
+  std::vector<Digest> non_leader_parents;
+  for (const auto& c : r0)
+    if (c->author() != leader0) non_leader_parents.push_back(c->digest());
+  auto abstainer = f.builder.make_cert(1, 3, non_leader_parents);
+  f.dag.insert(abstainer);
+  f.policy.on_vertex_ordered(f.dag, *abstainer);
+  EXPECT_EQ(f.policy.scores().score_of(3), 0);
+}
+
+TEST(HammerHead, RoundZeroVerticesScoreNothing) {
+  HammerHeadFixture f(4);
+  auto r0 = f.builder.add_round(f.dag, 0, {0, 1, 2, 3}, {});
+  for (const auto& c : r0) f.policy.on_vertex_ordered(f.dag, *c);
+  for (ValidatorIndex v = 0; v < 4; ++v)
+    EXPECT_EQ(f.policy.scores().score_of(v), 0);
+}
+
+TEST(HammerHead, CommitsCadenceChangesAfterKCommits) {
+  HammerHeadConfig cfg;
+  cfg.cadence = ScheduleCadence::commits(3);
+  HammerHeadFixture f(4, cfg);
+  auto last = f.builder.add_full_rounds(f.dag, 8);
+  (void)last;
+
+  int changes = 0;
+  for (Round r = 0; r <= 8; r += 2) {
+    auto anchor = f.dag.get(r, f.policy.leader(r));
+    ASSERT_NE(anchor, nullptr);
+    if (f.policy.on_anchor_committed(*anchor)) {
+      ++changes;
+      // New epoch starts at the NEXT anchor round.
+      EXPECT_EQ(f.policy.history()->current().initial_round, r + 2);
+    }
+  }
+  EXPECT_EQ(changes, 1);  // 5 commits -> one change after the 3rd
+  EXPECT_EQ(f.policy.commits_in_epoch(), 2u);
+}
+
+TEST(HammerHead, CommitsCadenceIgnoresMaybeChange) {
+  HammerHeadConfig cfg;
+  cfg.cadence = ScheduleCadence::commits(3);
+  HammerHeadFixture f(4, cfg);
+  EXPECT_FALSE(f.policy.maybe_change_schedule(100));
+}
+
+TEST(HammerHead, RoundsCadenceChangesAtBoundaryAnchor) {
+  HammerHeadConfig cfg;
+  cfg.cadence = ScheduleCadence::rounds(10);
+  HammerHeadFixture f(4, cfg);
+  EXPECT_FALSE(f.policy.maybe_change_schedule(8));
+  EXPECT_TRUE(f.policy.maybe_change_schedule(10));
+  // Epoch starts AT the boundary round (Algorithm 2).
+  EXPECT_EQ(f.policy.history()->current().initial_round, 10u);
+  // Next change requires another T rounds.
+  EXPECT_FALSE(f.policy.maybe_change_schedule(14));
+  EXPECT_TRUE(f.policy.maybe_change_schedule(20));
+}
+
+TEST(HammerHead, RoundsCadenceIgnoresCommitHook) {
+  HammerHeadConfig cfg;
+  cfg.cadence = ScheduleCadence::rounds(10);
+  HammerHeadFixture f(4, cfg);
+  auto cert = f.builder.make_cert(0, f.policy.leader(0), {});
+  EXPECT_FALSE(f.policy.on_anchor_committed(*cert));
+}
+
+TEST(HammerHead, ScoresResetAtEpochBoundary) {
+  HammerHeadConfig cfg;
+  cfg.cadence = ScheduleCadence::rounds(4);
+  HammerHeadFixture f(4, cfg);
+  auto r0 = f.builder.add_round(f.dag, 0, {0, 1, 2, 3}, {});
+  const ValidatorIndex leader0 = f.policy.leader(0);
+  auto voter = f.builder.make_cert(1, 1, {f.dag.get(0, leader0)->digest()});
+  f.dag.insert(voter);
+  f.policy.on_vertex_ordered(f.dag, *voter);
+  EXPECT_EQ(f.policy.scores().score_of(1), 1);
+  EXPECT_TRUE(f.policy.maybe_change_schedule(4));
+  EXPECT_EQ(f.policy.scores().score_of(1), 0);
+}
+
+TEST(HammerHead, LowScorersLoseSlots) {
+  // After an epoch in which validators {0,1,2} voted and {3} never did, the
+  // new schedule must never elect 3... on a 4-validator committee f=1, so
+  // only the single worst (v3) is evicted.
+  HammerHeadConfig cfg;
+  cfg.cadence = ScheduleCadence::rounds(2);
+  HammerHeadFixture f(4, cfg);
+  auto r0 = f.builder.add_round(f.dag, 0, {0, 1, 2, 3}, {});
+  const ValidatorIndex leader0 = f.policy.leader(0);
+  for (ValidatorIndex v = 0; v < 3; ++v) {
+    auto voter = f.builder.make_cert(1, v, {f.dag.get(0, leader0)->digest()});
+    f.dag.insert(voter);
+    f.policy.on_vertex_ordered(f.dag, *voter);
+  }
+  ASSERT_TRUE(f.policy.maybe_change_schedule(2));
+  for (Round r = 2; r < 30; r += 2) EXPECT_NE(f.policy.leader(r), 3u);
+}
+
+// -------------------------------------------------------------- shoal-like
+
+TEST(ShoalLike, CommittedLeadersGainSkippedLose) {
+  DagBuilder b(4);
+  ShoalLikePolicy policy(b.committee(), 9);
+  auto anchor = b.make_cert(0, 2, {});
+  policy.on_anchor_committed(*anchor);
+  policy.on_anchor_committed(*anchor);
+  policy.on_anchor_skipped(2, 1);
+  EXPECT_EQ(policy.scores().score_of(2), 2);
+  EXPECT_EQ(policy.scores().score_of(1), -1);
+  EXPECT_EQ(policy.scores().score_of(0), 0);
+}
+
+TEST(ShoalLike, IgnoresVoteActivity) {
+  // The Section 7 contrast: Shoal-like scoring does not reward voters.
+  DagBuilder b(4);
+  dag::Dag dag(b.committee());
+  ShoalLikePolicy policy(b.committee(), 9);
+  auto r0 = b.add_round(dag, 0, {0, 1, 2, 3}, {});
+  auto voter = b.make_cert(1, 1, {dag.get(0, policy.leader(0))->digest()});
+  dag.insert(voter);
+  policy.on_vertex_ordered(dag, *voter);
+  EXPECT_EQ(policy.scores().score_of(1), 0);
+}
+
+TEST(ShoalLike, CommitsCadenceEvictsSkippedLeader) {
+  HammerHeadConfig cfg;
+  cfg.cadence = ScheduleCadence::commits(2);
+  DagBuilder b(4);
+  ShoalLikePolicy policy(b.committee(), 9, cfg);
+  // Pick a victim that is not one of the committed leaders, so its -1 score
+  // is strictly the worst.
+  ValidatorIndex victim = 0;
+  while (victim == policy.leader(0) || victim == policy.leader(4)) ++victim;
+  auto a0 = b.make_cert(0, policy.leader(0), {});
+  policy.on_anchor_skipped(2, victim);
+  EXPECT_FALSE(policy.on_anchor_committed(*a0));
+  auto a4 = b.make_cert(4, policy.leader(4), {});
+  EXPECT_TRUE(policy.on_anchor_committed(*a4));
+  // The skipped victim (score -1) must be evicted in the new epoch.
+  const Round start = policy.history()->current().initial_round;
+  for (Round r = start; r < start + 20; r += 2)
+    EXPECT_NE(policy.leader(r), victim);
+}
+
+}  // namespace
+}  // namespace hammerhead::core

@@ -1,0 +1,87 @@
+// Unit tests: reputation scores (accumulation, deterministic ranking, reset).
+#include <gtest/gtest.h>
+
+#include "hammerhead/core/reputation.h"
+
+namespace hammerhead::core {
+namespace {
+
+TEST(Reputation, StartsAtZero) {
+  ReputationScores s(5);
+  for (ValidatorIndex v = 0; v < 5; ++v) EXPECT_EQ(s.score_of(v), 0);
+}
+
+TEST(Reputation, AddAccumulates) {
+  ReputationScores s(3);
+  s.add(1);
+  s.add(1);
+  s.add(2, 5);
+  EXPECT_EQ(s.score_of(0), 0);
+  EXPECT_EQ(s.score_of(1), 2);
+  EXPECT_EQ(s.score_of(2), 5);
+}
+
+TEST(Reputation, NegativeDeltasAllowed) {
+  // The Shoal-like policy subtracts points for skipped leaders.
+  ReputationScores s(2);
+  s.add(0, -3);
+  EXPECT_EQ(s.score_of(0), -3);
+}
+
+TEST(Reputation, ResetZeroesEverything) {
+  ReputationScores s(3);
+  s.add(0, 7);
+  s.add(2, -1);
+  s.reset();
+  for (ValidatorIndex v = 0; v < 3; ++v) EXPECT_EQ(s.score_of(v), 0);
+}
+
+TEST(Reputation, RankedWorstToBest) {
+  ReputationScores s(4);
+  s.add(0, 5);
+  s.add(1, 1);
+  s.add(2, 9);
+  s.add(3, 3);
+  EXPECT_EQ(s.ranked_worst_to_best(),
+            (std::vector<ValidatorIndex>{1, 3, 0, 2}));
+}
+
+TEST(Reputation, RankedBestToWorst) {
+  ReputationScores s(4);
+  s.add(0, 5);
+  s.add(1, 1);
+  s.add(2, 9);
+  s.add(3, 3);
+  EXPECT_EQ(s.ranked_best_to_worst(),
+            (std::vector<ValidatorIndex>{2, 0, 3, 1}));
+}
+
+TEST(Reputation, TiesBreakByIndexBothDirections) {
+  // "Any ties ... are deterministically resolved" (Section 3).
+  ReputationScores s(4);
+  s.add(0, 2);
+  s.add(1, 2);
+  s.add(2, 2);
+  s.add(3, 2);
+  EXPECT_EQ(s.ranked_worst_to_best(),
+            (std::vector<ValidatorIndex>{0, 1, 2, 3}));
+  EXPECT_EQ(s.ranked_best_to_worst(),
+            (std::vector<ValidatorIndex>{0, 1, 2, 3}));
+}
+
+TEST(Reputation, OutOfRangeThrows) {
+  ReputationScores s(2);
+  EXPECT_THROW(s.add(2), InvariantViolation);
+  EXPECT_THROW(s.score_of(2), InvariantViolation);
+}
+
+TEST(Reputation, ToStringListsAllValidators) {
+  ReputationScores s(2);
+  s.add(1, 4);
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("v0=0"), std::string::npos);
+  EXPECT_NE(str.find("v1=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hammerhead::core

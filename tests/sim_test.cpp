@@ -1,0 +1,160 @@
+// Unit tests: the discrete-event simulator (ordering, determinism, timers).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hammerhead/sim/simulator.h"
+
+namespace hammerhead::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim(1);
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule_after(millis(30), [&] { order.push_back(3); });
+  sim.schedule_after(millis(10), [&] { order.push_back(1); });
+  sim.schedule_after(millis(20), [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), millis(30));
+}
+
+TEST(Simulator, SimultaneousEventsFireInScheduleOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_after(millis(5), [&order, i] { order.push_back(i); });
+  sim.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator sim(1);
+  SimTime seen = -1;
+  sim.schedule_after(seconds(2), [&] { seen = sim.now(); });
+  sim.run_to_completion();
+  EXPECT_EQ(seen, seconds(2));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.schedule_after(millis(10), [&] { ++fired; });
+  sim.schedule_after(millis(50), [&] { ++fired; });
+  const auto count = sim.run_until(millis(20));
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), millis(20));  // clock lands on the deadline
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim(1);
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 5) sim.schedule_after(millis(1), recur);
+  };
+  sim.schedule_after(millis(1), recur);
+  sim.run_to_completion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), millis(5));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim(1);
+  bool fired = false;
+  const auto id = sim.schedule_after(millis(10), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_to_completion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoop) {
+  Simulator sim(1);
+  sim.cancel(987654);
+  bool fired = false;
+  sim.schedule_after(millis(1), [&] { fired = true; });
+  sim.run_to_completion();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelOneOfSimultaneous) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule_after(millis(5), [&] { order.push_back(0); });
+  const auto id = sim.schedule_after(millis(5), [&] { order.push_back(1); });
+  sim.schedule_after(millis(5), [&] { order.push_back(2); });
+  sim.cancel(id);
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim(1);
+  sim.schedule_after(millis(10), [] {});
+  sim.run_to_completion();
+  EXPECT_THROW(sim.schedule_at(millis(5), [] {}), InvariantViolation);
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), InvariantViolation);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.schedule_after(1, [&] { ++fired; });
+  sim.schedule_after(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutedEventsCounter) {
+  Simulator sim(1);
+  for (int i = 0; i < 7; ++i) sim.schedule_after(i, [] {});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Simulator, DeterministicReplayWithSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<std::uint64_t> trace;
+    std::function<void()> tick = [&] {
+      trace.push_back(sim.rng().next());
+      if (trace.size() < 50)
+        sim.schedule_after(
+            static_cast<SimTime>(1 + sim.rng().next_below(1000)), tick);
+    };
+    sim.schedule_after(1, tick);
+    sim.run_to_completion();
+    return trace;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim(3);
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10'000; ++i) {
+    const SimTime t = static_cast<SimTime>(sim.rng().next_below(1'000'000));
+    sim.schedule_at(t, [&, t] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.run_to_completion();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace hammerhead::sim

@@ -1,0 +1,126 @@
+// Unit tests: the persistent store substrate (typed tables, ordered scans,
+// schema discipline, stats).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "hammerhead/storage/store.h"
+
+namespace hammerhead::storage {
+namespace {
+
+TEST(Store, PutGetRoundTrip) {
+  Store store;
+  auto& t = store.open_table<int, std::string>("t");
+  t.put(1, "one");
+  t.put(2, "two");
+  EXPECT_EQ(t.get(1), "one");
+  EXPECT_EQ(t.get(2), "two");
+  EXPECT_EQ(t.get(3), std::nullopt);
+}
+
+TEST(Store, OverwriteReplacesValue) {
+  Store store;
+  auto& t = store.open_table<int, int>("t");
+  t.put(1, 10);
+  t.put(1, 20);
+  EXPECT_EQ(t.get(1), 20);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Store, EraseRemoves) {
+  Store store;
+  auto& t = store.open_table<int, int>("t");
+  t.put(5, 50);
+  EXPECT_TRUE(t.contains(5));
+  t.erase(5);
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Store, ReopenReturnsSameTable) {
+  Store store;
+  store.open_table<int, int>("t").put(1, 1);
+  EXPECT_EQ((store.open_table<int, int>("t").get(1)), 1);
+}
+
+TEST(Store, SchemaMismatchThrows) {
+  Store store;
+  store.open_table<int, int>("t");
+  EXPECT_THROW((store.open_table<int, std::string>("t")), InvariantViolation);
+}
+
+TEST(Store, OrderedIterationByKey) {
+  // Recovery replays certificates in (round, author) order; the table's
+  // ordered scan is what makes that possible.
+  Store store;
+  auto& t = store.open_table<std::pair<int, int>, int>("certs");
+  t.put({2, 1}, 21);
+  t.put({1, 9}, 19);
+  t.put({1, 2}, 12);
+  t.put({3, 0}, 30);
+  std::vector<int> order;
+  t.for_each([&](const std::pair<int, int>&, const int& v) {
+    order.push_back(v);
+  });
+  EXPECT_EQ(order, (std::vector<int>{12, 19, 21, 30}));
+}
+
+TEST(Store, LastKey) {
+  Store store;
+  auto& t = store.open_table<int, int>("t");
+  EXPECT_EQ(t.last_key(), std::nullopt);
+  t.put(3, 0);
+  t.put(7, 0);
+  t.put(5, 0);
+  EXPECT_EQ(t.last_key(), 7);
+}
+
+TEST(Store, StatsCountOperations) {
+  Store store;
+  auto& t = store.open_table<int, int>("t");
+  t.put(1, 1);
+  t.put(2, 2);
+  t.get(1);
+  t.get(9);
+  t.erase(1);
+  EXPECT_EQ(store.stats().writes, 2u);
+  EXPECT_EQ(store.stats().reads, 2u);
+  EXPECT_EQ(store.stats().erases, 1u);
+}
+
+TEST(Store, MultipleTablesAreIndependent) {
+  Store store;
+  auto& a = store.open_table<int, int>("a");
+  auto& b = store.open_table<int, int>("b");
+  a.put(1, 100);
+  EXPECT_FALSE(b.contains(1));
+  EXPECT_TRUE(store.has_table("a"));
+  EXPECT_FALSE(store.has_table("zzz"));
+}
+
+TEST(Store, WipeDropsEverything) {
+  Store store;
+  store.open_table<int, int>("t").put(1, 1);
+  store.wipe();
+  EXPECT_FALSE(store.has_table("t"));
+  EXPECT_EQ((store.open_table<int, int>("t").get(1)), std::nullopt);
+}
+
+TEST(Store, SurvivesAsDurableStateAcrossLogicalCrash) {
+  // The crash-recovery model: volatile state dies, the Store object lives.
+  // Simulate by keeping only the Store across a "process lifetime".
+  Store store;
+  {
+    auto& votes =
+        store.open_table<std::pair<int, int>, std::string>("voted");
+    votes.put({0, 4}, "digest-a");
+  }
+  // "restart": reopen tables and observe the durable vote.
+  auto& votes = store.open_table<std::pair<int, int>, std::string>("voted");
+  EXPECT_EQ(votes.get({0, 4}), "digest-a");
+}
+
+}  // namespace
+}  // namespace hammerhead::storage

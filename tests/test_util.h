@@ -1,0 +1,82 @@
+// Shared helpers for protocol-layer tests: hand-construction of valid
+// certificates and whole DAG rounds without running the networked stack.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "hammerhead/crypto/committee.h"
+#include "hammerhead/dag/dag.h"
+#include "hammerhead/dag/types.h"
+
+namespace hammerhead::test {
+
+class DagBuilder {
+ public:
+  explicit DagBuilder(std::size_t n, std::uint64_t seed = 1)
+      : committee_(crypto::Committee::make_equal_stake(n, seed)) {
+    for (ValidatorIndex v = 0; v < n; ++v)
+      keypairs_.push_back(crypto::Keypair::derive(seed, v));
+  }
+
+  const crypto::Committee& committee() const { return committee_; }
+
+  /// A fully signed certificate (signed by the first 2f+1 validators).
+  dag::CertPtr make_cert(Round round, ValidatorIndex author,
+                         std::vector<Digest> parents,
+                         std::vector<dag::Transaction> txs = {}) {
+    auto payload = std::make_shared<dag::BlockPayload>();
+    payload->txs = std::move(txs);
+    auto header = std::make_shared<dag::Header>();
+    header->author = author;
+    header->round = round;
+    std::sort(parents.begin(), parents.end());
+    header->parents = std::move(parents);
+    header->payload = std::move(payload);
+    header->finalize(keypairs_[author]);
+
+    std::vector<ValidatorIndex> signers;
+    const std::size_t quorum = committee_.size() - committee_.max_faulty_count();
+    for (ValidatorIndex v = 0; v < quorum; ++v) signers.push_back(v);
+    return dag::Certificate::make(std::move(header), std::move(signers));
+  }
+
+  static std::vector<Digest> digests_of(const std::vector<dag::CertPtr>& certs) {
+    std::vector<Digest> out;
+    out.reserve(certs.size());
+    for (const auto& c : certs) out.push_back(c->digest());
+    return out;
+  }
+
+  /// Build round `round` vertices for `authors`, each referencing all of
+  /// `parents` (digests), and insert them into `dag`.
+  std::vector<dag::CertPtr> add_round(dag::Dag& dag, Round round,
+                                      const std::vector<ValidatorIndex>& authors,
+                                      const std::vector<Digest>& parents) {
+    std::vector<dag::CertPtr> certs;
+    for (ValidatorIndex a : authors) {
+      auto cert = make_cert(round, a, parents);
+      dag.insert(cert);
+      certs.push_back(std::move(cert));
+    }
+    return certs;
+  }
+
+  /// Build rounds 0..last_round with every validator present and full parent
+  /// links; returns the certificates of the last round.
+  std::vector<dag::CertPtr> add_full_rounds(dag::Dag& dag, Round last_round) {
+    std::vector<ValidatorIndex> all;
+    for (ValidatorIndex v = 0; v < committee_.size(); ++v) all.push_back(v);
+    std::vector<dag::CertPtr> prev = add_round(dag, 0, all, {});
+    for (Round r = 1; r <= last_round; ++r)
+      prev = add_round(dag, r, all, digests_of(prev));
+    return prev;
+  }
+
+ private:
+  crypto::Committee committee_;
+  std::vector<crypto::Keypair> keypairs_;
+};
+
+}  // namespace hammerhead::test
