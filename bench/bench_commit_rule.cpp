@@ -3,12 +3,120 @@
 // (PaperTrigger); production Bullshark counts >= f+1 supporting vertices
 // across the local DAG (DirectSupport), committing strictly earlier. Both
 // are safe (see safety tests); this bench quantifies the latency difference.
+//
+// Part 2 quantifies the incremental commit index (dag/index.h): host
+// wall-clock of driving the committer over identical synthetic certificate
+// streams with TriggerScan::Indexed (support-crossing events + O(1)
+// queries) vs TriggerScan::Rescan (the scan-on-query reference), at the
+// committee sizes of the paper's evaluation and beyond.
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "bench_dag_util.h"
 #include "bench_util.h"
+#include "hammerhead/consensus/committer.h"
 
 using namespace hammerhead;
 using namespace hammerhead::bench;
 
+namespace {
+
+struct StreamBuilder : bench::CertFactory {
+  using bench::CertFactory::CertFactory;
+
+  /// Rounds 0..last in causal order under vote withholding (the Section 7
+  /// adversary): inside each `period`-round block, the anchors of the first
+  /// `period - healthy_tail` even rounds receive no votes — every vertex of
+  /// round a+1 omits the anchor from its parents. The anchors exist but
+  /// never trigger, so the commit frontier lags the DAG frontier by up to
+  /// `period` rounds: every insertion re-evaluates the whole gap of anchors
+  /// (direct_support-dominated) and each commit's walk-back probes every
+  /// skipped anchor with an exhaustive reachability query (has_path-
+  /// dominated). This is the regime where the seed's scan-on-query design
+  /// pays O(gap * n) per insertion and O(V + E) per walk-back link.
+  std::vector<dag::CertPtr> withheld_votes_stream(
+      Round last, const core::LeaderSchedulePolicy& policy, Round period = 60,
+      Round healthy_tail = 4) {
+    std::vector<dag::CertPtr> out;
+    std::vector<Digest> prev;
+    std::optional<Digest> withheld;  // previous round's unvoted anchor
+    for (Round r = 0; r <= last; ++r) {
+      std::vector<Digest> cur;
+      std::vector<Digest> parents = prev;
+      if (withheld)
+        parents.erase(std::find(parents.begin(), parents.end(), *withheld));
+      for (ValidatorIndex a = 0; a < committee.size(); ++a) {
+        auto c = cert(r, a, parents);
+        cur.push_back(c->digest());
+        out.push_back(std::move(c));
+      }
+      const bool withhold = r % 2 == 0 && r % period < period - healthy_tail;
+      withheld = withhold ? std::optional<Digest>(cur[policy.leader(r)])
+                          : std::nullopt;
+      prev = std::move(cur);
+    }
+    return out;
+  }
+};
+
+/// Drive the committer over the stream; returns (wall seconds, commits).
+/// The seed configuration disables the index entirely, so the baseline pays
+/// neither index maintenance nor its queries — exactly the pre-index code.
+std::pair<double, std::uint64_t> drive(const StreamBuilder& b,
+                                       const std::vector<dag::CertPtr>& certs,
+                                       bool indexed) {
+  dag::Dag dag(b.committee, dag::IndexConfig{.enabled = indexed});
+  core::RoundRobinPolicy policy(b.committee, 1);
+  std::uint64_t commits = 0;
+  consensus::BullsharkCommitter committer(
+      b.committee, dag, policy,
+      [&](const consensus::CommittedSubDag&) { ++commits; },
+      consensus::CommitRule::DirectSupport, nullptr,
+      indexed ? consensus::TriggerScan::Indexed
+              : consensus::TriggerScan::Rescan);
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& cert : certs)
+    if (dag.insert(cert)) committer.on_cert_inserted(cert);
+  const auto stop = std::chrono::steady_clock::now();
+  return {std::chrono::duration<double>(stop - start).count(), commits};
+}
+
+void index_ablation() {
+  const Round rounds = quick_mode() ? 120 : 300;
+  std::cout << "Incremental index ablation: committer ingest wall-clock over "
+            << rounds + 1
+            << " rounds with votes withheld from 28 of every 30 anchors "
+               "(DirectSupport, round-robin)\n\n";
+  std::printf("%6s %10s %12s %12s %9s %9s\n", "n", "certs", "scan_s",
+              "indexed_s", "speedup", "commits");
+  for (std::size_t n : {10u, 50u, 100u, 200u}) {
+    StreamBuilder b(n);
+    const core::RoundRobinPolicy policy(b.committee, 1);
+    const auto certs = b.withheld_votes_stream(rounds, policy);
+    const auto [scan_s, scan_commits] = drive(b, certs, /*indexed=*/false);
+    const auto [indexed_s, indexed_commits] =
+        drive(b, certs, /*indexed=*/true);
+    if (scan_commits != indexed_commits) {
+      std::cout << "DIVERGENCE at n=" << n << ": scan committed "
+                << scan_commits << ", indexed " << indexed_commits << "\n";
+      continue;
+    }
+    std::printf("%6zu %10zu %12.4f %12.4f %8.1fx %9llu\n", n, certs.size(),
+                scan_s, indexed_s, scan_s / indexed_s,
+                static_cast<unsigned long long>(indexed_commits));
+  }
+  std::cout << "\nExpected shape: identical commit counts; the indexed path "
+               "pulls ahead super-linearly with n (the scan path pays an "
+               "O(n) support rescan per gap anchor per insertion).\n\n";
+}
+
+}  // namespace
+
 int main() {
+  index_ablation();
+
   const std::size_t n = quick_mode() ? 10 : 20;
   const SimTime duration = bench_duration(seconds(90));
   std::cout << "Commit-rule ablation: DirectSupport (production) vs "

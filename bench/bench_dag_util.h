@@ -1,0 +1,54 @@
+// Shared certificate factory for the DAG/committer microbenchmarks: forge
+// fully signed certificates and whole rounds without the networked stack
+// (the bench-side sibling of tests/test_util.h's DagBuilder).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hammerhead/crypto/keys.h"
+#include "hammerhead/dag/dag.h"
+
+namespace hammerhead::bench {
+
+struct CertFactory {
+  explicit CertFactory(std::size_t n)
+      : committee(crypto::Committee::make_equal_stake(n, 1)) {
+    for (ValidatorIndex v = 0; v < n; ++v)
+      keys.push_back(crypto::Keypair::derive(1, v));
+  }
+
+  dag::CertPtr cert(Round r, ValidatorIndex a, std::vector<Digest> parents) {
+    auto header = std::make_shared<dag::Header>();
+    header->author = a;
+    header->round = r;
+    header->parents = std::move(parents);
+    header->payload = std::make_shared<dag::BlockPayload>();
+    header->finalize(keys[a]);
+    std::vector<ValidatorIndex> signers;
+    for (ValidatorIndex v = 0;
+         v < committee.size() - committee.max_faulty_count(); ++v)
+      signers.push_back(v);
+    return dag::Certificate::make(std::move(header), std::move(signers));
+  }
+
+  /// Fill rounds 0..last fully; returns last-round digests.
+  std::vector<Digest> fill(dag::Dag& d, Round last) {
+    std::vector<Digest> prev;
+    for (Round r = 0; r <= last; ++r) {
+      std::vector<Digest> cur;
+      for (ValidatorIndex a = 0; a < committee.size(); ++a) {
+        auto c = cert(r, a, prev);
+        d.insert(c);
+        cur.push_back(c->digest());
+      }
+      prev = std::move(cur);
+    }
+    return prev;
+  }
+
+  crypto::Committee committee;
+  std::vector<crypto::Keypair> keys;
+};
+
+}  // namespace hammerhead::bench

@@ -1,58 +1,20 @@
 // Microbenchmarks: DAG insertion, support counting and path queries at the
-// committee sizes of the paper's evaluation.
+// committee sizes of the paper's evaluation (plus 200 to probe beyond it).
+//
+// The *_Indexed/_Scan pairs quantify the incremental commit index
+// (dag/index.h): direct_support drops from an O(n) round rescan to an O(1)
+// accumulator lookup, and has_path from an O(V+E) BFS to an O(n/64) word
+// test, at the cost of bitmap propagation folded into insert.
 #include <benchmark/benchmark.h>
 
-#include "hammerhead/dag/dag.h"
+#include "bench_dag_util.h"
 
 using namespace hammerhead;
-
-namespace {
-
-struct Builder {
-  explicit Builder(std::size_t n)
-      : committee(crypto::Committee::make_equal_stake(n, 1)) {
-    for (ValidatorIndex v = 0; v < n; ++v)
-      keys.push_back(crypto::Keypair::derive(1, v));
-  }
-
-  dag::CertPtr cert(Round r, ValidatorIndex a, std::vector<Digest> parents) {
-    auto header = std::make_shared<dag::Header>();
-    header->author = a;
-    header->round = r;
-    header->parents = std::move(parents);
-    header->payload = std::make_shared<dag::BlockPayload>();
-    header->finalize(keys[a]);
-    std::vector<ValidatorIndex> signers;
-    for (ValidatorIndex v = 0;
-         v < committee.size() - committee.max_faulty_count(); ++v)
-      signers.push_back(v);
-    return dag::Certificate::make(std::move(header), std::move(signers));
-  }
-
-  /// Fill rounds 0..last fully; returns last-round digests.
-  std::vector<Digest> fill(dag::Dag& d, Round last) {
-    std::vector<Digest> prev;
-    for (Round r = 0; r <= last; ++r) {
-      std::vector<Digest> cur;
-      for (ValidatorIndex a = 0; a < committee.size(); ++a) {
-        auto c = cert(r, a, prev);
-        d.insert(c);
-        cur.push_back(c->digest());
-      }
-      prev = std::move(cur);
-    }
-    return prev;
-  }
-
-  crypto::Committee committee;
-  std::vector<crypto::Keypair> keys;
-};
-
-}  // namespace
+using hammerhead::bench::CertFactory;
 
 static void BM_DagInsertRound(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  Builder b(n);
+  CertFactory b(n);
   for (auto _ : state) {
     state.PauseTiming();
     dag::Dag d(b.committee);
@@ -69,32 +31,80 @@ static void BM_DagInsertRound(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
                           static_cast<int64_t>(n));
 }
-BENCHMARK(BM_DagInsertRound)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK(BM_DagInsertRound)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
 
-static void BM_DagDirectSupport(benchmark::State& state) {
+// Steady-state insert cost including bitmap propagation over a deep DAG
+// (the index maintenance the query speedups are paid for with).
+static void BM_DagInsertDeep(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  Builder b(n);
+  CertFactory b(n);
+  dag::Dag d(b.committee);
+  std::vector<Digest> prev = b.fill(d, 10);
+  Round r = 11;
+  std::vector<dag::CertPtr> next;
+  for (auto _ : state) {
+    state.PauseTiming();
+    next.clear();
+    for (ValidatorIndex a = 0; a < n; ++a) next.push_back(b.cert(r, a, prev));
+    state.ResumeTiming();
+    for (auto& c : next) d.insert(c);
+    state.PauseTiming();
+    prev.clear();
+    for (const auto& c : next) prev.push_back(c->digest());
+    ++r;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DagInsertDeep)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+static void BM_DagDirectSupportIndexed(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  CertFactory b(n);
   dag::Dag d(b.committee);
   b.fill(d, 4);
   const auto anchor = d.get(2, 0);
   for (auto _ : state) benchmark::DoNotOptimize(d.direct_support(*anchor));
 }
-BENCHMARK(BM_DagDirectSupport)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK(BM_DagDirectSupportIndexed)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
 
-static void BM_DagPathQuery(benchmark::State& state) {
+static void BM_DagDirectSupportScan(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  Builder b(n);
+  CertFactory b(n);
+  dag::Dag d(b.committee);
+  b.fill(d, 4);
+  const auto anchor = d.get(2, 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(d.direct_support_scan(*anchor));
+}
+BENCHMARK(BM_DagDirectSupportScan)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+static void BM_DagPathQueryIndexed(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  CertFactory b(n);
   dag::Dag d(b.committee);
   b.fill(d, 10);
   const auto from = d.get(10, 0);
   const auto to = d.get(2, n > 1 ? 1 : 0);
   for (auto _ : state) benchmark::DoNotOptimize(d.has_path(*from, *to));
 }
-BENCHMARK(BM_DagPathQuery)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK(BM_DagPathQueryIndexed)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+static void BM_DagPathQueryScan(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  CertFactory b(n);
+  dag::Dag d(b.committee);
+  b.fill(d, 10);
+  const auto from = d.get(10, 0);
+  const auto to = d.get(2, n > 1 ? 1 : 0);
+  for (auto _ : state) benchmark::DoNotOptimize(d.has_path_scan(*from, *to));
+}
+BENCHMARK(BM_DagPathQueryScan)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
 
 static void BM_DagCausalHistory(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  Builder b(n);
+  CertFactory b(n);
   dag::Dag d(b.committee);
   b.fill(d, 10);
   const auto root = d.get(10, 0);

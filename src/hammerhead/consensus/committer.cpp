@@ -10,17 +10,37 @@ BullsharkCommitter::BullsharkCommitter(const crypto::Committee& committee,
                                        dag::Dag& dag,
                                        core::LeaderSchedulePolicy& policy,
                                        CommitFn on_commit, CommitRule rule,
-                                       ClockFn clock)
+                                       ClockFn clock, TriggerScan scan)
     : committee_(committee),
       dag_(dag),
       policy_(policy),
       on_commit_(std::move(on_commit)),
       rule_(rule),
-      clock_(std::move(clock)) {}
+      clock_(std::move(clock)),
+      // Without an index there are no crossing events to consume.
+      scan_(dag.index().enabled() ? scan : TriggerScan::Rescan) {}
 
 void BullsharkCommitter::on_cert_inserted(const dag::CertPtr& cert) {
-  // Only vertices at rounds above the last committed anchor can change the
-  // trigger state; everything older is already covered by ordering.
+  if (scan_ == TriggerScan::Indexed && rule_ == CommitRule::DirectSupport) {
+    // Event-driven gate: a new direct commit requires either a support
+    // threshold crossing (reported by the index) or an anchor certificate
+    // arriving after its support already crossed.
+    const std::uint64_t crossings = dag_.index().crossings();
+    const bool crossed = crossings != seen_crossings_;
+    seen_crossings_ = crossings;
+    if (!crossed) {
+      if (static_cast<std::int64_t>(cert->round()) <= last_anchor_round_)
+        return;
+      if (cert->round() % 2 != 0) return;
+      if (policy_.leader(cert->round()) != cert->author()) return;
+      if (!dag_.index().round_supported(cert->round())) return;
+    }
+    process();
+    return;
+  }
+  // Rescan mode (and PaperTrigger, whose a+2 evidence the support index
+  // does not observe): only vertices at rounds above the last committed
+  // anchor can change the trigger state.
   if (static_cast<std::int64_t>(cert->round()) <= last_anchor_round_) return;
   // Gate the scan (hot path at 100 validators): under DirectSupport a new
   // direct commit can only appear when a vote arrives (odd-round cert) or
@@ -34,7 +54,10 @@ void BullsharkCommitter::on_cert_inserted(const dag::CertPtr& cert) {
 bool BullsharkCommitter::triggered(const dag::Certificate& anchor) const {
   switch (rule_) {
     case CommitRule::DirectSupport:
-      return dag_.direct_support(anchor) >= committee_.validity_threshold();
+      return (scan_ == TriggerScan::Indexed
+                  ? dag_.direct_support(anchor)
+                  : dag_.direct_support_scan(anchor)) >=
+             committee_.validity_threshold();
     case CommitRule::PaperTrigger: {
       // Algorithm 2, TryCommitting(v): v at round a+2; votes are v's parents
       // (round a+1); commit if the stake of parents with a path (i.e. a
@@ -57,25 +80,54 @@ bool BullsharkCommitter::triggered(const dag::Certificate& anchor) const {
 void BullsharkCommitter::process() {
   const auto max_round = dag_.max_round();
   if (!max_round) return;
+  if (scan_ == TriggerScan::Indexed)
+    seen_crossings_ = dag_.index().crossings();
 
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    // Scan for the lowest directly-committed anchor above the last one.
-    for (std::int64_t a = last_anchor_round_ + 2;
-         a + 1 <= static_cast<std::int64_t>(*max_round); a += 2) {
-      const Round round = static_cast<Round>(a);
+  // Whether or not a schedule change interrupts a chain, rescan while
+  // progress is made: either the schedule moved or last_anchor_round_ did.
+  while (scan_once(*max_round)) {
+  }
+}
+
+bool BullsharkCommitter::scan_once(Round max_round) {
+  if (scan_ == TriggerScan::Indexed) {
+    // Only rounds with a support crossing can hold a directly committed
+    // anchor — under DirectSupport by definition, and under PaperTrigger
+    // because its f+1 supporting parents are themselves round a+1 votes.
+    const auto& candidates = dag_.index().supported_rounds();
+    const Round start = static_cast<Round>(
+        std::max<std::int64_t>(0, last_anchor_round_ + 2));
+    for (auto it = candidates.lower_bound(start); it != candidates.end();
+         ++it) {
+      const Round round = *it;
+      if (round % 2 != 0) continue;  // anchors live at even rounds
+      if (round + 1 > max_round) break;
       const ValidatorIndex leader = policy_.leader(round);
       dag::CertPtr anchor = dag_.get(round, leader);
       if (!anchor || !triggered(*anchor)) continue;
-      // Commit it (plus transitively reachable predecessors). Whether or not
-      // a schedule change interrupted the chain, rescan: either the schedule
-      // moved or last_anchor_round_ did.
       commit_chain(std::move(anchor));
-      progress = true;
-      break;
+      return true;
     }
+    return false;
   }
+
+  // Rescan mode: walk every anchor round above the last committed one.
+  for (std::int64_t a = last_anchor_round_ + 2;
+       a + 1 <= static_cast<std::int64_t>(max_round); a += 2) {
+    const Round round = static_cast<Round>(a);
+    const ValidatorIndex leader = policy_.leader(round);
+    dag::CertPtr anchor = dag_.get(round, leader);
+    if (!anchor || !triggered(*anchor)) continue;
+    commit_chain(std::move(anchor));
+    return true;
+  }
+  return false;
+}
+
+bool BullsharkCommitter::reachable(const dag::Certificate& from,
+                                   const dag::Certificate& to) const {
+  return scan_ == TriggerScan::Indexed ? dag_.has_path(from, to)
+                                       : dag_.has_path_scan(from, to);
 }
 
 bool BullsharkCommitter::commit_chain(dag::CertPtr anchor) {
@@ -88,7 +140,7 @@ bool BullsharkCommitter::commit_chain(dag::CertPtr anchor) {
        r > last_anchor_round_; r -= 2) {
     const Round round = static_cast<Round>(r);
     dag::CertPtr prev = dag_.get(round, policy_.leader(round));
-    if (prev && dag_.has_path(*cur, *prev)) {
+    if (prev && reachable(*cur, *prev)) {
       chain.push_back(prev);
       cur = prev;
     }

@@ -36,6 +36,19 @@ enum class CommitRule {
   PaperTrigger,
 };
 
+/// How the committer finds directly committed anchors.
+enum class TriggerScan {
+  /// Consume the DAG index's support-crossing events: re-evaluate only when
+  /// a vertex's direct support crossed f+1 (or an anchor certificate arrived
+  /// late), and only at rounds the index reports as trigger candidates.
+  /// Structural queries go through the incremental index.
+  Indexed,
+  /// The original scan-on-query path: every insertion rescans all anchor
+  /// rounds above the last commit with the scan-based DAG queries. Kept as
+  /// the reference for the equivalence tests and benches.
+  Rescan,
+};
+
 struct CommittedSubDag {
   dag::CertPtr anchor;
   /// The anchor's not-yet-ordered causal history, sorted by (round, author);
@@ -70,7 +83,8 @@ class BullsharkCommitter {
   BullsharkCommitter(const crypto::Committee& committee, dag::Dag& dag,
                      core::LeaderSchedulePolicy& policy, CommitFn on_commit,
                      CommitRule rule = CommitRule::DirectSupport,
-                     ClockFn clock = nullptr);
+                     ClockFn clock = nullptr,
+                     TriggerScan scan = TriggerScan::Indexed);
 
   /// Drive the commit machinery after a certificate entered the DAG.
   void on_cert_inserted(const dag::CertPtr& cert);
@@ -100,6 +114,14 @@ class BullsharkCommitter {
   /// True iff `anchor` is directly committed under the configured rule.
   bool triggered(const dag::Certificate& anchor) const;
 
+  /// Path query under the configured scan mode (index vs reference BFS).
+  bool reachable(const dag::Certificate& from,
+                 const dag::Certificate& to) const;
+
+  /// One pass of the lowest-triggered-anchor search; returns true if an
+  /// anchor was committed (the caller loops while progress is made).
+  bool scan_once(Round max_round);
+
   /// Commit `anchor` and every earlier reachable anchor. Returns true if a
   /// schedule change interrupted the chain (caller rescans).
   bool commit_chain(dag::CertPtr anchor);
@@ -115,6 +137,10 @@ class BullsharkCommitter {
   CommitFn on_commit_;
   CommitRule rule_;
   ClockFn clock_;
+  TriggerScan scan_;
+  /// Last index crossing count consumed; when unchanged, an insertion cannot
+  /// have produced a new direct commit (Indexed + DirectSupport gate).
+  std::uint64_t seen_crossings_ = 0;
 
   std::unordered_set<Digest> ordered_;
   std::map<Round, std::vector<Digest>> ordered_by_round_;  // for pruning

@@ -8,7 +8,8 @@
 
 namespace hammerhead::dag {
 
-Dag::Dag(const crypto::Committee& committee) : committee_(committee) {}
+Dag::Dag(const crypto::Committee& committee, IndexConfig index)
+    : committee_(committee), index_(committee, index) {}
 
 bool Dag::parents_present(const Certificate& cert) const {
   if (cert.round() == 0) return true;
@@ -32,13 +33,30 @@ bool Dag::insert(CertPtr cert) {
   if (by_digest_.count(cert->digest()) > 0) return false;
   auto& round_map = rounds_[cert->round()];
   if (round_map.count(cert->author()) > 0) return false;  // duplicate slot
-  HH_ASSERT_MSG(parents_present(*cert),
+
+  // One pass over the parent digests doubles as the causal-completeness
+  // check and, with the index enabled, the parent resolution for it
+  // (parents may be absent only at or below the gc floor, where history
+  // was pruned).
+  std::vector<const Certificate*> parents;
+  if (index_.enabled()) parents.reserve(cert->parents().size());
+  bool missing = false;
+  for (const auto& pd : cert->parents()) {
+    auto it = by_digest_.find(pd);
+    if (it == by_digest_.end())
+      missing = true;
+    else if (index_.enabled())
+      parents.push_back(it->second.get());
+  }
+  HH_ASSERT_MSG(!missing || cert->round() == 0 || cert->round() <= gc_floor_,
                 "insert of causally incomplete vertex r" << cert->round()
                                                          << " by "
                                                          << cert->author());
+
   by_digest_.emplace(cert->digest(), cert);
   round_map.emplace(cert->author(), cert);
   if (!max_round_ || cert->round() > *max_round_) max_round_ = cert->round();
+  if (index_.enabled()) index_.on_insert(*cert, parents);
   return true;
 }
 
@@ -89,6 +107,11 @@ Stake Dag::round_stake(Round round) const {
 std::optional<Round> Dag::max_round() const { return max_round_; }
 
 Stake Dag::direct_support(const Certificate& anchor) const {
+  if (auto s = index_.support(anchor)) return *s;
+  return direct_support_scan(anchor);  // anchor not in the DAG / no index
+}
+
+Stake Dag::direct_support_scan(const Certificate& anchor) const {
   auto it = rounds_.find(anchor.round() + 1);
   if (it == rounds_.end()) return 0;
   Stake support = 0;
@@ -99,6 +122,30 @@ Stake Dag::direct_support(const Certificate& anchor) const {
 }
 
 bool Dag::has_path(const Certificate& from, const Certificate& to) const {
+  if (from.digest() == to.digest()) return true;
+  if (from.round() <= to.round()) return false;
+  HH_ASSERT_MSG(to.round() >= gc_floor_,
+                "path query below gc floor: " << to.round());
+  // The bitmap identifies ancestors by (round, author) slot; that answer is
+  // only about `to` if `to` actually occupies its slot in this DAG.
+  auto rit = rounds_.find(to.round());
+  if (rit != rounds_.end()) {
+    auto ait = rit->second.find(to.author());
+    if (ait != rit->second.end() && ait->second->digest() == to.digest()) {
+      switch (index_.path(from, to)) {
+        case DagIndex::PathAnswer::Yes:
+          return true;
+        case DagIndex::PathAnswer::No:
+          return false;
+        case DagIndex::PathAnswer::Unknown:
+          break;  // below the bitmap window; fall back to the scan
+      }
+    }
+  }
+  return has_path_scan(from, to);
+}
+
+bool Dag::has_path_scan(const Certificate& from, const Certificate& to) const {
   if (from.digest() == to.digest()) return true;
   if (from.round() <= to.round()) return false;
   HH_ASSERT_MSG(to.round() >= gc_floor_,
@@ -160,6 +207,7 @@ void Dag::prune_below(Round floor) {
       by_digest_.erase(cert->digest());
     rounds_.erase(it);
   }
+  index_.prune_below(floor);
   gc_floor_ = floor;
 }
 

@@ -6,6 +6,13 @@
 // parents are not all present (Claim 1 — "when an honest party adds a vertex,
 // the entire causal history is already in its DAG"). Buffering of early
 // arrivals is the synchronizer's job (node layer).
+//
+// Structural queries are answered from an incremental index maintained on
+// the insert path (dag/index.h): has_path is a word test against the
+// vertex's ancestor bitmap and direct_support an O(1) accumulator lookup.
+// The scan-based implementations remain available as has_path_scan /
+// direct_support_scan — they are the fallback when the index cannot decide
+// (query below the bitmap window) and the reference for equivalence tests.
 #pragma once
 
 #include <cstdint>
@@ -15,13 +22,14 @@
 #include <vector>
 
 #include "hammerhead/crypto/committee.h"
+#include "hammerhead/dag/index.h"
 #include "hammerhead/dag/types.h"
 
 namespace hammerhead::dag {
 
 class Dag {
  public:
-  explicit Dag(const crypto::Committee& committee);
+  explicit Dag(const crypto::Committee& committee, IndexConfig index = {});
 
   /// Insert a certificate. Returns false if a certificate with the same
   /// (author, round) or digest is already present (duplicate, not an error).
@@ -55,13 +63,21 @@ class Dag {
   std::optional<Round> max_round() const;
 
   /// Total stake of round `anchor.round()+1` certificates that reference the
-  /// anchor as a parent ("votes" in Bullshark's commit rule).
+  /// anchor as a parent ("votes" in Bullshark's commit rule). O(1) via the
+  /// index for vertices in the DAG; scans otherwise.
   Stake direct_support(const Certificate& anchor) const;
+
+  /// Scan-based reference implementation (rescans round anchor.round()+1).
+  Stake direct_support_scan(const Certificate& anchor) const;
 
   /// True iff a (directed, parent-following) path exists from `from` down to
   /// `to`. Requires from.round() >= to.round(); equal rounds only when same
-  /// vertex.
+  /// vertex. Answered from the ancestor bitmap when the target round is
+  /// inside `from`'s index window; falls back to the BFS scan otherwise.
   bool has_path(const Certificate& from, const Certificate& to) const;
+
+  /// Scan-based reference implementation (BFS over parent edges).
+  bool has_path_scan(const Certificate& from, const Certificate& to) const;
 
   /// Collect the causal history of `root` (including `root`) restricted to
   /// vertices for which `keep` returns true; `keep` typically filters out
@@ -78,6 +94,10 @@ class Dag {
 
   std::size_t total_certs() const { return by_digest_.size(); }
 
+  /// The incremental commit index (support accumulators, ancestor bitmaps,
+  /// trigger-candidate rounds). The committer consumes its crossing events.
+  const DagIndex& index() const { return index_; }
+
  private:
   const crypto::Committee& committee_;
   // round -> author -> cert
@@ -86,6 +106,7 @@ class Dag {
   std::unordered_map<Digest, CertPtr> by_digest_;
   Round gc_floor_ = 0;
   std::optional<Round> max_round_;
+  DagIndex index_;
 };
 
 }  // namespace hammerhead::dag

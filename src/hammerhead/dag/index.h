@@ -1,0 +1,175 @@
+// Incremental commit index: structure maintained on the DAG *ingest* path so
+// the commit rule's structural queries become O(1)/O(words) lookups instead
+// of per-query scans.
+//
+// Two indices, both updated inside Dag::insert:
+//
+//  1. Ancestor bitmaps. Every vertex occupies a unique (round, author) slot
+//     (vote uniqueness makes the DAG equivocation-free), so the causal
+//     history of a vertex can be represented as one bit per slot: for each
+//     covered round, one std::uint64_t word per 64 validators. On insert the
+//     child's bitmap is the OR of its parents' bitmaps plus the parents' own
+//     slot bits — after that, Dag::has_path(from, to) is a single word test.
+//     Bitmaps cover a sliding window of `ancestor_window` rounds below the
+//     vertex (the committer's walk-back only spans the gap back to the last
+//     committed anchor); queries below a vertex's window fall back to the
+//     scan-based BFS, so answers are always exact. Propagation is
+//     short-circuited per round once the child's bits reach the round's
+//     referenced-slot mask (sibling parents share almost their whole
+//     ancestry, so most of the OR work is provably redundant).
+//
+//  2. Direct-support accumulators. When a vertex at round r+1 lists an
+//     anchor at round r among its parents, the anchor's running support
+//     stake is bumped at insert time; Dag::direct_support becomes a lookup.
+//     The first time a vertex's support reaches the committee's validity
+//     threshold (f+1) the index records a *crossing*: its round joins
+//     `supported_rounds()` and a monotone crossing counter advances. The
+//     Bullshark committer consumes these as its trigger events — it only
+//     rescans when a crossing happened (or an anchor certificate arrived
+//     late) and only looks at supported rounds.
+//
+// Storage is slot-keyed (round -> author -> entry, with the certificate
+// digest stored for confirmation), so the ingest path performs array
+// indexing instead of per-parent digest hashing.
+//
+// Invariants (see ARCHITECTURE.md):
+//  * Within a vertex's covered window the bitmap is complete: every ancestor
+//    slot at a covered round has its bit set. Guaranteed inductively because
+//    parents sit at lower rounds, so a parent's window always reaches at
+//    least as far down as the child's.
+//  * Index state is a pure function of the set of inserted certificates —
+//    insertion order, pruning history and snapshot installs do not change
+//    query answers. Rebuilding a DAG from any causally ordered replay
+//    reproduces the index (the recovery and state-sync paths rely on this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "hammerhead/crypto/committee.h"
+#include "hammerhead/dag/types.h"
+
+namespace hammerhead::dag {
+
+struct IndexConfig {
+  /// When false, no index state is maintained at all: every query falls back
+  /// to the scans and the committer degrades to TriggerScan::Rescan — the
+  /// exact seed behaviour, kept for memory-constrained configs and honest
+  /// before/after benchmarking.
+  bool enabled = true;
+  /// Rounds of ancestor bitmap kept per vertex. Queries reaching further
+  /// below a vertex fall back to the BFS scan (still exact, just slower).
+  /// The committer's walk-back spans the distance between consecutive
+  /// committed anchors, which garbage collection keeps well inside the
+  /// default window.
+  Round ancestor_window = 64;
+};
+
+struct IndexStats {
+  std::uint64_t path_hits = 0;        ///< has_path answered from a bitmap
+  std::uint64_t path_fallbacks = 0;   ///< has_path fell back to the BFS scan
+  std::uint64_t support_hits = 0;     ///< direct_support answered O(1)
+  std::uint64_t support_fallbacks = 0;///< direct_support fell back to a scan
+};
+
+class DagIndex {
+ public:
+  DagIndex(const crypto::Committee& committee, IndexConfig config);
+
+  /// Three-valued answer for path queries: Unknown means the index cannot
+  /// decide (vertex not indexed, or target below the bitmap window) and the
+  /// caller must fall back to the scan.
+  enum class PathAnswer { Yes, No, Unknown };
+
+  /// Called by Dag::insert once the certificate is in the DAG maps.
+  /// `parents` are the parent certificates present in the DAG (absent only
+  /// when history below the gc floor was pruned).
+  void on_insert(const Certificate& cert,
+                 const std::vector<const Certificate*>& parents);
+
+  /// Called by Dag::prune_below: drop all index state below `floor`.
+  void prune_below(Round floor);
+
+  /// Word-test path answer; exact for Yes/No (the slot digests are checked,
+  /// so certificates that never entered this DAG yield Unknown).
+  PathAnswer path(const Certificate& from, const Certificate& to) const;
+
+  /// Running direct-support stake of the vertex, or nullopt if the vertex is
+  /// not indexed (then the caller falls back to the scan).
+  std::optional<Stake> support(const Certificate& vertex) const;
+
+  /// Rounds containing at least one vertex whose direct support reached the
+  /// validity threshold (f+1) — the committer's trigger candidates.
+  const std::set<Round>& supported_rounds() const { return supported_rounds_; }
+  bool round_supported(Round round) const {
+    return supported_rounds_.count(round) > 0;
+  }
+
+  /// Monotone count of threshold crossings; the committer caches this to
+  /// skip trigger re-evaluation when nothing crossed.
+  std::uint64_t crossings() const { return crossings_; }
+
+  bool enabled() const { return config_.enabled; }
+  std::size_t entries() const { return entry_count_; }
+  std::size_t bitmap_words() const { return total_words_; }
+  const IndexStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    bool present = false;
+    bool crossed = false;
+    Round round = 0;
+    /// Lowest round covered by `words`; the bitmap covers [lo, round - 1].
+    Round lo = 0;
+    Stake support = 0;
+    /// Insert sequence of the last child that bumped `support` — a voter
+    /// listing the same parent digest twice must count once, like the scan.
+    std::uint64_t last_support_seq = 0;
+    Digest digest;  ///< slot-occupancy confirmation
+    std::vector<std::uint64_t> words;
+  };
+
+  /// Entry of the slot if it is occupied by exactly this certificate.
+  const Entry* find(const Certificate& cert) const;
+  Entry* find(const Certificate& cert) {
+    return const_cast<Entry*>(std::as_const(*this).find(cert));
+  }
+
+  /// Record a direct parent edge in `e` (window-clamped) and in the round's
+  /// referenced-slot mask.
+  void set_edge_bit(Entry& e, Round round, ValidatorIndex author);
+
+  const crypto::Committee& committee_;
+  IndexConfig config_;
+  std::size_t words_per_round_;
+
+  /// round -> author -> entry (slot-keyed; see file comment).
+  std::unordered_map<Round, std::vector<Entry>> rounds_;
+  /// Referenced-slot mask per round: authors whose vertex has at least one
+  /// recorded child edge. Every bit in any entry's bitmap at round r
+  /// originates from a direct edge, so referenced_[r] is a superset of any
+  /// parent's bits there — which makes it a sound saturation bound for
+  /// short-circuiting propagation: once a child's bits for a round equal
+  /// the mask, no further parent can add anything. Ordered so the
+  /// saturation sweep walks consecutive rounds with an iterator instead of
+  /// one hash lookup per round.
+  std::map<Round, std::vector<std::uint64_t>> referenced_;
+  /// One-slot lookup cache into referenced_ (parents share one round).
+  /// Reset whenever referenced_ erases elements.
+  Round ref_cache_round_ = 0;
+  std::uint64_t* ref_cache_ = nullptr;
+
+  std::set<Round> supported_rounds_;
+  std::uint64_t insert_seq_ = 0;
+  std::uint64_t crossings_ = 0;
+  std::size_t entry_count_ = 0;
+  std::size_t total_words_ = 0;
+  mutable IndexStats stats_;
+};
+
+}  // namespace hammerhead::dag

@@ -47,6 +47,22 @@ void export_validator_metrics(const Validator& validator,
               static_cast<double>(validator.dag().total_certs()));
     set_gauge("hh_dag_gc_floor",
               static_cast<double>(validator.dag().gc_floor()));
+
+    // Incremental commit index: hit/miss split of the structural queries and
+    // the memory footprint of the ancestor bitmaps.
+    const dag::DagIndex& index = validator.dag().index();
+    const dag::IndexStats& is = index.stats();
+    set_gauge("hh_index_path_hits", static_cast<double>(is.path_hits));
+    set_gauge("hh_index_path_fallbacks",
+              static_cast<double>(is.path_fallbacks));
+    set_gauge("hh_index_support_hits", static_cast<double>(is.support_hits));
+    set_gauge("hh_index_support_fallbacks",
+              static_cast<double>(is.support_fallbacks));
+    set_gauge("hh_index_support_crossings",
+              static_cast<double>(index.crossings()));
+    set_gauge("hh_index_entries", static_cast<double>(index.entries()));
+    set_gauge("hh_index_bitmap_words",
+              static_cast<double>(index.bitmap_words()));
   }
 }
 

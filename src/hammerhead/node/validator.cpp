@@ -55,11 +55,12 @@ void Validator::start() {
   HH_ASSERT_MSG(!started_, "validator " << self_ << " started twice");
   started_ = true;
   policy_ = policy_factory_(committee_);
-  dag_ = std::make_unique<dag::Dag>(committee_);
+  dag_ = std::make_unique<dag::Dag>(committee_, config_.index);
   committer_ = std::make_unique<consensus::BullsharkCommitter>(
       committee_, *dag_, *policy_,
       [this](const consensus::CommittedSubDag& sd) { on_subdag_committed(sd); },
-      config_.commit_rule, [this] { return sim_.now(); });
+      config_.commit_rule, [this] { return sim_.now(); },
+      config_.trigger_scan);
   network_.register_handler(
       self_, [this](ValidatorIndex from, const net::MessagePtr& msg) {
         on_network_message(from, msg);
@@ -88,11 +89,12 @@ void Validator::restart() {
 
   // Drop every piece of volatile state.
   policy_ = policy_factory_(committee_);
-  dag_ = std::make_unique<dag::Dag>(committee_);
+  dag_ = std::make_unique<dag::Dag>(committee_, config_.index);
   committer_ = std::make_unique<consensus::BullsharkCommitter>(
       committee_, *dag_, *policy_,
       [this](const consensus::CommittedSubDag& sd) { on_subdag_committed(sd); },
-      config_.commit_rule, [this] { return sim_.now(); });
+      config_.commit_rule, [this] { return sim_.now(); },
+      config_.trigger_scan);
   mempool_.clear();
   our_pending_.clear();
   buffered_.clear();
@@ -725,12 +727,13 @@ void Validator::handle_state_sync_resp(ValidatorIndex from,
   // deployments recover application state from a checkpoint store).
   policy_ = policy_factory_(committee_);
   policy_->install_snapshot(resp.policy);
-  dag_ = std::make_unique<dag::Dag>(committee_);
+  dag_ = std::make_unique<dag::Dag>(committee_, config_.index);
   dag_->prune_below(resp.gc_floor);
   committer_ = std::make_unique<consensus::BullsharkCommitter>(
       committee_, *dag_, *policy_,
       [this](const consensus::CommittedSubDag& sd) { on_subdag_committed(sd); },
-      config_.commit_rule, [this] { return sim_.now(); });
+      config_.commit_rule, [this] { return sim_.now(); },
+      config_.trigger_scan);
   committer_->install_snapshot(resp.committer);
 
   buffered_.clear();

@@ -74,6 +74,11 @@ struct NodeConfig {
   /// cadence when the WAN round trip is faster.
   SimTime min_round_delay = millis(500);
   consensus::CommitRule commit_rule = consensus::CommitRule::DirectSupport;
+  /// How the committer detects direct commits (incremental index vs the
+  /// reference rescan path; see consensus::TriggerScan).
+  consensus::TriggerScan trigger_scan = consensus::TriggerScan::Indexed;
+  /// DAG index tuning (ancestor-bitmap window).
+  dag::IndexConfig index;
   /// Rounds of DAG history kept below the last committed anchor.
   Round gc_depth = 100;
   bool gc_enabled = true;

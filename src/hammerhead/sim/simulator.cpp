@@ -12,6 +12,7 @@ bool Simulator::step(SimTime deadline) {
     if (top.time > deadline) return false;
     Action action = std::move(top.action);
     now_ = top.time;
+    pending_ids_.erase(top.seq);
     heap_.pop();
     ++executed_;
     action();

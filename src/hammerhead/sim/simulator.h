@@ -7,9 +7,11 @@
 // the property tests rely on this to replay adversarial executions.
 //
 // Performance note: a 100-validator geo run delivers tens of thousands of
-// messages per simulated round, so the hot path (schedule + pop) avoids any
-// per-event map bookkeeping; cancellation is the rare case and goes through
-// a side set checked lazily on pop.
+// messages per simulated round, so the hot path (schedule + pop) keeps
+// per-event bookkeeping to one u64 hash-set insert and erase — the pending-id
+// set that makes cancel() exact: cancelling an already-fired or unknown id is
+// a true no-op (no state retained), so long-running simulations cannot leak
+// through timer races.
 #pragma once
 
 #include <cstdint>
@@ -46,12 +48,17 @@ class Simulator {
                   "schedule_at in the past: " << when << " < " << now_);
     const std::uint64_t id = next_seq_++;
     heap_.push(Event{when, id, std::move(action)});
+    pending_ids_.insert(id);
     return id;
   }
 
-  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
-  /// no-op (timer races are normal in the protocol layer).
-  void cancel(std::uint64_t id) { cancelled_.insert(id); }
+  /// Cancel a pending event. Cancelling an already-fired, already-cancelled
+  /// or unknown id is a true no-op (timer races are normal in the protocol
+  /// layer) — in particular it retains no state, so repeated stale cancels
+  /// cannot grow memory.
+  void cancel(std::uint64_t id) {
+    if (pending_ids_.erase(id) > 0) cancelled_.insert(id);
+  }
 
   /// Run until the queue drains or simulated time would exceed `deadline`,
   /// whichever is first. Time ends at min(deadline, last event time).
@@ -68,6 +75,9 @@ class Simulator {
   bool empty() const { return heap_.empty(); }
   std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t executed_events() const { return executed_; }
+  /// Cancelled events that have not been reaped from the queue yet (bounded
+  /// by pending_events(); exposed for the cancel-leak regression test).
+  std::size_t cancelled_pending() const { return cancelled_.size(); }
 
  private:
   struct Event {
@@ -87,7 +97,8 @@ class Simulator {
   std::uint64_t executed_ = 0;
   Rng rng_;
   std::priority_queue<Event> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> pending_ids_;  // ids still in the heap
+  std::unordered_set<std::uint64_t> cancelled_;    // pending but cancelled
 };
 
 }  // namespace hammerhead::sim

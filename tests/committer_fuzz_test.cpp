@@ -19,46 +19,8 @@ struct GeneratedDag {
   std::vector<dag::CertPtr> certs;  // causally ordered (parents first)
 };
 
-/// Random DAG: each round keeps a random quorum-or-more subset of authors;
-/// each vertex picks a random >= 2f+1 subset of the previous round as
-/// parents.
 GeneratedDag generate(DagBuilder& b, Rng& rng, Round rounds) {
-  GeneratedDag out;
-  const std::size_t n = b.committee().size();
-  const std::size_t quorum = n - b.committee().max_faulty_count();
-
-  std::vector<dag::CertPtr> prev;
-  for (ValidatorIndex a = 0; a < n; ++a)
-    prev.push_back(b.make_cert(0, a, {}));
-  out.certs = prev;
-
-  for (Round r = 1; r <= rounds; ++r) {
-    // Choose how many authors produce a vertex this round.
-    const std::size_t authors =
-        quorum + static_cast<std::size_t>(rng.next_below(n - quorum + 1));
-    std::vector<ValidatorIndex> pool(n);
-    for (std::size_t i = 0; i < n; ++i) pool[i] = static_cast<ValidatorIndex>(i);
-    rng.shuffle(pool);
-    pool.resize(authors);
-
-    std::vector<dag::CertPtr> cur;
-    for (ValidatorIndex a : pool) {
-      // Random parent subset of size >= quorum.
-      std::vector<dag::CertPtr> parent_pool = prev;
-      rng.shuffle(parent_pool);
-      const std::size_t num_parents =
-          std::min(parent_pool.size(),
-                   quorum + static_cast<std::size_t>(rng.next_below(
-                                parent_pool.size() - quorum + 1)));
-      parent_pool.resize(num_parents);
-      auto cert = b.make_cert(r, a, DagBuilder::digests_of(parent_pool));
-      cur.push_back(cert);
-      out.certs.push_back(cert);
-    }
-    prev = std::move(cur);
-    if (prev.size() < quorum) break;  // cannot extend further
-  }
-  return out;
+  return {test::generate_random_certs(b, rng, rounds)};
 }
 
 std::vector<Digest> run_committer(const DagBuilder& b,

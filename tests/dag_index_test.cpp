@@ -1,0 +1,182 @@
+// Unit tests: the incremental commit index (dag/index.h) against the
+// scan-based reference implementations. The index must answer has_path and
+// direct_support exactly like the scans on arbitrary DAGs, across window
+// fallbacks and garbage collection, and its trigger-candidate bookkeeping
+// (supported rounds, crossing counter) must track threshold crossings.
+#include <gtest/gtest.h>
+
+#include "hammerhead/common/rng.h"
+#include "hammerhead/dag/dag.h"
+#include "test_util.h"
+
+namespace hammerhead::dag {
+namespace {
+
+using test::DagBuilder;
+
+std::vector<ValidatorIndex> all_of(std::size_t n) {
+  std::vector<ValidatorIndex> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<ValidatorIndex>(i);
+  return v;
+}
+
+/// Exhaustively compare index-backed queries against the scans.
+void expect_index_matches_scan(const Dag& dag,
+                               const std::vector<CertPtr>& certs) {
+  for (const auto& from : certs) {
+    if (!dag.contains(from->digest())) continue;
+    ASSERT_EQ(dag.direct_support(*from), dag.direct_support_scan(*from))
+        << "support mismatch for r" << from->round() << " by "
+        << from->author();
+    for (const auto& to : certs) {
+      if (!dag.contains(to->digest())) continue;
+      if (to->round() < dag.gc_floor()) continue;
+      ASSERT_EQ(dag.has_path(*from, *to), dag.has_path_scan(*from, *to))
+          << "path mismatch r" << from->round() << "/" << from->author()
+          << " -> r" << to->round() << "/" << to->author();
+    }
+  }
+}
+
+TEST(DagIndex, MatchesScanOnRandomDags) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    DagBuilder b(7, /*seed=*/3);
+    Dag dag(b.committee());
+    const auto certs = test::generate_random_certs(b, rng, 15);
+    for (const auto& c : certs) dag.insert(c);
+    expect_index_matches_scan(dag, certs);
+  }
+}
+
+TEST(DagIndex, WindowFallbackStaysExact) {
+  DagBuilder b(4);
+  Dag dag(b.committee(), IndexConfig{.ancestor_window = 3});
+  b.add_full_rounds(dag, 10);
+  std::vector<CertPtr> all;
+  for (Round r = 0; r <= 10; ++r)
+    for (const auto& c : dag.round_certs(r)) all.push_back(c);
+  expect_index_matches_scan(dag, all);
+  // Queries more than 3 rounds down must have taken the BFS fallback.
+  EXPECT_GT(dag.index().stats().path_fallbacks, 0u);
+  EXPECT_GT(dag.index().stats().path_hits, 0u);
+}
+
+TEST(DagIndex, SupportAccumulatesLikeTheScan) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto r0 = b.add_round(dag, 0, all_of(4), {});
+  const CertPtr anchor = r0[1];
+  auto v0 = b.make_cert(1, 0, {anchor->digest(), r0[0]->digest()});
+  auto v2 = b.make_cert(1, 2, {anchor->digest(), r0[2]->digest()});
+  auto v3 = b.make_cert(1, 3, {r0[0]->digest(), r0[2]->digest()});
+  dag.insert(v0);
+  EXPECT_EQ(dag.direct_support(*anchor), 1u);
+  dag.insert(v2);
+  EXPECT_EQ(dag.direct_support(*anchor), 2u);
+  dag.insert(v3);
+  EXPECT_EQ(dag.direct_support(*anchor), 2u);  // v3 is not a vote
+  EXPECT_EQ(dag.direct_support(*anchor), dag.direct_support_scan(*anchor));
+}
+
+TEST(DagIndex, DuplicateParentDigestCountsAsOneVote) {
+  // A Byzantine voter listing the same anchor digest twice must contribute
+  // its stake once, exactly like the scan (which counts supporting
+  // vertices, not references). Double-counting would let a single voter
+  // cross the f+1 threshold and directly commit an unsupported anchor.
+  DagBuilder b(4);  // validity threshold = 2
+  Dag dag(b.committee());
+  auto r0 = b.add_round(dag, 0, all_of(4), {});
+  const CertPtr anchor = r0[0];
+  auto double_ref =
+      b.make_cert(1, 0, {anchor->digest(), anchor->digest(), r0[1]->digest()});
+  ASSERT_EQ(double_ref->parents().size(), 3u);  // duplicate survives make()
+  dag.insert(double_ref);
+  EXPECT_EQ(dag.direct_support(*anchor), 1u);
+  EXPECT_EQ(dag.direct_support(*anchor), dag.direct_support_scan(*anchor));
+  EXPECT_EQ(dag.index().crossings(), 0u);  // threshold NOT crossed
+}
+
+TEST(DagIndex, SupportedRoundsTrackThresholdCrossings) {
+  DagBuilder b(4);  // f = 1, validity threshold = 2
+  Dag dag(b.committee());
+  auto r0 = b.add_round(dag, 0, all_of(4), {});
+  EXPECT_TRUE(dag.index().supported_rounds().empty());
+  EXPECT_EQ(dag.index().crossings(), 0u);
+
+  const CertPtr anchor = r0[0];
+  dag.insert(b.make_cert(1, 0, {anchor->digest()}));
+  EXPECT_EQ(dag.index().crossings(), 0u);  // support 1 < 2
+  dag.insert(b.make_cert(1, 1, {anchor->digest()}));
+  EXPECT_EQ(dag.index().crossings(), 1u);  // anchor crossed
+  EXPECT_TRUE(dag.index().round_supported(0));
+
+  // Further votes for the same vertex do not re-cross.
+  dag.insert(b.make_cert(1, 2, {anchor->digest()}));
+  EXPECT_EQ(dag.index().crossings(), 1u);
+
+  // A second round-0 vertex crossing bumps the counter but the round is
+  // already a candidate.
+  dag.insert(b.make_cert(1, 3, {r0[1]->digest(), anchor->digest()}));
+  EXPECT_EQ(dag.index().crossings(), 1u);  // r0[1] has support 1 only
+  EXPECT_EQ(dag.index().supported_rounds(),
+            (std::set<Round>{0}));
+}
+
+TEST(DagIndex, PruneDropsEntriesAndCandidateRounds) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  b.add_full_rounds(dag, 6);
+  const std::size_t entries_before = dag.index().entries();
+  const std::size_t words_before = dag.index().bitmap_words();
+  EXPECT_EQ(entries_before, dag.total_certs());
+  EXPECT_TRUE(dag.index().round_supported(0));
+
+  dag.prune_below(3);
+  EXPECT_EQ(dag.index().entries(), dag.total_certs());
+  EXPECT_LT(dag.index().entries(), entries_before);
+  EXPECT_LT(dag.index().bitmap_words(), words_before);
+  EXPECT_FALSE(dag.index().round_supported(0));
+  EXPECT_FALSE(dag.index().round_supported(2));
+  EXPECT_TRUE(dag.index().round_supported(3));
+
+  // Queries above the floor stay exact after pruning.
+  std::vector<CertPtr> retained;
+  for (Round r = 3; r <= 6; ++r)
+    for (const auto& c : dag.round_certs(r)) retained.push_back(c);
+  expect_index_matches_scan(dag, retained);
+}
+
+TEST(DagIndex, SlotCollisionFallsBackToScan) {
+  // A certificate that is NOT in the DAG but occupies the same (round,
+  // author) slot as a real ancestor must not borrow the in-DAG vertex's
+  // bitmap bit.
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto r0 = b.add_round(dag, 0, all_of(4), {});
+  auto child = b.make_cert(1, 0, DagBuilder::digests_of(r0));
+  dag.insert(child);
+
+  // Same slot (0, 1) as r0[1], different digest (different payload).
+  auto impostor = b.make_cert(0, 1, {}, {dag::Transaction{42, 0, 0}});
+  ASSERT_NE(impostor->digest(), r0[1]->digest());
+  EXPECT_TRUE(dag.has_path(*child, *r0[1]));
+  EXPECT_FALSE(dag.has_path(*child, *impostor));
+  EXPECT_EQ(dag.has_path(*child, *impostor),
+            dag.has_path_scan(*child, *impostor));
+}
+
+TEST(DagIndex, QueryStatsAreCounted) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto last = b.add_full_rounds(dag, 4);
+  auto first = dag.get(0, 0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(dag.has_path(*last[0], *first));
+  EXPECT_EQ(dag.index().stats().path_hits, 1u);
+  dag.direct_support(*first);
+  EXPECT_EQ(dag.index().stats().support_hits, 1u);
+}
+
+}  // namespace
+}  // namespace hammerhead::dag

@@ -1,0 +1,150 @@
+// DAG pruning interacting with commit state: prune_below +
+// prune_ordered_below followed by a snapshot/install round-trip must
+// preserve the total order — the rebuilt instance continues the commit
+// sequence exactly where the original left off — and must rebuild an
+// identical incremental index from the retained certificates (the
+// state-sync and recovery paths rely on both properties).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hammerhead/consensus/committer.h"
+#include "hammerhead/core/policies.h"
+#include "test_util.h"
+
+namespace hammerhead::consensus {
+namespace {
+
+using test::DagBuilder;
+
+struct Pipeline {
+  Pipeline(const DagBuilder& b, std::unique_ptr<core::LeaderSchedulePolicy> p)
+      : dag(b.committee()), policy(std::move(p)) {
+    committer = std::make_unique<BullsharkCommitter>(
+        b.committee(), dag, *policy,
+        [this](const CommittedSubDag& sd) {
+          for (const auto& v : sd.vertices) delivered.push_back(v->digest());
+        });
+  }
+
+  void feed(const std::vector<dag::CertPtr>& certs) {
+    for (const auto& cert : certs)
+      if (dag.insert(cert)) committer->on_cert_inserted(cert);
+  }
+
+  dag::Dag dag;
+  std::unique_ptr<core::LeaderSchedulePolicy> policy;
+  std::unique_ptr<BullsharkCommitter> committer;
+  std::vector<Digest> delivered;
+};
+
+/// Full round r certificates referencing all of `prev`.
+std::vector<dag::CertPtr> full_round(DagBuilder& b, Round r,
+                                     const std::vector<Digest>& prev) {
+  std::vector<dag::CertPtr> certs;
+  for (ValidatorIndex a = 0; a < b.committee().size(); ++a)
+    certs.push_back(b.make_cert(r, a, prev));
+  return certs;
+}
+
+void expect_identical_indices(const dag::Dag& a, const dag::Dag& be,
+                              Round floor, Round top) {
+  EXPECT_EQ(a.index().entries(), be.index().entries());
+  EXPECT_EQ(a.index().bitmap_words(), be.index().bitmap_words());
+  EXPECT_EQ(a.index().supported_rounds(), be.index().supported_rounds());
+  for (Round r = floor; r <= top; ++r) {
+    for (const auto& cert : a.round_certs(r)) {
+      ASSERT_TRUE(be.contains(cert->digest()));
+      ASSERT_EQ(a.direct_support(*cert), be.direct_support(*cert));
+      ASSERT_EQ(be.direct_support(*cert), be.direct_support_scan(*cert));
+    }
+  }
+  // Path answers agree between the original and rebuilt index (and with the
+  // scan) for walks from the top round down to the floor.
+  for (const auto& from : a.round_certs(top)) {
+    for (Round r = floor; r < top; ++r) {
+      for (const auto& to : a.round_certs(r)) {
+        ASSERT_EQ(a.has_path(*from, *to), be.has_path(*from, *to));
+        ASSERT_EQ(be.has_path(*from, *to), be.has_path_scan(*from, *to));
+      }
+    }
+  }
+}
+
+void run_round_trip(bool hammerhead) {
+  DagBuilder b(4);
+  auto make_policy = [&]() -> std::unique_ptr<core::LeaderSchedulePolicy> {
+    if (hammerhead) {
+      core::HammerHeadConfig cfg;
+      cfg.cadence = core::ScheduleCadence::commits(3);
+      return std::make_unique<core::HammerHeadPolicy>(b.committee(), 1, cfg);
+    }
+    return std::make_unique<core::RoundRobinPolicy>(b.committee(), 1);
+  };
+
+  // Original pipeline: 21 full rounds, then GC below round 10.
+  Pipeline a(b, make_policy());
+  std::vector<Digest> prev;
+  std::vector<dag::CertPtr> history;
+  for (Round r = 0; r <= 20; ++r) {
+    auto certs = full_round(b, r, prev);
+    a.feed(certs);
+    prev = DagBuilder::digests_of(certs);
+    history.insert(history.end(), certs.begin(), certs.end());
+  }
+  ASSERT_GE(a.committer->last_anchor_round(), 16);
+  const Round floor = 10;
+  a.dag.prune_below(floor);
+  a.committer->prune_ordered_below(floor);
+  EXPECT_FALSE(a.committer->is_ordered(history.front()->digest()));
+
+  // Snapshot/install round-trip into a fresh pipeline, state-sync style:
+  // set the gc floor, replay the retained certificates, install the
+  // positioning (and, for stateful policies, the schedule state).
+  const CommitterSnapshot snap = a.committer->snapshot(floor);
+  Pipeline bb(b, make_policy());
+  bb.policy->install_snapshot(a.policy->snapshot());
+  bb.dag.prune_below(floor);
+  bb.committer->install_snapshot(snap);
+  for (const auto& cert : history)
+    if (cert->round() >= floor) bb.dag.insert(cert);
+  bb.committer->process();
+
+  // Nothing above the installed horizon can commit yet: the rebuilt
+  // instance must not re-deliver anything the snapshot already covered.
+  EXPECT_TRUE(bb.delivered.empty());
+  EXPECT_EQ(bb.committer->commit_index(), a.committer->commit_index());
+  EXPECT_EQ(bb.committer->last_anchor_round(), a.committer->last_anchor_round());
+
+  // Continue both pipelines with identical rounds; they must deliver the
+  // same sub-DAGs in the same order.
+  const std::size_t baseline = a.delivered.size();
+  for (Round r = 21; r <= 26; ++r) {
+    auto certs = full_round(b, r, prev);
+    a.feed(certs);
+    bb.feed(certs);
+    prev = DagBuilder::digests_of(certs);
+  }
+  ASSERT_GT(a.delivered.size(), baseline);
+  const std::vector<Digest> tail(a.delivered.begin() +
+                                     static_cast<std::ptrdiff_t>(baseline),
+                                 a.delivered.end());
+  EXPECT_EQ(bb.delivered, tail);
+  EXPECT_EQ(bb.committer->commit_index(), a.committer->commit_index());
+  EXPECT_EQ(bb.committer->last_anchor_round(),
+            a.committer->last_anchor_round());
+
+  // The replayed instance rebuilt the exact same index.
+  expect_identical_indices(a.dag, bb.dag, floor, 26);
+}
+
+TEST(PruneSnapshot, RoundTripPreservesOrderAndIndex_RoundRobin) {
+  run_round_trip(/*hammerhead=*/false);
+}
+
+TEST(PruneSnapshot, RoundTripPreservesOrderAndIndex_HammerHead) {
+  run_round_trip(/*hammerhead=*/true);
+}
+
+}  // namespace
+}  // namespace hammerhead::consensus

@@ -96,6 +96,35 @@ TEST(Simulator, CancelOneOfSimultaneous) {
   EXPECT_EQ(order, (std::vector<int>{0, 2}));
 }
 
+TEST(Simulator, CancelOfFiredIdRetainsNoState) {
+  // Regression: cancelling an id whose event already fired used to insert it
+  // into the cancelled-set forever — unbounded growth for long simulations
+  // with timer races.
+  Simulator sim(1);
+  const auto id = sim.schedule_after(millis(1), [] {});
+  sim.run_to_completion();
+  for (int i = 0; i < 1'000; ++i) sim.cancel(id);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(Simulator, CancelOfUnknownIdRetainsNoState) {
+  Simulator sim(1);
+  for (std::uint64_t id = 1'000; id < 2'000; ++id) sim.cancel(id);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(Simulator, CancelledPendingIsReapedOnPop) {
+  Simulator sim(1);
+  const auto id = sim.schedule_after(millis(10), [] {});
+  sim.cancel(id);
+  EXPECT_EQ(sim.cancelled_pending(), 1u);
+  sim.cancel(id);  // double-cancel is a no-op, not a second entry
+  EXPECT_EQ(sim.cancelled_pending(), 1u);
+  sim.run_to_completion();
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
 TEST(Simulator, SchedulingInThePastThrows) {
   Simulator sim(1);
   sim.schedule_after(millis(10), [] {});
