@@ -106,6 +106,16 @@ void index_ablation() {
     std::printf("%6zu %10zu %12.4f %12.4f %8.1fx %9llu\n", n, certs.size(),
                 scan_s, indexed_s, scan_s / indexed_s,
                 static_cast<unsigned long long>(indexed_commits));
+    JsonReport::instance().row(
+        "ingest_n" + std::to_string(n),
+        {{"certs", static_cast<double>(certs.size())},
+         {"scan_s", scan_s},
+         {"indexed_s", indexed_s},
+         {"scan_certs_per_s", static_cast<double>(certs.size()) / scan_s},
+         {"indexed_certs_per_s",
+          static_cast<double>(certs.size()) / indexed_s},
+         {"speedup", scan_s / indexed_s},
+         {"commits", static_cast<double>(indexed_commits)}});
   }
   std::cout << "\nExpected shape: identical commit counts; the indexed path "
                "pulls ahead super-linearly with n (the scan path pays an "
@@ -115,6 +125,7 @@ void index_ablation() {
 }  // namespace
 
 int main() {
+  JsonReport::instance().init("commit_rule");
   index_ablation();
 
   const std::size_t n = quick_mode() ? 10 : 20;
@@ -132,13 +143,22 @@ int main() {
       cfg.duration = duration;
       cfg.node.commit_rule = rule;
       const auto r = harness::run_experiment(cfg);
-      std::printf("%-14s %-14s %8.0f %8.2f %8.2f %9llu\n",
-                  rule == consensus::CommitRule::DirectSupport
-                      ? "direct-support"
-                      : "paper-trigger",
+      const std::string rule_name =
+          rule == consensus::CommitRule::DirectSupport ? "direct-support"
+                                                       : "paper-trigger";
+      std::printf("%-14s %-14s %8.0f %8.2f %8.2f %9llu\n", rule_name.c_str(),
                   harness::policy_name(policy), r.throughput_tps,
                   r.avg_latency_s, r.p95_latency_s,
                   static_cast<unsigned long long>(r.committed_anchors));
+      JsonReport::instance().row(
+          rule_name + "_" + harness::policy_name(policy),
+          {{"throughput_tps", r.throughput_tps},
+           {"avg_latency_s", r.avg_latency_s},
+           {"p50_latency_s", r.p50_latency_s},
+           {"p95_latency_s", r.p95_latency_s},
+           {"p99_latency_s", r.p99_latency_s},
+           {"committed_anchors",
+            static_cast<double>(r.committed_anchors)}});
     }
   }
   std::cout << "\nExpected shape: identical throughput; paper-trigger adds "

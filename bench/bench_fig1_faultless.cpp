@@ -15,6 +15,7 @@ using namespace hammerhead;
 using namespace hammerhead::bench;
 
 int main() {
+  hammerhead::bench::JsonReport::instance().init("fig1_faultless");
   std::cout << "Figure 1: latency vs throughput, no faults "
             << "(paper: Fig. 1, claim C1)\n";
 

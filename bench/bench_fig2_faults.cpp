@@ -14,6 +14,7 @@ using namespace hammerhead;
 using namespace hammerhead::bench;
 
 int main() {
+  hammerhead::bench::JsonReport::instance().init("fig2_faults");
   std::cout << "Figure 2: performance under maximum tolerable crash-faults "
             << "(paper: Fig. 2, claims C2+C3)\n";
 

@@ -54,6 +54,7 @@ WindowStats run(harness::PolicyKind policy, std::size_t n, SimTime window_from,
 }  // namespace
 
 int main() {
+  hammerhead::bench::JsonReport::instance().init("incident_slow_validators");
   const std::size_t n = quick_mode() ? 20 : 100;
   const SimTime duration = bench_duration(seconds(120));
   const SimTime window_from = duration / 3;

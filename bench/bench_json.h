@@ -1,0 +1,79 @@
+// Machine-readable sibling of the benches' stdout tables: rows of named
+// numeric metrics collected during a run and written as BENCH_<name>.json in
+// the working directory when the process exits. CI uploads these as
+// artifacts so the perf trajectory is tracked across commits; the
+// google-benchmark micro benches use their native --benchmark_out instead.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hammerhead::bench {
+
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  /// Enable output as BENCH_<name>.json. Rows recorded without init() are
+  /// dropped (benches that never opt in write nothing).
+  void init(std::string name) { name_ = std::move(name); }
+
+  void row(const std::string& label,
+           std::vector<std::pair<std::string, double>> metrics) {
+    rows_.push_back(Row{label, std::move(metrics)});
+  }
+
+  ~JsonReport() {
+    if (name_.empty() || rows_.empty()) return;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "%s\n  {\"label\": \"%s\", \"metrics\": {",
+                   i == 0 ? "" : ",", escaped(r.label).c_str());
+      for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+        std::fprintf(f, "%s\"%s\": ", m == 0 ? "" : ", ",
+                     escaped(r.metrics[m].first).c_str());
+        // Count-valued metrics stay exact integers in the artifacts;
+        // %.17g round-trips the rest.
+        const double v = r.metrics[m].second;
+        if (v == static_cast<double>(static_cast<long long>(v)))
+          std::fprintf(f, "%lld", static_cast<long long>(v));
+        else
+          std::fprintf(f, "%.17g", v);
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hammerhead::bench

@@ -13,6 +13,7 @@ using namespace hammerhead;
 using namespace hammerhead::bench;
 
 int main() {
+  hammerhead::bench::JsonReport::instance().init("leader_utilization");
   const std::size_t n = quick_mode() ? 10 : 20;
   const SimTime duration = bench_duration(seconds(120));
 

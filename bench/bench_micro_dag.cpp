@@ -7,7 +7,11 @@
 // test, at the cost of bitmap propagation folded into insert.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <vector>
+
 #include "bench_dag_util.h"
+#include "bench_json.h"
 
 using namespace hammerhead;
 using hammerhead::bench::CertFactory;
@@ -115,6 +119,90 @@ static void BM_DagCausalHistory(benchmark::State& state) {
     benchmark::DoNotOptimize(h);
   }
 }
-BENCHMARK(BM_DagCausalHistory)->Arg(10)->Arg(50);
+BENCHMARK(BM_DagCausalHistory)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
 
-BENCHMARK_MAIN();
+// Handle-rooted variant: the committer's delivery path (walk-back resolved
+// the anchor to a handle already).
+static void BM_DagCausalHistoryById(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  CertFactory b(n);
+  dag::Dag d(b.committee);
+  b.fill(d, 10);
+  const dag::VertexId root = d.id_of(10, 0);
+  for (auto _ : state) {
+    auto h = d.causal_history(root, [](const dag::Certificate&) {
+      return true;
+    });
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_DagCausalHistoryById)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+static void BM_DagRoundCerts(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  CertFactory b(n);
+  dag::Dag d(b.committee);
+  b.fill(d, 6);
+  for (auto _ : state) {
+    auto certs = d.round_certs(3);
+    benchmark::DoNotOptimize(certs);
+  }
+}
+BENCHMARK(BM_DagRoundCerts)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+// Copy-free slab walk (what the proposer / state-sync server now use).
+static void BM_DagRoundView(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  CertFactory b(n);
+  dag::Dag d(b.committee);
+  b.fill(d, 6);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    d.for_each_round_cert(3, [&](const dag::CertPtr& c) {
+      count += c->signers.size();
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_DagRoundView)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+// Per-certificate parent-lookup memory at n=100: the sorted index-permutation
+// that replaced Certificate's parent_set_ (an unordered_set<Digest>
+// duplicating header->parents). The old cost is estimated from libstdc++
+// node layout: per node 32B digest + 8B next pointer + ~16B allocator
+// overhead, plus the 8B/bucket array.
+static void report_parent_index_memory() {
+  constexpr std::size_t kN = 100;
+  CertFactory b(kN);
+  std::vector<Digest> parents;
+  {
+    dag::Dag d(b.committee);
+    parents = b.fill(d, 1);
+  }
+  const auto cert = b.cert(2, 0, parents);
+  const std::size_t now_bytes = cert->parent_index_bytes();
+  const std::size_t node_bytes = Digest::kSize + 8 + 16;
+  const std::size_t buckets = 127;  // libstdc++ prime >= 100
+  const std::size_t before_bytes =
+      parents.size() * node_bytes + buckets * sizeof(void*);
+  std::printf(
+      "parent lookup memory per certificate at n=%zu (%zu parents): "
+      "%zu B sorted index vs ~%zu B unordered_set (est.) — %.1fx smaller\n",
+      kN, parents.size(), now_bytes, before_bytes,
+      static_cast<double>(before_bytes) / static_cast<double>(now_bytes));
+  hammerhead::bench::JsonReport::instance().row(
+      "parent_index_memory_n100",
+      {{"parents", static_cast<double>(parents.size())},
+       {"sorted_index_bytes", static_cast<double>(now_bytes)},
+       {"unordered_set_bytes_est", static_cast<double>(before_bytes)}});
+}
+
+int main(int argc, char** argv) {
+  hammerhead::bench::JsonReport::instance().init("micro_dag_memory");
+  report_parent_index_memory();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

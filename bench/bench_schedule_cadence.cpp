@@ -11,6 +11,7 @@ using namespace hammerhead;
 using namespace hammerhead::bench;
 
 int main() {
+  hammerhead::bench::JsonReport::instance().init("schedule_cadence");
   const std::size_t n = quick_mode() ? 10 : 20;
   const std::size_t faults = (n - 1) / 3;
   const SimTime duration = bench_duration(seconds(120));

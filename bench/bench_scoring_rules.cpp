@@ -40,6 +40,7 @@ void sweep(const char* title, std::size_t n, std::size_t crash_faults,
 }  // namespace
 
 int main() {
+  hammerhead::bench::JsonReport::instance().init("scoring_rules");
   const std::size_t n = quick_mode() ? 10 : 20;
   const SimTime duration = bench_duration(seconds(120));
   std::cout << "Scoring-rule ablation (Section 7): n=" << n << "\n";

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "hammerhead/harness/experiment.h"
 
 namespace hammerhead::bench {
@@ -52,6 +53,14 @@ inline harness::ExperimentConfig paper_config(std::size_t n, double load_tps,
 inline void print_run(const std::string& tag,
                       const harness::ExperimentResult& r) {
   std::cout << tag << "  " << harness::result_row(r) << std::endl;
+  JsonReport::instance().row(
+      tag, {{"throughput_tps", r.throughput_tps},
+            {"avg_latency_s", r.avg_latency_s},
+            {"p50_latency_s", r.p50_latency_s},
+            {"p95_latency_s", r.p95_latency_s},
+            {"p99_latency_s", r.p99_latency_s},
+            {"committed_anchors", static_cast<double>(r.committed_anchors)},
+            {"skipped_anchors", static_cast<double>(r.skipped_anchors)}});
 }
 
 inline void print_header(const std::string& title) {

@@ -1,0 +1,48 @@
+// Epoch-stamped reusable set: a dedup structure for hot paths that would
+// otherwise allocate (and rehash into) a fresh unordered_set per call.
+// begin() starts a new logical set in O(1) by bumping an epoch; the bucket
+// array and nodes persist across calls, so steady-state insertion does not
+// allocate. Bounded: when the backing map outgrows `max_retained` entries it
+// is dropped wholesale at the next begin() (stale keys from old epochs are
+// garbage, not correctness state).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace hammerhead {
+
+template <typename K>
+class StampedSet {
+ public:
+  explicit StampedSet(std::size_t max_retained = 1 << 16)
+      : max_retained_(max_retained) {}
+
+  /// Start a new (empty) logical set.
+  void begin() {
+    if (marks_.size() > max_retained_) marks_.clear();
+    ++epoch_;
+  }
+
+  /// True iff `k` was not yet in the current logical set.
+  bool insert(const K& k) {
+    auto [it, fresh] = marks_.try_emplace(k, epoch_);
+    if (!fresh) {
+      if (it->second == epoch_) return false;
+      it->second = epoch_;
+    }
+    return true;
+  }
+
+  bool contains(const K& k) const {
+    auto it = marks_.find(k);
+    return it != marks_.end() && it->second == epoch_;
+  }
+
+ private:
+  std::size_t max_retained_;
+  std::unordered_map<K, std::uint64_t> marks_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace hammerhead

@@ -51,23 +51,43 @@ void BullsharkCommitter::on_cert_inserted(const dag::CertPtr& cert) {
   process();
 }
 
-bool BullsharkCommitter::triggered(const dag::Certificate& anchor) const {
+bool BullsharkCommitter::triggered(dag::VertexId anchor) const {
   switch (rule_) {
     case CommitRule::DirectSupport:
       return (scan_ == TriggerScan::Indexed
                   ? dag_.direct_support(anchor)
-                  : dag_.direct_support_scan(anchor)) >=
+                  : dag_.direct_support_scan(*dag_.cert_of(anchor))) >=
              committee_.validity_threshold();
     case CommitRule::PaperTrigger: {
       // Algorithm 2, TryCommitting(v): v at round a+2; votes are v's parents
       // (round a+1); commit if the stake of parents with a path (i.e. a
-      // direct edge) to the anchor reaches f+1.
-      for (const dag::CertPtr& v : dag_.round_certs(anchor.round() + 2)) {
+      // direct edge) to the anchor reaches f+1. Pure handle walk: v's
+      // resolved parents, then each parent's resolved parents.
+      const Round anchor_round = dag_.round_of(anchor);
+      if (dag_.round_size(anchor_round + 2) == 0) return false;  // no votes
+      // One pass over round a+1: which slots list the anchor as a parent.
+      // Memoized by author so the per-vote check below is O(1) instead of a
+      // scan of each parent's handle list for every vote sharing it.
+      std::vector<bool> votes(committee_.size(), false);
+      for (ValidatorIndex a = 0; a < committee_.size(); ++a) {
+        const auto ps = dag_.parents_of(dag_.id_of(anchor_round + 1, a));
+        votes[a] = std::find(ps.begin(), ps.end(), anchor) != ps.end();
+      }
+      for (ValidatorIndex a = 0; a < committee_.size(); ++a) {
+        const dag::VertexId v = dag_.id_of(anchor_round + 2, a);
+        if (v == dag::kInvalidVertex) continue;
         Stake support = 0;
-        for (const Digest& pd : v->parents()) {
-          dag::CertPtr parent = dag_.get(pd);
-          if (parent && parent->has_parent(anchor.digest()))
-            support += committee_.stake_of(parent->author());
+        for (const dag::VertexId pid : dag_.parents_of(v)) {
+          // Protocol-valid parents sit at round a+1 (memoized); anything
+          // else (forged non-adjacent references) is checked directly.
+          bool voted;
+          if (dag_.round_of(pid) == anchor_round + 1) {
+            voted = votes[dag_.author_of(pid)];
+          } else {
+            const auto gp = dag_.parents_of(pid);
+            voted = std::find(gp.begin(), gp.end(), anchor) != gp.end();
+          }
+          if (voted) support += committee_.stake_of(dag_.author_of(pid));
         }
         if (support >= committee_.validity_threshold()) return true;
       }
@@ -102,10 +122,9 @@ bool BullsharkCommitter::scan_once(Round max_round) {
       const Round round = *it;
       if (round % 2 != 0) continue;  // anchors live at even rounds
       if (round + 1 > max_round) break;
-      const ValidatorIndex leader = policy_.leader(round);
-      dag::CertPtr anchor = dag_.get(round, leader);
-      if (!anchor || !triggered(*anchor)) continue;
-      commit_chain(std::move(anchor));
+      const dag::VertexId anchor = dag_.id_of(round, policy_.leader(round));
+      if (anchor == dag::kInvalidVertex || !triggered(anchor)) continue;
+      commit_chain(anchor);
       return true;
     }
     return false;
@@ -115,68 +134,70 @@ bool BullsharkCommitter::scan_once(Round max_round) {
   for (std::int64_t a = last_anchor_round_ + 2;
        a + 1 <= static_cast<std::int64_t>(max_round); a += 2) {
     const Round round = static_cast<Round>(a);
-    const ValidatorIndex leader = policy_.leader(round);
-    dag::CertPtr anchor = dag_.get(round, leader);
-    if (!anchor || !triggered(*anchor)) continue;
-    commit_chain(std::move(anchor));
+    const dag::VertexId anchor = dag_.id_of(round, policy_.leader(round));
+    if (anchor == dag::kInvalidVertex || !triggered(anchor)) continue;
+    commit_chain(anchor);
     return true;
   }
   return false;
 }
 
-bool BullsharkCommitter::reachable(const dag::Certificate& from,
-                                   const dag::Certificate& to) const {
+bool BullsharkCommitter::reachable(dag::VertexId from,
+                                   dag::VertexId to) const {
   return scan_ == TriggerScan::Indexed ? dag_.has_path(from, to)
                                        : dag_.has_path_scan(from, to);
 }
 
-bool BullsharkCommitter::commit_chain(dag::CertPtr anchor) {
+bool BullsharkCommitter::commit_chain(dag::VertexId anchor) {
   // Walk back (Algorithm 2, orderAnchors): collect earlier anchors reachable
-  // from the direct commit, newest first, then order oldest first.
-  std::vector<dag::CertPtr> chain;
+  // from the direct commit, newest first, then order oldest first. The walk
+  // is handle-only — no certificate is touched until delivery.
+  std::vector<dag::VertexId> chain;
   chain.push_back(anchor);
-  dag::CertPtr cur = anchor;
-  for (std::int64_t r = static_cast<std::int64_t>(anchor->round()) - 2;
+  dag::VertexId cur = anchor;
+  for (std::int64_t r = static_cast<std::int64_t>(dag_.round_of(anchor)) - 2;
        r > last_anchor_round_; r -= 2) {
     const Round round = static_cast<Round>(r);
-    dag::CertPtr prev = dag_.get(round, policy_.leader(round));
-    if (prev && reachable(*cur, *prev)) {
+    const dag::VertexId prev = dag_.id_of(round, policy_.leader(round));
+    if (prev != dag::kInvalidVertex && reachable(cur, prev)) {
       chain.push_back(prev);
       cur = prev;
     }
   }
   std::reverse(chain.begin(), chain.end());
 
-  for (const dag::CertPtr& link : chain) {
+  for (const dag::VertexId link : chain) {
+    const Round link_round = dag_.round_of(link);
     // Schedule boundary (Algorithm 2, orderHistory lines 30-33): check
     // before ordering; on a change, drop the rest of the (now stale) chain
     // and let the caller re-evaluate under the new schedule.
-    if (policy_.maybe_change_schedule(link->round())) {
+    if (policy_.maybe_change_schedule(link_round)) {
       ++stats_.schedule_changes;
-      HH_DEBUG("committer: schedule change at anchor round " << link->round());
+      HH_DEBUG("committer: schedule change at anchor round " << link_round);
       return true;
     }
     // Rounds between the previous anchor and this one had their anchors
     // skipped (not reachable / no support).
     for (std::int64_t r = last_anchor_round_ + 2;
-         r < static_cast<std::int64_t>(link->round()); r += 2) {
+         r < static_cast<std::int64_t>(link_round); r += 2) {
       const Round round = static_cast<Round>(r);
       policy_.on_anchor_skipped(round, policy_.leader(round));
       ++stats_.skipped_anchors;
     }
     if (order_anchor(link)) {
       ++stats_.schedule_changes;
-      HH_DEBUG("committer: schedule change after anchor round "
-               << link->round());
+      HH_DEBUG("committer: schedule change after anchor round " << link_round);
       return true;
     }
   }
   return false;
 }
 
-bool BullsharkCommitter::order_anchor(const dag::CertPtr& anchor) {
+bool BullsharkCommitter::order_anchor(dag::VertexId anchor_id) {
+  // Delivery boundary: materialize certificates only here.
+  const dag::CertPtr anchor = dag_.cert_of(anchor_id);
   std::vector<dag::CertPtr> vertices = dag_.causal_history(
-      *anchor,
+      anchor_id,
       [this](const dag::Certificate& c) { return !is_ordered(c.digest()); });
   // Deterministic delivery order within the sub-DAG (Algorithm 2 line 35:
   // "in some deterministic order").

@@ -111,25 +111,28 @@ class BullsharkCommitter {
   void install_snapshot(const CommitterSnapshot& snap);
 
  private:
-  /// True iff `anchor` is directly committed under the configured rule.
-  bool triggered(const dag::Certificate& anchor) const;
+  /// True iff the anchor behind `anchor` (a resident handle) is directly
+  /// committed under the configured rule.
+  bool triggered(dag::VertexId anchor) const;
 
   /// Path query under the configured scan mode (index vs reference BFS).
-  bool reachable(const dag::Certificate& from,
-                 const dag::Certificate& to) const;
+  /// Both handles are resident anchors.
+  bool reachable(dag::VertexId from, dag::VertexId to) const;
 
   /// One pass of the lowest-triggered-anchor search; returns true if an
   /// anchor was committed (the caller loops while progress is made).
   bool scan_once(Round max_round);
 
-  /// Commit `anchor` and every earlier reachable anchor. Returns true if a
-  /// schedule change interrupted the chain (caller rescans).
-  bool commit_chain(dag::CertPtr anchor);
+  /// Commit `anchor` and every earlier reachable anchor. The walk-back runs
+  /// entirely over arena handles; certificates are materialized only at the
+  /// delivery boundary. Returns true if a schedule change interrupted the
+  /// chain (caller rescans).
+  bool commit_chain(dag::VertexId anchor);
 
   /// Deliver one anchor's sub-DAG. Returns true if the policy began a new
   /// epoch effective from the next anchor round (commits cadence) — the
   /// caller must discard its pending chain and rescan.
-  bool order_anchor(const dag::CertPtr& anchor);
+  bool order_anchor(dag::VertexId anchor);
 
   const crypto::Committee& committee_;
   dag::Dag& dag_;

@@ -1,0 +1,34 @@
+#include "hammerhead/dag/arena.h"
+
+namespace hammerhead::dag {
+
+Arena::Arena(std::size_t n, std::size_t initial_depth)
+    : n_(n), ring_(n, initial_depth) {
+  HH_ASSERT_MSG(n_ > 0, "arena needs at least one slot per round");
+}
+
+VertexId Arena::insert(CertPtr cert, std::vector<VertexId> parents) {
+  HH_ASSERT(cert != nullptr);
+  HH_ASSERT_MSG(cert->author() < n_,
+                "author out of range: " << cert->author());
+  Slot* row = ring_.ensure_round(cert->round());
+  Slot& slot = row[cert->author()];
+  HH_ASSERT_MSG(slot.cert == nullptr, "slot (" << cert->round() << ", "
+                                               << cert->author()
+                                               << ") occupied twice");
+  const VertexId v = id(cert->round(), cert->author());
+  by_digest_.emplace(cert->digest(), v);
+  slot.parents = std::move(parents);
+  slot.mark = 0;
+  slot.cert = std::move(cert);
+  return v;
+}
+
+void Arena::prune_below(Round floor) {
+  ring_.prune_below(floor, [this](Round, Slot* slots) {
+    for (std::size_t a = 0; a < n_; ++a)
+      if (slots[a].cert) by_digest_.erase(slots[a].cert->digest());
+  });
+}
+
+}  // namespace hammerhead::dag

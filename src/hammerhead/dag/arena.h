@@ -1,0 +1,208 @@
+// Slot-addressed arena: the DAG's canonical vertex storage.
+//
+// Every vertex occupies a unique (round, author) slot — vote uniqueness makes
+// the DAG equivocation-free — so a vertex is identified by an integer handle
+// (VertexId = round * n + author) instead of a 32-byte digest. Storage is a
+// ring of per-round slabs of `n` slots each: a round's slab lives at ring
+// position (round % depth), the ring grows (power-of-two depths, slabs
+// rehomed) when the live round span exceeds it, and pruning clears slabs and
+// advances the floor so their positions are reused by later rounds
+// (wraparound). With garbage collection on, the live span is bounded by the
+// gc window and the ring reaches a steady state: slabs and slot vectors are
+// recycled, so inserts stop allocating slab storage (the per-insert
+// allocations that remain are the resolved parent list and the digest
+// side-table node).
+//
+// Handle contract: a VertexId is *stable until its round is pruned* — it
+// encodes (round, author) exactly, never aliases across ring reuse (the slab
+// stores its round and resolution checks it), and resolves to the same
+// certificate for the arena's whole lifetime because at most one certificate
+// per slot can ever exist. Parent edges are resolved to handles ONCE, at
+// insert, so traversals (committer walk-back, causal history, fetch serving)
+// follow integer handles through contiguous slabs instead of re-hashing
+// digests into node-based maps.
+//
+// Traversals use epoch-stamped visited marks embedded in the slots: bumping
+// one counter starts a new traversal, so no per-call visited set is
+// allocated. A digest -> handle side table exists only for the ingress path
+// (dedup, parent resolution, digest-keyed lookups at the protocol boundary).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "hammerhead/common/assert.h"
+#include "hammerhead/common/digest.h"
+#include "hammerhead/common/types.h"
+#include "hammerhead/dag/types.h"
+
+namespace hammerhead::dag {
+
+/// Integer vertex handle: round * n + author. Unique forever (not just while
+/// resident); resolution fails cleanly after the round is pruned.
+using VertexId = std::uint64_t;
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+
+/// A ring of per-round slabs, `slots_per_round` value-initialized `T`s per
+/// round. Rounds map to ring position (round % depth); depth is a power of
+/// two that grows on demand and slabs are rehomed on growth. Shared by the
+/// arena (certificate slots) and the commit index (per-vertex entries,
+/// referenced-slot masks) so all three stay keyed by the same geometry.
+template <typename T>
+class RoundRing {
+ public:
+  explicit RoundRing(std::size_t slots_per_round,
+                     std::size_t initial_depth = 16)
+      : spr_(slots_per_round) {
+    std::size_t d = 1;
+    while (d < initial_depth) d <<= 1;
+    slabs_.resize(d);
+  }
+
+  std::size_t slots_per_round() const { return spr_; }
+  std::size_t depth() const { return slabs_.size(); }
+  Round floor() const { return floor_; }
+
+  /// Slab of `round`, creating (value-initialized) storage on first touch
+  /// and growing the ring when the round lies beyond it. round >= floor().
+  T* ensure_round(Round round) {
+    HH_ASSERT_MSG(round >= floor_, "ring access below floor: " << round);
+    if (round - floor_ >= slabs_.size()) grow(round);
+    Slab& s = slabs_[pos(round)];
+    if (!s.live) {
+      s.live = true;
+      s.round = round;
+      s.slots.assign(spr_, T{});  // reuses a pruned slab's capacity
+    }
+    return s.slots.data();
+  }
+
+  T* find_round(Round round) {
+    return const_cast<T*>(std::as_const(*this).find_round(round));
+  }
+  const T* find_round(Round round) const {
+    if (round < floor_ || round - floor_ >= slabs_.size()) return nullptr;
+    const Slab& s = slabs_[pos(round)];
+    return s.live && s.round == round ? s.slots.data() : nullptr;
+  }
+
+  /// Drop all rounds below `new_floor`; `on_drop(round, slots)` runs for
+  /// each live slab before its slots are destroyed. Positions of dropped
+  /// slabs become reusable by later rounds (ring wraparound).
+  template <typename Fn>
+  void prune_below(Round new_floor, Fn&& on_drop) {
+    if (new_floor <= floor_) return;
+    const Round scan_end =
+        new_floor - floor_ < slabs_.size() ? new_floor
+                                           : floor_ + slabs_.size();
+    for (Round r = floor_; r < scan_end; ++r) {
+      Slab& s = slabs_[pos(r)];
+      if (!s.live || s.round != r) continue;
+      on_drop(r, s.slots.data());
+      s.live = false;
+      s.slots.clear();  // destroy contents, keep capacity for reuse
+    }
+    floor_ = new_floor;
+  }
+
+ private:
+  struct Slab {
+    Round round = 0;
+    bool live = false;
+    std::vector<T> slots;
+  };
+
+  std::size_t pos(Round r) const {
+    return static_cast<std::size_t>(r & (slabs_.size() - 1));  // depth is 2^k
+  }
+
+  void grow(Round round) {
+    const std::size_t need = static_cast<std::size_t>(round - floor_) + 1;
+    std::size_t nd = slabs_.size();
+    while (nd < need) nd <<= 1;
+    std::vector<Slab> fresh(nd);
+    for (Slab& s : slabs_)
+      if (s.live) fresh[s.round & (nd - 1)] = std::move(s);
+    slabs_ = std::move(fresh);
+  }
+
+  std::size_t spr_;
+  Round floor_ = 0;
+  std::vector<Slab> slabs_;
+};
+
+class Arena {
+ public:
+  struct Slot {
+    CertPtr cert;  ///< null -> slot empty
+    /// Parent handles resolved at insert: one entry per digest in
+    /// header->parents that was resident at insert time (duplicates kept, so
+    /// reference-counting consumers see exactly the wire parent list).
+    /// Parents missing at insert (possible only at/below the gc floor) are
+    /// simply absent — identical to the digest lookup failing.
+    std::vector<VertexId> parents;
+    /// Epoch-stamped visited mark; meaningful only within one traversal.
+    mutable std::uint64_t mark = 0;
+  };
+
+  Arena(std::size_t n, std::size_t initial_depth = 16);
+
+  std::size_t slots_per_round() const { return n_; }
+  std::size_t size() const { return by_digest_.size(); }
+  Round ring_floor() const { return ring_.floor(); }
+  std::size_t ring_depth() const { return ring_.depth(); }
+
+  VertexId id(Round round, ValidatorIndex author) const {
+    return static_cast<VertexId>(round) * n_ + author;
+  }
+  Round round_of(VertexId v) const { return static_cast<Round>(v / n_); }
+  ValidatorIndex author_of(VertexId v) const {
+    return static_cast<ValidatorIndex>(v % n_);
+  }
+
+  /// Handle of the resident vertex with this digest; kInvalidVertex if none.
+  VertexId find(const Digest& digest) const {
+    auto it = by_digest_.find(digest);
+    return it == by_digest_.end() ? kInvalidVertex : it->second;
+  }
+
+  /// Slot of a handle, or null if the slot is empty / the round not resident.
+  const Slot* resolve(VertexId v) const {
+    if (v == kInvalidVertex) return nullptr;
+    const Slot* row = ring_.find_round(round_of(v));
+    if (row == nullptr) return nullptr;
+    const Slot& s = row[author_of(v)];
+    return s.cert ? &s : nullptr;
+  }
+
+  /// The n slots of `round` (author-indexed; empty slots have null cert), or
+  /// null when the round holds no slab.
+  const Slot* round_slab(Round round) const { return ring_.find_round(round); }
+
+  /// Occupy slot (cert->round(), cert->author()). The slot must be empty —
+  /// callers dedup via find() first. Returns the new vertex's handle.
+  VertexId insert(CertPtr cert, std::vector<VertexId> parents);
+
+  /// Drop all rounds strictly below `floor` (and their side-table entries).
+  void prune_below(Round floor);
+
+  /// Start a traversal: returns a fresh epoch for mark().
+  std::uint64_t begin_traversal() const { return ++epoch_; }
+  /// Mark a slot visited in `epoch`; true if it was not yet visited.
+  static bool mark(const Slot& slot, std::uint64_t epoch) {
+    if (slot.mark == epoch) return false;
+    slot.mark = epoch;
+    return true;
+  }
+
+ private:
+  std::size_t n_;
+  RoundRing<Slot> ring_;
+  /// Ingress/dedup only: digest-keyed lookups at the protocol boundary.
+  std::unordered_map<Digest, VertexId> by_digest_;
+  mutable std::uint64_t epoch_ = 0;
+};
+
+}  // namespace hammerhead::dag

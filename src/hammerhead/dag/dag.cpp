@@ -1,21 +1,21 @@
 #include "hammerhead/dag/dag.h"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_set>
 
 #include "hammerhead/common/assert.h"
 
 namespace hammerhead::dag {
 
 Dag::Dag(const crypto::Committee& committee, IndexConfig index)
-    : committee_(committee), index_(committee, index) {}
+    : committee_(committee),
+      arena_(committee.size()),
+      index_(committee, index) {}
 
 bool Dag::parents_present(const Certificate& cert) const {
   if (cert.round() == 0) return true;
   if (cert.round() <= gc_floor_) return true;  // history pruned; accept
   for (const auto& p : cert.parents())
-    if (by_digest_.count(p) == 0) return false;
+    if (arena_.find(p) == kInvalidVertex) return false;
   return true;
 }
 
@@ -23,101 +23,130 @@ std::vector<Digest> Dag::missing_parents(const Certificate& cert) const {
   std::vector<Digest> missing;
   if (cert.round() == 0 || cert.round() <= gc_floor_) return missing;
   for (const auto& p : cert.parents())
-    if (by_digest_.count(p) == 0) missing.push_back(p);
+    if (arena_.find(p) == kInvalidVertex) missing.push_back(p);
   return missing;
 }
 
 bool Dag::insert(CertPtr cert) {
   HH_ASSERT(cert != nullptr);
-  if (cert->round() < gc_floor_) return false;  // below pruned history
-  if (by_digest_.count(cert->digest()) > 0) return false;
-  auto& round_map = rounds_[cert->round()];
-  if (round_map.count(cert->author()) > 0) return false;  // duplicate slot
+  const Round round = cert->round();
+  const ValidatorIndex author = cert->author();
+  if (round < gc_floor_) return false;          // below pruned history
+  if (author >= committee_.size()) return false;  // protocol-invalid author
+  if (arena_.find(cert->digest()) != kInvalidVertex) return false;
+  const VertexId v = arena_.id(round, author);
+  if (arena_.resolve(v) != nullptr) return false;  // duplicate slot
 
   // One pass over the parent digests doubles as the causal-completeness
-  // check and, with the index enabled, the parent resolution for it
+  // check and the once-only resolution of parent digests to handles
   // (parents may be absent only at or below the gc floor, where history
   // was pruned).
-  std::vector<const Certificate*> parents;
-  if (index_.enabled()) parents.reserve(cert->parents().size());
+  std::vector<VertexId> parents;
+  parents.reserve(cert->parents().size());
   bool missing = false;
   for (const auto& pd : cert->parents()) {
-    auto it = by_digest_.find(pd);
-    if (it == by_digest_.end())
+    const VertexId p = arena_.find(pd);
+    if (p == kInvalidVertex)
       missing = true;
-    else if (index_.enabled())
-      parents.push_back(it->second.get());
+    else
+      parents.push_back(p);
   }
-  HH_ASSERT_MSG(!missing || cert->round() == 0 || cert->round() <= gc_floor_,
-                "insert of causally incomplete vertex r" << cert->round()
-                                                         << " by "
-                                                         << cert->author());
+  HH_ASSERT_MSG(!missing || round == 0 || round <= gc_floor_,
+                "insert of causally incomplete vertex r" << round << " by "
+                                                         << author);
 
-  by_digest_.emplace(cert->digest(), cert);
-  round_map.emplace(cert->author(), cert);
-  if (!max_round_ || cert->round() > *max_round_) max_round_ = cert->round();
-  if (index_.enabled()) index_.on_insert(*cert, parents);
+  if (index_.enabled()) index_.on_insert(v, *cert, parents);
+  arena_.insert(std::move(cert), std::move(parents));
+  if (!max_round_ || round > *max_round_) max_round_ = round;
   return true;
 }
 
 bool Dag::contains(const Digest& digest) const {
-  return by_digest_.count(digest) > 0;
+  return arena_.find(digest) != kInvalidVertex;
 }
 
 bool Dag::contains(Round round, ValidatorIndex author) const {
-  auto it = rounds_.find(round);
-  return it != rounds_.end() && it->second.count(author) > 0;
+  return id_of(round, author) != kInvalidVertex;
 }
 
 CertPtr Dag::get(const Digest& digest) const {
-  auto it = by_digest_.find(digest);
-  return it == by_digest_.end() ? nullptr : it->second;
+  return cert_of(arena_.find(digest));
 }
 
 CertPtr Dag::get(Round round, ValidatorIndex author) const {
-  auto it = rounds_.find(round);
-  if (it == rounds_.end()) return nullptr;
-  auto jt = it->second.find(author);
-  return jt == it->second.end() ? nullptr : jt->second;
+  return cert_of(id_of(round, author));
+}
+
+VertexId Dag::id_of(Round round, ValidatorIndex author) const {
+  if (author >= committee_.size()) return kInvalidVertex;
+  const VertexId v = arena_.id(round, author);
+  return arena_.resolve(v) != nullptr ? v : kInvalidVertex;
+}
+
+CertPtr Dag::cert_of(VertexId v) const {
+  const Arena::Slot* s = arena_.resolve(v);
+  return s == nullptr ? nullptr : s->cert;
+}
+
+VertexId Dag::resolve_resident(const Certificate& cert) const {
+  if (cert.author() >= committee_.size()) return kInvalidVertex;
+  const VertexId v = arena_.id(cert.round(), cert.author());
+  const Arena::Slot* s = arena_.resolve(v);
+  return s != nullptr && s->cert->digest() == cert.digest() ? v
+                                                            : kInvalidVertex;
 }
 
 std::vector<CertPtr> Dag::round_certs(Round round) const {
   std::vector<CertPtr> out;
-  auto it = rounds_.find(round);
-  if (it == rounds_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [author, cert] : it->second) out.push_back(cert);
+  for_each_round_cert(round, [&](const CertPtr& c) { out.push_back(c); });
   return out;
 }
 
 std::size_t Dag::round_size(Round round) const {
-  auto it = rounds_.find(round);
-  return it == rounds_.end() ? 0 : it->second.size();
+  std::size_t count = 0;
+  for_each_round_cert(round, [&](const CertPtr&) { ++count; });
+  return count;
 }
 
 Stake Dag::round_stake(Round round) const {
-  auto it = rounds_.find(round);
-  if (it == rounds_.end()) return 0;
   Stake sum = 0;
-  for (const auto& [author, cert] : it->second)
-    sum += committee_.stake_of(author);
+  for_each_round_cert(round, [&](const CertPtr& c) {
+    sum += committee_.stake_of(c->author());
+  });
   return sum;
 }
 
 std::optional<Round> Dag::max_round() const { return max_round_; }
 
 Stake Dag::direct_support(const Certificate& anchor) const {
-  if (auto s = index_.support(anchor)) return *s;
+  if (auto s = index_.support(resolve_resident(anchor))) return *s;
   return direct_support_scan(anchor);  // anchor not in the DAG / no index
 }
 
-Stake Dag::direct_support_scan(const Certificate& anchor) const {
-  auto it = rounds_.find(anchor.round() + 1);
-  if (it == rounds_.end()) return 0;
+Stake Dag::direct_support(VertexId anchor) const {
+  if (auto s = index_.support(anchor)) return *s;
+  // Handle scan: count round+1 slots whose parent list references the
+  // anchor (each supporting vertex once, like the digest scan).
+  const Arena::Slot* slab = arena_.round_slab(round_of(anchor) + 1);
+  if (slab == nullptr) return 0;
   Stake support = 0;
-  for (const auto& [author, cert] : it->second)
-    if (cert->has_parent(anchor.digest()))
-      support += committee_.stake_of(author);
+  for (std::size_t a = 0; a < arena_.slots_per_round(); ++a) {
+    const Arena::Slot& s = slab[a];
+    if (!s.cert) continue;
+    if (std::find(s.parents.begin(), s.parents.end(), anchor) !=
+        s.parents.end())
+      support += committee_.stake_of(static_cast<ValidatorIndex>(a));
+  }
+  return support;
+}
+
+Stake Dag::direct_support_scan(const Certificate& anchor) const {
+  const Arena::Slot* slab = arena_.round_slab(anchor.round() + 1);
+  if (slab == nullptr) return 0;
+  Stake support = 0;
+  for (std::size_t a = 0; a < arena_.slots_per_round(); ++a)
+    if (slab[a].cert && slab[a].cert->has_parent(anchor.digest()))
+      support += committee_.stake_of(static_cast<ValidatorIndex>(a));
   return support;
 }
 
@@ -128,21 +157,64 @@ bool Dag::has_path(const Certificate& from, const Certificate& to) const {
                 "path query below gc floor: " << to.round());
   // The bitmap identifies ancestors by (round, author) slot; that answer is
   // only about `to` if `to` actually occupies its slot in this DAG.
-  auto rit = rounds_.find(to.round());
-  if (rit != rounds_.end()) {
-    auto ait = rit->second.find(to.author());
-    if (ait != rit->second.end() && ait->second->digest() == to.digest()) {
-      switch (index_.path(from, to)) {
-        case DagIndex::PathAnswer::Yes:
-          return true;
-        case DagIndex::PathAnswer::No:
-          return false;
-        case DagIndex::PathAnswer::Unknown:
-          break;  // below the bitmap window; fall back to the scan
-      }
+  const VertexId vt = resolve_resident(to);
+  if (vt != kInvalidVertex) {
+    switch (index_.path(resolve_resident(from), vt)) {
+      case DagIndex::PathAnswer::Yes:
+        return true;
+      case DagIndex::PathAnswer::No:
+        return false;
+      case DagIndex::PathAnswer::Unknown:
+        break;  // below the bitmap window; fall back to the scan
     }
   }
   return has_path_scan(from, to);
+}
+
+bool Dag::has_path(VertexId from, VertexId to) const {
+  if (from == to) return true;
+  if (round_of(from) <= round_of(to)) return false;
+  HH_ASSERT_MSG(round_of(to) >= gc_floor_,
+                "path query below gc floor: " << round_of(to));
+  switch (index_.path(from, to)) {
+    case DagIndex::PathAnswer::Yes:
+      return true;
+    case DagIndex::PathAnswer::No:
+      return false;
+    case DagIndex::PathAnswer::Unknown:
+      break;
+  }
+  return has_path_scan(from, to);
+}
+
+bool Dag::scan_from(std::vector<VertexId>& frontier, VertexId to,
+                    std::uint64_t epoch) const {
+  const Round to_round = round_of(to);
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const Arena::Slot& s = *arena_.resolve(frontier[head++]);
+    for (const VertexId p : s.parents) {
+      if (p == to) return true;
+      if (round_of(p) <= to_round) continue;
+      const Arena::Slot* ps = arena_.resolve(p);
+      if (ps == nullptr) continue;  // pruned
+      if (Arena::mark(*ps, epoch)) frontier.push_back(p);
+    }
+  }
+  return false;
+}
+
+bool Dag::has_path_scan(VertexId from, VertexId to) const {
+  if (from == to) return true;
+  if (round_of(from) <= round_of(to)) return false;
+  HH_ASSERT_MSG(round_of(to) >= gc_floor_,
+                "path query below gc floor: " << round_of(to));
+  const Arena::Slot* fs = arena_.resolve(from);
+  HH_ASSERT(fs != nullptr);
+  const auto epoch = arena_.begin_traversal();
+  Arena::mark(*fs, epoch);
+  std::vector<VertexId> frontier{from};
+  return scan_from(frontier, to, epoch);
 }
 
 bool Dag::has_path_scan(const Certificate& from, const Certificate& to) const {
@@ -151,48 +223,99 @@ bool Dag::has_path_scan(const Certificate& from, const Certificate& to) const {
   HH_ASSERT_MSG(to.round() >= gc_floor_,
                 "path query below gc floor: " << to.round());
 
-  // BFS following parent edges, pruned at to.round().
-  std::unordered_set<Digest> visited;
-  std::deque<const Certificate*> frontier;
-  frontier.push_back(&from);
-  visited.insert(from.digest());
-  while (!frontier.empty()) {
-    const Certificate* cur = frontier.front();
-    frontier.pop_front();
-    for (const auto& parent_digest : cur->parents()) {
-      if (parent_digest == to.digest()) return true;
-      if (!visited.insert(parent_digest).second) continue;
-      auto it = by_digest_.find(parent_digest);
-      if (it == by_digest_.end()) continue;  // pruned
-      const Certificate& parent = *it->second;
-      if (parent.round() > to.round()) frontier.push_back(it->second.get());
+  const auto epoch = arena_.begin_traversal();
+  std::vector<VertexId> frontier;
+  const VertexId vf = resolve_resident(from);
+  if (vf != kInvalidVertex) {
+    Arena::mark(*arena_.resolve(vf), epoch);
+    frontier.push_back(vf);
+  } else {
+    // `from` never entered this DAG: seed from its wire parent digests. A
+    // parent digest equal to `to`'s is a direct hit, as in the digest BFS.
+    for (const Digest& pd : from.parents()) {
+      if (pd == to.digest()) return true;
+      const VertexId p = arena_.find(pd);
+      if (p == kInvalidVertex || round_of(p) <= to.round()) continue;
+      if (Arena::mark(*arena_.resolve(p), epoch)) frontier.push_back(p);
+    }
+  }
+
+  const VertexId vt = resolve_resident(to);
+  if (vt != kInvalidVertex) return scan_from(frontier, vt, epoch);
+
+  // `to` is not resident (e.g. a slot impostor that never entered this DAG,
+  // or history pruned at the floor): only a digest match in some resident
+  // vertex's wire parent list can prove the edge.
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const Arena::Slot& s = *arena_.resolve(frontier[head++]);
+    for (const Digest& pd : s.cert->parents()) {
+      if (pd == to.digest()) return true;
+      const VertexId p = arena_.find(pd);
+      if (p == kInvalidVertex || round_of(p) <= to.round()) continue;
+      if (Arena::mark(*arena_.resolve(p), epoch)) frontier.push_back(p);
     }
   }
   return false;
 }
 
 std::vector<CertPtr> Dag::causal_history(
+    VertexId root, const std::function<bool(const Certificate&)>& keep) const {
+  const Arena::Slot* rs = arena_.resolve(root);
+  HH_ASSERT(rs != nullptr);
+  if (!keep(*rs->cert)) return {};
+  return causal_history_from(root, keep);
+}
+
+std::vector<CertPtr> Dag::causal_history_from(
+    VertexId root, const std::function<bool(const Certificate&)>& keep) const {
+  std::vector<CertPtr> out;
+  const auto epoch = arena_.begin_traversal();
+  Arena::mark(*arena_.resolve(root), epoch);
+  std::vector<VertexId> queue{root};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Arena::Slot& s = *arena_.resolve(queue[head]);
+    out.push_back(s.cert);
+    for (const VertexId p : s.parents) {
+      const Arena::Slot* ps = arena_.resolve(p);
+      if (ps == nullptr) continue;  // pruned below gc floor
+      if (!Arena::mark(*ps, epoch)) continue;
+      if (!keep(*ps->cert)) continue;
+      queue.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<CertPtr> Dag::causal_history(
     const Certificate& root,
     const std::function<bool(const Certificate&)>& keep) const {
-  std::vector<CertPtr> out;
-  if (!keep(root)) return out;
-  CertPtr root_ptr = get(root.digest());
-  HH_ASSERT(root_ptr != nullptr);
+  if (!keep(root)) return {};
+  const VertexId v = arena_.find(root.digest());
+  HH_ASSERT(v != kInvalidVertex);
+  return causal_history_from(v, keep);
+}
 
-  std::unordered_set<Digest> visited;
-  std::deque<CertPtr> frontier;
-  frontier.push_back(root_ptr);
-  visited.insert(root.digest());
-  while (!frontier.empty()) {
-    CertPtr cur = frontier.front();
-    frontier.pop_front();
-    out.push_back(cur);
-    for (const auto& parent_digest : cur->parents()) {
-      if (!visited.insert(parent_digest).second) continue;
-      auto it = by_digest_.find(parent_digest);
-      if (it == by_digest_.end()) continue;  // pruned below gc floor
-      if (!keep(*it->second)) continue;
-      frontier.push_back(it->second);
+std::vector<CertPtr> Dag::collect_above(const std::vector<Digest>& roots,
+                                        Round stop_at) const {
+  std::vector<CertPtr> out;
+  const auto epoch = arena_.begin_traversal();
+  std::vector<VertexId> stack;
+  for (const Digest& d : roots) {
+    const VertexId v = arena_.find(d);
+    if (v == kInvalidVertex) continue;
+    if (Arena::mark(*arena_.resolve(v), epoch)) stack.push_back(v);
+  }
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    const Arena::Slot& s = *arena_.resolve(v);
+    out.push_back(s.cert);
+    if (round_of(v) == 0 || round_of(v) <= stop_at) continue;
+    for (const VertexId p : s.parents) {
+      const Arena::Slot* ps = arena_.resolve(p);
+      if (ps == nullptr) continue;
+      if (Arena::mark(*ps, epoch)) stack.push_back(p);
     }
   }
   return out;
@@ -200,13 +323,7 @@ std::vector<CertPtr> Dag::causal_history(
 
 void Dag::prune_below(Round floor) {
   if (floor <= gc_floor_) return;
-  for (Round r = gc_floor_; r < floor; ++r) {
-    auto it = rounds_.find(r);
-    if (it == rounds_.end()) continue;
-    for (const auto& [author, cert] : it->second)
-      by_digest_.erase(cert->digest());
-    rounds_.erase(it);
-  }
+  arena_.prune_below(floor);
   index_.prune_below(floor);
   gc_floor_ = floor;
 }

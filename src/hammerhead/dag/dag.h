@@ -7,21 +7,37 @@
 // the entire causal history is already in its DAG"). Buffering of early
 // arrivals is the synchronizer's job (node layer).
 //
+// Storage is the slot-addressed arena (dag/arena.h): vertices live in
+// contiguous per-round slabs addressed by integer handles (VertexId =
+// round * n + author), parent digests are resolved to handles ONCE at
+// insert, and every traversal (path scan, causal history, fetch serving)
+// follows handle lists with epoch-stamped visited marks — no digest hashing,
+// no shared_ptr chasing, no per-call visited sets. The digest-keyed side
+// table is consulted only at the protocol boundary (dedup, missing-parent
+// resolution, digest lookups). Handles are stable until their round is
+// pruned and never alias across slab-ring reuse.
+//
 // Structural queries are answered from an incremental index maintained on
 // the insert path (dag/index.h): has_path is a word test against the
 // vertex's ancestor bitmap and direct_support an O(1) accumulator lookup.
 // The scan-based implementations remain available as has_path_scan /
 // direct_support_scan — they are the fallback when the index cannot decide
 // (query below the bitmap window) and the reference for equivalence tests.
+//
+// Certificate-taking and handle-taking overloads answer identically; the
+// certificate forms also accept non-resident certificates (answers then come
+// from digest-level scans, e.g. for slot impostors that never entered this
+// DAG).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "hammerhead/crypto/committee.h"
+#include "hammerhead/dag/arena.h"
 #include "hammerhead/dag/index.h"
 #include "hammerhead/dag/types.h"
 
@@ -50,7 +66,45 @@ class Dag {
   CertPtr get(const Digest& digest) const;
   CertPtr get(Round round, ValidatorIndex author) const;
 
-  /// All certificates of a round (unspecified order; empty if none).
+  // ---------------------------------------------------------------- handles
+
+  /// Handle of the resident vertex with this digest / slot; kInvalidVertex
+  /// if absent.
+  VertexId id_of(const Digest& digest) const { return arena_.find(digest); }
+  VertexId id_of(Round round, ValidatorIndex author) const;
+
+  /// Certificate behind a handle; nullptr if the handle is invalid or its
+  /// round was pruned.
+  CertPtr cert_of(VertexId v) const;
+
+  Round round_of(VertexId v) const { return arena_.round_of(v); }
+  ValidatorIndex author_of(VertexId v) const { return arena_.author_of(v); }
+
+  /// The slot-addressed store itself (slab views, parent handle lists) —
+  /// for tests and benches; protocol layers use the accessors below.
+  const Arena& arena() const { return arena_; }
+
+  /// Resolved parent handles of a resident vertex (empty if the handle is
+  /// stale). Present-at-insert parents only; wire duplicates preserved.
+  std::span<const VertexId> parents_of(VertexId v) const {
+    const Arena::Slot* s = arena_.resolve(v);
+    return s == nullptr ? std::span<const VertexId>{}
+                        : std::span<const VertexId>{s->parents};
+  }
+
+  /// Visit every certificate of `round` in author order without
+  /// materializing a vector of shared_ptr copies. fn(const CertPtr&).
+  template <typename Fn>
+  void for_each_round_cert(Round round, Fn&& fn) const {
+    const Arena::Slot* slab = arena_.round_slab(round);
+    if (slab == nullptr) return;
+    for (std::size_t a = 0; a < arena_.slots_per_round(); ++a)
+      if (slab[a].cert) fn(slab[a].cert);
+  }
+
+  // ----------------------------------------------------------------- rounds
+
+  /// All certificates of a round (author-ascending; empty if none).
   std::vector<CertPtr> round_certs(Round round) const;
 
   /// Number of certificates in a round.
@@ -62,10 +116,13 @@ class Dag {
   /// Highest round with at least one certificate; nullopt if empty.
   std::optional<Round> max_round() const;
 
+  // ---------------------------------------------------------------- queries
+
   /// Total stake of round `anchor.round()+1` certificates that reference the
   /// anchor as a parent ("votes" in Bullshark's commit rule). O(1) via the
   /// index for vertices in the DAG; scans otherwise.
   Stake direct_support(const Certificate& anchor) const;
+  Stake direct_support(VertexId anchor) const;
 
   /// Scan-based reference implementation (rescans round anchor.round()+1).
   Stake direct_support_scan(const Certificate& anchor) const;
@@ -73,11 +130,15 @@ class Dag {
   /// True iff a (directed, parent-following) path exists from `from` down to
   /// `to`. Requires from.round() >= to.round(); equal rounds only when same
   /// vertex. Answered from the ancestor bitmap when the target round is
-  /// inside `from`'s index window; falls back to the BFS scan otherwise.
+  /// inside `from`'s index window; falls back to the handle BFS otherwise.
   bool has_path(const Certificate& from, const Certificate& to) const;
+  bool has_path(VertexId from, VertexId to) const;
 
-  /// Scan-based reference implementation (BFS over parent edges).
+  /// Scan-based reference implementation (BFS over parent edges; handle BFS
+  /// with epoch-stamped marks for resident endpoints, digest matching when
+  /// `to` never entered this DAG).
   bool has_path_scan(const Certificate& from, const Certificate& to) const;
+  bool has_path_scan(VertexId from, VertexId to) const;
 
   /// Collect the causal history of `root` (including `root`) restricted to
   /// vertices for which `keep` returns true; `keep` typically filters out
@@ -86,24 +147,46 @@ class Dag {
   std::vector<CertPtr> causal_history(
       const Certificate& root,
       const std::function<bool(const Certificate&)>& keep) const;
+  std::vector<CertPtr> causal_history(
+      VertexId root,
+      const std::function<bool(const Certificate&)>& keep) const;
+
+  /// Fetch-serving closure: the resident certificates among `roots` plus
+  /// their causal history, descending while round > stop_at (round-0
+  /// vertices never descend). Unordered; callers sort for the wire.
+  std::vector<CertPtr> collect_above(const std::vector<Digest>& roots,
+                                     Round stop_at) const;
 
   /// Prune all rounds strictly below `floor`. Path queries must not be asked
-  /// to descend below the floor afterwards.
+  /// to descend below the floor afterwards. Handles of pruned rounds stop
+  /// resolving; their ring slots are reused by later rounds.
   void prune_below(Round floor);
   Round gc_floor() const { return gc_floor_; }
 
-  std::size_t total_certs() const { return by_digest_.size(); }
+  std::size_t total_certs() const { return arena_.size(); }
 
   /// The incremental commit index (support accumulators, ancestor bitmaps,
   /// trigger-candidate rounds). The committer consumes its crossing events.
   const DagIndex& index() const { return index_; }
 
  private:
+  /// Handle of `cert` iff its slot is occupied by exactly this certificate
+  /// (digest checked); kInvalidVertex otherwise.
+  VertexId resolve_resident(const Certificate& cert) const;
+
+  /// Handle BFS from the resident slots of `seeds`, pruned at to_round,
+  /// looking for `to` (handle compare). `epoch` already marks the seeds.
+  bool scan_from(std::vector<VertexId>& frontier, VertexId to,
+                 std::uint64_t epoch) const;
+
+  /// causal_history body once the root has passed `keep` (so stateful
+  /// predicates see the root exactly once across both public overloads).
+  std::vector<CertPtr> causal_history_from(
+      VertexId root,
+      const std::function<bool(const Certificate&)>& keep) const;
+
   const crypto::Committee& committee_;
-  // round -> author -> cert
-  std::unordered_map<Round, std::unordered_map<ValidatorIndex, CertPtr>>
-      rounds_;
-  std::unordered_map<Digest, CertPtr> by_digest_;
+  Arena arena_;
   Round gc_floor_ = 0;
   std::optional<Round> max_round_;
   DagIndex index_;

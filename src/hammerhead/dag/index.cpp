@@ -9,114 +9,93 @@ namespace hammerhead::dag {
 DagIndex::DagIndex(const crypto::Committee& committee, IndexConfig config)
     : committee_(committee),
       config_(config),
-      words_per_round_((committee.size() + 63) / 64) {
+      n_(committee.size()),
+      words_per_round_((committee.size() + 63) / 64),
+      entries_(n_),
+      referenced_(words_per_round_) {
   HH_ASSERT_MSG(config_.ancestor_window >= 1, "ancestor_window must be >= 1");
 }
 
-const DagIndex::Entry* DagIndex::find(const Certificate& cert) const {
-  if (cert.author() >= committee_.size()) return nullptr;  // malformed query
-  auto it = rounds_.find(cert.round());
-  if (it == rounds_.end()) return nullptr;
-  const Entry& e = it->second[cert.author()];
-  if (!e.present || e.digest != cert.digest()) return nullptr;
-  return &e;
+const DagIndex::Entry* DagIndex::find(VertexId v) const {
+  if (v == kInvalidVertex) return nullptr;
+  const Entry* row = entries_.find_round(round_of(v));
+  if (row == nullptr) return nullptr;
+  const Entry& e = row[author_of(v)];
+  return e.present ? &e : nullptr;
 }
 
-void DagIndex::set_edge_bit(Entry& e, Round round, ValidatorIndex author) {
-  if (round < e.lo || round >= e.round) return;  // outside the window
-  const std::size_t idx =
-      (round - e.lo) * words_per_round_ + author / 64;
-  const std::uint64_t bit = std::uint64_t{1} << (author % 64);
-  e.words[idx] |= bit;
-  // Parents overwhelmingly share one round; avoid a hash lookup per edge.
-  if (round != ref_cache_round_ || ref_cache_ == nullptr) {
-    auto [rit, fresh] = referenced_.try_emplace(round);
-    if (fresh) rit->second.assign(words_per_round_, 0);
-    ref_cache_round_ = round;
-    ref_cache_ = rit->second.data();
-  }
-  ref_cache_[author / 64] |= bit;
+void DagIndex::set_edge_bit(Entry& e, Round child_round, Round parent_round,
+                            ValidatorIndex parent_author) {
+  if (parent_round < e.lo || parent_round >= child_round) return;  // clamped
+  const std::uint64_t bit = std::uint64_t{1} << (parent_author % 64);
+  e.words[(parent_round - e.lo) * words_per_round_ + parent_author / 64] |=
+      bit;
+  referenced_.ensure_round(parent_round)[parent_author / 64] |= bit;
 }
 
-void DagIndex::on_insert(const Certificate& cert,
-                         const std::vector<const Certificate*>& parents) {
+void DagIndex::on_insert(VertexId id, const Certificate& cert,
+                         const std::vector<VertexId>& parents) {
   if (!config_.enabled) return;
   ++insert_seq_;
-  auto [rit, fresh] = rounds_.try_emplace(cert.round());
-  if (fresh) rit->second.resize(committee_.size());
-  HH_ASSERT_MSG(cert.author() < committee_.size(),
-                "author out of range: " << cert.author());
-  Entry& e = rit->second[cert.author()];
-  HH_ASSERT_MSG(!e.present, "slot (" << cert.round() << ", " << cert.author()
+  const Round round = cert.round();
+  Entry& e = entries_.ensure_round(round)[author_of(id)];
+  HH_ASSERT_MSG(!e.present, "slot (" << round << ", " << author_of(id)
                                      << ") indexed twice");
   e.present = true;
-  e.digest = cert.digest();
-  e.round = cert.round();
-  e.lo = cert.round() > config_.ancestor_window
-             ? cert.round() - config_.ancestor_window
-             : 0;
+  e.lo = round > config_.ancestor_window ? round - config_.ancestor_window
+                                         : 0;
 
-  // Per-parent slot lookup cache (parents overwhelmingly share one round).
-  Round parent_round = 0;
-  std::vector<Entry>* parent_slots = nullptr;
-
-  if (cert.round() > 0) {
-    e.words.assign((cert.round() - e.lo) * words_per_round_, 0);
+  if (round > 0) {
+    e.words.assign((round - e.lo) * words_per_round_, 0);
     // Rounds in [e.lo, sat) already equal their referenced-slot mask —
     // saturated: no parent can contribute there (a parent's ancestors at
-    // that round all carry recorded child edges). The sweep walks
-    // consecutive rounds, so keep a persistent iterator into the ordered
-    // mask map (std::map inserts never invalidate it).
+    // that round all carry recorded child edges).
     Round sat = e.lo;
-    auto ref_it = referenced_.lower_bound(e.lo);
     const auto saturated = [&](Round r) {
-      while (ref_it != referenced_.end() && ref_it->first < r) ++ref_it;
-      if (ref_it == referenced_.end() || ref_it->first != r) return false;
-      const std::uint64_t* ref = ref_it->second.data();
+      const std::uint64_t* ref = referenced_.find_round(r);
+      if (ref == nullptr) return false;
       const std::uint64_t* mine = &e.words[(r - e.lo) * words_per_round_];
       for (std::size_t w = 0; w < words_per_round_; ++w)
         if (mine[w] != ref[w]) return false;
       return true;
     };
-    for (const Certificate* p : parents) {
+    for (const VertexId pid : parents) {
+      const Round pr = round_of(pid);
+      const ValidatorIndex pa = author_of(pid);
       // Direct edge: the parent's own slot bit.
-      set_edge_bit(e, p->round(), p->author());
+      set_edge_bit(e, round, pr, pa);
 
-      if (parent_slots == nullptr || p->round() != parent_round) {
-        auto pit = rounds_.find(p->round());
-        parent_slots = pit == rounds_.end() ? nullptr : &pit->second;
-        parent_round = p->round();
-      }
-      if (parent_slots == nullptr) continue;
-      Entry& pe = (*parent_slots)[p->author()];
-      if (!pe.present || pe.digest != p->digest()) continue;
+      Entry* prow = entries_.find_round(pr);
+      if (prow == nullptr) continue;
+      Entry& pe = prow[pa];
+      if (!pe.present) continue;
 
       // Union the parent's ancestors over the still-unsaturated part of
       // the overlapping window. Parents sit at lower rounds, so their
       // window reaches at least as far down as ours: the child's bitmap
       // stays complete within [e.lo, round-1].
-      if (pe.round > 0) {
+      if (pr > 0) {
         const Round lo = std::max(sat, pe.lo);
-        const Round hi = std::min(e.round, pe.round);  // exclusive
+        const Round hi = std::min(round, pr);  // exclusive
         for (Round r = lo; r < hi; ++r) {
           std::uint64_t* dst = &e.words[(r - e.lo) * words_per_round_];
           const std::uint64_t* src = &pe.words[(r - pe.lo) * words_per_round_];
           for (std::size_t w = 0; w < words_per_round_; ++w) dst[w] |= src[w];
         }
-        while (sat + 1 < e.round && saturated(sat)) ++sat;
+        while (sat + 1 < round && saturated(sat)) ++sat;
       }
       // Direct-support accumulation: a round r+1 vertex listing the parent
       // is a "vote" for it in Bullshark's commit rule. Non-adjacent parent
       // references (never produced by the protocol) are not votes, and a
       // vertex listing the same parent digest twice is one vote — the scan
       // counts supporting vertices, and the index must match it exactly.
-      if (cert.round() == pe.round + 1 && pe.last_support_seq != insert_seq_) {
+      if (round == pr + 1 && pe.last_support_seq != insert_seq_) {
         pe.last_support_seq = insert_seq_;
         pe.support += committee_.stake_of(cert.author());
         if (!pe.crossed && pe.support >= committee_.validity_threshold()) {
           pe.crossed = true;
           ++crossings_;
-          supported_rounds_.insert(pe.round);
+          supported_rounds_.insert(pr);
         }
       }
     }
@@ -126,45 +105,40 @@ void DagIndex::on_insert(const Certificate& cert,
 }
 
 void DagIndex::prune_below(Round floor) {
-  for (auto it = rounds_.begin(); it != rounds_.end();) {
-    if (it->first >= floor) {
-      ++it;
-      continue;
-    }
-    for (const Entry& e : it->second) {
-      if (!e.present) continue;
+  entries_.prune_below(floor, [this](Round, Entry* row) {
+    for (std::size_t a = 0; a < n_; ++a) {
+      if (!row[a].present) continue;
       --entry_count_;
-      total_words_ -= e.words.size();
+      total_words_ -= row[a].words.size();
     }
-    it = rounds_.erase(it);
-  }
+  });
+  referenced_.prune_below(floor, [](Round, std::uint64_t*) {});
   supported_rounds_.erase(supported_rounds_.begin(),
                           supported_rounds_.lower_bound(floor));
-  for (auto it = referenced_.begin(); it != referenced_.end();)
-    it = it->first < floor ? referenced_.erase(it) : std::next(it);
-  ref_cache_ = nullptr;  // may point into an erased round
 }
 
-DagIndex::PathAnswer DagIndex::path(const Certificate& from,
-                                    const Certificate& to) const {
+DagIndex::PathAnswer DagIndex::path(VertexId from, VertexId to) const {
   const Entry* e = find(from);
   if (e == nullptr) {
     ++stats_.path_fallbacks;
     return PathAnswer::Unknown;
   }
-  if (to.round() >= e->round) return PathAnswer::No;  // edges point down only
-  if (to.round() < e->lo || to.author() >= committee_.size()) {
+  const Round from_round = round_of(from);
+  const Round to_round = round_of(to);
+  if (to_round >= from_round) return PathAnswer::No;  // edges point down only
+  if (to_round < e->lo) {
     ++stats_.path_fallbacks;
     return PathAnswer::Unknown;  // below the bitmap window
   }
   ++stats_.path_hits;
+  const ValidatorIndex ta = author_of(to);
   const std::size_t idx =
-      (to.round() - e->lo) * words_per_round_ + to.author() / 64;
-  const bool bit = (e->words[idx] >> (to.author() % 64)) & 1;
+      (to_round - e->lo) * words_per_round_ + ta / 64;
+  const bool bit = (e->words[idx] >> (ta % 64)) & 1;
   return bit ? PathAnswer::Yes : PathAnswer::No;
 }
 
-std::optional<Stake> DagIndex::support(const Certificate& vertex) const {
+std::optional<Stake> DagIndex::support(VertexId vertex) const {
   const Entry* e = find(vertex);
   if (e == nullptr) {
     ++stats_.support_fallbacks;

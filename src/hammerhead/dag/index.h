@@ -2,21 +2,27 @@
 // the commit rule's structural queries become O(1)/O(words) lookups instead
 // of per-query scans.
 //
+// Since PR 2 the index is keyed by the arena's integer vertex handles
+// (dag/arena.h): entries live in a RoundRing<Entry> with the same
+// (round % depth) * slab geometry as the certificate slots, so a handle
+// resolves to its entry with two array indexings and no digest hashing.
+// The digest-confirmation field the map-keyed version carried is gone — a
+// VertexId names one certificate for the arena's whole lifetime, and the Dag
+// verifies slot occupancy before consulting the index.
+//
 // Two indices, both updated inside Dag::insert:
 //
-//  1. Ancestor bitmaps. Every vertex occupies a unique (round, author) slot
-//     (vote uniqueness makes the DAG equivocation-free), so the causal
-//     history of a vertex can be represented as one bit per slot: for each
-//     covered round, one std::uint64_t word per 64 validators. On insert the
-//     child's bitmap is the OR of its parents' bitmaps plus the parents' own
-//     slot bits — after that, Dag::has_path(from, to) is a single word test.
+//  1. Ancestor bitmaps. Every vertex occupies a unique (round, author) slot,
+//     so the causal history of a vertex is one bit per slot: per covered
+//     round, one std::uint64_t word per 64 validators. On insert the child's
+//     bitmap is the OR of its parents' bitmaps plus the parents' own slot
+//     bits — after that, Dag::has_path(from, to) is a single word test.
 //     Bitmaps cover a sliding window of `ancestor_window` rounds below the
-//     vertex (the committer's walk-back only spans the gap back to the last
-//     committed anchor); queries below a vertex's window fall back to the
-//     scan-based BFS, so answers are always exact. Propagation is
-//     short-circuited per round once the child's bits reach the round's
-//     referenced-slot mask (sibling parents share almost their whole
-//     ancestry, so most of the OR work is provably redundant).
+//     vertex; queries below the window fall back to the handle BFS, so
+//     answers are always exact. Propagation is short-circuited per round
+//     once the child's bits reach the round's referenced-slot mask (sibling
+//     parents share almost their whole ancestry, so most of the OR work is
+//     provably redundant).
 //
 //  2. Direct-support accumulators. When a vertex at round r+1 lists an
 //     anchor at round r among its parents, the anchor's running support
@@ -24,13 +30,7 @@
 //     The first time a vertex's support reaches the committee's validity
 //     threshold (f+1) the index records a *crossing*: its round joins
 //     `supported_rounds()` and a monotone crossing counter advances. The
-//     Bullshark committer consumes these as its trigger events — it only
-//     rescans when a crossing happened (or an anchor certificate arrived
-//     late) and only looks at supported rounds.
-//
-// Storage is slot-keyed (round -> author -> entry, with the certificate
-// digest stored for confirmation), so the ingest path performs array
-// indexing instead of per-parent digest hashing.
+//     Bullshark committer consumes these as its trigger events.
 //
 // Invariants (see ARCHITECTURE.md):
 //  * Within a vertex's covered window the bitmap is complete: every ancestor
@@ -44,14 +44,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <set>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "hammerhead/crypto/committee.h"
+#include "hammerhead/dag/arena.h"
 #include "hammerhead/dag/types.h"
 
 namespace hammerhead::dag {
@@ -86,22 +84,23 @@ class DagIndex {
   /// caller must fall back to the scan.
   enum class PathAnswer { Yes, No, Unknown };
 
-  /// Called by Dag::insert once the certificate is in the DAG maps.
-  /// `parents` are the parent certificates present in the DAG (absent only
-  /// when history below the gc floor was pruned).
-  void on_insert(const Certificate& cert,
-                 const std::vector<const Certificate*>& parents);
+  /// Called by Dag::insert once the certificate occupies its arena slot.
+  /// `parents` are the handles resolved at insert (present parents only;
+  /// duplicates preserved as on the wire).
+  void on_insert(VertexId id, const Certificate& cert,
+                 const std::vector<VertexId>& parents);
 
   /// Called by Dag::prune_below: drop all index state below `floor`.
   void prune_below(Round floor);
 
-  /// Word-test path answer; exact for Yes/No (the slot digests are checked,
-  /// so certificates that never entered this DAG yield Unknown).
-  PathAnswer path(const Certificate& from, const Certificate& to) const;
+  /// Word-test path answer for two handles. Exact for Yes/No; Unknown when
+  /// `from` is not indexed (kInvalidVertex or pruned) or `to` lies below
+  /// `from`'s bitmap window.
+  PathAnswer path(VertexId from, VertexId to) const;
 
-  /// Running direct-support stake of the vertex, or nullopt if the vertex is
+  /// Running direct-support stake of the vertex, or nullopt if the handle is
   /// not indexed (then the caller falls back to the scan).
-  std::optional<Stake> support(const Certificate& vertex) const;
+  std::optional<Stake> support(VertexId vertex) const;
 
   /// Rounds containing at least one vertex whose direct support reached the
   /// validity threshold (f+1) — the committer's trigger candidates.
@@ -123,46 +122,41 @@ class DagIndex {
   struct Entry {
     bool present = false;
     bool crossed = false;
-    Round round = 0;
     /// Lowest round covered by `words`; the bitmap covers [lo, round - 1].
     Round lo = 0;
     Stake support = 0;
     /// Insert sequence of the last child that bumped `support` — a voter
     /// listing the same parent digest twice must count once, like the scan.
     std::uint64_t last_support_seq = 0;
-    Digest digest;  ///< slot-occupancy confirmation
     std::vector<std::uint64_t> words;
   };
 
-  /// Entry of the slot if it is occupied by exactly this certificate.
-  const Entry* find(const Certificate& cert) const;
-  Entry* find(const Certificate& cert) {
-    return const_cast<Entry*>(std::as_const(*this).find(cert));
+  Round round_of(VertexId v) const { return static_cast<Round>(v / n_); }
+  ValidatorIndex author_of(VertexId v) const {
+    return static_cast<ValidatorIndex>(v % n_);
   }
 
-  /// Record a direct parent edge in `e` (window-clamped) and in the round's
-  /// referenced-slot mask.
-  void set_edge_bit(Entry& e, Round round, ValidatorIndex author);
+  /// Entry of an occupied handle; null for kInvalidVertex / pruned / absent.
+  const Entry* find(VertexId v) const;
+
+  /// Record a direct parent edge in `e` (window-clamped) and in the parent
+  /// round's referenced-slot mask.
+  void set_edge_bit(Entry& e, Round child_round, Round parent_round,
+                    ValidatorIndex parent_author);
 
   const crypto::Committee& committee_;
   IndexConfig config_;
+  std::size_t n_;
   std::size_t words_per_round_;
 
-  /// round -> author -> entry (slot-keyed; see file comment).
-  std::unordered_map<Round, std::vector<Entry>> rounds_;
-  /// Referenced-slot mask per round: authors whose vertex has at least one
-  /// recorded child edge. Every bit in any entry's bitmap at round r
-  /// originates from a direct edge, so referenced_[r] is a superset of any
-  /// parent's bits there — which makes it a sound saturation bound for
-  /// short-circuiting propagation: once a child's bits for a round equal
-  /// the mask, no further parent can add anything. Ordered so the
-  /// saturation sweep walks consecutive rounds with an iterator instead of
-  /// one hash lookup per round.
-  std::map<Round, std::vector<std::uint64_t>> referenced_;
-  /// One-slot lookup cache into referenced_ (parents share one round).
-  /// Reset whenever referenced_ erases elements.
-  Round ref_cache_round_ = 0;
-  std::uint64_t* ref_cache_ = nullptr;
+  /// Per-vertex entries, slab-ring keyed exactly like the arena.
+  RoundRing<Entry> entries_;
+  /// Referenced-slot mask per round (words_per_round_ slots): authors whose
+  /// vertex has at least one recorded child edge. Every bit in any entry's
+  /// bitmap at round r originates from a direct edge, so the mask is a
+  /// superset of any parent's bits there — a sound saturation bound for
+  /// short-circuiting propagation.
+  RoundRing<std::uint64_t> referenced_;
 
   std::set<Round> supported_rounds_;
   std::uint64_t insert_seq_ = 0;

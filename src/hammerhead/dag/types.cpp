@@ -81,6 +81,14 @@ bool Certificate::verify(const crypto::Committee& committee) const {
   return ok;
 }
 
+bool Certificate::has_parent(const Digest& d) const {
+  const auto& parents = header->parents;
+  const auto it = std::lower_bound(
+      parent_order_.begin(), parent_order_.end(), d,
+      [&](std::uint16_t i, const Digest& key) { return parents[i] < key; });
+  return it != parent_order_.end() && parents[*it] == d;
+}
+
 CertPtr Certificate::make(HeaderPtr header,
                           std::vector<ValidatorIndex> signers) {
   HH_ASSERT(header != nullptr);
@@ -89,8 +97,15 @@ CertPtr Certificate::make(HeaderPtr header,
   signers.erase(std::unique(signers.begin(), signers.end()), signers.end());
   cert->header = std::move(header);
   cert->signers = std::move(signers);
-  cert->parent_set_.reserve(cert->header->parents.size());
-  for (const auto& p : cert->header->parents) cert->parent_set_.insert(p);
+  const auto& parents = cert->header->parents;
+  HH_ASSERT_MSG(parents.size() <= UINT16_MAX, "parent list too long");
+  cert->parent_order_.resize(parents.size());
+  for (std::size_t i = 0; i < parents.size(); ++i)
+    cert->parent_order_[i] = static_cast<std::uint16_t>(i);
+  std::sort(cert->parent_order_.begin(), cert->parent_order_.end(),
+            [&](std::uint16_t a, std::uint16_t b) {
+              return parents[a] < parents[b];
+            });
   return cert;
 }
 

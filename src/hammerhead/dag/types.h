@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "hammerhead/common/digest.h"
@@ -106,7 +105,16 @@ struct Certificate {
   const Digest& digest() const { return header->digest; }
   const std::vector<Digest>& parents() const { return header->parents; }
 
-  bool has_parent(const Digest& d) const { return parent_set_.count(d) > 0; }
+  /// True iff `d` is among this certificate's parent digests. Binary search
+  /// over a digest-sorted permutation of header->parents — no duplicated
+  /// digest storage (the permutation costs 2 bytes per parent vs ~56 bytes
+  /// per unordered_set node; see ARCHITECTURE.md for the n=100 delta).
+  bool has_parent(const Digest& d) const;
+
+  /// Bytes of per-certificate parent-lookup state (the sorted permutation).
+  std::size_t parent_index_bytes() const {
+    return parent_order_.capacity() * sizeof(std::uint16_t);
+  }
 
   /// Total stake of the signers.
   Stake signer_stake(const crypto::Committee& committee) const;
@@ -122,7 +130,8 @@ struct Certificate {
       HeaderPtr header, std::vector<ValidatorIndex> signers);
 
  private:
-  std::unordered_set<Digest> parent_set_;  // for O(1) support checks
+  /// Indices into header->parents, ordered by digest (for has_parent).
+  std::vector<std::uint16_t> parent_order_;
   mutable std::uint8_t verify_state_ = 0;  // memoized verify(); see Header
 };
 

@@ -238,6 +238,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.avg_latency_s = metrics.latency().mean_s();
   result.p50_latency_s = metrics.latency().percentile_s(50);
   result.p95_latency_s = metrics.latency().percentile_s(95);
+  result.p99_latency_s = metrics.latency().percentile_s(99);
   result.stdev_latency_s = metrics.latency().stdev_s();
 
   // Observer: lowest-indexed live honest validator.

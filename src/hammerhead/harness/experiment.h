@@ -86,6 +86,7 @@ struct ExperimentResult {
   double avg_latency_s = 0;
   double p50_latency_s = 0;
   double p95_latency_s = 0;
+  double p99_latency_s = 0;
   double stdev_latency_s = 0;
 
   // Observer-side protocol stats (first live honest validator).

@@ -290,19 +290,19 @@ void Validator::propose(Round round) {
         leader_digest = leader_cert->digest();
     }
     Stake parent_stake = 0;
-    std::vector<dag::CertPtr> withheld;
-    for (const auto& cert : dag_->round_certs(round - 1)) {
+    std::vector<Digest> withheld;
+    dag_->for_each_round_cert(round - 1, [&](const dag::CertPtr& cert) {
       if (leader_digest && cert->digest() == *leader_digest) {
-        withheld.push_back(cert);
-        continue;
+        withheld.push_back(cert->digest());
+        return;
       }
       parents.push_back(cert->digest());
       parent_stake += committee_.stake_of(cert->author());
-    }
+    });
     // A header needs a quorum of parents; if withholding the leader would
     // break that, the withholder has to include it after all.
     if (parent_stake < committee_.quorum_threshold())
-      for (const auto& cert : withheld) parents.push_back(cert->digest());
+      for (const auto& d : withheld) parents.push_back(d);
     // Canonical parent order (author) for deterministic digests.
     std::sort(parents.begin(), parents.end());
   }
@@ -574,11 +574,11 @@ void Validator::retry_fetches() {
   // truncated responses still let us make bottom-up progress.
   const SimTime now = sim_.now();
   std::vector<std::pair<Round, Digest>> wanted;
-  std::unordered_set<Digest> seen;
+  retry_seen_.begin();  // epoch-stamped reuse; no per-call set allocation
   for (const auto& [digest, cert] : buffered_) {
     for (const Digest& d : dag_->missing_parents(*cert)) {
       if (buffered_.count(d)) continue;  // will arrive via its own ancestry
-      if (!seen.insert(d).second) continue;
+      if (!retry_seen_.insert(d)) continue;
       auto it = outstanding_fetches_.find(d);
       if (it != outstanding_fetches_.end() && it->second > now) continue;
       wanted.emplace_back(cert->round() - 1, d);
@@ -623,23 +623,10 @@ void Validator::handle_fetch_req(ValidatorIndex from, const FetchReqMsg& req) {
   // floor, sorted ascending. When the history exceeds the response cap, keep
   // the LOWEST rounds: the requester can only insert bottom-up, so shipping
   // the top of the range would make no progress (it re-fetches the rest).
-  std::unordered_set<Digest> visited;
-  std::vector<dag::CertPtr> frontier;
-  for (const Digest& d : req.digests) {
-    if (auto cert = dag_->get(d); cert && visited.insert(d).second)
-      frontier.push_back(cert);
-  }
-  std::vector<dag::CertPtr> collected;
-  while (!frontier.empty()) {
-    dag::CertPtr cur = frontier.back();
-    frontier.pop_back();
-    collected.push_back(cur);
-    if (cur->round() == 0 || cur->round() <= req.have_up_to_round) continue;
-    for (const Digest& pd : cur->parents()) {
-      if (!visited.insert(pd).second) continue;
-      if (auto parent = dag_->get(pd)) frontier.push_back(parent);
-    }
-  }
+  // The closure is a handle BFS inside the DAG (epoch-stamped visited marks
+  // in the arena slots — no per-call visited set).
+  std::vector<dag::CertPtr> collected =
+      dag_->collect_above(req.digests, req.have_up_to_round);
   std::sort(collected.begin(), collected.end(),
             [](const dag::CertPtr& a, const dag::CertPtr& b) {
               if (a->round() != b->round()) return a->round() < b->round();
@@ -695,14 +682,11 @@ void Validator::handle_state_sync_req(ValidatorIndex from,
   if (!max_round) return;
   auto resp = std::make_shared<StateSyncRespMsg>();
   resp->gc_floor = dag_->gc_floor();
-  for (Round r = dag_->gc_floor(); r <= *max_round; ++r) {
-    auto certs = dag_->round_certs(r);
-    std::sort(certs.begin(), certs.end(),
-              [](const dag::CertPtr& a, const dag::CertPtr& b) {
-                return a->author() < b->author();
-              });
-    for (auto& c : certs) resp->certs.push_back(std::move(c));
-  }
+  // Arena slabs are author-indexed, so the per-round author order the wire
+  // format wants falls out of the slab walk directly.
+  for (Round r = dag_->gc_floor(); r <= *max_round; ++r)
+    dag_->for_each_round_cert(
+        r, [&](const dag::CertPtr& c) { resp->certs.push_back(c); });
   resp->committer = committer_->snapshot(dag_->gc_floor());
   resp->policy = policy_->snapshot();
   network_.send(self_, from, std::move(resp));

@@ -29,6 +29,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "hammerhead/common/stamped_set.h"
 #include "hammerhead/consensus/committer.h"
 #include "hammerhead/core/policies.h"
 #include "hammerhead/crypto/committee.h"
@@ -282,6 +283,9 @@ class Validator {
   std::unordered_map<Digest, std::vector<Digest>> waiting_children_;
   /// Missing digest -> earliest time a fresh fetch may be issued for it.
   std::unordered_map<Digest, SimTime> outstanding_fetches_;
+  /// Reused (epoch-stamped) dedup set for the retry sweep over buffered
+  /// certificates' missing ancestry — no per-call unordered_set allocation.
+  StampedSet<Digest> retry_seen_;
   bool fetch_timer_armed_ = false;
   std::uint32_t fetch_peer_rotation_ = 0;
   SimTime state_sync_retry_at_ = 0;  // no sync in flight when <= now

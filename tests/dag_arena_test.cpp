@@ -1,0 +1,336 @@
+// Randomized differential suite: the arena-backed Dag against a simple
+// digest-map reference model. The reference mirrors the pre-arena store
+// (unordered digest map + round->author maps + digest-BFS traversals); the
+// arena must agree on insert/duplicate outcomes, lookups, round views,
+// structural queries, pruning and snapshot installs — including wraparound
+// of the slab ring across several GC cycles (the ring's initial depth is
+// far smaller than the total round span driven here).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "hammerhead/common/rng.h"
+#include "hammerhead/dag/dag.h"
+#include "test_util.h"
+
+namespace hammerhead::dag {
+namespace {
+
+using test::DagBuilder;
+
+/// The pre-arena storage design, kept deliberately naive: digest-keyed maps
+/// and per-call visited sets. Slow but obviously correct.
+struct ReferenceDag {
+  std::unordered_map<Digest, CertPtr> by_digest;
+  std::map<Round, std::map<ValidatorIndex, CertPtr>> rounds;
+  Round gc_floor = 0;
+
+  bool insert(const CertPtr& cert) {
+    if (cert->round() < gc_floor) return false;
+    if (by_digest.count(cert->digest())) return false;
+    auto& slot_map = rounds[cert->round()];
+    if (slot_map.count(cert->author())) return false;
+    by_digest.emplace(cert->digest(), cert);
+    slot_map.emplace(cert->author(), cert);
+    return true;
+  }
+
+  CertPtr get(const Digest& d) const {
+    auto it = by_digest.find(d);
+    return it == by_digest.end() ? nullptr : it->second;
+  }
+
+  CertPtr get(Round r, ValidatorIndex a) const {
+    auto it = rounds.find(r);
+    if (it == rounds.end()) return nullptr;
+    auto jt = it->second.find(a);
+    return jt == it->second.end() ? nullptr : jt->second;
+  }
+
+  std::vector<CertPtr> round_certs(Round r) const {
+    std::vector<CertPtr> out;
+    auto it = rounds.find(r);
+    if (it == rounds.end()) return out;
+    for (const auto& [a, c] : it->second) out.push_back(c);
+    return out;  // author-ascending (std::map)
+  }
+
+  Stake direct_support(const Certificate& anchor,
+                       const crypto::Committee& committee) const {
+    Stake s = 0;
+    for (const auto& c : round_certs(anchor.round() + 1))
+      if (c->has_parent(anchor.digest())) s += committee.stake_of(c->author());
+    return s;
+  }
+
+  bool has_path(const Certificate& from, const Certificate& to) const {
+    if (from.digest() == to.digest()) return true;
+    if (from.round() <= to.round()) return false;
+    std::unordered_set<Digest> visited{from.digest()};
+    std::deque<const Certificate*> frontier{&from};
+    while (!frontier.empty()) {
+      const Certificate* cur = frontier.front();
+      frontier.pop_front();
+      for (const auto& pd : cur->parents()) {
+        if (pd == to.digest()) return true;
+        if (!visited.insert(pd).second) continue;
+        auto it = by_digest.find(pd);
+        if (it == by_digest.end()) continue;
+        if (it->second->round() > to.round())
+          frontier.push_back(it->second.get());
+      }
+    }
+    return false;
+  }
+
+  std::vector<Digest> causal_history(const Certificate& root) const {
+    std::vector<Digest> out;
+    std::unordered_set<Digest> visited{root.digest()};
+    std::deque<CertPtr> frontier{get(root.digest())};
+    while (!frontier.empty()) {
+      CertPtr cur = frontier.front();
+      frontier.pop_front();
+      out.push_back(cur->digest());
+      for (const auto& pd : cur->parents()) {
+        if (!visited.insert(pd).second) continue;
+        if (auto p = get(pd)) frontier.push_back(p);
+      }
+    }
+    return out;
+  }
+
+  void prune_below(Round floor) {
+    if (floor <= gc_floor) return;
+    for (auto it = rounds.begin();
+         it != rounds.end() && it->first < floor;) {
+      for (const auto& [a, c] : it->second) by_digest.erase(c->digest());
+      it = rounds.erase(it);
+    }
+    gc_floor = floor;
+  }
+};
+
+std::optional<Round> ref_max_round(const ReferenceDag& ref) {
+  if (ref.rounds.empty()) return std::nullopt;
+  return ref.rounds.rbegin()->first;
+}
+
+/// Full-state comparison plus sampled structural queries.
+void expect_equivalent(const Dag& dag, const ReferenceDag& ref,
+                       const crypto::Committee& committee,
+                       const std::vector<CertPtr>& sample, Rng& rng) {
+  ASSERT_EQ(dag.total_certs(), ref.by_digest.size());
+  ASSERT_EQ(dag.gc_floor(), ref.gc_floor);
+  const auto max_r = ref_max_round(ref);
+  if (max_r) {
+    ASSERT_TRUE(dag.max_round().has_value());
+    // Dag::max_round is a high-water mark and survives pruning of the top
+    // rounds only if certificates remain; here the generator never prunes
+    // above live rounds, so the values must agree.
+    ASSERT_EQ(*dag.max_round(), *max_r);
+  }
+  for (Round r = ref.gc_floor; max_r && r <= *max_r; ++r) {
+    const auto expected = ref.round_certs(r);
+    const auto got = dag.round_certs(r);
+    ASSERT_EQ(got.size(), expected.size()) << "round " << r;
+    for (std::size_t i = 0; i < got.size(); ++i)
+      ASSERT_EQ(got[i], expected[i]) << "round " << r << " position " << i;
+    ASSERT_EQ(dag.round_size(r), expected.size());
+    Stake stake = 0;
+    for (const auto& c : expected) stake += committee.stake_of(c->author());
+    ASSERT_EQ(dag.round_stake(r), stake);
+  }
+
+  for (const auto& c : sample) {
+    const bool resident = ref.by_digest.count(c->digest()) > 0;
+    ASSERT_EQ(dag.contains(c->digest()), resident);
+    ASSERT_EQ(dag.get(c->digest()), ref.get(c->digest()));
+    if (!resident || c->round() < ref.gc_floor) continue;
+    ASSERT_EQ(dag.get(c->round(), c->author()), c);
+    const VertexId id = dag.id_of(c->digest());
+    ASSERT_NE(id, kInvalidVertex);
+    ASSERT_EQ(dag.id_of(c->round(), c->author()), id);
+    ASSERT_EQ(dag.cert_of(id), c);
+
+    ASSERT_EQ(dag.direct_support_scan(*c), ref.direct_support(*c, committee));
+    ASSERT_EQ(dag.direct_support(*c), ref.direct_support(*c, committee));
+    ASSERT_EQ(dag.direct_support(id), ref.direct_support(*c, committee));
+
+    auto hist = dag.causal_history(
+        *c, [](const Certificate&) { return true; });
+    auto hist_by_id =
+        dag.causal_history(id, [](const Certificate&) { return true; });
+    const auto expected_hist = ref.causal_history(*c);
+    ASSERT_EQ(hist.size(), expected_hist.size());
+    ASSERT_EQ(hist_by_id.size(), expected_hist.size());
+    std::unordered_set<Digest> expected_set(expected_hist.begin(),
+                                            expected_hist.end());
+    for (const auto& h : hist) ASSERT_TRUE(expected_set.count(h->digest()));
+  }
+
+  // Sampled path queries (quadratic, so subsample).
+  for (int i = 0; i < 64; ++i) {
+    const auto& from = sample[rng.next_below(sample.size())];
+    const auto& to = sample[rng.next_below(sample.size())];
+    if (!ref.by_digest.count(from->digest()) ||
+        !ref.by_digest.count(to->digest()))
+      continue;
+    if (to->round() < ref.gc_floor) continue;
+    const bool expected = ref.has_path(*from, *to);
+    ASSERT_EQ(dag.has_path_scan(*from, *to), expected);
+    ASSERT_EQ(dag.has_path(*from, *to), expected);
+    const VertexId vf = dag.id_of(from->digest());
+    const VertexId vt = dag.id_of(to->digest());
+    ASSERT_EQ(dag.has_path(vf, vt), expected);
+    ASSERT_EQ(dag.has_path_scan(vf, vt), expected);
+  }
+}
+
+TEST(DagArena, DifferentialRandomOps) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    DagBuilder b(5, /*seed=*/2);
+    Dag dag(b.committee());
+    ReferenceDag ref;
+    const auto certs = test::generate_random_certs(b, rng, 30);
+
+    std::vector<CertPtr> inserted;
+    for (std::size_t i = 0; i < certs.size(); ++i) {
+      const auto& c = certs[i];
+      ASSERT_EQ(dag.insert(c), ref.insert(c)) << "insert #" << i;
+      inserted.push_back(c);
+      // Duplicate insert of a random earlier certificate: both reject.
+      if (rng.next_below(4) == 0) {
+        const auto& dup = inserted[rng.next_below(inserted.size())];
+        ASSERT_EQ(dag.insert(dup), ref.insert(dup));
+      }
+      // Occasional prune a few rounds below the frontier.
+      if (i % 37 == 36) {
+        const Round frontier = c->round();
+        if (frontier > 6) {
+          const Round floor = frontier - 4 - rng.next_below(3);
+          dag.prune_below(floor);
+          ref.prune_below(floor);
+        }
+      }
+      if (i % 23 == 22) expect_equivalent(dag, ref, b.committee(), certs, rng);
+    }
+    expect_equivalent(dag, ref, b.committee(), certs, rng);
+  }
+}
+
+TEST(DagArena, RingWraparoundAcrossGcCycles) {
+  // Drive far more rounds than the ring's initial depth while pruning so the
+  // live span stays narrow: slab positions are reused many times over.
+  Rng rng(7);
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  ReferenceDag ref;
+
+  std::vector<CertPtr> prev;
+  std::vector<CertPtr> live;
+  for (ValidatorIndex a = 0; a < 4; ++a)
+    prev.push_back(b.make_cert(0, a, {}));
+  for (const auto& c : prev) {
+    ASSERT_TRUE(dag.insert(c));
+    ref.insert(c);
+    live.push_back(c);
+  }
+  for (Round r = 1; r <= 150; ++r) {
+    std::vector<CertPtr> cur;
+    const auto parents = DagBuilder::digests_of(prev);
+    for (ValidatorIndex a = 0; a < 4; ++a) {
+      auto c = b.make_cert(r, a, parents);
+      ASSERT_TRUE(dag.insert(c)) << "round " << r;
+      ref.insert(c);
+      cur.push_back(c);
+      live.push_back(c);
+    }
+    prev = std::move(cur);
+    if (r % 10 == 0 && r > 8) {
+      dag.prune_below(r - 6);
+      ref.prune_below(r - 6);
+      // Handles of pruned rounds stop resolving; no aliasing across reuse.
+      for (const auto& c : live)
+        if (c->round() < dag.gc_floor()) {
+          ASSERT_EQ(dag.id_of(c->digest()), kInvalidVertex);
+          ASSERT_EQ(dag.cert_of(dag.arena().id(c->round(), c->author())),
+                    nullptr);
+        }
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [&](const CertPtr& c) {
+                                  return c->round() < dag.gc_floor();
+                                }),
+                 live.end());
+      expect_equivalent(dag, ref, b.committee(), live, rng);
+    }
+  }
+  // The ring never needed to grow past the widest live span even though 151
+  // rounds passed through it.
+  EXPECT_LE(dag.arena().ring_depth(), 32u);
+  expect_equivalent(dag, ref, b.committee(), live, rng);
+}
+
+TEST(DagArena, SnapshotInstallMatchesReference) {
+  // Mirror the state-sync install path: a fresh DAG pruned to a remote
+  // floor, then loaded with the snapshot's certificates (floor round first,
+  // missing parents tolerated there).
+  Rng rng(11);
+  DagBuilder b(4);
+  Dag source(b.committee());
+  b.add_full_rounds(source, 12);
+
+  const Round floor = 8;
+  Dag installed(b.committee());
+  installed.prune_below(floor);
+  ReferenceDag ref;
+  ref.prune_below(floor);
+  std::vector<CertPtr> shipped;
+  for (Round r = floor; r <= 12; ++r)
+    for (const auto& c : source.round_certs(r)) shipped.push_back(c);
+  for (const auto& c : shipped) {
+    ASSERT_TRUE(installed.parents_present(*c));
+    ASSERT_EQ(installed.insert(c), ref.insert(c));
+  }
+  expect_equivalent(installed, ref, b.committee(), shipped, rng);
+
+  // And the installed DAG keeps operating: extend a round and prune again.
+  auto next = b.add_round(installed, 13, {0, 1, 2, 3},
+                          DagBuilder::digests_of(source.round_certs(12)));
+  for (const auto& c : next) ref.insert(c);
+  installed.prune_below(10);
+  ref.prune_below(10);
+  for (const auto& c : next) shipped.push_back(c);
+  expect_equivalent(installed, ref, b.committee(), shipped, rng);
+}
+
+TEST(DagArena, HandleEncodingAndStability) {
+  DagBuilder b(4);
+  Dag dag(b.committee());
+  auto r0 = b.add_round(dag, 0, {0, 1, 2, 3}, {});
+  auto r1 = b.add_round(dag, 1, {0, 1, 2, 3}, DagBuilder::digests_of(r0));
+
+  const VertexId v = dag.id_of(1, 2);
+  ASSERT_NE(v, kInvalidVertex);
+  EXPECT_EQ(dag.round_of(v), 1u);
+  EXPECT_EQ(dag.author_of(v), 2u);
+  EXPECT_EQ(dag.cert_of(v), r1[2]);
+  EXPECT_EQ(dag.id_of(r1[2]->digest()), v);
+
+  // Parent edges were resolved at insert: r1[2]'s slot lists all of round 0.
+  const Arena::Slot* slot = dag.arena().resolve(v);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->parents.size(), 4u);
+  for (const VertexId p : slot->parents) EXPECT_EQ(dag.round_of(p), 0u);
+
+  // Unoccupied slots and out-of-range authors do not resolve.
+  EXPECT_EQ(dag.id_of(5, 0), kInvalidVertex);
+  EXPECT_EQ(dag.id_of(0, 99), kInvalidVertex);
+}
+
+}  // namespace
+}  // namespace hammerhead::dag
