@@ -1,0 +1,52 @@
+// Bridges the google-benchmark micro benches into the repo's BENCH_*.json
+// artifact convention: a forwarding reporter mirrors every run into
+// bench_json.h's JsonReport (console output stays untouched), so CI uploads
+// one uniform artifact shape for figure benches and micro benches alike.
+//
+// Usage: replace BENCHMARK_MAIN() with HH_BENCHMARK_MAIN_WITH_JSON("name").
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_json.h"
+
+namespace hammerhead::bench {
+
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      std::vector<std::pair<std::string, double>> metrics;
+      metrics.emplace_back("real_time", run.GetAdjustedRealTime());
+      metrics.emplace_back("cpu_time", run.GetAdjustedCPUTime());
+      metrics.emplace_back("iterations",
+                           static_cast<double>(run.iterations));
+      for (const auto& [name, counter] : run.counters)
+        metrics.emplace_back(name, counter.value);
+      JsonReport::instance().row(run.benchmark_name(), std::move(metrics));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+inline int run_benchmarks_with_json(int argc, char** argv, const char* name) {
+  JsonReport::instance().init(name);
+  benchmark::Initialize(&argc, &argv[0]);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonForwardingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace hammerhead::bench
+
+#define HH_BENCHMARK_MAIN_WITH_JSON(name)                              \
+  int main(int argc, char** argv) {                                    \
+    return hammerhead::bench::run_benchmarks_with_json(argc, argv, name); \
+  }

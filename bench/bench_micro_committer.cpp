@@ -3,6 +3,7 @@
 // with round-robin and with HammerHead's scoring in the loop.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_json.h"
 #include "hammerhead/consensus/committer.h"
 #include "hammerhead/core/policies.h"
 
@@ -92,4 +93,4 @@ BENCHMARK(BM_CommitterOrdering)
     ->Args({50, 1})
     ->Args({100, 1});
 
-BENCHMARK_MAIN();
+HH_BENCHMARK_MAIN_WITH_JSON("micro_committer")

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "bench_gbench_json.h"
 #include "hammerhead/crypto/keys.h"
 #include "hammerhead/crypto/sha256.h"
 
@@ -51,4 +52,4 @@ static void BM_Verify(benchmark::State& state) {
 }
 BENCHMARK(BM_Verify);
 
-BENCHMARK_MAIN();
+HH_BENCHMARK_MAIN_WITH_JSON("micro_crypto")

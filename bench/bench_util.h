@@ -60,7 +60,10 @@ inline void print_run(const std::string& tag,
             {"p95_latency_s", r.p95_latency_s},
             {"p99_latency_s", r.p99_latency_s},
             {"committed_anchors", static_cast<double>(r.committed_anchors)},
-            {"skipped_anchors", static_cast<double>(r.skipped_anchors)}});
+            {"skipped_anchors", static_cast<double>(r.skipped_anchors)},
+            {"sim_events", static_cast<double>(r.sim_events)},
+            {"events_per_sec_wall", r.events_per_sec_wall},
+            {"allocs_per_event", r.allocs_per_event}});
 }
 
 inline void print_header(const std::string& title) {

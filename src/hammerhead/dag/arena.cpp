@@ -7,7 +7,7 @@ Arena::Arena(std::size_t n, std::size_t initial_depth)
   HH_ASSERT_MSG(n_ > 0, "arena needs at least one slot per round");
 }
 
-VertexId Arena::insert(CertPtr cert, std::vector<VertexId> parents) {
+VertexId Arena::insert(CertPtr cert, std::span<const VertexId> parents) {
   HH_ASSERT(cert != nullptr);
   HH_ASSERT_MSG(cert->author() < n_,
                 "author out of range: " << cert->author());
@@ -18,16 +18,26 @@ VertexId Arena::insert(CertPtr cert, std::vector<VertexId> parents) {
                                                << ") occupied twice");
   const VertexId v = id(cert->round(), cert->author());
   by_digest_.emplace(cert->digest(), v);
-  slot.parents = std::move(parents);
+  if (slot.parents.capacity() == 0 && !parents_pool_.empty()) {
+    slot.parents = std::move(parents_pool_.back());
+    parents_pool_.pop_back();
+  }
+  slot.parents.assign(parents.begin(), parents.end());
   slot.mark = 0;
+  slot.digest = cert->digest();
   slot.cert = std::move(cert);
   return v;
 }
 
 void Arena::prune_below(Round floor) {
   ring_.prune_below(floor, [this](Round, Slot* slots) {
-    for (std::size_t a = 0; a < n_; ++a)
-      if (slots[a].cert) by_digest_.erase(slots[a].cert->digest());
+    for (std::size_t a = 0; a < n_; ++a) {
+      if (!slots[a].cert) continue;
+      by_digest_.erase(slots[a].digest);
+      // Donate the parent buffer back before the ring destroys the slot.
+      if (slots[a].parents.capacity() > 0 && parents_pool_.size() < 4096)
+        parents_pool_.push_back(std::move(slots[a].parents));
+    }
   });
 }
 

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -145,6 +146,10 @@ class Arena {
     std::vector<VertexId> parents;
     /// Epoch-stamped visited mark; meaningful only within one traversal.
     mutable std::uint64_t mark = 0;
+    /// Copy of cert->digest(), kept inline so residency checks (e.g. the
+    /// memoized parent-handle fast path) compare against slab memory
+    /// instead of chasing cert -> header -> digest.
+    Digest digest;
   };
 
   Arena(std::size_t n, std::size_t initial_depth = 16);
@@ -183,7 +188,13 @@ class Arena {
 
   /// Occupy slot (cert->round(), cert->author()). The slot must be empty —
   /// callers dedup via find() first. Returns the new vertex's handle.
-  VertexId insert(CertPtr cert, std::vector<VertexId> parents);
+  /// The span overload copies into a recycled buffer (pruned slots donate
+  /// their parent vectors back to a pool — no allocation in steady state).
+  VertexId insert(CertPtr cert, std::span<const VertexId> parents);
+  VertexId insert(CertPtr cert, std::vector<VertexId> parents) {
+    return insert(std::move(cert),
+                  std::span<const VertexId>(parents.data(), parents.size()));
+  }
 
   /// Drop all rounds strictly below `floor` (and their side-table entries).
   void prune_below(Round floor);
@@ -202,6 +213,8 @@ class Arena {
   RoundRing<Slot> ring_;
   /// Ingress/dedup only: digest-keyed lookups at the protocol boundary.
   std::unordered_map<Digest, VertexId> by_digest_;
+  /// Parent-vector buffers recycled from pruned slots (bounded).
+  std::vector<std::vector<VertexId>> parents_pool_;
   mutable std::uint64_t epoch_ = 0;
 };
 

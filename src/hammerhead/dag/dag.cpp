@@ -31,34 +31,84 @@ bool Dag::insert(CertPtr cert) {
   HH_ASSERT(cert != nullptr);
   const Round round = cert->round();
   const ValidatorIndex author = cert->author();
-  if (round < gc_floor_) return false;          // below pruned history
-  if (author >= committee_.size()) return false;  // protocol-invalid author
-  if (arena_.find(cert->digest()) != kInvalidVertex) return false;
+  const InsertOutcome outcome = try_insert(std::move(cert), nullptr);
+  HH_ASSERT_MSG(outcome != InsertOutcome::Missing,
+                "insert of causally incomplete vertex r" << round << " by "
+                                                         << author);
+  return outcome == InsertOutcome::Inserted;
+}
+
+Dag::InsertOutcome Dag::try_insert(CertPtr cert,
+                                   std::vector<Digest>* missing_out) {
+  HH_ASSERT(cert != nullptr);
+  const Round round = cert->round();
+  const ValidatorIndex author = cert->author();
+  if (round < gc_floor_) return InsertOutcome::Invalid;  // pruned history
+  if (author >= committee_.size()) return InsertOutcome::Invalid;
+  if (arena_.find(cert->digest()) != kInvalidVertex)
+    return InsertOutcome::Duplicate;
   const VertexId v = arena_.id(round, author);
-  if (arena_.resolve(v) != nullptr) return false;  // duplicate slot
+  if (arena_.resolve(v) != nullptr)
+    return InsertOutcome::Duplicate;  // duplicate slot
 
   // One pass over the parent digests doubles as the causal-completeness
   // check and the once-only resolution of parent digests to handles
   // (parents may be absent only at or below the gc floor, where history
   // was pruned).
-  std::vector<VertexId> parents;
-  parents.reserve(cert->parents().size());
+  const std::vector<Digest>& pds = cert->parents();
+  std::vector<VertexId>& parents = parent_scratch_;  // reused; moved nowhere
+  parents.clear();
+  parents.reserve(pds.size());
+  const bool allow_missing = round == 0 || round <= gc_floor_;
   bool missing = false;
-  for (const auto& pd : cert->parents()) {
-    const VertexId p = arena_.find(pd);
-    if (p == kInvalidVertex)
-      missing = true;
-    else
-      parents.push_back(p);
+  if (const std::vector<VertexId>* memo = cert->parent_handle_memo()) {
+    // Another validator already resolved these parents; handles are
+    // committee-geometry and thus arena-independent. Residency + digest are
+    // re-verified locally — only the digest hashing is skipped. Parents
+    // overwhelmingly share one round, so the slab lookup is hoisted across
+    // same-round handles.
+    const VertexId n = arena_.slots_per_round();
+    VertexId row_base = kInvalidVertex;
+    const Arena::Slot* slab = nullptr;
+    for (std::size_t i = 0; i < pds.size(); ++i) {
+      const VertexId p = (*memo)[i];
+      if (p < row_base || p - row_base >= n) {
+        const Round pr = arena_.round_of(p);
+        row_base = static_cast<VertexId>(pr) * n;
+        slab = arena_.round_slab(pr);
+      }
+      const Arena::Slot* s = slab == nullptr ? nullptr : &slab[p - row_base];
+      if (s != nullptr && s->cert != nullptr && s->digest == pds[i]) {
+        parents.push_back(p);
+      } else {
+        missing = true;
+        if (!allow_missing && missing_out != nullptr)
+          missing_out->push_back(pds[i]);
+      }
+    }
+  } else {
+    for (const auto& pd : pds) {
+      const VertexId p = arena_.find(pd);
+      if (p == kInvalidVertex) {
+        missing = true;
+        if (!allow_missing && missing_out != nullptr)
+          missing_out->push_back(pd);
+      } else {
+        parents.push_back(p);
+      }
+    }
+    if (!missing && parents.size() == pds.size() && !pds.empty())
+      cert->memoize_parent_handles(parents);
   }
-  HH_ASSERT_MSG(!missing || round == 0 || round <= gc_floor_,
-                "insert of causally incomplete vertex r" << round << " by "
-                                                         << author);
+  if (missing && !allow_missing) return InsertOutcome::Missing;
 
-  if (index_.enabled()) index_.on_insert(v, *cert, parents);
-  arena_.insert(std::move(cert), std::move(parents));
+  if (index_.enabled())
+    index_.on_insert(v, *cert, parents,
+                     /*parents_complete=*/parents.size() == pds.size());
+  arena_.insert(std::move(cert),
+                std::span<const VertexId>(parents.data(), parents.size()));
   if (!max_round_ || round > *max_round_) max_round_ = round;
-  return true;
+  return InsertOutcome::Inserted;
 }
 
 bool Dag::contains(const Digest& digest) const {
@@ -257,43 +307,6 @@ bool Dag::has_path_scan(const Certificate& from, const Certificate& to) const {
     }
   }
   return false;
-}
-
-std::vector<CertPtr> Dag::causal_history(
-    VertexId root, const std::function<bool(const Certificate&)>& keep) const {
-  const Arena::Slot* rs = arena_.resolve(root);
-  HH_ASSERT(rs != nullptr);
-  if (!keep(*rs->cert)) return {};
-  return causal_history_from(root, keep);
-}
-
-std::vector<CertPtr> Dag::causal_history_from(
-    VertexId root, const std::function<bool(const Certificate&)>& keep) const {
-  std::vector<CertPtr> out;
-  const auto epoch = arena_.begin_traversal();
-  Arena::mark(*arena_.resolve(root), epoch);
-  std::vector<VertexId> queue{root};
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const Arena::Slot& s = *arena_.resolve(queue[head]);
-    out.push_back(s.cert);
-    for (const VertexId p : s.parents) {
-      const Arena::Slot* ps = arena_.resolve(p);
-      if (ps == nullptr) continue;  // pruned below gc floor
-      if (!Arena::mark(*ps, epoch)) continue;
-      if (!keep(*ps->cert)) continue;
-      queue.push_back(p);
-    }
-  }
-  return out;
-}
-
-std::vector<CertPtr> Dag::causal_history(
-    const Certificate& root,
-    const std::function<bool(const Certificate&)>& keep) const {
-  if (!keep(root)) return {};
-  const VertexId v = arena_.find(root.digest());
-  HH_ASSERT(v != kInvalidVertex);
-  return causal_history_from(v, keep);
 }
 
 std::vector<CertPtr> Dag::collect_above(const std::vector<Digest>& roots,

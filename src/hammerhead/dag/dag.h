@@ -53,6 +53,14 @@ class Dag {
   /// callers must only insert causally complete vertices.
   bool insert(CertPtr cert);
 
+  /// Single-pass admission: resolve the parents once and either insert (all
+  /// present) or report the missing digests into `missing_out` (may be
+  /// nullptr). The ingestion hot path uses this instead of the
+  /// missing_parents() + insert() pair, which resolved every parent digest
+  /// twice.
+  enum class InsertOutcome { Inserted, Duplicate, Missing, Invalid };
+  InsertOutcome try_insert(CertPtr cert, std::vector<Digest>* missing_out);
+
   /// True iff every parent of `cert` is present (always true at the gc
   /// floor or below, where history has been pruned).
   bool parents_present(const Certificate& cert) const;
@@ -143,13 +151,24 @@ class Dag {
   /// Collect the causal history of `root` (including `root`) restricted to
   /// vertices for which `keep` returns true; `keep` typically filters out
   /// already-ordered vertices. Traversal stops at vertices where keep=false
-  /// (their history was already delivered) and at the gc floor.
-  std::vector<CertPtr> causal_history(
-      const Certificate& root,
-      const std::function<bool(const Certificate&)>& keep) const;
-  std::vector<CertPtr> causal_history(
-      VertexId root,
-      const std::function<bool(const Certificate&)>& keep) const;
+  /// (their history was already delivered) and at the gc floor. Templated
+  /// on the predicate so the committer's per-vertex filter inlines (the BFS
+  /// visits every sub-DAG edge on every commit).
+  template <typename Keep>
+  std::vector<CertPtr> causal_history(const Certificate& root,
+                                      Keep&& keep) const {
+    if (!keep(root)) return {};
+    const VertexId v = arena_.find(root.digest());
+    HH_ASSERT(v != kInvalidVertex);
+    return causal_history_from(v, keep);
+  }
+  template <typename Keep>
+  std::vector<CertPtr> causal_history(VertexId root, Keep&& keep) const {
+    const Arena::Slot* rs = arena_.resolve(root);
+    HH_ASSERT(rs != nullptr);
+    if (!keep(*rs->cert)) return {};
+    return causal_history_from(root, keep);
+  }
 
   /// Fetch-serving closure: the resident certificates among `roots` plus
   /// their causal history, descending while round > stop_at (round-0
@@ -181,15 +200,46 @@ class Dag {
 
   /// causal_history body once the root has passed `keep` (so stateful
   /// predicates see the root exactly once across both public overloads).
-  std::vector<CertPtr> causal_history_from(
-      VertexId root,
-      const std::function<bool(const Certificate&)>& keep) const;
+  template <typename Keep>
+  std::vector<CertPtr> causal_history_from(VertexId root, Keep&& keep) const {
+    std::vector<CertPtr> out;
+    const auto epoch = arena_.begin_traversal();
+    Arena::mark(*arena_.resolve(root), epoch);
+    std::vector<VertexId> queue{root};
+    // A vertex's parents share one round, so the slab lookup is hoisted
+    // across the edge loop, and authors decode by subtraction from the
+    // cached row base instead of a 64-bit division per edge (the BFS
+    // touches every sub-DAG edge on every commit).
+    const VertexId n = arena_.slots_per_round();
+    VertexId row_base = kInvalidVertex;
+    const Arena::Slot* slab = nullptr;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Arena::Slot& s = *arena_.resolve(queue[head]);
+      out.push_back(s.cert);
+      for (const VertexId p : s.parents) {
+        if (p < row_base || p - row_base >= n) {
+          const Round pr = arena_.round_of(p);
+          row_base = static_cast<VertexId>(pr) * n;
+          slab = arena_.round_slab(pr);
+        }
+        if (slab == nullptr) continue;  // pruned below gc floor
+        const Arena::Slot& ps = slab[p - row_base];
+        if (!ps.cert) continue;
+        if (!Arena::mark(ps, epoch)) continue;
+        if (!keep(*ps.cert)) continue;
+        queue.push_back(p);
+      }
+    }
+    return out;
+  }
 
   const crypto::Committee& committee_;
   Arena arena_;
   Round gc_floor_ = 0;
   std::optional<Round> max_round_;
   DagIndex index_;
+  /// Reused parent-handle scratch for try_insert (not reentrant).
+  std::vector<VertexId> parent_scratch_;
 };
 
 }  // namespace hammerhead::dag

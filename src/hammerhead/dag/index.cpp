@@ -24,17 +24,9 @@ const DagIndex::Entry* DagIndex::find(VertexId v) const {
   return e.present ? &e : nullptr;
 }
 
-void DagIndex::set_edge_bit(Entry& e, Round child_round, Round parent_round,
-                            ValidatorIndex parent_author) {
-  if (parent_round < e.lo || parent_round >= child_round) return;  // clamped
-  const std::uint64_t bit = std::uint64_t{1} << (parent_author % 64);
-  e.words[(parent_round - e.lo) * words_per_round_ + parent_author / 64] |=
-      bit;
-  referenced_.ensure_round(parent_round)[parent_author / 64] |= bit;
-}
-
 void DagIndex::on_insert(VertexId id, const Certificate& cert,
-                         const std::vector<VertexId>& parents) {
+                         const std::vector<VertexId>& parents,
+                         bool parents_complete) {
   if (!config_.enabled) return;
   ++insert_seq_;
   const Round round = cert.round();
@@ -46,44 +38,62 @@ void DagIndex::on_insert(VertexId id, const Certificate& cert,
                                          : 0;
 
   if (round > 0) {
-    e.words.assign((round - e.lo) * words_per_round_, 0);
-    // Rounds in [e.lo, sat) already equal their referenced-slot mask —
-    // saturated: no parent can contribute there (a parent's ancestors at
-    // that round all carry recorded child edges).
-    Round sat = e.lo;
-    const auto saturated = [&](Round r) {
-      const std::uint64_t* ref = referenced_.find_round(r);
-      if (ref == nullptr) return false;
-      const std::uint64_t* mine = &e.words[(r - e.lo) * words_per_round_];
-      for (std::size_t w = 0; w < words_per_round_; ++w)
-        if (mine[w] != ref[w]) return false;
-      return true;
-    };
+    // Cross-validator bitmap sharing: with complete parents and the same
+    // window geometry, this vertex's ancestor bitmap is identical in every
+    // index, so the first computation is memoized on the (shared) cert.
+    // Consuming is gated like publishing: complete parents and a gc floor
+    // at/below the window base, so the canonical bitmap applies here too.
+    const std::vector<std::uint64_t>* shared =
+        parents_complete && floor_ <= e.lo
+            ? cert.ancestor_bitmap_memo(e.lo, words_per_round_)
+            : nullptr;
+    if (e.words.capacity() == 0 && !words_pool_.empty()) {
+      e.words = std::move(words_pool_.back());  // recycled buffer
+      words_pool_.pop_back();
+    }
+    if (shared != nullptr)
+      e.words.assign(shared->begin(), shared->end());
+    else
+      e.words.assign((round - e.lo) * words_per_round_, 0);
+
+    // Pass 1, per parent: direct edge bit, referenced-slot mark and
+    // direct-support accumulation. Parents overwhelmingly sit in one round
+    // (round - 1); hoist the row pointers across same-round parents instead
+    // of a ring lookup per edge bit (tens of millions of calls).
+    parent_entries_.clear();
+    Round edge_round = Round(-1);
+    // edge_round * n_: decodes authors by subtraction (no div per edge).
+    // Starts at kInvalidVertex so the first parent always resolves its row.
+    VertexId row_base = kInvalidVertex;
+    std::uint64_t* ref_row = nullptr;
+    std::uint64_t* dst_row = nullptr;
+    Entry* parent_row = nullptr;
     for (const VertexId pid : parents) {
-      const Round pr = round_of(pid);
-      const ValidatorIndex pa = author_of(pid);
-      // Direct edge: the parent's own slot bit.
-      set_edge_bit(e, round, pr, pa);
-
-      Entry* prow = entries_.find_round(pr);
-      if (prow == nullptr) continue;
-      Entry& pe = prow[pa];
-      if (!pe.present) continue;
-
-      // Union the parent's ancestors over the still-unsaturated part of
-      // the overlapping window. Parents sit at lower rounds, so their
-      // window reaches at least as far down as ours: the child's bitmap
-      // stays complete within [e.lo, round-1].
-      if (pr > 0) {
-        const Round lo = std::max(sat, pe.lo);
-        const Round hi = std::min(round, pr);  // exclusive
-        for (Round r = lo; r < hi; ++r) {
-          std::uint64_t* dst = &e.words[(r - e.lo) * words_per_round_];
-          const std::uint64_t* src = &pe.words[(r - pe.lo) * words_per_round_];
-          for (std::size_t w = 0; w < words_per_round_; ++w) dst[w] |= src[w];
-        }
-        while (sat + 1 < round && saturated(sat)) ++sat;
+      if (pid < row_base || pid - row_base >= n_) {
+        const Round pr = round_of(pid);
+        edge_round = pr;
+        row_base = static_cast<VertexId>(pr) * n_;
+        const bool in_window = pr >= e.lo && pr < round;
+        ref_row = in_window ? referenced_.ensure_round(pr) : nullptr;
+        dst_row =
+            in_window ? &e.words[(pr - e.lo) * words_per_round_] : nullptr;
+        parent_row = entries_.find_round(pr);
       }
+      const Round pr = edge_round;
+      const ValidatorIndex pa = static_cast<ValidatorIndex>(pid - row_base);
+      // Direct edge: the parent's own slot bit (clamped to the window).
+      if (dst_row != nullptr) {
+        const std::uint64_t bit = std::uint64_t{1} << (pa % 64);
+        dst_row[pa / 64] |= bit;
+        ref_row[pa / 64] |= bit;
+      }
+
+      if (parent_row == nullptr) continue;
+      Entry& pe = parent_row[pa];
+      if (!pe.present) continue;
+      // The union pass only runs on a shared-bitmap miss.
+      if (pr > 0 && shared == nullptr) parent_entries_.emplace_back(pr, &pe);
+
       // Direct-support accumulation: a round r+1 vertex listing the parent
       // is a "vote" for it in Bullshark's commit rule. Non-adjacent parent
       // references (never produced by the protocol) are not votes, and a
@@ -99,17 +109,51 @@ void DagIndex::on_insert(VertexId id, const Certificate& cert,
         }
       }
     }
+
+    // Pass 2, per round bottom-up: union the parents' ancestor rows into
+    // ours, stopping a round as soon as it saturates its referenced-slot
+    // mask (every parent row is a subset of the mask, so nothing further
+    // can change it). In a well-connected DAG one or two parents saturate a
+    // round, so this does O(window) row unions instead of
+    // O(window x parents). Skipped entirely on a shared-bitmap hit.
+    for (Round r = e.lo; shared == nullptr && r + 1 < round; ++r) {
+      std::uint64_t* mine = &e.words[(r - e.lo) * words_per_round_];
+      const std::uint64_t* ref = referenced_.find_round(r);
+      const auto saturated = [&] {
+        if (ref == nullptr) return false;
+        for (std::size_t w = 0; w < words_per_round_; ++w)
+          if (mine[w] != ref[w]) return false;
+        return true;
+      };
+      if (saturated()) continue;  // direct edges alone already cover it
+      for (const auto& [pr, pe] : parent_entries_) {
+        if (r >= pr || r < pe->lo) continue;  // outside the parent's window
+        const std::uint64_t* src =
+            &pe->words[(r - pe->lo) * words_per_round_];
+        for (std::size_t w = 0; w < words_per_round_; ++w) mine[w] |= src[w];
+        if (saturated()) break;
+      }
+    }
+    // Share the freshly computed bitmap when it is canonical: every parent
+    // resolved, and our gc floor at/below the window base (a truncated
+    // ancestry near the floor must not be published).
+    if (shared == nullptr && parents_complete && floor_ <= e.lo)
+      cert.memoize_ancestor_bitmap(e.lo, words_per_round_, e.words);
   }
   ++entry_count_;
   total_words_ += e.words.size();
 }
 
 void DagIndex::prune_below(Round floor) {
+  floor_ = std::max(floor_, floor);
   entries_.prune_below(floor, [this](Round, Entry* row) {
     for (std::size_t a = 0; a < n_; ++a) {
       if (!row[a].present) continue;
       --entry_count_;
       total_words_ -= row[a].words.size();
+      // Donate the bitmap buffer back before the ring destroys the entry.
+      if (row[a].words.capacity() > 0 && words_pool_.size() < 16384)
+        words_pool_.push_back(std::move(row[a].words));
     }
   });
   referenced_.prune_below(floor, [](Round, std::uint64_t*) {});

@@ -129,10 +129,51 @@ struct Certificate {
   static std::shared_ptr<const Certificate> make(
       HeaderPtr header, std::vector<ValidatorIndex> signers);
 
+  /// Memoized parent handles (see Dag::try_insert): the arena's vertex-id
+  /// geometry (round * n + author) is committee-wide, so the first validator
+  /// to fully resolve this certificate's parents caches the handles for the
+  /// other n-1 — they re-verify residency + digest against their own arena
+  /// instead of hashing every parent digest. nullptr until memoized;
+  /// entry[i] corresponds to parents()[i].
+  const std::vector<std::uint64_t>* parent_handle_memo() const {
+    return parent_memo_valid_ ? &parent_memo_ : nullptr;
+  }
+  void memoize_parent_handles(const std::vector<std::uint64_t>& ids) const {
+    parent_memo_ = ids;
+    parent_memo_valid_ = true;
+  }
+
+  /// Memoized ancestor bitmap (see DagIndex::on_insert): with identical
+  /// window geometry and causally complete parents, the window-clamped
+  /// ancestor bitmap of this vertex is the same in every validator's index,
+  /// so the first computation is shared. Only stored when the producer's gc
+  /// floor sat at/below the window base, making the rows canonical for any
+  /// consumer whose floor is higher.
+  const std::vector<std::uint64_t>* ancestor_bitmap_memo(
+      std::uint64_t lo, std::uint32_t words_per_round) const {
+    return ancestor_memo_valid_ && ancestor_memo_lo_ == lo &&
+                   ancestor_memo_wpr_ == words_per_round
+               ? &ancestor_memo_
+               : nullptr;
+  }
+  void memoize_ancestor_bitmap(std::uint64_t lo, std::uint32_t words_per_round,
+                               const std::vector<std::uint64_t>& words) const {
+    ancestor_memo_lo_ = lo;
+    ancestor_memo_wpr_ = words_per_round;
+    ancestor_memo_ = words;
+    ancestor_memo_valid_ = true;
+  }
+
  private:
   /// Indices into header->parents, ordered by digest (for has_parent).
   std::vector<std::uint16_t> parent_order_;
   mutable std::uint8_t verify_state_ = 0;  // memoized verify(); see Header
+  mutable std::vector<std::uint64_t> parent_memo_;
+  mutable bool parent_memo_valid_ = false;
+  mutable std::vector<std::uint64_t> ancestor_memo_;
+  mutable std::uint64_t ancestor_memo_lo_ = 0;
+  mutable std::uint32_t ancestor_memo_wpr_ = 0;
+  mutable bool ancestor_memo_valid_ = false;
 };
 
 using CertPtr = std::shared_ptr<const Certificate>;

@@ -1,6 +1,8 @@
 #include "hammerhead/harness/experiment.h"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
 #include <iomanip>
 #include <memory>
 #include <sstream>
@@ -69,7 +71,10 @@ std::unique_ptr<net::LatencyModel> make_latency_model(
   return nullptr;
 }
 
-/// Poisson load generator colocated with one validator.
+/// Poisson load generator colocated with one validator. Both the arrival
+/// tick and the client->validator hop ride raw engine events; in-flight
+/// transactions wait in a FIFO (the hop latency is constant, so delivery
+/// order equals submission order) — no per-transaction allocations.
 class LoadGenerator {
  public:
   LoadGenerator(sim::Simulator& sim, node::Validator& validator,
@@ -88,21 +93,37 @@ class LoadGenerator {
   void start() { schedule_next(); }
 
  private:
+  static void tick_trampoline(void* ctx, std::uint64_t) {
+    static_cast<LoadGenerator*>(ctx)->tick();
+  }
+  static void hop_trampoline(void* ctx, std::uint64_t) {
+    static_cast<LoadGenerator*>(ctx)->arrive();
+  }
+
   void schedule_next() {
     const SimTime gap = std::max<SimTime>(
         1, static_cast<SimTime>(rng_.next_exponential(mean_gap_us_)));
-    sim_.schedule_after(gap, [this]() {
-      if (sim_.now() >= stop_at_) return;
-      dag::Transaction tx;
-      tx.id = next_id_++;
-      tx.submitted_to = validator_.index();
-      tx.submit_time = sim_.now();
-      metrics_.on_tx_submitted(tx);
-      // Client -> validator hop.
-      sim_.schedule_after(client_latency_,
-                          [this, tx]() { validator_.submit_tx(tx); });
-      schedule_next();
-    });
+    sim_.schedule_raw_at(sim_.now() + gap, &LoadGenerator::tick_trampoline,
+                         this, 0);
+  }
+
+  void tick() {
+    if (sim_.now() >= stop_at_) return;
+    dag::Transaction tx;
+    tx.id = next_id_++;
+    tx.submitted_to = validator_.index();
+    tx.submit_time = sim_.now();
+    metrics_.on_tx_submitted(tx);
+    // Client -> validator hop.
+    in_flight_.push_back(tx);
+    sim_.schedule_raw_at(sim_.now() + client_latency_,
+                         &LoadGenerator::hop_trampoline, this, 0);
+    schedule_next();
+  }
+
+  void arrive() {
+    validator_.submit_tx(in_flight_.front());
+    in_flight_.pop_front();
   }
 
   sim::Simulator& sim_;
@@ -113,6 +134,7 @@ class LoadGenerator {
   SimTime stop_at_;
   Rng rng_;
   TxId next_id_;
+  std::deque<dag::Transaction> in_flight_;
 };
 
 }  // namespace
@@ -218,10 +240,24 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
   sim.run_until(config.duration);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   // ---- collect results ----
   ExperimentResult result;
+  result.sim_events = sim.executed_events();
+  result.wall_seconds = wall_s;
+  result.events_per_sec_wall =
+      wall_s > 0 ? static_cast<double>(result.sim_events) / wall_s : 0;
+  result.allocs_per_event =
+      result.sim_events > 0
+          ? static_cast<double>(sim.engine_allocs()) /
+                static_cast<double>(result.sim_events)
+          : 0;
   result.policy =
       config.custom_policy ? "custom" : policy_name(config.policy);
   result.duration_s = to_seconds(config.duration);

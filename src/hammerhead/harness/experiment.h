@@ -98,6 +98,14 @@ struct ExperimentResult {
   /// How many committed anchors each validator authored (leader utilization
   /// per validator, from the observer's commit stream).
   std::vector<std::uint64_t> anchors_by_author;
+
+  // Event-engine gauges: how fast the substrate chewed through the run.
+  std::uint64_t sim_events = 0;        // events executed by the engine
+  double wall_seconds = 0;             // host wall-clock of the sim loop
+  double events_per_sec_wall = 0;      // sim_events / wall_seconds
+  /// Engine-side heap allocations per executed event (slab growth, bucket
+  /// and heap capacity growth, std::function storage); ~0 in steady state.
+  double allocs_per_event = 0;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& config);

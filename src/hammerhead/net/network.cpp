@@ -6,13 +6,31 @@
 
 namespace hammerhead::net {
 
+namespace {
+
+/// Adapter so register_handler() users (tests, ad-hoc tools) ride the sink
+/// fabric without implementing MsgSink themselves.
+class FunctionSink final : public MsgSink {
+ public:
+  explicit FunctionSink(Network::Handler fn) : fn_(std::move(fn)) {}
+  void deliver(ValidatorIndex from, const MessagePtr& msg) override {
+    fn_(from, msg);
+  }
+
+ private:
+  Network::Handler fn_;
+};
+
+}  // namespace
+
 Network::Network(sim::Simulator& simulator,
                  std::unique_ptr<LatencyModel> latency, NetConfig config,
                  std::size_t num_nodes)
     : sim_(simulator),
       latency_(std::move(latency)),
       config_(config),
-      handlers_(num_nodes),
+      sinks_(num_nodes, nullptr),
+      owned_sinks_(num_nodes),
       crashed_(num_nodes, false),
       slowdown_(num_nodes, 1.0),
       egress_free_at_(num_nodes, 0),
@@ -20,9 +38,16 @@ Network::Network(sim::Simulator& simulator,
   HH_ASSERT(latency_ != nullptr);
 }
 
+void Network::register_sink(ValidatorIndex node, MsgSink* sink) {
+  HH_ASSERT(node < sinks_.size());
+  owned_sinks_[node].reset();
+  sinks_[node] = sink;
+}
+
 void Network::register_handler(ValidatorIndex node, Handler handler) {
-  HH_ASSERT(node < handlers_.size());
-  handlers_[node] = std::move(handler);
+  HH_ASSERT(node < sinks_.size());
+  owned_sinks_[node] = std::make_unique<FunctionSink>(std::move(handler));
+  sinks_[node] = owned_sinks_[node].get();
 }
 
 bool Network::crosses_partition(ValidatorIndex a, ValidatorIndex b) const {
@@ -62,37 +87,120 @@ SimTime Network::compute_arrival(ValidatorIndex from, ValidatorIndex to,
   return std::max(arrival, now + 1);
 }
 
-void Network::send(ValidatorIndex from, ValidatorIndex to, MessagePtr msg) {
-  HH_ASSERT(from < handlers_.size() && to < handlers_.size());
+// ------------------------------------------------------------ fanout pool
+
+std::uint32_t Network::acquire_fanout() {
+  std::uint32_t idx;
+  if (!free_fanouts_.empty()) {
+    idx = free_fanouts_.back();
+    free_fanouts_.pop_back();
+    --stats_.fanouts_pooled;
+  } else {
+    fanouts_.emplace_back();
+    idx = static_cast<std::uint32_t>(fanouts_.size() - 1);
+  }
+  ++stats_.fanouts_active;
+  return idx;
+}
+
+void Network::release_fanout(std::uint32_t idx) {
+  Fanout& f = fanouts_[idx];
+  f.msg = nullptr;
+  f.next = 0;
+  f.arrivals.clear();  // keeps capacity for reuse
+  free_fanouts_.push_back(idx);
+  --stats_.fanouts_active;
+  ++stats_.fanouts_pooled;
+}
+
+void Network::schedule_arrival(std::uint32_t idx, const Arrival& a) {
+  sim_.schedule_raw_keyed(a.time, a.seq, &Network::fanout_trampoline, this,
+                          idx);
+}
+
+void Network::fire_fanout(std::uint32_t idx) {
+  // fanouts_ is a deque: the reference stays valid while the sink sends
+  // more traffic (which may acquire new records) reentrantly.
+  Fanout& f = fanouts_[idx];
+  const Arrival a = f.arrivals[f.next++];
+  if (crashed_[a.to]) {
+    ++stats_.messages_dropped_crash;
+  } else if (sinks_[a.to] != nullptr) {
+    ++stats_.messages_delivered;
+    sinks_[a.to]->deliver(f.from, f.msg);
+  }
+  if (f.next < f.arrivals.size())
+    schedule_arrival(idx, f.arrivals[f.next]);
+  else
+    release_fanout(idx);
+}
+
+// ------------------------------------------------------------------- send
+
+template <typename RecipientFn>
+void Network::multicast_impl(ValidatorIndex from, MessagePtr msg,
+                             RecipientFn&& for_each_recipient) {
+  HH_ASSERT(from < sinks_.size());
   HH_ASSERT(msg != nullptr);
   if (crashed_[from]) return;
 
-  ++stats_.messages_sent;
-  stats_.bytes_sent += msg->wire_size();
+  const std::size_t size = msg->wire_size();
+  const std::uint32_t idx = acquire_fanout();
+  Fanout& f = fanouts_[idx];
+  f.from = from;
 
-  if (crosses_partition(from, to)) {
-    held_.push_back(Held{from, to, std::move(msg)});
-    return;
-  }
-
-  const SimTime arrival = compute_arrival(from, to, msg->wire_size());
-  sim_.schedule_at(arrival, [this, from, to, msg = std::move(msg)]() {
-    if (crashed_[to]) {
-      ++stats_.messages_dropped_crash;
+  // Expand the fanout inline: per recipient one latency sample, one egress
+  // advance and one reserved order key — the exact accounting order of the
+  // legacy per-recipient send loop, so seeded runs replay bit-identically.
+  for_each_recipient([&](ValidatorIndex to) {
+    HH_ASSERT(to < sinks_.size());
+    ++stats_.messages_sent;
+    stats_.bytes_sent += size;
+    if (crosses_partition(from, to)) {
+      held_.push_back(Held{from, to, msg});
       return;
     }
-    if (!handlers_[to]) return;
-    ++stats_.messages_delivered;
-    handlers_[to](from, msg);
+    const SimTime arrival = compute_arrival(from, to, size);
+    f.arrivals.push_back(Arrival{arrival, sim_.reserve_seq(), to});
+  });
+
+  if (f.arrivals.empty()) {
+    release_fanout(idx);
+    return;
+  }
+  f.msg = std::move(msg);
+  std::sort(f.arrivals.begin(), f.arrivals.end(),
+            [](const Arrival& x, const Arrival& y) {
+              if (x.time != y.time) return x.time < y.time;
+              return x.seq < y.seq;
+            });
+  schedule_arrival(idx, f.arrivals.front());
+}
+
+void Network::send(ValidatorIndex from, ValidatorIndex to, MessagePtr msg) {
+  HH_ASSERT(to < sinks_.size());
+  multicast_impl(from, std::move(msg),
+                 [to](auto&& emit) { emit(to); });
+}
+
+void Network::multicast(ValidatorIndex from, MessagePtr msg) {
+  const ValidatorIndex n = static_cast<ValidatorIndex>(sinks_.size());
+  multicast_impl(from, std::move(msg), [from, n](auto&& emit) {
+    for (ValidatorIndex to = 0; to < n; ++to)
+      if (to != from) emit(to);
   });
 }
 
-void Network::broadcast(ValidatorIndex from, const MessagePtr& msg) {
-  for (ValidatorIndex to = 0; to < handlers_.size(); ++to) {
-    if (to == from) continue;
-    send(from, to, msg);
-  }
+void Network::multicast(ValidatorIndex from, MessagePtr msg,
+                        const std::vector<ValidatorIndex>& recipients) {
+  const ValidatorIndex n = static_cast<ValidatorIndex>(sinks_.size());
+  multicast_impl(from, std::move(msg), [&recipients, from, n](auto&& emit) {
+    for (ValidatorIndex to : recipients)
+      if (to != from && to < n) emit(to);
+  });
 }
+
+// -------------------------------------------------------- fault injection
 
 void Network::crash(ValidatorIndex node) {
   HH_ASSERT(node < crashed_.size());
@@ -132,23 +240,19 @@ void Network::partition(const std::vector<ValidatorIndex>& group) {
 void Network::heal() {
   partition_active_ = false;
   // Flush buffered cross-partition traffic with fresh latency samples
-  // (reliable channels deliver once connectivity returns).
+  // (reliable channels deliver once connectivity returns). Each held message
+  // becomes a single-arrival fanout record.
   std::vector<Held> held;
   held.swap(held_);
   for (auto& h : held) {
     if (crashed_[h.from]) continue;
-    const SimTime arrival =
-        compute_arrival(h.from, h.to, h.msg->wire_size());
-    ValidatorIndex from = h.from, to = h.to;
-    sim_.schedule_at(arrival, [this, from, to, msg = std::move(h.msg)]() {
-      if (crashed_[to]) {
-        ++stats_.messages_dropped_crash;
-        return;
-      }
-      if (!handlers_[to]) return;
-      ++stats_.messages_delivered;
-      handlers_[to](from, msg);
-    });
+    const SimTime arrival = compute_arrival(h.from, h.to, h.msg->wire_size());
+    const std::uint32_t idx = acquire_fanout();
+    Fanout& f = fanouts_[idx];
+    f.from = h.from;
+    f.msg = std::move(h.msg);
+    f.arrivals.push_back(Arrival{arrival, sim_.reserve_seq(), h.to});
+    schedule_arrival(idx, f.arrivals.front());
   }
 }
 

@@ -13,12 +13,23 @@
 //    reliability).
 //  * Bandwidth: each node has finite egress; consecutive sends queue behind
 //    one another (transmission delay = size / bandwidth).
+//
+// Fabric: every transmission — unicast or multicast — is one pooled fanout
+// record holding ONE MessagePtr and the per-recipient (arrival, order-key)
+// schedule, expanded inline at send time (latency sample + egress queue per
+// recipient, exactly the legacy per-send order, so seeded runs replay
+// bit-identically). The engine carries a single live raw event per record
+// that re-keys itself through the sorted arrival schedule: an n-recipient
+// broadcast costs one slab slot instead of n heap pushes, n std::function
+// allocations and n MessagePtr refcount bumps. Delivery dispatches to a
+// MsgSink (devirtualized per node, MsgKind-switched by the receiver) rather
+// than a per-node std::function.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <deque>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "hammerhead/common/types.h"
@@ -54,6 +65,15 @@ class Message {
 
 using MessagePtr = std::shared_ptr<const Message>;
 
+/// Delivery endpoint of a node. deliver() receives every message addressed
+/// to the node; implementations switch on msg->kind() to their typed
+/// handlers (see node::Validator::dispatch, rbc::BrachaBroadcaster).
+class MsgSink {
+ public:
+  virtual ~MsgSink() = default;
+  virtual void deliver(ValidatorIndex from, const MessagePtr& msg) = 0;
+};
+
 struct NetConfig {
   /// Global Stabilization Time. 0 = synchronous from the start.
   SimTime gst = 0;
@@ -73,27 +93,48 @@ struct NetStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped_crash = 0;
   std::uint64_t bytes_sent = 0;
+  /// Fanout records in flight + pooled (gauge for the zero-alloc claim).
+  std::uint64_t fanouts_active = 0;
+  std::uint64_t fanouts_pooled = 0;
 };
 
 class Network {
  public:
+  /// Legacy delivery callback; tests and ad-hoc tools may still use it.
+  /// Protocol nodes implement MsgSink instead (no std::function dispatch).
   using Handler =
       std::function<void(ValidatorIndex from, const MessagePtr& msg)>;
 
   Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
           NetConfig config, std::size_t num_nodes);
 
-  /// Install the delivery callback for a node. Must be called before the node
-  /// receives anything.
+  /// Install the delivery sink for a node. Must be called before the node
+  /// receives anything. The pointer must outlive the network (nodes own
+  /// their sinks; the network never deletes them).
+  void register_sink(ValidatorIndex node, MsgSink* sink);
+
+  /// Legacy: wrap a std::function handler in an owned sink.
   void register_handler(ValidatorIndex node, Handler handler);
 
   /// Point-to-point send. No-op if the sender is crashed. Delivery is dropped
   /// if the receiver is crashed at arrival time.
   void send(ValidatorIndex from, ValidatorIndex to, MessagePtr msg);
 
-  /// Send to every node except `from` (the caller handles its own message
-  /// locally, mirroring a loopback fast path).
-  void broadcast(ValidatorIndex from, const MessagePtr& msg);
+  /// Multicast `msg` to every node except `from` (the caller handles its own
+  /// message locally, mirroring a loopback fast path). One fanout record,
+  /// one live engine event.
+  void multicast(ValidatorIndex from, MessagePtr msg);
+
+  /// Multicast to an explicit recipient list (Byzantine split sends, targeted
+  /// gossip). Entries equal to `from` or out of range are skipped.
+  void multicast(ValidatorIndex from, MessagePtr msg,
+                 const std::vector<ValidatorIndex>& recipients);
+
+  /// Synonym for multicast(from, msg) — kept for readability at call sites
+  /// that broadcast to the whole committee.
+  void broadcast(ValidatorIndex from, const MessagePtr& msg) {
+    multicast(from, msg);
+  }
 
   // --- fault injection -----------------------------------------------------
   void crash(ValidatorIndex node);
@@ -112,10 +153,37 @@ class Network {
   bool partitioned() const { return partition_active_; }
 
   const NetStats& stats() const { return stats_; }
-  std::size_t num_nodes() const { return handlers_.size(); }
+  std::size_t num_nodes() const { return sinks_.size(); }
   const LatencyModel& latency_model() const { return *latency_; }
 
  private:
+  /// Per-recipient delivery slot inside a fanout record.
+  struct Arrival {
+    SimTime time;
+    std::uint64_t seq;  // order key reserved at send time
+    ValidatorIndex to;
+  };
+  /// One transmission (unicast or multicast): the message plus its sorted
+  /// arrival schedule. Pooled; lives in a deque so references stay stable
+  /// while sinks send more traffic reentrantly.
+  struct Fanout {
+    MessagePtr msg;
+    ValidatorIndex from = 0;
+    std::uint32_t next = 0;
+    std::vector<Arrival> arrivals;
+  };
+
+  template <typename RecipientFn>
+  void multicast_impl(ValidatorIndex from, MessagePtr msg,
+                      RecipientFn&& for_each_recipient);
+  std::uint32_t acquire_fanout();
+  void release_fanout(std::uint32_t idx);
+  void schedule_arrival(std::uint32_t idx, const Arrival& a);
+  static void fanout_trampoline(void* ctx, std::uint64_t arg) {
+    static_cast<Network*>(ctx)->fire_fanout(static_cast<std::uint32_t>(arg));
+  }
+  void fire_fanout(std::uint32_t idx);
+
   SimTime compute_arrival(ValidatorIndex from, ValidatorIndex to,
                           std::size_t size);
   bool crosses_partition(ValidatorIndex a, ValidatorIndex b) const;
@@ -123,13 +191,14 @@ class Network {
   sim::Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   NetConfig config_;
-  std::vector<Handler> handlers_;
+  std::vector<MsgSink*> sinks_;
+  /// Owned adapter sinks for register_handler() users.
+  std::vector<std::unique_ptr<MsgSink>> owned_sinks_;
   std::vector<bool> crashed_;
   std::vector<double> slowdown_;
   std::vector<SimTime> egress_free_at_;
   std::vector<bool> in_partition_group_;
   bool partition_active_ = false;
-  SimTime partition_heal_hint_ = 0;
   // Messages held back by an active partition: (from, to, msg).
   struct Held {
     ValidatorIndex from;
@@ -137,6 +206,9 @@ class Network {
     MessagePtr msg;
   };
   std::vector<Held> held_;
+
+  std::deque<Fanout> fanouts_;
+  std::vector<std::uint32_t> free_fanouts_;
   NetStats stats_;
 };
 

@@ -48,22 +48,26 @@ void Validator::propose_equivocating(Round round, std::vector<Digest> parents,
   // One conflicting header to each half of the committee — plus both
   // headers to the lowest-indexed peer, which forces at least one honest
   // node to observe (and refuse) the equivocation. Honest vote uniqueness
-  // must confine us to at most one certificate per round.
+  // must confine us to at most one certificate per round. Each half is one
+  // fanout record on the wire (recipient-list multicast).
   auto msg_a = std::make_shared<HeaderMsg>();
   msg_a->header = header_a;
   auto msg_b = std::make_shared<HeaderMsg>();
   msg_b->header = header_b;
-  bool sent_overlap = false;
+  std::vector<ValidatorIndex> evens, odds;
+  ValidatorIndex overlap = kInvalidValidator;
   for (ValidatorIndex v = 0; v < committee_.size(); ++v) {
     if (v == self_) continue;
-    network_.send(self_, v, v % 2 == 0 ? net::MessagePtr(msg_a)
-                                       : net::MessagePtr(msg_b));
-    if (!sent_overlap) {
-      network_.send(self_, v, v % 2 == 0 ? net::MessagePtr(msg_b)
-                                         : net::MessagePtr(msg_a));
-      sent_overlap = true;
-    }
+    if (overlap == kInvalidValidator) overlap = v;
+    (v % 2 == 0 ? evens : odds).push_back(v);
   }
+  // The overlap peer appears in both lists, so it sees A and B.
+  if (overlap != kInvalidValidator) {
+    if (overlap % 2 == 0) odds.push_back(overlap);
+    else evens.push_back(overlap);
+  }
+  network_.multicast(self_, std::move(msg_a), evens);
+  network_.multicast(self_, std::move(msg_b), odds);
 }
 
 }  // namespace hammerhead::node

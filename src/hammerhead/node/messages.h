@@ -51,15 +51,22 @@ struct FetchReqMsg final : net::Message {
 
 struct FetchRespMsg final : net::Message {
   /// Sorted by ascending round so the receiver can insert in order.
+  /// Set via the constructor: wire_size() is called once per bandwidth-model
+  /// hop, so the sum over certificates is cached at construction instead of
+  /// being recomputed per call.
+  explicit FetchRespMsg(std::vector<dag::CertPtr> response_certs)
+      : certs(std::move(response_certs)) {
+    for (const auto& c : certs) wire_size_ += c->wire_size();
+  }
+
   std::vector<dag::CertPtr> certs;
 
-  std::size_t wire_size() const override {
-    std::size_t s = 16;
-    for (const auto& c : certs) s += c->wire_size();
-    return s;
-  }
+  std::size_t wire_size() const override { return wire_size_; }
   const char* type_name() const override { return "fetch-resp"; }
   net::MsgKind kind() const override { return net::MsgKind::FetchResp; }
+
+ private:
+  std::size_t wire_size_ = 16;
 };
 
 /// Ask a peer for a full state snapshot. Sent when the requester has fallen
@@ -77,19 +84,30 @@ struct StateSyncReqMsg final : net::Message {
 };
 
 struct StateSyncRespMsg final : net::Message {
+  /// Construction computes the wire size once (same per-hop caching as
+  /// FetchRespMsg): wire_size() is called per bandwidth-model hop.
+  StateSyncRespMsg(Round floor, std::vector<dag::CertPtr> snapshot_certs,
+                   consensus::CommitterSnapshot committer_snap,
+                   core::PolicySnapshot policy_snap)
+      : gc_floor(floor),
+        certs(std::move(snapshot_certs)),
+        committer(std::move(committer_snap)),
+        policy(std::move(policy_snap)) {
+    for (const auto& c : certs) wire_size_ += c->wire_size();
+  }
+
   Round gc_floor = 0;
   /// All retained certificates (rounds >= gc_floor), ascending by round.
   std::vector<dag::CertPtr> certs;
   consensus::CommitterSnapshot committer;
   core::PolicySnapshot policy;
 
-  std::size_t wire_size() const override {
-    std::size_t s = 1024;  // snapshots
-    for (const auto& c : certs) s += c->wire_size();
-    return s;
-  }
+  std::size_t wire_size() const override { return wire_size_; }
   const char* type_name() const override { return "state-sync-resp"; }
   net::MsgKind kind() const override { return net::MsgKind::StateSyncResp; }
+
+ private:
+  std::size_t wire_size_ = 1024;
 };
 
 }  // namespace hammerhead::node

@@ -2,6 +2,37 @@
 
 namespace hammerhead::node {
 
+void export_engine_metrics(const sim::Simulator& sim, const net::Network& net,
+                           double events_per_sec_wall,
+                           monitor::MetricsRegistry& registry) {
+  const sim::SimStats& s = sim.stats();
+  auto set_gauge = [&](const char* name, double v) {
+    registry.gauge(name).set(v);
+  };
+  set_gauge("hh_sim_events_executed", static_cast<double>(s.executed));
+  set_gauge("hh_sim_events_raw", static_cast<double>(s.raw_events));
+  set_gauge("hh_sim_events_callback", static_cast<double>(s.callback_events));
+  set_gauge("hh_sim_batches", static_cast<double>(s.batches));
+  set_gauge("hh_sim_engine_allocs", static_cast<double>(s.engine_allocs));
+  set_gauge("hh_sim_allocs_per_event",
+            s.executed > 0 ? static_cast<double>(s.engine_allocs) /
+                                 static_cast<double>(s.executed)
+                           : 0.0);
+  set_gauge("hh_sim_events_per_sec_wall", events_per_sec_wall);
+  set_gauge("hh_sim_pending_events",
+            static_cast<double>(sim.pending_events()));
+  set_gauge("hh_sim_cancelled_pending",
+            static_cast<double>(sim.cancelled_pending()));
+  set_gauge("hh_sim_slab_slots", static_cast<double>(sim.slab_slots()));
+
+  const net::NetStats& ns = net.stats();
+  set_gauge("hh_net_messages_sent", static_cast<double>(ns.messages_sent));
+  set_gauge("hh_net_messages_delivered",
+            static_cast<double>(ns.messages_delivered));
+  set_gauge("hh_net_fanouts_active", static_cast<double>(ns.fanouts_active));
+  set_gauge("hh_net_fanouts_pooled", static_cast<double>(ns.fanouts_pooled));
+}
+
 void export_validator_metrics(const Validator& validator,
                               monitor::MetricsRegistry& registry) {
   const monitor::Labels labels{

@@ -14,6 +14,14 @@ namespace hammerhead::node {
 void export_validator_metrics(const Validator& validator,
                               monitor::MetricsRegistry& registry);
 
+/// Event-engine + message-fabric gauges (one unlabelled series set per
+/// deployment): executed events, engine allocations/event, wheel batches,
+/// cancel backlog, fanout pool. `events_per_sec_wall` is host-measured by
+/// the caller (the harness times the run loop); pass 0 when unknown.
+void export_engine_metrics(const sim::Simulator& sim, const net::Network& net,
+                           double events_per_sec_wall,
+                           monitor::MetricsRegistry& registry);
+
 /// Scrape a whole committee into one registry.
 template <typename ValidatorRange>
 void export_committee_metrics(const ValidatorRange& validators,

@@ -19,23 +19,15 @@ Validator::Validator(sim::Simulator& simulator, net::Network& network,
       config_(config),
       policy_factory_(std::move(policies)),
       on_commit_(std::move(on_commit)),
-      keypair_(crypto::Keypair::derive(config.key_seed, self)) {
+      keypair_(crypto::Keypair::derive(config.key_seed, self)),
+      cert_table_(
+          &store_.open_table<std::pair<Round, ValidatorIndex>, dag::CertPtr>(
+              "certs")),
+      voted_table_(
+          &store_.open_table<std::pair<ValidatorIndex, Round>, Digest>(
+              "voted")),
+      meta_table_(&store_.open_table<std::string, std::uint64_t>("meta")) {
   HH_ASSERT(policy_factory_ != nullptr);
-}
-
-storage::Table<std::pair<Round, ValidatorIndex>, dag::CertPtr>&
-Validator::cert_table() {
-  return store_.open_table<std::pair<Round, ValidatorIndex>, dag::CertPtr>(
-      "certs");
-}
-
-storage::Table<std::pair<ValidatorIndex, Round>, Digest>&
-Validator::voted_table() {
-  return store_.open_table<std::pair<ValidatorIndex, Round>, Digest>("voted");
-}
-
-storage::Table<std::string, std::uint64_t>& Validator::meta_table() {
-  return store_.open_table<std::string, std::uint64_t>("meta");
 }
 
 storage::Table<std::string, core::PolicySnapshot>&
@@ -61,10 +53,7 @@ void Validator::start() {
       [this](const consensus::CommittedSubDag& sd) { on_subdag_committed(sd); },
       config_.commit_rule, [this] { return sim_.now(); },
       config_.trigger_scan);
-  network_.register_handler(
-      self_, [this](ValidatorIndex from, const net::MessagePtr& msg) {
-        on_network_message(from, msg);
-      });
+  network_.register_sink(self_, this);
   propose(0);
 }
 
@@ -207,18 +196,34 @@ SimTime Validator::message_cost(const net::Message& msg) const {
   }
 }
 
-void Validator::on_network_message(ValidatorIndex from,
-                                   const net::MessagePtr& msg) {
+void Validator::deliver(ValidatorIndex from, const net::MessagePtr& msg) {
   if (crashed_ || !started_) return;
-  // Single-core processing queue: work starts when the core frees up.
+  // Single-core processing queue: work starts when the core frees up. The
+  // in-flight message rides a pooled record + raw event — no std::function
+  // capture allocation on the deliver path.
   const SimTime start = std::max(sim_.now(), cpu_free_at_);
   const SimTime done = start + message_cost(*msg);
   cpu_free_at_ = done;
-  const std::uint64_t inc = incarnation_;
-  sim_.schedule_at(done, [this, from, msg, inc]() {
-    if (crashed_ || inc != incarnation_) return;
-    dispatch(from, msg);
-  });
+  std::uint32_t idx;
+  if (!dispatch_free_.empty()) {
+    idx = dispatch_free_.back();
+    dispatch_free_.pop_back();
+  } else {
+    dispatch_pool_.emplace_back();
+    idx = static_cast<std::uint32_t>(dispatch_pool_.size() - 1);
+  }
+  PendingDispatch& rec = dispatch_pool_[idx];
+  rec.msg = msg;
+  rec.inc = incarnation_;
+  rec.from = from;
+  sim_.schedule_raw_at(done, &Validator::dispatch_trampoline, this, idx);
+}
+
+void Validator::run_dispatch(std::uint32_t idx) {
+  PendingDispatch rec = std::move(dispatch_pool_[idx]);  // slot ref released
+  dispatch_free_.push_back(idx);
+  if (crashed_ || rec.inc != incarnation_) return;
+  dispatch(rec.from, rec.msg);
 }
 
 void Validator::dispatch(ValidatorIndex from, const net::MessagePtr& msg) {
@@ -344,11 +349,11 @@ void Validator::broadcast_header(const dag::HeaderPtr& header) {
     const std::uint64_t inc = incarnation_;
     sim_.schedule_after(config_.slow_proposer_delay, [this, msg, inc]() {
       if (crashed_ || inc != incarnation_) return;
-      network_.broadcast(self_, msg);
+      network_.multicast(self_, msg);
     });
     return;
   }
-  network_.broadcast(self_, msg);
+  network_.multicast(self_, std::move(msg));
 }
 
 void Validator::try_advance() {
@@ -456,7 +461,7 @@ void Validator::handle_vote(const dag::Vote& vote) {
 
   auto msg = std::make_shared<CertMsg>();
   msg->cert = cert;
-  network_.broadcast(self_, msg);
+  network_.multicast(self_, std::move(msg));
   ingest_cert(cert, kInvalidValidator);
 }
 
@@ -469,52 +474,65 @@ void Validator::handle_cert(ValidatorIndex from, const dag::CertPtr& cert) {
 }
 
 void Validator::ingest_cert(const dag::CertPtr& cert, ValidatorIndex source) {
-  if (dag_->contains(cert->digest())) return;
   if (cert->round() < dag_->gc_floor()) return;  // ancient; pruned history
   if (buffered_.count(cert->digest())) return;
-  maybe_request_state_sync(*cert, source);
 
-  const auto missing = dag_->missing_parents(*cert);
-  if (!missing.empty()) {
-    buffered_.emplace(cert->digest(), cert);
-    for (const Digest& d : missing)
-      waiting_children_[d].push_back(cert->digest());
-    missing_count_[cert->digest()] = missing.size();
-    // Ask the sender (or a deterministic peer when locally sourced). Fetches
-    // are retried after fetch_retry_delay — responses can be truncated
-    // during deep catch-up.
-    std::vector<Digest> to_fetch;
-    const SimTime now = sim_.now();
-    for (const Digest& d : missing) {
-      if (buffered_.count(d)) continue;  // already on its way via its parents
-      auto [it, inserted] =
-          outstanding_fetches_.try_emplace(d, now + config_.fetch_retry_delay);
-      if (!inserted) {
-        if (it->second > now) continue;  // a fetch is still in flight
-        it->second = now + config_.fetch_retry_delay;
-      }
-      to_fetch.push_back(d);
-    }
-    if (!to_fetch.empty()) {
-      ValidatorIndex target = source;
-      if (target == kInvalidValidator || target == self_)
-        target = cert->author() != self_ ? cert->author()
-                                         : (self_ + 1) % committee_.size();
-      request_fetch(target, std::move(to_fetch));
-    }
-    arm_fetch_retry_timer();
+  // Single admission pass: parents are resolved exactly once — either the
+  // certificate goes straight into the DAG or the unresolved digests come
+  // back for the fetch path.
+  missing_scratch_.clear();
+  const auto outcome = dag_->try_insert(cert, &missing_scratch_);
+  if (outcome == dag::Dag::InsertOutcome::Inserted) {
+    insert_ready_cert(cert, /*inserted=*/true);
     return;
   }
-  insert_ready_cert(cert);
+  if (outcome != dag::Dag::InsertOutcome::Missing) return;  // dup/invalid
+
+  maybe_request_state_sync(*cert, source);
+  const std::vector<Digest>& missing = missing_scratch_;
+  buffered_.emplace(cert->digest(), cert);
+  for (const Digest& d : missing)
+    waiting_children_[d].push_back(cert->digest());
+  missing_count_[cert->digest()] = missing.size();
+  // Ask the sender (or a deterministic peer when locally sourced). Fetches
+  // are retried after fetch_retry_delay — responses can be truncated
+  // during deep catch-up.
+  std::vector<Digest> to_fetch;
+  const SimTime now = sim_.now();
+  for (const Digest& d : missing) {
+    if (buffered_.count(d)) continue;  // already on its way via its parents
+    auto [it, inserted] =
+        outstanding_fetches_.try_emplace(d, now + config_.fetch_retry_delay);
+    if (!inserted) {
+      if (it->second > now) continue;  // a fetch is still in flight
+      it->second = now + config_.fetch_retry_delay;
+    }
+    to_fetch.push_back(d);
+  }
+  if (!to_fetch.empty()) {
+    ValidatorIndex target = source;
+    if (target == kInvalidValidator || target == self_)
+      target = cert->author() != self_ ? cert->author()
+                                       : (self_ + 1) % committee_.size();
+    request_fetch(target, std::move(to_fetch));
+  }
+  arm_fetch_retry_timer();
 }
 
-void Validator::insert_ready_cert(const dag::CertPtr& cert) {
+void Validator::insert_ready_cert(const dag::CertPtr& cert, bool inserted) {
   // Iterative flush: inserting one certificate may ready buffered children.
-  std::vector<dag::CertPtr> ready{cert};
+  // The scratch vector is a member so the steady state allocates nothing;
+  // the loop never nests another ingest (sends are asynchronous events).
+  std::vector<dag::CertPtr>& ready = ready_scratch_;
+  ready.clear();
+  ready.push_back(cert);
+  bool first = true;
   while (!ready.empty()) {
-    dag::CertPtr next = ready.back();
+    dag::CertPtr next = std::move(ready.back());
     ready.pop_back();
-    if (!dag_->insert(next)) continue;
+    const bool in_dag = (first && inserted) || dag_->insert(next);
+    first = false;
+    if (!in_dag) continue;
     outstanding_fetches_.erase(next->digest());
 
     if (!replaying_) {
@@ -618,7 +636,6 @@ void Validator::request_fetch(ValidatorIndex target,
 }
 
 void Validator::handle_fetch_req(ValidatorIndex from, const FetchReqMsg& req) {
-  auto resp = std::make_shared<FetchRespMsg>();
   // Requested certificates plus their causal history above the requester's
   // floor, sorted ascending. When the history exceeds the response cap, keep
   // the LOWEST rounds: the requester can only insert bottom-up, so shipping
@@ -634,7 +651,7 @@ void Validator::handle_fetch_req(ValidatorIndex from, const FetchReqMsg& req) {
             });
   if (collected.size() > config_.max_fetch_response_certs)
     collected.resize(config_.max_fetch_response_certs);
-  resp->certs = std::move(collected);
+  auto resp = std::make_shared<FetchRespMsg>(std::move(collected));
   HH_DEBUG("FETCHRESP v" << self_ << " -> v" << from << " n=" << resp->certs.size()
            << (resp->certs.empty() ? "" : (" lo=" + std::to_string(resp->certs.front()->round()) + " hi=" + std::to_string(resp->certs.back()->round()))));
   if (!resp->certs.empty()) network_.send(self_, from, std::move(resp));
@@ -680,15 +697,15 @@ void Validator::handle_state_sync_req(ValidatorIndex from,
   (void)req;
   const auto max_round = dag_->max_round();
   if (!max_round) return;
-  auto resp = std::make_shared<StateSyncRespMsg>();
-  resp->gc_floor = dag_->gc_floor();
   // Arena slabs are author-indexed, so the per-round author order the wire
   // format wants falls out of the slab walk directly.
+  std::vector<dag::CertPtr> certs;
   for (Round r = dag_->gc_floor(); r <= *max_round; ++r)
     dag_->for_each_round_cert(
-        r, [&](const dag::CertPtr& c) { resp->certs.push_back(c); });
-  resp->committer = committer_->snapshot(dag_->gc_floor());
-  resp->policy = policy_->snapshot();
+        r, [&](const dag::CertPtr& c) { certs.push_back(c); });
+  auto resp = std::make_shared<StateSyncRespMsg>(
+      dag_->gc_floor(), std::move(certs), committer_->snapshot(dag_->gc_floor()),
+      policy_->snapshot());
   network_.send(self_, from, std::move(resp));
 }
 

@@ -127,7 +127,7 @@ struct ValidatorStats {
   std::uint64_t state_syncs_completed = 0;
 };
 
-class Validator {
+class Validator final : public net::MsgSink {
  public:
   using PolicyFactory =
       std::function<std::unique_ptr<core::LeaderSchedulePolicy>(
@@ -174,10 +174,18 @@ class Validator {
     return stats_.state_syncs_completed;
   }
 
+  /// net::MsgSink: queue the message behind the simulated core and dispatch
+  /// when the CPU frees up (allocation-free: pooled records + raw events).
+  void deliver(ValidatorIndex from, const net::MessagePtr& msg) override;
+
  private:
   // --- wiring ---------------------------------------------------------------
-  void on_network_message(ValidatorIndex from, const net::MessagePtr& msg);
+  /// MsgKind-switched dispatch to the typed handlers.
   void dispatch(ValidatorIndex from, const net::MessagePtr& msg);
+  static void dispatch_trampoline(void* ctx, std::uint64_t arg) {
+    static_cast<Validator*>(ctx)->run_dispatch(static_cast<std::uint32_t>(arg));
+  }
+  void run_dispatch(std::uint32_t idx);
   SimTime message_cost(const net::Message& msg) const;
   SimTime scaled(SimTime cost) const;
   void charge_cpu(SimTime cost);
@@ -200,7 +208,10 @@ class Validator {
   /// committer / round advance. `source` is who to fetch missing parents
   /// from (kInvalidValidator when locally formed).
   void ingest_cert(const dag::CertPtr& cert, ValidatorIndex source);
-  void insert_ready_cert(const dag::CertPtr& cert);
+  /// Post-insert bookkeeping for `cert` (when `inserted`, it is already in
+  /// the DAG via try_insert), plus the iterative flush of buffered children
+  /// that became causally complete.
+  void insert_ready_cert(const dag::CertPtr& cert, bool inserted = false);
   void request_fetch(ValidatorIndex source, std::vector<Digest> missing);
   /// While certificates are buffered, periodically re-request their missing
   /// ancestry from rotating peers — responses can be truncated or lost, and
@@ -226,10 +237,18 @@ class Validator {
 
   // --- durable state (survives crash) ----------------------------------------
   // Tables: "certs" (round, author) -> cert; "voted" (author, round) ->
-  // header digest; "meta" key -> u64 (last proposed round).
-  storage::Table<std::pair<Round, ValidatorIndex>, dag::CertPtr>& cert_table();
-  storage::Table<std::pair<ValidatorIndex, Round>, Digest>& voted_table();
-  storage::Table<std::string, std::uint64_t>& meta_table();
+  // header digest; "meta" key -> u64 (last proposed round). References are
+  // resolved once in the constructor — the name lookup (string hash) was
+  // measurable on the per-message hot path.
+  storage::Table<std::pair<Round, ValidatorIndex>, dag::CertPtr>& cert_table() {
+    return *cert_table_;
+  }
+  storage::Table<std::pair<ValidatorIndex, Round>, Digest>& voted_table() {
+    return *voted_table_;
+  }
+  storage::Table<std::string, std::uint64_t>& meta_table() {
+    return *meta_table_;
+  }
   storage::Table<std::string, core::PolicySnapshot>& policy_snapshot_table();
   storage::Table<std::string, consensus::CommitterSnapshot>&
   committer_snapshot_table();
@@ -243,6 +262,20 @@ class Validator {
   PolicyFactory policy_factory_;
   CommitCallback on_commit_;
   crypto::Keypair keypair_;
+  storage::Table<std::pair<Round, ValidatorIndex>, dag::CertPtr>* cert_table_;
+  storage::Table<std::pair<ValidatorIndex, Round>, Digest>* voted_table_;
+  storage::Table<std::string, std::uint64_t>* meta_table_;
+
+  /// Pooled CPU-queue records: one per in-flight inbound message between
+  /// network delivery and dispatch; reused so the steady-state deliver path
+  /// performs no heap allocation.
+  struct PendingDispatch {
+    net::MessagePtr msg;
+    std::uint64_t inc = 0;
+    ValidatorIndex from = 0;
+  };
+  std::deque<PendingDispatch> dispatch_pool_;
+  std::vector<std::uint32_t> dispatch_free_;
 
   // Volatile state (lost on crash, rebuilt on restart).
   std::unique_ptr<core::LeaderSchedulePolicy> policy_;
@@ -286,6 +319,10 @@ class Validator {
   /// Reused (epoch-stamped) dedup set for the retry sweep over buffered
   /// certificates' missing ancestry — no per-call unordered_set allocation.
   StampedSet<Digest> retry_seen_;
+  /// Reused scratch buffers for the ingest hot path (not reentrant: the
+  /// flush loop never nests another ingest).
+  std::vector<Digest> missing_scratch_;
+  std::vector<dag::CertPtr> ready_scratch_;
   bool fetch_timer_armed_ = false;
   std::uint32_t fetch_peer_rotation_ = 0;
   SimTime state_sync_retry_at_ = 0;  // no sync in flight when <= now

@@ -10,11 +10,9 @@ BrachaBroadcaster::BrachaBroadcaster(net::Network& network,
     : network_(network),
       committee_(committee),
       self_(self),
-      deliver_(std::move(deliver)) {
-  network_.register_handler(
-      self_, [this](ValidatorIndex from, const net::MessagePtr& msg) {
-        on_message(from, msg);
-      });
+      deliver_(std::move(deliver)),
+      voter_words_((committee.size() + 63) / 64) {
+  network_.register_sink(self_, this);
 }
 
 void BrachaBroadcaster::r_bcast(Payload payload, Round round) {
@@ -28,47 +26,68 @@ void BrachaBroadcaster::multicast(RbcPhase phase, ValidatorIndex origin,
   msg->origin = origin;
   msg->round = round;
   msg->payload = std::move(payload);
-  // Handle our own copy synchronously (loopback), then fan out.
+  // Handle our own copy synchronously (loopback), then fan out: one fanout
+  // record for the whole committee.
   handle(self_, *msg);
-  network_.broadcast(self_, msg);
+  network_.multicast(self_, std::move(msg));
 }
 
-void BrachaBroadcaster::on_message(ValidatorIndex from,
-                                   const net::MessagePtr& msg) {
-  const auto* rbc = dynamic_cast<const RbcMessage*>(msg.get());
-  if (rbc == nullptr) return;  // not ours
+void BrachaBroadcaster::deliver(ValidatorIndex from,
+                                const net::MessagePtr& msg) {
+  if (msg->kind() != net::MsgKind::Rbc) return;  // not ours
+  const auto& rbc = static_cast<const RbcMessage&>(*msg);
   // SEND must come from its claimed origin (authenticated channels).
-  if (rbc->phase == RbcPhase::Send && rbc->origin != from) return;
-  handle(from, *rbc);
+  if (rbc.phase == RbcPhase::Send && rbc.origin != from) return;
+  handle(from, rbc);
 }
 
-Stake BrachaBroadcaster::stake_of(const std::set<ValidatorIndex>& set) const {
-  Stake sum = 0;
-  for (ValidatorIndex v : set) sum += committee_.stake_of(v);
-  return sum;
+BrachaBroadcaster::Candidate& BrachaBroadcaster::candidate_for(
+    SlotState& slot, const Digest& digest, const Payload& payload) {
+  for (Candidate& c : slot.candidates)
+    if (c.digest == digest) return c;
+  Candidate& c = slot.candidates.emplace_back();
+  c.digest = digest;
+  c.payload = payload;
+  c.echo_voters.resize(voter_words_, 0);
+  c.ready_voters.resize(voter_words_, 0);
+  return c;
+}
+
+bool BrachaBroadcaster::add_voter(std::vector<std::uint64_t>& bits,
+                                  ValidatorIndex voter) {
+  const std::uint64_t mask = std::uint64_t{1} << (voter % 64);
+  std::uint64_t& word = bits[voter / 64];
+  if ((word & mask) != 0) return false;
+  word |= mask;
+  return true;
 }
 
 void BrachaBroadcaster::handle(ValidatorIndex from, const RbcMessage& m) {
   const SlotKey key{m.origin, m.round};
   SlotState& slot = slots_[key];
   if (slot.delivered) return;
+  if (from >= committee_.size()) return;
 
   const Digest digest = crypto::Sha256::hash(
       std::span<const std::uint8_t>(m.payload.data(), m.payload.size()));
-  slot.payloads.try_emplace(digest, m.payload);
+  Candidate& cand = candidate_for(slot, digest, m.payload);
 
   switch (m.phase) {
     case RbcPhase::Send:
       if (!slot.sent_echo) {
         slot.sent_echo = true;
         multicast(RbcPhase::Echo, m.origin, m.round, m.payload);
+        // `slot` and `cand` stay valid: the loopback ECHO lands in this same
+        // slot entry, and candidates never shrink while undelivered.
       }
       break;
     case RbcPhase::Echo:
-      slot.echoes[digest].insert(from);
+      if (add_voter(cand.echo_voters, from))
+        cand.echo_stake += committee_.stake_of(from);
       break;
     case RbcPhase::Ready:
-      slot.readies[digest].insert(from);
+      if (add_voter(cand.ready_voters, from))
+        cand.ready_stake += committee_.stake_of(from);
       break;
   }
   maybe_progress(key, slot);
@@ -77,32 +96,22 @@ void BrachaBroadcaster::handle(ValidatorIndex from, const RbcMessage& m) {
 void BrachaBroadcaster::maybe_progress(const SlotKey& key, SlotState& slot) {
   // READY amplification: 2f+1 echoes or f+1 readies for the same payload.
   if (!slot.sent_ready) {
-    for (const auto& [digest, voters] : slot.echoes) {
-      if (stake_of(voters) >= committee_.quorum_threshold()) {
+    for (const Candidate& c : slot.candidates) {
+      if (c.echo_stake >= committee_.quorum_threshold() ||
+          c.ready_stake >= committee_.validity_threshold()) {
         slot.sent_ready = true;
-        multicast(RbcPhase::Ready, key.origin, key.round,
-                  slot.payloads.at(digest));
-        break;
-      }
-    }
-  }
-  if (!slot.sent_ready) {
-    for (const auto& [digest, voters] : slot.readies) {
-      if (stake_of(voters) >= committee_.validity_threshold()) {
-        slot.sent_ready = true;
-        multicast(RbcPhase::Ready, key.origin, key.round,
-                  slot.payloads.at(digest));
+        multicast(RbcPhase::Ready, key.origin, key.round, c.payload);
         break;
       }
     }
   }
   // Delivery: 2f+1 readies for the same payload.
   if (!slot.delivered) {
-    for (const auto& [digest, voters] : slot.readies) {
-      if (stake_of(voters) >= committee_.quorum_threshold()) {
+    for (const Candidate& c : slot.candidates) {
+      if (c.ready_stake >= committee_.quorum_threshold()) {
         slot.delivered = true;
         ++delivered_;
-        if (deliver_) deliver_(slot.payloads.at(digest), key.round, key.origin);
+        if (deliver_) deliver_(c.payload, key.round, key.origin);
         break;
       }
     }

@@ -13,13 +13,19 @@
 // Thresholds are stake-weighted via Committee. Tolerates f Byzantine parties
 // including an equivocating origin: Agreement, Integrity and Validity hold,
 // which the rbc tests check directly against Definition 1.
+//
+// Tally layout: per (origin, round) slot, a flat vector of payload
+// candidates (normally one; an equivocating origin induces a few), each with
+// a voter bitset and an incrementally maintained stake sum per phase — the
+// same flat/stamped philosophy as common/stamped_set.h, replacing the former
+// std::map<Digest, std::set<ValidatorIndex>> tally trees (no per-message
+// node allocations, no re-summing stake on every threshold check).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "hammerhead/common/types.h"
@@ -48,11 +54,12 @@ struct RbcMessage final : net::Message {
     }
     return "rbc";
   }
+  net::MsgKind kind() const override { return net::MsgKind::Rbc; }
 };
 
-/// One reliable-broadcast endpoint. Owns the node's network handler; intended
+/// One reliable-broadcast endpoint. Owns the node's network sink; intended
 /// for dedicated RBC simulations and tests.
-class BrachaBroadcaster {
+class BrachaBroadcaster final : public net::MsgSink {
  public:
   /// r_deliver(m, r, origin)
   using DeliverFn =
@@ -67,35 +74,54 @@ class BrachaBroadcaster {
   /// Number of distinct (origin, round) slots delivered so far.
   std::size_t delivered_count() const { return delivered_; }
 
+  /// net::MsgSink — MsgKind-switched: everything but Rbc traffic is ignored.
+  void deliver(ValidatorIndex from, const net::MessagePtr& msg) override;
+
  private:
   struct SlotKey {
     ValidatorIndex origin;
     Round round;
-    auto operator<=>(const SlotKey&) const = default;
+    bool operator==(const SlotKey&) const = default;
+  };
+  struct SlotKeyHash {
+    std::size_t operator()(const SlotKey& k) const {
+      return std::hash<std::uint64_t>{}((std::uint64_t{k.origin} << 48) ^
+                                        k.round);
+    }
+  };
+  /// One candidate payload within a slot (distinct digest). Voter sets are
+  /// flat bitsets over the committee; stake sums are maintained on insert.
+  struct Candidate {
+    Digest digest;
+    Payload payload;
+    Stake echo_stake = 0;
+    Stake ready_stake = 0;
+    std::vector<std::uint64_t> echo_voters;   // n-bit set
+    std::vector<std::uint64_t> ready_voters;  // n-bit set
   };
   struct SlotState {
     bool sent_echo = false;
     bool sent_ready = false;
     bool delivered = false;
-    // Supporters per candidate payload digest (an equivocating origin can
-    // induce several candidates; thresholds apply per candidate).
-    std::map<Digest, std::set<ValidatorIndex>> echoes;
-    std::map<Digest, std::set<ValidatorIndex>> readies;
-    std::map<Digest, Payload> payloads;
+    std::vector<Candidate> candidates;  // linear scan; tiny in practice
   };
 
-  void on_message(ValidatorIndex from, const net::MessagePtr& msg);
   void handle(ValidatorIndex from, const RbcMessage& m);
   void multicast(RbcPhase phase, ValidatorIndex origin, Round round,
                  Payload payload);
-  Stake stake_of(const std::set<ValidatorIndex>& set) const;
+  Candidate& candidate_for(SlotState& slot, const Digest& digest,
+                           const Payload& payload);
+  /// Record `voter` in the candidate's phase bitset; returns true (and adds
+  /// stake) only on the first vote from that validator.
+  bool add_voter(std::vector<std::uint64_t>& bits, ValidatorIndex voter);
   void maybe_progress(const SlotKey& key, SlotState& slot);
 
   net::Network& network_;
   const crypto::Committee& committee_;
   ValidatorIndex self_;
   DeliverFn deliver_;
-  std::map<SlotKey, SlotState> slots_;
+  std::size_t voter_words_;
+  std::unordered_map<SlotKey, SlotState, SlotKeyHash> slots_;
   std::size_t delivered_ = 0;
 };
 

@@ -1,24 +1,246 @@
 #include "hammerhead/sim/simulator.h"
 
+#include <algorithm>
+#include <bit>
+
 namespace hammerhead::sim {
 
-bool Simulator::step(SimTime deadline) {
-  while (!heap_.empty()) {
-    const Event& top = heap_.top();
-    if (!cancelled_.empty() && cancelled_.erase(top.seq) > 0) {
-      heap_.pop();
-      continue;
-    }
-    if (top.time > deadline) return false;
-    Action action = std::move(top.action);
-    now_ = top.time;
-    pending_ids_.erase(top.seq);
-    heap_.pop();
-    ++executed_;
-    action();
-    return true;
+// ------------------------------------------------------------------- slab
+
+std::uint32_t Simulator::acquire_slot() {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slots_.size() == slots_.capacity()) ++stats_.engine_allocs;
+    slots_.emplace_back();
+    slot = static_cast<std::uint32_t>(slots_.size() - 1);
   }
-  return false;
+  slots_[slot].live = true;
+  ++live_events_;
+  return slot;
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.live = false;
+  ++s.gen;  // every reference to this slot incarnation is now stale
+  s.action = nullptr;
+  s.raw = nullptr;
+  s.ctx = nullptr;
+  --live_events_;
+  push_tracked(free_slots_, slot);
+}
+
+// --------------------------------------------------------------- schedule
+
+void Simulator::enqueue(SimTime when, std::uint64_t seq, std::uint32_t slot) {
+  const Ref ref{when, seq, slot, slots_[slot].gen};
+  if (when == now_ && cursor_time_ > when) {
+    // The drain cursor already passed this tick: the event joins the batch
+    // currently being executed (its seq is greater than the executing
+    // event's, so ordered insertion keeps the (time, seq) total order).
+    if (batch_pos_ == batch_.size()) {
+      batch_.clear();
+      batch_pos_ = 0;
+    }
+    HH_ASSERT(batch_pos_ == batch_.size() || batch_time_ == when);
+    batch_time_ = when;
+    auto it = std::lower_bound(
+        batch_.begin() + static_cast<std::ptrdiff_t>(batch_pos_), batch_.end(),
+        seq, [](const Ref& r, std::uint64_t s) { return r.seq < s; });
+    if (batch_.size() == batch_.capacity()) ++stats_.engine_allocs;
+    batch_.insert(it, ref);
+    return;
+  }
+  if (when < cursor_time_ + static_cast<SimTime>(kWheelTicks)) {
+    HH_ASSERT(when >= cursor_time_);
+    auto& bucket = buckets_[static_cast<std::size_t>(when) & kWheelMask];
+    push_tracked(bucket, ref);
+    occupied_[(static_cast<std::size_t>(when) & kWheelMask) >> 6] |=
+        1ull << (static_cast<std::size_t>(when) & 63);
+    ++wheel_count_;
+    if (when < wheel_min_) wheel_min_ = when;
+    return;
+  }
+  push_tracked(heap_, ref);
+  std::push_heap(heap_.begin(), heap_.end(), &Simulator::heap_later);
+}
+
+std::uint64_t Simulator::schedule_at(SimTime when, Action action) {
+  HH_ASSERT_MSG(when >= now_,
+                "schedule_at in the past: " << when << " < " << now_);
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].action = std::move(action);
+  const std::uint64_t seq = next_seq_++;
+  enqueue(when, seq, slot);
+  return (static_cast<std::uint64_t>(slots_[slot].gen) << 32) | slot;
+}
+
+std::uint64_t Simulator::schedule_raw_keyed(SimTime when, std::uint64_t seq,
+                                            RawFn fn, void* ctx,
+                                            std::uint64_t arg) {
+  HH_ASSERT_MSG(when >= now_,
+                "schedule_at in the past: " << when << " < " << now_);
+  HH_ASSERT_MSG(seq < next_seq_, "order key " << seq << " was never reserved");
+  HH_ASSERT(fn != nullptr);
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.raw = fn;
+  s.ctx = ctx;
+  s.arg = arg;
+  enqueue(when, seq, slot);
+  return (static_cast<std::uint64_t>(s.gen) << 32) | slot;
+}
+
+// ----------------------------------------------------------------- cancel
+
+void Simulator::cancel(std::uint64_t id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen) return;  // fired / cancelled / never existed
+  release_slot(slot);  // gen bump: every queued Ref to it is now stale
+  ++cancelled_pending_;
+  maybe_compact();
+}
+
+void Simulator::maybe_compact() {
+  // Lazy deletion keeps cancel O(1); a sweep bounds the stale-ref backlog by
+  // max(live, threshold) so schedule/cancel storms run in O(1) memory.
+  if (cancelled_pending_ <= 1024 || cancelled_pending_ <= live_events_) return;
+
+  auto is_stale = [this](const Ref& r) { return stale(r); };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), is_stale),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), &Simulator::heap_later);
+  for (std::size_t w = 0; w < occupied_.size(); ++w) {
+    std::uint64_t word = occupied_[w];
+    while (word != 0) {
+      const std::size_t bit = static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      auto& bucket = buckets_[(w << 6) | bit];
+      const std::size_t before = bucket.size();
+      bucket.erase(std::remove_if(bucket.begin(), bucket.end(), is_stale),
+                   bucket.end());
+      wheel_count_ -= before - bucket.size();
+      if (bucket.empty()) occupied_[w] &= ~(1ull << bit);
+    }
+  }
+  batch_.erase(std::remove_if(batch_.begin() +
+                                  static_cast<std::ptrdiff_t>(batch_pos_),
+                              batch_.end(), is_stale),
+               batch_.end());
+  cancelled_pending_ = 0;
+}
+
+// ------------------------------------------------------------------ drain
+
+SimTime Simulator::next_bucket_tick() {
+  if (wheel_count_ == 0) {
+    wheel_min_ = kSimTimeNever;
+    return kSimTimeNever;
+  }
+  // Start the scan at the min-tick lower bound rather than the cursor: after
+  // a drain the bound is stale by exactly the drained tick, so this stays a
+  // few words at most.
+  const SimTime from = std::max(cursor_time_, wheel_min_);
+  const std::size_t start = static_cast<std::size_t>(from) & kWheelMask;
+  // Scan the occupancy bitmap from the cursor's ring position, wrapping once;
+  // ring position p holds absolute tick cursor_time_ + ((p - start) & mask).
+  std::size_t w = start >> 6;
+  std::uint64_t word = occupied_[w] & (~0ull << (start & 63));
+  for (std::size_t scanned = 0; scanned <= occupied_.size(); ++scanned) {
+    if (word != 0) {
+      const std::size_t p =
+          (w << 6) | static_cast<std::size_t>(std::countr_zero(word));
+      const SimTime tick = from + static_cast<SimTime>((p - start) & kWheelMask);
+      wheel_min_ = tick;
+      return tick;
+    }
+    w = (w + 1) % occupied_.size();
+    word = occupied_[w];
+    if (w == (start >> 6)) word &= ~(~0ull << (start & 63));  // wrapped tail
+  }
+  return kSimTimeNever;
+}
+
+bool Simulator::form_batch(SimTime deadline) {
+  const SimTime bucket_tick = next_bucket_tick();
+  // Reap stale heap tops eagerly while peeking.
+  while (!heap_.empty() && stale(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), &Simulator::heap_later);
+    heap_.pop_back();
+    --cancelled_pending_;
+  }
+  const SimTime heap_tick = heap_.empty() ? kSimTimeNever : heap_.front().time;
+  const SimTime t = std::min(bucket_tick, heap_tick);
+  if (t == kSimTimeNever || t > deadline) return false;
+
+  batch_.clear();
+  batch_pos_ = 0;
+  batch_time_ = t;
+  if (bucket_tick == t) {
+    auto& bucket = buckets_[static_cast<std::size_t>(t) & kWheelMask];
+    for (const Ref& r : bucket) {
+      if (batch_.size() == batch_.capacity()) ++stats_.engine_allocs;
+      batch_.push_back(r);
+    }
+    wheel_count_ -= bucket.size();
+    bucket.clear();  // keeps capacity; steady state re-fills without allocs
+    occupied_[(static_cast<std::size_t>(t) & kWheelMask) >> 6] &=
+        ~(1ull << (static_cast<std::size_t>(t) & 63));
+  }
+  while (!heap_.empty() && heap_.front().time == t) {
+    if (batch_.size() == batch_.capacity()) ++stats_.engine_allocs;
+    batch_.push_back(heap_.front());
+    std::pop_heap(heap_.begin(), heap_.end(), &Simulator::heap_later);
+    heap_.pop_back();
+  }
+  if (batch_.size() > 1)
+    std::sort(batch_.begin(), batch_.end(),
+              [](const Ref& a, const Ref& b) { return a.seq < b.seq; });
+  cursor_time_ = t + 1;
+  ++stats_.batches;
+  return true;
+}
+
+void Simulator::fire(const Ref& r) {
+  Slot& s = slots_[r.slot];
+  const RawFn fn = s.raw;
+  void* ctx = s.ctx;
+  const std::uint64_t arg = s.arg;
+  Action action;
+  if (fn == nullptr) action = std::move(s.action);
+  release_slot(r.slot);  // before running: the action may reuse the slot
+  ++stats_.executed;
+  if (fn != nullptr) {
+    ++stats_.raw_events;
+    fn(ctx, arg);
+  } else {
+    ++stats_.callback_events;
+    action();
+  }
+}
+
+bool Simulator::step(SimTime deadline) {
+  for (;;) {
+    while (batch_pos_ < batch_.size()) {
+      if (batch_time_ > deadline) return false;
+      const Ref r = batch_[batch_pos_];
+      ++batch_pos_;
+      if (stale(r)) {
+        --cancelled_pending_;
+        continue;
+      }
+      now_ = batch_time_;
+      fire(r);
+      return true;
+    }
+    if (!form_batch(deadline)) return false;
+  }
 }
 
 std::uint64_t Simulator::run_until(SimTime deadline) {

@@ -1,23 +1,39 @@
-// Deterministic discrete-event simulator.
+// Deterministic discrete-event simulator — batched slab engine.
 //
 // All protocol activity (message delivery, timeouts, CPU work completion,
-// client arrivals) is an event on a single priority queue ordered by
-// (time, sequence-number). The sequence number makes simultaneous events
-// fire in scheduling order, so a seeded run is bit-for-bit reproducible —
-// the property tests rely on this to replay adversarial executions.
+// client arrivals) is an event ordered by (time, sequence-number). The
+// sequence number makes simultaneous events fire in scheduling order, so a
+// seeded run is bit-for-bit reproducible — the property tests rely on this
+// to replay adversarial executions.
 //
-// Performance note: a 100-validator geo run delivers tens of thousands of
-// messages per simulated round, so the hot path (schedule + pop) keeps
-// per-event bookkeeping to one u64 hash-set insert and erase — the pending-id
-// set that makes cancel() exact: cancelling an already-fired or unknown id is
-// a true no-op (no state retained), so long-running simulations cannot leak
-// through timer races.
+// Engine layout (the hot path runs tens of thousands of times per simulated
+// round, so per-event bookkeeping is allocation-free in steady state):
+//
+//  * Event slots live in a pooled slab and are generation-stamped: an event
+//    id is (generation << 32 | slot). cancel() bumps the slot generation and
+//    frees the slot — O(1), no hash sets; stale references left in the queue
+//    structures are skipped (and reaped) when encountered. A compaction
+//    sweep keeps the number of stale references bounded by the number of
+//    live events, so schedule/cancel storms run in O(1) memory.
+//  * Two-tier time wheel: events within kWheelTicks microseconds of the
+//    drain cursor go to exact per-microsecond buckets (O(1) insert, found
+//    again via an occupancy bitmap); events farther out go to a min-heap of
+//    24-byte POD refs. No migration between tiers is needed for
+//    correctness: the next batch is the minimum of the next occupied bucket
+//    and the heap top.
+//  * Draining pops ALL events of the next timestamp as one batch, sorted by
+//    seq — the (time, seq) total order is exactly the legacy single-heap
+//    order, which the determinism/property tests replay.
+//  * Two event kinds: an arbitrary std::function action (timers; may
+//    allocate to store captures) and a raw (function-pointer, context, arg)
+//    event — the allocation-free path the network's message fabric uses.
+//    reserve_seq()/schedule_raw_keyed() let the network pre-assign order
+//    keys for multicast fan-out so one live timer can stand in for n
+//    per-recipient heap entries without changing the delivery order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "hammerhead/common/assert.h"
@@ -26,9 +42,25 @@
 
 namespace hammerhead::sim {
 
+/// Engine-internal instrumentation, exported as monitor gauges and bench
+/// JSON columns by the harness.
+struct SimStats {
+  std::uint64_t executed = 0;         // events fired
+  std::uint64_t raw_events = 0;       // fired via the raw (pooled) path
+  std::uint64_t callback_events = 0;  // fired via std::function actions
+  /// Heap allocations performed by the engine's own structures (slab/bucket/
+  /// heap/batch capacity growth). Zero per event in steady state; the
+  /// std::function storage of callback events is accounted by
+  /// callback_events, not here.
+  std::uint64_t engine_allocs = 0;
+  std::uint64_t batches = 0;  // distinct timestamps drained
+};
+
 class Simulator {
  public:
   using Action = std::function<void()>;
+  /// Raw event: no captures, no allocation. `arg` is caller-owned context.
+  using RawFn = void (*)(void* ctx, std::uint64_t arg);
 
   explicit Simulator(std::uint64_t seed) : rng_(seed) {}
 
@@ -43,22 +75,33 @@ class Simulator {
   }
 
   /// Schedule at an absolute simulated time (>= now()).
-  std::uint64_t schedule_at(SimTime when, Action action) {
-    HH_ASSERT_MSG(when >= now_,
-                  "schedule_at in the past: " << when << " < " << now_);
-    const std::uint64_t id = next_seq_++;
-    heap_.push(Event{when, id, std::move(action)});
-    pending_ids_.insert(id);
-    return id;
+  std::uint64_t schedule_at(SimTime when, Action action);
+
+  /// Allocation-free scheduling: `fn(ctx, arg)` fires at `when`.
+  std::uint64_t schedule_raw_at(SimTime when, RawFn fn, void* ctx,
+                                std::uint64_t arg) {
+    return schedule_raw_keyed(when, next_seq_++, fn, ctx, arg);
   }
+
+  /// Reserve the next (time, seq) order key without scheduling anything.
+  /// Pair with schedule_raw_keyed(): the network reserves one seq per
+  /// multicast recipient at send time, then keeps a single live event that
+  /// re-keys itself through the reserved sequence — the delivery order is
+  /// bit-identical to scheduling n independent events at send time.
+  std::uint64_t reserve_seq() { return next_seq_++; }
+
+  /// Schedule a raw event under a previously reserved order key. `seq` must
+  /// come from reserve_seq() (i.e. be below the current counter); events at
+  /// the executing timestamp must carry a seq greater than the event that
+  /// schedules them.
+  std::uint64_t schedule_raw_keyed(SimTime when, std::uint64_t seq, RawFn fn,
+                                   void* ctx, std::uint64_t arg);
 
   /// Cancel a pending event. Cancelling an already-fired, already-cancelled
   /// or unknown id is a true no-op (timer races are normal in the protocol
-  /// layer) — in particular it retains no state, so repeated stale cancels
-  /// cannot grow memory.
-  void cancel(std::uint64_t id) {
-    if (pending_ids_.erase(id) > 0) cancelled_.insert(id);
-  }
+  /// layer) — the slot generation check rejects stale ids without retaining
+  /// any state, so repeated stale cancels cannot grow memory.
+  void cancel(std::uint64_t id);
 
   /// Run until the queue drains or simulated time would exceed `deadline`,
   /// whichever is first. Time ends at min(deadline, last event time).
@@ -72,33 +115,109 @@ class Simulator {
   /// Returns false if there is none.
   bool step(SimTime deadline = kSimTimeNever);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending_events() const { return heap_.size(); }
-  std::uint64_t executed_events() const { return executed_; }
-  /// Cancelled events that have not been reaped from the queue yet (bounded
-  /// by pending_events(); exposed for the cancel-leak regression test).
-  std::size_t cancelled_pending() const { return cancelled_.size(); }
+  bool empty() const { return live_events_ == 0; }
+  std::size_t pending_events() const { return live_events_; }
+  std::uint64_t executed_events() const { return stats_.executed; }
+  /// Cancelled events whose queue references have not been reaped yet
+  /// (bounded by pending_events() + compaction threshold; exposed for the
+  /// cancel-leak regression tests).
+  std::size_t cancelled_pending() const { return cancelled_pending_; }
+  /// Slots currently allocated in the slab (high-water mark of concurrently
+  /// pending events; the cancel-storm test asserts this stays O(live)).
+  std::size_t slab_slots() const { return slots_.size(); }
+  std::uint64_t engine_allocs() const { return stats_.engine_allocs; }
+  const SimStats& stats() const { return stats_; }
 
  private:
-  struct Event {
+  // Near-tier wheel geometry: exact 1-microsecond buckets covering
+  // [cursor_time_, cursor_time_ + kWheelTicks). 2^13 us (~8.2 ms) keeps the
+  // whole bucket array (~200 KB) cache-resident, which empirically beats
+  // wider horizons: CPU completions, egress spacing, fanout re-keys and
+  // timer cascades (microseconds-to-milliseconds apart) insert at O(1) into
+  // hot memory, while WAN first-arrivals and protocol timers ride the far
+  // heap, which stays small (in-flight fanouts, not per-recipient events).
+  static constexpr std::uint32_t kWheelBits = 13;
+  static constexpr std::uint32_t kWheelTicks = 1u << kWheelBits;  // ~8.2 ms
+  static constexpr std::uint32_t kWheelMask = kWheelTicks - 1;
+
+  struct Slot {
+    Action action;          // callback events only; empty otherwise
+    RawFn raw = nullptr;    // raw events only
+    void* ctx = nullptr;
+    std::uint64_t arg = 0;
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
+
+  /// Queue reference: POD, 24 bytes. Stale when slots_[slot].gen != gen.
+  struct Ref {
     SimTime time;
     std::uint64_t seq;
-    mutable Action action;  // moved out on pop (top() returns const&)
-
-    // Min-heap on (time, seq).
-    bool operator<(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
+
+  /// Min-heap order on (time, seq) for the far tier ("a sorts after b").
+  static bool heap_later(const Ref& a, const Ref& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  bool stale(const Ref& r) const {
+    const Slot& s = slots_[r.slot];
+    return !s.live || s.gen != r.gen;
+  }
+  void enqueue(SimTime when, std::uint64_t seq, std::uint32_t slot);
+  /// Find (and form) the next same-timestamp batch at or before `deadline`.
+  bool form_batch(SimTime deadline);
+  /// Earliest occupied bucket tick in the wheel window, or kSimTimeNever.
+  SimTime next_bucket_tick();
+  void fire(const Ref& r);
+  /// Drop stale refs from every structure once they outnumber live events.
+  void maybe_compact();
+
+  /// push_back with engine-alloc accounting (capacity growth = one alloc).
+  template <typename T>
+  void push_tracked(std::vector<T>& v, const T& x) {
+    if (v.size() == v.capacity()) ++stats_.engine_allocs;
+    v.push_back(x);
+  }
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t executed_ = 0;
   Rng rng_;
-  std::priority_queue<Event> heap_;
-  std::unordered_set<std::uint64_t> pending_ids_;  // ids still in the heap
-  std::unordered_set<std::uint64_t> cancelled_;    // pending but cancelled
+
+  // Slab.
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_events_ = 0;
+  std::size_t cancelled_pending_ = 0;  // stale refs not yet reaped
+
+  // Near tier: per-microsecond buckets + occupancy bitmap.
+  std::vector<std::vector<Ref>> buckets_ =
+      std::vector<std::vector<Ref>>(kWheelTicks);
+  std::vector<std::uint64_t> occupied_ =
+      std::vector<std::uint64_t>(kWheelTicks / 64, 0);
+  /// Next tick the drain cursor has not passed yet. All bucketed refs have
+  /// time in [cursor_time_, cursor_time_ + kWheelTicks).
+  SimTime cursor_time_ = 0;
+  std::size_t wheel_count_ = 0;  // refs currently in buckets
+  /// Lower bound on the earliest bucketed tick (exact after every insert,
+  /// conservative after drains) — the occupancy scan starts here instead of
+  /// walking empty words up from the cursor.
+  SimTime wheel_min_ = kSimTimeNever;
+
+  // Far tier: min-heap on (time, seq).
+  std::vector<Ref> heap_;
+
+  // Current same-timestamp batch, sorted by seq, drained front to back.
+  std::vector<Ref> batch_;
+  std::size_t batch_pos_ = 0;
+  SimTime batch_time_ = 0;
+
+  SimStats stats_;
 };
 
 }  // namespace hammerhead::sim

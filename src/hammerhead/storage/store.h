@@ -10,15 +10,16 @@
 // accounting so tests can assert on durability behaviour.
 #pragma once
 
+#include <algorithm>
 #include <any>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <typeindex>
 #include <unordered_map>
+#include <vector>
 
 #include "hammerhead/common/assert.h"
 
@@ -30,8 +31,24 @@ struct StoreStats {
   std::uint64_t erases = 0;
 };
 
+/// Hash for table keys: arithmetic types, strings, and (nested) pairs of
+/// them — the schema key shapes the node layer uses.
+struct TableKeyHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    return (*this)(p.first) * 0x9e3779b97f4a7c15ull + (*this)(p.second);
+  }
+  template <typename T>
+  std::size_t operator()(const T& v) const {
+    return std::hash<T>{}(v);
+  }
+};
+
 /// An ordered typed table (think RocksDB column family). Ordered iteration is
-/// part of the contract: recovery replays certificates in round order.
+/// part of the contract: recovery replays certificates in round order. The
+/// backing store is a hash map — put/get sit on the per-message durability
+/// hot path and must stay O(1) as the table grows over a long run — and the
+/// (rare: recovery, tooling) ordered scans sort a key snapshot on demand.
 template <typename K, typename V>
 class Table {
  public:
@@ -61,18 +78,27 @@ class Table {
 
   /// In-order scan (ascending by key).
   void for_each(const std::function<void(const K&, const V&)>& fn) const {
-    for (const auto& [k, v] : map_) fn(k, v);
+    std::vector<const typename Map::value_type*> entries;
+    entries.reserve(map_.size());
+    for (const auto& kv : map_) entries.push_back(&kv);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    for (const auto* kv : entries) fn(kv->first, kv->second);
   }
 
   std::optional<K> last_key() const {
     if (map_.empty()) return std::nullopt;
-    return map_.rbegin()->first;
+    const K* best = nullptr;
+    for (const auto& [k, v] : map_)
+      if (best == nullptr || *best < k) best = &k;
+    return *best;
   }
 
   void clear() { map_.clear(); }
 
  private:
-  std::map<K, V> map_;
+  using Map = std::unordered_map<K, V, TableKeyHash>;
+  Map map_;
   StoreStats& stats_;
 };
 

@@ -252,5 +252,73 @@ TEST(Network, StatsCountTraffic) {
   EXPECT_EQ(f.net.stats().bytes_sent, 750u);
 }
 
+// ------------------------------------------------- multicast fabric / sinks
+
+TEST(Network, MulticastToExplicitRecipients) {
+  Fixture f;
+  f.net.multicast(0, make_msg(5), {1, 3});
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  for (const auto& d : f.deliveries) {
+    EXPECT_TRUE(d.to == 1 || d.to == 3);
+    EXPECT_EQ(d.value, 5);
+  }
+}
+
+TEST(Network, MulticastSkipsSenderAndOutOfRange) {
+  Fixture f;
+  f.net.multicast(2, make_msg(7), {2, 9, 1});
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].to, 1u);
+}
+
+TEST(Network, MulticastSharesOneFanoutRecord) {
+  Fixture f;
+  f.net.broadcast(0, make_msg(9));
+  EXPECT_EQ(f.net.stats().fanouts_active, 1u);  // one record, three arrivals
+  f.sim.run_to_completion();
+  EXPECT_EQ(f.deliveries.size(), 3u);
+  EXPECT_EQ(f.net.stats().fanouts_active, 0u);
+  EXPECT_EQ(f.net.stats().fanouts_pooled, 1u);  // recycled, not freed
+  f.net.broadcast(1, make_msg(10));
+  EXPECT_EQ(f.net.stats().fanouts_active, 1u);
+  EXPECT_EQ(f.net.stats().fanouts_pooled, 0u);  // reused the pooled record
+  f.sim.run_to_completion();
+  EXPECT_EQ(f.deliveries.size(), 6u);
+}
+
+TEST(Network, SinkInterfaceDeliversLikeHandlers) {
+  struct RecordingSink final : MsgSink {
+    std::vector<int> values;
+    void deliver(ValidatorIndex, const MessagePtr& msg) override {
+      values.push_back(value_of(msg));
+    }
+  };
+  sim::Simulator sim(1);
+  Network net(sim, std::make_unique<UniformLatencyModel>(millis(5), millis(5)),
+              NetConfig{}, 4);
+  RecordingSink sink;
+  net.register_sink(1, &sink);
+  net.send(0, 1, make_msg(11));
+  net.broadcast(3, make_msg(12));
+  sim.run_to_completion();
+  ASSERT_EQ(sink.values.size(), 2u);
+  EXPECT_EQ(sink.values[0], 11);
+  EXPECT_EQ(sink.values[1], 12);
+}
+
+TEST(Network, MulticastRespectsPartitionPerRecipient) {
+  Fixture f;
+  f.net.partition({0, 1});
+  f.net.broadcast(0, make_msg(13));  // 1 same side; 2, 3 across
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].to, 1u);
+  f.net.heal();
+  f.sim.run_to_completion();
+  EXPECT_EQ(f.deliveries.size(), 3u);
+}
+
 }  // namespace
 }  // namespace hammerhead::net
