@@ -153,6 +153,9 @@ int main() {
       JsonReport::instance().row(
           rule_name + "_" + harness::policy_name(policy),
           {{"throughput_tps", r.throughput_tps},
+           // Run context so the regression gate only compares like modes.
+           {"duration_s", r.duration_s},
+           {"offered_load_tps", r.offered_load_tps},
            {"avg_latency_s", r.avg_latency_s},
            {"p50_latency_s", r.p50_latency_s},
            {"p95_latency_s", r.p95_latency_s},

@@ -20,7 +20,8 @@ int main() {
   const auto r = harness::run_experiment(cfg);
   std::cout << "n=" << n << "  events=" << r.sim_events
             << "  wall_s=" << r.wall_seconds
-            << "  events/s=" << static_cast<std::uint64_t>(r.events_per_sec_wall)
+            << "  events/s="
+            << static_cast<std::uint64_t>(r.events_per_sec_wall)
             << "  allocs/event=" << r.allocs_per_event
             << "  tput=" << r.throughput_tps << " tx/s"
             << "  commits=" << r.committed_anchors << "\n";
@@ -31,6 +32,9 @@ int main() {
        {"events_per_sec_wall", r.events_per_sec_wall},
        {"allocs_per_event", r.allocs_per_event},
        {"throughput_tps", r.throughput_tps},
+       // Run context for the regression gate (quick vs full mode).
+       {"duration_s", r.duration_s},
+       {"offered_load_tps", r.offered_load_tps},
        {"committed_anchors", static_cast<double>(r.committed_anchors)}});
 
   if (!quick_mode()) {

@@ -8,7 +8,12 @@
 //   * HammerHead: no visible throughput degradation, at most ~0.5 s latency
 //     increase — up to 2x latency reduction and 40% throughput gain over
 //     Bullshark at 100 validators (claims C2, C3).
+//
+// Beyond the paper's crash grid, this bench surfaces the scenario library:
+// a healing minority partition window and validator churn (repeated
+// crash/recover cycles with state-sync re-entry), at the same loads.
 #include "bench_util.h"
+#include "hammerhead/harness/sweep.h"
 
 using namespace hammerhead;
 using namespace hammerhead::bench;
@@ -38,6 +43,27 @@ int main() {
       for (double load : loads) {
         auto cfg = paper_config(n, load, faults, policy);
         print_run("n=" + std::to_string(n), harness::run_experiment(cfg));
+      }
+    }
+  }
+
+  // Scenario library: the same committees under a healing minority
+  // partition and under validator churn, instead of permanent crashes.
+  const std::vector<harness::FaultScenario> scenarios = {
+      harness::scenario_partition(), harness::scenario_churn()};
+  const std::size_t scenario_n = 10;
+  const std::vector<double> scenario_loads =
+      quick_mode() ? std::vector<double>{1'500}
+                   : std::vector<double>{500, 1'500, 2'500};
+  for (const auto& scenario : scenarios) {
+    for (auto policy :
+         {harness::PolicyKind::HammerHead, harness::PolicyKind::RoundRobin}) {
+      print_header(std::string(harness::policy_name(policy)) + " - " +
+                   std::to_string(scenario_n) + " nodes, " + scenario.name);
+      for (double load : scenario_loads) {
+        auto cfg = paper_config(scenario_n, load, /*faults=*/0, policy);
+        scenario.apply(cfg);
+        print_run("fault=" + scenario.name, harness::run_experiment(cfg));
       }
     }
   }

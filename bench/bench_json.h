@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "hammerhead/common/json_writer.h"
+
 namespace hammerhead::bench {
 
 class JsonReport {
@@ -37,18 +39,11 @@ class JsonReport {
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       std::fprintf(f, "%s\n  {\"label\": \"%s\", \"metrics\": {",
-                   i == 0 ? "" : ",", escaped(r.label).c_str());
-      for (std::size_t m = 0; m < r.metrics.size(); ++m) {
-        std::fprintf(f, "%s\"%s\": ", m == 0 ? "" : ", ",
-                     escaped(r.metrics[m].first).c_str());
-        // Count-valued metrics stay exact integers in the artifacts;
-        // %.17g round-trips the rest.
-        const double v = r.metrics[m].second;
-        if (v == static_cast<double>(static_cast<long long>(v)))
-          std::fprintf(f, "%lld", static_cast<long long>(v));
-        else
-          std::fprintf(f, "%.17g", v);
-      }
+                   i == 0 ? "" : ",", hammerhead::json_escape(r.label).c_str());
+      for (std::size_t m = 0; m < r.metrics.size(); ++m)
+        hammerhead::write_json_metric(f, m == 0,
+                                      r.metrics[m].first.c_str(),
+                                      r.metrics[m].second);
       std::fprintf(f, "}}");
     }
     std::fprintf(f, "\n]}\n");
@@ -61,16 +56,6 @@ class JsonReport {
     std::string label;
     std::vector<std::pair<std::string, double>> metrics;
   };
-
-  static std::string escaped(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  }
 
   std::string name_;
   std::vector<Row> rows_;

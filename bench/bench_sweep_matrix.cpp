@@ -1,0 +1,113 @@
+// One-invocation fig1+fig2-style grid: 2 policies x 3 fault scenarios
+// (partition, churn, churn-deep) x 2 committee sizes x 3 seeds = 36
+// cells, executed by the parallel sweep driver (harness/sweep.h).
+// Per-cell results are bit-identical at any --jobs count (deterministic
+// splitmix seed derivation + one Simulator per run); pass --verify to
+// prove it in-process against a --jobs=1 rerun.
+//
+// Output: BENCH_sweep_matrix.json with per-cell throughput/p50/p95/p99/
+// commits plus cross-seed mean/stddev rows — the artifact the CI
+// bench-regression gate (tools/bench_compare.py) diffs against
+// bench/results/.
+#include <cstring>
+#include <iomanip>
+#include <thread>
+
+#include "bench_util.h"
+#include "hammerhead/harness/sweep.h"
+
+using namespace hammerhead;
+using namespace hammerhead::bench;
+
+int main(int argc, char** argv) {
+  std::size_t jobs = std::min<std::size_t>(
+      8, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  bool verify = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+      jobs = static_cast<std::size_t>(std::strtoul(argv[i] + 7, nullptr, 10));
+    else if (std::strcmp(argv[i], "--verify") == 0)
+      verify = true;
+  }
+  if (jobs == 0) jobs = 1;
+
+  harness::SweepSpec spec;
+  spec.name = "matrix";
+  spec.base = paper_config(10, 2'000, /*faults=*/0,
+                           harness::PolicyKind::HammerHead);
+  spec.base.duration = bench_duration(seconds(30));
+  spec.base.warmup = std::min<SimTime>(seconds(10), spec.base.duration / 3);
+  spec.policies = {harness::PolicyKind::HammerHead,
+                   harness::PolicyKind::RoundRobin};
+  spec.committee_sizes = {10, 20};
+  spec.seeds = {1, 2, 3};
+  spec.scenarios = {harness::scenario_partition(), harness::scenario_churn(),
+                    harness::scenario_churn_deep()};
+
+  std::cout << "Sweep matrix: " << spec.policies.size() << " policies x "
+            << spec.committee_sizes.size() << " committee sizes x "
+            << spec.scenarios.size() << " fault scenarios x "
+            << spec.seeds.size() << " seeds, jobs=" << jobs << "\n";
+  std::cout << std::string(44, ' ') << harness::result_header() << std::endl;
+
+  harness::SweepOptions options;
+  options.jobs = jobs;
+  options.on_cell = [](const harness::SweepCell& cell,
+                       const harness::ExperimentResult& r) {
+    std::ostringstream tag;
+    tag << std::left << std::setw(44) << cell.label;
+    std::cout << tag.str() << harness::result_row(r) << std::endl;
+  };
+  const harness::SweepResult sweep = harness::run_sweep(spec, options);
+  for (const std::string& err : sweep.errors)
+    std::cout << "CELL FAILED: " << err << "\n";
+
+  std::cout << "\n--- cross-seed aggregates ---\n";
+  for (const auto& g : sweep.groups) {
+    std::ostringstream line;
+    line << std::left << std::setw(44) << g.label << std::right << std::fixed
+         << std::setprecision(0) << std::setw(8) << g.throughput_mean
+         << " +/- " << std::setw(5) << g.throughput_stddev << " tps   p95 "
+         << std::setprecision(2) << g.p95_mean << " s   anchors "
+         << std::setprecision(0) << g.committed_anchors_mean;
+    std::cout << line.str() << std::endl;
+  }
+  const double cells_per_s =
+      sweep.wall_seconds > 0
+          ? static_cast<double>(sweep.cells.size()) / sweep.wall_seconds
+          : 0;
+  std::cout << "\n" << sweep.cells.size() << " cells in " << std::fixed
+            << std::setprecision(2) << sweep.wall_seconds << " s wall ("
+            << cells_per_s << " cells/s, jobs=" << sweep.jobs << ")\n";
+
+  const std::string path = harness::write_sweep_json(sweep);
+  std::cout << "wrote " << path << " (" << sweep.cells.size() << " cells, "
+            << sweep.groups.size() << " aggregate rows)\n";
+
+  if (verify) {
+    std::cout << "\nverify: rerunning at --jobs=1 ...\n";
+    harness::SweepOptions serial;
+    serial.jobs = 1;
+    const harness::SweepResult reference = harness::run_sweep(spec, serial);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+      if (harness::deterministic_signature(sweep.results[i]) !=
+          harness::deterministic_signature(reference.results[i])) {
+        ++mismatches;
+        std::cout << "MISMATCH at " << sweep.cells[i].label << "\n";
+      }
+    }
+    std::cout << (mismatches == 0 ? "verify OK: " : "verify FAILED: ")
+              << sweep.results.size() - mismatches << "/"
+              << sweep.results.size() << " cells bit-identical; speedup "
+              << std::setprecision(2)
+              << (sweep.wall_seconds > 0
+                      ? reference.wall_seconds / sweep.wall_seconds
+                      : 0)
+              << "x over jobs=1\n";
+    if (mismatches != 0) return 1;
+  }
+  return sweep.errors.empty() ? 0 : 1;
+}

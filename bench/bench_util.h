@@ -55,6 +55,10 @@ inline void print_run(const std::string& tag,
   std::cout << tag << "  " << harness::result_row(r) << std::endl;
   JsonReport::instance().row(
       tag, {{"throughput_tps", r.throughput_tps},
+            // Run context, so the regression gate only compares rows
+            // produced under the same settings (quick vs full mode).
+            {"duration_s", r.duration_s},
+            {"offered_load_tps", r.offered_load_tps},
             {"avg_latency_s", r.avg_latency_s},
             {"p50_latency_s", r.p50_latency_s},
             {"p95_latency_s", r.p95_latency_s},

@@ -1,0 +1,38 @@
+// Shared formatting for the machine-readable BENCH_*.json artifacts.
+// Both writers — bench/bench_json.h (figure benches) and
+// harness/sweep.cpp (sweep grids) — emit rows of named numeric metrics
+// that tools/bench_compare.py parses uniformly; keeping the escaping and
+// number formatting here guarantees they cannot drift apart.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace hammerhead {
+
+/// Minimal JSON string escaping (quotes and backslashes; labels are ASCII).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Write one `"key": value` pair. Count-valued metrics stay exact integers
+/// in the artifacts; %.17g round-trips the rest. The magnitude guard keeps
+/// the long long cast defined.
+inline void write_json_metric(std::FILE* f, bool first, const char* key,
+                              double value) {
+  std::fprintf(f, "%s\"%s\": ", first ? "" : ", ", key);
+  if (std::abs(value) < 9.0e15 &&
+      value == static_cast<double>(static_cast<long long>(value)))
+    std::fprintf(f, "%lld", static_cast<long long>(value));
+  else
+    std::fprintf(f, "%.17g", value);
+}
+
+}  // namespace hammerhead

@@ -5,23 +5,18 @@
 namespace hammerhead {
 
 namespace {
-// splitmix64: seeds the xoshiro state from a single 64-bit value.
-std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
+  // splitmix64 stream over the seed (common/rng.h): word_i = mix(seed + i*G).
   std::uint64_t s = seed;
-  for (auto& word : state_) word = splitmix64(s);
+  for (auto& word : state_) {
+    word = splitmix64(s);
+    s += 0x9e3779b97f4a7c15ULL;
+  }
 }
 
 std::uint64_t Rng::next() {

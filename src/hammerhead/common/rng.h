@@ -14,6 +14,16 @@
 
 namespace hammerhead {
 
+/// splitmix64 (Steele et al.), the canonical 64-bit finalizing mixer: seeds
+/// the xoshiro state, drives the simulated signature PRF, and derives sweep
+/// run seeds. Pure and identical across platforms.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed);

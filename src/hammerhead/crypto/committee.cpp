@@ -11,7 +11,8 @@ Committee::Committee(std::vector<ValidatorInfo> validators)
                     << validators_.size());
   for (std::size_t i = 0; i < validators_.size(); ++i) {
     HH_ASSERT(validators_[i].index == i);
-    HH_ASSERT_MSG(validators_[i].stake > 0, "validator " << i << " has zero stake");
+    HH_ASSERT_MSG(validators_[i].stake > 0,
+                  "validator " << i << " has zero stake");
     total_stake_ += validators_[i].stake;
   }
 }

@@ -3,19 +3,13 @@
 #include <cstring>
 
 #include "hammerhead/common/hex.h"
+#include "hammerhead/common/rng.h"
 #include "hammerhead/common/serde.h"
 #include "hammerhead/crypto/sha256.h"
 
 namespace hammerhead::crypto {
 
 namespace {
-
-std::uint64_t splitmix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
 
 std::uint64_t load_le(const std::uint8_t* p, std::size_t len) {
   std::uint64_t v = 0;
@@ -35,21 +29,21 @@ Signature compute_sig(const PublicKey& key, const std::string& context,
                       const Digest& message) {
   std::uint64_t h = 0x68616d6d65726865ull;  // "hammerhe"
   for (std::size_t i = 0; i < key.bytes.size(); i += 8)
-    h = splitmix(h ^ load_le(key.bytes.data() + i, 8));
-  h = splitmix(h ^ context.size());
+    h = splitmix64(h ^ load_le(key.bytes.data() + i, 8));
+  h = splitmix64(h ^ context.size());
   const auto* ctx = reinterpret_cast<const std::uint8_t*>(context.data());
   std::size_t off = 0;
   for (; off + 8 <= context.size(); off += 8)
-    h = splitmix(h ^ load_le(ctx + off, 8));
+    h = splitmix64(h ^ load_le(ctx + off, 8));
   if (off < context.size())
-    h = splitmix(h ^ load_le(ctx + off, context.size() - off));
+    h = splitmix64(h ^ load_le(ctx + off, context.size() - off));
   const auto& msg = message.bytes();
   for (std::size_t i = 0; i < msg.size(); i += 8)
-    h = splitmix(h ^ load_le(msg.data() + i, 8));
+    h = splitmix64(h ^ load_le(msg.data() + i, 8));
 
   Signature s;
   for (std::size_t lane = 0; lane < 4; ++lane) {
-    const std::uint64_t v = splitmix(h ^ (lane + 1));
+    const std::uint64_t v = splitmix64(h ^ (lane + 1));
     std::memcpy(s.bytes.data() + lane * 8, &v, 8);
   }
   return s;

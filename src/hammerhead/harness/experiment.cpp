@@ -204,6 +204,53 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     if (ev.recover_at)
       sim.schedule_at(*ev.recover_at, [validator]() { validator->restart(); });
   }
+  // Partition windows: first-class link cuts in the fabric (not a latency
+  // hack). Sides are materialized up front; the cut/heal events capture them
+  // by value so the config may outlive the lambdas or vice versa.
+  for (const PartitionWindow& w : config.partitions) {
+    std::vector<ValidatorIndex> side_a = w.side_a;
+    std::vector<ValidatorIndex> side_b = w.side_b;
+    if (side_b.empty()) {
+      std::unordered_set<ValidatorIndex> in_a(side_a.begin(), side_a.end());
+      for (ValidatorIndex v = 0; v < config.num_validators; ++v)
+        if (in_a.count(v) == 0) side_b.push_back(v);
+    }
+    net::Network* net_ptr = &network;
+    const bool symmetric = w.symmetric;
+    sim.schedule_at(w.from, [net_ptr, side_a, side_b, symmetric]() {
+      net_ptr->cut_links(side_a, side_b, symmetric);
+    });
+    if (w.until != kSimTimeNever)
+      sim.schedule_at(w.until, [net_ptr, side_a, side_b, symmetric]() {
+        net_ptr->restore_links(side_a, side_b, symmetric);
+      });
+  }
+
+  // Validator churn: expand each spec into concrete crash/restart pairs.
+  // Recovery rides the normal re-entry path (incremental fetch, or state
+  // sync when the outage crossed the GC horizon).
+  for (const ChurnSpec& churn : config.churn) {
+    HH_ASSERT(churn.period > 0 && churn.downtime > 0);
+    HH_ASSERT(churn.downtime < churn.period);
+    const SimTime stagger =
+        churn.stagger == ChurnSpec::kAutoStagger && !churn.nodes.empty()
+            ? churn.period / static_cast<SimTime>(churn.nodes.size())
+            : std::max<SimTime>(churn.stagger, 0);
+    for (std::size_t k = 0; k < churn.nodes.size(); ++k) {
+      HH_ASSERT(churn.nodes[k] < config.num_validators);
+      node::Validator* validator = validators[churn.nodes[k]].get();
+      const SimTime first = churn.start + static_cast<SimTime>(k) * stagger;
+      for (std::size_t c = 0; churn.cycles == 0 || c < churn.cycles; ++c) {
+        const SimTime down_at = first + static_cast<SimTime>(c) * churn.period;
+        if (down_at >= config.duration) break;
+        const SimTime up_at = down_at + churn.downtime;
+        sim.schedule_at(down_at, [validator]() { validator->crash(); });
+        if (up_at < config.duration)
+          sim.schedule_at(up_at, [validator]() { validator->restart(); });
+      }
+    }
+  }
+
   for (const SlowWindow& w : config.slow_windows) {
     for (ValidatorIndex v : w.nodes) {
       node::Validator* validator = validators[v].get();
@@ -230,7 +277,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   HH_ASSERT(!targets.empty());
   std::vector<std::unique_ptr<LoadGenerator>> generators;
   if (config.load_tps > 0) {
-    const double per_target = config.load_tps / static_cast<double>(targets.size());
+    const double per_target =
+        config.load_tps / static_cast<double>(targets.size());
     for (std::size_t i = 0; i < targets.size(); ++i) {
       generators.push_back(std::make_unique<LoadGenerator>(
           sim, *validators[targets[i]], metrics, per_target, client_latency,
@@ -293,6 +341,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (const auto& validator : validators)
     if (!validator->crashed())
       result.leader_timeouts += validator->stats().leader_timeouts;
+  for (const auto& validator : validators) {
+    result.restarts += validator->stats().restarts;
+    result.state_syncs_completed += validator->stats().state_syncs_completed;
+  }
+  result.messages_held = network.stats().messages_held;
 
   result.anchors_by_author = std::move(anchors_by_author);
   return result;

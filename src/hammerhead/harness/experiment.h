@@ -36,6 +36,35 @@ struct CrashEvent {
   std::optional<SimTime> recover_at;  // nullopt = stays down
 };
 
+/// A (possibly asymmetric) network partition window: every link from a node
+/// in `side_a` to a node in `side_b` — and the reverse when `symmetric` — is
+/// severed during [from, until). `side_b` empty means "everyone not in
+/// side_a". The fabric buffers cut-link traffic and redelivers it at heal
+/// time (reliable channels); `until = kSimTimeNever` never heals.
+struct PartitionWindow {
+  std::vector<ValidatorIndex> side_a;
+  std::vector<ValidatorIndex> side_b;
+  SimTime from = 0;
+  SimTime until = kSimTimeNever;
+  bool symmetric = true;
+};
+
+/// Validator churn: `nodes` crash and recover in repeating cycles,
+/// re-entering via incremental fetch or state sync (when the outage crossed
+/// the GC horizon). Node k starts its first cycle at `start + k * stagger`;
+/// each cycle crashes for `downtime` out of every `period`.
+struct ChurnSpec {
+  std::vector<ValidatorIndex> nodes;
+  SimTime start = seconds(5);
+  SimTime period = seconds(10);
+  SimTime downtime = seconds(4);
+  /// Offset between consecutive nodes' cycles; kAutoStagger spreads them
+  /// evenly across one period so the nodes are not all down at once.
+  static constexpr SimTime kAutoStagger = -1;
+  SimTime stagger = kAutoStagger;
+  std::size_t cycles = 0;  // 0 = as many as fit before the run ends
+};
+
 struct ExperimentConfig {
   std::size_t num_validators = 10;
   std::uint64_t seed = 42;
@@ -68,6 +97,8 @@ struct ExperimentConfig {
   SimTime crash_time = 0;
   std::vector<CrashEvent> crashes;      // additional explicit crash events
   std::vector<SlowWindow> slow_windows;
+  std::vector<PartitionWindow> partitions;
+  std::vector<ChurnSpec> churn;
   /// Behaviour overrides for specific validators (Byzantine injection).
   std::vector<std::pair<ValidatorIndex, node::Behavior>> behaviors;
 
@@ -94,6 +125,11 @@ struct ExperimentResult {
   std::uint64_t skipped_anchors = 0;
   std::uint64_t schedule_changes = 0;
   std::uint64_t leader_timeouts = 0;  // summed over live validators
+  /// Churn accounting, summed over all validators.
+  std::uint64_t restarts = 0;
+  std::uint64_t state_syncs_completed = 0;
+  /// Messages the fabric buffered behind cut links (partition windows).
+  std::uint64_t messages_held = 0;
   std::int64_t last_anchor_round = -2;
   /// How many committed anchors each validator authored (leader utilization
   /// per validator, from the observer's commit stream).

@@ -1,0 +1,399 @@
+#include "hammerhead/harness/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "hammerhead/common/assert.h"
+#include "hammerhead/common/json_writer.h"
+
+namespace hammerhead::harness {
+
+std::uint64_t derive_run_seed(std::uint64_t salt, std::uint64_t axis_seed,
+                              std::size_t grid_index) {
+  // Three mixing rounds decorrelate the axes: cells sharing a salt, a seed
+  // or adjacent grid indices still draw unrelated run seeds.
+  std::uint64_t x = splitmix64(salt ^ splitmix64(axis_seed));
+  return splitmix64(x ^ (0x9E3779B97F4A7C15ULL *
+                         (static_cast<std::uint64_t>(grid_index) + 1)));
+}
+
+// --- canned scenario library ------------------------------------------------
+
+namespace {
+
+/// The top `count` validator indices (the convention crash-fault injection
+/// already uses: highest indices first).
+std::vector<ValidatorIndex> top_indices(std::size_t n, std::size_t count) {
+  std::vector<ValidatorIndex> out;
+  for (std::size_t i = 0; i < count && i < n; ++i)
+    out.push_back(static_cast<ValidatorIndex>(n - 1 - i));
+  return out;
+}
+
+std::size_t minority_size(std::size_t n) {
+  return std::max<std::size_t>(1, (n - 1) / 3);
+}
+
+FaultScenario make_partition_scenario(std::string name, double from_frac,
+                                      double until_frac, bool symmetric) {
+  HH_ASSERT(from_frac >= 0 && until_frac > from_frac && until_frac <= 1.0);
+  return FaultScenario{
+      std::move(name),
+      [from_frac, until_frac, symmetric](ExperimentConfig& cfg) {
+        PartitionWindow w;
+        w.side_a = top_indices(cfg.num_validators,
+                               minority_size(cfg.num_validators));
+        w.from = static_cast<SimTime>(
+            static_cast<double>(cfg.duration) * from_frac);
+        w.until = static_cast<SimTime>(
+            static_cast<double>(cfg.duration) * until_frac);
+        w.symmetric = symmetric;
+        cfg.partitions.push_back(std::move(w));
+      }};
+}
+
+}  // namespace
+
+FaultScenario scenario_faultless() {
+  return FaultScenario{"faultless", [](ExperimentConfig&) {}};
+}
+
+FaultScenario scenario_crash_faults(double fraction) {
+  HH_ASSERT(fraction >= 0 && fraction <= 1.0);
+  return FaultScenario{"crash", [fraction](ExperimentConfig& cfg) {
+                         const auto f_max = (cfg.num_validators - 1) / 3;
+                         cfg.faults = std::min<std::size_t>(
+                             f_max, static_cast<std::size_t>(
+                                        std::lround(fraction * f_max)));
+                       }};
+}
+
+FaultScenario scenario_partition(double from_frac, double until_frac) {
+  return make_partition_scenario("partition", from_frac, until_frac,
+                                 /*symmetric=*/true);
+}
+
+FaultScenario scenario_partition_asymmetric(double from_frac,
+                                            double until_frac) {
+  return make_partition_scenario("partition-asym", from_frac, until_frac,
+                                 /*symmetric=*/false);
+}
+
+FaultScenario scenario_churn(std::size_t nodes) {
+  HH_ASSERT(nodes >= 1);
+  return FaultScenario{"churn", [nodes](ExperimentConfig& cfg) {
+                         ChurnSpec churn;
+                         churn.nodes = top_indices(
+                             cfg.num_validators,
+                             std::min(nodes,
+                                      minority_size(cfg.num_validators)));
+                         churn.start = cfg.duration / 5;
+                         churn.period = cfg.duration / 4;
+                         churn.downtime = churn.period * 2 / 5;
+                         cfg.churn.push_back(std::move(churn));
+                       }};
+}
+
+FaultScenario scenario_churn_deep() {
+  return FaultScenario{"churn-deep", [](ExperimentConfig& cfg) {
+                         // Shrink the GC window, speed the round cadence
+                         // and hold the node down for half the run: the
+                         // live committee advances far past the horizon,
+                         // so incremental fetch cannot reconnect and
+                         // restart() must state-sync.
+                         cfg.node.gc_depth = 5;
+                         cfg.node.min_round_delay = millis(100);
+                         cfg.node.leader_timeout = millis(1'000);
+                         ChurnSpec churn;
+                         churn.nodes =
+                             top_indices(cfg.num_validators, 1);
+                         churn.start = cfg.duration / 8;
+                         churn.period = cfg.duration;
+                         churn.downtime = cfg.duration / 2;
+                         churn.cycles = 1;
+                         cfg.churn.push_back(std::move(churn));
+                       }};
+}
+
+// --- expansion --------------------------------------------------------------
+
+std::vector<SweepCell> expand_sweep(const SweepSpec& spec) {
+  const std::vector<PolicyKind> policies =
+      spec.policies.empty() ? std::vector<PolicyKind>{spec.base.policy}
+                            : spec.policies;
+  const std::vector<std::size_t> sizes =
+      spec.committee_sizes.empty()
+          ? std::vector<std::size_t>{spec.base.num_validators}
+          : spec.committee_sizes;
+  const std::vector<std::uint64_t> seeds =
+      spec.seeds.empty() ? std::vector<std::uint64_t>{spec.base.seed}
+                         : spec.seeds;
+  const std::vector<FaultScenario> scenarios =
+      spec.scenarios.empty()
+          ? std::vector<FaultScenario>{scenario_faultless()}
+          : spec.scenarios;
+
+  std::vector<SweepCell> cells;
+  cells.reserve(policies.size() * sizes.size() * scenarios.size() *
+                    seeds.size() +
+                spec.extra.size());
+  std::size_t index = 0;
+  for (PolicyKind policy : policies) {
+    for (std::size_t n : sizes) {
+      for (const FaultScenario& scenario : scenarios) {
+        for (std::uint64_t axis_seed : seeds) {
+          SweepCell cell;
+          cell.grid_index = index;
+          cell.policy = policy_name(policy);
+          cell.scenario = scenario.name;
+          cell.num_validators = n;
+          cell.axis_seed = axis_seed;
+          cell.label = "policy=" + cell.policy + "/n=" + std::to_string(n) +
+                       "/fault=" + scenario.name +
+                       "/seed=" + std::to_string(axis_seed);
+          cell.config = spec.base;
+          cell.config.policy = policy;
+          cell.config.num_validators = n;
+          cell.config.seed =
+              spec.derive_seeds
+                  ? derive_run_seed(spec.seed_salt, axis_seed, index)
+                  : axis_seed;
+          if (scenario.apply) scenario.apply(cell.config);
+          cells.push_back(std::move(cell));
+          ++index;
+        }
+      }
+    }
+  }
+  for (const auto& [name, config] : spec.extra) {
+    SweepCell cell;
+    cell.grid_index = index++;
+    cell.label = "extra/" + name;
+    cell.policy = config.custom_policy ? "custom" : policy_name(config.policy);
+    cell.scenario = "custom";
+    cell.num_validators = config.num_validators;
+    cell.axis_seed = config.seed;  // explicit configs keep their own seed
+    cell.config = config;
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+// --- execution --------------------------------------------------------------
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
+  SweepResult sweep;
+  sweep.name = spec.name;
+  sweep.cells = expand_sweep(spec);
+  sweep.results.resize(sweep.cells.size());
+  if (sweep.cells.empty()) return sweep;
+
+  std::size_t jobs =
+      options.jobs != 0 ? options.jobs
+                        : std::max<std::size_t>(
+                              1, std::thread::hardware_concurrency());
+  jobs = std::min(jobs, sweep.cells.size());
+  sweep.jobs = jobs;
+
+  // Work-stealing over an atomic cursor: cell i's result is a pure function
+  // of cells[i].config (each run owns its Simulator, committee and stores),
+  // so which worker claims which cell cannot change any per-cell output.
+  std::atomic<std::size_t> cursor{0};
+  std::mutex report_mutex;
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= sweep.cells.size()) return;
+      // Contain per-cell failures: an invariant violation in one config must
+      // not std::terminate the pool and discard every finished result.
+      try {
+        sweep.results[i] = run_experiment(sweep.cells[i].config);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        sweep.errors.push_back(sweep.cells[i].label + ": " + e.what());
+        sweep.failed_cells.push_back(i);
+        continue;
+      }
+      if (options.on_cell) {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        options.on_cell(sweep.cells[i], sweep.results[i]);
+      }
+    }
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(jobs - 1);
+  for (std::size_t t = 0; t + 1 < jobs; ++t) pool.emplace_back(worker);
+  worker();  // the driver thread is worker #0
+  for (auto& t : pool) t.join();
+  sweep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // Cross-seed aggregation: cells sharing a label minus the seed axis form
+  // one group (seed is the innermost axis, so groups are contiguous).
+  // Failed cells are excluded — averaging their all-zero default results
+  // would poison the agg rows the CI regression gate diffs; a group with no
+  // successful run is dropped entirely.
+  std::vector<bool> failed(sweep.cells.size(), false);
+  for (std::size_t i : sweep.failed_cells) failed[i] = true;
+  auto group_key = [](const std::string& label) {
+    const std::size_t pos = label.rfind("/seed=");
+    return pos == std::string::npos ? label : label.substr(0, pos);
+  };
+  for (std::size_t i = 0; i < sweep.cells.size();) {
+    const std::string key = group_key(sweep.cells[i].label);
+    std::size_t end = i;
+    while (end < sweep.cells.size() &&
+           group_key(sweep.cells[end].label) == key)
+      ++end;
+    SweepGroupStats g;
+    g.label = key;
+    double sum = 0, sum_sq = 0;
+    for (std::size_t j = i; j < end; ++j) {
+      if (failed[j]) continue;
+      const ExperimentResult& r = sweep.results[j];
+      if (g.runs++ == 0) {
+        g.duration_s = r.duration_s;
+        g.offered_load_tps = r.offered_load_tps;
+      }
+      sum += r.throughput_tps;
+      sum_sq += r.throughput_tps * r.throughput_tps;
+      g.avg_latency_mean += r.avg_latency_s;
+      g.p50_mean += r.p50_latency_s;
+      g.p95_mean += r.p95_latency_s;
+      g.p99_mean += r.p99_latency_s;
+      g.committed_anchors_mean += static_cast<double>(r.committed_anchors);
+      g.skipped_anchors_mean += static_cast<double>(r.skipped_anchors);
+    }
+    if (g.runs == 0) {
+      i = end;
+      continue;
+    }
+    const double count = static_cast<double>(g.runs);
+    g.throughput_mean = sum / count;
+    g.avg_latency_mean /= count;
+    g.p50_mean /= count;
+    g.p95_mean /= count;
+    g.p99_mean /= count;
+    g.committed_anchors_mean /= count;
+    g.skipped_anchors_mean /= count;
+    if (g.runs >= 2) {
+      const double var =
+          std::max(0.0, (sum_sq - sum * sum / count) / (count - 1));
+      g.throughput_stddev = std::sqrt(var);
+    }
+    sweep.groups.push_back(std::move(g));
+    i = end;
+  }
+  return sweep;
+}
+
+// --- serialization ----------------------------------------------------------
+
+using hammerhead::json_escape;
+using hammerhead::write_json_metric;
+
+std::string write_sweep_json(const SweepResult& sweep,
+                             const std::string& dir) {
+  const std::string path = dir + "/BENCH_sweep_" + sweep.name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  HH_ASSERT_MSG(f != nullptr, "cannot write " << path);
+  std::fprintf(f,
+               "{\"bench\": \"sweep_%s\", \"jobs\": %zu, \"cells\": %zu, "
+               "\"failed_cells\": %zu, \"wall_seconds\": %.6f, \"rows\": [",
+               json_escape(sweep.name).c_str(), sweep.jobs,
+               sweep.cells.size(), sweep.failed_cells.size(),
+               sweep.wall_seconds);
+  std::vector<bool> failed(sweep.cells.size(), false);
+  for (std::size_t i : sweep.failed_cells) failed[i] = true;
+  bool first_row = true;
+  auto begin_row = [&](const std::string& label) {
+    std::fprintf(f, "%s\n  {\"label\": \"%s\", \"metrics\": {",
+                 first_row ? "" : ",", json_escape(label).c_str());
+    first_row = false;
+  };
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    if (failed[i]) continue;  // no row: an all-zero result is not data
+    const SweepCell& cell = sweep.cells[i];
+    const ExperimentResult& r = sweep.results[i];
+    begin_row(cell.label);
+    write_json_metric(f, true, "throughput_tps", r.throughput_tps);
+    write_json_metric(f, false, "avg_latency_s", r.avg_latency_s);
+    write_json_metric(f, false, "p50_latency_s", r.p50_latency_s);
+    write_json_metric(f, false, "p95_latency_s", r.p95_latency_s);
+    write_json_metric(f, false, "p99_latency_s", r.p99_latency_s);
+    write_json_metric(f, false, "committed", static_cast<double>(r.committed));
+    write_json_metric(f, false, "committed_anchors",
+                 static_cast<double>(r.committed_anchors));
+    write_json_metric(f, false, "skipped_anchors",
+                 static_cast<double>(r.skipped_anchors));
+    write_json_metric(f, false, "restarts", static_cast<double>(r.restarts));
+    write_json_metric(f, false, "state_syncs_completed",
+                 static_cast<double>(r.state_syncs_completed));
+    write_json_metric(f, false, "messages_held",
+                 static_cast<double>(r.messages_held));
+    write_json_metric(f, false, "sim_events", static_cast<double>(r.sim_events));
+    write_json_metric(f, false, "duration_s", r.duration_s);
+    write_json_metric(f, false, "offered_load_tps", r.offered_load_tps);
+    // Exact 64-bit value, bypassing the double-valued metric writer.
+    std::fprintf(f, ", \"run_seed\": %llu",
+                 static_cast<unsigned long long>(cell.config.seed));
+    std::fprintf(f, "}}");
+  }
+  for (const SweepGroupStats& g : sweep.groups) {
+    begin_row("agg/" + g.label);
+    write_json_metric(f, true, "runs", static_cast<double>(g.runs));
+    write_json_metric(f, false, "duration_s", g.duration_s);
+    write_json_metric(f, false, "offered_load_tps", g.offered_load_tps);
+    write_json_metric(f, false, "throughput_mean", g.throughput_mean);
+    write_json_metric(f, false, "throughput_stddev", g.throughput_stddev);
+    write_json_metric(f, false, "avg_latency_mean", g.avg_latency_mean);
+    write_json_metric(f, false, "p50_mean", g.p50_mean);
+    write_json_metric(f, false, "p95_mean", g.p95_mean);
+    write_json_metric(f, false, "p99_mean", g.p99_mean);
+    write_json_metric(f, false, "committed_anchors_mean", g.committed_anchors_mean);
+    write_json_metric(f, false, "skipped_anchors_mean", g.skipped_anchors_mean);
+    std::fprintf(f, "}}");
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return path;
+}
+
+std::string deterministic_signature(const ExperimentResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s|%.17g|%.17g|%llu|%llu|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|"
+      "%llu|%llu|%llu|%llu|%lld|%llu|%llu|%llu|%llu",
+      r.policy.c_str(), r.duration_s, r.offered_load_tps,
+      static_cast<unsigned long long>(r.submitted),
+      static_cast<unsigned long long>(r.committed), r.throughput_tps,
+      r.avg_latency_s, r.p50_latency_s, r.p95_latency_s, r.p99_latency_s,
+      r.stdev_latency_s, static_cast<unsigned long long>(r.committed_anchors),
+      static_cast<unsigned long long>(r.skipped_anchors),
+      static_cast<unsigned long long>(r.schedule_changes),
+      static_cast<unsigned long long>(r.leader_timeouts),
+      static_cast<long long>(r.last_anchor_round),
+      static_cast<unsigned long long>(r.restarts),
+      static_cast<unsigned long long>(r.state_syncs_completed),
+      static_cast<unsigned long long>(r.messages_held),
+      static_cast<unsigned long long>(r.sim_events));
+  std::string sig = buf;
+  sig += "|authors=";
+  for (std::uint64_t a : r.anchors_by_author) {
+    sig += std::to_string(a);
+    sig += ',';
+  }
+  return sig;
+}
+
+}  // namespace hammerhead::harness

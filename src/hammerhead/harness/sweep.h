@@ -1,0 +1,176 @@
+// Parallel experiment sweep driver: expands a SweepSpec — a cartesian grid
+// over (policy x committee size x fault scenario x seed) plus an explicit
+// config list — into independent ExperimentConfig runs, executes them across
+// a pool of std::thread workers, and aggregates the ExperimentResults into
+// one machine-readable BENCH_sweep_<name>.json.
+//
+// Determinism contract: every cell's run seed is derived with splitmix64
+// over (salt, seed axis, grid index) at expansion time, each run owns its
+// whole Simulator, and workers claim cells from an atomic counter writing
+// results by cell index — so per-cell results are bit-identical at any
+// --jobs count. Only the wall-clock gauges (wall_seconds,
+// events_per_sec_wall, allocs_per_event under contention) vary across
+// schedulings; deterministic_signature() captures exactly the invariant
+// fields.
+//
+// This is the simulation-side stand-in for the paper's AWS sweep scripts
+// (policies x fault patterns x committee sizes, Section 5) and the substrate
+// future scenario PRs plug into: add a FaultScenario, list it in a spec,
+// and every bench and CI gate downstream picks it up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hammerhead/common/rng.h"  // splitmix64, the per-cell seed PRF
+#include "hammerhead/harness/experiment.h"
+
+namespace hammerhead::harness {
+
+/// Derive the run seed for grid cell `grid_index` carrying seed-axis value
+/// `axis_seed` via splitmix64 (common/rng.h). Depends only on its
+/// arguments, never on execution order — safe from any worker thread.
+std::uint64_t derive_run_seed(std::uint64_t salt, std::uint64_t axis_seed,
+                              std::size_t grid_index);
+
+/// One named point on the fault-pattern axis: a mutation applied to a cell's
+/// config after the policy / committee size / duration are in place.
+struct FaultScenario {
+  std::string name;
+  std::function<void(ExperimentConfig&)> apply;
+};
+
+// --- canned scenario library ------------------------------------------------
+
+/// No faults (the paper's Figure 1 setting).
+FaultScenario scenario_faultless();
+
+/// The `fraction` of the maximum tolerable crash faults f = (n-1)/3 crash at
+/// t=0 and stay down (fraction=1 is the paper's Figure 2 setting).
+FaultScenario scenario_crash_faults(double fraction = 1.0);
+
+/// A symmetric partition isolating the top floor((n-1)/3) validators (at
+/// least one) during [from_frac, until_frac) of the run, then healing. The
+/// majority side keeps a 2f+1 quorum, so the committee stays live while the
+/// minority is dark and catches up after the heal.
+FaultScenario scenario_partition(double from_frac = 0.25,
+                                 double until_frac = 0.5);
+
+/// Asymmetric variant: the isolated minority can still hear the majority but
+/// its own messages are cut (a one-way link failure).
+FaultScenario scenario_partition_asymmetric(double from_frac = 0.25,
+                                            double until_frac = 0.5);
+
+/// Validator churn: `nodes` validators (highest indices, capped at the f
+/// minority so quorum always survives) cycle through crash/recover for the
+/// whole run, staggered across the period (cycles of adjacent nodes can
+/// overlap, but never all nodes at once); recovery re-enters via fetch or
+/// state sync.
+FaultScenario scenario_churn(std::size_t nodes = 1);
+
+/// Churn tuned so the outage crosses the GC horizon (small gc window, one
+/// long crash): recovery MUST take the state-sync path, keeping snapshot
+/// re-entry covered by the gated sweep grid, not just unit tests.
+FaultScenario scenario_churn_deep();
+
+// --- sweep specification ----------------------------------------------------
+
+struct SweepSpec {
+  /// Output name: results land in BENCH_sweep_<name>.json.
+  std::string name = "sweep";
+  /// Template for every cell; the grid axes below override policy,
+  /// num_validators and seed per cell. Empty axes fall back to the base
+  /// config's value (a 1-wide axis).
+  ExperimentConfig base;
+  std::vector<PolicyKind> policies;
+  std::vector<std::size_t> committee_sizes;
+  /// Replicate axis: each value yields one run per grid point; cross-seed
+  /// mean/stddev are aggregated per (policy, n, scenario) group.
+  std::vector<std::uint64_t> seeds;
+  std::vector<FaultScenario> scenarios;
+  /// Explicit configs appended after the grid (label "extra/<name>").
+  std::vector<std::pair<std::string, ExperimentConfig>> extra;
+  /// Mixed into every derived run seed; two sweeps with different salts
+  /// explore different randomness even over the same grid.
+  std::uint64_t seed_salt = 0x48616d6d65724864ULL;
+  /// When false, cells use the seed-axis value verbatim instead of the
+  /// splitmix derivation (reproducing a specific single run inside a grid).
+  bool derive_seeds = true;
+};
+
+/// One fully materialized run: everything a worker needs, fixed at
+/// expansion time on the driver thread.
+struct SweepCell {
+  std::size_t grid_index = 0;
+  std::string label;     // "policy=<p>/n=<n>/fault=<s>/seed=<axis>"
+  std::string policy;
+  std::string scenario;
+  std::size_t num_validators = 0;
+  std::uint64_t axis_seed = 0;
+  ExperimentConfig config;  // config.seed holds the derived run seed
+};
+
+/// Expand the grid (policy-major, seed-minor, extras appended). Pure:
+/// depends only on `spec`.
+std::vector<SweepCell> expand_sweep(const SweepSpec& spec);
+
+/// Cross-seed aggregate for one (policy, n, scenario) group.
+struct SweepGroupStats {
+  std::string label;  // cell label with the seed axis stripped
+  std::size_t runs = 0;
+  /// Run context of the group's cells (identical across seeds), carried
+  /// into the JSON so the regression gate can match quick vs full modes.
+  double duration_s = 0;
+  double offered_load_tps = 0;
+  double throughput_mean = 0;
+  double throughput_stddev = 0;  // sample stddev across seeds
+  double avg_latency_mean = 0;
+  double p50_mean = 0;
+  double p95_mean = 0;
+  double p99_mean = 0;
+  double committed_anchors_mean = 0;
+  double skipped_anchors_mean = 0;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t jobs = 0;
+  /// Invoked (serialized under a mutex, from worker threads) as each cell
+  /// finishes — progress reporting.
+  std::function<void(const SweepCell&, const ExperimentResult&)> on_cell;
+};
+
+struct SweepResult {
+  std::string name;
+  std::size_t jobs = 1;
+  double wall_seconds = 0;
+  std::vector<SweepCell> cells;
+  std::vector<ExperimentResult> results;  // parallel to cells
+  std::vector<SweepGroupStats> groups;
+  /// Cells whose run threw (e.g. an invariant violation on a bad config):
+  /// "<label>: <what>" plus the cell index. The failing cell's result stays
+  /// default-constructed and the rest of the grid still completes; failed
+  /// cells are excluded from `groups` and from the JSON rows (callers
+  /// decide whether a partial sweep is acceptable — bench_sweep_matrix
+  /// exits nonzero on any error so CI fails loudly, not via skewed stats).
+  std::vector<std::string> errors;
+  std::vector<std::size_t> failed_cells;  // indices into cells/results
+};
+
+/// Run every cell of the expanded spec across `options.jobs` workers.
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
+
+/// Serialize per-cell rows plus "agg/..." group rows as
+/// `<dir>/BENCH_sweep_<name>.json` (same shape as bench/bench_json.h output,
+/// so tools/bench_compare.py gates it uniformly). Returns the path written.
+std::string write_sweep_json(const SweepResult& sweep,
+                             const std::string& dir = ".");
+
+/// The jobs-invariant fields of a result, formatted for exact comparison
+/// (everything except the wall-clock gauges).
+std::string deterministic_signature(const ExperimentResult& r);
+
+}  // namespace hammerhead::harness

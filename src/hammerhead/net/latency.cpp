@@ -78,7 +78,8 @@ std::size_t GeoLatencyModel::region_of(ValidatorIndex v) const {
   return v % aws_regions().size();
 }
 
-SimTime GeoLatencyModel::expected(ValidatorIndex from, ValidatorIndex to) const {
+SimTime GeoLatencyModel::expected(ValidatorIndex from,
+                                  ValidatorIndex to) const {
   return one_way_[region_of(from)][region_of(to)];
 }
 

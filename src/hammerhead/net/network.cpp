@@ -1,6 +1,7 @@
 #include "hammerhead/net/network.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "hammerhead/common/logging.h"
 
@@ -34,7 +35,7 @@ Network::Network(sim::Simulator& simulator,
       crashed_(num_nodes, false),
       slowdown_(num_nodes, 1.0),
       egress_free_at_(num_nodes, 0),
-      in_partition_group_(num_nodes, false) {
+      link_cut_(num_nodes * num_nodes, 0) {
   HH_ASSERT(latency_ != nullptr);
 }
 
@@ -50,9 +51,48 @@ void Network::register_handler(ValidatorIndex node, Handler handler) {
   sinks_[node] = owned_sinks_[node].get();
 }
 
-bool Network::crosses_partition(ValidatorIndex a, ValidatorIndex b) const {
-  return partition_active_ &&
-         in_partition_group_[a] != in_partition_group_[b];
+bool Network::link_blocked(ValidatorIndex from, ValidatorIndex to) const {
+  return links_cut_ != 0 && link_cut_[from * sinks_.size() + to] > 0;
+}
+
+void Network::adjust_cut(ValidatorIndex from, ValidatorIndex to, int delta) {
+  if (from == to) return;
+  std::uint16_t& count = link_cut_[from * sinks_.size() + to];
+  if (delta > 0) {
+    HH_ASSERT_MSG(count < std::numeric_limits<std::uint16_t>::max(),
+                  "cut refcount overflow on link " << from << "->" << to);
+    if (count++ == 0) ++links_cut_;
+  } else {
+    HH_ASSERT_MSG(count > 0, "restore of uncut link " << from << "->" << to);
+    if (--count == 0) --links_cut_;
+  }
+}
+
+void Network::cut_links(const std::vector<ValidatorIndex>& from_set,
+                        const std::vector<ValidatorIndex>& to_set,
+                        bool symmetric) {
+  for (ValidatorIndex a : from_set) {
+    HH_ASSERT(a < sinks_.size());
+    for (ValidatorIndex b : to_set) {
+      HH_ASSERT(b < sinks_.size());
+      adjust_cut(a, b, +1);
+      if (symmetric) adjust_cut(b, a, +1);
+    }
+  }
+}
+
+void Network::restore_links(const std::vector<ValidatorIndex>& from_set,
+                            const std::vector<ValidatorIndex>& to_set,
+                            bool symmetric) {
+  for (ValidatorIndex a : from_set) {
+    HH_ASSERT(a < sinks_.size());
+    for (ValidatorIndex b : to_set) {
+      HH_ASSERT(b < sinks_.size());
+      adjust_cut(a, b, -1);
+      if (symmetric) adjust_cut(b, a, -1);
+    }
+  }
+  flush_unblocked_held();
 }
 
 SimTime Network::compute_arrival(ValidatorIndex from, ValidatorIndex to,
@@ -156,7 +196,8 @@ void Network::multicast_impl(ValidatorIndex from, MessagePtr msg,
     HH_ASSERT(to < sinks_.size());
     ++stats_.messages_sent;
     stats_.bytes_sent += size;
-    if (crosses_partition(from, to)) {
+    if (link_blocked(from, to)) {
+      ++stats_.messages_held;
       held_.push_back(Held{from, to, msg});
       return;
     }
@@ -229,22 +270,48 @@ void Network::clear_slowdown(ValidatorIndex node) {
 }
 
 void Network::partition(const std::vector<ValidatorIndex>& group) {
-  std::fill(in_partition_group_.begin(), in_partition_group_.end(), false);
-  for (ValidatorIndex v : group) {
-    HH_ASSERT(v < in_partition_group_.size());
-    in_partition_group_[v] = true;
+  if (partition_active_) {
+    // Replace the previous grouping: lift its cuts without flushing — held
+    // traffic stays buffered until heal() (or until an unrelated restore
+    // unblocks its link).
+    for (ValidatorIndex a : partition_group_)
+      for (ValidatorIndex b : partition_rest_) {
+        adjust_cut(a, b, -1);
+        adjust_cut(b, a, -1);
+      }
+    partition_active_ = false;
   }
+  std::vector<bool> in_group(sinks_.size(), false);
+  for (ValidatorIndex v : group) {
+    HH_ASSERT(v < sinks_.size());
+    in_group[v] = true;
+  }
+  partition_group_.clear();
+  partition_rest_.clear();
+  for (ValidatorIndex v = 0; v < sinks_.size(); ++v)
+    (in_group[v] ? partition_group_ : partition_rest_).push_back(v);
+  cut_links(partition_group_, partition_rest_, /*symmetric=*/true);
   partition_active_ = true;
 }
 
 void Network::heal() {
+  if (!partition_active_) return;
   partition_active_ = false;
-  // Flush buffered cross-partition traffic with fresh latency samples
-  // (reliable channels deliver once connectivity returns). Each held message
-  // becomes a single-arrival fanout record.
+  restore_links(partition_group_, partition_rest_, /*symmetric=*/true);
+}
+
+void Network::flush_unblocked_held() {
+  // Flush buffered traffic whose link is connected again, with fresh latency
+  // samples (reliable channels deliver once connectivity returns). Each held
+  // message becomes a single-arrival fanout record; messages still behind
+  // another active cut stay buffered.
   std::vector<Held> held;
   held.swap(held_);
   for (auto& h : held) {
+    if (link_blocked(h.from, h.to)) {
+      held_.push_back(std::move(h));
+      continue;
+    }
     if (crashed_[h.from]) continue;
     const SimTime arrival = compute_arrival(h.from, h.to, h.msg->wire_size());
     const std::uint32_t idx = acquire_fanout();

@@ -8,9 +8,10 @@
 //    within Delta. A message sent at time x arrives by Delta + max(GST, x).
 //  * Fault injection: crash (messages to/from dropped — the process is down),
 //    recovery, slowdown (multiplies link latency; models degraded validators
-//    like the Sui mainnet incident in Section 1), and partitions (cross-
-//    partition traffic is buffered and delivered at heal time, preserving
-//    reliability).
+//    like the Sui mainnet incident in Section 1), and link cuts: any directed
+//    (from-set x to-set) bundle of links can be severed and later restored.
+//    Cut-link traffic is buffered and delivered at restore time, preserving
+//    reliability; group partitions are a special case of the cut matrix.
 //  * Bandwidth: each node has finite egress; consecutive sends queue behind
 //    one another (transmission delay = size / bandwidth).
 //
@@ -92,6 +93,8 @@ struct NetStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped_crash = 0;
+  /// Messages buffered behind a cut link (delivered after restore).
+  std::uint64_t messages_held = 0;
   std::uint64_t bytes_sent = 0;
   /// Fanout records in flight + pooled (gauge for the zero-alloc claim).
   std::uint64_t fanouts_active = 0;
@@ -145,9 +148,24 @@ class Network {
   void set_slowdown(ValidatorIndex node, double factor);
   void clear_slowdown(ValidatorIndex node);
 
-  /// Partition the network into {group} vs {everyone else} until heal().
-  /// Cross-partition messages are buffered and delivered shortly after heal
-  /// (reliable channels: delayed, not lost).
+  /// Sever every link from a node in `from_set` to a node in `to_set`
+  /// (both directions when `symmetric`). Cuts are reference-counted per
+  /// directed pair, so overlapping windows compose; self-links are ignored.
+  /// Messages on a cut link are buffered (reliable channels: delayed, not
+  /// lost) and flushed with fresh latency samples once the link is restored.
+  void cut_links(const std::vector<ValidatorIndex>& from_set,
+                 const std::vector<ValidatorIndex>& to_set,
+                 bool symmetric = true);
+  void restore_links(const std::vector<ValidatorIndex>& from_set,
+                     const std::vector<ValidatorIndex>& to_set,
+                     bool symmetric = true);
+  bool link_blocked(ValidatorIndex from, ValidatorIndex to) const;
+  /// Directed pairs currently severed (gauge).
+  std::size_t links_cut() const { return links_cut_; }
+
+  /// Partition the network into {group} vs {everyone else} until heal() —
+  /// sugar over the cut matrix. Calling partition() again replaces the
+  /// previous grouping; heal() restores it and flushes buffered traffic.
   void partition(const std::vector<ValidatorIndex>& group);
   void heal();
   bool partitioned() const { return partition_active_; }
@@ -186,7 +204,9 @@ class Network {
 
   SimTime compute_arrival(ValidatorIndex from, ValidatorIndex to,
                           std::size_t size);
-  bool crosses_partition(ValidatorIndex a, ValidatorIndex b) const;
+  void adjust_cut(ValidatorIndex from, ValidatorIndex to, int delta);
+  /// Deliver every held message whose link is no longer blocked.
+  void flush_unblocked_held();
 
   sim::Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
@@ -197,9 +217,14 @@ class Network {
   std::vector<bool> crashed_;
   std::vector<double> slowdown_;
   std::vector<SimTime> egress_free_at_;
-  std::vector<bool> in_partition_group_;
+  /// Reference-counted directional cut matrix, row-major [from * n + to].
+  std::vector<std::uint16_t> link_cut_;
+  std::size_t links_cut_ = 0;
+  /// Group-partition sugar state (partition()/heal()).
+  std::vector<ValidatorIndex> partition_group_;
+  std::vector<ValidatorIndex> partition_rest_;
   bool partition_active_ = false;
-  // Messages held back by an active partition: (from, to, msg).
+  // Messages held back by a cut link: (from, to, msg).
   struct Held {
     ValidatorIndex from;
     ValidatorIndex to;

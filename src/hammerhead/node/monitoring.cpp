@@ -31,6 +31,8 @@ void export_engine_metrics(const sim::Simulator& sim, const net::Network& net,
             static_cast<double>(ns.messages_delivered));
   set_gauge("hh_net_fanouts_active", static_cast<double>(ns.fanouts_active));
   set_gauge("hh_net_fanouts_pooled", static_cast<double>(ns.fanouts_pooled));
+  set_gauge("hh_net_messages_held", static_cast<double>(ns.messages_held));
+  set_gauge("hh_net_links_cut", static_cast<double>(net.links_cut()));
 }
 
 void export_validator_metrics(const Validator& validator,

@@ -322,7 +322,8 @@ void Validator::propose(Round round) {
     return;
   }
 
-  dag::HeaderPtr header = build_header(round, std::move(parents), std::move(txs));
+  dag::HeaderPtr header =
+      build_header(round, std::move(parents), std::move(txs));
   last_proposed_round_ = round;
   proposed_anything_ = true;
   last_propose_time_ = sim_.now();
@@ -455,7 +456,8 @@ void Validator::handle_vote(const dag::Vote& vote) {
   pending.certified = true;
   std::vector<ValidatorIndex> signers(pending.voters.begin(),
                                       pending.voters.end());
-  dag::CertPtr cert = dag::Certificate::make(pending.header, std::move(signers));
+  dag::CertPtr cert =
+      dag::Certificate::make(pending.header, std::move(signers));
   ++stats_.certs_formed;
   charge_cpu(config_.cost_store_write);
 
@@ -628,10 +630,12 @@ void Validator::request_fetch(ValidatorIndex target,
   auto msg = std::make_shared<FetchReqMsg>();
   msg->digests = std::move(missing);
   msg->have_up_to_round =
-      static_cast<Round>(std::max<std::int64_t>(0, committer_->last_anchor_round()));
+      static_cast<Round>(
+          std::max<std::int64_t>(0, committer_->last_anchor_round()));
   ++stats_.fetches_sent;
-  HH_DEBUG("FETCHREQ v" << self_ << " -> v" << target << " n=" << msg->digests.size()
-           << " have_up_to=" << msg->have_up_to_round);
+  HH_DEBUG("FETCHREQ v" << self_ << " -> v" << target
+                        << " n=" << msg->digests.size()
+                        << " have_up_to=" << msg->have_up_to_round);
   network_.send(self_, target, std::move(msg));
 }
 
@@ -652,8 +656,12 @@ void Validator::handle_fetch_req(ValidatorIndex from, const FetchReqMsg& req) {
   if (collected.size() > config_.max_fetch_response_certs)
     collected.resize(config_.max_fetch_response_certs);
   auto resp = std::make_shared<FetchRespMsg>(std::move(collected));
-  HH_DEBUG("FETCHRESP v" << self_ << " -> v" << from << " n=" << resp->certs.size()
-           << (resp->certs.empty() ? "" : (" lo=" + std::to_string(resp->certs.front()->round()) + " hi=" + std::to_string(resp->certs.back()->round()))));
+  HH_DEBUG("FETCHRESP v"
+           << self_ << " -> v" << from << " n=" << resp->certs.size()
+           << (resp->certs.empty()
+                   ? ""
+                   : (" lo=" + std::to_string(resp->certs.front()->round()) +
+                      " hi=" + std::to_string(resp->certs.back()->round()))));
   if (!resp->certs.empty()) network_.send(self_, from, std::move(resp));
 }
 
@@ -704,7 +712,8 @@ void Validator::handle_state_sync_req(ValidatorIndex from,
     dag_->for_each_round_cert(
         r, [&](const dag::CertPtr& c) { certs.push_back(c); });
   auto resp = std::make_shared<StateSyncRespMsg>(
-      dag_->gc_floor(), std::move(certs), committer_->snapshot(dag_->gc_floor()),
+      dag_->gc_floor(), std::move(certs),
+      committer_->snapshot(dag_->gc_floor()),
       policy_->snapshot());
   network_.send(self_, from, std::move(resp));
 }
@@ -712,11 +721,13 @@ void Validator::handle_state_sync_req(ValidatorIndex from,
 void Validator::handle_state_sync_resp(ValidatorIndex from,
                                        const StateSyncRespMsg& resp) {
   (void)from;
-  // Only meaningful if the snapshot is actually ahead of us.
+  // Only meaningful if the snapshot is actually ahead of us. An empty
+  // policy snapshot is legitimate: stateless schedules (round-robin,
+  // static) carry no epochs, and a fresh policy equals the installed one —
+  // refusing it would strand those policies behind the GC horizon forever.
   const Round frontier =
       dag_->max_round() ? *dag_->max_round() : dag_->gc_floor();
   if (resp.gc_floor <= frontier) return;
-  if (resp.policy.epochs.empty()) return;
 
   HH_INFO("validator " << self_ << " installing state sync snapshot: floor "
                        << resp.gc_floor << ", " << resp.certs.size()

@@ -156,7 +156,8 @@ SimTime Simulator::next_bucket_tick() {
     if (word != 0) {
       const std::size_t p =
           (w << 6) | static_cast<std::size_t>(std::countr_zero(word));
-      const SimTime tick = from + static_cast<SimTime>((p - start) & kWheelMask);
+      const SimTime tick =
+          from + static_cast<SimTime>((p - start) & kWheelMask);
       wheel_min_ = tick;
       return tick;
     }

@@ -40,7 +40,8 @@ class Cluster {
   explicit Cluster(ClusterOptions options)
       : options_(options),
         sim_(options.seed),
-        committee_(crypto::Committee::make_equal_stake(options.n, options.seed)),
+        committee_(
+            crypto::Committee::make_equal_stake(options.n, options.seed)),
         network_(sim_,
                  std::make_unique<net::UniformLatencyModel>(
                      options.latency_min, options.latency_max),

@@ -350,7 +350,9 @@ struct HammerHeadFixture {
         dag(builder.committee()),
         policy(builder.committee(), 9, cfg),
         committer(builder.committee(), dag, policy,
-                  [this](const CommittedSubDag& sd) { commits.push_back(sd); }) {
+                  [this](const CommittedSubDag& sd) {
+                    commits.push_back(sd);
+                  }) {
   }
 
   void feed_full_rounds(Round last) {

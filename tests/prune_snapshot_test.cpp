@@ -114,7 +114,8 @@ void run_round_trip(bool hammerhead) {
   // instance must not re-deliver anything the snapshot already covered.
   EXPECT_TRUE(bb.delivered.empty());
   EXPECT_EQ(bb.committer->commit_index(), a.committer->commit_index());
-  EXPECT_EQ(bb.committer->last_anchor_round(), a.committer->last_anchor_round());
+  EXPECT_EQ(bb.committer->last_anchor_round(),
+            a.committer->last_anchor_round());
 
   // Continue both pipelines with identical rounds; they must deliver the
   // same sub-DAGs in the same order.

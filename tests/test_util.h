@@ -38,12 +38,14 @@ class DagBuilder {
     header->finalize(keypairs_[author]);
 
     std::vector<ValidatorIndex> signers;
-    const std::size_t quorum = committee_.size() - committee_.max_faulty_count();
+    const std::size_t quorum =
+        committee_.size() - committee_.max_faulty_count();
     for (ValidatorIndex v = 0; v < quorum; ++v) signers.push_back(v);
     return dag::Certificate::make(std::move(header), std::move(signers));
   }
 
-  static std::vector<Digest> digests_of(const std::vector<dag::CertPtr>& certs) {
+  static std::vector<Digest> digests_of(
+      const std::vector<dag::CertPtr>& certs) {
     std::vector<Digest> out;
     out.reserve(certs.size());
     for (const auto& c : certs) out.push_back(c->digest());
@@ -53,7 +55,8 @@ class DagBuilder {
   /// Build round `round` vertices for `authors`, each referencing all of
   /// `parents` (digests), and insert them into `dag`.
   std::vector<dag::CertPtr> add_round(dag::Dag& dag, Round round,
-                                      const std::vector<ValidatorIndex>& authors,
+                                      const std::vector<ValidatorIndex>&
+                                          authors,
                                       const std::vector<Digest>& parents) {
     std::vector<dag::CertPtr> certs;
     for (ValidatorIndex a : authors) {
@@ -100,7 +103,8 @@ inline std::vector<dag::CertPtr> generate_random_certs(DagBuilder& b, Rng& rng,
     const std::size_t authors =
         quorum + static_cast<std::size_t>(rng.next_below(n - quorum + 1));
     std::vector<ValidatorIndex> pool(n);
-    for (std::size_t i = 0; i < n; ++i) pool[i] = static_cast<ValidatorIndex>(i);
+    for (std::size_t i = 0; i < n; ++i)
+      pool[i] = static_cast<ValidatorIndex>(i);
     rng.shuffle(pool);
     pool.resize(authors);
 

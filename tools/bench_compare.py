@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Diffs freshly produced BENCH_*.json files against the committed baselines in
+bench/results/ and fails (exit 1) when a throughput metric regressed by more
+than --threshold (default 25%). Everything else — latencies, counters,
+wall-clock gauges — is advisory: printed, never gating.
+
+Formats understood:
+  * harness format (bench/bench_json.h, harness/sweep.cpp):
+      {"bench": <name>, "rows": [{"label": ..., "metrics": {...}}, ...]}
+  * google-benchmark --benchmark_out files ("context"/"benchmarks"): listed
+    as advisory only; their wall-clock timings are too machine-dependent to
+    gate.
+
+Rows are matched by (label, occurrence index) — benches legitimately repeat a
+label across load points. A row only gates when its run context matches the
+baseline's (the duration_s metric, i.e. quick vs full mode); mismatched
+context is reported and skipped so a settings change cannot masquerade as a
+perf change.
+
+Usage:
+  tools/bench_compare.py --baseline-dir bench/results --current-dir .
+  tools/bench_compare.py --self-test   # prove the gate trips and passes
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Metrics that gate the job: simulated-time throughput (deterministic given
+# the seed, so machine-independent). Higher is better.
+GATED_METRICS = ("throughput_tps", "throughput_mean")
+# Context keys: rows gate only when these match between baseline and current.
+CONTEXT_METRICS = ("duration_s", "offered_load_tps")
+
+
+def load_rows(path):
+    """Return (kind, rows) where rows is a list of (label, metrics) pairs."""
+    with open(path) as f:
+        data = json.load(f)
+    if "rows" in data:
+        return "harness", [(r["label"], r.get("metrics", {})) for r in data["rows"]]
+    if "benchmarks" in data:
+        rows = []
+        for b in data["benchmarks"]:
+            metrics = {
+                k: v for k, v in b.items() if isinstance(v, (int, float))
+            }
+            rows.append((b.get("name", "?"), metrics))
+        return "gbench", rows
+    return "unknown", []
+
+
+def indexed(rows):
+    """Key rows by (label, occurrence index) so repeated labels pair up."""
+    seen, out = {}, {}
+    for label, metrics in rows:
+        n = seen.get(label, 0)
+        seen[label] = n + 1
+        out[(label, n)] = metrics
+    return out
+
+
+def context_matches(base, cur):
+    for key in CONTEXT_METRICS:
+        if key in base and key in cur and base[key] != cur[key]:
+            return False
+    return True
+
+
+def compare_file(name, base_path, cur_path, threshold, report):
+    base_kind, base_rows = load_rows(base_path)
+    cur_kind, cur_rows = load_rows(cur_path)
+    if base_kind != "harness" or cur_kind != "harness":
+        report.append(f"  [advisory] {name}: {cur_kind} format, not gated")
+        return []
+
+    base_map, cur_map = indexed(base_rows), indexed(cur_rows)
+    regressions = []
+    for key in sorted(set(base_map) & set(cur_map)):
+        base_m, cur_m = base_map[key], cur_map[key]
+        label = f"{name}:{key[0]}" + (f"#{key[1]}" if key[1] else "")
+        if not context_matches(base_m, cur_m):
+            report.append(f"  [skip] {label}: run context differs "
+                          f"(regenerate the baseline)")
+            continue
+        for metric in GATED_METRICS:
+            if metric not in base_m or metric not in cur_m:
+                continue
+            base_v, cur_v = base_m[metric], cur_m[metric]
+            if base_v <= 0:
+                continue
+            delta = (cur_v - base_v) / base_v
+            line = f"{label} {metric}: {base_v:.1f} -> {cur_v:.1f} ({delta:+.1%})"
+            if cur_v < base_v * (1.0 - threshold):
+                regressions.append("  [FAIL] " + line)
+            else:
+                report.append("  [ok]   " + line)
+    only_base = set(base_map) - set(cur_map)
+    only_cur = set(cur_map) - set(base_map)
+    if only_base:
+        report.append(f"  [advisory] {name}: {len(only_base)} baseline row(s) "
+                      f"missing from current run")
+    if only_cur:
+        report.append(f"  [advisory] {name}: {len(only_cur)} new row(s) "
+                      f"without a baseline")
+    return regressions
+
+
+def run_compare(baseline_dir, current_dir, threshold):
+    current_files = sorted(glob.glob(os.path.join(current_dir, "BENCH_*.json")))
+    if not current_files:
+        print(f"no BENCH_*.json under {current_dir}", file=sys.stderr)
+        return 2
+    regressions, report, compared = [], [], 0
+    for cur_path in current_files:
+        name = os.path.basename(cur_path)
+        base_path = os.path.join(baseline_dir, name)
+        if not os.path.exists(base_path):
+            report.append(f"  [advisory] {name}: no committed baseline")
+            continue
+        compared += 1
+        regressions += compare_file(name, base_path, cur_path, threshold, report)
+
+    print(f"bench_compare: {compared} file(s) with baselines, "
+          f"threshold {threshold:.0%}")
+    for line in report:
+        print(line)
+    if regressions:
+        print(f"\n{len(regressions)} throughput regression(s) beyond "
+              f"{threshold:.0%}:")
+        for line in regressions:
+            print(line)
+        return 1
+    print("\nno gating regressions")
+    return 0
+
+
+def self_test(threshold):
+    """Prove the gate passes on identical data and trips on an injected
+    regression just past the threshold (and not on one just inside it)."""
+    import tempfile
+
+    payload = {
+        "bench": "selftest",
+        "rows": [
+            {"label": "cell", "metrics": {"throughput_tps": 1000.0,
+                                          "duration_s": 8, "p95_latency_s": 2.0}},
+            {"label": "cell", "metrics": {"throughput_tps": 800.0,
+                                          "duration_s": 8}},
+            {"label": "agg/cell", "metrics": {"throughput_mean": 900.0}},
+        ],
+    }
+
+    def scaled(factor):
+        out = json.loads(json.dumps(payload))
+        for row in out["rows"]:
+            for key in GATED_METRICS:
+                if key in row["metrics"]:
+                    row["metrics"][key] *= factor
+        return out
+
+    cases = [
+        ("baseline vs itself", 1.0, 0),
+        ("regression inside threshold", 1.0 - threshold + 0.05, 0),
+        ("regression beyond threshold", 1.0 - threshold - 0.05, 1),
+        ("improvement", 1.3, 0),
+    ]
+    failures = 0
+    for desc, factor, expected in cases:
+        with tempfile.TemporaryDirectory() as tmp:
+            base_dir = os.path.join(tmp, "base")
+            cur_dir = os.path.join(tmp, "cur")
+            os.makedirs(base_dir)
+            os.makedirs(cur_dir)
+            with open(os.path.join(base_dir, "BENCH_selftest.json"), "w") as f:
+                json.dump(payload, f)
+            with open(os.path.join(cur_dir, "BENCH_selftest.json"), "w") as f:
+                json.dump(scaled(factor), f)
+            print(f"--- self-test: {desc} (x{factor:.2f}) ---")
+            got = run_compare(base_dir, cur_dir, threshold)
+            if got != expected:
+                print(f"SELF-TEST FAILURE: {desc}: exit {got}, "
+                      f"expected {expected}", file=sys.stderr)
+                failures += 1
+    if failures:
+        return 1
+    print("self-test OK: gate trips beyond threshold, passes otherwise")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/results")
+    parser.add_argument("--current-dir", default=".")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional throughput drop that fails the job")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate logic and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        sys.exit(self_test(args.threshold))
+    sys.exit(run_compare(args.baseline_dir, args.current_dir, args.threshold))
+
+
+if __name__ == "__main__":
+    main()
