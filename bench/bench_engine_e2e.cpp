@@ -1,13 +1,35 @@
 // End-to-end event-engine throughput: the Figure-1 faultless workload at
 // n=100, measured in engine events per wall-clock second. This is the
-// acceptance gauge for the batched event engine + multicast fabric —
-// compare rows across commits in bench/results/BENCH_engine_e2e.json.
+// acceptance gauge for the batched event engine + multicast fabric and for
+// the sharded (intra-run parallel) executor — compare rows across commits
+// in bench/results/BENCH_engine_e2e.json.
+//
+// Rows:
+//   fig1_n<N>                  legacy config (no slotting, serial) — the
+//                              long-lived baseline series.
+//   fig1_n<N>_slot256_jobs1    delivery/dispatch slotting on, serial: the
+//                              reference row every sharded row compares
+//                              against (same simulated schedule).
+//   fig1_n<N>_slot256_jobsK    same schedule on K workers. Simulated
+//                              metrics and the trace hash are bit-identical
+//                              to jobs1 by construction; only the wall
+//                              gauges differ. speedup_vs_serial is
+//                              host-dependent (1-core hosts show <= 1).
+//
+// --verify: fail (exit 1) unless every sharded row's trace hash equals the
+// serial reference — the engine-level determinism acceptance check.
+#include <cstring>
+
 #include "bench_util.h"
 
 using namespace hammerhead;
 using namespace hammerhead::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bool verify = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--verify") == 0) verify = true;
+
   JsonReport::instance().init("engine_e2e");
   std::cout << "Event-engine end-to-end throughput (fig1 workload)\n";
 
@@ -17,25 +39,68 @@ int main() {
   cfg.duration = bench_duration(seconds(30));
   cfg.warmup = std::min<SimTime>(seconds(10), cfg.duration / 3);
 
-  const auto r = harness::run_experiment(cfg);
-  std::cout << "n=" << n << "  events=" << r.sim_events
-            << "  wall_s=" << r.wall_seconds
-            << "  events/s="
-            << static_cast<std::uint64_t>(r.events_per_sec_wall)
-            << "  allocs/event=" << r.allocs_per_event
-            << "  tput=" << r.throughput_tps << " tx/s"
-            << "  commits=" << r.committed_anchors << "\n";
-  JsonReport::instance().row(
-      "fig1_n" + std::to_string(n),
-      {{"sim_events", static_cast<double>(r.sim_events)},
-       {"wall_seconds", r.wall_seconds},
-       {"events_per_sec_wall", r.events_per_sec_wall},
-       {"allocs_per_event", r.allocs_per_event},
-       {"throughput_tps", r.throughput_tps},
-       // Run context for the regression gate (quick vs full mode).
-       {"duration_s", r.duration_s},
-       {"offered_load_tps", r.offered_load_tps},
-       {"committed_anchors", static_cast<double>(r.committed_anchors)}});
+  const auto emit = [&](const std::string& label,
+                        const harness::ExperimentResult& r,
+                        double speedup_vs_serial) {
+    std::cout << label << "  events=" << r.sim_events
+              << "  wall_s=" << r.wall_seconds << "  events/s="
+              << static_cast<std::uint64_t>(r.events_per_sec_wall)
+              << "  par_frac="
+              << (r.sim_events > 0 ? static_cast<double>(r.parallel_events) /
+                                         static_cast<double>(r.sim_events)
+                                   : 0)
+              << "  tput=" << r.throughput_tps << " tx/s"
+              << "  commits=" << r.committed_anchors
+              << (speedup_vs_serial > 0
+                      ? "  speedup=" + std::to_string(speedup_vs_serial)
+                      : std::string())
+              << "\n";
+    JsonReport::instance().row(
+        label,
+        {{"sim_events", static_cast<double>(r.sim_events)},
+         {"wall_seconds", r.wall_seconds},
+         {"events_per_sec_wall", r.events_per_sec_wall},
+         {"allocs_per_event", r.allocs_per_event},
+         {"throughput_tps", r.throughput_tps},
+         {"intra_jobs", static_cast<double>(r.intra_jobs)},
+         {"parallel_event_frac",
+          r.sim_events > 0 ? static_cast<double>(r.parallel_events) /
+                                 static_cast<double>(r.sim_events)
+                           : 0.0},
+         {"speedup_vs_serial", speedup_vs_serial},
+         // Run context for the regression gate (quick vs full mode).
+         {"duration_s", r.duration_s},
+         {"offered_load_tps", r.offered_load_tps},
+         {"committed_anchors", static_cast<double>(r.committed_anchors)}});
+  };
+
+  // Long-lived baseline series: legacy schedule, serial.
+  const auto legacy = harness::run_experiment(cfg);
+  emit("fig1_n" + std::to_string(n), legacy, 0.0);
+
+  // Sharded comparison at a fixed 256 us execution slot: serial reference
+  // first, then worker counts. Same seed + slot => same simulated schedule.
+  cfg.exec_slot = 256;
+  cfg.intra_jobs = 1;
+  const auto serial = harness::run_experiment(cfg);
+  const std::string base = "fig1_n" + std::to_string(n) + "_slot256_jobs";
+  emit(base + "1", serial, 1.0);
+
+  bool hashes_ok = true;
+  for (const std::size_t jobs : {2ul, 4ul}) {
+    cfg.intra_jobs = jobs;
+    const auto r = harness::run_experiment(cfg);
+    emit(base + std::to_string(jobs), r,
+         r.wall_seconds > 0 ? serial.wall_seconds / r.wall_seconds : 0.0);
+    if (r.trace_hash != serial.trace_hash) {
+      hashes_ok = false;
+      std::cout << "TRACE HASH MISMATCH at jobs=" << jobs << ": "
+                << r.trace_hash << " != serial " << serial.trace_hash
+                << "\n";
+    }
+  }
+  std::cout << (hashes_ok ? "trace hashes: jobs{2,4} == jobs1\n"
+                          : "trace hashes: MISMATCH\n");
 
   if (!quick_mode()) {
     // Fixed reference: the PR 2 engine (single priority_queue + hash-set
@@ -51,5 +116,6 @@ int main() {
          {"throughput_tps", 3069.0},
          {"committed_anchors", 24.0}});
   }
+  if (verify && !hashes_ok) return 1;
   return 0;
 }

@@ -1,9 +1,17 @@
-// One-invocation fig1+fig2-style grid: 2 policies x 3 fault scenarios
-// (partition, churn, churn-deep) x 2 committee sizes x 3 seeds = 36
-// cells, executed by the parallel sweep driver (harness/sweep.h).
+// One-invocation fig1+fig2-style grid over (policy x committee size x
+// fault scenario x seed), executed by the parallel sweep driver
+// (harness/sweep.h). Full mode: 2 policies x {10,20,50,100} x
+// {partition, churn, churn-deep, slow} x 3 seeds = 96 cells (the nightly
+// baseline grid). Quick mode (CI gate) filters the grid to 36 cells that
+// fit the previous time budget: every scenario at n=10, partition+churn at
+// n=20 — the filter drops cells after seed derivation, so quick cells run
+// the exact seeds the full grid would.
+//
 // Per-cell results are bit-identical at any --jobs count (deterministic
-// splitmix seed derivation + one Simulator per run); pass --verify to
-// prove it in-process against a --jobs=1 rerun.
+// splitmix seed derivation + one Simulator per run) and at any
+// --intra-jobs count (sharded execution inside each Simulator); pass
+// --verify to prove both in-process against a --jobs=1/--intra-jobs=1
+// rerun.
 //
 // Output: BENCH_sweep_matrix.json with per-cell throughput/p50/p95/p99/
 // commits plus cross-seed mean/stddev rows — the artifact the CI
@@ -22,16 +30,24 @@ using namespace hammerhead::bench;
 int main(int argc, char** argv) {
   std::size_t jobs = std::min<std::size_t>(
       8, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  std::size_t intra_jobs = 1;
   bool verify = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
       jobs = static_cast<std::size_t>(std::strtoul(argv[i] + 7, nullptr, 10));
+    else if (std::strcmp(argv[i], "--intra-jobs") == 0 && i + 1 < argc)
+      intra_jobs =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    else if (std::strncmp(argv[i], "--intra-jobs=", 13) == 0)
+      intra_jobs =
+          static_cast<std::size_t>(std::strtoul(argv[i] + 13, nullptr, 10));
     else if (std::strcmp(argv[i], "--verify") == 0)
       verify = true;
   }
   if (jobs == 0) jobs = 1;
+  if (intra_jobs == 0) intra_jobs = 1;
 
   harness::SweepSpec spec;
   spec.name = "matrix";
@@ -39,12 +55,36 @@ int main(int argc, char** argv) {
                            harness::PolicyKind::HammerHead);
   spec.base.duration = bench_duration(seconds(30));
   spec.base.warmup = std::min<SimTime>(seconds(10), spec.base.duration / 3);
+  // Intra-run parallelism: each cell's Simulator gets its own worker pool
+  // (+ the execution slotting that creates sharded batches). Trades
+  // inter-run for intra-run parallelism — worth it when a few large-n
+  // cells dominate the grid's critical path. Results are bit-identical
+  // either way; the committed baselines are generated at the defaults
+  // (--jobs only, no slotting).
+  spec.base.intra_jobs = intra_jobs;
+  if (intra_jobs > 1) spec.base.exec_slot = 256;
   spec.policies = {harness::PolicyKind::HammerHead,
                    harness::PolicyKind::RoundRobin};
-  spec.committee_sizes = {10, 20};
+  // ONE cartesian grid for both modes — quick mode shrinks it with the
+  // cell FILTER, never by truncating an axis: the filter drops cells after
+  // seed derivation, so a quick cell and its same-label nightly full-grid
+  // cell run the identical derived seed and stay bit-comparable.
+  spec.committee_sizes = {10, 20, 50, 100};
   spec.seeds = {1, 2, 3};
   spec.scenarios = {harness::scenario_partition(), harness::scenario_churn(),
-                    harness::scenario_churn_deep()};
+                    harness::scenario_churn_deep(),
+                    harness::scenario_slow_validators()};
+  if (quick_mode()) {
+    // Keep the CI gate inside its previous 36-cell budget: no n=50/100,
+    // the new slow axis runs at n=10, paid for by dropping the two most
+    // expensive n=20 combos (churn-deep forces state syncs; slow
+    // stretches the incident window) — those stay covered nightly.
+    spec.cell_filter = [](const harness::SweepCell& cell) {
+      if (cell.num_validators > 20) return false;
+      if (cell.num_validators <= 10) return true;
+      return cell.scenario == "partition" || cell.scenario == "churn";
+    };
+  }
 
   std::cout << "Sweep matrix: " << spec.policies.size() << " policies x "
             << spec.committee_sizes.size() << " committee sizes x "
@@ -87,10 +127,13 @@ int main(int argc, char** argv) {
             << sweep.groups.size() << " aggregate rows)\n";
 
   if (verify) {
-    std::cout << "\nverify: rerunning at --jobs=1 ...\n";
+    std::cout << "\nverify: rerunning at --jobs=1 --intra-jobs=1 ...\n";
+    harness::SweepSpec ref_spec = spec;
+    ref_spec.base.intra_jobs = 1;  // same slotting, fully serial engines
     harness::SweepOptions serial;
     serial.jobs = 1;
-    const harness::SweepResult reference = harness::run_sweep(spec, serial);
+    const harness::SweepResult reference =
+        harness::run_sweep(ref_spec, serial);
     std::size_t mismatches = 0;
     for (std::size_t i = 0; i < sweep.results.size(); ++i) {
       if (harness::deterministic_signature(sweep.results[i]) !=

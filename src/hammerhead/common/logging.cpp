@@ -1,12 +1,13 @@
 #include "hammerhead/common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 
 namespace hammerhead {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::mutex g_mutex;
 
 void default_sink(LogLevel level, const std::string& msg) {
@@ -19,9 +20,11 @@ LogSink& sink_storage() {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 LogSink set_log_sink(LogSink sink) {
   std::lock_guard lock(g_mutex);

@@ -32,12 +32,15 @@ void Header::finalize(const crypto::Keypair& author_key) {
 }
 
 bool Header::verify_content(const crypto::Committee& committee) const {
-  if (verify_state_ != 0) return verify_state_ == 1;
+  // Relaxed atomics: concurrent verifiers compute the same value from
+  // immutable fields; the atomic only removes the racing flag write.
+  const std::uint8_t state = verify_state_.load(std::memory_order_relaxed);
+  if (state != 0) return state == 1;
   const bool ok =
       author < committee.size() && compute_digest() == digest &&
       crypto::verify(committee.validator(author).key, kHeaderSigContext,
                      digest, signature);
-  verify_state_ = ok ? 1 : 2;
+  verify_state_.store(ok ? 1 : 2, std::memory_order_relaxed);
   return ok;
 }
 
@@ -65,7 +68,8 @@ Stake Certificate::signer_stake(const crypto::Committee& committee) const {
 }
 
 bool Certificate::verify(const crypto::Committee& committee) const {
-  if (verify_state_ != 0) return verify_state_ == 1;
+  const std::uint8_t state = verify_state_.load(std::memory_order_relaxed);
+  if (state != 0) return state == 1;
   const bool ok = [&] {
     if (!header) return false;
     if (!header->verify_content(committee)) return false;
@@ -77,7 +81,7 @@ bool Certificate::verify(const crypto::Committee& committee) const {
       if (v >= committee.size()) return false;
     return signer_stake(committee) >= committee.quorum_threshold();
   }();
-  verify_state_ = ok ? 1 : 2;
+  verify_state_.store(ok ? 1 : 2, std::memory_order_relaxed);
   return ok;
 }
 

@@ -8,6 +8,7 @@
 // exist per (author, round), so the DAG is equivocation-free by construction.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -42,6 +43,19 @@ struct BlockPayload {
 using PayloadPtr = std::shared_ptr<const BlockPayload>;
 
 struct Header {
+  Header() = default;
+  /// Copyable despite the atomic memo flag (tests clone-and-tamper
+  /// headers); the copy re-verifies from scratch.
+  Header(const Header& other)
+      : author(other.author),
+        round(other.round),
+        parents(other.parents),
+        payload(other.payload),
+        created_at(other.created_at),
+        digest(other.digest),
+        signature(other.signature) {}
+  Header& operator=(const Header&) = delete;
+
   ValidatorIndex author = 0;
   Round round = 0;
   /// Digests of parent certificates at `round - 1`. Empty only for round 0.
@@ -72,7 +86,11 @@ struct Header {
   }
 
  private:
-  mutable std::uint8_t verify_state_ = 0;  // 0 unknown, 1 ok, 2 bad
+  /// 0 unknown, 1 ok, 2 bad. Atomic: under sharded execution two
+  /// validators may verify the same shared header concurrently; both
+  /// compute the same value from immutable fields, so relaxed ordering
+  /// suffices — the atomic only removes the write/write race on the flag.
+  mutable std::atomic<std::uint8_t> verify_state_{0};
 };
 
 using HeaderPtr = std::shared_ptr<const Header>;
@@ -135,12 +153,27 @@ struct Certificate {
   /// other n-1 — they re-verify residency + digest against their own arena
   /// instead of hashing every parent digest. nullptr until memoized;
   /// entry[i] corresponds to parents()[i].
+  ///
+  /// Publication protocol (sharded execution): the memo value is canonical
+  /// — every validator would compute the identical vector — but the vector
+  /// write itself must be exclusive. The first claimant CASes the state to
+  /// `writing`, fills the vector, and release-stores `ready`; losers simply
+  /// skip memoizing (their locally computed result is already in hand), and
+  /// readers acquire-load `ready` before touching the vector. Whether a
+  /// reader hits or misses the memo is timing-dependent, but the outcome of
+  /// either path is identical, so traces stay bit-identical.
   const std::vector<std::uint64_t>* parent_handle_memo() const {
-    return parent_memo_valid_ ? &parent_memo_ : nullptr;
+    return parent_memo_state_.load(std::memory_order_acquire) == 2
+               ? &parent_memo_
+               : nullptr;
   }
   void memoize_parent_handles(const std::vector<std::uint64_t>& ids) const {
+    std::uint8_t expected = 0;
+    if (!parent_memo_state_.compare_exchange_strong(
+            expected, 1, std::memory_order_acq_rel))
+      return;  // another validator is writing (or already wrote) it
     parent_memo_ = ids;
-    parent_memo_valid_ = true;
+    parent_memo_state_.store(2, std::memory_order_release);
   }
 
   /// Memoized ancestor bitmap (see DagIndex::on_insert): with identical
@@ -148,32 +181,40 @@ struct Certificate {
   /// ancestor bitmap of this vertex is the same in every validator's index,
   /// so the first computation is shared. Only stored when the producer's gc
   /// floor sat at/below the window base, making the rows canonical for any
-  /// consumer whose floor is higher.
+  /// consumer whose floor is higher. Same claim/publish protocol as the
+  /// parent-handle memo.
   const std::vector<std::uint64_t>* ancestor_bitmap_memo(
       std::uint64_t lo, std::uint32_t words_per_round) const {
-    return ancestor_memo_valid_ && ancestor_memo_lo_ == lo &&
+    return ancestor_memo_state_.load(std::memory_order_acquire) == 2 &&
+                   ancestor_memo_lo_ == lo &&
                    ancestor_memo_wpr_ == words_per_round
                ? &ancestor_memo_
                : nullptr;
   }
   void memoize_ancestor_bitmap(std::uint64_t lo, std::uint32_t words_per_round,
                                const std::vector<std::uint64_t>& words) const {
+    std::uint8_t expected = 0;
+    if (!ancestor_memo_state_.compare_exchange_strong(
+            expected, 1, std::memory_order_acq_rel))
+      return;
     ancestor_memo_lo_ = lo;
     ancestor_memo_wpr_ = words_per_round;
     ancestor_memo_ = words;
-    ancestor_memo_valid_ = true;
+    ancestor_memo_state_.store(2, std::memory_order_release);
   }
 
  private:
   /// Indices into header->parents, ordered by digest (for has_parent).
   std::vector<std::uint16_t> parent_order_;
-  mutable std::uint8_t verify_state_ = 0;  // memoized verify(); see Header
+  /// Memoized verify(); see Header::verify_state_.
+  mutable std::atomic<std::uint8_t> verify_state_{0};
   mutable std::vector<std::uint64_t> parent_memo_;
-  mutable bool parent_memo_valid_ = false;
+  /// 0 empty, 1 being written, 2 ready.
+  mutable std::atomic<std::uint8_t> parent_memo_state_{0};
   mutable std::vector<std::uint64_t> ancestor_memo_;
   mutable std::uint64_t ancestor_memo_lo_ = 0;
   mutable std::uint32_t ancestor_memo_wpr_ = 0;
-  mutable bool ancestor_memo_valid_ = false;
+  mutable std::atomic<std::uint8_t> ancestor_memo_state_{0};
 };
 
 using CertPtr = std::shared_ptr<const Certificate>;

@@ -75,6 +75,13 @@ std::unique_ptr<net::LatencyModel> make_latency_model(
 /// tick and the client->validator hop ride raw engine events; in-flight
 /// transactions wait in a FIFO (the hop latency is constant, so delivery
 /// order equals submission order) — no per-transaction allocations.
+///
+/// Sharded execution: every generator event runs on its validator's shard
+/// (the generator touches only its own RNG/FIFO and that validator's
+/// mempool); the one cross-shard effect — the harness-global metrics
+/// collector — rides the allocation-free staged-client channel so
+/// submission registrations interleave in exact (time, seq) order at any
+/// worker count.
 class LoadGenerator {
  public:
   LoadGenerator(sim::Simulator& sim, node::Validator& validator,
@@ -99,12 +106,24 @@ class LoadGenerator {
   static void hop_trampoline(void* ctx, std::uint64_t) {
     static_cast<LoadGenerator*>(ctx)->arrive();
   }
+  /// Staged-replay path for the metrics registration: the transaction is
+  /// rebuilt from (id, submit_time) so staging stays allocation-free.
+  static void submit_trampoline(void* ctx, std::uint64_t id,
+                                std::uint64_t submit_time,
+                                const std::shared_ptr<const void>&) {
+    auto* gen = static_cast<LoadGenerator*>(ctx);
+    dag::Transaction tx;
+    tx.id = id;
+    tx.submitted_to = gen->validator_.index();
+    tx.submit_time = static_cast<SimTime>(submit_time);
+    gen->metrics_.on_tx_submitted(tx);
+  }
 
   void schedule_next() {
     const SimTime gap = std::max<SimTime>(
         1, static_cast<SimTime>(rng_.next_exponential(mean_gap_us_)));
     sim_.schedule_raw_at(sim_.now() + gap, &LoadGenerator::tick_trampoline,
-                         this, 0);
+                         this, 0, /*shard=*/validator_.index());
   }
 
   void tick() {
@@ -113,11 +132,14 @@ class LoadGenerator {
     tx.id = next_id_++;
     tx.submitted_to = validator_.index();
     tx.submit_time = sim_.now();
-    metrics_.on_tx_submitted(tx);
+    if (!sim_.stage_client(&LoadGenerator::submit_trampoline, this, tx.id,
+                           static_cast<std::uint64_t>(tx.submit_time)))
+      metrics_.on_tx_submitted(tx);
     // Client -> validator hop.
     in_flight_.push_back(tx);
     sim_.schedule_raw_at(sim_.now() + client_latency_,
-                         &LoadGenerator::hop_trampoline, this, 0);
+                         &LoadGenerator::hop_trampoline, this, 0,
+                         /*shard=*/validator_.index());
     schedule_next();
   }
 
@@ -137,20 +159,43 @@ class LoadGenerator {
   std::deque<dag::Transaction> in_flight_;
 };
 
+/// FNV-1a fingerprint over the deterministic fields of a finished run (the
+/// wall-clock gauges are excluded). Identical across worker counts.
+std::uint64_t compute_trace_hash(const ExperimentResult& r,
+                                 std::uint64_t latency_samples_hash) {
+  Fnv1a fnv;
+  fnv.mix(r.submitted);
+  fnv.mix(r.committed);
+  fnv.mix(r.sim_events);
+  fnv.mix(r.committed_anchors);
+  fnv.mix(r.skipped_anchors);
+  fnv.mix(r.schedule_changes);
+  fnv.mix(r.leader_timeouts);
+  fnv.mix(static_cast<std::uint64_t>(r.last_anchor_round));
+  fnv.mix(r.restarts);
+  fnv.mix(r.state_syncs_completed);
+  fnv.mix(r.messages_held);
+  for (const std::uint64_t a : r.anchors_by_author) fnv.mix(a);
+  fnv.mix(latency_samples_hash);
+  return fnv.hash;
+}
+
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   HH_ASSERT(config.num_validators >= 4);
   HH_ASSERT(config.faults <= config.num_validators);
 
-  sim::Simulator sim(config.seed);
+  sim::Simulator sim(config.seed, config.intra_jobs);
   const crypto::Committee committee =
       config.stakes.empty()
           ? crypto::Committee::make_equal_stake(config.num_validators,
                                                 config.seed)
           : crypto::Committee::make_with_stakes(config.stakes, config.seed);
 
-  net::Network network(sim, make_latency_model(config), config.net,
+  net::NetConfig net_config = config.net;
+  if (config.exec_slot > 0) net_config.delivery_slot = config.exec_slot;
+  net::Network network(sim, make_latency_model(config), net_config,
                        config.num_validators);
 
   MetricsCollector metrics(config.warmup);
@@ -161,6 +206,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   node::NodeConfig node_config = config.node;
   node_config.key_seed = config.seed;
+  if (config.exec_slot > 0) node_config.dispatch_slot = config.exec_slot;
 
   // Which validators crash at crash_time (Figure 2 style): the highest
   // indices, which under the i % 13 region mapping still spread over regions.
@@ -306,6 +352,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           ? static_cast<double>(sim.engine_allocs()) /
                 static_cast<double>(result.sim_events)
           : 0;
+  result.intra_jobs = sim.workers();
+  result.parallel_events = sim.stats().parallel_events;
+  result.staged_ops = sim.stats().staged_ops;
   result.policy =
       config.custom_policy ? "custom" : policy_name(config.policy);
   result.duration_s = to_seconds(config.duration);
@@ -348,6 +397,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.messages_held = network.stats().messages_held;
 
   result.anchors_by_author = std::move(anchors_by_author);
+  // The percentile queries above already sorted the sample store, so the
+  // fingerprint covers the sorted stream — every run executes this same
+  // sequence, so equal traces hash equal and any divergence still differs.
+  result.trace_hash =
+      compute_trace_hash(result, metrics.latency().sample_hash());
   return result;
 }
 

@@ -105,6 +105,21 @@ struct ExperimentConfig {
   /// Load generators only target validators that have not crashed by
   /// `crash_time` (benchmark clients connect to live nodes).
   bool clients_avoid_crashed = true;
+
+  /// Worker threads INSIDE the one Simulator of this run (1 = serial).
+  /// Orthogonal to the sweep driver's --jobs, which parallelizes across
+  /// runs; cells can trade inter- for intra-run parallelism. Seeded runs
+  /// are bit-identical at any value (see ARCHITECTURE.md, "Sharded
+  /// execution").
+  std::size_t intra_jobs = 1;
+  /// Execution slot in microseconds (0 = off): sets both the fabric's
+  /// delivery slotting (net.delivery_slot) and the validators' dispatch
+  /// slotting (node.dispatch_slot) so same-slot events form dense batches
+  /// the sharded Simulator can spread across workers. Deterministic at any
+  /// worker count; a non-zero slot shifts timestamps (and thus simulated
+  /// metrics) slightly, so serial and sharded rows of one comparison must
+  /// use the same value.
+  SimTime exec_slot = 0;
 };
 
 struct ExperimentResult {
@@ -142,6 +157,17 @@ struct ExperimentResult {
   /// Engine-side heap allocations per executed event (slab growth, bucket
   /// and heap capacity growth, std::function storage); ~0 in steady state.
   double allocs_per_event = 0;
+  /// Sharded-execution gauges: worker count, events run inside parallel
+  /// waves and effects staged for ordered replay (wall-independent but
+  /// schedule-dependent; excluded from trace_hash).
+  std::size_t intra_jobs = 1;
+  std::uint64_t parallel_events = 0;
+  std::uint64_t staged_ops = 0;
+
+  /// FNV-1a over every deterministic field above plus the raw latency
+  /// sample stream: the one-number replay fingerprint the sharded-engine
+  /// tests compare across worker counts (hash(jobs=1) == hash(jobs=K)).
+  std::uint64_t trace_hash = 0;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& config);

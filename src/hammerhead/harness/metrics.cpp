@@ -50,6 +50,13 @@ double LatencyHistogram::max_s() const {
   return to_seconds(samples_.back());
 }
 
+std::uint64_t LatencyHistogram::sample_hash() const {
+  Fnv1a fnv;
+  for (const SimTime s : samples_) fnv.mix(static_cast<std::uint64_t>(s));
+  fnv.mix(samples_.size());
+  return fnv.hash;
+}
+
 void MetricsCollector::on_tx_submitted(const dag::Transaction& tx) {
   ++submitted_;
   in_flight_.emplace(tx.id, tx.submit_time);

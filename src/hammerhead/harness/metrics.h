@@ -17,6 +17,20 @@
 
 namespace hammerhead::harness {
 
+/// Incremental FNV-1a over 64-bit words, byte by byte — the one mixer
+/// behind every replay fingerprint (ExperimentResult::trace_hash and
+/// LatencyHistogram::sample_hash feed the same stream shape, so they must
+/// never diverge).
+struct Fnv1a {
+  std::uint64_t hash = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (v >> (8 * b)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  }
+};
+
 class LatencyHistogram {
  public:
   void record(SimTime latency) {
@@ -30,6 +44,10 @@ class LatencyHistogram {
   /// p in [0, 100].
   double percentile_s(double p) const;
   double max_s() const;
+  /// FNV-1a over the raw integer sample stream in its current storage
+  /// order (insertion order until the first percentile query sorts it) —
+  /// the replay fingerprint the sharded-engine determinism tests compare.
+  std::uint64_t sample_hash() const;
 
  private:
   void ensure_sorted() const;

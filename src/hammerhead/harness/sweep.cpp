@@ -99,6 +99,25 @@ FaultScenario scenario_churn(std::size_t nodes) {
                        }};
 }
 
+FaultScenario scenario_slow_validators(double factor, double from_frac,
+                                       double to_frac) {
+  HH_ASSERT(factor >= 1.0);
+  HH_ASSERT(from_frac >= 0 && to_frac > from_frac && to_frac <= 1.0);
+  return FaultScenario{"slow", [factor, from_frac, to_frac](
+                                   ExperimentConfig& cfg) {
+                         SlowWindow w;
+                         w.nodes = top_indices(
+                             cfg.num_validators,
+                             minority_size(cfg.num_validators));
+                         w.factor = factor;
+                         w.from = static_cast<SimTime>(
+                             static_cast<double>(cfg.duration) * from_frac);
+                         w.to = static_cast<SimTime>(
+                             static_cast<double>(cfg.duration) * to_frac);
+                         cfg.slow_windows.push_back(std::move(w));
+                       }};
+}
+
 FaultScenario scenario_churn_deep() {
   return FaultScenario{"churn-deep", [](ExperimentConfig& cfg) {
                          // Shrink the GC window, speed the round cadence
@@ -164,7 +183,11 @@ std::vector<SweepCell> expand_sweep(const SweepSpec& spec) {
                   ? derive_run_seed(spec.seed_salt, axis_seed, index)
                   : axis_seed;
           if (scenario.apply) scenario.apply(cell.config);
-          cells.push_back(std::move(cell));
+          // The filter drops cells AFTER the seed derivation consumed this
+          // grid index, so kept cells run the exact seeds the full grid
+          // would (quick-mode subsets stay comparable with full mode).
+          if (!spec.cell_filter || spec.cell_filter(cell))
+            cells.push_back(std::move(cell));
           ++index;
         }
       }
@@ -256,7 +279,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       ++end;
     SweepGroupStats g;
     g.label = key;
-    double sum = 0, sum_sq = 0;
+    double sum = 0, sum_sq = 0, p95_sum = 0, p95_sum_sq = 0;
     for (std::size_t j = i; j < end; ++j) {
       if (failed[j]) continue;
       const ExperimentResult& r = sweep.results[j];
@@ -266,9 +289,10 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       }
       sum += r.throughput_tps;
       sum_sq += r.throughput_tps * r.throughput_tps;
+      p95_sum += r.p95_latency_s;
+      p95_sum_sq += r.p95_latency_s * r.p95_latency_s;
       g.avg_latency_mean += r.avg_latency_s;
       g.p50_mean += r.p50_latency_s;
-      g.p95_mean += r.p95_latency_s;
       g.p99_mean += r.p99_latency_s;
       g.committed_anchors_mean += static_cast<double>(r.committed_anchors);
       g.skipped_anchors_mean += static_cast<double>(r.skipped_anchors);
@@ -281,7 +305,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     g.throughput_mean = sum / count;
     g.avg_latency_mean /= count;
     g.p50_mean /= count;
-    g.p95_mean /= count;
+    g.p95_mean = p95_sum / count;
     g.p99_mean /= count;
     g.committed_anchors_mean /= count;
     g.skipped_anchors_mean /= count;
@@ -289,6 +313,9 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       const double var =
           std::max(0.0, (sum_sq - sum * sum / count) / (count - 1));
       g.throughput_stddev = std::sqrt(var);
+      const double p95_var = std::max(
+          0.0, (p95_sum_sq - p95_sum * p95_sum / count) / (count - 1));
+      g.p95_stddev = std::sqrt(p95_var);
     }
     sweep.groups.push_back(std::move(g));
     i = end;
@@ -358,6 +385,7 @@ std::string write_sweep_json(const SweepResult& sweep,
     write_json_metric(f, false, "avg_latency_mean", g.avg_latency_mean);
     write_json_metric(f, false, "p50_mean", g.p50_mean);
     write_json_metric(f, false, "p95_mean", g.p95_mean);
+    write_json_metric(f, false, "p95_stddev", g.p95_stddev);
     write_json_metric(f, false, "p99_mean", g.p99_mean);
     write_json_metric(f, false, "committed_anchors_mean", g.committed_anchors_mean);
     write_json_metric(f, false, "skipped_anchors_mean", g.skipped_anchors_mean);
@@ -388,6 +416,8 @@ std::string deterministic_signature(const ExperimentResult& r) {
       static_cast<unsigned long long>(r.messages_held),
       static_cast<unsigned long long>(r.sim_events));
   std::string sig = buf;
+  sig += "|trace=";
+  sig += std::to_string(r.trace_hash);
   sig += "|authors=";
   for (std::uint64_t a : r.anchors_by_author) {
     sig += std::to_string(a);

@@ -76,7 +76,16 @@ FaultScenario scenario_churn(std::size_t nodes = 1);
 /// re-entry covered by the gated sweep grid, not just unit tests.
 FaultScenario scenario_churn_deep();
 
+/// Degraded validators (the Section 1 Sui-incident shape, same knobs as
+/// bench_incident_slow_validators): the top minority runs with CPU and
+/// links slowed by `factor` during [from_frac, to_frac) of the run.
+FaultScenario scenario_slow_validators(double factor = 8.0,
+                                       double from_frac = 0.25,
+                                       double to_frac = 0.75);
+
 // --- sweep specification ----------------------------------------------------
+
+struct SweepCell;
 
 struct SweepSpec {
   /// Output name: results land in BENCH_sweep_<name>.json.
@@ -99,6 +108,13 @@ struct SweepSpec {
   /// When false, cells use the seed-axis value verbatim instead of the
   /// splitmix derivation (reproducing a specific single run inside a grid).
   bool derive_seeds = true;
+  /// Cell filter applied at expansion (nullptr = keep everything): grid
+  /// cells it rejects are dropped BEFORE execution, while grid_index — and
+  /// thus every kept cell's derived seed — still counts the full cartesian
+  /// grid, so a filtered quick-mode run stays bit-comparable with the same
+  /// cells of the unfiltered full grid. How the quick-mode CI matrix stays
+  /// inside its time budget as axes grow (see bench_sweep_matrix).
+  std::function<bool(const SweepCell&)> cell_filter;
 };
 
 /// One fully materialized run: everything a worker needs, fixed at
@@ -130,6 +146,11 @@ struct SweepGroupStats {
   double avg_latency_mean = 0;
   double p50_mean = 0;
   double p95_mean = 0;
+  /// Cross-seed sample stddev of p95 latency: the variance context the
+  /// regression gate needs to promote p95 from advisory to gating
+  /// (tools/bench_compare.py trips when p95 grows beyond
+  /// max(25%, 3 x this)).
+  double p95_stddev = 0;
   double p99_mean = 0;
   double committed_anchors_mean = 0;
   double skipped_anchors_mean = 0;

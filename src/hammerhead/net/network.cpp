@@ -124,7 +124,16 @@ SimTime Network::compute_arrival(ValidatorIndex from, ValidatorIndex to,
   const SimTime bound = std::max(config_.gst, now) + config_.delta;
   arrival = std::min(arrival, bound);
   // Propagation can never be instant.
-  return std::max(arrival, now + 1);
+  arrival = std::max(arrival, now + 1);
+  if (config_.delivery_slot > 1) {
+    // Delivery slotting (sharded execution): round the arrival UP to the
+    // slot grid so same-slot deliveries batch, re-capping at the partial-
+    // synchrony bound so quantization can never violate it.
+    const SimTime q = config_.delivery_slot;
+    arrival = std::min(((arrival + q - 1) / q) * q,
+                       std::max(bound, now + 1));
+  }
+  return arrival;
 }
 
 // ------------------------------------------------------------ fanout pool
@@ -153,24 +162,53 @@ void Network::release_fanout(std::uint32_t idx) {
   ++stats_.fanouts_pooled;
 }
 
-void Network::schedule_arrival(std::uint32_t idx, const Arrival& a) {
-  sim_.schedule_raw_keyed(a.time, a.seq, &Network::fanout_trampoline, this,
-                          idx);
+void Network::schedule_group(std::uint32_t idx) {
+  Fanout& f = fanouts_[idx];
+  const SimTime t = f.arrivals[f.next].time;
+  std::uint32_t j = f.next;
+  while (j < f.arrivals.size() && f.arrivals[j].time == t) ++j;
+  for (std::uint32_t ai = f.next; ai < j; ++ai) {
+    const Arrival& a = f.arrivals[ai];
+    sim_.schedule_raw_keyed(a.time, a.seq, &Network::fanout_trampoline, this,
+                            (static_cast<std::uint64_t>(ai) << 32) | idx,
+                            /*shard=*/a.to);
+  }
+  f.next = j;
 }
 
-void Network::fire_fanout(std::uint32_t idx) {
+void Network::fire_fanout(std::uint32_t idx, std::uint32_t ai) {
   // fanouts_ is a deque: the reference stays valid while the sink sends
-  // more traffic (which may acquire new records) reentrantly.
+  // more traffic (which may acquire new records) reentrantly. Inside a
+  // sharded wave this runs on the recipient's shard: it reads the frozen
+  // record, delivers into recipient-local state, and stages the shared-
+  // state bookkeeping (stats, group advance) for ordered replay.
   Fanout& f = fanouts_[idx];
-  const Arrival a = f.arrivals[f.next++];
+  const Arrival a = f.arrivals[ai];
+  bool delivered = false;
+  bool dropped = false;
   if (crashed_[a.to]) {
-    ++stats_.messages_dropped_crash;
+    dropped = true;
   } else if (sinks_[a.to] != nullptr) {
-    ++stats_.messages_delivered;
+    delivered = true;
     sinks_[a.to]->deliver(f.from, f.msg);
   }
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(ai) << 32) | idx;
+  const std::uint64_t flags =
+      (delivered ? 1u : 0u) | (dropped ? 2u : 0u);
+  if (!sim_.stage_client(&Network::fanout_advance_trampoline, this, packed,
+                         flags))
+    fanout_advance(idx, ai, delivered, dropped);
+}
+
+void Network::fanout_advance(std::uint32_t idx, std::uint32_t ai,
+                             bool delivered, bool dropped) {
+  if (delivered) ++stats_.messages_delivered;
+  if (dropped) ++stats_.messages_dropped_crash;
+  Fanout& f = fanouts_[idx];
+  if (ai + 1 != f.next) return;  // not the last scheduled arrival
   if (f.next < f.arrivals.size())
-    schedule_arrival(idx, f.arrivals[f.next]);
+    schedule_group(idx);
   else
     release_fanout(idx);
 }
@@ -215,16 +253,33 @@ void Network::multicast_impl(ValidatorIndex from, MessagePtr msg,
               if (x.time != y.time) return x.time < y.time;
               return x.seq < y.seq;
             });
-  schedule_arrival(idx, f.arrivals.front());
+  f.next = 0;
+  schedule_group(idx);
 }
 
 void Network::send(ValidatorIndex from, ValidatorIndex to, MessagePtr msg) {
   HH_ASSERT(to < sinks_.size());
+  // Sends mutate shared fabric state (egress clocks, RNG, order keys):
+  // inside a sharded wave they are staged and replayed in (time, seq)
+  // order, which reserves keys and draws latency samples in the exact
+  // serial sequence.
+  if (sim_.staging()) {
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(to) << 32) | from;
+    sim_.stage_client(&Network::send_trampoline, this, packed, 0,
+                      std::move(msg));
+    return;
+  }
   multicast_impl(from, std::move(msg),
                  [to](auto&& emit) { emit(to); });
 }
 
 void Network::multicast(ValidatorIndex from, MessagePtr msg) {
+  if (sim_.staging()) {
+    sim_.stage_client(&Network::multicast_trampoline, this, from, 0,
+                      std::move(msg));
+    return;
+  }
   const ValidatorIndex n = static_cast<ValidatorIndex>(sinks_.size());
   multicast_impl(from, std::move(msg), [from, n](auto&& emit) {
     for (ValidatorIndex to = 0; to < n; ++to)
@@ -234,6 +289,14 @@ void Network::multicast(ValidatorIndex from, MessagePtr msg) {
 
 void Network::multicast(ValidatorIndex from, MessagePtr msg,
                         const std::vector<ValidatorIndex>& recipients) {
+  if (sim_.staging()) {
+    // Rare path (Byzantine split sends): the recipient list must be copied,
+    // so it rides the closure-based defer channel.
+    sim_.defer([this, from, msg = std::move(msg), recipients]() mutable {
+      multicast(from, std::move(msg), recipients);
+    });
+    return;
+  }
   const ValidatorIndex n = static_cast<ValidatorIndex>(sinks_.size());
   multicast_impl(from, std::move(msg), [&recipients, from, n](auto&& emit) {
     for (ValidatorIndex to : recipients)
@@ -319,7 +382,8 @@ void Network::flush_unblocked_held() {
     f.from = h.from;
     f.msg = std::move(h.msg);
     f.arrivals.push_back(Arrival{arrival, sim_.reserve_seq(), h.to});
-    schedule_arrival(idx, f.arrivals.front());
+    f.next = 0;
+    schedule_group(idx);
   }
 }
 

@@ -87,6 +87,14 @@ struct NetConfig {
   double bandwidth_bytes_per_us = 1250.0;
   /// If true, bandwidth is ignored (unit tests).
   bool unlimited_bandwidth = false;
+  /// Delivery slotting for sharded execution (0 = off): arrival timestamps
+  /// are rounded UP to this grid, the simulation analogue of NIC interrupt
+  /// coalescing. Same-slot arrivals form dense same-timestamp batches the
+  /// sharded Simulator can spread across workers. Deterministic by
+  /// construction (the grid does not depend on the worker count) and still
+  /// within the partial-synchrony bound: quantized arrivals are re-capped
+  /// at max(GST, send) + delta.
+  SimTime delivery_slot = 0;
 };
 
 struct NetStats {
@@ -183,7 +191,10 @@ class Network {
   };
   /// One transmission (unicast or multicast): the message plus its sorted
   /// arrival schedule. Pooled; lives in a deque so references stay stable
-  /// while sinks send more traffic reentrantly.
+  /// while sinks send more traffic reentrantly. `next` (the first
+  /// unscheduled arrival index) is only mutated on the driver thread —
+  /// workers read arrivals/msg, which are frozen while any arrival event
+  /// is in flight.
   struct Fanout {
     MessagePtr msg;
     ValidatorIndex from = 0;
@@ -196,11 +207,41 @@ class Network {
                       RecipientFn&& for_each_recipient);
   std::uint32_t acquire_fanout();
   void release_fanout(std::uint32_t idx);
-  void schedule_arrival(std::uint32_t idx, const Arrival& a);
+  /// Schedule every arrival sharing the next pending timestamp as its own
+  /// engine event (shard = recipient), so same-slot deliveries of one
+  /// broadcast execute in a single wave instead of re-keying one by one.
+  void schedule_group(std::uint32_t idx);
   static void fanout_trampoline(void* ctx, std::uint64_t arg) {
-    static_cast<Network*>(ctx)->fire_fanout(static_cast<std::uint32_t>(arg));
+    static_cast<Network*>(ctx)->fire_fanout(
+        static_cast<std::uint32_t>(arg),
+        static_cast<std::uint32_t>(arg >> 32));
   }
-  void fire_fanout(std::uint32_t idx);
+  void fire_fanout(std::uint32_t idx, std::uint32_t ai);
+  /// Post-delivery bookkeeping of one arrival: stats, next-group schedule
+  /// or record release. Runs on the driver thread (directly, or replayed
+  /// from a staged wave in (time, seq) order).
+  void fanout_advance(std::uint32_t idx, std::uint32_t ai, bool delivered,
+                      bool dropped);
+  static void fanout_advance_trampoline(
+      void* ctx, std::uint64_t a, std::uint64_t b,
+      const std::shared_ptr<const void>&) {
+    static_cast<Network*>(ctx)->fanout_advance(
+        static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(a >> 32),
+        (b & 1) != 0, (b & 2) != 0);
+  }
+  static void send_trampoline(void* ctx, std::uint64_t a, std::uint64_t,
+                              const std::shared_ptr<const void>& pin) {
+    static_cast<Network*>(ctx)->send(
+        static_cast<ValidatorIndex>(a),
+        static_cast<ValidatorIndex>(a >> 32),
+        std::static_pointer_cast<const Message>(pin));
+  }
+  static void multicast_trampoline(void* ctx, std::uint64_t a, std::uint64_t,
+                                   const std::shared_ptr<const void>& pin) {
+    static_cast<Network*>(ctx)->multicast(
+        static_cast<ValidatorIndex>(a),
+        std::static_pointer_cast<const Message>(pin));
+  }
 
   SimTime compute_arrival(ValidatorIndex from, ValidatorIndex to,
                           std::size_t size);

@@ -13,6 +13,11 @@ void export_engine_metrics(const sim::Simulator& sim, const net::Network& net,
   set_gauge("hh_sim_events_raw", static_cast<double>(s.raw_events));
   set_gauge("hh_sim_events_callback", static_cast<double>(s.callback_events));
   set_gauge("hh_sim_batches", static_cast<double>(s.batches));
+  set_gauge("hh_sim_workers", static_cast<double>(sim.workers()));
+  set_gauge("hh_sim_parallel_segments",
+            static_cast<double>(s.parallel_segments));
+  set_gauge("hh_sim_parallel_events", static_cast<double>(s.parallel_events));
+  set_gauge("hh_sim_staged_ops", static_cast<double>(s.staged_ops));
   set_gauge("hh_sim_engine_allocs", static_cast<double>(s.engine_allocs));
   set_gauge("hh_sim_allocs_per_event",
             s.executed > 0 ? static_cast<double>(s.engine_allocs) /

@@ -204,6 +204,12 @@ void Validator::deliver(ValidatorIndex from, const net::MessagePtr& msg) {
   const SimTime start = std::max(sim_.now(), cpu_free_at_);
   const SimTime done = start + message_cost(*msg);
   cpu_free_at_ = done;
+  // Dispatch slotting: wake on the grid (so handlers across validators
+  // batch into one sharded wave) while the CPU model keeps exact costs.
+  SimTime fire_at = done;
+  if (config_.dispatch_slot > 1)
+    fire_at = ((done + config_.dispatch_slot - 1) / config_.dispatch_slot) *
+              config_.dispatch_slot;
   std::uint32_t idx;
   if (!dispatch_free_.empty()) {
     idx = dispatch_free_.back();
@@ -216,7 +222,8 @@ void Validator::deliver(ValidatorIndex from, const net::MessagePtr& msg) {
   rec.msg = msg;
   rec.inc = incarnation_;
   rec.from = from;
-  sim_.schedule_raw_at(done, &Validator::dispatch_trampoline, this, idx);
+  sim_.schedule_raw_at(fire_at, &Validator::dispatch_trampoline, this, idx,
+                       /*shard=*/self_);
 }
 
 void Validator::run_dispatch(std::uint32_t idx) {
@@ -348,10 +355,13 @@ void Validator::broadcast_header(const dag::HeaderPtr& header) {
   msg->header = header;
   if (config_.behavior == Behavior::SlowProposer) {
     const std::uint64_t inc = incarnation_;
-    sim_.schedule_after(config_.slow_proposer_delay, [this, msg, inc]() {
-      if (crashed_ || inc != incarnation_) return;
-      network_.multicast(self_, msg);
-    });
+    sim_.schedule_after(
+        config_.slow_proposer_delay,
+        [this, msg, inc]() {
+          if (crashed_ || inc != incarnation_) return;
+          network_.multicast(self_, msg);
+        },
+        /*shard=*/self_);
     return;
   }
   network_.multicast(self_, std::move(msg));
@@ -369,11 +379,14 @@ void Validator::try_advance() {
     if (!round_delay_timer_armed_) {
       round_delay_timer_armed_ = true;
       const std::uint64_t inc = incarnation_;
-      sim_.schedule_at(earliest, [this, inc]() {
-        if (crashed_ || inc != incarnation_) return;
-        round_delay_timer_armed_ = false;
-        try_advance();
-      });
+      sim_.schedule_at(
+          earliest,
+          [this, inc]() {
+            if (crashed_ || inc != incarnation_) return;
+            round_delay_timer_armed_ = false;
+            try_advance();
+          },
+          /*shard=*/self_);
     }
     return;
   }
@@ -389,14 +402,17 @@ void Validator::try_advance() {
         if (leader_wait_round_ != target) {
           leader_wait_round_ = target;
           const std::uint64_t inc = incarnation_;
-          sim_.schedule_at(deadline, [this, target, inc]() {
-            if (crashed_ || inc != incarnation_) return;
-            if (leader_wait_round_ == target) {
-              leader_wait_round_.reset();
-              ++stats_.leader_timeouts;
-              try_advance();
-            }
-          });
+          sim_.schedule_at(
+              deadline,
+              [this, target, inc]() {
+                if (crashed_ || inc != incarnation_) return;
+                if (leader_wait_round_ == target) {
+                  leader_wait_round_.reset();
+                  ++stats_.leader_timeouts;
+                  try_advance();
+                }
+              },
+              /*shard=*/self_);
         }
         return;
       }
@@ -580,11 +596,14 @@ void Validator::arm_fetch_retry_timer() {
   if (fetch_timer_armed_) return;
   fetch_timer_armed_ = true;
   const std::uint64_t inc = incarnation_;
-  sim_.schedule_after(config_.fetch_retry_delay, [this, inc]() {
-    if (crashed_ || inc != incarnation_) return;
-    fetch_timer_armed_ = false;
-    retry_fetches();
-  });
+  sim_.schedule_after(
+      config_.fetch_retry_delay,
+      [this, inc]() {
+        if (crashed_ || inc != incarnation_) return;
+        fetch_timer_armed_ = false;
+        retry_fetches();
+      },
+      /*shard=*/self_);
 }
 
 void Validator::retry_fetches() {
@@ -802,7 +821,16 @@ void Validator::on_subdag_committed(const consensus::CommittedSubDag& subdag) {
       if (v->header->payload) txs += v->header->payload->txs.size();
     stats_.txs_executed += txs;
     charge_cpu(static_cast<SimTime>(txs) * config_.cost_per_tx_execute);
-    if (on_commit_) on_commit_(self_, subdag);
+    if (on_commit_) {
+      if (sim_.staging()) {
+        // The commit callback feeds the harness-global metrics collector:
+        // inside a sharded wave it is deferred so commit streams from
+        // different shards interleave in exact (time, seq) order.
+        sim_.defer([this, self = self_, sd = subdag] { on_commit_(self, sd); });
+      } else {
+        on_commit_(self_, subdag);
+      }
+    }
   }
   run_garbage_collection();
 }

@@ -109,6 +109,14 @@ struct NodeConfig {
   /// (covers lost/truncated responses during catch-up).
   SimTime fetch_retry_delay = millis(500);
 
+  /// Dispatch slotting for sharded execution (0 = off): CPU-queue
+  /// completion events are rounded UP to this grid, so the heavy message
+  /// handlers of different validators land in the same engine batch and
+  /// spread across Simulator workers. The busy-until watermark still
+  /// advances by the exact modeled cost; only the wakeup is quantized
+  /// (timer-slack coalescing). Deterministic at any worker count.
+  SimTime dispatch_slot = 0;
+
   /// Seed for key derivation; must match the Committee's seed.
   std::uint64_t key_seed = 1;
 };

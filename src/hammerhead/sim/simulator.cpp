@@ -5,6 +5,24 @@
 
 namespace hammerhead::sim {
 
+thread_local Simulator::EffectBuffer* Simulator::tls_staging_ = nullptr;
+
+namespace {
+/// Chain-claim sentinel and the empty pin passed to client ops without one.
+constexpr std::uint32_t kNoChain = 0xffffffffu;
+constexpr std::uint32_t kNoAux = 0xffffffffu;
+const std::shared_ptr<const void> kNullPin{};
+}  // namespace
+
+// ---------------------------------------------------------------- lifecycle
+
+Simulator::Simulator(std::uint64_t seed, std::size_t workers)
+    : rng_(seed), workers_(workers == 0 ? 1 : workers) {
+  if (workers_ > 1) start_workers();
+}
+
+Simulator::~Simulator() { stop_workers(); }
+
 // ------------------------------------------------------------------- slab
 
 std::uint32_t Simulator::acquire_slot() {
@@ -25,10 +43,12 @@ std::uint32_t Simulator::acquire_slot() {
 void Simulator::release_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   s.live = false;
+  s.executing = false;
   ++s.gen;  // every reference to this slot incarnation is now stale
   s.action = nullptr;
   s.raw = nullptr;
   s.ctx = nullptr;
+  s.shard = kSerialShard;
   --live_events_;
   push_tracked(free_slots_, slot);
 }
@@ -41,6 +61,10 @@ void Simulator::enqueue(SimTime when, std::uint64_t seq, std::uint32_t slot) {
     // The drain cursor already passed this tick: the event joins the batch
     // currently being executed (its seq is greater than the executing
     // event's, so ordered insertion keeps the (time, seq) total order).
+    // Under a sharded drain, events already handed to the wave were popped
+    // from batch_, so a key below the executed horizon cannot be ordered.
+    HH_ASSERT_MSG(!sharded_drain_ || seq > exec_horizon_seq_,
+                  "same-tick schedule keyed below the executed horizon");
     if (batch_pos_ == batch_.size()) {
       batch_.clear();
       batch_pos_ = 0;
@@ -68,28 +92,62 @@ void Simulator::enqueue(SimTime when, std::uint64_t seq, std::uint32_t slot) {
   std::push_heap(heap_.begin(), heap_.end(), &Simulator::heap_later);
 }
 
-std::uint64_t Simulator::schedule_at(SimTime when, Action action) {
+std::uint64_t Simulator::schedule_at(SimTime when, Action action,
+                                     ShardId shard) {
   HH_ASSERT_MSG(when >= now_,
                 "schedule_at in the past: " << when << " < " << now_);
+  if (EffectBuffer* buf = tls_staging_) {
+    EffectBuffer::Op op{};
+    op.kind = EffectBuffer::Op::Kind::ScheduleFn;
+    op.shard = shard;
+    op.when = when;
+    op.aux = static_cast<std::uint32_t>(buf->actions.size());
+    buf->actions.push_back(std::move(action));
+    buf->ops.push_back(op);
+    return kStagedEventId;
+  }
   const std::uint32_t slot = acquire_slot();
   slots_[slot].action = std::move(action);
+  slots_[slot].shard = shard;
   const std::uint64_t seq = next_seq_++;
   enqueue(when, seq, slot);
   return (static_cast<std::uint64_t>(slots_[slot].gen) << 32) | slot;
 }
 
+std::uint64_t Simulator::schedule_raw_at(SimTime when, RawFn fn, void* ctx,
+                                         std::uint64_t arg, ShardId shard) {
+  if (tls_staging_ != nullptr)
+    return schedule_raw_keyed(when, kStagedEventId, fn, ctx, arg, shard);
+  return schedule_raw_keyed(when, next_seq_++, fn, ctx, arg, shard);
+}
+
 std::uint64_t Simulator::schedule_raw_keyed(SimTime when, std::uint64_t seq,
                                             RawFn fn, void* ctx,
-                                            std::uint64_t arg) {
+                                            std::uint64_t arg, ShardId shard) {
   HH_ASSERT_MSG(when >= now_,
                 "schedule_at in the past: " << when << " < " << now_);
-  HH_ASSERT_MSG(seq < next_seq_, "order key " << seq << " was never reserved");
   HH_ASSERT(fn != nullptr);
+  if (EffectBuffer* buf = tls_staging_) {
+    HH_ASSERT_MSG(seq == kStagedEventId || seq < next_seq_,
+                  "order key " << seq << " was never reserved");
+    EffectBuffer::Op op{};
+    op.kind = EffectBuffer::Op::Kind::ScheduleRaw;
+    op.shard = shard;
+    op.when = when;
+    op.seq = seq;
+    op.raw = fn;
+    op.ctx = ctx;
+    op.a = arg;
+    buf->ops.push_back(op);
+    return kStagedEventId;
+  }
+  HH_ASSERT_MSG(seq < next_seq_, "order key " << seq << " was never reserved");
   const std::uint32_t slot = acquire_slot();
   Slot& s = slots_[slot];
   s.raw = fn;
   s.ctx = ctx;
   s.arg = arg;
+  s.shard = shard;
   enqueue(when, seq, slot);
   return (static_cast<std::uint64_t>(s.gen) << 32) | slot;
 }
@@ -97,11 +155,24 @@ std::uint64_t Simulator::schedule_raw_keyed(SimTime when, std::uint64_t seq,
 // ----------------------------------------------------------------- cancel
 
 void Simulator::cancel(std::uint64_t id) {
+  if (EffectBuffer* buf = tls_staging_) {
+    if (id == kStagedEventId) return;  // staged schedules are uncancellable
+    EffectBuffer::Op op{};
+    op.kind = EffectBuffer::Op::Kind::Cancel;
+    op.a = id;
+    buf->ops.push_back(op);
+    return;
+  }
   const std::uint32_t slot = static_cast<std::uint32_t>(id);
   const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
   if (slot >= slots_.size()) return;
   Slot& s = slots_[slot];
   if (!s.live || s.gen != gen) return;  // fired / cancelled / never existed
+  // A replayed cancel aimed at an event that executed concurrently in the
+  // same wave cannot be serialized — no caller does this (handlers never
+  // cancel events of other shards at the executing timestamp); fail loudly
+  // rather than diverge from the serial schedule.
+  HH_ASSERT_MSG(!s.executing, "cancel of a concurrently executing event");
   release_slot(slot);  // gen bump: every queued Ref to it is now stale
   ++cancelled_pending_;
   maybe_compact();
@@ -134,6 +205,67 @@ void Simulator::maybe_compact() {
                               batch_.end(), is_stale),
                batch_.end());
   cancelled_pending_ = 0;
+}
+
+// ------------------------------------------------------------------ stage
+
+void Simulator::defer(std::function<void()> fn) {
+  if (EffectBuffer* buf = tls_staging_) {
+    EffectBuffer::Op op{};
+    op.kind = EffectBuffer::Op::Kind::Closure;
+    op.aux = static_cast<std::uint32_t>(buf->closures.size());
+    buf->closures.push_back(std::move(fn));
+    buf->ops.push_back(op);
+    return;
+  }
+  fn();
+}
+
+bool Simulator::stage_client(ClientFn fn, void* ctx, std::uint64_t a,
+                             std::uint64_t b,
+                             std::shared_ptr<const void> pin) {
+  EffectBuffer* buf = tls_staging_;
+  if (buf == nullptr) return false;
+  EffectBuffer::Op op{};
+  op.kind = EffectBuffer::Op::Kind::Client;
+  op.client = fn;
+  op.ctx = ctx;
+  op.a = a;
+  op.b = b;
+  op.aux = kNoAux;
+  if (pin != nullptr) {
+    op.aux = static_cast<std::uint32_t>(buf->pins.size());
+    buf->pins.push_back(std::move(pin));
+  }
+  buf->ops.push_back(op);
+  return true;
+}
+
+void Simulator::replay_effects(EffectBuffer& buf) {
+  stats_.staged_ops += buf.ops.size();
+  for (EffectBuffer::Op& op : buf.ops) {
+    switch (op.kind) {
+      case EffectBuffer::Op::Kind::ScheduleFn:
+        schedule_at(op.when, std::move(buf.actions[op.aux]), op.shard);
+        break;
+      case EffectBuffer::Op::Kind::ScheduleRaw:
+        if (op.seq == kStagedEventId)
+          schedule_raw_at(op.when, op.raw, op.ctx, op.a, op.shard);
+        else
+          schedule_raw_keyed(op.when, op.seq, op.raw, op.ctx, op.a, op.shard);
+        break;
+      case EffectBuffer::Op::Kind::Cancel:
+        cancel(op.a);
+        break;
+      case EffectBuffer::Op::Kind::Closure:
+        buf.closures[op.aux]();
+        break;
+      case EffectBuffer::Op::Kind::Client:
+        op.client(op.ctx, op.a, op.b,
+                  op.aux == kNoAux ? kNullPin : buf.pins[op.aux]);
+        break;
+    }
+  }
 }
 
 // ------------------------------------------------------------------ drain
@@ -183,6 +315,7 @@ bool Simulator::form_batch(SimTime deadline) {
   batch_.clear();
   batch_pos_ = 0;
   batch_time_ = t;
+  exec_horizon_seq_ = 0;
   if (bucket_tick == t) {
     auto& bucket = buckets_[static_cast<std::size_t>(t) & kWheelMask];
     for (const Ref& r : bucket) {
@@ -246,15 +379,229 @@ bool Simulator::step(SimTime deadline) {
 
 std::uint64_t Simulator::run_until(SimTime deadline) {
   std::uint64_t count = 0;
-  while (step(deadline)) ++count;
+  if (workers_ <= 1) {
+    while (step(deadline)) ++count;
+  } else {
+    sharded_drain_ = true;
+    for (;;) {
+      if (batch_pos_ >= batch_.size() && !form_batch(deadline)) break;
+      if (batch_time_ > deadline) break;  // leftover batch beyond deadline
+      count += drain_batch_sharded();
+    }
+    sharded_drain_ = false;
+  }
   if (now_ < deadline && deadline != kSimTimeNever) now_ = deadline;
   return count;
 }
 
-std::uint64_t Simulator::run_to_completion() {
-  std::uint64_t count = 0;
-  while (step()) ++count;
-  return count;
+std::uint64_t Simulator::run_to_completion() { return run_until(kSimTimeNever); }
+
+// -------------------------------------------------------- sharded drain
+
+std::uint64_t Simulator::drain_batch_sharded() {
+  std::uint64_t executed = 0;
+  while (batch_pos_ < batch_.size()) {
+    par_refs_.clear();
+    // Collect a maximal run of shard-owned events. Serial events execute in
+    // place between runs — they may touch any state, so they act as
+    // barriers inside the batch.
+    while (batch_pos_ < batch_.size()) {
+      const Ref r = batch_[batch_pos_];
+      if (stale(r)) {
+        ++batch_pos_;
+        --cancelled_pending_;
+        continue;
+      }
+      if (slots_[r.slot].shard == kSerialShard) {
+        if (!par_refs_.empty()) break;  // run the collected wave first
+        ++batch_pos_;
+        exec_horizon_seq_ = r.seq;
+        now_ = batch_time_;
+        fire(r);
+        ++executed;
+        continue;
+      }
+      par_refs_.push_back(r);
+      ++batch_pos_;
+    }
+    if (par_refs_.empty()) continue;
+    exec_horizon_seq_ = par_refs_.back().seq;
+    now_ = batch_time_;
+    executed += par_refs_.size();
+    run_wave();
+  }
+  return executed;
+}
+
+void Simulator::run_wave() {
+  // Tiny runs: the pool handshake costs more than it spreads — fire
+  // serially, which is exactly the legacy schedule.
+  if (par_refs_.size() < kMinParallelSegment) {
+    for (const Ref& r : par_refs_) fire(r);
+    return;
+  }
+
+  // Partition into per-shard chains, preserving seq order inside a shard.
+  std::uint32_t used = 0;
+  for (std::uint32_t i = 0; i < par_refs_.size(); ++i) {
+    const ShardId shard = slots_[par_refs_[i].slot].shard;
+    if (shard >= chain_of_shard_.size())
+      chain_of_shard_.resize(shard + 1, kNoChain);
+    std::uint32_t c = chain_of_shard_[shard];
+    if (c == kNoChain) {
+      c = used++;
+      if (chains_.size() < used) chains_.emplace_back();
+      chains_[c].events.clear();
+      chains_[c].raw_fired = 0;
+      chains_[c].fn_fired = 0;
+      chains_[c].error = nullptr;
+      chain_of_shard_[shard] = c;
+      touched_shards_.push_back(shard);
+    }
+    chains_[c].events.push_back(i);
+  }
+  for (const ShardId s : touched_shards_) chain_of_shard_[s] = kNoChain;
+  touched_shards_.clear();
+
+  if (used < 2) {  // one shard: no parallelism to exploit
+    for (const Ref& r : par_refs_) fire(r);
+    return;
+  }
+
+  if (buffers_.size() < par_refs_.size()) buffers_.resize(par_refs_.size());
+  for (std::uint32_t i = 0; i < par_refs_.size(); ++i) buffers_[i].clear();
+  for (const Ref& r : par_refs_) slots_[r.slot].executing = true;
+
+  // Publish the wave: chain ids are globally monotonic, so a worker waking
+  // late against a previous wave sees ids at/beyond its stale limit and
+  // backs off without touching the new wave's arrays (see run_chains).
+  chains_left_.store(used, std::memory_order_relaxed);
+  chain_base_.store(next_chain_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  chain_limit_.store(chain_base_.load(std::memory_order_relaxed) + used,
+                     std::memory_order_release);
+  wave_epoch_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);  // pairs with the cv sleep
+  }
+  pool_cv_.notify_all();
+
+  run_chains();  // the driver is worker zero
+  if (chains_left_.load(std::memory_order_acquire) != 0) {
+    std::unique_lock<std::mutex> lk(pool_mu_);
+    done_cv_.wait(lk, [&] {
+      return chains_left_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  ++stats_.parallel_segments;
+  stats_.parallel_events += par_refs_.size();
+  stats_.executed += par_refs_.size();
+  std::exception_ptr error;
+  for (std::uint32_t c = 0; c < used; ++c) {
+    stats_.raw_events += chains_[c].raw_fired;
+    stats_.callback_events += chains_[c].fn_fired;
+    if (chains_[c].error != nullptr && error == nullptr)
+      error = chains_[c].error;
+  }
+  if (error != nullptr) {
+    // A handler threw mid-wave: shard state is torn, the run is aborted
+    // (the sweep driver contains this per cell). Unwind cleanly.
+    for (const Ref& r : par_refs_) slots_[r.slot].executing = false;
+    std::rethrow_exception(error);
+  }
+
+  // Replay staged effects in exact (time, seq) order: slot release and
+  // effect application interleave exactly as a serial drain would.
+  for (std::uint32_t i = 0; i < par_refs_.size(); ++i) {
+    const Ref& r = par_refs_[i];
+    slots_[r.slot].executing = false;
+    release_slot(r.slot);
+    replay_effects(buffers_[i]);
+  }
+}
+
+void Simulator::execute_staged(const Ref& r, EffectBuffer& buf, Chain& chain) {
+  Slot& s = slots_[r.slot];
+  tls_staging_ = &buf;
+  if (s.raw != nullptr) {
+    ++chain.raw_fired;
+    s.raw(s.ctx, s.arg);
+  } else {
+    ++chain.fn_fired;
+    s.action();
+  }
+  tls_staging_ = nullptr;
+}
+
+void Simulator::run_chains() {
+  const std::uint64_t limit = chain_limit_.load(std::memory_order_acquire);
+  const std::uint64_t base = chain_base_.load(std::memory_order_relaxed);
+  for (;;) {
+    std::uint64_t cur = next_chain_.load(std::memory_order_relaxed);
+    if (cur >= limit) break;
+    if (!next_chain_.compare_exchange_weak(cur, cur + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed))
+      continue;
+    Chain& chain = chains_[cur - base];
+    try {
+      for (const std::uint32_t idx : chain.events)
+        execute_staged(par_refs_[idx], buffers_[idx], chain);
+    } catch (...) {
+      chain.error = std::current_exception();
+      tls_staging_ = nullptr;
+    }
+    if (chains_left_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+// ------------------------------------------------------------ worker pool
+
+void Simulator::start_workers() {
+  // Spin briefly before sleeping only when spare hardware threads exist;
+  // on a single core the spin would just steal the driver's timeslice.
+  spin_iters_ = std::thread::hardware_concurrency() > 1 ? 4096 : 0;
+  threads_.reserve(workers_ - 1);
+  for (std::size_t i = 0; i + 1 < workers_; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+void Simulator::stop_workers() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+void Simulator::worker_loop(std::size_t) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    bool woke = false;
+    for (int i = 0; i < spin_iters_; ++i) {
+      if (wave_epoch_.load(std::memory_order_acquire) != seen) {
+        woke = true;
+        break;
+      }
+    }
+    if (!woke) {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      pool_cv_.wait(lk, [&] {
+        return shutdown_ ||
+               wave_epoch_.load(std::memory_order_acquire) != seen;
+      });
+      if (shutdown_) return;
+    }
+    seen = wave_epoch_.load(std::memory_order_acquire);
+    run_chains();
+  }
 }
 
 }  // namespace hammerhead::sim

@@ -1,4 +1,5 @@
-// Deterministic discrete-event simulator — batched slab engine.
+// Deterministic discrete-event simulator — batched slab engine with
+// optional sharded intra-run parallelism.
 //
 // All protocol activity (message delivery, timeouts, CPU work completion,
 // client arrivals) is an event ordered by (time, sequence-number). The
@@ -30,10 +31,28 @@
 //    reserve_seq()/schedule_raw_keyed() let the network pre-assign order
 //    keys for multicast fan-out so one live timer can stand in for n
 //    per-recipient heap entries without changing the delivery order.
+//
+// Sharded execution (Simulator(seed, workers) with workers > 1): every
+// event carries an owner shard (validator index / fabric lane, or
+// kSerialShard for events that may touch global state). A same-timestamp
+// batch is split into runs of shard-owned events; each run is partitioned
+// by shard and executed on a persistent worker pool. While a worker runs
+// an event, every engine-visible side effect — schedule, cancel, network
+// send, metric callback — is *staged* into a per-event effect buffer
+// instead of mutating the engine; after the run joins, the buffers are
+// replayed on the driver thread in exact (time, seq) order. Sequence
+// numbers, RNG draws and arrival keys are therefore assigned in the
+// identical order as a serial drain, so seeded runs are bit-identical at
+// any worker count (see ARCHITECTURE.md, "Sharded execution").
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "hammerhead/common/assert.h"
@@ -41,6 +60,13 @@
 #include "hammerhead/common/types.h"
 
 namespace hammerhead::sim {
+
+/// Owner shard of an event: events of one shard execute in (time, seq)
+/// order on one worker and may only touch that shard's state (one
+/// validator, one fabric lane). kSerialShard events may touch anything and
+/// act as barriers inside a batch.
+using ShardId = std::uint32_t;
+inline constexpr ShardId kSerialShard = 0xffffffffu;
 
 /// Engine-internal instrumentation, exported as monitor gauges and bench
 /// JSON columns by the harness.
@@ -54,6 +80,11 @@ struct SimStats {
   /// callback_events, not here.
   std::uint64_t engine_allocs = 0;
   std::uint64_t batches = 0;  // distinct timestamps drained
+  /// Sharded-execution gauges: batch segments executed on the worker pool,
+  /// events executed inside them, and effects staged + replayed.
+  std::uint64_t parallel_segments = 0;
+  std::uint64_t parallel_events = 0;
+  std::uint64_t staged_ops = 0;
 };
 
 class Simulator {
@@ -61,47 +92,90 @@ class Simulator {
   using Action = std::function<void()>;
   /// Raw event: no captures, no allocation. `arg` is caller-owned context.
   using RawFn = void (*)(void* ctx, std::uint64_t arg);
+  /// Staged client effect (network fabric): replayed on the driver thread
+  /// in (time, seq) order. `pin` keeps a payload (message) alive.
+  using ClientFn = void (*)(void* ctx, std::uint64_t a, std::uint64_t b,
+                            const std::shared_ptr<const void>& pin);
 
-  explicit Simulator(std::uint64_t seed) : rng_(seed) {}
+  /// `workers` > 1 enables sharded batch execution on that many threads
+  /// (including the driver); 1 is the exact serial engine.
+  explicit Simulator(std::uint64_t seed, std::size_t workers = 1);
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
-  Rng& rng() { return rng_; }
+  Rng& rng() {
+    // The engine RNG is global state: it must only be drawn while effects
+    // are applied in (time, seq) order, never from a worker mid-wave.
+    HH_ASSERT_MSG(tls_staging_ == nullptr,
+                  "Simulator::rng() drawn inside a sharded wave");
+    return rng_;
+  }
+  std::size_t workers() const { return workers_; }
 
   /// Schedule `action` to run `delay` microseconds from now (delay >= 0).
-  /// Returns an id usable with cancel().
-  std::uint64_t schedule_after(SimTime delay, Action action) {
+  /// Returns an id usable with cancel(). Ids returned while staging (inside
+  /// a sharded wave) are kStagedEventId and cannot be cancelled.
+  std::uint64_t schedule_after(SimTime delay, Action action,
+                               ShardId shard = kSerialShard) {
     HH_ASSERT_MSG(delay >= 0, "negative delay " << delay);
-    return schedule_at(now_ + delay, std::move(action));
+    return schedule_at(now_ + delay, std::move(action), shard);
   }
 
   /// Schedule at an absolute simulated time (>= now()).
-  std::uint64_t schedule_at(SimTime when, Action action);
+  std::uint64_t schedule_at(SimTime when, Action action,
+                            ShardId shard = kSerialShard);
 
   /// Allocation-free scheduling: `fn(ctx, arg)` fires at `when`.
   std::uint64_t schedule_raw_at(SimTime when, RawFn fn, void* ctx,
-                                std::uint64_t arg) {
-    return schedule_raw_keyed(when, next_seq_++, fn, ctx, arg);
-  }
+                                std::uint64_t arg,
+                                ShardId shard = kSerialShard);
 
   /// Reserve the next (time, seq) order key without scheduling anything.
   /// Pair with schedule_raw_keyed(): the network reserves one seq per
   /// multicast recipient at send time, then keeps a single live event that
   /// re-keys itself through the reserved sequence — the delivery order is
-  /// bit-identical to scheduling n independent events at send time.
-  std::uint64_t reserve_seq() { return next_seq_++; }
+  /// bit-identical to scheduling n independent events at send time. Only
+  /// valid while not staging (the fabric reserves during effect replay).
+  std::uint64_t reserve_seq() {
+    HH_ASSERT_MSG(tls_staging_ == nullptr,
+                  "reserve_seq() inside a sharded wave");
+    return next_seq_++;
+  }
 
   /// Schedule a raw event under a previously reserved order key. `seq` must
   /// come from reserve_seq() (i.e. be below the current counter); events at
-  /// the executing timestamp must carry a seq greater than the event that
-  /// schedules them.
+  /// the executing timestamp must carry a seq greater than every event the
+  /// drain already popped.
   std::uint64_t schedule_raw_keyed(SimTime when, std::uint64_t seq, RawFn fn,
-                                   void* ctx, std::uint64_t arg);
+                                   void* ctx, std::uint64_t arg,
+                                   ShardId shard = kSerialShard);
 
   /// Cancel a pending event. Cancelling an already-fired, already-cancelled
   /// or unknown id is a true no-op (timer races are normal in the protocol
   /// layer) — the slot generation check rejects stale ids without retaining
   /// any state, so repeated stale cancels cannot grow memory.
   void cancel(std::uint64_t id);
+
+  /// True while the calling thread executes an event inside a sharded wave:
+  /// engine-visible side effects are being staged for ordered replay.
+  bool staging() const { return tls_staging_ != nullptr; }
+
+  /// Run `fn` now — unless staging, in which case it is buffered and
+  /// replayed on the driver thread in this event's (time, seq) position.
+  /// The escape hatch for cross-shard side effects (harness metrics).
+  void defer(std::function<void()> fn);
+
+  /// Stage a client effect for ordered replay. Returns false when not
+  /// staging — the caller performs the effect directly instead. The hot
+  /// allocation-free staging path of the network fabric.
+  bool stage_client(ClientFn fn, void* ctx, std::uint64_t a, std::uint64_t b,
+                    std::shared_ptr<const void> pin = nullptr);
+
+  /// Id returned by schedule calls made while staging (not cancellable —
+  /// no caller in the tree cancels a timer it armed inside a handler).
+  static constexpr std::uint64_t kStagedEventId = ~0ull;
 
   /// Run until the queue drains or simulated time would exceed `deadline`,
   /// whichever is first. Time ends at min(deadline, last event time).
@@ -112,7 +186,8 @@ class Simulator {
   std::uint64_t run_to_completion();
 
   /// Execute exactly one pending event scheduled at or before `deadline`.
-  /// Returns false if there is none.
+  /// Returns false if there is none. Always serial-exact (no staging),
+  /// whatever the worker count.
   bool step(SimTime deadline = kSimTimeNever);
 
   bool empty() const { return live_events_ == 0; }
@@ -139,6 +214,9 @@ class Simulator {
   static constexpr std::uint32_t kWheelBits = 13;
   static constexpr std::uint32_t kWheelTicks = 1u << kWheelBits;  // ~8.2 ms
   static constexpr std::uint32_t kWheelMask = kWheelTicks - 1;
+  /// Below this many events a segment executes serially: the pool handshake
+  /// costs more than the work it would spread.
+  static constexpr std::size_t kMinParallelSegment = 4;
 
   struct Slot {
     Action action;          // callback events only; empty otherwise
@@ -146,7 +224,13 @@ class Simulator {
     void* ctx = nullptr;
     std::uint64_t arg = 0;
     std::uint32_t gen = 0;
+    ShardId shard = kSerialShard;
     bool live = false;
+    /// Set while the slot's event executes inside the current wave: a
+    /// staged cancel reaching it would mean a handler cancelled a
+    /// concurrently executing event — impossible to replay serially, so it
+    /// asserts instead of silently diverging.
+    bool executing = false;
   };
 
   /// Queue reference: POD, 24 bytes. Stale when slots_[slot].gen != gen.
@@ -155,6 +239,51 @@ class Simulator {
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t gen;
+  };
+
+  /// Per-event staged side effects, replayed in (time, seq) order after the
+  /// wave joins. POD ops in one vector; captures (actions, closures, pinned
+  /// payloads) in side vectors referenced by index. Pooled across waves.
+  struct EffectBuffer {
+    struct Op {
+      enum class Kind : std::uint8_t {
+        ScheduleFn,
+        ScheduleRaw,
+        Cancel,
+        Closure,
+        Client,
+      };
+      Kind kind;
+      ShardId shard;
+      SimTime when;
+      std::uint64_t seq;  // keyed raw schedules; kStagedEventId = fresh
+      RawFn raw;
+      ClientFn client;
+      void* ctx;
+      std::uint64_t a;
+      std::uint64_t b;
+      std::uint32_t aux;  // index into actions_/closures_/pins_
+    };
+    std::vector<Op> ops;
+    std::vector<Action> actions;
+    std::vector<std::function<void()>> closures;
+    std::vector<std::shared_ptr<const void>> pins;
+    void clear() {
+      ops.clear();
+      actions.clear();
+      closures.clear();
+      pins.clear();
+    }
+  };
+
+  /// One shard's slice of the current segment: indices into par_refs_, in
+  /// seq order. Executed by exactly one thread per wave; `stats` and `error`
+  /// are written by that thread and read by the driver after the join.
+  struct Chain {
+    std::vector<std::uint32_t> events;
+    std::uint64_t raw_fired = 0;
+    std::uint64_t fn_fired = 0;
+    std::exception_ptr error;
   };
 
   /// Min-heap order on (time, seq) for the far tier ("a sorts after b").
@@ -178,6 +307,23 @@ class Simulator {
   /// Drop stale refs from every structure once they outnumber live events.
   void maybe_compact();
 
+  // --- sharded drain ---------------------------------------------------
+  /// Drain the already-formed current batch, splitting shard-owned runs
+  /// onto the worker pool. Returns events executed.
+  std::uint64_t drain_batch_sharded();
+  /// Execute par_refs_ (all shard-owned, same timestamp) as one wave:
+  /// partition by shard, run on the pool, replay staged effects in order.
+  void run_wave();
+  /// Execute one event with effects staged into `buf` (worker context).
+  void execute_staged(const Ref& r, EffectBuffer& buf, Chain& chain);
+  /// Apply one event's staged effects (driver thread, in seq order).
+  void replay_effects(EffectBuffer& buf);
+  void start_workers();
+  void stop_workers();
+  void worker_loop(std::size_t index);
+  /// Claim and run chains until the wave is exhausted (driver + workers).
+  void run_chains();
+
   /// push_back with engine-alloc accounting (capacity growth = one alloc).
   template <typename T>
   void push_tracked(std::vector<T>& v, const T& x) {
@@ -188,6 +334,7 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   Rng rng_;
+  std::size_t workers_ = 1;
 
   // Slab.
   std::vector<Slot> slots_;
@@ -216,6 +363,41 @@ class Simulator {
   std::vector<Ref> batch_;
   std::size_t batch_pos_ = 0;
   SimTime batch_time_ = 0;
+  /// Largest seq already popped from the executing batch (sharded drain
+  /// only): a keyed schedule into the current timestamp below this seq
+  /// could not be ordered correctly and asserts.
+  std::uint64_t exec_horizon_seq_ = 0;
+  bool sharded_drain_ = false;
+
+  // --- wave state (driver-owned between waves) --------------------------
+  std::vector<Ref> par_refs_;           // current segment, seq order
+  std::vector<EffectBuffer> buffers_;   // one per segment event (pooled)
+  std::vector<Chain> chains_;           // per-shard slices (pooled)
+  std::vector<std::uint32_t> chain_of_shard_;  // shard -> chain idx map
+  std::vector<ShardId> touched_shards_;        // for resetting the map
+
+  // Worker pool. Chain ids are globally monotonic: a wave publishes
+  // [chain_base_, chain_limit_) and workers claim ids by bounded CAS on
+  // next_chain_ — a worker waking against a stale limit backs off without
+  // consuming an id, so late wakeups can never steal or strand work.
+  // Completions count down chains_left_; the final decrement notifies the
+  // driver, and wave_epoch_ (+ pool_cv_) wakes sleeping workers.
+  std::vector<std::thread> threads_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::condition_variable done_cv_;
+  std::atomic<std::uint64_t> wave_epoch_{0};
+  bool shutdown_ = false;
+  int spin_iters_ = 0;
+  std::atomic<std::uint64_t> next_chain_{0};
+  std::atomic<std::uint64_t> chain_base_{0};
+  std::atomic<std::uint64_t> chain_limit_{0};
+  std::atomic<std::uint32_t> chains_left_{0};
+
+  /// Per-thread staging target; non-null only while that thread executes an
+  /// event inside a wave. thread_local so concurrent Simulators (the sweep
+  /// driver runs one per worker thread) never alias.
+  static thread_local EffectBuffer* tls_staging_;
 
   SimStats stats_;
 };

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "hammerhead/harness/experiment.h"
+#include "hammerhead/harness/sweep.h"
 #include "hammerhead/monitor/metrics_registry.h"
 #include "hammerhead/node/monitoring.h"
 #include "hammerhead/sim/simulator.h"
@@ -195,6 +196,162 @@ TEST(SimEngine, ReservedOrderKeysPreserveTotalOrder) {
   sim.schedule_raw_keyed(millis(1), early_key, fire, &ctx, 1);
   sim.run_to_completion();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// --------------------------------------------------- sharded execution
+
+/// A full cluster run with slotting + the given worker count; returns the
+/// deterministic replay fingerprint (hash(jobs=1) must equal hash(jobs=K)).
+harness::ExperimentResult sharded_cluster_run(
+    std::size_t n, std::size_t intra_jobs,
+    const std::function<void(harness::ExperimentConfig&)>& mutate = {}) {
+  harness::ExperimentConfig cfg;
+  cfg.num_validators = n;
+  cfg.seed = 77;
+  cfg.duration = seconds(4);
+  cfg.warmup = seconds(1);
+  cfg.load_tps = 400;
+  cfg.exec_slot = 256;  // delivery/dispatch slotting: dense sharded batches
+  cfg.intra_jobs = intra_jobs;
+  if (mutate) mutate(cfg);
+  return harness::run_experiment(cfg);
+}
+
+TEST(ShardedEngine, TraceHashIdenticalAcrossWorkerCounts) {
+  const auto serial = sharded_cluster_run(10, 1);
+  ASSERT_GT(serial.committed, 0u);
+  for (const std::size_t jobs : {2u, 4u, 8u}) {
+    const auto r = sharded_cluster_run(10, jobs);
+    EXPECT_EQ(r.trace_hash, serial.trace_hash) << "jobs=" << jobs;
+    EXPECT_EQ(r.sim_events, serial.sim_events) << "jobs=" << jobs;
+    EXPECT_EQ(r.committed, serial.committed) << "jobs=" << jobs;
+    EXPECT_EQ(r.committed_anchors, serial.committed_anchors);
+    EXPECT_EQ(r.anchors_by_author, serial.anchors_by_author);
+    EXPECT_GT(r.parallel_events, 0u) << "jobs=" << jobs;
+  }
+}
+
+TEST(ShardedEngine, Fig1N100TraceIdenticalSerialVsSharded) {
+  // The acceptance workload: fig1 at n=100. Commit counts, event counts
+  // and the trace hash must be identical between jobs=1 and jobs=4.
+  const auto mutate = [](harness::ExperimentConfig& cfg) {
+    cfg.duration = seconds(3);
+    cfg.load_tps = 1'000;
+  };
+  const auto serial = sharded_cluster_run(100, 1, mutate);
+  const auto sharded = sharded_cluster_run(100, 4, mutate);
+  ASSERT_GT(serial.committed, 0u);
+  EXPECT_EQ(sharded.trace_hash, serial.trace_hash);
+  EXPECT_EQ(sharded.sim_events, serial.sim_events);
+  EXPECT_EQ(sharded.committed, serial.committed);
+  EXPECT_EQ(sharded.committed_anchors, serial.committed_anchors);
+  // The sharded run really exercised the worker pool.
+  EXPECT_GT(sharded.parallel_events, serial.sim_events / 2);
+}
+
+TEST(ShardedEngine, ChurnAndPartitionScenariosIdenticalUnderWorkers) {
+  // The sweep library's fault scenarios (link cuts + crash/recover cycles,
+  // incl. the state-sync path) replay bit-identically under workers.
+  for (const auto& scenario :
+       {harness::scenario_partition(), harness::scenario_churn_deep()}) {
+    const auto mutate = [&](harness::ExperimentConfig& cfg) {
+      scenario.apply(cfg);
+    };
+    const auto serial = sharded_cluster_run(10, 1, mutate);
+    const auto sharded = sharded_cluster_run(10, 4, mutate);
+    EXPECT_EQ(sharded.trace_hash, serial.trace_hash) << scenario.name;
+    EXPECT_EQ(sharded.sim_events, serial.sim_events) << scenario.name;
+    EXPECT_EQ(sharded.restarts, serial.restarts) << scenario.name;
+    EXPECT_EQ(sharded.state_syncs_completed, serial.state_syncs_completed);
+    EXPECT_EQ(sharded.messages_held, serial.messages_held) << scenario.name;
+  }
+}
+
+TEST(ShardedEngine, AllEventsOneShardRunSequentiallyInSeqOrder) {
+  // Edge case: a batch whose events all share one shard has no parallelism
+  // to exploit; it must fall back to the exact serial order.
+  sim::Simulator sim(1, /*workers=*/4);
+  std::vector<int> order;
+  struct Ctx {
+    std::vector<int>* order;
+  } ctx{&order};
+  for (int i = 0; i < 16; ++i)
+    sim.schedule_raw_at(
+        millis(1),
+        [](void* c, std::uint64_t arg) {
+          static_cast<Ctx*>(c)->order->push_back(static_cast<int>(arg));
+        },
+        &ctx, static_cast<std::uint64_t>(i), /*shard=*/7);
+  sim.run_to_completion();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ShardedEngine, OneEventPerShardReplaysEffectsInSeqOrder) {
+  // Edge case: every event on its own shard — maximal fan-out. The events
+  // run concurrently, but their staged effects (defer) must replay in
+  // exact seq order, and follow-up timers must fire.
+  sim::Simulator sim(2, /*workers=*/4);
+  std::vector<int> replay_order;
+  std::uint64_t timers_fired = 0;
+  for (int i = 0; i < 16; ++i) {
+    sim.schedule_after(
+        millis(2),
+        [&sim, &replay_order, &timers_fired, i] {
+          EXPECT_TRUE(sim.staging());
+          sim.defer([&replay_order, i] { replay_order.push_back(i); });
+          // The follow-up tick also runs sharded, so its own shared-counter
+          // effect rides the defer channel too.
+          sim.schedule_after(
+              millis(1),
+              [&sim, &timers_fired] {
+                sim.defer([&timers_fired] { ++timers_fired; });
+              },
+              /*shard=*/static_cast<sim::ShardId>(i));
+        },
+        /*shard=*/static_cast<sim::ShardId>(i));
+  }
+  sim.run_to_completion();
+  ASSERT_EQ(replay_order.size(), 16u);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(replay_order[static_cast<size_t>(i)], i);
+  EXPECT_EQ(timers_fired, 16u);
+  EXPECT_GE(sim.stats().parallel_segments, 2u);
+  // Both the fan-out wave and the follow-up timer wave ran sharded.
+  EXPECT_EQ(sim.stats().parallel_events, 32u);
+}
+
+TEST(ShardedEngine, StagedCancelOfPendingTimerApplies) {
+  // A sharded event cancels a timer armed earlier from serial context: the
+  // cancel is staged and must take effect at replay, before the timer's
+  // tick arrives.
+  sim::Simulator sim(3, /*workers=*/2);
+  bool fired = false;
+  const auto id = sim.schedule_after(millis(10), [&fired] { fired = true; });
+  for (int i = 0; i < 8; ++i)
+    sim.schedule_after(
+        millis(1),
+        [&sim, id, i] {
+          if (i == 3) sim.cancel(id);
+        },
+        /*shard=*/static_cast<sim::ShardId>(i % 4));
+  sim.run_to_completion();
+  EXPECT_FALSE(fired);
+  EXPECT_GT(sim.stats().staged_ops, 0u);
+}
+
+TEST(ShardedEngine, CancelStormUnderWorkersStaysO1Memory) {
+  // The cancel-storm regression with an active worker pool: storms come
+  // from serial context, so the slab/backlog bounds must hold unchanged.
+  sim::Simulator sim(7, /*workers=*/4);
+  for (int i = 0; i < 200'000; ++i) {
+    const auto id = sim.schedule_after(seconds(1) + (i % 9973), [] {});
+    sim.cancel(id);
+  }
+  EXPECT_LE(sim.slab_slots(), 4u);
+  EXPECT_LE(sim.cancelled_pending(), 2'048u);
+  EXPECT_EQ(sim.run_to_completion(), 0u);
+  EXPECT_EQ(sim.executed_events(), 0u);
 }
 
 // -------------------------------------------------------------- gauges

@@ -120,6 +120,71 @@ TEST(SweepDriver, ResultsBitIdenticalAcrossJobsCounts) {
   }
 }
 
+TEST(SweepDriver, IntraJobsComposeWithSweepJobsBitIdentically) {
+  // The hardest scheduling mix: sweep worker threads each driving a
+  // Simulator that runs ITS own sharded worker pool. Cell results must
+  // match the fully serial (--jobs=1, intra_jobs=1) reference bit for bit,
+  // trace hash included.
+  SweepSpec spec = small_spec();
+  spec.base.node.model_cpu = true;  // dispatch slotting needs the CPU model
+  spec.base.exec_slot = 256;
+  spec.base.intra_jobs = 1;
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  const SweepResult reference = harness::run_sweep(spec, serial);
+
+  spec.base.intra_jobs = 4;
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  const SweepResult mixed = harness::run_sweep(spec, parallel);
+
+  ASSERT_EQ(reference.results.size(), mixed.results.size());
+  for (std::size_t i = 0; i < reference.results.size(); ++i) {
+    EXPECT_EQ(harness::deterministic_signature(reference.results[i]),
+              harness::deterministic_signature(mixed.results[i]))
+        << "cell " << reference.cells[i].label;
+    EXPECT_EQ(reference.results[i].trace_hash, mixed.results[i].trace_hash);
+  }
+  for (const auto& r : reference.results) EXPECT_GT(r.committed, 0u);
+}
+
+TEST(SweepExpansion, CellFilterDropsCellsButKeepsSeeds) {
+  SweepSpec spec = small_spec();
+  const auto full = expand_sweep(spec);
+  spec.cell_filter = [](const SweepCell& cell) {
+    return cell.scenario == "partition";
+  };
+  const auto filtered = expand_sweep(spec);
+  ASSERT_EQ(full.size(), 8u);
+  ASSERT_EQ(filtered.size(), 4u);
+  // Kept cells carry the exact grid indices and derived seeds of the full
+  // grid (quick-mode subsets stay comparable with full mode).
+  std::size_t fi = 0;
+  for (const auto& cell : full) {
+    if (cell.scenario != "partition") continue;
+    EXPECT_EQ(filtered[fi].label, cell.label);
+    EXPECT_EQ(filtered[fi].grid_index, cell.grid_index);
+    EXPECT_EQ(filtered[fi].config.seed, cell.config.seed);
+    ++fi;
+  }
+  EXPECT_EQ(fi, filtered.size());
+}
+
+TEST(SweepScenario, SlowValidatorsWindowSlowsTopMinority) {
+  SweepSpec spec = small_spec();
+  ExperimentConfig cfg = spec.base;
+  cfg.num_validators = 10;
+  harness::scenario_slow_validators(6.0, 0.25, 0.75).apply(cfg);
+  ASSERT_EQ(cfg.slow_windows.size(), 1u);
+  const auto& w = cfg.slow_windows[0];
+  EXPECT_EQ(w.factor, 6.0);
+  EXPECT_EQ(w.nodes, (std::vector<ValidatorIndex>{9, 8, 7}));
+  EXPECT_EQ(w.from, cfg.duration / 4);
+  EXPECT_EQ(w.to, cfg.duration * 3 / 4);
+  EXPECT_LT(w.from, w.to);
+}
+
 TEST(SweepDriver, BadCellIsContainedNotFatal) {
   SweepSpec spec = small_spec();
   spec.policies = {harness::PolicyKind::HammerHead};

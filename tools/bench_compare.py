@@ -2,9 +2,19 @@
 """CI bench-regression gate.
 
 Diffs freshly produced BENCH_*.json files against the committed baselines in
-bench/results/ and fails (exit 1) when a throughput metric regressed by more
-than --threshold (default 25%). Everything else — latencies, counters,
-wall-clock gauges — is advisory: printed, never gating.
+bench/results/ and fails (exit 1) when a gated metric regressed:
+
+  * throughput (throughput_tps / throughput_mean): drops by more than
+    --threshold (default 25%).
+  * p95 latency per sweep group (p95_mean): ONLY where the baseline row
+    carries cross-seed stddev context (p95_stddev — the sweep driver's
+    aggregate rows). Trips when the increase exceeds
+    max(--threshold x baseline, 3 x baseline stddev), so noisy groups gate
+    at 3 sigma and tight groups at the percentage floor. Rows without
+    stddev context (per-cell p95_latency_s) stay advisory.
+
+Everything else — counters, wall-clock gauges — is advisory: printed, never
+gating.
 
 Formats understood:
   * harness format (bench/bench_json.h, harness/sweep.cpp):
@@ -33,6 +43,9 @@ import sys
 # Metrics that gate the job: simulated-time throughput (deterministic given
 # the seed, so machine-independent). Higher is better.
 GATED_METRICS = ("throughput_tps", "throughput_mean")
+# Latency metrics gated only with stddev context: (metric, stddev key).
+# Higher is worse; trips beyond max(threshold * base, 3 * stddev).
+GATED_LATENCY_METRICS = (("p95_mean", "p95_stddev"),)
 # Context keys: rows gate only when these match between baseline and current.
 CONTEXT_METRICS = ("duration_s", "offered_load_tps")
 
@@ -99,6 +112,26 @@ def compare_file(name, base_path, cur_path, threshold, report):
                 regressions.append("  [FAIL] " + line)
             else:
                 report.append("  [ok]   " + line)
+        for metric, stddev_key in GATED_LATENCY_METRICS:
+            if metric not in base_m or metric not in cur_m:
+                continue
+            base_v, cur_v = base_m[metric], cur_m[metric]
+            if base_v <= 0:
+                continue
+            if stddev_key not in base_m:
+                report.append(f"  [advisory] {label} {metric}: no "
+                              f"{stddev_key} context, not gated")
+                continue
+            stddev = base_m[stddev_key]
+            allowance = max(threshold * base_v, 3.0 * stddev)
+            delta = cur_v - base_v
+            line = (f"{label} {metric}: {base_v:.3f} -> {cur_v:.3f} s "
+                    f"(+{delta:.3f}, allowance {allowance:.3f} = "
+                    f"max({threshold:.0%}, 3x{stddev:.3f}))")
+            if delta > allowance:
+                regressions.append("  [FAIL] " + line)
+            else:
+                report.append("  [ok]   " + line)
     only_base = set(base_map) - set(cur_map)
     only_cur = set(cur_map) - set(base_map)
     if only_base:
@@ -130,8 +163,9 @@ def run_compare(baseline_dir, current_dir, threshold):
     for line in report:
         print(line)
     if regressions:
-        print(f"\n{len(regressions)} throughput regression(s) beyond "
-              f"{threshold:.0%}:")
+        print(f"\n{len(regressions)} gating regression(s) "
+              f"(throughput beyond {threshold:.0%}, or p95 beyond "
+              f"max({threshold:.0%}, 3 sigma)):")
         for line in regressions:
             print(line)
         return 1
@@ -140,8 +174,9 @@ def run_compare(baseline_dir, current_dir, threshold):
 
 
 def self_test(threshold):
-    """Prove the gate passes on identical data and trips on an injected
-    regression just past the threshold (and not on one just inside it)."""
+    """Prove the gate passes on identical data, trips on an injected
+    throughput regression just past the threshold (and not on one just
+    inside it), and applies the max(threshold, 3 sigma) rule to p95."""
     import tempfile
 
     payload = {
@@ -163,32 +198,64 @@ def self_test(threshold):
                     row["metrics"][key] *= factor
         return out
 
-    cases = [
-        ("baseline vs itself", 1.0, 0),
-        ("regression inside threshold", 1.0 - threshold + 0.05, 0),
-        ("regression beyond threshold", 1.0 - threshold - 0.05, 1),
-        ("improvement", 1.3, 0),
-    ]
-    failures = 0
-    for desc, factor, expected in cases:
+    def compare_payloads(desc, base_payload, cur_payload, expected):
         with tempfile.TemporaryDirectory() as tmp:
             base_dir = os.path.join(tmp, "base")
             cur_dir = os.path.join(tmp, "cur")
             os.makedirs(base_dir)
             os.makedirs(cur_dir)
             with open(os.path.join(base_dir, "BENCH_selftest.json"), "w") as f:
-                json.dump(payload, f)
+                json.dump(base_payload, f)
             with open(os.path.join(cur_dir, "BENCH_selftest.json"), "w") as f:
-                json.dump(scaled(factor), f)
-            print(f"--- self-test: {desc} (x{factor:.2f}) ---")
+                json.dump(cur_payload, f)
+            print(f"--- self-test: {desc} ---")
             got = run_compare(base_dir, cur_dir, threshold)
             if got != expected:
                 print(f"SELF-TEST FAILURE: {desc}: exit {got}, "
                       f"expected {expected}", file=sys.stderr)
-                failures += 1
+                return 1
+            return 0
+
+    failures = 0
+    for desc, factor, expected in [
+        ("baseline vs itself", 1.0, 0),
+        ("regression inside threshold", 1.0 - threshold + 0.05, 0),
+        ("regression beyond threshold", 1.0 - threshold - 0.05, 1),
+        ("improvement", 1.3, 0),
+    ]:
+        failures += compare_payloads(f"{desc} (x{factor:.2f})", payload,
+                                     scaled(factor), expected)
+
+    # p95 gating: trips beyond max(threshold * base, 3 sigma), passes inside
+    # either floor, and stays advisory without stddev context.
+    def p95_payload(mean, stddev):
+        metrics = {"throughput_mean": 900.0, "p95_mean": mean}
+        if stddev is not None:
+            metrics["p95_stddev"] = stddev
+        return {"bench": "selftest",
+                "rows": [{"label": "agg/cell", "metrics": metrics}]}
+
+    base_p95 = 2.0
+    floor = threshold * base_p95  # the percentage-floor allowance
+    tight = floor / 6.0           # 3 sigma = floor/2: percentage dominates
+    wide = floor / 2.0            # 3 sigma = 1.5 x floor: sigma dominates
+    for desc, base_stddev, cur_mean, expected in [
+        ("p95 inside percentage floor", tight, base_p95 + 0.5 * floor, 0),
+        ("p95 beyond floor with tight stddev", tight,
+         base_p95 + 1.2 * floor, 1),
+        ("p95 beyond threshold but inside 3 sigma", wide,
+         base_p95 + 1.2 * floor, 0),
+        ("p95 beyond 3 sigma", wide, base_p95 + 1.7 * floor, 1),
+        ("p95 without stddev context stays advisory", None,
+         base_p95 + 3.0 * floor, 0),
+    ]:
+        failures += compare_payloads(
+            desc, p95_payload(base_p95, base_stddev),
+            p95_payload(cur_mean, base_stddev), expected)
+
     if failures:
         return 1
-    print("self-test OK: gate trips beyond threshold, passes otherwise")
+    print("self-test OK: gate trips beyond thresholds, passes otherwise")
     return 0
 
 
