@@ -37,5 +37,23 @@ int main() {
       }
     }
   }
+
+  // Wide committees (n = 500 and 1000): the scale target of the relay-tree
+  // fanout + memory-tiering work. One load point per size, fixed short
+  // horizon (see wide_config) — these rows run in full mode or under
+  // HH_BENCH_WIDE=1 (so the committed baseline can carry them without
+  // putting a multi-minute run on the quick CI path).
+  if (!quick_mode() || wide_mode()) {
+    for (std::size_t n : {std::size_t{500}, std::size_t{1000}}) {
+      for (auto policy : {harness::PolicyKind::HammerHead,
+                          harness::PolicyKind::RoundRobin}) {
+        print_header(std::string(harness::policy_name(policy)) + " - " +
+                     std::to_string(n) + " nodes (wide)");
+        auto cfg = wide_config(n, /*load_tps=*/1'000, policy);
+        print_run("wide_n=" + std::to_string(n),
+                  harness::run_experiment(cfg));
+      }
+    }
+  }
   return 0;
 }

@@ -74,6 +74,20 @@ int main(int argc, char** argv) {
   spec.scenarios = {harness::scenario_partition(), harness::scenario_churn(),
                     harness::scenario_churn_deep(),
                     harness::scenario_slow_validators()};
+  if (!quick_mode()) {
+    // Nightly full grid additionally carries one wide-committee cell per
+    // policy: faultless n=500 under the relay-tree + memory-tiering
+    // configuration (bench_util.h wide_config — fixed short horizon, so
+    // the cell completes in ~1.5 min on one core). Rides the explicit-
+    // config axis: the scenario grid at n=500 would multiply that cost by
+    // every (scenario x seed) combination.
+    for (auto policy : {harness::PolicyKind::HammerHead,
+                        harness::PolicyKind::RoundRobin}) {
+      harness::ExperimentConfig wide = wide_config(500, 2'000, policy);
+      spec.extra.emplace_back(
+          std::string("wide_n500_") + harness::policy_name(policy), wide);
+    }
+  }
   if (quick_mode()) {
     // Keep the CI gate inside its previous 36-cell budget: no n=50/100,
     // the new slow axis runs at n=10, paid for by dropping the two most

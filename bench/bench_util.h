@@ -50,6 +50,34 @@ inline harness::ExperimentConfig paper_config(std::size_t n, double load_tps,
   return cfg;
 }
 
+inline bool wide_mode() {
+  const char* w = std::getenv("HH_BENCH_WIDE");
+  return w != nullptr && std::string(w) != "0";
+}
+
+/// Wide-committee configuration (n >= 500). Deviates from paper_config
+/// where the paper's setup would not complete at interactive wall time on
+/// one core: relay-tree fanout (degree 4) so a broadcast costs the origin 4
+/// egress slots instead of n-1, tight memory tiering (cold after 8 rounds)
+/// and a short gc horizon so the working set of 500-1000 per-validator DAGs
+/// stays in cache, and a fixed short duration that deliberately IGNORES
+/// HH_BENCH_DURATION_S — wide rows must be byte-comparable between quick
+/// and full invocations, since they are committed in the same baseline
+/// artifact the quick CI gate diffs against.
+inline harness::ExperimentConfig wide_config(std::size_t n, double load_tps,
+                                             harness::PolicyKind policy) {
+  harness::ExperimentConfig cfg = paper_config(n, load_tps, 0, policy);
+  cfg.net.fanout_degree = 4;
+  cfg.node.index.cold_round_lag = 8;
+  cfg.node.gc_depth = 30;
+  // n=1000's commit pipeline is deep enough that the second anchor (and
+  // with it the first measured commits) lands between sim-seconds 5 and 8;
+  // the longer horizon buys the row a real commit-latency column.
+  cfg.duration = n >= 1000 ? seconds(8) : seconds(5);
+  cfg.warmup = seconds(1);
+  return cfg;
+}
+
 inline void print_run(const std::string& tag,
                       const harness::ExperimentResult& r) {
   std::cout << tag << "  " << harness::result_row(r) << std::endl;
@@ -67,7 +95,8 @@ inline void print_run(const std::string& tag,
             {"skipped_anchors", static_cast<double>(r.skipped_anchors)},
             {"sim_events", static_cast<double>(r.sim_events)},
             {"events_per_sec_wall", r.events_per_sec_wall},
-            {"allocs_per_event", r.allocs_per_event}});
+            {"allocs_per_event", r.allocs_per_event},
+            {"dag_bytes_per_vertex", r.dag_bytes_per_vertex}});
 }
 
 inline void print_header(const std::string& title) {

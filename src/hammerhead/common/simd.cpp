@@ -1,0 +1,181 @@
+#include "hammerhead/common/simd.h"
+
+#if HH_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace hammerhead::simd {
+
+namespace detail {
+
+#if HH_SIMD_X86
+
+// SSE2 is baseline on x86-64: no detection, no target attribute needed, but
+// the bodies are kept out of line so the header stays intrinsics-free.
+
+void bitmap_clear_sse2(std::uint64_t* dst, std::size_t words) {
+  std::size_t w = 0;
+  const __m128i zero = _mm_setzero_si128();
+  for (; w + 2 <= words; w += 2)
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + w), zero);
+  for (; w < words; ++w) dst[w] = 0;
+}
+
+void bitmap_or_into_sse2(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 2 <= words; w += 2) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + w));
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + w));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + w),
+                     _mm_or_si128(d, s));
+  }
+  for (; w < words; ++w) dst[w] |= src[w];
+}
+
+bool bitmap_equals_sse2(const std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t words) {
+  std::size_t w = 0;
+  __m128i acc = _mm_setzero_si128();
+  for (; w + 2 <= words; w += 2) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + w));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + w));
+    acc = _mm_or_si128(acc, _mm_xor_si128(va, vb));
+  }
+  std::uint64_t diff = 0;
+  for (; w < words; ++w) diff |= a[w] ^ b[w];
+  // acc == 0 iff every byte compares equal to zero.
+  const __m128i zero = _mm_setzero_si128();
+  return diff == 0 &&
+         _mm_movemask_epi8(_mm_cmpeq_epi8(acc, zero)) == 0xFFFF;
+}
+
+bool bitmap_or_into_equals_sse2(std::uint64_t* dst, const std::uint64_t* src,
+                                const std::uint64_t* ref, std::size_t words) {
+  std::size_t w = 0;
+  __m128i acc = _mm_setzero_si128();
+  for (; w + 2 <= words; w += 2) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + w));
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + w));
+    const __m128i r =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ref + w));
+    const __m128i u = _mm_or_si128(d, s);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + w), u);
+    acc = _mm_or_si128(acc, _mm_xor_si128(u, r));
+  }
+  std::uint64_t diff = 0;
+  for (; w < words; ++w) {
+    dst[w] |= src[w];
+    diff |= dst[w] ^ ref[w];
+  }
+  const __m128i zero = _mm_setzero_si128();
+  return diff == 0 &&
+         _mm_movemask_epi8(_mm_cmpeq_epi8(acc, zero)) == 0xFFFF;
+}
+
+// AVX2 bodies carry the target attribute so this file builds without
+// -mavx2; dispatch guarantees they only run on CPUs that report AVX2.
+
+__attribute__((target("avx2"))) void bitmap_clear_avx2(std::uint64_t* dst,
+                                                       std::size_t words) {
+  std::size_t w = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; w + 4 <= words; w += 4)
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), zero);
+  for (; w < words; ++w) dst[w] = 0;
+}
+
+__attribute__((target("avx2"))) void bitmap_or_into_avx2(
+    std::uint64_t* dst, const std::uint64_t* src, std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_or_si256(d, s));
+  }
+  for (; w < words; ++w) dst[w] |= src[w];
+}
+
+__attribute__((target("avx2"))) bool bitmap_equals_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words) {
+  std::size_t w = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; w + 4 <= words; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    acc = _mm256_or_si256(acc, _mm256_xor_si256(va, vb));
+  }
+  std::uint64_t diff = 0;
+  for (; w < words; ++w) diff |= a[w] ^ b[w];
+  return diff == 0 && _mm256_testz_si256(acc, acc) != 0;
+}
+
+__attribute__((target("avx2"))) bool bitmap_or_into_equals_avx2(
+    std::uint64_t* dst, const std::uint64_t* src, const std::uint64_t* ref,
+    std::size_t words) {
+  std::size_t w = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; w + 4 <= words; w += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ref + w));
+    const __m256i u = _mm256_or_si256(d, s);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), u);
+    acc = _mm256_or_si256(acc, _mm256_xor_si256(u, r));
+  }
+  std::uint64_t diff = 0;
+  for (; w < words; ++w) {
+    dst[w] |= src[w];
+    diff |= dst[w] ^ ref[w];
+  }
+  return diff == 0 && _mm256_testz_si256(acc, acc) != 0;
+}
+
+#endif  // HH_SIMD_X86
+
+std::atomic<Level> g_level{max_level()};
+
+}  // namespace detail
+
+Level max_level() {
+#if HH_SIMD_X86
+  return __builtin_cpu_supports("avx2") ? Level::kAvx2 : Level::kSse2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level set_level(Level level) {
+  const Level cap = max_level();
+  if (static_cast<int>(level) > static_cast<int>(cap)) level = cap;
+  detail::g_level.store(level, std::memory_order_relaxed);
+  return level;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace hammerhead::simd

@@ -1,0 +1,166 @@
+// Data-parallel bitmap kernels with runtime CPU-feature dispatch.
+//
+// The wide-committee hot loops are all dense u64-bitmap sweeps: the commit
+// index ORs parent ancestor rows into the child's row and compares rows
+// against the referenced-slot mask (dag/index.cpp), and DAG traversals clear
+// per-round visited rows (dag/arena.h). At n=1000 a row is 16 words — wide
+// enough for 256-bit lanes to pay, small enough that dispatch must stay an
+// inlined branch on a cached level, not an indirect call per row.
+//
+// Three variants per kernel, selected once at static-init time:
+//   * scalar  — plain u64 loops, the reference semantics. Always compiled;
+//     the only variant on non-x86 builds or under -DHH_SIMD=OFF.
+//   * sse2    — 128-bit lanes; baseline on every x86-64, no detection needed.
+//   * avx2    — 256-bit lanes; used when the CPU reports AVX2.
+// The AVX2/SSE2 bodies live in simd.cpp behind `target` attributes so the
+// rest of the library still compiles for the lowest common denominator; a
+// host without AVX2 never executes an AVX2 instruction.
+//
+// `set_level` clamps to what CPU + build support and exists so differential
+// tests and benches can pin each dispatch path explicitly; production code
+// never calls it. All kernels are pure (no hidden state beyond the level,
+// which is written only at static init or from tests), so concurrent sweep
+// workers can call them freely.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#ifndef HH_SIMD
+#define HH_SIMD 1
+#endif
+
+#if HH_SIMD && (defined(__x86_64__) || defined(_M_X64))
+#define HH_SIMD_X86 1
+#else
+#define HH_SIMD_X86 0
+#endif
+
+namespace hammerhead::simd {
+
+enum class Level : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Reference implementations: the semantics every variant must reproduce
+/// bit-exactly (the differential suite in tests/dag_index_test.cpp checks
+/// them against the dispatched kernels on random rows and tail lengths).
+namespace scalar {
+
+inline void bitmap_clear(std::uint64_t* dst, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] = 0;
+}
+
+inline void bitmap_or_into(std::uint64_t* dst, const std::uint64_t* src,
+                           std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] |= src[w];
+}
+
+inline bool bitmap_equals(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words) {
+  std::uint64_t diff = 0;
+  for (std::size_t w = 0; w < words; ++w) diff |= a[w] ^ b[w];
+  return diff == 0;
+}
+
+/// Fused union + saturation test: dst |= src, returns dst == ref afterwards.
+/// One pass instead of the or/equals pair the index would otherwise run
+/// back to back on the same row.
+inline bool bitmap_or_into_equals(std::uint64_t* dst,
+                                  const std::uint64_t* src,
+                                  const std::uint64_t* ref,
+                                  std::size_t words) {
+  std::uint64_t diff = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    dst[w] |= src[w];
+    diff |= dst[w] ^ ref[w];
+  }
+  return diff == 0;
+}
+
+}  // namespace scalar
+
+namespace detail {
+
+/// Active level; written at static init (CPU detection) and by set_level.
+extern std::atomic<Level> g_level;
+
+#if HH_SIMD_X86
+void bitmap_clear_sse2(std::uint64_t* dst, std::size_t words);
+void bitmap_or_into_sse2(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t words);
+bool bitmap_equals_sse2(const std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t words);
+bool bitmap_or_into_equals_sse2(std::uint64_t* dst, const std::uint64_t* src,
+                                const std::uint64_t* ref, std::size_t words);
+
+void bitmap_clear_avx2(std::uint64_t* dst, std::size_t words);
+void bitmap_or_into_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t words);
+bool bitmap_equals_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t words);
+bool bitmap_or_into_equals_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                                const std::uint64_t* ref, std::size_t words);
+#endif
+
+}  // namespace detail
+
+/// Best level this CPU + build can execute (kScalar when HH_SIMD is off or
+/// the target is not x86-64).
+Level max_level();
+
+inline Level active_level() {
+  return detail::g_level.load(std::memory_order_relaxed);
+}
+
+/// Pin the dispatch level (clamped to max_level()); returns the level that
+/// is now active. For differential tests and benches only.
+Level set_level(Level level);
+
+const char* level_name(Level level);
+
+// ------------------------------------------------------- dispatched kernels
+
+inline void bitmap_clear(std::uint64_t* dst, std::size_t words) {
+#if HH_SIMD_X86
+  const Level l = active_level();
+  if (l == Level::kAvx2) return detail::bitmap_clear_avx2(dst, words);
+  if (l == Level::kSse2) return detail::bitmap_clear_sse2(dst, words);
+#endif
+  scalar::bitmap_clear(dst, words);
+}
+
+inline void bitmap_or_into(std::uint64_t* dst, const std::uint64_t* src,
+                           std::size_t words) {
+#if HH_SIMD_X86
+  const Level l = active_level();
+  if (l == Level::kAvx2) return detail::bitmap_or_into_avx2(dst, src, words);
+  if (l == Level::kSse2) return detail::bitmap_or_into_sse2(dst, src, words);
+#endif
+  scalar::bitmap_or_into(dst, src, words);
+}
+
+inline bool bitmap_equals(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words) {
+#if HH_SIMD_X86
+  const Level l = active_level();
+  if (l == Level::kAvx2) return detail::bitmap_equals_avx2(a, b, words);
+  if (l == Level::kSse2) return detail::bitmap_equals_sse2(a, b, words);
+#endif
+  return scalar::bitmap_equals(a, b, words);
+}
+
+inline bool bitmap_or_into_equals(std::uint64_t* dst,
+                                  const std::uint64_t* src,
+                                  const std::uint64_t* ref,
+                                  std::size_t words) {
+#if HH_SIMD_X86
+  const Level l = active_level();
+  if (l == Level::kAvx2)
+    return detail::bitmap_or_into_equals_avx2(dst, src, ref, words);
+  if (l == Level::kSse2)
+    return detail::bitmap_or_into_equals_sse2(dst, src, ref, words);
+#endif
+  return scalar::bitmap_or_into_equals(dst, src, ref, words);
+}
+
+}  // namespace hammerhead::simd

@@ -1,0 +1,45 @@
+// LEB128 varints and zigzag signed mapping, used by the cold-round memory
+// tier (dag/arena.h, dag/index.h) to pack parent-handle and bitmap slabs.
+// Not a wire format: blobs never leave the process and are decoded by the
+// same build that encoded them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hammerhead {
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Decodes from `p` (must point at a valid encoding); returns one past the
+/// last consumed byte.
+inline const std::uint8_t* get_varint(const std::uint8_t* p,
+                                      std::uint64_t& v) {
+  v = 0;
+  unsigned shift = 0;
+  while (*p & 0x80) {
+    v |= static_cast<std::uint64_t>(*p++ & 0x7f) << shift;
+    shift += 7;
+  }
+  v |= static_cast<std::uint64_t>(*p++) << shift;
+  return p;
+}
+
+/// Zigzag: small-magnitude signed deltas map to small unsigned varints.
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace hammerhead

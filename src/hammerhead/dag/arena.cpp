@@ -1,9 +1,13 @@
 #include "hammerhead/dag/arena.h"
 
+#include <algorithm>
+
+#include "hammerhead/common/varint.h"
+
 namespace hammerhead::dag {
 
 Arena::Arena(std::size_t n, std::size_t initial_depth)
-    : n_(n), ring_(n, initial_depth) {
+    : n_(n), ring_(n, initial_depth), visit_words_((n + 63) / 64) {
   HH_ASSERT_MSG(n_ > 0, "arena needs at least one slot per round");
 }
 
@@ -11,21 +15,30 @@ VertexId Arena::insert(CertPtr cert, std::span<const VertexId> parents) {
   HH_ASSERT(cert != nullptr);
   HH_ASSERT_MSG(cert->author() < n_,
                 "author out of range: " << cert->author());
-  Slot* row = ring_.ensure_round(cert->round());
+  const Round round = cert->round();
+  // Straggler into a cold round (fetch / state-sync backfill): restore the
+  // round first so it is wholly hot again — compression never holds a
+  // partial round.
+  if (round < tier_cursor_) maybe_rehydrate(round);
+  Slot* row = ring_.ensure_round(round);
   Slot& slot = row[cert->author()];
-  HH_ASSERT_MSG(slot.cert == nullptr, "slot (" << cert->round() << ", "
+  HH_ASSERT_MSG(slot.cert == nullptr, "slot (" << round << ", "
                                                << cert->author()
                                                << ") occupied twice");
-  const VertexId v = id(cert->round(), cert->author());
+  const VertexId v = id(round, cert->author());
   by_digest_.emplace(cert->digest(), v);
   if (slot.parents.capacity() == 0 && !parents_pool_.empty()) {
     slot.parents = std::move(parents_pool_.back());
     parents_pool_.pop_back();
   }
   slot.parents.assign(parents.begin(), parents.end());
-  slot.mark = 0;
   slot.digest = cert->digest();
   slot.cert = std::move(cert);
+  mem_.hot_parent_bytes += slot.parents.size() * sizeof(VertexId);
+  if (cold_lag_ != 0 && round > max_round_seen_) {
+    max_round_seen_ = round;
+    while (tier_cursor_ + cold_lag_ < round) compress_round(tier_cursor_++);
+  }
   return v;
 }
 
@@ -34,11 +47,107 @@ void Arena::prune_below(Round floor) {
     for (std::size_t a = 0; a < n_; ++a) {
       if (!slots[a].cert) continue;
       by_digest_.erase(slots[a].digest);
+      mem_.hot_parent_bytes -= slots[a].parents.size() * sizeof(VertexId);
       // Donate the parent buffer back before the ring destroys the slot.
       if (slots[a].parents.capacity() > 0 && parents_pool_.size() < 4096)
         parents_pool_.push_back(std::move(slots[a].parents));
     }
   });
+  for (auto it = cold_rounds_.begin(); it != cold_rounds_.end();) {
+    if (it->first < floor) {
+      mem_.cold_parent_bytes -= it->second.size();
+      it = cold_rounds_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  tier_cursor_ = std::max(tier_cursor_, floor);
+}
+
+void Arena::donate_parents(std::vector<VertexId>& parents) {
+  if (parents.capacity() > 0 && parents_pool_.size() < 4096) {
+    parents_pool_.push_back(std::move(parents));
+    parents = std::vector<VertexId>{};
+  } else {
+    parents.clear();
+    parents.shrink_to_fit();  // actually release the cold memory
+  }
+}
+
+void Arena::compress_round(Round r) {
+  Slot* slab = ring_.find_round(r);
+  if (slab == nullptr) return;
+  std::uint64_t occupied = 0;
+  for (std::size_t a = 0; a < n_; ++a)
+    if (slab[a].cert) ++occupied;
+  if (occupied == 0) return;
+  // Per occupied slot: author, parent count, then parents as zigzag deltas
+  // (first from the previous round's slab base, then consecutive — handle
+  // lists cluster tightly around (r-1)*n, so most deltas fit one byte).
+  std::vector<std::uint8_t> blob;
+  put_varint(blob, occupied);
+  const std::int64_t base =
+      static_cast<std::int64_t>((r == 0 ? 0 : r - 1) * n_);
+  for (std::size_t a = 0; a < n_; ++a) {
+    Slot& s = slab[a];
+    if (!s.cert) continue;
+    put_varint(blob, a);
+    put_varint(blob, s.parents.size());
+    std::int64_t prev = base;
+    for (const VertexId p : s.parents) {
+      put_varint(blob, zigzag_encode(static_cast<std::int64_t>(p) - prev));
+      prev = static_cast<std::int64_t>(p);
+    }
+    mem_.hot_parent_bytes -= s.parents.size() * sizeof(VertexId);
+    donate_parents(s.parents);
+  }
+  blob.shrink_to_fit();
+  mem_.cold_parent_bytes += blob.size();
+  ++mem_.rounds_compressed;
+  cold_rounds_.emplace(r, std::move(blob));
+}
+
+void Arena::maybe_rehydrate(Round r) const {
+  const auto it = cold_rounds_.find(r);
+  if (it == cold_rounds_.end()) return;
+  // Representation-only mutation: the decoded state is exactly what
+  // compress_round consumed, so const readers observe identical answers.
+  const_cast<Arena*>(this)->rehydrate_round(r, it->second);
+  mem_.cold_parent_bytes -= it->second.size();
+  ++mem_.rounds_rehydrated;
+  cold_rounds_.erase(it);
+}
+
+void Arena::rehydrate_round(Round r, const std::vector<std::uint8_t>& blob) {
+  Slot* slab = ring_.find_round(r);
+  HH_ASSERT_MSG(slab != nullptr, "compressed round " << r << " not resident");
+  const std::uint8_t* p = blob.data();
+  std::uint64_t occupied = 0;
+  p = get_varint(p, occupied);
+  const std::int64_t base =
+      static_cast<std::int64_t>((r == 0 ? 0 : r - 1) * n_);
+  for (std::uint64_t i = 0; i < occupied; ++i) {
+    std::uint64_t author = 0;
+    std::uint64_t count = 0;
+    p = get_varint(p, author);
+    p = get_varint(p, count);
+    Slot& s = slab[author];
+    if (s.parents.capacity() == 0 && !parents_pool_.empty()) {
+      s.parents = std::move(parents_pool_.back());
+      parents_pool_.pop_back();
+    }
+    s.parents.clear();
+    s.parents.reserve(count);
+    std::int64_t prev = base;
+    for (std::uint64_t j = 0; j < count; ++j) {
+      std::uint64_t d = 0;
+      p = get_varint(p, d);
+      prev += zigzag_decode(d);
+      s.parents.push_back(static_cast<VertexId>(prev));
+    }
+    mem_.hot_parent_bytes += count * sizeof(VertexId);
+  }
+  HH_ASSERT(p == blob.data() + blob.size());
 }
 
 }  // namespace hammerhead::dag

@@ -22,10 +22,26 @@
 // follow integer handles through contiguous slabs instead of re-hashing
 // digests into node-based maps.
 //
-// Traversals use epoch-stamped visited marks embedded in the slots: bumping
-// one counter starts a new traversal, so no per-call visited set is
-// allocated. A digest -> handle side table exists only for the ingress path
-// (dedup, parent resolution, digest-keyed lookups at the protocol boundary).
+// Memory tiering (set_cold_lag): rounds more than `lag` rounds behind the
+// highest inserted round are *cold* — their resolved-parent slabs are
+// packed into one zigzag-varint delta blob per round (parents cluster
+// around `(round-1) * n`, so deltas are 1-2 bytes against 8-byte handles)
+// and the slot vectors are released. Cold rounds rehydrate transparently on
+// first touch (resolve / round_slab / a straggler insert), stay hot until
+// pruned, and pruning drops blobs directly. Tiering changes only the
+// storage representation: every query answers identically with it on or
+// off, and the hot/cold byte split is visible in memory_stats().
+//
+// Traversals use dense per-round visited bitmaps (one bit per author slot),
+// lazily refreshed per traversal: bumping one counter starts a new traversal
+// and a round's row is SIMD-cleared on its first touch, so no per-call
+// visited set is allocated. The marks used to live as epoch stamps inside
+// the slots themselves; at wide committees that touched one scattered
+// ~100-byte Slot per *edge* just to reject a repeat, while the dense rows
+// reject repeats with a bit test on two cache lines per round (n=1000) and
+// only first visits touch slab memory. A digest -> handle side table exists
+// only for the ingress path (dedup, parent resolution, digest-keyed lookups
+// at the protocol boundary).
 #pragma once
 
 #include <cstdint>
@@ -36,6 +52,7 @@
 
 #include "hammerhead/common/assert.h"
 #include "hammerhead/common/digest.h"
+#include "hammerhead/common/simd.h"
 #include "hammerhead/common/types.h"
 #include "hammerhead/dag/types.h"
 
@@ -144,15 +161,29 @@ class Arena {
     /// Parents missing at insert (possible only at/below the gc floor) are
     /// simply absent — identical to the digest lookup failing.
     std::vector<VertexId> parents;
-    /// Epoch-stamped visited mark; meaningful only within one traversal.
-    mutable std::uint64_t mark = 0;
     /// Copy of cert->digest(), kept inline so residency checks (e.g. the
     /// memoized parent-handle fast path) compare against slab memory
     /// instead of chasing cert -> header -> digest.
     Digest digest;
   };
 
+  /// Hot/cold storage split of the vertex store (see "Memory tiering"
+  /// above). Byte figures are logical sizes — deterministic across runs —
+  /// not allocator capacities.
+  struct MemoryStats {
+    std::uint64_t hot_parent_bytes = 0;   ///< resident resolved-parent lists
+    std::uint64_t cold_parent_bytes = 0;  ///< compressed cold-round blobs
+    std::uint64_t rounds_compressed = 0;  ///< cumulative compress events
+    std::uint64_t rounds_rehydrated = 0;  ///< cumulative rehydrate events
+  };
+
   Arena(std::size_t n, std::size_t initial_depth = 16);
+
+  /// Enable cold-round tiering: rounds more than `lag` behind the highest
+  /// inserted round compress their parent slabs. 0 (default) disables.
+  void set_cold_lag(Round lag) { cold_lag_ = lag; }
+  Round cold_lag() const { return cold_lag_; }
+  const MemoryStats& memory_stats() const { return mem_; }
 
   std::size_t slots_per_round() const { return n_; }
   std::size_t size() const { return by_digest_.size(); }
@@ -176,7 +207,9 @@ class Arena {
   /// Slot of a handle, or null if the slot is empty / the round not resident.
   const Slot* resolve(VertexId v) const {
     if (v == kInvalidVertex) return nullptr;
-    const Slot* row = ring_.find_round(round_of(v));
+    const Round r = round_of(v);
+    if (r < tier_cursor_) maybe_rehydrate(r);
+    const Slot* row = ring_.find_round(r);
     if (row == nullptr) return nullptr;
     const Slot& s = row[author_of(v)];
     return s.cert ? &s : nullptr;
@@ -184,7 +217,10 @@ class Arena {
 
   /// The n slots of `round` (author-indexed; empty slots have null cert), or
   /// null when the round holds no slab.
-  const Slot* round_slab(Round round) const { return ring_.find_round(round); }
+  const Slot* round_slab(Round round) const {
+    if (round < tier_cursor_) maybe_rehydrate(round);
+    return ring_.find_round(round);
+  }
 
   /// Occupy slot (cert->round(), cert->author()). The slot must be empty —
   /// callers dedup via find() first. Returns the new vertex's handle.
@@ -199,23 +235,83 @@ class Arena {
   /// Drop all rounds strictly below `floor` (and their side-table entries).
   void prune_below(Round floor);
 
-  /// Start a traversal: returns a fresh epoch for mark().
-  std::uint64_t begin_traversal() const { return ++epoch_; }
-  /// Mark a slot visited in `epoch`; true if it was not yet visited.
-  static bool mark(const Slot& slot, std::uint64_t epoch) {
-    if (slot.mark == epoch) return false;
-    slot.mark = epoch;
+  /// Start a traversal: visited rows refresh lazily against the new epoch.
+  /// Returns the epoch (diagnostic only; marking uses the current epoch).
+  std::uint64_t begin_traversal() const {
+    // Ring growth happens on insert, never mid-traversal, so syncing the
+    // visited ring here keeps resident rounds collision-free below.
+    if (visit_rows_.size() != ring_.depth())
+      visit_rows_.assign(ring_.depth(), VisitRow{});
+    return ++epoch_;
+  }
+
+  /// Visited-bit row of `round` for the current traversal, SIMD-cleared on
+  /// its first touch after begin_traversal(). `round` must be resident
+  /// (hold a live slab): resident rounds occupy distinct ring positions, so
+  /// their rows never collide within a traversal. Callers hoist the row
+  /// across same-round edges and test bits with mark_row.
+  std::uint64_t* visited_row(Round round) const {
+    VisitRow& row = visit_rows_[round & (visit_rows_.size() - 1)];
+    if (row.stamp != epoch_ || row.round != round) {
+      row.round = round;
+      row.stamp = epoch_;
+      if (row.bits.size() != visit_words_)
+        row.bits.assign(visit_words_, 0);
+      else
+        simd::bitmap_clear(row.bits.data(), visit_words_);
+    }
+    return row.bits.data();
+  }
+
+  /// Mark `author` in a row from visited_row; true if not yet visited.
+  static bool mark_row(std::uint64_t* row, ValidatorIndex author) {
+    const std::uint64_t bit = std::uint64_t{1} << (author & 63);
+    std::uint64_t& word = row[author >> 6];
+    if (word & bit) return false;
+    word |= bit;
     return true;
   }
 
+  /// Convenience form for call sites without a hoisted row.
+  bool mark_visited(VertexId v) const {
+    return mark_row(visited_row(round_of(v)), author_of(v));
+  }
+
  private:
+  struct VisitRow {
+    Round round = 0;
+    std::uint64_t stamp = 0;
+    std::vector<std::uint64_t> bits;
+  };
+
+  /// Pack round `r`'s parent lists into a blob and release the slot vectors.
+  void compress_round(Round r);
+  /// Restore round `r`'s parent lists if it is compressed. Logically const:
+  /// only the storage representation changes, never query answers.
+  void maybe_rehydrate(Round r) const;
+  void rehydrate_round(Round r, const std::vector<std::uint8_t>& blob);
+  /// Recycle or free one slot's parent vector (compression / pruning).
+  void donate_parents(std::vector<VertexId>& parents);
+
   std::size_t n_;
   RoundRing<Slot> ring_;
   /// Ingress/dedup only: digest-keyed lookups at the protocol boundary.
   std::unordered_map<Digest, VertexId> by_digest_;
   /// Parent-vector buffers recycled from pruned slots (bounded).
   std::vector<std::vector<VertexId>> parents_pool_;
+  /// Dense visited rows, ring-positioned like the slabs ((n+63)/64 words
+  /// per round); row contents are meaningful only within one traversal.
+  std::size_t visit_words_;
+  mutable std::vector<VisitRow> visit_rows_;
   mutable std::uint64_t epoch_ = 0;
+  /// Cold-round tiering state. Rounds below tier_cursor_ are compressed,
+  /// rehydrated or pruned; the cursor never retreats, so the hot-path guard
+  /// is one comparison. A round is always wholly hot or wholly compressed.
+  Round cold_lag_ = 0;
+  Round tier_cursor_ = 0;
+  Round max_round_seen_ = 0;
+  mutable std::unordered_map<Round, std::vector<std::uint8_t>> cold_rounds_;
+  mutable MemoryStats mem_;
 };
 
 }  // namespace hammerhead::dag

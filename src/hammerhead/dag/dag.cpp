@@ -9,7 +9,22 @@ namespace hammerhead::dag {
 Dag::Dag(const crypto::Committee& committee, IndexConfig index)
     : committee_(committee),
       arena_(committee.size()),
-      index_(committee, index) {}
+      index_(committee, index) {
+  // One knob drives both tiers: the arena compresses cold parent slabs on
+  // the same round lag the index uses for its bitmap slabs.
+  arena_.set_cold_lag(index.cold_round_lag);
+}
+
+double Dag::bytes_per_vertex() const {
+  const std::size_t certs = arena_.size();
+  if (certs == 0) return 0.0;
+  const Arena::MemoryStats& m = arena_.memory_stats();
+  const std::uint64_t bytes =
+      m.hot_parent_bytes + m.cold_parent_bytes +
+      index_.bitmap_words() * sizeof(std::uint64_t) +
+      index_.cold_bitmap_bytes();
+  return static_cast<double>(bytes) / static_cast<double>(certs);
+}
 
 bool Dag::parents_present(const Certificate& cert) const {
   if (cert.round() == 0) return true;
@@ -237,8 +252,7 @@ bool Dag::has_path(VertexId from, VertexId to) const {
   return has_path_scan(from, to);
 }
 
-bool Dag::scan_from(std::vector<VertexId>& frontier, VertexId to,
-                    std::uint64_t epoch) const {
+bool Dag::scan_from(std::vector<VertexId>& frontier, VertexId to) const {
   const Round to_round = round_of(to);
   std::size_t head = 0;
   while (head < frontier.size()) {
@@ -246,9 +260,13 @@ bool Dag::scan_from(std::vector<VertexId>& frontier, VertexId to,
     for (const VertexId p : s.parents) {
       if (p == to) return true;
       if (round_of(p) <= to_round) continue;
+      // round > to_round >= gc floor, so p's round is resident: the visited
+      // bit is tested before the slot is touched, and repeat edges skip the
+      // slab access entirely.
+      if (!arena_.mark_visited(p)) continue;
       const Arena::Slot* ps = arena_.resolve(p);
-      if (ps == nullptr) continue;  // pruned
-      if (Arena::mark(*ps, epoch)) frontier.push_back(p);
+      if (ps == nullptr) continue;
+      frontier.push_back(p);
     }
   }
   return false;
@@ -259,12 +277,11 @@ bool Dag::has_path_scan(VertexId from, VertexId to) const {
   if (round_of(from) <= round_of(to)) return false;
   HH_ASSERT_MSG(round_of(to) >= gc_floor_,
                 "path query below gc floor: " << round_of(to));
-  const Arena::Slot* fs = arena_.resolve(from);
-  HH_ASSERT(fs != nullptr);
-  const auto epoch = arena_.begin_traversal();
-  Arena::mark(*fs, epoch);
+  HH_ASSERT(arena_.resolve(from) != nullptr);
+  arena_.begin_traversal();
+  arena_.mark_visited(from);
   std::vector<VertexId> frontier{from};
-  return scan_from(frontier, to, epoch);
+  return scan_from(frontier, to);
 }
 
 bool Dag::has_path_scan(const Certificate& from, const Certificate& to) const {
@@ -273,11 +290,11 @@ bool Dag::has_path_scan(const Certificate& from, const Certificate& to) const {
   HH_ASSERT_MSG(to.round() >= gc_floor_,
                 "path query below gc floor: " << to.round());
 
-  const auto epoch = arena_.begin_traversal();
+  arena_.begin_traversal();
   std::vector<VertexId> frontier;
   const VertexId vf = resolve_resident(from);
   if (vf != kInvalidVertex) {
-    Arena::mark(*arena_.resolve(vf), epoch);
+    arena_.mark_visited(vf);
     frontier.push_back(vf);
   } else {
     // `from` never entered this DAG: seed from its wire parent digests. A
@@ -286,12 +303,12 @@ bool Dag::has_path_scan(const Certificate& from, const Certificate& to) const {
       if (pd == to.digest()) return true;
       const VertexId p = arena_.find(pd);
       if (p == kInvalidVertex || round_of(p) <= to.round()) continue;
-      if (Arena::mark(*arena_.resolve(p), epoch)) frontier.push_back(p);
+      if (arena_.mark_visited(p)) frontier.push_back(p);
     }
   }
 
   const VertexId vt = resolve_resident(to);
-  if (vt != kInvalidVertex) return scan_from(frontier, vt, epoch);
+  if (vt != kInvalidVertex) return scan_from(frontier, vt);
 
   // `to` is not resident (e.g. a slot impostor that never entered this DAG,
   // or history pruned at the floor): only a digest match in some resident
@@ -303,7 +320,7 @@ bool Dag::has_path_scan(const Certificate& from, const Certificate& to) const {
       if (pd == to.digest()) return true;
       const VertexId p = arena_.find(pd);
       if (p == kInvalidVertex || round_of(p) <= to.round()) continue;
-      if (Arena::mark(*arena_.resolve(p), epoch)) frontier.push_back(p);
+      if (arena_.mark_visited(p)) frontier.push_back(p);
     }
   }
   return false;
@@ -312,12 +329,12 @@ bool Dag::has_path_scan(const Certificate& from, const Certificate& to) const {
 std::vector<CertPtr> Dag::collect_above(const std::vector<Digest>& roots,
                                         Round stop_at) const {
   std::vector<CertPtr> out;
-  const auto epoch = arena_.begin_traversal();
+  arena_.begin_traversal();
   std::vector<VertexId> stack;
   for (const Digest& d : roots) {
     const VertexId v = arena_.find(d);
     if (v == kInvalidVertex) continue;
-    if (Arena::mark(*arena_.resolve(v), epoch)) stack.push_back(v);
+    if (arena_.mark_visited(v)) stack.push_back(v);
   }
   while (!stack.empty()) {
     const VertexId v = stack.back();
@@ -326,9 +343,11 @@ std::vector<CertPtr> Dag::collect_above(const std::vector<Digest>& roots,
     out.push_back(s.cert);
     if (round_of(v) == 0 || round_of(v) <= stop_at) continue;
     for (const VertexId p : s.parents) {
+      // Resolve before marking: a parent can sit below the gc floor, where
+      // the visited ring holds no row.
       const Arena::Slot* ps = arena_.resolve(p);
       if (ps == nullptr) continue;
-      if (Arena::mark(*ps, epoch)) stack.push_back(p);
+      if (arena_.mark_visited(p)) stack.push_back(p);
     }
   }
   return out;

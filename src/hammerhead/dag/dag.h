@@ -11,8 +11,8 @@
 // contiguous per-round slabs addressed by integer handles (VertexId =
 // round * n + author), parent digests are resolved to handles ONCE at
 // insert, and every traversal (path scan, causal history, fetch serving)
-// follows handle lists with epoch-stamped visited marks — no digest hashing,
-// no shared_ptr chasing, no per-call visited sets. The digest-keyed side
+// follows handle lists with dense per-round visited bitmaps — no digest
+// hashing, no shared_ptr chasing, no per-call visited sets. The digest-keyed side
 // table is consulted only at the protocol boundary (dedup, missing-parent
 // resolution, digest lookups). Handles are stable until their round is
 // pruned and never alias across slab-ring reuse.
@@ -143,7 +143,7 @@ class Dag {
   bool has_path(VertexId from, VertexId to) const;
 
   /// Scan-based reference implementation (BFS over parent edges; handle BFS
-  /// with epoch-stamped marks for resident endpoints, digest matching when
+  /// with dense visited bitmaps for resident endpoints, digest matching when
   /// `to` never entered this DAG).
   bool has_path_scan(const Certificate& from, const Certificate& to) const;
   bool has_path_scan(VertexId from, VertexId to) const;
@@ -184,6 +184,12 @@ class Dag {
 
   std::size_t total_certs() const { return arena_.size(); }
 
+  /// Structural memory per resident vertex: resolved-parent storage (hot +
+  /// compressed cold blobs) plus index ancestor-bitmap words (hot +
+  /// compressed). Excludes the certificates themselves. Logical sizes, so
+  /// the figure is deterministic and benchable across runs.
+  double bytes_per_vertex() const;
+
   /// The incremental commit index (support accumulators, ancestor bitmaps,
   /// trigger-candidate rounds). The committer consumes its crossing events.
   const DagIndex& index() const { return index_; }
@@ -193,26 +199,29 @@ class Dag {
   /// (digest checked); kInvalidVertex otherwise.
   VertexId resolve_resident(const Certificate& cert) const;
 
-  /// Handle BFS from the resident slots of `seeds`, pruned at to_round,
-  /// looking for `to` (handle compare). `epoch` already marks the seeds.
-  bool scan_from(std::vector<VertexId>& frontier, VertexId to,
-                 std::uint64_t epoch) const;
+  /// Handle BFS from the resident slots of `frontier` (already marked in
+  /// the current traversal), pruned at to_round, looking for `to`.
+  bool scan_from(std::vector<VertexId>& frontier, VertexId to) const;
 
   /// causal_history body once the root has passed `keep` (so stateful
   /// predicates see the root exactly once across both public overloads).
   template <typename Keep>
   std::vector<CertPtr> causal_history_from(VertexId root, Keep&& keep) const {
     std::vector<CertPtr> out;
-    const auto epoch = arena_.begin_traversal();
-    Arena::mark(*arena_.resolve(root), epoch);
+    arena_.begin_traversal();
+    arena_.mark_visited(root);
     std::vector<VertexId> queue{root};
-    // A vertex's parents share one round, so the slab lookup is hoisted
-    // across the edge loop, and authors decode by subtraction from the
-    // cached row base instead of a 64-bit division per edge (the BFS
-    // touches every sub-DAG edge on every commit).
+    // A vertex's parents share one round, so the slab lookup and the visited
+    // row are hoisted across the edge loop, and authors decode by
+    // subtraction from the cached row base instead of a 64-bit division per
+    // edge (the BFS touches every sub-DAG edge on every commit). Repeat
+    // edges — the overwhelming majority at wide committees, where a round
+    // has ~n^2 edges onto n vertices — are rejected by one visited-bit test
+    // without touching the slot slab at all.
     const VertexId n = arena_.slots_per_round();
     VertexId row_base = kInvalidVertex;
     const Arena::Slot* slab = nullptr;
+    std::uint64_t* vrow = nullptr;
     for (std::size_t head = 0; head < queue.size(); ++head) {
       const Arena::Slot& s = *arena_.resolve(queue[head]);
       out.push_back(s.cert);
@@ -221,11 +230,13 @@ class Dag {
           const Round pr = arena_.round_of(p);
           row_base = static_cast<VertexId>(pr) * n;
           slab = arena_.round_slab(pr);
+          vrow = slab == nullptr ? nullptr : arena_.visited_row(pr);
         }
         if (slab == nullptr) continue;  // pruned below gc floor
-        const Arena::Slot& ps = slab[p - row_base];
+        const ValidatorIndex pa = static_cast<ValidatorIndex>(p - row_base);
+        if (!Arena::mark_row(vrow, pa)) continue;
+        const Arena::Slot& ps = slab[pa];
         if (!ps.cert) continue;
-        if (!Arena::mark(ps, epoch)) continue;
         if (!keep(*ps.cert)) continue;
         queue.push_back(p);
       }

@@ -1,8 +1,11 @@
 #include "hammerhead/dag/index.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "hammerhead/common/assert.h"
+#include "hammerhead/common/simd.h"
+#include "hammerhead/common/varint.h"
 
 namespace hammerhead::dag {
 
@@ -18,7 +21,9 @@ DagIndex::DagIndex(const crypto::Committee& committee, IndexConfig config)
 
 const DagIndex::Entry* DagIndex::find(VertexId v) const {
   if (v == kInvalidVertex) return nullptr;
-  const Entry* row = entries_.find_round(round_of(v));
+  const Round r = round_of(v);
+  if (r < tier_cursor_) maybe_rehydrate(r);
+  const Entry* row = entries_.find_round(r);
   if (row == nullptr) return nullptr;
   const Entry& e = row[author_of(v)];
   return e.present ? &e : nullptr;
@@ -30,6 +35,8 @@ void DagIndex::on_insert(VertexId id, const Certificate& cert,
   if (!config_.enabled) return;
   ++insert_seq_;
   const Round round = cert.round();
+  // Straggler into a cold round: restore it so the round stays wholly hot.
+  if (round < tier_cursor_) maybe_rehydrate(round);
   Entry& e = entries_.ensure_round(round)[author_of(id)];
   HH_ASSERT_MSG(!e.present, "slot (" << round << ", " << author_of(id)
                                      << ") indexed twice");
@@ -77,6 +84,7 @@ void DagIndex::on_insert(VertexId id, const Certificate& cert,
         ref_row = in_window ? referenced_.ensure_round(pr) : nullptr;
         dst_row =
             in_window ? &e.words[(pr - e.lo) * words_per_round_] : nullptr;
+        if (pr < tier_cursor_) maybe_rehydrate(pr);  // straggler's parents
         parent_row = entries_.find_round(pr);
       }
       const Round pr = edge_round;
@@ -116,22 +124,25 @@ void DagIndex::on_insert(VertexId id, const Certificate& cert,
     // can change it). In a well-connected DAG one or two parents saturate a
     // round, so this does O(window) row unions instead of
     // O(window x parents). Skipped entirely on a shared-bitmap hit.
+    // Row ops run through the dispatched SIMD kernels (common/simd.h): the
+    // saturation test is one bitmap_equals sweep and each parent union is a
+    // fused or+equals pass, so a 16-word n=1000 row is four 256-bit lane
+    // operations instead of sixteen scalar word loops.
     for (Round r = e.lo; shared == nullptr && r + 1 < round; ++r) {
       std::uint64_t* mine = &e.words[(r - e.lo) * words_per_round_];
       const std::uint64_t* ref = referenced_.find_round(r);
-      const auto saturated = [&] {
-        if (ref == nullptr) return false;
-        for (std::size_t w = 0; w < words_per_round_; ++w)
-          if (mine[w] != ref[w]) return false;
-        return true;
-      };
-      if (saturated()) continue;  // direct edges alone already cover it
+      if (ref != nullptr && simd::bitmap_equals(mine, ref, words_per_round_))
+        continue;  // direct edges alone already cover it
       for (const auto& [pr, pe] : parent_entries_) {
         if (r >= pr || r < pe->lo) continue;  // outside the parent's window
         const std::uint64_t* src =
             &pe->words[(r - pe->lo) * words_per_round_];
-        for (std::size_t w = 0; w < words_per_round_; ++w) mine[w] |= src[w];
-        if (saturated()) break;
+        if (ref != nullptr) {
+          if (simd::bitmap_or_into_equals(mine, src, ref, words_per_round_))
+            break;  // saturated the referenced-slot mask
+        } else {
+          simd::bitmap_or_into(mine, src, words_per_round_);
+        }
       }
     }
     // Share the freshly computed bitmap when it is canonical: every parent
@@ -142,6 +153,93 @@ void DagIndex::on_insert(VertexId id, const Certificate& cert,
   }
   ++entry_count_;
   total_words_ += e.words.size();
+  if (config_.cold_round_lag != 0 && round > max_round_seen_) {
+    max_round_seen_ = round;
+    while (tier_cursor_ + config_.cold_round_lag < round)
+      compress_round(tier_cursor_++);
+  }
+}
+
+void DagIndex::compress_round(Round r) {
+  Entry* row = entries_.find_round(r);
+  if (row == nullptr) return;
+  std::uint64_t occupied = 0;
+  for (std::size_t a = 0; a < n_; ++a)
+    if (row[a].present && !row[a].words.empty()) ++occupied;
+  if (occupied == 0) return;
+  // Per entry: author, word count, then u64 RLE runs (varint run length +
+  // raw value). Ancestor rows of settled rounds are dominated by all-ones
+  // and all-zeros words, which collapse to a few bytes each.
+  std::vector<std::uint8_t> blob;
+  put_varint(blob, occupied);
+  for (std::size_t a = 0; a < n_; ++a) {
+    Entry& e = row[a];
+    if (!e.present || e.words.empty()) continue;
+    put_varint(blob, a);
+    put_varint(blob, e.words.size());
+    for (std::size_t w = 0; w < e.words.size();) {
+      const std::uint64_t value = e.words[w];
+      std::size_t run = 1;
+      while (w + run < e.words.size() && e.words[w + run] == value) ++run;
+      put_varint(blob, run);
+      std::uint8_t raw[sizeof(value)];
+      std::memcpy(raw, &value, sizeof(value));
+      blob.insert(blob.end(), raw, raw + sizeof(value));
+      w += run;
+    }
+    total_words_ -= e.words.size();
+    if (e.words.capacity() > 0 && words_pool_.size() < 16384) {
+      words_pool_.push_back(std::move(e.words));
+      e.words = std::vector<std::uint64_t>{};
+    } else {
+      e.words.clear();
+      e.words.shrink_to_fit();
+    }
+  }
+  blob.shrink_to_fit();
+  cold_bitmap_bytes_ += blob.size();
+  cold_rounds_.emplace(r, std::move(blob));
+}
+
+void DagIndex::maybe_rehydrate(Round r) const {
+  const auto it = cold_rounds_.find(r);
+  if (it == cold_rounds_.end()) return;
+  // Representation-only mutation (see Arena::maybe_rehydrate).
+  const_cast<DagIndex*>(this)->rehydrate_round(r, it->second);
+  cold_bitmap_bytes_ -= it->second.size();
+  cold_rounds_.erase(it);
+}
+
+void DagIndex::rehydrate_round(Round r, const std::vector<std::uint8_t>& blob) {
+  Entry* row = entries_.find_round(r);
+  HH_ASSERT_MSG(row != nullptr, "compressed index round " << r
+                                                          << " not resident");
+  const std::uint8_t* p = blob.data();
+  std::uint64_t occupied = 0;
+  p = get_varint(p, occupied);
+  for (std::uint64_t i = 0; i < occupied; ++i) {
+    std::uint64_t author = 0;
+    std::uint64_t count = 0;
+    p = get_varint(p, author);
+    p = get_varint(p, count);
+    Entry& e = row[author];
+    if (e.words.capacity() == 0 && !words_pool_.empty()) {
+      e.words = std::move(words_pool_.back());
+      words_pool_.pop_back();
+    }
+    e.words.clear();
+    e.words.reserve(count);
+    while (e.words.size() < count) {
+      std::uint64_t run = 0;
+      p = get_varint(p, run);
+      std::uint64_t value = 0;
+      std::memcpy(&value, p, sizeof(value));
+      p += sizeof(value);
+      e.words.insert(e.words.end(), run, value);
+    }
+    total_words_ += count;
+  }
+  HH_ASSERT(p == blob.data() + blob.size());
 }
 
 void DagIndex::prune_below(Round floor) {
@@ -157,6 +255,15 @@ void DagIndex::prune_below(Round floor) {
     }
   });
   referenced_.prune_below(floor, [](Round, std::uint64_t*) {});
+  for (auto it = cold_rounds_.begin(); it != cold_rounds_.end();) {
+    if (it->first < floor) {
+      cold_bitmap_bytes_ -= it->second.size();
+      it = cold_rounds_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  tier_cursor_ = std::max(tier_cursor_, floor);
   supported_rounds_.erase(supported_rounds_.begin(),
                           supported_rounds_.lower_bound(floor));
 }

@@ -46,6 +46,7 @@
 #include <cstdint>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "hammerhead/crypto/committee.h"
@@ -70,6 +71,14 @@ struct IndexConfig {
   /// DagIndex::on_insert the single hottest function end-to-end (1 KB of
   /// cold bitmap touched per insert at n=100).
   Round ancestor_window = 16;
+  /// Memory tiering: rounds more than this many rounds behind the highest
+  /// inserted round go cold — the arena packs their resolved-parent slabs
+  /// into zigzag-varint delta blobs and the index RLE-compresses their
+  /// ancestor-bitmap words; both rehydrate transparently on first touch.
+  /// Purely a storage-representation change (query answers and simulated
+  /// traces are identical either way); sized so the committer's walk-back
+  /// and the ancestor window never leave the hot tier. 0 disables.
+  Round cold_round_lag = 64;
 };
 
 struct IndexStats {
@@ -120,6 +129,9 @@ class DagIndex {
   bool enabled() const { return config_.enabled; }
   std::size_t entries() const { return entry_count_; }
   std::size_t bitmap_words() const { return total_words_; }
+  /// Bytes held by RLE-compressed cold-round bitmap slabs (their words are
+  /// excluded from bitmap_words() while compressed).
+  std::size_t cold_bitmap_bytes() const { return cold_bitmap_bytes_; }
   const IndexStats& stats() const { return stats_; }
 
  private:
@@ -142,6 +154,13 @@ class DagIndex {
 
   /// Entry of an occupied handle; null for kInvalidVertex / pruned / absent.
   const Entry* find(VertexId v) const;
+
+  /// Cold-round tiering (IndexConfig::cold_round_lag): RLE-compress /
+  /// restore the ancestor-bitmap words of one round's entries. Mirrors the
+  /// arena's parent-slab tiering; a round is always wholly hot or cold.
+  void compress_round(Round r);
+  void maybe_rehydrate(Round r) const;
+  void rehydrate_round(Round r, const std::vector<std::uint8_t>& blob);
 
   const crypto::Committee& committee_;
   IndexConfig config_;
@@ -168,6 +187,12 @@ class DagIndex {
   std::uint64_t crossings_ = 0;
   std::size_t entry_count_ = 0;
   std::size_t total_words_ = 0;
+  /// Tiering state: rounds below tier_cursor_ are compressed, rehydrated or
+  /// pruned (one comparison guards the hot lookup path).
+  Round tier_cursor_ = 0;
+  Round max_round_seen_ = 0;
+  mutable std::unordered_map<Round, std::vector<std::uint8_t>> cold_rounds_;
+  mutable std::size_t cold_bitmap_bytes_ = 0;
   mutable IndexStats stats_;
 };
 

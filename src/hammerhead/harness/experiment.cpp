@@ -387,6 +387,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.skipped_anchors = cstats.skipped_anchors;
   result.schedule_changes = cstats.schedule_changes;
   result.last_anchor_round = observer->committer().last_anchor_round();
+  result.dag_bytes_per_vertex = observer->dag().bytes_per_vertex();
   for (const auto& validator : validators)
     if (!validator->crashed())
       result.leader_timeouts += validator->stats().leader_timeouts;

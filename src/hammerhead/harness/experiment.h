@@ -157,6 +157,11 @@ struct ExperimentResult {
   /// Engine-side heap allocations per executed event (slab growth, bucket
   /// and heap capacity growth, std::function storage); ~0 in steady state.
   double allocs_per_event = 0;
+  /// Structural DAG memory per resident vertex at the observer at run end
+  /// (hot + compressed parent storage plus index bitmap words). A storage-
+  /// representation gauge: it varies with the tiering knob, so it is
+  /// excluded from trace_hash like the wall gauges.
+  double dag_bytes_per_vertex = 0;
   /// Sharded-execution gauges: worker count, events run inside parallel
   /// waves and effects staged for ordered replay (wall-independent but
   /// schedule-dependent; excluded from trace_hash).

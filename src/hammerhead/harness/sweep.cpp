@@ -280,6 +280,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     SweepGroupStats g;
     g.label = key;
     double sum = 0, sum_sq = 0, p95_sum = 0, p95_sum_sq = 0;
+    double anchors_sum = 0, anchors_sum_sq = 0;
     for (std::size_t j = i; j < end; ++j) {
       if (failed[j]) continue;
       const ExperimentResult& r = sweep.results[j];
@@ -291,10 +292,12 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       sum_sq += r.throughput_tps * r.throughput_tps;
       p95_sum += r.p95_latency_s;
       p95_sum_sq += r.p95_latency_s * r.p95_latency_s;
+      const double anchors = static_cast<double>(r.committed_anchors);
+      anchors_sum += anchors;
+      anchors_sum_sq += anchors * anchors;
       g.avg_latency_mean += r.avg_latency_s;
       g.p50_mean += r.p50_latency_s;
       g.p99_mean += r.p99_latency_s;
-      g.committed_anchors_mean += static_cast<double>(r.committed_anchors);
       g.skipped_anchors_mean += static_cast<double>(r.skipped_anchors);
     }
     if (g.runs == 0) {
@@ -307,7 +310,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     g.p50_mean /= count;
     g.p95_mean = p95_sum / count;
     g.p99_mean /= count;
-    g.committed_anchors_mean /= count;
+    g.committed_anchors_mean = anchors_sum / count;
     g.skipped_anchors_mean /= count;
     if (g.runs >= 2) {
       const double var =
@@ -316,6 +319,10 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       const double p95_var = std::max(
           0.0, (p95_sum_sq - p95_sum * p95_sum / count) / (count - 1));
       g.p95_stddev = std::sqrt(p95_var);
+      const double anchors_var = std::max(
+          0.0, (anchors_sum_sq - anchors_sum * anchors_sum / count) /
+                   (count - 1));
+      g.committed_anchors_stddev = std::sqrt(anchors_var);
     }
     sweep.groups.push_back(std::move(g));
     i = end;
@@ -367,7 +374,9 @@ std::string write_sweep_json(const SweepResult& sweep,
                  static_cast<double>(r.state_syncs_completed));
     write_json_metric(f, false, "messages_held",
                  static_cast<double>(r.messages_held));
-    write_json_metric(f, false, "sim_events", static_cast<double>(r.sim_events));
+    write_json_metric(f, false, "sim_events",
+                 static_cast<double>(r.sim_events));
+    write_json_metric(f, false, "dag_bytes_per_vertex", r.dag_bytes_per_vertex);
     write_json_metric(f, false, "duration_s", r.duration_s);
     write_json_metric(f, false, "offered_load_tps", r.offered_load_tps);
     // Exact 64-bit value, bypassing the double-valued metric writer.
@@ -387,7 +396,10 @@ std::string write_sweep_json(const SweepResult& sweep,
     write_json_metric(f, false, "p95_mean", g.p95_mean);
     write_json_metric(f, false, "p95_stddev", g.p95_stddev);
     write_json_metric(f, false, "p99_mean", g.p99_mean);
-    write_json_metric(f, false, "committed_anchors_mean", g.committed_anchors_mean);
+    write_json_metric(f, false, "committed_anchors_mean",
+                 g.committed_anchors_mean);
+    write_json_metric(f, false, "committed_anchors_stddev",
+                 g.committed_anchors_stddev);
     write_json_metric(f, false, "skipped_anchors_mean", g.skipped_anchors_mean);
     std::fprintf(f, "}}");
   }

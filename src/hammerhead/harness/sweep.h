@@ -153,6 +153,11 @@ struct SweepGroupStats {
   double p95_stddev = 0;
   double p99_mean = 0;
   double committed_anchors_mean = 0;
+  /// Cross-seed sample stddev of the commit count — the context that
+  /// promotes committed_anchors from advisory to gating in
+  /// tools/bench_compare.py (trips when the mean drops beyond
+  /// max(threshold, 3 x this)).
+  double committed_anchors_stddev = 0;
   double skipped_anchors_mean = 0;
 };
 

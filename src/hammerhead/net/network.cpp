@@ -37,6 +37,18 @@ Network::Network(sim::Simulator& simulator,
       egress_free_at_(num_nodes, 0),
       link_cut_(num_nodes * num_nodes, 0) {
   HH_ASSERT(latency_ != nullptr);
+  // Pre-pool fanout records with committee-sized arrival capacity: the
+  // first wide multicasts would otherwise grow the deque and reallocate
+  // their arrival vectors mid-run (at n=1000 a flat record is ~24 KB of
+  // arrivals — growth doubling churns hundreds of KB before steady state).
+  // Visible in stats: fanouts_pooled starts at the pre-reserve count.
+  constexpr std::size_t kPrepooledFanouts = 8;
+  for (std::size_t i = 0; i < kPrepooledFanouts; ++i) {
+    fanouts_.emplace_back();
+    fanouts_.back().arrivals.reserve(num_nodes);
+    free_fanouts_.push_back(static_cast<std::uint32_t>(i));
+  }
+  stats_.fanouts_pooled = kPrepooledFanouts;
 }
 
 void Network::register_sink(ValidatorIndex node, MsgSink* sink) {
@@ -157,9 +169,36 @@ void Network::release_fanout(std::uint32_t idx) {
   f.msg = nullptr;
   f.next = 0;
   f.arrivals.clear();  // keeps capacity for reuse
+  if (f.tree != kNoTree) {
+    const std::uint32_t tree = f.tree;
+    f.tree = kNoTree;
+    release_tree_ref(tree);
+  }
   free_fanouts_.push_back(idx);
   --stats_.fanouts_active;
   ++stats_.fanouts_pooled;
+}
+
+std::uint32_t Network::acquire_tree() {
+  std::uint32_t idx;
+  if (!free_trees_.empty()) {
+    idx = free_trees_.back();
+    free_trees_.pop_back();
+  } else {
+    trees_.emplace_back();
+    idx = static_cast<std::uint32_t>(trees_.size() - 1);
+  }
+  trees_[idx].refs = 0;
+  return idx;
+}
+
+void Network::release_tree_ref(std::uint32_t idx) {
+  TreeState& t = trees_[idx];
+  HH_ASSERT(t.refs > 0);
+  if (--t.refs > 0) return;
+  t.msg = nullptr;
+  t.order.clear();  // keeps capacity for reuse
+  free_trees_.push_back(idx);
 }
 
 void Network::schedule_group(std::uint32_t idx) {
@@ -190,7 +229,14 @@ void Network::fire_fanout(std::uint32_t idx, std::uint32_t ai) {
     dropped = true;
   } else if (sinks_[a.to] != nullptr) {
     delivered = true;
-    sinks_[a.to]->deliver(f.from, f.msg);
+    // Relayed hops still present the tree ORIGIN as the sender: the relay
+    // is a transport detail (it shapes timing and egress accounting), while
+    // protocol handlers key on the logical sender (e.g. headers are only
+    // accepted from their author). The record's tree ref keeps the state
+    // alive until its last arrival fires.
+    const ValidatorIndex from =
+        f.tree != kNoTree ? trees_[f.tree].origin : f.from;
+    sinks_[a.to]->deliver(from, f.msg);
   }
   const std::uint64_t packed =
       (static_cast<std::uint64_t>(ai) << 32) | idx;
@@ -206,11 +252,135 @@ void Network::fanout_advance(std::uint32_t idx, std::uint32_t ai,
   if (delivered) ++stats_.messages_delivered;
   if (dropped) ++stats_.messages_dropped_crash;
   Fanout& f = fanouts_[idx];
+  if (f.tree != kNoTree) {
+    // Tree relay expansion. This runs on the driver thread in (time, seq)
+    // order — directly in a serial drain, or replayed from the staged wave
+    // in the identical sequence — so the relay's RNG draws, egress
+    // accounting and reserved order keys match the serial schedule exactly
+    // at any worker count.
+    const Arrival a = f.arrivals[ai];
+    const std::size_t d = config_.fanout_degree;
+    if (delivered) {
+      tree_send_children(f.tree, a.to, d * (a.pos + 1), d * (a.pos + 1) + d);
+    } else {
+      // Crashed or sink-less relay: its subtree must still be served
+      // (reliable channels) — re-expand it flat from the origin.
+      tree_flat_fallback(f.tree, a.pos, /*include_root=*/false);
+    }
+  }
   if (ai + 1 != f.next) return;  // not the last scheduled arrival
   if (f.next < f.arrivals.size())
     schedule_group(idx);
   else
     release_fanout(idx);
+}
+
+// ------------------------------------------------------------ tree fanout
+
+void Network::start_tree(std::uint32_t idx, MessagePtr msg) {
+  TreeState& t = trees_[idx];
+  t.refs = 1;  // creation guard while the root hop expands
+  if (t.order.empty()) {
+    release_tree_ref(idx);
+    return;
+  }
+  t.msg = std::move(msg);
+  tree_send_children(idx, t.origin, 0, config_.fanout_degree);
+  release_tree_ref(idx);
+}
+
+void Network::tree_send_children(std::uint32_t tidx, ValidatorIndex sender,
+                                 std::size_t first, std::size_t last) {
+  if (first >= trees_[tidx].order.size()) return;
+  last = std::min(last, trees_[tidx].order.size());
+  const std::size_t size = trees_[tidx].msg->wire_size();
+  const std::uint32_t idx = acquire_fanout();
+  Fanout& f = fanouts_[idx];
+  f.from = sender;
+  f.tree = tidx;
+  ++trees_[tidx].refs;  // dropped by release_fanout
+  for (std::size_t pos = first; pos < last; ++pos) {
+    // trees_ is a deque (stable references), but tree_flat_fallback below
+    // re-enters the record pool, so the state is re-indexed per child.
+    const TreeState& t = trees_[tidx];
+    const ValidatorIndex to = t.order[pos];
+    if (link_blocked(sender, to)) {
+      // Cut relay->child link: the child and its whole subtree fall back
+      // to flat origin sends, whose held entries match flat mode's
+      // (origin, recipient) bookkeeping.
+      tree_flat_fallback(tidx, pos, /*include_root=*/true);
+      continue;
+    }
+    ++stats_.messages_sent;
+    stats_.bytes_sent += size;
+    if (sender != t.origin) ++stats_.relay_sends;
+    const SimTime arrival = compute_arrival(sender, to, size);
+    f.arrivals.push_back(Arrival{arrival, sim_.reserve_seq(), to,
+                                 static_cast<std::uint32_t>(pos)});
+  }
+  if (f.arrivals.empty()) {
+    release_fanout(idx);  // also drops the tree ref taken above
+    return;
+  }
+  f.msg = trees_[tidx].msg;
+  std::sort(f.arrivals.begin(), f.arrivals.end(),
+            [](const Arrival& x, const Arrival& y) {
+              if (x.time != y.time) return x.time < y.time;
+              return x.seq < y.seq;
+            });
+  f.next = 0;
+  schedule_group(idx);
+}
+
+void Network::tree_flat_fallback(std::uint32_t tidx, std::size_t root_pos,
+                                 bool include_root) {
+  TreeState& t = trees_[tidx];
+  if (crashed_[t.origin]) return;  // no retransmission source left
+  const ValidatorIndex origin = t.origin;
+  const std::size_t size = t.msg->wire_size();
+  const std::size_t d = config_.fanout_degree;
+  // Enumerate the subtree in breadth-first position order (deterministic).
+  tree_scratch_.clear();
+  if (include_root) {
+    tree_scratch_.push_back(static_cast<std::uint32_t>(root_pos));
+  } else {
+    for (std::size_t j = d * (root_pos + 1);
+         j < d * (root_pos + 1) + d && j < t.order.size(); ++j)
+      tree_scratch_.push_back(static_cast<std::uint32_t>(j));
+  }
+  if (tree_scratch_.empty()) return;
+  ++stats_.tree_fallbacks;
+  const std::uint32_t idx = acquire_fanout();
+  Fanout& f = fanouts_[idx];
+  f.from = origin;  // flat record: no relaying from these recipients
+  for (std::size_t head = 0; head < tree_scratch_.size(); ++head) {
+    const std::size_t pos = tree_scratch_[head];
+    for (std::size_t j = d * (pos + 1);
+         j < d * (pos + 1) + d && j < t.order.size(); ++j)
+      tree_scratch_.push_back(static_cast<std::uint32_t>(j));
+    const ValidatorIndex to = t.order[pos];
+    ++stats_.messages_sent;
+    stats_.bytes_sent += size;
+    if (link_blocked(origin, to)) {
+      ++stats_.messages_held;
+      held_.push_back(Held{origin, to, t.msg});
+      continue;
+    }
+    f.arrivals.push_back(
+        Arrival{compute_arrival(origin, to, size), sim_.reserve_seq(), to, 0});
+  }
+  if (f.arrivals.empty()) {
+    release_fanout(idx);
+    return;
+  }
+  f.msg = t.msg;
+  std::sort(f.arrivals.begin(), f.arrivals.end(),
+            [](const Arrival& x, const Arrival& y) {
+              if (x.time != y.time) return x.time < y.time;
+              return x.seq < y.seq;
+            });
+  f.next = 0;
+  schedule_group(idx);
 }
 
 // ------------------------------------------------------------------- send
@@ -240,7 +410,7 @@ void Network::multicast_impl(ValidatorIndex from, MessagePtr msg,
       return;
     }
     const SimTime arrival = compute_arrival(from, to, size);
-    f.arrivals.push_back(Arrival{arrival, sim_.reserve_seq(), to});
+    f.arrivals.push_back(Arrival{arrival, sim_.reserve_seq(), to, 0});
   });
 
   if (f.arrivals.empty()) {
@@ -281,6 +451,18 @@ void Network::multicast(ValidatorIndex from, MessagePtr msg) {
     return;
   }
   const ValidatorIndex n = static_cast<ValidatorIndex>(sinks_.size());
+  if (config_.fanout_degree > 0) {
+    HH_ASSERT(from < sinks_.size());
+    HH_ASSERT(msg != nullptr);
+    if (crashed_[from]) return;
+    const std::uint32_t tidx = acquire_tree();
+    TreeState& t = trees_[tidx];
+    t.origin = from;
+    for (ValidatorIndex to = 0; to < n; ++to)
+      if (to != from) t.order.push_back(to);
+    start_tree(tidx, std::move(msg));
+    return;
+  }
   multicast_impl(from, std::move(msg), [from, n](auto&& emit) {
     for (ValidatorIndex to = 0; to < n; ++to)
       if (to != from) emit(to);
@@ -298,6 +480,18 @@ void Network::multicast(ValidatorIndex from, MessagePtr msg,
     return;
   }
   const ValidatorIndex n = static_cast<ValidatorIndex>(sinks_.size());
+  if (config_.fanout_degree > 0) {
+    HH_ASSERT(from < sinks_.size());
+    HH_ASSERT(msg != nullptr);
+    if (crashed_[from]) return;
+    const std::uint32_t tidx = acquire_tree();
+    TreeState& t = trees_[tidx];
+    t.origin = from;
+    for (ValidatorIndex to : recipients)
+      if (to != from && to < n) t.order.push_back(to);
+    start_tree(tidx, std::move(msg));
+    return;
+  }
   multicast_impl(from, std::move(msg), [&recipients, from, n](auto&& emit) {
     for (ValidatorIndex to : recipients)
       if (to != from && to < n) emit(to);
@@ -381,7 +575,7 @@ void Network::flush_unblocked_held() {
     Fanout& f = fanouts_[idx];
     f.from = h.from;
     f.msg = std::move(h.msg);
-    f.arrivals.push_back(Arrival{arrival, sim_.reserve_seq(), h.to});
+    f.arrivals.push_back(Arrival{arrival, sim_.reserve_seq(), h.to, 0});
     f.next = 0;
     schedule_group(idx);
   }

@@ -95,6 +95,23 @@ struct NetConfig {
   /// within the partial-synchrony bound: quantized arrivals are re-capped
   /// at max(GST, send) + delta.
   SimTime delivery_slot = 0;
+  /// Hierarchical multicast dissemination degree (0 = off): with degree
+  /// d > 0 a multicast forms a d-ary relay forest over the ordered
+  /// recipient permutation — the origin transmits to the first d
+  /// recipients, and each recipient forwards to its d subtree children on
+  /// delivery. Per-hop records shrink from n-1 arrivals to d, and the
+  /// origin's egress serializes d transmissions instead of n-1 (the flat
+  /// expansion is the n=1000 worst case both in record size and in sender
+  /// bandwidth). 0 keeps the flat sender-expands-all path byte-for-byte
+  /// (every historical trace hash reproduces). Determinism at any degree:
+  /// relay expansion runs in the driver-ordered advance step, so RNG
+  /// draws, egress accounting and order keys stay in the exact serial
+  /// sequence and trace hash(jobs=1) == hash(jobs=K) still holds.
+  /// Reliability matches the flat model: a crashed (or unreachable) relay's
+  /// subtree is re-expanded flat from the origin, and a cut relay->child
+  /// link falls back to flat origin sends for that subtree, so held-message
+  /// bookkeeping degenerates to the flat (origin, recipient) entries.
+  std::uint32_t fanout_degree = 0;
 };
 
 struct NetStats {
@@ -107,6 +124,11 @@ struct NetStats {
   /// Fanout records in flight + pooled (gauge for the zero-alloc claim).
   std::uint64_t fanouts_active = 0;
   std::uint64_t fanouts_pooled = 0;
+  /// Tree-fanout gauges: transmissions performed by relay (non-origin)
+  /// nodes, and subtree fallback re-expansions from the origin (crashed,
+  /// sink-less or link-cut relays).
+  std::uint64_t relay_sends = 0;
+  std::uint64_t tree_fallbacks = 0;
 };
 
 class Network {
@@ -183,30 +205,61 @@ class Network {
   const LatencyModel& latency_model() const { return *latency_; }
 
  private:
-  /// Per-recipient delivery slot inside a fanout record.
+  /// Per-recipient delivery slot inside a fanout record. `pos` is the
+  /// recipient's position in the owning tree's recipient permutation (tree
+  /// records only; 0 and unused on flat records).
   struct Arrival {
     SimTime time;
     std::uint64_t seq;  // order key reserved at send time
     ValidatorIndex to;
+    std::uint32_t pos;
   };
   /// One transmission (unicast or multicast): the message plus its sorted
   /// arrival schedule. Pooled; lives in a deque so references stay stable
   /// while sinks send more traffic reentrantly. `next` (the first
   /// unscheduled arrival index) is only mutated on the driver thread —
   /// workers read arrivals/msg, which are frozen while any arrival event
-  /// is in flight.
+  /// is in flight. `tree` links relay-hop records to their TreeState
+  /// (kNoTree on flat records).
   struct Fanout {
     MessagePtr msg;
     ValidatorIndex from = 0;
     std::uint32_t next = 0;
+    std::uint32_t tree = kNoTree;
     std::vector<Arrival> arrivals;
   };
+  /// Shared state of one tree multicast (fanout_degree > 0): the origin,
+  /// the ordered recipient permutation (positions form a d-ary forest:
+  /// children of position i are d*(i+1) .. d*(i+1)+d-1), and the message
+  /// for fallback re-sends. Pooled; ref-counted by the records of its relay
+  /// hops, released when the last hop completes.
+  struct TreeState {
+    MessagePtr msg;
+    ValidatorIndex origin = 0;
+    std::uint32_t refs = 0;
+    std::vector<ValidatorIndex> order;
+  };
+  static constexpr std::uint32_t kNoTree = 0xffffffffu;
 
   template <typename RecipientFn>
   void multicast_impl(ValidatorIndex from, MessagePtr msg,
                       RecipientFn&& for_each_recipient);
   std::uint32_t acquire_fanout();
   void release_fanout(std::uint32_t idx);
+  std::uint32_t acquire_tree();
+  void release_tree_ref(std::uint32_t idx);
+  /// Root hop of a tree multicast: trees_[idx].order is populated, msg not
+  /// yet installed. Consumes (or releases) the tree.
+  void start_tree(std::uint32_t idx, MessagePtr msg);
+  /// One relay hop: `sender` transmits to positions [first, last) of the
+  /// tree's permutation as a single pooled record. Runs on the driver
+  /// thread only (send path or ordered advance replay).
+  void tree_send_children(std::uint32_t tidx, ValidatorIndex sender,
+                          std::size_t first, std::size_t last);
+  /// Reliability fallback: serve position `root_pos`'s subtree (optionally
+  /// including the root) with flat sends from the tree's origin.
+  void tree_flat_fallback(std::uint32_t tidx, std::size_t root_pos,
+                          bool include_root);
   /// Schedule every arrival sharing the next pending timestamp as its own
   /// engine event (shard = recipient), so same-slot deliveries of one
   /// broadcast execute in a single wave instead of re-keying one by one.
@@ -275,6 +328,10 @@ class Network {
 
   std::deque<Fanout> fanouts_;
   std::vector<std::uint32_t> free_fanouts_;
+  std::deque<TreeState> trees_;
+  std::vector<std::uint32_t> free_trees_;
+  /// Reused BFS scratch for subtree enumeration (driver thread only).
+  std::vector<std::uint32_t> tree_scratch_;
   NetStats stats_;
 };
 

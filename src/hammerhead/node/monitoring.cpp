@@ -37,6 +37,8 @@ void export_engine_metrics(const sim::Simulator& sim, const net::Network& net,
   set_gauge("hh_net_fanouts_active", static_cast<double>(ns.fanouts_active));
   set_gauge("hh_net_fanouts_pooled", static_cast<double>(ns.fanouts_pooled));
   set_gauge("hh_net_messages_held", static_cast<double>(ns.messages_held));
+  set_gauge("hh_net_relay_sends", static_cast<double>(ns.relay_sends));
+  set_gauge("hh_net_tree_fallbacks", static_cast<double>(ns.tree_fallbacks));
   set_gauge("hh_net_links_cut", static_cast<double>(net.links_cut()));
 }
 
@@ -101,6 +103,15 @@ void export_validator_metrics(const Validator& validator,
     set_gauge("hh_index_entries", static_cast<double>(index.entries()));
     set_gauge("hh_index_bitmap_words",
               static_cast<double>(index.bitmap_words()));
+
+    // Memory tiering: structural bytes per resident vertex plus the
+    // compress/rehydrate churn of the cold store.
+    const dag::Arena::MemoryStats& ms = validator.dag().arena().memory_stats();
+    set_gauge("hh_dag_bytes_per_vertex", validator.dag().bytes_per_vertex());
+    set_gauge("hh_dag_rounds_compressed",
+              static_cast<double>(ms.rounds_compressed));
+    set_gauge("hh_dag_rounds_rehydrated",
+              static_cast<double>(ms.rounds_rehydrated));
   }
 }
 

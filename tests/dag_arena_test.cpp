@@ -308,6 +308,78 @@ TEST(DagArena, SnapshotInstallMatchesReference) {
   expect_equivalent(installed, ref, b.committee(), shipped, rng);
 }
 
+TEST(DagArena, ColdTieringDifferentialAndStraggler) {
+  // Aggressively small cold lag so most resident rounds compress, then run
+  // the full differential battery: every query path (resolve, slab scans,
+  // causal history, path scans, support) must rehydrate transparently and
+  // answer exactly like an untiered twin and the reference model.
+  Rng rng(13);
+  DagBuilder b(4);
+  IndexConfig tiered;
+  tiered.cold_round_lag = 4;
+  Dag dag(b.committee(), tiered);
+  IndexConfig untiered;
+  untiered.cold_round_lag = 0;
+  Dag twin(b.committee(), untiered);
+  ReferenceDag ref;
+
+  std::vector<CertPtr> live;
+  auto insert_all = [&](const std::vector<CertPtr>& certs) {
+    for (const auto& c : certs) {
+      ASSERT_TRUE(twin.insert(c));
+      ref.insert(c);
+      live.push_back(c);
+    }
+  };
+  auto prev = b.add_round(dag, 0, {0, 1, 2, 3}, {});
+  insert_all(prev);
+  for (Round r = 1; r <= 40; ++r) {
+    // Author 3 skips round 20; its vertex arrives later as a straggler into
+    // a round that has long gone cold by then.
+    const std::vector<ValidatorIndex> authors =
+        r == 20 ? std::vector<ValidatorIndex>{0, 1, 2}
+                : std::vector<ValidatorIndex>{0, 1, 2, 3};
+    auto cur = b.add_round(dag, r, authors, DagBuilder::digests_of(prev));
+    insert_all(cur);
+    prev = std::move(cur);
+  }
+
+  const Arena::MemoryStats& mem = dag.arena().memory_stats();
+  EXPECT_GT(mem.rounds_compressed, 20u);
+  EXPECT_GT(mem.cold_parent_bytes, 0u);
+  EXPECT_GT(dag.index().cold_bitmap_bytes(), 0u);
+  EXPECT_EQ(twin.arena().memory_stats().rounds_compressed, 0u);
+  // Compression must actually shrink the structural footprint.
+  EXPECT_LT(dag.bytes_per_vertex(), twin.bytes_per_vertex());
+
+  // Straggler insert: the arena and index restore round 20 (and the index
+  // its round-19 parent entries) before admitting the vertex.
+  auto straggler =
+      b.make_cert(20, 3, DagBuilder::digests_of(dag.round_certs(19)));
+  ASSERT_TRUE(dag.insert(straggler));
+  ASSERT_TRUE(twin.insert(straggler));
+  ref.insert(straggler);
+  live.push_back(straggler);
+  EXPECT_GT(mem.rounds_rehydrated, 0u);
+  ASSERT_EQ(dag.get(20, 3), straggler);
+
+  expect_equivalent(dag, ref, b.committee(), live, rng);
+
+  // Pruning drops cold blobs directly; everything below the floor is gone
+  // from both tiers.
+  dag.prune_below(38);
+  twin.prune_below(38);
+  ref.prune_below(38);
+  EXPECT_EQ(mem.cold_parent_bytes, 0u);
+  EXPECT_EQ(dag.index().cold_bitmap_bytes(), 0u);
+  live.erase(std::remove_if(
+                 live.begin(), live.end(),
+                 [&](const CertPtr& c) { return c->round() < dag.gc_floor(); }),
+             live.end());
+  expect_equivalent(dag, ref, b.committee(), live, rng);
+  EXPECT_EQ(dag.bytes_per_vertex(), twin.bytes_per_vertex());
+}
+
 TEST(DagArena, HandleEncodingAndStability) {
   DagBuilder b(4);
   Dag dag(b.committee());

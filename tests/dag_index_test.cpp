@@ -3,9 +3,14 @@
 // direct_support exactly like the scans on arbitrary DAGs, across window
 // fallbacks and garbage collection, and its trigger-candidate bookkeeping
 // (supported rounds, crossing counter) must track threshold crossings.
+// The SIMD bitmap kernels behind those sweeps (common/simd.h) are checked
+// differentially here too: every dispatch level the host can execute must
+// reproduce the scalar reference bit-exactly on random rows, including tail
+// lengths no vector lane covers evenly and the 16-word rows of n=1000.
 #include <gtest/gtest.h>
 
 #include "hammerhead/common/rng.h"
+#include "hammerhead/common/simd.h"
 #include "hammerhead/dag/dag.h"
 #include "test_util.h"
 
@@ -164,6 +169,134 @@ TEST(DagIndex, SlotCollisionFallsBackToScan) {
   EXPECT_FALSE(dag.has_path(*child, *impostor));
   EXPECT_EQ(dag.has_path(*child, *impostor),
             dag.has_path_scan(*child, *impostor));
+}
+
+/// Pin a dispatch level for one scope; restores the host's best level on
+/// exit so later tests exercise the production path again.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::Level level) {
+    active_ = simd::set_level(level);
+  }
+  ~ScopedSimdLevel() { simd::set_level(simd::max_level()); }
+  simd::Level active() const { return active_; }
+
+ private:
+  simd::Level active_;
+};
+
+/// Word counts that stress every lane shape: sub-lane tails (1..3), exact
+/// 128/256-bit multiples (2, 4, 8, 16 = the n=1000 row), and off-by-one
+/// around them. 0 must be a no-op.
+constexpr std::size_t kWordCounts[] = {0, 1,  2,  3,  4,  5,  7,
+                                       8, 9, 15, 16, 17, 31, 33};
+
+std::vector<std::uint64_t> random_row(Rng& rng, std::size_t words) {
+  std::vector<std::uint64_t> row(words);
+  for (auto& w : row) w = rng.next() | (rng.next() << 32);
+  return row;
+}
+
+TEST(SimdKernels, AllLevelsMatchScalarOnRandomRows) {
+  for (int lvl = 0; lvl <= static_cast<int>(simd::max_level()); ++lvl) {
+    ScopedSimdLevel scoped(static_cast<simd::Level>(lvl));
+    ASSERT_EQ(scoped.active(), static_cast<simd::Level>(lvl));
+    Rng rng(0xC0FFEE + static_cast<std::uint64_t>(lvl));
+    for (const std::size_t words : kWordCounts) {
+      for (int iter = 0; iter < 16; ++iter) {
+        const auto src = random_row(rng, words);
+        const auto base = random_row(rng, words);
+
+        // clear: dispatched result must equal an all-zero row. Guard words
+        // flanking the buffer catch out-of-bounds lane stores.
+        std::vector<std::uint64_t> guarded(words + 2, 0xDEADBEEFCAFEF00Dull);
+        std::copy(base.begin(), base.end(), guarded.begin() + 1);
+        simd::bitmap_clear(guarded.data() + 1, words);
+        EXPECT_EQ(guarded.front(), 0xDEADBEEFCAFEF00Dull);
+        EXPECT_EQ(guarded.back(), 0xDEADBEEFCAFEF00Dull);
+        for (std::size_t w = 0; w < words; ++w) EXPECT_EQ(guarded[w + 1], 0u);
+
+        // or_into: dispatched vs scalar on independent copies.
+        auto dst_simd = base;
+        auto dst_ref = base;
+        simd::bitmap_or_into(dst_simd.data(), src.data(), words);
+        simd::scalar::bitmap_or_into(dst_ref.data(), src.data(), words);
+        EXPECT_EQ(dst_simd, dst_ref);
+
+        // equals: identical rows, then one flipped bit (biased toward the
+        // last word so tail handling is exercised).
+        EXPECT_TRUE(
+            simd::bitmap_equals(dst_simd.data(), dst_ref.data(), words));
+        if (words > 0) {
+          auto tweaked = dst_ref;
+          const std::size_t word =
+              (iter % 2 == 0) ? words - 1 : rng.next_below(words);
+          tweaked[word] ^= 1ull << (rng.next() % 64);
+          EXPECT_FALSE(
+              simd::bitmap_equals(dst_simd.data(), tweaked.data(), words));
+          EXPECT_EQ(simd::bitmap_equals(dst_simd.data(), tweaked.data(), words),
+                    simd::scalar::bitmap_equals(dst_simd.data(), tweaked.data(),
+                                                words));
+        }
+
+        // Fused or_into_equals: saturating case (ref == the union) and a
+        // non-saturating one (ref with an extra bit the union lacks).
+        auto fused_simd = base;
+        auto fused_ref = base;
+        const bool sat_simd = simd::bitmap_or_into_equals(
+            fused_simd.data(), src.data(), dst_ref.data(), words);
+        const bool sat_ref = simd::scalar::bitmap_or_into_equals(
+            fused_ref.data(), src.data(), dst_ref.data(), words);
+        EXPECT_EQ(sat_simd, sat_ref);
+        EXPECT_TRUE(sat_simd);  // ref IS the union computed above
+        EXPECT_EQ(fused_simd, fused_ref);
+        if (words > 0) {
+          auto over = dst_ref;
+          const std::size_t word = rng.next_below(words);
+          const std::uint64_t bit = 1ull << (rng.next() % 64);
+          if ((over[word] & bit) == 0) {
+            over[word] |= bit;
+            auto d1 = base;
+            auto d2 = base;
+            EXPECT_EQ(simd::bitmap_or_into_equals(d1.data(), src.data(),
+                                                  over.data(), words),
+                      simd::scalar::bitmap_or_into_equals(
+                          d2.data(), src.data(), over.data(), words));
+            EXPECT_EQ(d1, d2);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, DispatchPathsAgreeOnWideCommitteeRows) {
+  // The n=1000 shape: 16-word rows, ORed in long chains like the index's
+  // parent-union loop. Every available level must produce the same final
+  // row and the same saturation verdicts as scalar.
+  constexpr std::size_t kWords = 16;  // ceil(1000 / 64)
+  Rng seed_rng(2024);
+  std::vector<std::vector<std::uint64_t>> parents;
+  for (int i = 0; i < 64; ++i) parents.push_back(random_row(seed_rng, kWords));
+  std::vector<std::uint64_t> full(kWords, ~0ull);
+
+  std::vector<std::uint64_t> expected;
+  std::vector<bool> expected_sat;
+  for (int lvl = 0; lvl <= static_cast<int>(simd::max_level()); ++lvl) {
+    ScopedSimdLevel scoped(static_cast<simd::Level>(lvl));
+    std::vector<std::uint64_t> row(kWords, 0);
+    std::vector<bool> sat;
+    for (const auto& p : parents)
+      sat.push_back(simd::bitmap_or_into_equals(row.data(), p.data(),
+                                                full.data(), kWords));
+    if (lvl == 0) {
+      expected = row;
+      expected_sat = sat;
+    } else {
+      EXPECT_EQ(row, expected) << "level " << simd::level_name(scoped.active());
+      EXPECT_EQ(sat, expected_sat);
+    }
+  }
 }
 
 TEST(DagIndex, QueryStatsAreCounted) {

@@ -275,17 +275,146 @@ TEST(Network, MulticastSkipsSenderAndOutOfRange) {
 
 TEST(Network, MulticastSharesOneFanoutRecord) {
   Fixture f;
+  const std::uint64_t pooled = f.net.stats().fanouts_pooled;
+  EXPECT_GT(pooled, 0u);  // records are pre-pooled at construction
   f.net.broadcast(0, make_msg(9));
   EXPECT_EQ(f.net.stats().fanouts_active, 1u);  // one record, three arrivals
+  EXPECT_EQ(f.net.stats().fanouts_pooled, pooled - 1);
   f.sim.run_to_completion();
   EXPECT_EQ(f.deliveries.size(), 3u);
   EXPECT_EQ(f.net.stats().fanouts_active, 0u);
-  EXPECT_EQ(f.net.stats().fanouts_pooled, 1u);  // recycled, not freed
+  EXPECT_EQ(f.net.stats().fanouts_pooled, pooled);  // recycled, not freed
   f.net.broadcast(1, make_msg(10));
   EXPECT_EQ(f.net.stats().fanouts_active, 1u);
-  EXPECT_EQ(f.net.stats().fanouts_pooled, 0u);  // reused the pooled record
+  EXPECT_EQ(f.net.stats().fanouts_pooled, pooled - 1);  // reused a record
   f.sim.run_to_completion();
   EXPECT_EQ(f.deliveries.size(), 6u);
+}
+
+// ------------------------------------------------------------- tree fanout
+
+TEST(Network, TreeFanoutDeliversToAllViaRelays) {
+  NetConfig cfg;
+  cfg.fanout_degree = 2;
+  Fixture f(cfg, /*n=*/10);
+  f.net.broadcast(0, make_msg(9));
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 9u);
+  std::vector<bool> got(10, false);
+  for (const auto& d : f.deliveries) {
+    EXPECT_FALSE(got[d.to]) << "duplicate delivery to " << d.to;
+    got[d.to] = true;
+    EXPECT_EQ(d.value, 9);
+  }
+  // Every transmission serves exactly one recipient; with degree 2 the
+  // origin only sends two of them itself, the rest ride relay hops.
+  EXPECT_EQ(f.net.stats().messages_sent, 9u);
+  EXPECT_EQ(f.net.stats().relay_sends, 7u);
+  EXPECT_EQ(f.net.stats().tree_fallbacks, 0u);
+  EXPECT_EQ(f.net.stats().fanouts_active, 0u);
+}
+
+TEST(Network, TreeFanoutWideDegreeMatchesFlatExactly) {
+  // With degree >= n-1 the whole tree is the root hop: same recipients,
+  // same accounting order, so the delivery schedule is bit-identical to
+  // flat mode (same seed).
+  Fixture flat({}, /*n=*/6);
+  NetConfig cfg;
+  cfg.fanout_degree = 5;
+  Fixture tree(cfg, /*n=*/6);
+  flat.net.broadcast(2, make_msg(4));
+  tree.net.broadcast(2, make_msg(4));
+  flat.sim.run_to_completion();
+  tree.sim.run_to_completion();
+  ASSERT_EQ(flat.deliveries.size(), tree.deliveries.size());
+  for (std::size_t i = 0; i < flat.deliveries.size(); ++i) {
+    EXPECT_EQ(flat.deliveries[i].to, tree.deliveries[i].to);
+    EXPECT_EQ(flat.deliveries[i].from, tree.deliveries[i].from);
+    EXPECT_EQ(flat.deliveries[i].at, tree.deliveries[i].at);
+  }
+  EXPECT_EQ(tree.net.stats().relay_sends, 0u);
+}
+
+TEST(Network, TreeFanoutCrashedRelaySubtreeFallsBackToOrigin) {
+  // Positions for broadcast(0) at n=7: order = [1..6]; degree 2 makes
+  // nodes 1 and 2 relays, with node 1's subtree {3, 4}. Crashing node 1
+  // must not strand its subtree — it is re-expanded flat from the origin.
+  NetConfig cfg;
+  cfg.fanout_degree = 2;
+  Fixture f(cfg, /*n=*/7);
+  f.net.crash(1);
+  f.net.broadcast(0, make_msg(3));
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 5u);
+  std::vector<bool> got(7, false);
+  for (const auto& d : f.deliveries) got[d.to] = true;
+  for (ValidatorIndex v = 2; v < 7; ++v)
+    EXPECT_TRUE(got[v]) << "node " << v << " starved by crashed relay";
+  EXPECT_EQ(f.net.stats().tree_fallbacks, 1u);
+  EXPECT_EQ(f.net.stats().messages_dropped_crash, 1u);
+  // Fallback sends come from the origin, not the dead relay.
+  for (const auto& d : f.deliveries) {
+    if (d.to == 3 || d.to == 4) {
+      EXPECT_EQ(d.from, 0u);
+    }
+  }
+}
+
+TEST(Network, TreeFanoutCutRelayLinkFallsBackToOrigin) {
+  // Cut only the relay->child link 1->3: node 3 (and its empty subtree)
+  // falls back to a flat origin send while node 4 still rides the relay.
+  NetConfig cfg;
+  cfg.fanout_degree = 2;
+  Fixture f(cfg, /*n=*/7);
+  f.net.cut_links({1}, {3}, /*symmetric=*/false);
+  f.net.broadcast(0, make_msg(8));
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 6u);
+  std::vector<int> count(7, 0);
+  for (const auto& d : f.deliveries) ++count[d.to];
+  for (ValidatorIndex v = 1; v < 7; ++v)
+    EXPECT_EQ(count[v], 1) << "node " << v;
+  EXPECT_EQ(f.net.stats().tree_fallbacks, 1u);
+  EXPECT_EQ(f.net.stats().messages_held, 0u);
+  for (const auto& d : f.deliveries) {
+    if (d.to == 3) {
+      EXPECT_EQ(d.from, 0u);
+    }
+  }
+}
+
+TEST(Network, TreeFanoutHeldFallbackFlushesOnRestore) {
+  // Cut the origin->recipient link too: the fallback send is held exactly
+  // like flat mode, and flushes on restore.
+  NetConfig cfg;
+  cfg.fanout_degree = 2;
+  Fixture f(cfg, /*n=*/7);
+  f.net.cut_links({1, 0}, {3}, /*symmetric=*/false);
+  f.net.broadcast(0, make_msg(6));
+  f.sim.run_to_completion();
+  EXPECT_EQ(f.deliveries.size(), 5u);
+  EXPECT_EQ(f.net.stats().messages_held, 1u);
+  f.net.restore_links({1, 0}, {3}, /*symmetric=*/false);
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 6u);
+  EXPECT_EQ(f.deliveries.back().to, 3u);
+  EXPECT_EQ(f.deliveries.back().from, 0u);
+}
+
+TEST(Network, TreeFanoutRecipientListAndPoolRecycling) {
+  NetConfig cfg;
+  cfg.fanout_degree = 1;  // degenerate chain: worst case for relay depth
+  Fixture f(cfg, /*n=*/8);
+  f.net.multicast(0, make_msg(5), {1, 2, 3, 4, 5, 6, 7});
+  f.sim.run_to_completion();
+  ASSERT_EQ(f.deliveries.size(), 7u);
+  EXPECT_EQ(f.net.stats().relay_sends, 6u);
+  EXPECT_EQ(f.net.stats().fanouts_active, 0u);
+  // The tree state must be recycled: a second multicast reuses it.
+  f.net.multicast(0, make_msg(6), {1, 2, 3});
+  f.sim.run_to_completion();
+  EXPECT_EQ(f.deliveries.size(), 10u);
+  EXPECT_EQ(f.net.stats().fanouts_active, 0u);
 }
 
 TEST(Network, SinkInterfaceDeliversLikeHandlers) {

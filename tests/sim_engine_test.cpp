@@ -249,6 +249,38 @@ TEST(ShardedEngine, Fig1N100TraceIdenticalSerialVsSharded) {
   EXPECT_GT(sharded.parallel_events, serial.sim_events / 2);
 }
 
+TEST(ShardedEngine, TreeFanoutTraceIdenticalAcrossWorkerCounts) {
+  // With relay trees enabled (fanout_degree > 0) the relay hops draw RNG,
+  // reserve order keys and account egress from inside fanout_advance — all
+  // of which replays through the staged-effect FIFO. The whole run must
+  // still be bit-identical between serial and sharded execution, and the
+  // relays must actually have fired.
+  const auto mutate = [](harness::ExperimentConfig& cfg) {
+    cfg.net.fanout_degree = 3;
+  };
+  const auto serial = sharded_cluster_run(10, 1, mutate);
+  ASSERT_GT(serial.committed, 0u);
+  for (const std::size_t jobs : {2u, 4u}) {
+    const auto r = sharded_cluster_run(10, jobs, mutate);
+    EXPECT_EQ(r.trace_hash, serial.trace_hash) << "jobs=" << jobs;
+    EXPECT_EQ(r.sim_events, serial.sim_events) << "jobs=" << jobs;
+    EXPECT_EQ(r.committed, serial.committed) << "jobs=" << jobs;
+    EXPECT_EQ(r.committed_anchors, serial.committed_anchors);
+    EXPECT_GT(r.parallel_events, 0u) << "jobs=" << jobs;
+  }
+}
+
+TEST(ShardedEngine, TreeFanoutCommitsLikeFlatFaultless) {
+  // Degree>0 reshapes delivery timing but not protocol outcomes in a
+  // faultless run: the committee still commits, with message volume equal
+  // to flat fanout (every recipient receives exactly once).
+  const auto flat = sharded_cluster_run(10, 1);
+  const auto tree = sharded_cluster_run(
+      10, 1, [](harness::ExperimentConfig& cfg) { cfg.net.fanout_degree = 2; });
+  ASSERT_GT(tree.committed, 0u);
+  EXPECT_GT(tree.committed_anchors, flat.committed_anchors / 2);
+}
+
 TEST(ShardedEngine, ChurnAndPartitionScenariosIdenticalUnderWorkers) {
   // The sweep library's fault scenarios (link cuts + crash/recover cycles,
   // incl. the state-sync path) replay bit-identically under workers.

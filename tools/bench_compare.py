@@ -44,8 +44,20 @@ import sys
 # the seed, so machine-independent). Higher is better.
 GATED_METRICS = ("throughput_tps", "throughput_mean")
 # Latency metrics gated only with stddev context: (metric, stddev key).
-# Higher is worse; trips beyond max(threshold * base, 3 * stddev).
-GATED_LATENCY_METRICS = (("p95_mean", "p95_stddev"),)
+# Higher is worse; trips beyond max(threshold * base, 3 * stddev). The
+# figure benches' per-row p95_latency_s is listed too: it gates only when a
+# baseline row carries p95_stddev (sweep aggregates do; single-seed figure
+# rows stay advisory).
+GATED_LATENCY_METRICS = (("p95_mean", "p95_stddev"),
+                         ("p95_latency_s", "p95_stddev"))
+# Commit-count metrics gated only with stddev context, mirroring the latency
+# rule with the sign flipped: lower is worse, trips when the count drops
+# beyond max(threshold * base, 3 * stddev).
+GATED_COUNT_METRICS = (("committed_anchors_mean", "committed_anchors_stddev"),)
+# Memory metrics: deterministic logical sizes (not wall-dependent), so they
+# gate unconditionally where present. Higher is worse; trips when growth
+# exceeds the threshold fraction.
+GATED_MEMORY_METRICS = ("dag_bytes_per_vertex",)
 # Context keys: rows gate only when these match between baseline and current.
 CONTEXT_METRICS = ("duration_s", "offered_load_tps")
 
@@ -129,6 +141,39 @@ def compare_file(name, base_path, cur_path, threshold, report):
                     f"(+{delta:.3f}, allowance {allowance:.3f} = "
                     f"max({threshold:.0%}, 3x{stddev:.3f}))")
             if delta > allowance:
+                regressions.append("  [FAIL] " + line)
+            else:
+                report.append("  [ok]   " + line)
+        for metric, stddev_key in GATED_COUNT_METRICS:
+            if metric not in base_m or metric not in cur_m:
+                continue
+            base_v, cur_v = base_m[metric], cur_m[metric]
+            if base_v <= 0:
+                continue
+            if stddev_key not in base_m:
+                report.append(f"  [advisory] {label} {metric}: no "
+                              f"{stddev_key} context, not gated")
+                continue
+            stddev = base_m[stddev_key]
+            allowance = max(threshold * base_v, 3.0 * stddev)
+            drop = base_v - cur_v
+            line = (f"{label} {metric}: {base_v:.1f} -> {cur_v:.1f} "
+                    f"(-{drop:.1f}, allowance {allowance:.1f} = "
+                    f"max({threshold:.0%}, 3x{stddev:.1f}))")
+            if drop > allowance:
+                regressions.append("  [FAIL] " + line)
+            else:
+                report.append("  [ok]   " + line)
+        for metric in GATED_MEMORY_METRICS:
+            if metric not in base_m or metric not in cur_m:
+                continue
+            base_v, cur_v = base_m[metric], cur_m[metric]
+            if base_v <= 0:
+                continue
+            delta = (cur_v - base_v) / base_v
+            line = (f"{label} {metric}: {base_v:.1f} -> {cur_v:.1f} B/vertex "
+                    f"({delta:+.1%})")
+            if cur_v > base_v * (1.0 + threshold):
                 regressions.append("  [FAIL] " + line)
             else:
                 report.append("  [ok]   " + line)
@@ -252,6 +297,76 @@ def self_test(threshold):
         failures += compare_payloads(
             desc, p95_payload(base_p95, base_stddev),
             p95_payload(cur_mean, base_stddev), expected)
+
+    # Figure-bench per-row p95_latency_s: gates only when the baseline row
+    # carries stddev context, stays advisory otherwise.
+    def fig_p95_payload(p95, stddev):
+        metrics = {"throughput_tps": 1000.0, "duration_s": 8,
+                   "p95_latency_s": p95}
+        if stddev is not None:
+            metrics["p95_stddev"] = stddev
+        return {"bench": "selftest",
+                "rows": [{"label": "fig", "metrics": metrics}]}
+
+    for desc, base_stddev, cur_p95, expected in [
+        ("figure p95 with context, beyond allowance", tight,
+         base_p95 + 1.2 * floor, 1),
+        ("figure p95 with context, inside allowance", tight,
+         base_p95 + 0.5 * floor, 0),
+        ("figure p95 without context stays advisory", None,
+         base_p95 + 3.0 * floor, 0),
+    ]:
+        failures += compare_payloads(
+            desc, fig_p95_payload(base_p95, base_stddev),
+            fig_p95_payload(cur_p95, base_stddev), expected)
+
+    # Commit counts: lower is worse, same max(threshold, 3 sigma) rule,
+    # advisory without stddev context.
+    def anchors_payload(mean, stddev):
+        metrics = {"committed_anchors_mean": mean}
+        if stddev is not None:
+            metrics["committed_anchors_stddev"] = stddev
+        return {"bench": "selftest",
+                "rows": [{"label": "agg/cell", "metrics": metrics}]}
+
+    base_anchors = 40.0
+    a_floor = threshold * base_anchors
+    a_tight = a_floor / 6.0
+    a_wide = a_floor / 2.0
+    for desc, base_stddev, cur_mean, expected in [
+        ("anchors inside percentage floor", a_tight,
+         base_anchors - 0.5 * a_floor, 0),
+        ("anchors beyond floor with tight stddev", a_tight,
+         base_anchors - 1.2 * a_floor, 1),
+        ("anchors beyond threshold but inside 3 sigma", a_wide,
+         base_anchors - 1.2 * a_floor, 0),
+        ("anchors beyond 3 sigma", a_wide, base_anchors - 1.7 * a_floor, 1),
+        ("anchors INCREASE never trips", a_tight,
+         base_anchors + 2.0 * a_floor, 0),
+        ("anchors without stddev context stays advisory", None,
+         base_anchors - 3.0 * a_floor, 0),
+    ]:
+        failures += compare_payloads(
+            desc, anchors_payload(base_anchors, base_stddev),
+            anchors_payload(cur_mean, base_stddev), expected)
+
+    # Memory gauge: deterministic, gates without stddev context; growth
+    # beyond the threshold trips, shrinkage never does.
+    def bytes_payload(bpv):
+        return {"bench": "selftest",
+                "rows": [{"label": "cell",
+                          "metrics": {"dag_bytes_per_vertex": bpv}}]}
+
+    base_bpv = 2000.0
+    for desc, cur_bpv, expected in [
+        ("bytes_per_vertex growth inside threshold",
+         base_bpv * (1.0 + threshold - 0.05), 0),
+        ("bytes_per_vertex growth beyond threshold",
+         base_bpv * (1.0 + threshold + 0.05), 1),
+        ("bytes_per_vertex shrinkage passes", base_bpv * 0.5, 0),
+    ]:
+        failures += compare_payloads(desc, bytes_payload(base_bpv),
+                                     bytes_payload(cur_bpv), expected)
 
     if failures:
         return 1
