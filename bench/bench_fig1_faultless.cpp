@@ -55,5 +55,18 @@ int main() {
       }
     }
   }
+
+  // Long-horizon n=1000 latency row (full mode, i.e. the nightly sweep):
+  // the 8 s wide row above barely clears the commit pipeline's fill, so its
+  // latency columns reflect ramp-up as much as steady state. 20 simulated
+  // seconds gives p95/p99 a real steady-state commit population.
+  if (!quick_mode()) {
+    print_header("HammerHead - 1000 nodes (wide, long horizon)");
+    auto cfg = wide_config(1000, /*load_tps=*/1'000,
+                           harness::PolicyKind::HammerHead);
+    cfg.duration = seconds(20);
+    cfg.warmup = seconds(4);
+    print_run("wide_n1000_long", harness::run_experiment(cfg));
+  }
   return 0;
 }

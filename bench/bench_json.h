@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -27,6 +28,13 @@ class JsonReport {
 
   void row(const std::string& label,
            std::vector<std::pair<std::string, double>> metrics) {
+    // Every row records the host's core count: rows measuring thread
+    // scaling are only comparable against a baseline captured on a machine
+    // with at least that many cores, and the regression gate
+    // (tools/bench_compare.py) skips speedup gating when threads > cores.
+    metrics.emplace_back(
+        "host_cores",
+        static_cast<double>(std::thread::hardware_concurrency()));
     rows_.push_back(Row{label, std::move(metrics)});
   }
 

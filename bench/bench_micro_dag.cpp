@@ -7,11 +7,21 @@
 // test, at the cost of bitmap propagation folded into insert.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_dag_util.h"
 #include "bench_json.h"
+#include "hammerhead/common/epoch.h"
+#include "hammerhead/dag/resolve.h"
 
 using namespace hammerhead;
 using hammerhead::bench::CertFactory;
@@ -197,9 +207,162 @@ static void report_parent_index_memory() {
        {"unordered_set_bytes_est", static_cast<double>(before_bytes)}});
 }
 
+// ---- digest resolution: guarded map vs epoch-snapshot reader ---------------
+//
+// The read-mostly resolution layer's headline numbers: shard workers
+// resolving digests against the published snapshot (plain loads under an
+// epoch::Guard, zero atomic RMW) versus the prior design's mutex-guarded
+// unordered_map, at 1..8 reader threads; plus the single-thread floor, where
+// the open-addressed writer probe must not lose to the plain map it
+// replaced. Hand-rolled rather than google-benchmark because the comparison
+// needs matched custom thread counts and one JSON row per thread count
+// (rows gate in tools/bench_compare.py, which skips speedup rows whose
+// thread count exceeds the host's cores).
+
+static constexpr std::size_t kResolveEntries = 1 << 16;
+static constexpr std::size_t kResolveLookups = 1 << 18;  // per thread
+
+static std::vector<Digest> resolve_digests() {
+  std::vector<Digest> out;
+  out.reserve(kResolveEntries);
+  for (std::size_t i = 0; i < kResolveEntries; ++i) {
+    const std::uint64_t key = 0x9e3779b97f4a7c15ull * (i + 1);
+    out.push_back(Digest::of_bytes(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(&key), sizeof(key))));
+  }
+  return out;
+}
+
+static std::size_t resolve_index(std::size_t thread_id, std::size_t i) {
+  return (i * 0x9e3779b9ull + thread_id * 0x85ebca6bull) &
+         (kResolveEntries - 1);
+}
+
+/// Wall seconds for `t` threads running fn(thread_id) to completion,
+/// released together; fn's return values are summed into *checksum so the
+/// lookup loops cannot be optimized away (and so both structures can be
+/// checked to give identical answers).
+template <typename Fn>
+static double resolve_timed(std::size_t t, std::uint64_t* checksum, Fn fn) {
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> sink{0};
+  std::vector<std::thread> threads;
+  threads.reserve(t);
+  for (std::size_t id = 0; id < t; ++id)
+    threads.emplace_back([&, id] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      sink.fetch_add(fn(id), std::memory_order_relaxed);
+    });
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  *checksum = sink.load(std::memory_order_relaxed);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+static void report_resolution_bench() {
+  const std::vector<Digest> digests = resolve_digests();
+
+  // Pre-snapshot shape: one digest map, one lock around it.
+  std::mutex map_mu;
+  std::unordered_map<Digest, dag::VertexId> map;
+  map.reserve(kResolveEntries);
+  // Snapshot resolver, published once — steady state, where lookups within
+  // a batch vastly outnumber publishes.
+  epoch::Domain domain;
+  dag::DigestResolver resolver;
+  for (std::size_t i = 0; i < kResolveEntries; ++i) {
+    map.emplace(digests[i], static_cast<dag::VertexId>(i));
+    resolver.insert(digests[i], static_cast<dag::VertexId>(i));
+  }
+  resolver.publish(domain);
+
+  for (const std::size_t t : {1u, 2u, 4u, 8u}) {
+    std::uint64_t check_guarded = 0;
+    const double guarded_s =
+        resolve_timed(t, &check_guarded, [&](std::size_t id) {
+          std::uint64_t acc = 0;
+          for (std::size_t i = 0; i < kResolveLookups; ++i) {
+            const Digest& d = digests[resolve_index(id, i)];
+            std::lock_guard<std::mutex> lock(map_mu);
+            const auto it = map.find(d);
+            acc += it == map.end() ? 0 : it->second;
+          }
+          return acc;
+        });
+    std::uint64_t check_snapshot = 0;
+    const double snapshot_s =
+        resolve_timed(t, &check_snapshot, [&](std::size_t id) {
+          epoch::Reader reader(domain);
+          epoch::Guard guard(reader);
+          std::uint64_t acc = 0;
+          for (std::size_t i = 0; i < kResolveLookups; ++i)
+            acc += resolver.find_published(digests[resolve_index(id, i)]);
+          return acc;
+        });
+    if (check_guarded != check_snapshot) {
+      std::fprintf(stderr, "resolution checksum mismatch: %llu vs %llu\n",
+                   static_cast<unsigned long long>(check_guarded),
+                   static_cast<unsigned long long>(check_snapshot));
+      std::abort();
+    }
+    const double ops = static_cast<double>(t) * kResolveLookups;
+    const double guarded_ns = guarded_s / ops * 1e9;
+    const double snapshot_ns = snapshot_s / ops * 1e9;
+    const double speedup = guarded_ns / snapshot_ns;
+    std::printf(
+        "resolve t=%zu: guarded map %.1f ns/op, snapshot %.1f ns/op "
+        "(%.2fx)\n",
+        t, guarded_ns, snapshot_ns, speedup);
+    hammerhead::bench::JsonReport::instance().row(
+        "resolve_n65536_t" + std::to_string(t),
+        {{"threads", static_cast<double>(t)},
+         {"entries", static_cast<double>(kResolveEntries)},
+         {"guarded_ns_per_op", guarded_ns},
+         {"snapshot_ns_per_op", snapshot_ns},
+         {"speedup_vs_guarded", speedup}});
+  }
+
+  // Single-thread floor: the owner-side open-addressed probe (Arena::find's
+  // new implementation) against the unguarded unordered_map it replaced.
+  std::uint64_t check_map = 0;
+  const double map_s = resolve_timed(1, &check_map, [&](std::size_t id) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < kResolveLookups; ++i) {
+      const auto it = map.find(digests[resolve_index(id, i)]);
+      acc += it == map.end() ? 0 : it->second;
+    }
+    return acc;
+  });
+  std::uint64_t check_writer = 0;
+  const double writer_s = resolve_timed(1, &check_writer, [&](std::size_t id) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < kResolveLookups; ++i)
+      acc += resolver.find(digests[resolve_index(id, i)]);
+    return acc;
+  });
+  if (check_map != check_writer) {
+    std::fprintf(stderr, "single-thread checksum mismatch\n");
+    std::abort();
+  }
+  const double map_ns = map_s / kResolveLookups * 1e9;
+  const double writer_ns = writer_s / kResolveLookups * 1e9;
+  std::printf(
+      "resolve single-thread: unordered_map %.1f ns/op, "
+      "open-addressed %.1f ns/op (%.2fx)\n",
+      map_ns, writer_ns, map_ns / writer_ns);
+  hammerhead::bench::JsonReport::instance().row(
+      "resolve_single", {{"map_ns_per_op", map_ns},
+                         {"writer_ns_per_op", writer_ns},
+                         {"writer_vs_map", map_ns / writer_ns}});
+}
+
 int main(int argc, char** argv) {
-  hammerhead::bench::JsonReport::instance().init("micro_dag_memory");
+  hammerhead::bench::JsonReport::instance().init("micro_dag");
   report_parent_index_memory();
+  report_resolution_bench();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

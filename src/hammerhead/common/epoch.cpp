@@ -1,0 +1,197 @@
+#include "hammerhead/common/epoch.h"
+
+#include <limits>
+#include <thread>
+
+namespace hammerhead::epoch {
+
+Domain::~Domain() {
+  // No readers may outlive the domain; run whatever publication work is
+  // still queued, then free every retiree unconditionally.
+  drain_deferred();
+  for (Retiree& r : retired_) r.deleter(r.ptr);
+  retired_.clear();
+}
+
+void Domain::retire(void* p, void (*deleter)(void*), std::size_t bytes) {
+  retired_.push_back(Retiree{p, deleter, bytes, epoch()});
+  ++retired_objects_;
+  retired_bytes_ += bytes;
+  pending_bytes_ += bytes;
+}
+
+std::uint64_t Domain::min_pinned() const {
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+  const std::size_t hwm = slot_hwm_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hwm; ++i) {
+    const Slot& s = slots_[i];
+    if (!s.used.load(std::memory_order_acquire)) continue;
+    const std::uint64_t p = s.pinned.load(std::memory_order_acquire);
+    if (p != kIdle && p < min) min = p;
+  }
+  return min;
+}
+
+void Domain::drain_deferred() {
+  // Steal each queue under its mutex, run outside. The writer only gets
+  // here at a quiescent point, so the closures run single-threaded in
+  // reader-slot order — a deterministic order, though the closures are
+  // value-canonical and would commute anyway.
+  std::vector<std::function<void()>> batch;
+  const std::size_t hwm = slot_hwm_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hwm; ++i) {
+    Slot& s = slots_[i];
+    if (!s.used.load(std::memory_order_acquire)) continue;
+    Reader* r = s.owner;
+    if (r == nullptr) continue;
+    count_rmw();  // mutex acquisition below
+    std::lock_guard<std::mutex> lock(r->defer_mu_);
+    if (r->deferred_.empty()) continue;
+    if (batch.empty())
+      batch = std::move(r->deferred_);
+    else
+      for (auto& fn : r->deferred_) batch.push_back(std::move(fn));
+    r->deferred_.clear();
+  }
+  {
+    count_rmw();
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    for (auto& fn : orphan_deferred_) batch.push_back(std::move(fn));
+    orphan_deferred_.clear();
+  }
+  for (auto& fn : batch) {
+    fn();
+    ++deferred_run_;
+  }
+}
+
+void Domain::reclaim(std::uint64_t min_pin) {
+  if (retired_.empty()) return;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < retired_.size(); ++i) {
+    Retiree& r = retired_[i];
+    // A reader pinned at epoch P can hold pointers unpublished at any epoch
+    // >= P, so a retiree from epoch E is free only when every pin is > E.
+    if (r.epoch < min_pin) {
+      r.deleter(r.ptr);
+      ++freed_objects_;
+      freed_bytes_ += r.bytes;
+      pending_bytes_ -= r.bytes;
+    } else {
+      retired_[keep++] = r;
+    }
+  }
+  retired_.resize(keep);
+}
+
+void Domain::advance() {
+  drain_deferred();
+  for (Hook& h : hooks_) h.fn();
+  // Plain store: single writer. seq_cst so the epoch bump orders against
+  // the pin-slot reads in reclaim() the same way Guard's fence does.
+  epoch_.store(epoch() + 1, std::memory_order_seq_cst);
+  ++advances_;
+  reclaim(min_pinned());
+}
+
+void Domain::synchronize() {
+  const std::uint64_t target = epoch();
+  epoch_.store(target + 1, std::memory_order_seq_cst);
+  // At the simulator's batch boundaries every worker is parked at the wave
+  // barrier, so the first pass already observes all slots idle. The yield
+  // matters only off that path (stress tests, oversubscribed hosts): a
+  // pinned reader that lost the CPU must get a timeslice to unpin.
+  while (min_pinned() <= target) {
+    std::this_thread::yield();
+  }
+  reclaim(min_pinned());
+}
+
+void Domain::defer(std::function<void()> fn) {
+  Reader* r = detail::tls_reader;
+  if (r != nullptr && r->domain_ == this) {
+    count_rmw();
+    std::lock_guard<std::mutex> lock(r->defer_mu_);
+    r->deferred_.push_back(std::move(fn));
+    return;
+  }
+  count_rmw();
+  std::lock_guard<std::mutex> lock(orphan_mu_);
+  orphan_deferred_.push_back(std::move(fn));
+}
+
+Domain::HookId Domain::add_quiescent_hook(std::function<void()> fn) {
+  const HookId id = next_hook_id_++;
+  hooks_.push_back(Hook{id, std::move(fn)});
+  return id;
+}
+
+void Domain::remove_quiescent_hook(HookId id) {
+  for (std::size_t i = 0; i < hooks_.size(); ++i) {
+    if (hooks_[i].id != id) continue;
+    hooks_.erase(hooks_.begin() + static_cast<std::ptrdiff_t>(i));
+    return;
+  }
+}
+
+Domain::Stats Domain::stats() const {
+  Stats st;
+  st.epoch = epoch();
+  st.advances = advances_;
+  st.retired_objects = retired_objects_;
+  st.retired_bytes = retired_bytes_;
+  st.freed_objects = freed_objects_;
+  st.freed_bytes = freed_bytes_;
+  st.deferred_run = deferred_run_;
+  st.pending_objects = retired_.size();
+  st.pending_bytes = pending_bytes_;
+  const std::size_t hwm = slot_hwm_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hwm; ++i)
+    if (slots_[i].used.load(std::memory_order_acquire)) ++st.readers;
+  return st;
+}
+
+Reader::Reader(Domain& domain) : domain_(&domain), slot_(nullptr) {
+  for (std::size_t i = 0; i < Domain::kMaxReaders; ++i) {
+    Domain::Slot& s = domain.slots_[i];
+    bool expected = false;
+    count_rmw();  // registration CAS: once per thread, never per lookup
+    if (s.used.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+      s.owner = this;
+      slot_ = &s;
+      // Raise the scan bound (concurrent registrations race benignly).
+      std::size_t hwm = domain.slot_hwm_.load(std::memory_order_relaxed);
+      while (hwm < i + 1) {
+        count_rmw();
+        if (domain.slot_hwm_.compare_exchange_weak(hwm, i + 1,
+                                                   std::memory_order_acq_rel))
+          break;
+      }
+      return;
+    }
+  }
+  HH_ASSERT_MSG(false, "epoch::Domain reader slots exhausted ("
+                           << Domain::kMaxReaders << ")");
+}
+
+Reader::~Reader() {
+  // The thread may die with publications still queued (a run torn down
+  // mid-batch); hand them to the domain so no memo write is lost.
+  {
+    count_rmw();
+    std::lock_guard<std::mutex> lock(defer_mu_);
+    if (!deferred_.empty()) {
+      count_rmw();
+      std::lock_guard<std::mutex> olock(domain_->orphan_mu_);
+      for (auto& fn : deferred_)
+        domain_->orphan_deferred_.push_back(std::move(fn));
+      deferred_.clear();
+    }
+  }
+  HH_ASSERT(slot_->pinned.load(std::memory_order_relaxed) == Domain::kIdle);
+  slot_->owner = nullptr;
+  slot_->used.store(false, std::memory_order_release);
+}
+
+}  // namespace hammerhead::epoch

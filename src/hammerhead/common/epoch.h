@@ -1,0 +1,261 @@
+// Epoch-based reclamation for the read-mostly DAG resolution layer.
+//
+// Execution model (matches the sharded simulator, sim/simulator.h): exactly
+// ONE writer thread — the driver — mutates shared structures, and it only
+// does so while every reader is quiescent (the wave join of the staged-effect
+// engine is a full barrier). Shard workers are pure readers inside an
+// epoch::Guard. That asymmetry buys a very cheap protocol:
+//
+//   * Readers pin the current epoch on Guard entry with one relaxed store,
+//     a seq_cst fence and a re-check load — NO atomic read-modify-write
+//     (verified in debug builds by the rmw_op_count() probe below). Inside
+//     the guard they may dereference any pointer published before the pin.
+//   * The writer publishes new snapshots with release stores, retires
+//     superseded ones through Domain::retire(), and calls Domain::advance()
+//     at every batch boundary (the natural quiescent point staged-effect
+//     replay already provides). A retired object is freed once every pinned
+//     reader has moved past the retire epoch.
+//   * Workers that want to WRITE something shared (the write-once
+//     certificate memos of dag/types.h) never touch it directly: they hand a
+//     publication closure to Domain::defer(), and the driver runs all
+//     deferred publications single-threaded at the next advance(). Memos are
+//     thus write-once-per-epoch and read-wait-free.
+//
+// The idiom follows BIND9's qp-trie reader/writer split (single-writer
+// transactions, lock-free readers over an immutable snapshot, RCU-style
+// grace periods); see ARCHITECTURE.md "Read-mostly concurrency".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "hammerhead/common/assert.h"
+
+namespace hammerhead::epoch {
+
+// ------------------------------------------------------------- debug probe
+//
+// Every atomic read-modify-write this layer performs goes through
+// count_rmw(). Hot read paths (DigestResolver::find_published) sample the
+// thread-local counter on entry and assert it unchanged on exit, turning
+// "zero RMW on the lookup path" from a code-review claim into a checked
+// invariant of every debug run.
+#ifndef NDEBUG
+namespace detail {
+inline thread_local std::uint64_t rmw_ops = 0;
+}
+inline void count_rmw() noexcept { ++detail::rmw_ops; }
+inline std::uint64_t rmw_op_count() noexcept { return detail::rmw_ops; }
+#else
+inline void count_rmw() noexcept {}
+inline std::uint64_t rmw_op_count() noexcept { return 0; }
+#endif
+
+class Domain;
+class Reader;
+
+namespace detail {
+inline thread_local Domain* tls_domain = nullptr;
+inline thread_local Reader* tls_reader = nullptr;
+}  // namespace detail
+
+/// The domain a Guard on this thread is currently reading under, or null
+/// when the thread is not inside a read-side critical section. The memo
+/// layer uses this to decide between deferred publication (inside a sharded
+/// wave) and immediate publication (single-threaded execution).
+inline Domain* current() noexcept { return detail::tls_domain; }
+
+/// One reclamation domain: a global epoch, a fixed array of per-reader pin
+/// slots, the retired-object list and the deferred-publication queues. All
+/// non-const methods except defer() are writer-thread-only.
+class Domain {
+ public:
+  static constexpr std::size_t kMaxReaders = 64;
+  /// Slot value while the owning reader is outside any Guard. Real epochs
+  /// start at 1 and only grow, so 0 is unambiguous.
+  static constexpr std::uint64_t kIdle = 0;
+
+  struct Stats {
+    std::uint64_t epoch = 0;            ///< current epoch number
+    std::uint64_t advances = 0;         ///< advance() calls
+    std::uint64_t retired_objects = 0;  ///< cumulative retire() calls
+    std::uint64_t retired_bytes = 0;    ///< cumulative bytes retired
+    std::uint64_t freed_objects = 0;    ///< retirees reclaimed after grace
+    std::uint64_t freed_bytes = 0;
+    std::uint64_t deferred_run = 0;  ///< deferred publications executed
+    std::size_t pending_objects = 0;  ///< retirees still awaiting grace
+    std::size_t pending_bytes = 0;
+    std::size_t readers = 0;  ///< registered reader slots
+  };
+
+  using HookId = std::uint64_t;
+
+  Domain() = default;
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+  ~Domain();
+
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Writer: hand over an object unlinked from every published structure.
+  /// It is freed by a later advance()/synchronize() once no reader can still
+  /// hold a pre-unlink pointer to it. `bytes` feeds the retired-bytes gauge.
+  void retire(void* p, void (*deleter)(void*), std::size_t bytes);
+
+  template <typename T>
+  void retire_array(T* p, std::size_t count) {
+    retire(
+        p, [](void* q) { delete[] static_cast<T*>(q); }, count * sizeof(T));
+  }
+
+  /// Writer, at a batch boundary: run deferred publications, fire quiescent
+  /// hooks (snapshot publication lives there), open a new epoch and reclaim
+  /// every retiree whose grace period has passed. Cheap when idle: empty
+  /// queues and an empty retire list reduce it to a handful of loads.
+  void advance();
+
+  /// Writer: block (spin) until every reader pinned at or before the current
+  /// epoch has left its critical section. After it returns, anything
+  /// unpublished before the call can be freed or reused directly. At the
+  /// simulator's batch boundaries all workers are parked at the wave
+  /// barrier, so this is a single pass over the pin slots.
+  void synchronize();
+
+  /// Any thread inside a Guard of this domain: queue `fn` to run on the
+  /// writer thread at the next advance(). Used for write-once memo
+  /// publication; the closure must pin whatever it touches (shared_ptr).
+  /// This path takes a mutex (one count_rmw()) — it is the rare memoize
+  /// path, never the lookup path.
+  void defer(std::function<void()> fn);
+
+  /// Writer: register/remove a callback run inside every advance(), between
+  /// deferred publications and the epoch bump — the place snapshot
+  /// publication (DigestResolver::publish) hangs off. Hooks must tolerate
+  /// being called when there is nothing to do.
+  HookId add_quiescent_hook(std::function<void()> fn);
+  void remove_quiescent_hook(HookId id);
+
+  Stats stats() const;
+
+ private:
+  friend class Reader;
+  friend class Guard;
+
+  struct alignas(64) Slot {
+    /// Epoch pinned by the owning reader; kIdle outside critical sections.
+    std::atomic<std::uint64_t> pinned{kIdle};
+    /// Claimed by a Reader (CAS on registration, the one RMW of the
+    /// reader lifecycle — per thread, not per guard or per lookup).
+    std::atomic<bool> used{false};
+    Reader* owner = nullptr;
+  };
+
+  struct Retiree {
+    void* ptr;
+    void (*deleter)(void*);
+    std::size_t bytes;
+    std::uint64_t epoch;  ///< epoch at retire(); freed once all pins exceed it
+  };
+
+  struct Hook {
+    HookId id;
+    std::function<void()> fn;
+  };
+
+  /// Smallest epoch pinned by any reader, or ~0 when all are idle.
+  std::uint64_t min_pinned() const;
+  void drain_deferred();
+  void reclaim(std::uint64_t min_pin);
+
+  std::atomic<std::uint64_t> epoch_{1};
+  Slot slots_[kMaxReaders];
+  /// One past the highest slot index ever claimed — bounds every slot scan
+  /// (advance runs once per batch; scanning all 64 slots for one registered
+  /// reader would waste the serial path's cycles).
+  std::atomic<std::size_t> slot_hwm_{0};
+  std::vector<Retiree> retired_;
+  std::vector<Hook> hooks_;
+  HookId next_hook_id_ = 1;
+  /// Deferred closures from threads without a Reader (driver outside a
+  /// guard, Reader destruction with a non-empty queue).
+  std::mutex orphan_mu_;
+  std::vector<std::function<void()>> orphan_deferred_;
+  // Writer-side counters (gauges; driver-thread reads/writes only).
+  std::uint64_t advances_ = 0;
+  std::uint64_t retired_objects_ = 0;
+  std::uint64_t retired_bytes_ = 0;
+  std::uint64_t freed_objects_ = 0;
+  std::uint64_t freed_bytes_ = 0;
+  std::uint64_t deferred_run_ = 0;
+  std::size_t pending_bytes_ = 0;
+};
+
+/// Per-thread registration with a Domain: claims one pin slot for the
+/// thread's lifetime (the driver holds one as a member; each pool worker
+/// creates one on its stack). Registration is the only RMW of the reader
+/// lifecycle; Guards built on the Reader are RMW-free.
+class Reader {
+ public:
+  explicit Reader(Domain& domain);
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+  ~Reader();
+
+  Domain& domain() const { return *domain_; }
+
+ private:
+  friend class Domain;
+  friend class Guard;
+
+  Domain* domain_;
+  Domain::Slot* slot_;
+  /// Deferred publications queued by this thread; drained by the writer at
+  /// advance() (the wave join orders the accesses, the mutex keeps the
+  /// queue well-formed even off that path).
+  std::mutex defer_mu_;
+  std::vector<std::function<void()>> deferred_;
+};
+
+/// Read-side critical section. Entry: pin the current epoch (store + fence +
+/// re-check loop, no RMW); exit: release the pin. While alive, epoch::
+/// current() reports the domain, routing memo writes into defer().
+class Guard {
+ public:
+  explicit Guard(Reader& reader) : reader_(reader) {
+    Domain& d = *reader.domain_;
+    std::uint64_t e = d.epoch_.load(std::memory_order_relaxed);
+    for (;;) {
+      reader.slot_->pinned.store(e, std::memory_order_relaxed);
+      // Order the pin before the re-read: after the fence, either we see
+      // the writer's new epoch (and re-pin), or the writer's reclaim pass
+      // sees our pin. Fences are not read-modify-writes.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const std::uint64_t now = d.epoch_.load(std::memory_order_relaxed);
+      if (now == e) break;
+      e = now;
+    }
+    prev_domain_ = detail::tls_domain;
+    prev_reader_ = detail::tls_reader;
+    detail::tls_domain = &d;
+    detail::tls_reader = &reader;
+  }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+  ~Guard() {
+    reader_.slot_->pinned.store(Domain::kIdle, std::memory_order_release);
+    detail::tls_domain = prev_domain_;
+    detail::tls_reader = prev_reader_;
+  }
+
+ private:
+  Reader& reader_;
+  Domain* prev_domain_;
+  Reader* prev_reader_;
+};
+
+}  // namespace hammerhead::epoch

@@ -26,7 +26,7 @@ VertexId Arena::insert(CertPtr cert, std::span<const VertexId> parents) {
                                                << cert->author()
                                                << ") occupied twice");
   const VertexId v = id(round, cert->author());
-  by_digest_.emplace(cert->digest(), v);
+  resolver_.insert(cert->digest(), v);
   if (slot.parents.capacity() == 0 && !parents_pool_.empty()) {
     slot.parents = std::move(parents_pool_.back());
     parents_pool_.pop_back();
@@ -46,7 +46,7 @@ void Arena::prune_below(Round floor) {
   ring_.prune_below(floor, [this](Round, Slot* slots) {
     for (std::size_t a = 0; a < n_; ++a) {
       if (!slots[a].cert) continue;
-      by_digest_.erase(slots[a].digest);
+      resolver_.erase(slots[a].digest);
       mem_.hot_parent_bytes -= slots[a].parents.size() * sizeof(VertexId);
       // Donate the parent buffer back before the ring destroys the slot.
       if (slots[a].parents.capacity() > 0 && parents_pool_.size() < 4096)

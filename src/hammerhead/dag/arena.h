@@ -10,8 +10,8 @@
 // (wraparound). With garbage collection on, the live span is bounded by the
 // gc window and the ring reaches a steady state: slabs and slot vectors are
 // recycled, so inserts stop allocating slab storage (the per-insert
-// allocations that remain are the resolved parent list and the digest
-// side-table node).
+// allocation that remains is the resolved parent list; the digest side
+// table is open-addressed and reuses tombstoned slots).
 //
 // Handle contract: a VertexId is *stable until its round is pruned* — it
 // encodes (round, author) exactly, never aliases across ring reuse (the slab
@@ -39,9 +39,10 @@
 // the slots themselves; at wide committees that touched one scattered
 // ~100-byte Slot per *edge* just to reject a repeat, while the dense rows
 // reject repeats with a bit test on two cache lines per round (n=1000) and
-// only first visits touch slab memory. A digest -> handle side table exists
-// only for the ingress path (dedup, parent resolution, digest-keyed lookups
-// at the protocol boundary).
+// only first visits touch slab memory. A digest -> handle side table
+// (dag/resolve.h, a left-right snapshot structure) serves the ingress path
+// (dedup, parent resolution, digest-keyed lookups at the protocol boundary)
+// and doubles as the wait-free published view for cross-thread readers.
 #pragma once
 
 #include <cstdint>
@@ -52,16 +53,13 @@
 
 #include "hammerhead/common/assert.h"
 #include "hammerhead/common/digest.h"
+#include "hammerhead/common/epoch.h"
 #include "hammerhead/common/simd.h"
 #include "hammerhead/common/types.h"
+#include "hammerhead/dag/resolve.h"
 #include "hammerhead/dag/types.h"
 
 namespace hammerhead::dag {
-
-/// Integer vertex handle: round * n + author. Unique forever (not just while
-/// resident); resolution fails cleanly after the round is pruned.
-using VertexId = std::uint64_t;
-inline constexpr VertexId kInvalidVertex = ~VertexId{0};
 
 /// A ring of per-round slabs, `slots_per_round` value-initialized `T`s per
 /// round. Rounds map to ring position (round % depth); depth is a power of
@@ -186,7 +184,7 @@ class Arena {
   const MemoryStats& memory_stats() const { return mem_; }
 
   std::size_t slots_per_round() const { return n_; }
-  std::size_t size() const { return by_digest_.size(); }
+  std::size_t size() const { return resolver_.size(); }
   Round ring_floor() const { return ring_.floor(); }
   std::size_t ring_depth() const { return ring_.depth(); }
 
@@ -199,10 +197,22 @@ class Arena {
   }
 
   /// Handle of the resident vertex with this digest; kInvalidVertex if none.
-  VertexId find(const Digest& digest) const {
-    auto it = by_digest_.find(digest);
-    return it == by_digest_.end() ? kInvalidVertex : it->second;
+  /// Owner-thread view (read-your-writes): a digest inserted earlier in the
+  /// same batch resolves immediately.
+  VertexId find(const Digest& digest) const { return resolver_.find(digest); }
+
+  /// Snapshot view of the same mapping for concurrent readers: wait-free,
+  /// zero locks/RMW, call under an epoch::Guard. At most one batch stale —
+  /// kInvalidVertex for digests inserted since the last publish.
+  VertexId find_published(const Digest& digest) const {
+    return resolver_.find_published(digest);
   }
+
+  /// Driver, at a quiescent point: make this batch's insertions/prunes
+  /// visible to snapshot readers (DigestResolver::publish).
+  void publish_resolution(epoch::Domain& domain) { resolver_.publish(domain); }
+
+  const DigestResolver& resolver() const { return resolver_; }
 
   /// Slot of a handle, or null if the slot is empty / the round not resident.
   const Slot* resolve(VertexId v) const {
@@ -295,8 +305,9 @@ class Arena {
 
   std::size_t n_;
   RoundRing<Slot> ring_;
-  /// Ingress/dedup only: digest-keyed lookups at the protocol boundary.
-  std::unordered_map<Digest, VertexId> by_digest_;
+  /// Digest-keyed lookups at the protocol boundary (ingress/dedup) plus the
+  /// published snapshot for cross-thread readers (dag/resolve.h).
+  DigestResolver resolver_;
   /// Parent-vector buffers recycled from pruned slots (bounded).
   std::vector<std::vector<VertexId>> parents_pool_;
   /// Dense visited rows, ring-positioned like the slabs ((n+63)/64 words

@@ -76,6 +76,12 @@ Dag::InsertOutcome Dag::try_insert(CertPtr cert,
   parents.reserve(pds.size());
   const bool allow_missing = round == 0 || round <= gc_floor_;
   bool missing = false;
+  if (!pds.empty()) {
+    if (cert->parent_handle_memo() != nullptr)
+      ++memo_stats_.parent_memo_hits;
+    else
+      ++memo_stats_.parent_memo_misses;
+  }
   if (const std::vector<VertexId>* memo = cert->parent_handle_memo()) {
     // Another validator already resolved these parents; handles are
     // committee-geometry and thus arena-independent. Residency + digest are

@@ -81,6 +81,19 @@ class Dag {
   VertexId id_of(const Digest& digest) const { return arena_.find(digest); }
   VertexId id_of(Round round, ValidatorIndex author) const;
 
+  /// Wait-free digest lookup against the last published resolution snapshot
+  /// — for readers on OTHER threads, under an epoch::Guard. At most one
+  /// batch stale relative to id_of(). See Arena::find_published.
+  VertexId id_of_published(const Digest& digest) const {
+    return arena_.find_published(digest);
+  }
+
+  /// Driver thread, at a quiescent point (epoch quiescent hook): publish the
+  /// resolver's pending mutations as a fresh snapshot for id_of_published.
+  void publish_resolution(epoch::Domain& domain) {
+    arena_.publish_resolution(domain);
+  }
+
   /// Certificate behind a handle; nullptr if the handle is invalid or its
   /// round was pruned.
   CertPtr cert_of(VertexId v) const;
@@ -194,6 +207,15 @@ class Dag {
   /// trigger-candidate rounds). The committer consumes its crossing events.
   const DagIndex& index() const { return index_; }
 
+  /// Shared-certificate memo telemetry for the parent-handle memo on the
+  /// try_insert path. A hit skips hashing every parent digest; rates feed
+  /// the monitoring gauges.
+  struct MemoStats {
+    std::uint64_t parent_memo_hits = 0;
+    std::uint64_t parent_memo_misses = 0;  ///< resolutions that hashed digests
+  };
+  const MemoStats& memo_stats() const { return memo_stats_; }
+
  private:
   /// Handle of `cert` iff its slot is occupied by exactly this certificate
   /// (digest checked); kInvalidVertex otherwise.
@@ -249,6 +271,7 @@ class Dag {
   Round gc_floor_ = 0;
   std::optional<Round> max_round_;
   DagIndex index_;
+  MemoStats memo_stats_;
   /// Reused parent-handle scratch for try_insert (not reentrant).
   std::vector<VertexId> parent_scratch_;
 };

@@ -54,6 +54,10 @@ void DagIndex::on_insert(VertexId id, const Certificate& cert,
         parents_complete && floor_ <= e.lo
             ? cert.ancestor_bitmap_memo(e.lo, words_per_round_)
             : nullptr;
+    if (shared != nullptr)
+      ++stats_.ancestor_memo_hits;
+    else
+      ++stats_.ancestor_memo_misses;
     if (e.words.capacity() == 0 && !words_pool_.empty()) {
       e.words = std::move(words_pool_.back());  // recycled buffer
       words_pool_.pop_back();

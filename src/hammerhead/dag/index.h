@@ -86,6 +86,10 @@ struct IndexStats {
   std::uint64_t path_fallbacks = 0;   ///< has_path fell back to the BFS scan
   std::uint64_t support_hits = 0;     ///< direct_support answered O(1)
   std::uint64_t support_fallbacks = 0;///< direct_support fell back to a scan
+  /// Shared ancestor-bitmap memo (dag/types.h): a hit copies the canonical
+  /// bitmap another validator already computed and skips the union pass.
+  std::uint64_t ancestor_memo_hits = 0;
+  std::uint64_t ancestor_memo_misses = 0;
 };
 
 class DagIndex {

@@ -1,0 +1,235 @@
+#include "hammerhead/dag/resolve.h"
+
+#include "hammerhead/common/assert.h"
+
+namespace hammerhead::dag {
+
+DigestResolver::DigestResolver(std::size_t initial_capacity) {
+  std::size_t cap = 64;
+  while (cap < initial_capacity) cap <<= 1;
+  writer_ = new Table(make_table(cap));
+}
+
+DigestResolver::~DigestResolver() {
+  Table* pub = published_.load(std::memory_order_relaxed);
+  if (pub != nullptr && pub != writer_) {
+    delete[] pub->slots;
+    delete pub;
+  }
+  delete[] writer_->slots;
+  delete writer_;
+}
+
+DigestResolver::Table DigestResolver::make_table(std::size_t capacity) {
+  Table t;
+  t.mask = capacity - 1;
+  t.slots = new Entry[capacity];  // Entry default-inits id to kEmpty
+  return t;
+}
+
+VertexId DigestResolver::probe_find(const Table& t, const Digest& d) {
+  std::uint64_t i = d.prefix64() & t.mask;
+  for (;;) {
+    const Entry& e = t.slots[i];
+    if (e.id == kEmpty) return kInvalidVertex;
+    if (e.id != kTomb && e.digest == d) return e.id;
+    i = (i + 1) & t.mask;
+  }
+}
+
+void DigestResolver::probe_insert_new(Table& t, const Digest& d, VertexId v) {
+  std::uint64_t i = d.prefix64() & t.mask;
+  while (t.slots[i].id != kEmpty && t.slots[i].id != kTomb)
+    i = (i + 1) & t.mask;
+  if (t.slots[i].id == kEmpty) ++t.used;
+  t.slots[i].digest = d;
+  t.slots[i].id = v;
+}
+
+std::size_t DigestResolver::needed_capacity() const {
+  std::size_t cap = 64;
+  while (cap * 7 < (size_ + 1) * 10) cap <<= 1;
+  return cap;
+}
+
+void DigestResolver::rebuild_writer(std::size_t capacity) {
+  Table fresh = make_table(capacity);
+  const std::size_t old_cap = writer_->capacity();
+  for (std::size_t i = 0; i < old_cap; ++i) {
+    const Entry& e = writer_->slots[i];
+    if (e.id != kEmpty && e.id != kTomb)
+      probe_insert_new(fresh, e.digest, e.id);
+  }
+  // The writer table is by construction unreachable from readers (see the
+  // writer_ field comment), so the superseded array dies immediately — no
+  // grace period needed.
+  delete[] writer_->slots;
+  *writer_ = fresh;
+  ++rebuilds_;
+}
+
+bool DigestResolver::insert(const Digest& d, VertexId v) {
+  HH_ASSERT(v < kTomb);
+  // Keep (live + tombstone) occupancy under 70% so probe chains stay short
+  // and the probe loops terminate.
+  if ((writer_->used + 1) * 10 >= writer_->capacity() * 7)
+    rebuild_writer(needed_capacity());
+  std::uint64_t i = d.prefix64() & writer_->mask;
+  std::uint64_t place = kInvalidVertex;  // first tombstone seen, if any
+  for (;;) {
+    Entry& e = writer_->slots[i];
+    if (e.id == kEmpty) break;
+    if (e.id == kTomb) {
+      if (place == kInvalidVertex) place = i;
+    } else if (e.digest == d) {
+      return false;
+    }
+    i = (i + 1) & writer_->mask;
+  }
+  if (place != kInvalidVertex)
+    i = place;
+  else
+    ++writer_->used;
+  writer_->slots[i].digest = d;
+  writer_->slots[i].id = v;
+  ++size_;
+  log_.push_back(Op{d, v});
+  return true;
+}
+
+bool DigestResolver::erase(const Digest& d) {
+  std::uint64_t i = d.prefix64() & writer_->mask;
+  for (;;) {
+    Entry& e = writer_->slots[i];
+    if (e.id == kEmpty) return false;
+    if (e.id != kTomb && e.digest == d) {
+      e.id = kTomb;  // keeps published-twin probe chains replayable
+      --size_;
+      log_.push_back(Op{d, kTomb});
+      return true;
+    }
+    i = (i + 1) & writer_->mask;
+  }
+}
+
+VertexId DigestResolver::find(const Digest& d) const {
+  return probe_find(*writer_, d);
+}
+
+VertexId DigestResolver::find_published(const Digest& d) const {
+#ifndef NDEBUG
+  HH_ASSERT_MSG(epoch::current() != nullptr,
+                "find_published outside an epoch::Guard");
+  const std::uint64_t rmw_before = epoch::rmw_op_count();
+#endif
+  const Table* t = published_.load(std::memory_order_acquire);
+  const VertexId v = t == nullptr ? kInvalidVertex : probe_find(*t, d);
+#ifndef NDEBUG
+  // The acceptance invariant: the reader lookup path performs zero atomic
+  // read-modify-writes — one acquire load plus plain probes.
+  HH_ASSERT(epoch::rmw_op_count() == rmw_before);
+#endif
+  return v;
+}
+
+void DigestResolver::publish(epoch::Domain& domain) {
+  Table* old_pub = published_.load(std::memory_order_relaxed);
+  if (log_.empty() && old_pub != nullptr) return;  // snapshot already current
+  // From here readers resolve against what was the writer table. The
+  // store also publishes the slot contents (release pairs with the
+  // acquire in find_published).
+  published_.store(writer_, std::memory_order_release);
+  ++publishes_;
+
+  // Replaying is only sound when the twin has the same geometry, few
+  // enough tombstones that it is not due for compaction, and headroom for
+  // this batch's net inserts (log_.size() over-counts, conservatively).
+  const bool geometry_kept =
+      old_pub != nullptr && old_pub->mask == writer_->mask &&
+      (writer_->used - size_) * 2 <= size_ + 1 &&
+      (old_pub->used + log_.size()) * 10 < old_pub->capacity() * 9;
+  if (geometry_kept) {
+    // Reuse the previous snapshot as the next writer: wait out readers
+    // still probing it (free at the wave barrier — every worker is
+    // parked), then bring it up to date by replaying this batch's ops.
+    // The twin holds the same live set (same op history), so every erase
+    // finds its target and no insert duplicates; layouts may differ after
+    // a past compaction, which replay tolerates by probing normally.
+    domain.synchronize();
+    for (const Op& op : log_) {
+      if (op.id == kTomb) {
+        std::uint64_t i = op.digest.prefix64() & old_pub->mask;
+        for (;;) {
+          Entry& e = old_pub->slots[i];
+          if (e.id != kEmpty && e.id != kTomb && e.digest == op.digest) {
+            e.id = kTomb;
+            break;
+          }
+          HH_ASSERT(e.id != kEmpty);  // erase replay must find its target
+          i = (i + 1) & old_pub->mask;
+        }
+      } else {
+        std::uint64_t i = op.digest.prefix64() & old_pub->mask;
+        std::uint64_t place = kInvalidVertex;
+        for (;;) {
+          Entry& e = old_pub->slots[i];
+          if (e.id == kEmpty) break;
+          if (e.id == kTomb && place == kInvalidVertex) place = i;
+          i = (i + 1) & old_pub->mask;
+        }
+        if (place != kInvalidVertex)
+          i = place;
+        else
+          ++old_pub->used;
+        old_pub->slots[i].digest = op.digest;
+        old_pub->slots[i].id = op.id;
+      }
+    }
+    writer_ = old_pub;
+  } else {
+    // Geometry changed (growth / tombstone compaction / first publish):
+    // build a fresh writer from the just-published table — immutable now,
+    // so reading it races with nobody — and retire the superseded
+    // snapshot through the domain. Its arrays stay probeable by already-
+    // pinned readers until grace passes; reclaim happens at a later
+    // advance(). This is the EBR path the retired-bytes gauge watches.
+    const Table* src = published_.load(std::memory_order_relaxed);
+    Table* fresh = new Table(make_table(needed_capacity()));
+    const std::size_t cap = src->capacity();
+    for (std::size_t i = 0; i < cap; ++i) {
+      const Entry& e = src->slots[i];
+      if (e.id != kEmpty && e.id != kTomb)
+        probe_insert_new(*fresh, e.digest, e.id);
+    }
+    if (old_pub != nullptr) {
+      retired_bytes_ += old_pub->bytes();
+      ++retired_tables_;
+      domain.retire(old_pub->slots,
+                    [](void* p) { delete[] static_cast<Entry*>(p); },
+                    old_pub->bytes());
+      domain.retire(
+          old_pub, [](void* p) { delete static_cast<Table*>(p); },
+          sizeof(Table));
+    }
+    writer_ = fresh;
+    ++rebuilds_;
+  }
+  log_.clear();
+}
+
+DigestResolver::Stats DigestResolver::stats() const {
+  Stats st;
+  st.publishes = publishes_;
+  st.rebuilds = rebuilds_;
+  st.retired_tables = retired_tables_;
+  st.retired_bytes = retired_bytes_;
+  st.entries = size_;
+  st.tombstones = writer_->used - size_;
+  st.capacity = writer_->capacity();
+  st.bytes = writer_->bytes();
+  const Table* pub = published_.load(std::memory_order_relaxed);
+  if (pub != nullptr && pub != writer_) st.bytes += pub->bytes();
+  return st;
+}
+
+}  // namespace hammerhead::dag

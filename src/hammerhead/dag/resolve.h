@@ -1,0 +1,149 @@
+// Digest -> VertexId resolution as a read-mostly snapshot structure.
+//
+// The arena's digest side table used to be a plain unordered_map: correct
+// for the single-threaded owner path, but anything cross-thread would have
+// needed a lock around every probe. DigestResolver replaces it with a
+// left-right pair of open-addressed tables keyed by the digest's first
+// 8 bytes (Digest::prefix64() — SHA-256 output, so the prefix is already a
+// full-strength hash; no re-hashing on any path):
+//
+//   * The OWNER (the validator's shard thread, or the driver) mutates the
+//     writer table directly: insert/erase/find are plain code with
+//     read-your-writes — a certificate inserted earlier in the same wave
+//     resolves immediately, which the deterministic-trace invariant
+//     requires.
+//   * publish(domain) — driver-only, at a batch boundary — release-stores
+//     the writer table as the published snapshot and rebuilds the offstage
+//     instance: same-capacity publishes wait one (free, at the wave
+//     barrier) grace period and replay the op log; capacity changes copy
+//     the live set and hand the superseded arrays to epoch::Domain::retire,
+//     reclaimed after grace (the gauge-visible EBR path).
+//   * READERS on any thread call find_published() under an epoch::Guard:
+//     one acquire load of the snapshot pointer, then plain probes. Zero
+//     locks, zero atomic RMW — asserted per call in debug builds via
+//     epoch::rmw_op_count(). Snapshots are immutable once published, so a
+//     reader sees a consistent (at most one batch stale) view.
+//
+// Erase uses tombstones so published probe chains stay intact; publish
+// compacts the offstage table when tombstones dominate. See
+// ARCHITECTURE.md "Read-mostly concurrency".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "hammerhead/common/digest.h"
+#include "hammerhead/common/epoch.h"
+
+namespace hammerhead::dag {
+
+/// Integer vertex handle: round * n + author. Unique forever (not just while
+/// resident); resolution fails cleanly after the round is pruned.
+using VertexId = std::uint64_t;
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+
+class DigestResolver {
+ public:
+  struct Stats {
+    std::uint64_t publishes = 0;      ///< snapshots made visible to readers
+    std::uint64_t rebuilds = 0;       ///< grow/compact table rebuilds
+    std::uint64_t retired_tables = 0; ///< superseded arrays handed to EBR
+    std::uint64_t retired_bytes = 0;  ///< cumulative bytes of those arrays
+    std::size_t entries = 0;          ///< live digests (writer view)
+    std::size_t tombstones = 0;
+    std::size_t capacity = 0;         ///< writer-table slots
+    std::size_t bytes = 0;            ///< both instances, logical size
+  };
+
+  explicit DigestResolver(std::size_t initial_capacity = 64);
+  DigestResolver(const DigestResolver&) = delete;
+  DigestResolver& operator=(const DigestResolver&) = delete;
+  ~DigestResolver();
+
+  // ------------------------------------------------- owner (single thread)
+
+  /// Map `d` to `v`. False if the digest is already present (unchanged).
+  bool insert(const Digest& d, VertexId v);
+
+  /// Remove `d`. False if absent.
+  bool erase(const Digest& d);
+
+  /// Read-your-writes lookup against the writer table.
+  VertexId find(const Digest& d) const;
+
+  std::size_t size() const { return size_; }
+
+  // ----------------------------------------------------- driver (publisher)
+
+  /// Make every mutation since the last publish visible to readers and
+  /// bring the offstage instance up to date (see file comment). No-op when
+  /// nothing changed. Driver thread only, at a quiescent point.
+  void publish(epoch::Domain& domain);
+
+  // ------------------------------------------------- readers (any thread)
+
+  /// Wait-free snapshot lookup; call under an epoch::Guard. Returns the
+  /// handle in the latest published snapshot, kInvalidVertex if absent (or
+  /// nothing was published yet). At most one batch stale by construction.
+  VertexId find_published(const Digest& d) const;
+
+  Stats stats() const;
+
+ private:
+  /// Slot ids: kEmpty terminates probe chains, kTomb keeps them alive
+  /// through erases. Both unreachable as real handles (kInvalidVertex and
+  /// its predecessor; real ids are round * n + author with sane bounds).
+  static constexpr VertexId kEmpty = kInvalidVertex;
+  static constexpr VertexId kTomb = kInvalidVertex - 1;
+
+  struct Entry {
+    Digest digest;
+    VertexId id = kEmpty;
+  };
+
+  struct Table {
+    std::uint64_t mask = 0;  ///< capacity - 1 (capacity is a power of two)
+    Entry* slots = nullptr;
+    /// Occupied slots (live + tombstones) — bounds probe-chain length and
+    /// proves replay onto this instance cannot fill it solid.
+    std::size_t used = 0;
+
+    std::size_t capacity() const { return mask + 1; }
+    std::size_t bytes() const { return capacity() * sizeof(Entry); }
+  };
+
+  struct Op {
+    Digest digest;
+    VertexId id;  ///< kTomb encodes an erase
+  };
+
+  static Table make_table(std::size_t capacity);
+  static VertexId probe_find(const Table& t, const Digest& d);
+  /// Insert into `t` without duplicate checking (rebuild path).
+  static void probe_insert_new(Table& t, const Digest& d, VertexId v);
+
+  /// Grow/compact the writer table to `capacity`, rehashing live entries.
+  void rebuild_writer(std::size_t capacity);
+  std::size_t needed_capacity() const;
+
+  /// The mutable instance. Never the published one: publish() hands this
+  /// header to readers and installs a different one (the previous snapshot
+  /// after grace + replay, or a fresh copy) as the next writer, so owner
+  /// mutations — including mid-batch rebuilds — touch memory no reader
+  /// can reach.
+  Table* writer_;
+  std::atomic<Table*> published_{nullptr};
+  /// Mutations since the last publish, replayed onto the previous snapshot
+  /// when it comes back as the writer.
+  std::vector<Op> log_;
+  /// Live digest count (content-level, table-independent; a table's
+  /// tombstone count is its `used` minus this).
+  std::size_t size_ = 0;
+  std::uint64_t publishes_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t retired_tables_ = 0;
+  std::uint64_t retired_bytes_ = 0;
+};
+
+}  // namespace hammerhead::dag

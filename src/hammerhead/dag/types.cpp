@@ -1,8 +1,10 @@
 #include "hammerhead/dag/types.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "hammerhead/common/assert.h"
+#include "hammerhead/common/epoch.h"
 #include "hammerhead/common/serde.h"
 #include "hammerhead/crypto/sha256.h"
 
@@ -83,6 +85,58 @@ bool Certificate::verify(const crypto::Committee& committee) const {
   }();
   verify_state_.store(ok ? 1 : 2, std::memory_order_relaxed);
   return ok;
+}
+
+void Certificate::publish_parent_memo(
+    const std::vector<std::uint64_t>& ids) const {
+  if (parent_memo_state_.load(std::memory_order_relaxed) != 0)
+    return;  // an earlier (identical, value-canonical) publication won
+  parent_memo_ = ids;
+  parent_memo_state_.store(2, std::memory_order_release);
+}
+
+void Certificate::memoize_parent_handles(
+    const std::vector<std::uint64_t>& ids) const {
+  if (parent_memo_state_.load(std::memory_order_relaxed) != 0) return;
+  if (epoch::Domain* d = epoch::current()) {
+    // Inside a sharded wave: another shard may be reading this certificate
+    // right now, so route the write through the domain — the driver
+    // publishes it at the next batch boundary, single-threaded. The
+    // shared_ptr pins the certificate across the deferral; certificates
+    // not owned by a shared_ptr (stack clones in tests) cannot be shared
+    // cross-thread and publish directly.
+    if (CertPtr self = weak_from_this().lock()) {
+      d->defer(
+          [self = std::move(self), ids]() { self->publish_parent_memo(ids); });
+      return;
+    }
+  }
+  publish_parent_memo(ids);
+}
+
+void Certificate::publish_ancestor_memo(
+    std::uint64_t lo, std::uint32_t words_per_round,
+    const std::vector<std::uint64_t>& words) const {
+  if (ancestor_memo_state_.load(std::memory_order_relaxed) != 0) return;
+  ancestor_memo_lo_ = lo;
+  ancestor_memo_wpr_ = words_per_round;
+  ancestor_memo_ = words;
+  ancestor_memo_state_.store(2, std::memory_order_release);
+}
+
+void Certificate::memoize_ancestor_bitmap(
+    std::uint64_t lo, std::uint32_t words_per_round,
+    const std::vector<std::uint64_t>& words) const {
+  if (ancestor_memo_state_.load(std::memory_order_relaxed) != 0) return;
+  if (epoch::Domain* d = epoch::current()) {
+    if (CertPtr self = weak_from_this().lock()) {
+      d->defer([self = std::move(self), lo, words_per_round, words]() {
+        self->publish_ancestor_memo(lo, words_per_round, words);
+      });
+      return;
+    }
+  }
+  publish_ancestor_memo(lo, words_per_round, words);
 }
 
 bool Certificate::has_parent(const Digest& d) const {

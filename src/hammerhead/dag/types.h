@@ -110,7 +110,37 @@ struct Vote {
 
 /// The DAG vertex: a header plus a quorum of votes. In the simulation the
 /// certificate carries the full header (and payload) by shared pointer.
-struct Certificate {
+/// enable_shared_from_this: deferred memo publication (below) pins the
+/// certificate through the epoch domain's queue; Certificate::make always
+/// allocates via make_shared, so weak_from_this is well-formed there.
+struct Certificate : std::enable_shared_from_this<Certificate> {
+  Certificate() = default;
+  /// Copyable for clone-and-tamper tests: the copy starts with every memo
+  /// and verification cache cleared (one place — reset_memos — so a new
+  /// cache cannot be forgotten here) and must re-verify from scratch.
+  Certificate(const Certificate& other)
+      : std::enable_shared_from_this<Certificate>(),  // fresh control block
+        header(other.header),
+        signers(other.signers),
+        parent_order_(other.parent_order_) {
+    reset_memos();
+  }
+  Certificate& operator=(const Certificate&) = delete;
+
+  /// Clear the verification flag and both shared memos. Used by the copy
+  /// constructor and any path that tampers with a certificate's fields and
+  /// needs recomputation (tests). Not for shared certificates inside a
+  /// running simulation — concurrent readers assume memos are write-once.
+  void reset_memos() {
+    verify_state_.store(0, std::memory_order_relaxed);
+    parent_memo_state_.store(0, std::memory_order_relaxed);
+    parent_memo_.clear();
+    ancestor_memo_state_.store(0, std::memory_order_relaxed);
+    ancestor_memo_.clear();
+    ancestor_memo_lo_ = 0;
+    ancestor_memo_wpr_ = 0;
+  }
+
   HeaderPtr header;
   /// Sorted, deduplicated voter indices whose combined stake reaches the
   /// quorum threshold (includes the author's own signature).
@@ -154,35 +184,33 @@ struct Certificate {
   /// instead of hashing every parent digest. nullptr until memoized;
   /// entry[i] corresponds to parents()[i].
   ///
-  /// Publication protocol (sharded execution): the memo value is canonical
-  /// — every validator would compute the identical vector — but the vector
-  /// write itself must be exclusive. The first claimant CASes the state to
-  /// `writing`, fills the vector, and release-stores `ready`; losers simply
-  /// skip memoizing (their locally computed result is already in hand), and
-  /// readers acquire-load `ready` before touching the vector. Whether a
-  /// reader hits or misses the memo is timing-dependent, but the outcome of
-  /// either path is identical, so traces stay bit-identical.
+  /// Publication protocol (write-once-per-epoch, read-wait-free): the memo
+  /// value is canonical — every validator would compute the identical
+  /// vector — so publication needs a single writer, never a winner
+  /// election. A shard worker that computed the handles inside an
+  /// epoch::Guard hands a publication closure to epoch::Domain::defer();
+  /// the driver runs all deferred publications at the next batch boundary,
+  /// where the first fills the vector with plain stores and release-stores
+  /// `ready` (later duplicates see state != 0 and drop out).
+  /// Single-threaded execution, with no guard active, publishes directly.
+  /// Readers acquire-load `ready` — no lock, no atomic RMW — before
+  /// touching the vector. Whether a reader hits or misses the memo is
+  /// timing-dependent, but the outcome of either path is identical, so
+  /// traces stay bit-identical.
   const std::vector<std::uint64_t>* parent_handle_memo() const {
     return parent_memo_state_.load(std::memory_order_acquire) == 2
                ? &parent_memo_
                : nullptr;
   }
-  void memoize_parent_handles(const std::vector<std::uint64_t>& ids) const {
-    std::uint8_t expected = 0;
-    if (!parent_memo_state_.compare_exchange_strong(
-            expected, 1, std::memory_order_acq_rel))
-      return;  // another validator is writing (or already wrote) it
-    parent_memo_ = ids;
-    parent_memo_state_.store(2, std::memory_order_release);
-  }
+  void memoize_parent_handles(const std::vector<std::uint64_t>& ids) const;
 
   /// Memoized ancestor bitmap (see DagIndex::on_insert): with identical
   /// window geometry and causally complete parents, the window-clamped
   /// ancestor bitmap of this vertex is the same in every validator's index,
   /// so the first computation is shared. Only stored when the producer's gc
   /// floor sat at/below the window base, making the rows canonical for any
-  /// consumer whose floor is higher. Same claim/publish protocol as the
-  /// parent-handle memo.
+  /// consumer whose floor is higher. Same deferred single-writer
+  /// publication as the parent-handle memo.
   const std::vector<std::uint64_t>* ancestor_bitmap_memo(
       std::uint64_t lo, std::uint32_t words_per_round) const {
     return ancestor_memo_state_.load(std::memory_order_acquire) == 2 &&
@@ -192,24 +220,23 @@ struct Certificate {
                : nullptr;
   }
   void memoize_ancestor_bitmap(std::uint64_t lo, std::uint32_t words_per_round,
-                               const std::vector<std::uint64_t>& words) const {
-    std::uint8_t expected = 0;
-    if (!ancestor_memo_state_.compare_exchange_strong(
-            expected, 1, std::memory_order_acq_rel))
-      return;
-    ancestor_memo_lo_ = lo;
-    ancestor_memo_wpr_ = words_per_round;
-    ancestor_memo_ = words;
-    ancestor_memo_state_.store(2, std::memory_order_release);
-  }
+                               const std::vector<std::uint64_t>& words) const;
 
  private:
+  /// Single-writer publication bodies (driver thread, or any thread when no
+  /// guard is active — then provably unshared). First writer wins; see
+  /// memoize_parent_handles.
+  void publish_parent_memo(const std::vector<std::uint64_t>& ids) const;
+  void publish_ancestor_memo(std::uint64_t lo, std::uint32_t words_per_round,
+                             const std::vector<std::uint64_t>& words) const;
+
   /// Indices into header->parents, ordered by digest (for has_parent).
   std::vector<std::uint16_t> parent_order_;
   /// Memoized verify(); see Header::verify_state_.
   mutable std::atomic<std::uint8_t> verify_state_{0};
   mutable std::vector<std::uint64_t> parent_memo_;
-  /// 0 empty, 1 being written, 2 ready.
+  /// 0 empty, 2 ready. (No "being written" state: publication is
+  /// single-writer, at a point where no concurrent reader exists.)
   mutable std::atomic<std::uint8_t> parent_memo_state_{0};
   mutable std::vector<std::uint64_t> ancestor_memo_;
   mutable std::uint64_t ancestor_memo_lo_ = 0;

@@ -379,6 +379,8 @@ std::string write_sweep_json(const SweepResult& sweep,
     write_json_metric(f, false, "dag_bytes_per_vertex", r.dag_bytes_per_vertex);
     write_json_metric(f, false, "duration_s", r.duration_s);
     write_json_metric(f, false, "offered_load_tps", r.offered_load_tps);
+    write_json_metric(f, false, "host_cores",
+                 static_cast<double>(std::thread::hardware_concurrency()));
     // Exact 64-bit value, bypassing the double-valued metric writer.
     std::fprintf(f, ", \"run_seed\": %llu",
                  static_cast<unsigned long long>(cell.config.seed));

@@ -40,6 +40,17 @@ void export_engine_metrics(const sim::Simulator& sim, const net::Network& net,
   set_gauge("hh_net_relay_sends", static_cast<double>(ns.relay_sends));
   set_gauge("hh_net_tree_fallbacks", static_cast<double>(ns.tree_fallbacks));
   set_gauge("hh_net_links_cut", static_cast<double>(net.links_cut()));
+
+  // Read-mostly concurrency layer: epoch lifecycle and reclamation. Bytes
+  // pending are snapshot tables retired but still inside a grace period.
+  const epoch::Domain::Stats es = sim.epoch_domain().stats();
+  set_gauge("hh_epoch_current", static_cast<double>(es.epoch));
+  set_gauge("hh_epoch_advances", static_cast<double>(es.advances));
+  set_gauge("hh_epoch_readers", static_cast<double>(es.readers));
+  set_gauge("hh_epoch_deferred_run", static_cast<double>(es.deferred_run));
+  set_gauge("hh_epoch_retired_bytes", static_cast<double>(es.retired_bytes));
+  set_gauge("hh_epoch_freed_bytes", static_cast<double>(es.freed_bytes));
+  set_gauge("hh_epoch_pending_bytes", static_cast<double>(es.pending_bytes));
 }
 
 void export_validator_metrics(const Validator& validator,
@@ -103,6 +114,41 @@ void export_validator_metrics(const Validator& validator,
     set_gauge("hh_index_entries", static_cast<double>(index.entries()));
     set_gauge("hh_index_bitmap_words",
               static_cast<double>(index.bitmap_words()));
+
+    // Shared-certificate memos: cross-validator cache effectiveness. A
+    // parent-memo hit skips hashing every parent digest at insert; an
+    // ancestor-memo hit skips the bitmap union pass.
+    const dag::Dag::MemoStats& mm = validator.dag().memo_stats();
+    const double parent_total =
+        static_cast<double>(mm.parent_memo_hits + mm.parent_memo_misses);
+    set_gauge("hh_memo_parent_hits", static_cast<double>(mm.parent_memo_hits));
+    set_gauge("hh_memo_parent_hit_rate",
+              parent_total > 0
+                  ? static_cast<double>(mm.parent_memo_hits) / parent_total
+                  : 0.0);
+    const double anc_total =
+        static_cast<double>(is.ancestor_memo_hits + is.ancestor_memo_misses);
+    set_gauge("hh_memo_ancestor_hits",
+              static_cast<double>(is.ancestor_memo_hits));
+    set_gauge("hh_memo_ancestor_hit_rate",
+              anc_total > 0
+                  ? static_cast<double>(is.ancestor_memo_hits) / anc_total
+                  : 0.0);
+
+    // Snapshot-published digest resolution (dag/resolve.h): publication and
+    // table-geometry churn, plus the resolver's own footprint. Advisory —
+    // deliberately outside bytes_per_vertex (the old digest map was never
+    // counted there either).
+    const dag::DigestResolver::Stats rs =
+        validator.dag().arena().resolver().stats();
+    set_gauge("hh_dag_resolver_publishes", static_cast<double>(rs.publishes));
+    set_gauge("hh_dag_resolver_rebuilds", static_cast<double>(rs.rebuilds));
+    set_gauge("hh_dag_resolver_retired_tables",
+              static_cast<double>(rs.retired_tables));
+    set_gauge("hh_dag_resolver_retired_bytes",
+              static_cast<double>(rs.retired_bytes));
+    set_gauge("hh_dag_resolver_entries", static_cast<double>(rs.entries));
+    set_gauge("hh_dag_resolver_bytes", static_cast<double>(rs.bytes));
 
     // Memory tiering: structural bytes per resident vertex plus the
     // compress/rehydrate churn of the cold store.

@@ -28,6 +28,13 @@ Validator::Validator(sim::Simulator& simulator, net::Network& network,
               "voted")),
       meta_table_(&store_.open_table<std::string, std::uint64_t>("meta")) {
   HH_ASSERT(policy_factory_ != nullptr);
+  resolver_hook_ = sim_.epoch_domain().add_quiescent_hook([this] {
+    if (dag_ != nullptr) dag_->publish_resolution(sim_.epoch_domain());
+  });
+}
+
+Validator::~Validator() {
+  sim_.epoch_domain().remove_quiescent_hook(resolver_hook_);
 }
 
 storage::Table<std::string, core::PolicySnapshot>&

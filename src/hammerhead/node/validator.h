@@ -149,6 +149,7 @@ class Validator final : public net::MsgSink {
             const crypto::Committee& committee, ValidatorIndex self,
             storage::Store& store, NodeConfig config, PolicyFactory policies,
             CommitCallback on_commit);
+  ~Validator();
 
   /// Begin operating: registers the network handler and proposes round 0.
   void start();
@@ -273,6 +274,10 @@ class Validator final : public net::MsgSink {
   storage::Table<std::pair<Round, ValidatorIndex>, dag::CertPtr>* cert_table_;
   storage::Table<std::pair<ValidatorIndex, Round>, Digest>* voted_table_;
   storage::Table<std::string, std::uint64_t>* meta_table_;
+  /// Quiescent hook publishing this validator's resolution snapshot at every
+  /// sharded batch boundary (no-op before start() creates the DAG, and in
+  /// serial runs, where the domain never advances). Removed in ~Validator.
+  epoch::Domain::HookId resolver_hook_ = 0;
 
   /// Pooled CPU-queue records: one per in-flight inbound message between
   /// network delivery and dispatch; reused so the steady-state deliver path

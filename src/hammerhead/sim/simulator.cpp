@@ -384,7 +384,15 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
   } else {
     sharded_drain_ = true;
     for (;;) {
-      if (batch_pos_ >= batch_.size() && !form_batch(deadline)) break;
+      if (batch_pos_ >= batch_.size()) {
+        // Batch boundary — every worker is parked at the wave barrier, so
+        // this is the quiescent point: run deferred memo publications,
+        // publish resolution snapshots (quiescent hooks), open a new epoch
+        // and reclaim retired snapshots past grace. The final advance (the
+        // one whose form_batch returns false) flushes the last batch.
+        epoch_.advance();
+        if (!form_batch(deadline)) break;
+      }
       if (batch_time_ > deadline) break;  // leftover batch beyond deadline
       count += drain_batch_sharded();
     }
@@ -486,7 +494,7 @@ void Simulator::run_wave() {
   }
   pool_cv_.notify_all();
 
-  run_chains();  // the driver is worker zero
+  run_chains(driver_reader_);  // the driver is worker zero
   if (chains_left_.load(std::memory_order_acquire) != 0) {
     std::unique_lock<std::mutex> lk(pool_mu_);
     done_cv_.wait(lk, [&] {
@@ -534,7 +542,10 @@ void Simulator::execute_staged(const Ref& r, EffectBuffer& buf, Chain& chain) {
   tls_staging_ = nullptr;
 }
 
-void Simulator::run_chains() {
+void Simulator::run_chains(epoch::Reader& reader) {
+  // Pin the epoch for the wave: handlers may probe published resolution
+  // snapshots (plain loads) and route memo writes through Domain::defer.
+  epoch::Guard guard(reader);
   const std::uint64_t limit = chain_limit_.load(std::memory_order_acquire);
   const std::uint64_t base = chain_base_.load(std::memory_order_relaxed);
   for (;;) {
@@ -582,6 +593,7 @@ void Simulator::stop_workers() {
 }
 
 void Simulator::worker_loop(std::size_t) {
+  epoch::Reader reader(epoch_);
   std::uint64_t seen = 0;
   for (;;) {
     bool woke = false;
@@ -600,7 +612,7 @@ void Simulator::worker_loop(std::size_t) {
       if (shutdown_) return;
     }
     seen = wave_epoch_.load(std::memory_order_acquire);
-    run_chains();
+    run_chains(reader);
   }
 }
 

@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "hammerhead/common/assert.h"
+#include "hammerhead/common/epoch.h"
 #include "hammerhead/common/rng.h"
 #include "hammerhead/common/types.h"
 
@@ -190,6 +191,17 @@ class Simulator {
   /// whatever the worker count.
   bool step(SimTime deadline = kSimTimeNever);
 
+  /// The engine's epoch-reclamation domain (common/epoch.h). The sharded
+  /// drain advances it at every batch boundary — the natural quiescent
+  /// point: all workers are parked at the wave barrier — flushing deferred
+  /// memo publications, firing quiescent hooks (node layers register
+  /// snapshot publication here, e.g. the DAG digest resolver) and
+  /// reclaiming retired snapshots after grace. Serial runs never advance
+  /// it: with no concurrent readers there is nothing to publish or
+  /// reclaim, and memos publish immediately (epoch::current() is null).
+  epoch::Domain& epoch_domain() { return epoch_; }
+  const epoch::Domain& epoch_domain() const { return epoch_; }
+
   bool empty() const { return live_events_ == 0; }
   std::size_t pending_events() const { return live_events_; }
   std::uint64_t executed_events() const { return stats_.executed; }
@@ -322,7 +334,9 @@ class Simulator {
   void stop_workers();
   void worker_loop(std::size_t index);
   /// Claim and run chains until the wave is exhausted (driver + workers).
-  void run_chains();
+  /// Runs under an epoch::Guard of `reader`: chain handlers may resolve
+  /// published snapshots and defer memo publications through the domain.
+  void run_chains(epoch::Reader& reader);
 
   /// push_back with engine-alloc accounting (capacity growth = one alloc).
   template <typename T>
@@ -398,6 +412,11 @@ class Simulator {
   /// event inside a wave. thread_local so concurrent Simulators (the sweep
   /// driver runs one per worker thread) never alias.
   static thread_local EffectBuffer* tls_staging_;
+
+  /// Epoch-reclamation domain + the driver thread's reader registration
+  /// (workers register their own on their stacks in worker_loop).
+  epoch::Domain epoch_;
+  epoch::Reader driver_reader_{epoch_};
 
   SimStats stats_;
 };

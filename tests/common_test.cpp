@@ -7,6 +7,7 @@
 
 #include "hammerhead/common/assert.h"
 #include "hammerhead/common/digest.h"
+#include "hammerhead/common/epoch.h"
 #include "hammerhead/common/hex.h"
 #include "hammerhead/common/logging.h"
 #include "hammerhead/common/rng.h"
@@ -241,6 +242,131 @@ TEST(Logging, SinkReceivesMessagesAtOrAboveLevel) {
 TEST(Logging, LevelNames) {
   EXPECT_STREQ(log_level_name(LogLevel::Debug), "DEBUG");
   EXPECT_STREQ(log_level_name(LogLevel::Error), "ERROR");
+}
+
+// ------------------------------------------------------------------- epoch
+
+TEST(Epoch, AdvanceBumpsEpochAndCounts) {
+  epoch::Domain d;
+  const std::uint64_t start = d.epoch();
+  d.advance();
+  d.advance();
+  EXPECT_EQ(d.epoch(), start + 2);
+  EXPECT_EQ(d.stats().advances, 2u);
+}
+
+TEST(Epoch, RetireeSurvivesWhilePinnedAndFreesAfterGrace) {
+  epoch::Domain d;
+  epoch::Reader reader(d);
+  int* obj = new int(7);
+  {
+    epoch::Guard guard(reader);
+    d.retire(
+        obj, [](void* p) { delete static_cast<int*>(p); }, sizeof(int));
+    d.advance();  // reader still pinned at the retire epoch: must NOT free
+    EXPECT_EQ(d.stats().freed_objects, 0u);
+    EXPECT_EQ(d.stats().pending_objects, 1u);
+    EXPECT_EQ(*obj, 7);  // still alive (ASan would flag a lie here)
+  }
+  d.advance();  // pin released: the grace period has passed
+  EXPECT_EQ(d.stats().freed_objects, 1u);
+  EXPECT_EQ(d.stats().pending_objects, 0u);
+  EXPECT_EQ(d.stats().freed_bytes, sizeof(int));
+}
+
+TEST(Epoch, UnpinnedRetireeFreesOnNextAdvance) {
+  epoch::Domain d;
+  bool freed = false;
+  static bool* freed_flag;
+  freed_flag = &freed;
+  d.retire(
+      &freed, [](void*) { *freed_flag = true; }, 0);
+  d.advance();
+  EXPECT_TRUE(freed);
+}
+
+TEST(Epoch, SynchronizeReclaimsWithoutReaders) {
+  epoch::Domain d;
+  int* obj = new int(1);
+  d.retire(
+      obj, [](void* p) { delete static_cast<int*>(p); }, sizeof(int));
+  d.synchronize();
+  EXPECT_EQ(d.stats().freed_objects, 1u);
+}
+
+TEST(Epoch, DeferredClosuresRunAtAdvanceInOrder) {
+  epoch::Domain d;
+  epoch::Reader reader(d);
+  std::vector<int> order;
+  {
+    epoch::Guard guard(reader);
+    EXPECT_EQ(epoch::current(), &d);  // guard exposes the domain
+    d.defer([&] { order.push_back(1); });
+    d.defer([&] { order.push_back(2); });
+  }
+  EXPECT_EQ(epoch::current(), nullptr);
+  EXPECT_TRUE(order.empty());  // nothing runs before the boundary
+  d.advance();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(d.stats().deferred_run, 2u);
+}
+
+TEST(Epoch, DeferWithoutGuardUsesOrphanQueue) {
+  epoch::Domain d;
+  bool ran = false;
+  d.defer([&] { ran = true; });  // no guard: the orphan path
+  EXPECT_FALSE(ran);
+  d.advance();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Epoch, ReaderDestructionPreservesDeferredWork) {
+  epoch::Domain d;
+  bool ran = false;
+  {
+    epoch::Reader reader(d);
+    epoch::Guard guard(reader);
+    d.defer([&] { ran = true; });
+  }  // reader dies with the closure still queued
+  d.advance();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Epoch, QuiescentHooksFireEveryAdvanceUntilRemoved) {
+  epoch::Domain d;
+  int fired = 0;
+  const epoch::Domain::HookId id = d.add_quiescent_hook([&] { ++fired; });
+  d.advance();
+  d.advance();
+  EXPECT_EQ(fired, 2);
+  d.remove_quiescent_hook(id);
+  d.advance();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Epoch, GuardEntryPerformsNoAtomicRmw) {
+  epoch::Domain d;
+  epoch::Reader reader(d);  // registration CAS happens here, not in guards
+  const std::uint64_t before = epoch::rmw_op_count();
+  for (int i = 0; i < 100; ++i) {
+    epoch::Guard guard(reader);
+  }
+#ifndef NDEBUG
+  EXPECT_EQ(epoch::rmw_op_count(), before);
+#else
+  (void)before;  // probe compiled out in release builds
+#endif
+}
+
+TEST(Epoch, StatsTrackReaderRegistration) {
+  epoch::Domain d;
+  EXPECT_EQ(d.stats().readers, 0u);
+  {
+    epoch::Reader a(d);
+    epoch::Reader b(d);
+    EXPECT_EQ(d.stats().readers, 2u);
+  }
+  EXPECT_EQ(d.stats().readers, 0u);
 }
 
 }  // namespace

@@ -89,6 +89,34 @@ TEST(Types, CertificateVerifyRejectsSubQuorum) {
   EXPECT_FALSE(bad->verify(b.committee()));
 }
 
+// Clone-and-tamper regression: the copy constructor must clear EVERY memo
+// (verification flag, parent handles, ancestor bitmap) via the single
+// reset_memos() path — a tampered clone inheriting a cached verify=ok, or a
+// stale shared memo, would forge validity. The original's caches stay.
+TEST(Types, CertificateCopyResetsAllMemos) {
+  DagBuilder b(4);
+  auto p0 = b.make_cert(0, 0, {});
+  auto p1 = b.make_cert(0, 1, {});
+  auto cert = b.make_cert(1, 0, {p0->digest(), p1->digest()});
+  EXPECT_TRUE(cert->verify(b.committee()));  // caches verify=ok
+  cert->memoize_parent_handles({0, 1});
+  cert->memoize_ancestor_bitmap(0, 1, {0x3});
+  ASSERT_NE(cert->parent_handle_memo(), nullptr);
+  ASSERT_NE(cert->ancestor_bitmap_memo(0, 1), nullptr);
+
+  auto clone = std::make_shared<Certificate>(*cert);
+  EXPECT_EQ(clone->parent_handle_memo(), nullptr);
+  EXPECT_EQ(clone->ancestor_bitmap_memo(0, 1), nullptr);
+  // Tamper: strip the signer set below quorum. Were verify_state_ copied,
+  // this would still report valid from the original's cached result.
+  clone->signers = {0};
+  EXPECT_FALSE(clone->verify(b.committee()));
+
+  // The original is untouched: still valid, memos intact.
+  EXPECT_TRUE(cert->verify(b.committee()));
+  EXPECT_NE(cert->parent_handle_memo(), nullptr);
+}
+
 TEST(Types, CertificateMakeDeduplicatesAndSortsSigners) {
   DagBuilder b(4);
   auto good = b.make_cert(1, 0, {});

@@ -58,8 +58,33 @@ GATED_COUNT_METRICS = (("committed_anchors_mean", "committed_anchors_stddev"),)
 # gate unconditionally where present. Higher is worse; trips when growth
 # exceeds the threshold fraction.
 GATED_MEMORY_METRICS = ("dag_bytes_per_vertex",)
+# Thread-scaling metrics: speedup of a parallel structure over its serial /
+# guarded baseline, measured on the same machine within one run (so the
+# ratio is machine-comparable even though the wall times are not). Higher is
+# better; trips like throughput. A row is SKIPPED — not gated — when its
+# thread count exceeds the host's cores (recorded per row as host_cores):
+# a 1-core runner cannot demonstrate parallel speedup, and gating its wall
+# times would make the job flap with runner hardware.
+GATED_SPEEDUP_METRICS = ("speedup_vs_guarded", "speedup_vs_serial")
+# Per-row keys naming the row's thread count, in precedence order.
+THREAD_COUNT_KEYS = ("threads", "intra_jobs", "jobs")
 # Context keys: rows gate only when these match between baseline and current.
 CONTEXT_METRICS = ("duration_s", "offered_load_tps")
+
+
+def row_threads(metrics):
+    for key in THREAD_COUNT_KEYS:
+        if key in metrics:
+            return metrics[key]
+    return 1.0
+
+
+def speedup_measurable(metrics):
+    """True when the row's machine had enough cores to run its threads in
+    parallel. Rows without host_cores context predate the recording and are
+    treated as measurable (the old behaviour)."""
+    cores = metrics.get("host_cores", 0)
+    return cores <= 0 or row_threads(metrics) <= cores
 
 
 def load_rows(path):
@@ -174,6 +199,25 @@ def compare_file(name, base_path, cur_path, threshold, report):
             line = (f"{label} {metric}: {base_v:.1f} -> {cur_v:.1f} B/vertex "
                     f"({delta:+.1%})")
             if cur_v > base_v * (1.0 + threshold):
+                regressions.append("  [FAIL] " + line)
+            else:
+                report.append("  [ok]   " + line)
+        for metric in GATED_SPEEDUP_METRICS:
+            if metric not in base_m or metric not in cur_m:
+                continue
+            base_v, cur_v = base_m[metric], cur_m[metric]
+            if base_v <= 0:
+                continue
+            if not (speedup_measurable(base_m) and speedup_measurable(cur_m)):
+                report.append(
+                    f"  [skip] {label} {metric}: {row_threads(cur_m):.0f} "
+                    f"thread(s) > {cur_m.get('host_cores', 0):.0f} core(s), "
+                    f"parallel speedup not measurable on this host")
+                continue
+            delta = (cur_v - base_v) / base_v
+            line = (f"{label} {metric}: {base_v:.2f}x -> {cur_v:.2f}x "
+                    f"({delta:+.1%})")
+            if cur_v < base_v * (1.0 - threshold):
                 regressions.append("  [FAIL] " + line)
             else:
                 report.append("  [ok]   " + line)
@@ -349,6 +393,33 @@ def self_test(threshold):
         failures += compare_payloads(
             desc, anchors_payload(base_anchors, base_stddev),
             anchors_payload(cur_mean, base_stddev), expected)
+
+    # Thread-scaling speedups: gate like throughput when the host had the
+    # cores to run the row's threads in parallel; skip (never trip) when the
+    # row oversubscribes the host, and treat rows without host_cores context
+    # as measurable.
+    def speedup_payload(speedup, threads, cores):
+        metrics = {"threads": threads, "speedup_vs_guarded": speedup}
+        if cores is not None:
+            metrics["host_cores"] = cores
+        return {"bench": "selftest",
+                "rows": [{"label": f"resolve_t{threads}",
+                          "metrics": metrics}]}
+
+    base_speedup = 3.0
+    for desc, threads, cores, cur_speedup, expected in [
+        ("speedup regression within cores trips", 4, 8,
+         base_speedup * (1.0 - threshold - 0.05), 1),
+        ("speedup inside threshold passes", 4, 8,
+         base_speedup * (1.0 - threshold + 0.05), 0),
+        ("speedup regression with threads > cores skipped", 8, 1,
+         base_speedup * 0.1, 0),
+        ("speedup regression without cores context trips", 4, None,
+         base_speedup * (1.0 - threshold - 0.05), 1),
+    ]:
+        failures += compare_payloads(
+            desc, speedup_payload(base_speedup, threads, cores),
+            speedup_payload(cur_speedup, threads, cores), expected)
 
     # Memory gauge: deterministic, gates without stddev context; growth
     # beyond the threshold trips, shrinkage never does.
