@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "hammerhead/common/json_writer.h"
+#include "hammerhead/crypto/sha256.h"
 
 namespace hammerhead::bench {
 
@@ -35,6 +36,11 @@ class JsonReport {
     metrics.emplace_back(
         "host_cores",
         static_cast<double>(std::thread::hardware_concurrency()));
+    // Likewise the SHA dispatch capability (0 scalar, 1 AVX2, 2 SHA-NI):
+    // hash-throughput rows only gate against baselines captured at the same
+    // level — a scalar-only runner cannot reproduce SHA-NI numbers.
+    metrics.emplace_back(
+        "host_sha", static_cast<double>(crypto::sha::max_level()));
     rows_.push_back(Row{label, std::move(metrics)});
   }
 

@@ -1,55 +1,307 @@
-// Microbenchmarks: SHA-256 and the simulated signature scheme.
-#include <benchmark/benchmark.h>
-
+// Gated microbenchmarks for the crypto pipeline: the dispatched SHA-256
+// kernels (scalar / AVX2 multi-buffer / SHA-NI), the simulated signature
+// scheme, and the zero-allocation digest-serialization gauge.
+//
+// Hand-rolled harness-format JSON (bench_json.h), not google-benchmark: the
+// per-kernel rows gate in tools/bench_compare.py. Two kinds of metric per
+// row:
+//   * hash_mb_s — host wall-clock throughput; gated only against baselines
+//     recorded at the same host_sha capability (bench_json.h stamps it).
+//   * speedup_vs_scalar — accelerated kernel vs the scalar reference
+//     measured in the SAME run, so the ratio transfers across machines of
+//     the same capability.
+// Every dispatch level the host supports is pinned and measured; the
+// BM_Sha256_* labels carry the default-dispatch numbers (continuity with
+// the pre-dispatch baseline history).
+//
+// This binary also carries the allocation gauge for the acceptance claim
+// "steady-state digest computation performs zero heap allocations": a
+// global operator-new counter is sampled around a warm
+// compute_digest / Vote::make / BatchHasher loop and the process exits 1
+// on any allocation.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
 #include <string>
+#include <vector>
 
-#include "bench_gbench_json.h"
+#include "bench_json.h"
+#include "hammerhead/common/rng.h"
+#include "hammerhead/crypto/batch_hasher.h"
 #include "hammerhead/crypto/keys.h"
 #include "hammerhead/crypto/sha256.h"
+#include "hammerhead/dag/types.h"
 
 using namespace hammerhead;
 
-static void BM_Sha256_64B(benchmark::State& state) {
-  const std::string msg(64, 'x');
-  for (auto _ : state)
-    benchmark::DoNotOptimize(crypto::Sha256::hash(msg));
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64);
-}
-BENCHMARK(BM_Sha256_64B);
+// ----------------------------------------------------- allocation counting
 
-static void BM_Sha256_4KiB(benchmark::State& state) {
-  const std::string msg(4096, 'x');
-  for (auto _ : state)
-    benchmark::DoNotOptimize(crypto::Sha256::hash(msg));
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
-}
-BENCHMARK(BM_Sha256_4KiB);
+namespace {
+std::uint64_t g_heap_allocs = 0;
+}  // namespace
 
-static void BM_Sha256_Streaming(benchmark::State& state) {
-  const std::string chunk(256, 'y');
-  for (auto _ : state) {
-    crypto::Sha256 h;
-    for (int i = 0; i < 16; ++i) h.update(chunk);
-    benchmark::DoNotOptimize(h.finalize());
+// The replacement operators pair new->malloc with delete->free consistently;
+// GCC's heuristic cannot see that and warns on the free calls.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  ++g_heap_allocs;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  ++g_heap_allocs;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+// ------------------------------------------------------------------ timing
+
+namespace {
+
+volatile std::uint8_t g_sink = 0;
+
+inline void consume(const Digest& d) { g_sink ^= d.bytes()[0]; }
+
+/// Wall-clock ns per call of `fn`, measured over at least `min_seconds`
+/// after one warm-up call.
+template <typename Fn>
+double ns_per_op(Fn&& fn, double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  fn();
+  std::size_t iters = 8;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double secs = std::chrono::duration<double>(clock::now() - t0).count();
+    if (secs >= min_seconds) return secs * 1e9 / static_cast<double>(iters);
+    const double factor = secs > 1e-9 ? 1.3 * min_seconds / secs : 8.0;
+    iters = static_cast<std::size_t>(static_cast<double>(iters) *
+                                     std::min(factor, 16.0)) + 1;
   }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
 }
-BENCHMARK(BM_Sha256_Streaming);
 
-static void BM_Sign(benchmark::State& state) {
-  const auto kp = crypto::Keypair::derive(1, 0);
-  const Digest msg = Digest::of_string("message");
-  for (auto _ : state) benchmark::DoNotOptimize(kp.sign("ctx", msg));
+double mb_per_s(double bytes_per_op, double ns) {
+  return bytes_per_op * 1e9 / ns / 1e6;
 }
-BENCHMARK(BM_Sign);
 
-static void BM_Verify(benchmark::State& state) {
-  const auto kp = crypto::Keypair::derive(1, 0);
-  const Digest msg = Digest::of_string("message");
-  const auto sig = kp.sign("ctx", msg);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(crypto::verify(kp.public_key(), "ctx", msg, sig));
+struct ShapeResult {
+  double ns = 0;
+};
+
+/// One dispatch level's measurements across the message shapes.
+struct LevelResults {
+  ShapeResult one_64b;      // one-shot 64 B
+  ShapeResult one_4k;       // one-shot 4 KiB
+  ShapeResult stream;       // 16 x 256 B streaming updates
+  ShapeResult batch8;       // BatchHasher, 8 lanes x 512 B
+  ShapeResult batch4;       // BatchHasher, 4 lanes x 512 B
+};
+
+LevelResults measure_level(double min_seconds) {
+  LevelResults r;
+  std::vector<std::uint8_t> msg64(64, 0x5a), msg4k(4096, 0x5a);
+  const std::string chunk(256, 'y');
+
+  r.one_64b.ns = ns_per_op(
+      [&] { consume(crypto::Sha256::hash(msg64)); }, min_seconds);
+  r.one_4k.ns = ns_per_op(
+      [&] { consume(crypto::Sha256::hash(msg4k)); }, min_seconds);
+  r.stream.ns = ns_per_op(
+      [&] {
+        crypto::Sha256 h;
+        for (int i = 0; i < 16; ++i) h.update(chunk);
+        consume(h.finalize());
+      },
+      min_seconds);
+
+  std::vector<std::uint8_t> lanes(8 * 512);
+  for (std::size_t i = 0; i < lanes.size(); ++i)
+    lanes[i] = static_cast<std::uint8_t>(splitmix64(i));
+  crypto::BatchHasher hasher;
+  Digest out[8];
+  r.batch8.ns = ns_per_op(
+      [&] {
+        for (int l = 0; l < 8; ++l)
+          hasher.add({lanes.data() + l * 512, 512});
+        hasher.run(out);
+        consume(out[0]);
+      },
+      min_seconds);
+  r.batch4.ns = ns_per_op(
+      [&] {
+        for (int l = 0; l < 4; ++l)
+          hasher.add({lanes.data() + l * 512, 512});
+        hasher.run(out);
+        consume(out[0]);
+      },
+      min_seconds);
+  return r;
 }
-BENCHMARK(BM_Verify);
 
-HH_BENCHMARK_MAIN_WITH_JSON("micro_crypto")
+void report_level(const char* shape, double bytes_per_op, double ns,
+                  double scalar_ns, crypto::sha::Level level) {
+  std::string label = std::string(shape) + "_" + crypto::sha::level_name(level);
+  std::vector<std::pair<std::string, double>> metrics = {
+      {"hash_mb_s", mb_per_s(bytes_per_op, ns)},
+      {"ns_per_op", ns},
+  };
+  if (level != crypto::sha::Level::kScalar && scalar_ns > 0)
+    metrics.emplace_back("speedup_vs_scalar", scalar_ns / ns);
+  std::printf("  %-28s %10.0f ns  %8.1f MB/s%s\n", label.c_str(), ns,
+              mb_per_s(bytes_per_op, ns),
+              level != crypto::sha::Level::kScalar
+                  ? ("  (" + std::to_string(scalar_ns / ns) + "x scalar)")
+                        .c_str()
+                  : "");
+  bench::JsonReport::instance().row(label, std::move(metrics));
+}
+
+// ------------------------------------------------- zero-allocation gauge
+
+/// Steady-state digest path must not touch the heap: compute_digest into
+/// thread-local scratch, Vote::make through the splitmix PRF, BatchHasher
+/// over warm member scratch. Returns allocations observed per 1k iterations
+/// (must be 0).
+std::uint64_t digest_alloc_gauge() {
+  // Representative header: 32 parents, 128-tx payload.
+  auto payload = std::make_shared<dag::BlockPayload>();
+  payload->txs.resize(128);
+  for (std::size_t i = 0; i < payload->txs.size(); ++i)
+    payload->txs[i].id = i + 1;
+  const auto kp = crypto::Keypair::derive(7, 3);
+  dag::Header header;
+  header.author = 3;
+  header.round = 42;
+  header.parents.resize(32);
+  for (std::size_t i = 0; i < header.parents.size(); ++i)
+    header.parents[i] = Digest::of_string("parent" + std::to_string(i));
+  header.payload = payload;
+  header.finalize(kp);
+
+  // Batch scratch: 8 encoded header preimages in a reusable arena.
+  std::vector<std::uint8_t> arena(8 * header.digest_preimage_size());
+  crypto::BatchHasher hasher;
+  Digest out[8];
+
+  const auto iteration = [&] {
+    consume(header.compute_digest());
+    const dag::Vote v = dag::Vote::make(header, 1, kp);
+    g_sink ^= v.signature.bytes[0];
+    const std::size_t size = header.digest_preimage_size();
+    for (int l = 0; l < 8; ++l) {
+      ByteWriter w(std::span<std::uint8_t>(arena.data() + l * size, size));
+      header.encode_for_digest(w);
+      hasher.add(w.view());
+    }
+    hasher.run(out);
+    consume(out[0]);
+  };
+
+  // Warm every lazily-grown scratch buffer (thread-local digest scratch,
+  // BatchHasher members) before sampling the counter.
+  for (int i = 0; i < 4; ++i) iteration();
+
+  const std::uint64_t before = g_heap_allocs;
+  for (int i = 0; i < 1000; ++i) iteration();
+  return g_heap_allocs - before;
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport::instance().init("micro_crypto");
+  const bool quick = std::getenv("HH_BENCH_QUICK") != nullptr;
+  const double min_seconds = quick ? 0.03 : 0.12;
+
+  using crypto::sha::Level;
+  const Level max = crypto::sha::max_level();
+  std::printf("sha dispatch: max level %s\n", crypto::sha::level_name(max));
+
+  // Scalar first: the same-run reference for every speedup_vs_scalar.
+  LevelResults scalar{};
+  LevelResults by_level[3] = {};
+  bool have[3] = {};
+  for (const Level level : {Level::kScalar, Level::kAvx2, Level::kShaNi}) {
+    if (crypto::sha::set_level(level) != level) continue;  // unsupported
+    const int i = static_cast<int>(level);
+    by_level[i] = measure_level(min_seconds);
+    have[i] = true;
+    if (level == Level::kScalar) scalar = by_level[i];
+  }
+  crypto::sha::set_level(max);
+
+  for (int i = 0; i < 3; ++i) {
+    if (!have[i]) continue;
+    const Level level = static_cast<Level>(i);
+    const LevelResults& r = by_level[i];
+    report_level("sha256_64B", 64, r.one_64b.ns, scalar.one_64b.ns, level);
+    report_level("sha256_4KiB", 4096, r.one_4k.ns, scalar.one_4k.ns, level);
+    report_level("sha256_stream16x256B", 4096, r.stream.ns, scalar.stream.ns,
+                 level);
+    // The batch rows are where AVX2 differs from single-stream: x8 runs the
+    // 8-lane multi-buffer kernel, x4 the 4-lane one (SHA-NI and scalar run
+    // the same lanes back to back).
+    report_level("sha256_batch8x512B", 8 * 512, r.batch8.ns, scalar.batch8.ns,
+                 level);
+    report_level("sha256_batch4x512B", 4 * 512, r.batch4.ns, scalar.batch4.ns,
+                 level);
+  }
+
+  // Default-dispatch rows under the historical labels: the trajectory from
+  // the pre-dispatch scalar baseline stays in one place.
+  {
+    const LevelResults& r = by_level[static_cast<int>(max)];
+    bench::JsonReport::instance().row(
+        "BM_Sha256_64B", {{"hash_mb_s", mb_per_s(64, r.one_64b.ns)},
+                          {"ns_per_op", r.one_64b.ns}});
+    bench::JsonReport::instance().row(
+        "BM_Sha256_4KiB", {{"hash_mb_s", mb_per_s(4096, r.one_4k.ns)},
+                           {"ns_per_op", r.one_4k.ns}});
+    bench::JsonReport::instance().row(
+        "BM_Sha256_Streaming", {{"hash_mb_s", mb_per_s(4096, r.stream.ns)},
+                                {"ns_per_op", r.stream.ns}});
+  }
+
+  // Simulated signature scheme (advisory: splitmix PRF, not SHA).
+  {
+    const auto kp = crypto::Keypair::derive(1, 0);
+    const Digest msg = Digest::of_string("message");
+    const auto sig = kp.sign("ctx", msg);
+    const double sign_ns = ns_per_op(
+        [&] { g_sink ^= kp.sign("ctx", msg).bytes[0]; }, min_seconds);
+    const double verify_ns = ns_per_op(
+        [&] { g_sink ^= crypto::verify(kp.public_key(), "ctx", msg, sig); },
+        min_seconds);
+    std::printf("  %-28s %10.0f ns\n", "BM_Sign", sign_ns);
+    std::printf("  %-28s %10.0f ns\n", "BM_Verify", verify_ns);
+    bench::JsonReport::instance().row("BM_Sign", {{"ns_per_op", sign_ns}});
+    bench::JsonReport::instance().row("BM_Verify", {{"ns_per_op", verify_ns}});
+  }
+
+  // Zero-allocation gauge: fail the bench (and CI) on any steady-state heap
+  // traffic in the digest/sign/batch path.
+  const std::uint64_t allocs = digest_alloc_gauge();
+  std::printf("  digest steady-state allocations per 1k iterations: %llu\n",
+              static_cast<unsigned long long>(allocs));
+  bench::JsonReport::instance().row(
+      "digest_zero_alloc",
+      {{"allocs_per_1k_iters", static_cast<double>(allocs)}});
+  if (allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state digest computation allocated %llu "
+                 "time(s) in 1k iterations (expected 0)\n",
+                 static_cast<unsigned long long>(allocs));
+    return 1;
+  }
+  return 0;
+}

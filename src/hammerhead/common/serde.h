@@ -9,14 +9,33 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
-#include <string>
+#include <string_view>
 #include <vector>
+
+#include "hammerhead/common/assert.h"
 
 namespace hammerhead {
 
+/// Two storage modes, one encoding:
+///   * owned (default) — appends into an internal vector; the convenient
+///     mode for cold paths (key derivation, state digests).
+///   * span — writes into caller-provided fixed-capacity storage, zero heap
+///     traffic; the hot-path mode for Header::compute_digest, whose callers
+///     precompute the exact preimage size into reusable scratch. Overflow is
+///     a programming error (the size precomputation drifted from the
+///     encoding), asserted loudly rather than grown silently.
+/// The bytes produced are identical in both modes — digests and committed
+/// trace hashes depend on that.
 class ByteWriter {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  ByteWriter() = default;
+
+  /// Span mode over `scratch`; the writer does not own the storage and must
+  /// not outlive it.
+  explicit ByteWriter(std::span<std::uint8_t> scratch)
+      : ext_(scratch.data()), ext_cap_(scratch.size()) {}
+
+  void u8(std::uint8_t v) { append(&v, 1); }
 
   void u32(std::uint32_t v) { append_le(v); }
 
@@ -26,24 +45,51 @@ class ByteWriter {
 
   void bytes(std::span<const std::uint8_t> data) {
     u64(data.size());
-    buf_.insert(buf_.end(), data.begin(), data.end());
+    append(data.data(), data.size());
   }
 
-  void str(const std::string& s) {
+  void str(std::string_view s) {
     bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
   }
 
-  const std::vector<std::uint8_t>& data() const { return buf_; }
+  /// Everything written so far; valid in both modes (invalidated by further
+  /// writes in owned mode).
+  std::span<const std::uint8_t> view() const {
+    return ext_ != nullptr ? std::span<const std::uint8_t>(ext_, ext_len_)
+                           : std::span<const std::uint8_t>(buf_);
+  }
+
+  /// Owned-mode accessor (kept for existing callers that hand the vector
+  /// to hashing or storage helpers).
+  const std::vector<std::uint8_t>& data() const {
+    HH_ASSERT(ext_ == nullptr);
+    return buf_;
+  }
 
  private:
+  void append(const std::uint8_t* p, std::size_t n) {
+    if (n == 0) return;  // empty spans may carry a null data pointer
+    if (ext_ != nullptr) {
+      HH_ASSERT_MSG(ext_len_ + n <= ext_cap_,
+                    "ByteWriter span overflow: cap " << ext_cap_);
+      std::memcpy(ext_ + ext_len_, p, n);
+      ext_len_ += n;
+    } else {
+      buf_.insert(buf_.end(), p, p + n);
+    }
+  }
+
   template <typename T>
   void append_le(T v) {
     std::uint8_t tmp[sizeof(T)];
     std::memcpy(tmp, &v, sizeof(T));  // host is little-endian on all targets
-    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+    append(tmp, sizeof(T));
   }
 
   std::vector<std::uint8_t> buf_;
+  std::uint8_t* ext_ = nullptr;
+  std::size_t ext_cap_ = 0;
+  std::size_t ext_len_ = 0;
 };
 
 }  // namespace hammerhead

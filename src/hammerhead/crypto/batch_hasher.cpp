@@ -1,0 +1,132 @@
+#include "hammerhead/crypto/batch_hasher.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace hammerhead::crypto {
+
+namespace {
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+void BatchHasher::add(std::span<const std::uint8_t> msg) {
+  Lane l;
+  l.data = msg.data();
+  l.len = msg.size();
+  l.body_blocks = static_cast<std::uint32_t>(msg.size() / 64);
+  // FIPS 180-4 padding spills into a second block when fewer than 9 bytes
+  // (0x80 + 64-bit length) remain in the last one.
+  l.total_blocks = l.body_blocks + (msg.size() % 64 >= 56 ? 2 : 1);
+  lanes_.push_back(l);
+}
+
+/// Single-lane fallback inside a cohort: body then padded tail through the
+/// dispatched single-stream kernel (scalar at kAvx2, NI at kShaNi).
+void BatchHasher::run_lane_range(std::size_t begin, std::size_t end) {
+  for (std::size_t k = begin; k < end; ++k) {
+    const std::uint32_t i = order_[k];
+    const Lane& l = lanes_[i];
+    std::uint32_t* st = states_[i].data();
+    if (l.body_blocks > 0) sha::compress(st, l.data, l.body_blocks);
+    sha::compress(st, tails_[i].data(), l.total_blocks - l.body_blocks);
+  }
+}
+
+void BatchHasher::run(Digest* out) {
+  const std::size_t n = lanes_.size();
+  if (n == 0) return;
+
+  if (tails_.size() < n) {
+    tails_.resize(n);
+    states_.resize(n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Lane& l = lanes_[i];
+    const std::size_t rem = l.len % 64;
+    const std::size_t tail_bytes = (l.total_blocks - l.body_blocks) * 64;
+    auto& tail = tails_[i];
+    std::memset(tail.data(), 0, tail_bytes);
+    if (rem > 0)
+      std::memcpy(tail.data(), l.data + std::size_t{l.body_blocks} * 64, rem);
+    tail[rem] = 0x80;
+    const std::uint64_t bit_len = static_cast<std::uint64_t>(l.len) * 8;
+    for (int k = 0; k < 8; ++k)
+      tail[tail_bytes - 8 + k] =
+          static_cast<std::uint8_t>(bit_len >> (56 - 8 * k));
+    states_[i] = sha::detail::kInitState;
+  }
+
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0u);
+
+  [[maybe_unused]] const sha::Level level = sha::active_level();
+#if HH_SHA_X86
+  if (level == sha::Level::kShaNi) {
+    // NI runs rounds in silicon per lane; no lockstep layout to exploit.
+    run_lane_range(0, n);
+  } else if (level == sha::Level::kAvx2) {
+    // Lockstep lanes need equal block counts: sort into cohorts (stable via
+    // the index tie-break so run order never depends on pointer values).
+    std::sort(order_.begin(), order_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (lanes_[a].total_blocks != lanes_[b].total_blocks)
+                  return lanes_[a].total_blocks < lanes_[b].total_blocks;
+                return a < b;
+              });
+    std::size_t g0 = 0;
+    while (g0 < n) {
+      const std::uint32_t nb = lanes_[order_[g0]].total_blocks;
+      std::size_t g1 = g0 + 1;
+      while (g1 < n && lanes_[order_[g1]].total_blocks == nb) ++g1;
+
+      std::size_t pos = g0;
+      for (const std::size_t width : {std::size_t{8}, std::size_t{4}}) {
+        while (pos + width <= g1) {
+          // Block-major pointer grid: entry [b * width + j] is lane j's b-th
+          // block — the message body while it lasts, then the padded tail.
+          block_ptrs_.resize(std::size_t{nb} * width);
+          std::uint32_t* lane_states[8];
+          for (std::size_t j = 0; j < width; ++j) {
+            const std::uint32_t i = order_[pos + j];
+            const Lane& l = lanes_[i];
+            lane_states[j] = states_[i].data();
+            for (std::uint32_t b = 0; b < nb; ++b)
+              block_ptrs_[std::size_t{b} * width + j] =
+                  b < l.body_blocks
+                      ? l.data + std::size_t{b} * 64
+                      : tails_[i].data() +
+                            std::size_t{b - l.body_blocks} * 64;
+          }
+          if (width == 8)
+            sha::detail::compress_mb8_avx2(lane_states, block_ptrs_.data(),
+                                           nb);
+          else
+            sha::detail::compress_mb4_avx2(lane_states, block_ptrs_.data(),
+                                           nb);
+          pos += width;
+        }
+      }
+      run_lane_range(pos, g1);
+      g0 = g1;
+    }
+  } else
+#endif
+  {
+    run_lane_range(0, n);
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    for (int j = 0; j < 8; ++j)
+      store_be32(out[i].data() + 4 * j, states_[i][j]);
+  lanes_.clear();
+}
+
+}  // namespace hammerhead::crypto

@@ -1,0 +1,68 @@
+// Multi-message SHA-256: hash N independent messages per dispatch.
+//
+// SHA-256 rounds are serially dependent, so wide registers cannot accelerate
+// a single message — but the bulk admission paths (certificate fetch
+// responses, state sync) present many header preimages at once. BatchHasher
+// lays those messages out in lockstep lanes for the AVX2 multi-buffer
+// kernels (8 or 4 messages advance one block per instruction stream), or
+// feeds them one-by-one through the SHA-NI kernel where available (NI's
+// in-silicon rounds beat multi-buffer amortization), or falls back to the
+// scalar reference. All three paths produce bit-identical digests
+// (differential-tested), so callers never observe which kernel ran.
+//
+// Lockstep lanes need equal block counts; messages of differing length are
+// grouped into equal-block cohorts (callers batch same-shape header
+// preimages, so cohorts are usually one group). The final partial block plus
+// FIPS 180-4 padding is materialised into per-lane scratch, making every
+// lane a uniform sequence of 64-byte block pointers.
+//
+// All scratch is owned by the object and reused across run() calls: after a
+// warm-up run of the same batch shape, run() performs zero heap allocations
+// (asserted by the operator-new gauge in bench_micro_crypto).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hammerhead/common/digest.h"
+#include "hammerhead/crypto/sha256.h"
+
+namespace hammerhead::crypto {
+
+class BatchHasher {
+ public:
+  /// Queue a message. The span must stay valid until run() returns.
+  void add(std::span<const std::uint8_t> msg);
+
+  std::size_t size() const { return lanes_.size(); }
+  bool empty() const { return lanes_.empty(); }
+
+  /// Hash every queued message into out[i] (add() order) and clear the
+  /// queue. `out` must have room for size() digests.
+  void run(Digest* out);
+
+  void clear() { lanes_.clear(); }
+
+ private:
+  struct Lane {
+    const std::uint8_t* data;
+    std::size_t len;
+    std::uint32_t body_blocks;   // full 64-byte blocks inside `data`
+    std::uint32_t total_blocks;  // body + padded tail (1 or 2)
+  };
+
+  void run_lane_range(std::size_t begin, std::size_t end);
+
+  std::vector<Lane> lanes_;
+  // Per-lane padded tail (at most two blocks: remainder + 0x80 + bit length).
+  std::vector<std::array<std::uint8_t, 128>> tails_;
+  std::vector<std::array<std::uint32_t, 8>> states_;
+  // Lane indices sorted into equal-total_blocks cohorts.
+  std::vector<std::uint32_t> order_;
+  // Block-major pointer grid for one multi-buffer call.
+  std::vector<const std::uint8_t*> block_ptrs_;
+};
+
+}  // namespace hammerhead::crypto

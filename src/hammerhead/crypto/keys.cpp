@@ -25,7 +25,7 @@ std::uint64_t load_le(const std::uint8_t* p, std::size_t len) {
 /// the dominant hashing cost of the vote hot path (~hundreds of thousands
 /// of sign/verify calls per simulated minute at n=100). Content digests
 /// (header identity) still use real SHA-256.
-Signature compute_sig(const PublicKey& key, const std::string& context,
+Signature compute_sig(const PublicKey& key, std::string_view context,
                       const Digest& message) {
   std::uint64_t h = 0x68616d6d65726865ull;  // "hammerhe"
   for (std::size_t i = 0; i < key.bytes.size(); i += 8)
@@ -65,12 +65,12 @@ Keypair Keypair::derive(std::uint64_t seed, ValidatorIndex index) {
   return kp;
 }
 
-Signature Keypair::sign(const std::string& context,
+Signature Keypair::sign(std::string_view context,
                         const Digest& message) const {
   return compute_sig(public_key_, context, message);
 }
 
-bool verify(const PublicKey& signer, const std::string& context,
+bool verify(const PublicKey& signer, std::string_view context,
             const Digest& message, const Signature& sig) {
   return compute_sig(signer, context, message) == sig;
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "hammerhead/common/digest.h"
 #include "hammerhead/common/types.h"
@@ -47,8 +48,10 @@ class Keypair {
 
   const PublicKey& public_key() const { return public_key_; }
 
-  /// Sign a digest under a domain-separation context string.
-  Signature sign(const std::string& context, const Digest& message) const;
+  /// Sign a digest under a domain-separation context string. string_view so
+  /// the constexpr context constants (dag/types.h) bind without
+  /// materialising a std::string per call on the vote/header hot paths.
+  Signature sign(std::string_view context, const Digest& message) const;
 
  private:
   Keypair() = default;
@@ -56,7 +59,7 @@ class Keypair {
 };
 
 /// Verify `sig` over (context, message) under `signer`.
-bool verify(const PublicKey& signer, const std::string& context,
+bool verify(const PublicKey& signer, std::string_view context,
             const Digest& message, const Signature& sig);
 
 }  // namespace hammerhead::crypto

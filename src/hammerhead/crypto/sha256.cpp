@@ -1,12 +1,14 @@
 #include "hammerhead/crypto/sha256.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
-namespace hammerhead::crypto {
+namespace hammerhead::crypto::sha {
 
-namespace {
+namespace detail {
 
-constexpr std::uint32_t kK[64] = {
+const std::uint32_t kK256[64] = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
     0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
     0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
@@ -19,9 +21,13 @@ constexpr std::uint32_t kK[64] = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
-constexpr std::array<std::uint32_t, 8> kInit = {
+const std::array<std::uint32_t, 8> kInitState = {
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
     0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+}  // namespace detail
+
+namespace {
 
 inline std::uint32_t rotr(std::uint32_t x, int n) {
   return (x >> n) | (x << (32 - n));
@@ -31,6 +37,122 @@ inline std::uint32_t load_be32(const std::uint8_t* p) {
   return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
          (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
 }
+
+#if HH_SHA_X86
+bool cpu_has_sha_ni() {
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1") &&
+         __builtin_cpu_supports("ssse3");
+}
+
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2"); }
+#endif
+
+/// Initial dispatch level: the CPU probe, overridable by the HH_SHA_LEVEL
+/// environment variable so CI can replay traces at a pinned level without
+/// recompiling. Unknown values fall back to the probe.
+Level initial_level() {
+  const Level probed = max_level();
+  if (const char* env = std::getenv("HH_SHA_LEVEL")) {
+    if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+    if (std::strcmp(env, "avx2") == 0)
+      return std::min(probed, Level::kAvx2);
+    if (std::strcmp(env, "sha_ni") == 0) return probed;
+  }
+  return probed;
+}
+
+}  // namespace
+
+namespace scalar {
+
+void compress(std::uint32_t state[8], const std::uint8_t* data,
+              std::size_t nblocks) {
+  for (std::size_t blk = 0; blk < nblocks; ++blk, data += 64) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) w[i] = load_be32(data + 4 * i);
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t temp1 = h + s1 + ch + detail::kK256[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+}  // namespace scalar
+
+namespace detail {
+std::atomic<Level> g_level{initial_level()};
+}  // namespace detail
+
+Level max_level() {
+#if HH_SHA_X86
+  if (cpu_has_sha_ni()) return Level::kShaNi;
+  if (cpu_has_avx2()) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+Level set_level(Level level) {
+  if (static_cast<int>(level) > static_cast<int>(max_level()))
+    level = max_level();
+#if HH_SHA_X86
+  // kShaNi does not imply AVX2 (Goldmont-class cores have SHA extensions but
+  // no 256-bit lanes), so an explicit kAvx2 pin re-probes rather than
+  // trusting the linear order.
+  if (level == Level::kAvx2 && !cpu_has_avx2()) level = Level::kScalar;
+#endif
+  detail::g_level.store(level, std::memory_order_relaxed);
+  return level;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kShaNi:
+      return "sha_ni";
+  }
+  return "?";
+}
+
+}  // namespace hammerhead::crypto::sha
+
+namespace hammerhead::crypto {
+
+namespace {
 
 inline void store_be32(std::uint8_t* p, std::uint32_t v) {
   p[0] = static_cast<std::uint8_t>(v >> 24);
@@ -44,50 +166,9 @@ inline void store_be32(std::uint8_t* p, std::uint32_t v) {
 Sha256::Sha256() { reset(); }
 
 void Sha256::reset() {
-  state_ = kInit;
+  state_ = sha::detail::kInitState;
   total_len_ = 0;
   buffer_len_ = 0;
-}
-
-void Sha256::process_block(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) {
@@ -100,14 +181,17 @@ void Sha256::update(std::span<const std::uint8_t> data) {
     buffer_len_ += take;
     offset += take;
     if (buffer_len_ == 64) {
-      process_block(buffer_.data());
+      sha::compress(state_.data(), buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
 
-  while (offset + 64 <= data.size()) {
-    process_block(data.data() + offset);
-    offset += 64;
+  // One dispatched call for the whole aligned run: the SHA-NI kernel keeps
+  // its chaining value in registers across blocks.
+  const std::size_t nblocks = (data.size() - offset) / 64;
+  if (nblocks > 0) {
+    sha::compress(state_.data(), data.data() + offset, nblocks);
+    offset += nblocks * 64;
   }
 
   if (offset < data.size()) {

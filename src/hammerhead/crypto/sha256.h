@@ -1,17 +1,118 @@
-// SHA-256 (FIPS 180-4), implemented from scratch.
+// SHA-256 (FIPS 180-4), implemented from scratch, with runtime-dispatched
+// hardware compression kernels.
 //
 // The paper's implementation uses fastcrypto for hashing and signatures; we
 // need a real, deterministic digest function for vertex identities and for
 // the simulated signature scheme (see keys.h). Streaming interface so large
 // payloads can be hashed incrementally.
+//
+// Dispatch mirrors common/simd.h: one cached level probed at static init,
+// pinnable from tests/benches, compiled out entirely under -DHH_SHA=OFF.
+//   * scalar — the from-scratch reference compression. Always compiled; the
+//     only variant on non-x86 builds or under -DHH_SHA=OFF.
+//   * avx2   — no single-stream win (SHA-256 rounds are serially dependent),
+//     but 4/8-lane *multi-buffer* transposed kernels for BatchHasher: eight
+//     independent messages advance one block per instruction stream.
+//   * sha_ni — SHA extensions; the fastest single-stream variant and also
+//     the per-lane engine BatchHasher uses when available (NI's ~2 cycles
+//     per round beats the AVX2 multi-buffer amortization).
+// Every variant must produce bit-identical digests (differential-tested in
+// tests/crypto_dispatch_test.cpp); content digests feed trace hashes, so a
+// kernel divergence would show up as a replay mismatch, not a perf delta.
+//
+// The HH_SHA_LEVEL environment variable ("scalar" / "avx2" / "sha_ni"), read
+// once at static init, pins the level for a whole process run — how CI
+// proves committed trace hashes reproduce at every dispatch level without
+// recompiling.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
 
 #include "hammerhead/common/digest.h"
+
+#ifndef HH_SHA
+#define HH_SHA 1
+#endif
+
+#if HH_SHA && (defined(__x86_64__) || defined(_M_X64))
+#define HH_SHA_X86 1
+#else
+#define HH_SHA_X86 0
+#endif
+
+namespace hammerhead::crypto::sha {
+
+enum class Level : int { kScalar = 0, kAvx2 = 1, kShaNi = 2 };
+
+namespace scalar {
+
+/// Reference block compression: runs `nblocks` consecutive 64-byte blocks
+/// from `data` through `state`. The semantics every variant reproduces.
+void compress(std::uint32_t state[8], const std::uint8_t* data,
+              std::size_t nblocks);
+
+}  // namespace scalar
+
+namespace detail {
+
+/// Active level; written at static init (CPU probe + HH_SHA_LEVEL env pin)
+/// and by set_level.
+extern std::atomic<Level> g_level;
+
+/// Round constants, shared with the accelerated kernels.
+extern const std::uint32_t kK256[64];
+/// Chaining-value initialisation (H0..H7).
+extern const std::array<std::uint32_t, 8> kInitState;
+
+#if HH_SHA_X86
+/// SHA-NI single-stream compression (sha256_accel.cpp).
+void compress_ni(std::uint32_t state[8], const std::uint8_t* data,
+                 std::size_t nblocks);
+/// AVX2 multi-buffer compression: lane l advances `nblocks` blocks through
+/// states[l]; blocks[b * L + l] points at lane l's b-th 64-byte block (the
+/// lanes need not be contiguous messages — BatchHasher mixes message bodies
+/// and per-lane padding scratch).
+void compress_mb4_avx2(std::uint32_t* const states[4],
+                       const std::uint8_t* const* blocks, std::size_t nblocks);
+void compress_mb8_avx2(std::uint32_t* const states[8],
+                       const std::uint8_t* const* blocks, std::size_t nblocks);
+#endif
+
+}  // namespace detail
+
+/// Best level this CPU + build can execute (kScalar when HH_SHA is off or
+/// the target is not x86-64). Note kShaNi does not imply AVX2: set_level
+/// re-probes when pinning an intermediate level.
+Level max_level();
+
+inline Level active_level() {
+  return detail::g_level.load(std::memory_order_relaxed);
+}
+
+/// Pin the dispatch level (clamped to what CPU + build support); returns the
+/// level now active. For differential tests, benches, and the HH_SHA_LEVEL
+/// pin; production code never calls it.
+Level set_level(Level level);
+
+const char* level_name(Level level);
+
+/// Dispatched single-stream compression. AVX2 is not consulted here — with
+/// one message there is nothing to lay out in lanes; multi-buffer dispatch
+/// lives in BatchHasher.
+inline void compress(std::uint32_t state[8], const std::uint8_t* data,
+                     std::size_t nblocks) {
+#if HH_SHA_X86
+  if (active_level() == Level::kShaNi)
+    return detail::compress_ni(state, data, nblocks);
+#endif
+  scalar::compress(state, data, nblocks);
+}
+
+}  // namespace hammerhead::crypto::sha
 
 namespace hammerhead::crypto {
 
@@ -34,8 +135,6 @@ class Sha256 {
   static Digest hash(const std::string& s);
 
  private:
-  void process_block(const std::uint8_t* block);
-
   std::array<std::uint32_t, 8> state_;
   std::uint64_t total_len_ = 0;
   std::array<std::uint8_t, 64> buffer_;

@@ -1,0 +1,276 @@
+// Hardware SHA-256 compression kernels (dispatch declared in sha256.h).
+//
+// Bodies carry `target` attributes so this file builds without -msha/-mavx2;
+// dispatch guarantees a kernel only runs on a CPU that reports the feature.
+//
+// Two distinct acceleration shapes:
+//   * compress_ni — the SHA extensions run the round function itself in
+//     silicon (2 rounds per SHA256RNDS2). Fastest single stream; also the
+//     per-lane engine for batches when available.
+//   * compress_mb4/8_avx2 — SHA-256 rounds are serially dependent, so wide
+//     registers cannot speed up ONE message; instead 4/8 *independent*
+//     messages occupy the 32-bit lanes of XMM/YMM registers and advance one
+//     block in lockstep (the classic multi-buffer layout, cf. ISA-L). Only
+//     reachable through BatchHasher, which supplies per-lane block pointers.
+#include "hammerhead/crypto/sha256.h"
+
+#if HH_SHA_X86
+
+#include <immintrin.h>
+
+namespace hammerhead::crypto::sha::detail {
+
+namespace {
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+         (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+}
+
+// GCC does not propagate a function's target attribute into lambdas defined
+// inside it, so the rotates are free functions with their own attributes.
+__attribute__((target("avx2"), always_inline)) inline __m256i rotr8(__m256i x,
+                                                                    int n) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, n),
+                         _mm256_slli_epi32(x, 32 - n));
+}
+
+__attribute__((target("avx2"), always_inline)) inline __m128i rotr4(__m128i x,
+                                                                    int n) {
+  return _mm_or_si128(_mm_srli_epi32(x, n), _mm_slli_epi32(x, 32 - n));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ SHA-NI
+
+__attribute__((target("sha,sse4.1,ssse3"))) void compress_ni(
+    std::uint32_t state[8], const std::uint8_t* data, std::size_t nblocks) {
+  // Big-endian word loads expressed as one byte shuffle per 16 bytes.
+  const __m128i kBswap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // The SHA instructions want the chaining value as ABEF/CDGH pairs.
+  __m128i tmp =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));  // DCBA
+  __m128i s1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));  // HGFE
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);       // CDAB
+  s1 = _mm_shuffle_epi32(s1, 0x1B);         // EFGH
+  __m128i s0 = _mm_alignr_epi8(tmp, s1, 8); // ABEF
+  s1 = _mm_blend_epi16(s1, tmp, 0xF0);      // CDGH
+
+  for (std::size_t blk = 0; blk < nblocks; ++blk, data += 64) {
+    const __m128i save0 = s0;
+    const __m128i save1 = s1;
+
+    // Message schedule lives in four rotating XMM registers; each loop
+    // iteration g runs rounds 4g..4g+3 and advances the schedule exactly as
+    // the canonical unrolled form does: the alignr/msg2 pair materialises
+    // w[4(g+1)..4(g+1)+3] and msg1 pre-mixes the sigma0 term three groups
+    // ahead. Reads of m[p] precede the msg1 overwrite — order matters.
+    __m128i m[4];
+    for (int g = 0; g < 16; ++g) {
+      if (g < 4)
+        m[g] = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * g)),
+            kBswap);
+      __m128i wk = _mm_add_epi32(
+          m[g & 3],
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK256[4 * g])));
+      s1 = _mm_sha256rnds2_epu32(s1, s0, wk);
+      wk = _mm_shuffle_epi32(wk, 0x0E);
+      s0 = _mm_sha256rnds2_epu32(s0, s1, wk);
+
+      const int a = g & 3, p = (g + 3) & 3, nx = (g + 1) & 3;
+      if (g >= 3 && g < 15) {
+        const __m128i carry = _mm_alignr_epi8(m[a], m[p], 4);
+        m[nx] = _mm_sha256msg2_epu32(_mm_add_epi32(m[nx], carry), m[a]);
+      }
+      if (g >= 1 && g < 13) m[p] = _mm_sha256msg1_epu32(m[p], m[a]);
+    }
+
+    s0 = _mm_add_epi32(s0, save0);
+    s1 = _mm_add_epi32(s1, save1);
+  }
+
+  tmp = _mm_shuffle_epi32(s0, 0x1B);        // FEBA
+  s1 = _mm_shuffle_epi32(s1, 0xB1);         // DCHG
+  s0 = _mm_blend_epi16(tmp, s1, 0xF0);      // DCBA
+  s1 = _mm_alignr_epi8(s1, tmp, 8);         // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), s0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), s1);
+}
+
+// ------------------------------------------------- AVX2 multi-buffer lanes
+
+// The 4- and 8-lane bodies are the same algorithm at two widths; a macro
+// would obscure the intrinsics, so both are spelled out.
+
+__attribute__((target("avx2"))) void compress_mb8_avx2(
+    std::uint32_t* const states[8], const std::uint8_t* const* blocks,
+    std::size_t nblocks) {
+  // Transpose chaining values: vector j holds word j of all eight lanes.
+  __m256i s[8];
+  for (int j = 0; j < 8; ++j)
+    s[j] = _mm256_set_epi32(
+        static_cast<int>(states[7][j]), static_cast<int>(states[6][j]),
+        static_cast<int>(states[5][j]), static_cast<int>(states[4][j]),
+        static_cast<int>(states[3][j]), static_cast<int>(states[2][j]),
+        static_cast<int>(states[1][j]), static_cast<int>(states[0][j]));
+
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::uint8_t* const* p = blocks + b * 8;
+    // Rolling 16-entry schedule window, one vector per w index.
+    __m256i w[16];
+    for (int t = 0; t < 16; ++t)
+      w[t] = _mm256_set_epi32(
+          static_cast<int>(load_be32(p[7] + 4 * t)),
+          static_cast<int>(load_be32(p[6] + 4 * t)),
+          static_cast<int>(load_be32(p[5] + 4 * t)),
+          static_cast<int>(load_be32(p[4] + 4 * t)),
+          static_cast<int>(load_be32(p[3] + 4 * t)),
+          static_cast<int>(load_be32(p[2] + 4 * t)),
+          static_cast<int>(load_be32(p[1] + 4 * t)),
+          static_cast<int>(load_be32(p[0] + 4 * t)));
+
+    __m256i a = s[0], bb = s[1], c = s[2], d = s[3];
+    __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+
+    for (int i = 0; i < 64; ++i) {
+      __m256i wi;
+      if (i < 16) {
+        wi = w[i];
+      } else {
+        const __m256i w15 = w[(i - 15) & 15], w2 = w[(i - 2) & 15];
+        const __m256i sig0 = _mm256_xor_si256(
+            _mm256_xor_si256(rotr8(w15, 7), rotr8(w15, 18)),
+            _mm256_srli_epi32(w15, 3));
+        const __m256i sig1 = _mm256_xor_si256(
+            _mm256_xor_si256(rotr8(w2, 17), rotr8(w2, 19)),
+            _mm256_srli_epi32(w2, 10));
+        wi = _mm256_add_epi32(_mm256_add_epi32(w[i & 15], sig0),
+                              _mm256_add_epi32(w[(i - 7) & 15], sig1));
+        w[i & 15] = wi;
+      }
+      const __m256i S1 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr8(e, 6), rotr8(e, 11)), rotr8(e, 25));
+      const __m256i ch = _mm256_xor_si256(_mm256_and_si256(e, f),
+                                          _mm256_andnot_si256(e, g));
+      const __m256i t1 = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_add_epi32(h, S1),
+                           _mm256_add_epi32(ch, wi)),
+          _mm256_set1_epi32(static_cast<int>(kK256[i])));
+      const __m256i S0 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr8(a, 2), rotr8(a, 13)), rotr8(a, 22));
+      const __m256i maj = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_and_si256(a, bb), _mm256_and_si256(a, c)),
+          _mm256_and_si256(bb, c));
+      const __m256i t2 = _mm256_add_epi32(S0, maj);
+      h = g;
+      g = f;
+      f = e;
+      e = _mm256_add_epi32(d, t1);
+      d = c;
+      c = bb;
+      bb = a;
+      a = _mm256_add_epi32(t1, t2);
+    }
+
+    s[0] = _mm256_add_epi32(s[0], a);
+    s[1] = _mm256_add_epi32(s[1], bb);
+    s[2] = _mm256_add_epi32(s[2], c);
+    s[3] = _mm256_add_epi32(s[3], d);
+    s[4] = _mm256_add_epi32(s[4], e);
+    s[5] = _mm256_add_epi32(s[5], f);
+    s[6] = _mm256_add_epi32(s[6], g);
+    s[7] = _mm256_add_epi32(s[7], h);
+  }
+
+  alignas(32) std::uint32_t lanes[8];
+  for (int j = 0; j < 8; ++j) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), s[j]);
+    for (int l = 0; l < 8; ++l) states[l][j] = lanes[l];
+  }
+}
+
+__attribute__((target("avx2"))) void compress_mb4_avx2(
+    std::uint32_t* const states[4], const std::uint8_t* const* blocks,
+    std::size_t nblocks) {
+  __m128i s[8];
+  for (int j = 0; j < 8; ++j)
+    s[j] = _mm_set_epi32(
+        static_cast<int>(states[3][j]), static_cast<int>(states[2][j]),
+        static_cast<int>(states[1][j]), static_cast<int>(states[0][j]));
+
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::uint8_t* const* p = blocks + b * 4;
+    __m128i w[16];
+    for (int t = 0; t < 16; ++t)
+      w[t] = _mm_set_epi32(static_cast<int>(load_be32(p[3] + 4 * t)),
+                           static_cast<int>(load_be32(p[2] + 4 * t)),
+                           static_cast<int>(load_be32(p[1] + 4 * t)),
+                           static_cast<int>(load_be32(p[0] + 4 * t)));
+
+    __m128i a = s[0], bb = s[1], c = s[2], d = s[3];
+    __m128i e = s[4], f = s[5], g = s[6], h = s[7];
+
+    for (int i = 0; i < 64; ++i) {
+      __m128i wi;
+      if (i < 16) {
+        wi = w[i];
+      } else {
+        const __m128i w15 = w[(i - 15) & 15], w2 = w[(i - 2) & 15];
+        const __m128i sig0 =
+            _mm_xor_si128(_mm_xor_si128(rotr4(w15, 7), rotr4(w15, 18)),
+                          _mm_srli_epi32(w15, 3));
+        const __m128i sig1 =
+            _mm_xor_si128(_mm_xor_si128(rotr4(w2, 17), rotr4(w2, 19)),
+                          _mm_srli_epi32(w2, 10));
+        wi = _mm_add_epi32(_mm_add_epi32(w[i & 15], sig0),
+                           _mm_add_epi32(w[(i - 7) & 15], sig1));
+        w[i & 15] = wi;
+      }
+      const __m128i S1 = _mm_xor_si128(
+          _mm_xor_si128(rotr4(e, 6), rotr4(e, 11)), rotr4(e, 25));
+      const __m128i ch =
+          _mm_xor_si128(_mm_and_si128(e, f), _mm_andnot_si128(e, g));
+      const __m128i t1 = _mm_add_epi32(
+          _mm_add_epi32(_mm_add_epi32(h, S1), _mm_add_epi32(ch, wi)),
+          _mm_set1_epi32(static_cast<int>(kK256[i])));
+      const __m128i S0 = _mm_xor_si128(
+          _mm_xor_si128(rotr4(a, 2), rotr4(a, 13)), rotr4(a, 22));
+      const __m128i maj = _mm_xor_si128(
+          _mm_xor_si128(_mm_and_si128(a, bb), _mm_and_si128(a, c)),
+          _mm_and_si128(bb, c));
+      const __m128i t2 = _mm_add_epi32(S0, maj);
+      h = g;
+      g = f;
+      f = e;
+      e = _mm_add_epi32(d, t1);
+      d = c;
+      c = bb;
+      bb = a;
+      a = _mm_add_epi32(t1, t2);
+    }
+
+    s[0] = _mm_add_epi32(s[0], a);
+    s[1] = _mm_add_epi32(s[1], bb);
+    s[2] = _mm_add_epi32(s[2], c);
+    s[3] = _mm_add_epi32(s[3], d);
+    s[4] = _mm_add_epi32(s[4], e);
+    s[5] = _mm_add_epi32(s[5], f);
+    s[6] = _mm_add_epi32(s[6], g);
+    s[7] = _mm_add_epi32(s[7], h);
+  }
+
+  alignas(16) std::uint32_t lanes[4];
+  for (int j = 0; j < 8; ++j) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), s[j]);
+    for (int l = 0; l < 4; ++l) states[l][j] = lanes[l];
+  }
+}
+
+}  // namespace hammerhead::crypto::sha::detail
+
+#endif  // HH_SHA_X86

@@ -6,12 +6,26 @@
 #include "hammerhead/common/assert.h"
 #include "hammerhead/common/epoch.h"
 #include "hammerhead/common/serde.h"
+#include "hammerhead/crypto/batch_hasher.h"
 #include "hammerhead/crypto/sha256.h"
 
 namespace hammerhead::dag {
 
-Digest Header::compute_digest() const {
-  ByteWriter w;
+namespace {
+
+/// Reusable digest-preimage scratch: compute_digest runs on every header
+/// admission, so its serialization buffer must not hit the heap per call.
+/// Thread-local because sharded execution verifies headers from worker
+/// threads. Grows to the high-water preimage size and stays there.
+std::span<std::uint8_t> digest_scratch(std::size_t size) {
+  thread_local std::vector<std::uint8_t> scratch;
+  if (scratch.size() < size) scratch.resize(size);
+  return {scratch.data(), size};
+}
+
+}  // namespace
+
+void Header::encode_for_digest(ByteWriter& w) const {
   w.str("header");
   w.u32(author);
   w.u64(round);
@@ -25,7 +39,19 @@ Digest Header::compute_digest() const {
   } else {
     w.u64(0);
   }
-  return crypto::Sha256::hash(w.data());
+}
+
+std::size_t Header::digest_preimage_size() const {
+  return (8 + 6)                              // str("header")
+         + 4 + 8                              // author, round
+         + 8 + parents.size() * (8 + Digest::kSize)
+         + 8 + (payload ? payload->txs.size() * 8 : 0);
+}
+
+Digest Header::compute_digest() const {
+  ByteWriter w(digest_scratch(digest_preimage_size()));
+  encode_for_digest(w);
+  return crypto::Sha256::hash(w.view());
 }
 
 void Header::finalize(const crypto::Keypair& author_key) {
@@ -165,6 +191,66 @@ CertPtr Certificate::make(HeaderPtr header,
               return parents[a] < parents[b];
             });
   return cert;
+}
+
+std::size_t batch_verify(std::span<const CertPtr> certs,
+                         const crypto::Committee& committee) {
+  // Reused across calls (and thread-local for sharded workers): in steady
+  // state the batch pass allocates nothing.
+  struct Scratch {
+    crypto::BatchHasher hasher;
+    std::vector<std::uint8_t> arena;
+    std::vector<const Header*> pending;
+    std::vector<Digest> digests;
+  };
+  thread_local Scratch s;
+
+  // Collect headers whose content memo is still cold; the common catch-up
+  // case is "all of them", the common steady-state case is "none" (already
+  // seen via broadcast).
+  s.pending.clear();
+  std::size_t preimage_bytes = 0;
+  for (const CertPtr& cert : certs) {
+    if (!cert || !cert->header) continue;
+    const Header& h = *cert->header;
+    if (!h.content_check_pending()) continue;
+    s.pending.push_back(&h);
+    preimage_bytes += h.digest_preimage_size();
+  }
+
+  if (!s.pending.empty()) {
+    // Serialize every preimage into one arena, then hash all lanes per
+    // dispatch (8-wide under AVX2 multi-buffer, per-lane SHA-NI otherwise).
+    if (s.arena.size() < preimage_bytes) s.arena.resize(preimage_bytes);
+    std::size_t offset = 0;
+    for (const Header* h : s.pending) {
+      const std::size_t size = h->digest_preimage_size();
+      ByteWriter w(std::span<std::uint8_t>(s.arena.data() + offset, size));
+      h->encode_for_digest(w);
+      s.hasher.add(w.view());
+      offset += size;
+    }
+    if (s.digests.size() < s.pending.size())
+      s.digests.resize(s.pending.size());
+    s.hasher.run(s.digests.data());
+
+    for (std::size_t i = 0; i < s.pending.size(); ++i) {
+      const Header& h = *s.pending[i];
+      const bool ok =
+          h.author < committee.size() && s.digests[i] == h.digest &&
+          crypto::verify(committee.validator(h.author).key, kHeaderSigContext,
+                         h.digest, h.signature);
+      h.note_content_check(ok);
+    }
+  }
+
+  // The per-cert verify() calls are now header-memo hits; they still run the
+  // signer-set checks (sortedness, quorum stake) and warm the certificate
+  // memo itself.
+  std::size_t valid = 0;
+  for (const CertPtr& cert : certs)
+    if (cert && cert->verify(committee)) ++valid;
+  return valid;
 }
 
 }  // namespace hammerhead::dag

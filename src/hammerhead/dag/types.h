@@ -11,10 +11,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "hammerhead/common/digest.h"
+#include "hammerhead/common/serde.h"
 #include "hammerhead/common/types.h"
 #include "hammerhead/crypto/committee.h"
 #include "hammerhead/crypto/keys.h"
@@ -71,14 +73,35 @@ struct Header {
   /// after all other fields are set.
   void finalize(const crypto::Keypair& author_key);
 
-  /// Recompute the digest from content (verification side).
+  /// Recompute the digest from content (verification side). Serializes into
+  /// reusable thread-local scratch — zero heap allocations in steady state
+  /// (asserted by the operator-new gauge in bench_micro_crypto).
   Digest compute_digest() const;
+
+  /// The digest preimage, byte-for-byte (the injective content encoding).
+  void encode_for_digest(ByteWriter& w) const;
+  /// Exact size of that encoding; lets batch_verify and compute_digest size
+  /// their scratch without a trial pass (drift from encode_for_digest is
+  /// caught by the span-mode overflow assert).
+  std::size_t digest_preimage_size() const;
 
   /// Digest + author-signature check, memoized per object: headers are
   /// immutable and shared by pointer inside the simulation, so checking the
   /// same object on every delivery would only burn host CPU. The simulated
   /// CPU cost of verification is charged by the node's cost model regardless.
   bool verify_content(const crypto::Committee& committee) const;
+
+  /// Batch-verification hooks (dag::batch_verify): the memo is
+  /// value-canonical — every verifier computes the same verdict from
+  /// immutable fields — so a batch pass may warm it for many headers at
+  /// once and later verify_content calls become memo hits. Racing writers
+  /// store the same value (see verify_state_).
+  bool content_check_pending() const {
+    return verify_state_.load(std::memory_order_relaxed) == 0;
+  }
+  void note_content_check(bool ok) const {
+    verify_state_.store(ok ? 1 : 2, std::memory_order_relaxed);
+  }
 
   std::size_t wire_size() const {
     return 128 + parents.size() * Digest::kSize +
@@ -249,5 +272,15 @@ using CertPtr = std::shared_ptr<const Certificate>;
 /// Domain-separation contexts for signatures.
 inline constexpr const char* kHeaderSigContext = "narwhal-header";
 inline constexpr const char* kVoteSigContext = "narwhal-vote";
+
+/// Verify a batch of certificates, hashing their header preimages in
+/// lockstep lanes (crypto::BatchHasher) instead of one digest per cert.
+/// Semantically identical to calling cert->verify(committee) on each —
+/// the batch pass only *warms* the value-canonical per-object memos, so
+/// callers keep their per-cert loops (and early-exit behavior) and traces
+/// stay bit-identical whichever kernel ran. Null entries are ignored.
+/// Returns the number of certificates that verified.
+std::size_t batch_verify(std::span<const CertPtr> certs,
+                         const crypto::Committee& committee);
 
 }  // namespace hammerhead::dag

@@ -10,6 +10,7 @@
 
 #include "hammerhead/common/assert.h"
 #include "hammerhead/common/json_writer.h"
+#include "hammerhead/crypto/sha256.h"
 
 namespace hammerhead::harness {
 
@@ -381,6 +382,8 @@ std::string write_sweep_json(const SweepResult& sweep,
     write_json_metric(f, false, "offered_load_tps", r.offered_load_tps);
     write_json_metric(f, false, "host_cores",
                  static_cast<double>(std::thread::hardware_concurrency()));
+    write_json_metric(f, false, "host_sha",
+                 static_cast<double>(crypto::sha::max_level()));
     // Exact 64-bit value, bypassing the double-valued metric writer.
     std::fprintf(f, ", \"run_seed\": %llu",
                  static_cast<unsigned long long>(cell.config.seed));

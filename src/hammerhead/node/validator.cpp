@@ -301,6 +301,10 @@ void Validator::propose(Round round) {
   HH_ASSERT_MSG(!proposed_anything_ || round > last_proposed_round_,
                 "validator " << self_ << " re-proposing round " << round);
 
+  // Parent-cert checks are admission-time: every certificate reachable via
+  // for_each_round_cert was verified before dag_->insert (broadcast path or
+  // the batch_verify admission paths), so proposing re-reads warm memos and
+  // never re-hashes a parent.
   std::vector<Digest> parents;
   if (round > 0) {
     std::optional<Digest> leader_digest;
@@ -693,6 +697,9 @@ void Validator::handle_fetch_req(ValidatorIndex from, const FetchReqMsg& req) {
 
 void Validator::handle_fetch_resp(ValidatorIndex from,
                                   const FetchRespMsg& resp) {
+  // Warm the verification memos in lockstep lanes first; the per-cert
+  // verify() below is then a memo hit, preserving the drop-rest semantics.
+  dag::batch_verify(resp.certs, committee_);
   for (const auto& cert : resp.certs) {
     if (!cert->verify(committee_)) return;  // malformed response; drop rest
     ingest_cert(cert, from);
@@ -795,6 +802,10 @@ void Validator::handle_state_sync_resp(ValidatorIndex from,
   committer_snapshot_table().put("snap", resp.committer);
 
   replaying_ = true;  // suppress re-reporting of commits during install
+  // Snapshots carry whole GC windows of certificates; batch-hash their
+  // header preimages (8 lanes per dispatch) before the replay loop's
+  // per-cert verify() memo hits.
+  dag::batch_verify(resp.certs, committee_);
   for (const auto& cert : resp.certs) {
     if (!cert->verify(committee_)) continue;
     if (!dag_->parents_present(*cert)) continue;

@@ -65,7 +65,17 @@ GATED_MEMORY_METRICS = ("dag_bytes_per_vertex",)
 # thread count exceeds the host's cores (recorded per row as host_cores):
 # a 1-core runner cannot demonstrate parallel speedup, and gating its wall
 # times would make the job flap with runner hardware.
-GATED_SPEEDUP_METRICS = ("speedup_vs_guarded", "speedup_vs_serial")
+GATED_SPEEDUP_METRICS = ("speedup_vs_guarded", "speedup_vs_serial",
+                         "speedup_vs_scalar")
+# Hash-kernel throughput (host wall-clock MB/s of the SHA-256 pipeline).
+# Gated like throughput, but ONLY when the row's recorded host_sha dispatch
+# capability (0 scalar, 1 AVX2, 2 SHA-NI) matches the baseline's: a
+# scalar-only runner cannot reproduce SHA-NI numbers, and an NI-capable
+# runner would sail past a scalar baseline — neither delta is a regression.
+# speedup_vs_scalar rows (within-run, machine-comparable) carry the same
+# capability skip: the ratio is only meaningful for the same kernel.
+GATED_HASH_METRICS = ("hash_mb_s",)
+SHA_CAPABILITY_KEY = "host_sha"
 # Per-row keys naming the row's thread count, in precedence order.
 THREAD_COUNT_KEYS = ("threads", "intra_jobs", "jobs")
 # Context keys: rows gate only when these match between baseline and current.
@@ -85,6 +95,14 @@ def speedup_measurable(metrics):
     treated as measurable (the old behaviour)."""
     cores = metrics.get("host_cores", 0)
     return cores <= 0 or row_threads(metrics) <= cores
+
+
+def sha_capability_matches(base, cur):
+    """True when both rows were produced at the same SHA dispatch capability
+    (or either predates the recording — the old, always-gate behaviour)."""
+    if SHA_CAPABILITY_KEY not in base or SHA_CAPABILITY_KEY not in cur:
+        return True
+    return base[SHA_CAPABILITY_KEY] == cur[SHA_CAPABILITY_KEY]
 
 
 def load_rows(path):
@@ -202,6 +220,26 @@ def compare_file(name, base_path, cur_path, threshold, report):
                 regressions.append("  [FAIL] " + line)
             else:
                 report.append("  [ok]   " + line)
+        for metric in GATED_HASH_METRICS:
+            if metric not in base_m or metric not in cur_m:
+                continue
+            base_v, cur_v = base_m[metric], cur_m[metric]
+            if base_v <= 0:
+                continue
+            if not sha_capability_matches(base_m, cur_m):
+                report.append(
+                    f"  [skip] {label} {metric}: host_sha "
+                    f"{cur_m.get(SHA_CAPABILITY_KEY, 0):.0f} != baseline "
+                    f"{base_m.get(SHA_CAPABILITY_KEY, 0):.0f}, kernel not "
+                    f"reproducible on this host")
+                continue
+            delta = (cur_v - base_v) / base_v
+            line = (f"{label} {metric}: {base_v:.1f} -> {cur_v:.1f} MB/s "
+                    f"({delta:+.1%})")
+            if cur_v < base_v * (1.0 - threshold):
+                regressions.append("  [FAIL] " + line)
+            else:
+                report.append("  [ok]   " + line)
         for metric in GATED_SPEEDUP_METRICS:
             if metric not in base_m or metric not in cur_m:
                 continue
@@ -213,6 +251,14 @@ def compare_file(name, base_path, cur_path, threshold, report):
                     f"  [skip] {label} {metric}: {row_threads(cur_m):.0f} "
                     f"thread(s) > {cur_m.get('host_cores', 0):.0f} core(s), "
                     f"parallel speedup not measurable on this host")
+                continue
+            if (metric == "speedup_vs_scalar"
+                    and not sha_capability_matches(base_m, cur_m)):
+                report.append(
+                    f"  [skip] {label} {metric}: host_sha "
+                    f"{cur_m.get(SHA_CAPABILITY_KEY, 0):.0f} != baseline "
+                    f"{base_m.get(SHA_CAPABILITY_KEY, 0):.0f}, kernel not "
+                    f"reproducible on this host")
                 continue
             delta = (cur_v - base_v) / base_v
             line = (f"{label} {metric}: {base_v:.2f}x -> {cur_v:.2f}x "
@@ -420,6 +466,52 @@ def self_test(threshold):
         failures += compare_payloads(
             desc, speedup_payload(base_speedup, threads, cores),
             speedup_payload(cur_speedup, threads, cores), expected)
+
+    # Hash-kernel throughput: gates like throughput when the recorded
+    # host_sha capability matches the baseline's, skips (never trips) when
+    # it differs, and gates rows that predate the capability recording.
+    def hash_payload(mbs, host_sha):
+        metrics = {"hash_mb_s": mbs}
+        if host_sha is not None:
+            metrics["host_sha"] = host_sha
+        return {"bench": "selftest",
+                "rows": [{"label": "sha256_4KiB", "metrics": metrics}]}
+
+    base_mbs = 800.0
+    for desc, base_sha, cur_sha, cur_mbs, expected in [
+        ("hash regression with matching capability trips", 2, 2,
+         base_mbs * (1.0 - threshold - 0.05), 1),
+        ("hash regression inside threshold passes", 2, 2,
+         base_mbs * (1.0 - threshold + 0.05), 0),
+        ("hash regression with differing capability skipped", 2, 0,
+         base_mbs * 0.1, 0),
+        ("hash regression without capability context trips", None, None,
+         base_mbs * (1.0 - threshold - 0.05), 1),
+    ]:
+        failures += compare_payloads(
+            desc, hash_payload(base_mbs, base_sha),
+            hash_payload(cur_mbs, cur_sha), expected)
+
+    # speedup_vs_scalar rides the speedup gate plus the capability skip (the
+    # within-run ratio is only meaningful for the same kernel).
+    def kernel_speedup_payload(speedup, host_sha):
+        return {"bench": "selftest",
+                "rows": [{"label": "sha256_64B_sha_ni",
+                          "metrics": {"speedup_vs_scalar": speedup,
+                                      "host_sha": host_sha}}]}
+
+    base_kspeed = 5.0
+    for desc, base_sha, cur_sha, cur_speed, expected in [
+        ("kernel speedup regression trips", 2, 2,
+         base_kspeed * (1.0 - threshold - 0.05), 1),
+        ("kernel speedup inside threshold passes", 2, 2,
+         base_kspeed * (1.0 - threshold + 0.05), 0),
+        ("kernel speedup with differing capability skipped", 2, 1,
+         base_kspeed * 0.1, 0),
+    ]:
+        failures += compare_payloads(
+            desc, kernel_speedup_payload(base_kspeed, base_sha),
+            kernel_speedup_payload(cur_speed, cur_sha), expected)
 
     # Memory gauge: deterministic, gates without stddev context; growth
     # beyond the threshold trips, shrinkage never does.
