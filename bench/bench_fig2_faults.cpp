@@ -11,8 +11,13 @@
 //
 // Beyond the paper's crash grid, this bench surfaces the scenario library:
 // a healing minority partition window and validator churn (repeated
-// crash/recover cycles with state-sync re-entry), at the same loads.
+// crash/recover cycles with state-sync re-entry), at the same loads —
+// plus the adaptive-adversary strategies (harness/adversary.h): leader
+// equivocation, anchor vote withholding, and a composed
+// withhold+delay adversary, the Section 7 shapes HammerHead's
+// vote-frequency scoring is built to punish.
 #include "bench_util.h"
+#include "hammerhead/harness/adversary.h"
 #include "hammerhead/harness/sweep.h"
 
 using namespace hammerhead;
@@ -48,9 +53,16 @@ int main() {
   }
 
   // Scenario library: the same committees under a healing minority
-  // partition and under validator churn, instead of permanent crashes.
+  // partition and under validator churn, instead of permanent crashes —
+  // and under adaptive adversaries, wrapped as scenarios through
+  // scenario_adversary so they ride the same loop (strategies compose:
+  // the last entry runs vote withholding AND leader link delays at once).
   const std::vector<harness::FaultScenario> scenarios = {
-      harness::scenario_partition(), harness::scenario_churn()};
+      harness::scenario_partition(), harness::scenario_churn(),
+      harness::scenario_adversary({harness::adversary_equivocate()}),
+      harness::scenario_adversary({harness::adversary_withhold_votes()}),
+      harness::scenario_adversary(
+          {harness::adversary_withhold_votes(), harness::adversary_delay()})};
   const std::size_t scenario_n = 10;
   const std::vector<double> scenario_loads =
       quick_mode() ? std::vector<double>{1'500}

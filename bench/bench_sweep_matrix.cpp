@@ -17,15 +17,108 @@
 // commits plus cross-seed mean/stddev rows — the artifact the CI
 // bench-regression gate (tools/bench_compare.py) diffs against
 // bench/results/.
+// A second, separate sweep named "adversary" (BENCH_sweep_adversary.json)
+// scores the adaptive-adversary axis (harness/adversary.h): faultless grid
+// x {honest, equivocate, withhold-votes, eclipse, delay}, with worst-case
+// commit-latency rows ("adv/<name>") aggregated per adversary. Kept out of
+// the matrix sweep so the matrix baselines stay byte-identical.
 #include <cstring>
 #include <iomanip>
 #include <thread>
 
 #include "bench_util.h"
+#include "hammerhead/harness/adversary.h"
 #include "hammerhead/harness/sweep.h"
 
 using namespace hammerhead;
 using namespace hammerhead::bench;
+
+namespace {
+
+/// Run one sweep, print per-cell rows + aggregates, write its JSON and
+/// (optionally) verify determinism against a --jobs=1/--intra-jobs=1 rerun.
+/// Returns nonzero on any cell error or verify mismatch so CI fails loudly.
+int run_and_report(const harness::SweepSpec& spec, std::size_t jobs,
+                   bool verify) {
+  std::cout << std::string(44, ' ') << harness::result_header() << std::endl;
+
+  harness::SweepOptions options;
+  options.jobs = jobs;
+  options.on_cell = [](const harness::SweepCell& cell,
+                       const harness::ExperimentResult& r) {
+    std::ostringstream tag;
+    tag << std::left << std::setw(44) << cell.label;
+    std::cout << tag.str() << harness::result_row(r) << std::endl;
+  };
+  const harness::SweepResult sweep = harness::run_sweep(spec, options);
+  for (const std::string& err : sweep.errors)
+    std::cout << "CELL FAILED: " << err << "\n";
+
+  std::cout << "\n--- cross-seed aggregates ---\n";
+  for (const auto& g : sweep.groups) {
+    std::ostringstream line;
+    line << std::left << std::setw(44) << g.label << std::right << std::fixed
+         << std::setprecision(0) << std::setw(8) << g.throughput_mean
+         << " +/- " << std::setw(5) << g.throughput_stddev << " tps   p95 "
+         << std::setprecision(2) << g.p95_mean << " s   anchors "
+         << std::setprecision(0) << g.committed_anchors_mean;
+    std::cout << line.str() << std::endl;
+  }
+  if (!sweep.adversary_worst.empty()) {
+    std::cout << "\n--- worst case per adversary ---\n";
+    for (const auto& w : sweep.adversary_worst) {
+      std::ostringstream line;
+      line << std::left << std::setw(44) << w.label << std::right
+           << std::fixed << std::setprecision(2) << "worst p95 "
+           << w.worst_p95_latency_s << " s (+/- " << w.worst_p95_stddev
+           << ")   min anchors " << std::setprecision(0)
+           << w.committed_anchors_min << "   conflicting certs "
+           << w.conflicting_certs << "   runs " << w.runs;
+      std::cout << line.str() << std::endl;
+    }
+  }
+  const double cells_per_s =
+      sweep.wall_seconds > 0
+          ? static_cast<double>(sweep.cells.size()) / sweep.wall_seconds
+          : 0;
+  std::cout << "\n" << sweep.cells.size() << " cells in " << std::fixed
+            << std::setprecision(2) << sweep.wall_seconds << " s wall ("
+            << cells_per_s << " cells/s, jobs=" << sweep.jobs << ")\n";
+
+  const std::string path = harness::write_sweep_json(sweep);
+  std::cout << "wrote " << path << " (" << sweep.cells.size() << " cells, "
+            << sweep.groups.size() << " aggregate rows, "
+            << sweep.adversary_worst.size() << " adversary rows)\n";
+
+  std::size_t mismatches = 0;
+  if (verify) {
+    std::cout << "\nverify: rerunning at --jobs=1 --intra-jobs=1 ...\n";
+    harness::SweepSpec ref_spec = spec;
+    ref_spec.base.intra_jobs = 1;  // same slotting, fully serial engines
+    harness::SweepOptions serial;
+    serial.jobs = 1;
+    const harness::SweepResult reference =
+        harness::run_sweep(ref_spec, serial);
+    for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+      if (harness::deterministic_signature(sweep.results[i]) !=
+          harness::deterministic_signature(reference.results[i])) {
+        ++mismatches;
+        std::cout << "MISMATCH at " << sweep.cells[i].label << "\n";
+      }
+    }
+    std::cout << (mismatches == 0 ? "verify OK: " : "verify FAILED: ")
+              << sweep.results.size() - mismatches << "/"
+              << sweep.results.size() << " cells bit-identical; speedup "
+              << std::setprecision(2)
+              << (sweep.wall_seconds > 0
+                      ? reference.wall_seconds / sweep.wall_seconds
+                      : 0)
+              << "x over jobs=1\n";
+  }
+  return (sweep.errors.empty() && mismatches == 0) ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::size_t jobs = std::min<std::size_t>(
@@ -104,67 +197,36 @@ int main(int argc, char** argv) {
             << spec.committee_sizes.size() << " committee sizes x "
             << spec.scenarios.size() << " fault scenarios x "
             << spec.seeds.size() << " seeds, jobs=" << jobs << "\n";
-  std::cout << std::string(44, ' ') << harness::result_header() << std::endl;
+  const int matrix_rc = run_and_report(spec, jobs, verify);
 
-  harness::SweepOptions options;
-  options.jobs = jobs;
-  options.on_cell = [](const harness::SweepCell& cell,
-                       const harness::ExperimentResult& r) {
-    std::ostringstream tag;
-    tag << std::left << std::setw(44) << cell.label;
-    std::cout << tag.str() << harness::result_row(r) << std::endl;
-  };
-  const harness::SweepResult sweep = harness::run_sweep(spec, options);
-  for (const std::string& err : sweep.errors)
-    std::cout << "CELL FAILED: " << err << "\n";
-
-  std::cout << "\n--- cross-seed aggregates ---\n";
-  for (const auto& g : sweep.groups) {
-    std::ostringstream line;
-    line << std::left << std::setw(44) << g.label << std::right << std::fixed
-         << std::setprecision(0) << std::setw(8) << g.throughput_mean
-         << " +/- " << std::setw(5) << g.throughput_stddev << " tps   p95 "
-         << std::setprecision(2) << g.p95_mean << " s   anchors "
-         << std::setprecision(0) << g.committed_anchors_mean;
-    std::cout << line.str() << std::endl;
+  // Adaptive-adversary sweep: its own spec and JSON (the axis default —
+  // one honest sentinel — keeps the matrix grid above byte-identical to
+  // pre-adversary baselines; new rows land in BENCH_sweep_adversary.json).
+  // Faultless grid so the worst-case rows isolate what the ADVERSARY
+  // costs; the honest entry is the in-sweep control group.
+  harness::SweepSpec adv;
+  adv.name = "adversary";
+  adv.base = spec.base;  // same load, duration, warmup, intra_jobs
+  adv.policies = {harness::PolicyKind::HammerHead,
+                  harness::PolicyKind::RoundRobin};
+  adv.committee_sizes = {10, 20};
+  adv.seeds = {1, 2, 3};
+  adv.adversaries = {harness::AdversarySpec{},  // honest control
+                     harness::adversary_equivocate(),
+                     harness::adversary_withhold_votes(),
+                     harness::adversary_eclipse(),
+                     harness::adversary_delay()};
+  if (quick_mode()) {
+    // CI budget: n=10 only; every adversary still runs at every seed.
+    adv.cell_filter = [](const harness::SweepCell& cell) {
+      return cell.num_validators <= 10;
+    };
   }
-  const double cells_per_s =
-      sweep.wall_seconds > 0
-          ? static_cast<double>(sweep.cells.size()) / sweep.wall_seconds
-          : 0;
-  std::cout << "\n" << sweep.cells.size() << " cells in " << std::fixed
-            << std::setprecision(2) << sweep.wall_seconds << " s wall ("
-            << cells_per_s << " cells/s, jobs=" << sweep.jobs << ")\n";
+  std::cout << "\nAdversary sweep: " << adv.policies.size() << " policies x "
+            << adv.committee_sizes.size() << " committee sizes x "
+            << adv.adversaries.size() << " adversaries x "
+            << adv.seeds.size() << " seeds, jobs=" << jobs << "\n";
+  const int adv_rc = run_and_report(adv, jobs, verify);
 
-  const std::string path = harness::write_sweep_json(sweep);
-  std::cout << "wrote " << path << " (" << sweep.cells.size() << " cells, "
-            << sweep.groups.size() << " aggregate rows)\n";
-
-  if (verify) {
-    std::cout << "\nverify: rerunning at --jobs=1 --intra-jobs=1 ...\n";
-    harness::SweepSpec ref_spec = spec;
-    ref_spec.base.intra_jobs = 1;  // same slotting, fully serial engines
-    harness::SweepOptions serial;
-    serial.jobs = 1;
-    const harness::SweepResult reference =
-        harness::run_sweep(ref_spec, serial);
-    std::size_t mismatches = 0;
-    for (std::size_t i = 0; i < sweep.results.size(); ++i) {
-      if (harness::deterministic_signature(sweep.results[i]) !=
-          harness::deterministic_signature(reference.results[i])) {
-        ++mismatches;
-        std::cout << "MISMATCH at " << sweep.cells[i].label << "\n";
-      }
-    }
-    std::cout << (mismatches == 0 ? "verify OK: " : "verify FAILED: ")
-              << sweep.results.size() - mismatches << "/"
-              << sweep.results.size() << " cells bit-identical; speedup "
-              << std::setprecision(2)
-              << (sweep.wall_seconds > 0
-                      ? reference.wall_seconds / sweep.wall_seconds
-                      : 0)
-              << "x over jobs=1\n";
-    if (mismatches != 0) return 1;
-  }
-  return sweep.errors.empty() ? 0 : 1;
+  return (matrix_rc != 0 || adv_rc != 0) ? 1 : 0;
 }

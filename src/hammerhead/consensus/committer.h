@@ -73,6 +73,11 @@ struct CommitterStats {
   std::uint64_t skipped_anchors = 0;
   std::uint64_t ordered_vertices = 0;
   std::uint64_t schedule_changes = 0;
+  /// Certified equivocations that reached this node's commit input: two
+  /// certificates for one (round, author) slot with different digests.
+  /// Safety gauge — vote uniqueness keeps this 0 while < n/3 stake is
+  /// Byzantine, and the adversary tests assert exactly that.
+  std::uint64_t conflicting_certs = 0;
 };
 
 class BullsharkCommitter {
@@ -100,6 +105,10 @@ class BullsharkCommitter {
   std::int64_t last_anchor_round() const { return last_anchor_round_; }
   std::uint64_t commit_index() const { return commit_index_; }
   const CommitterStats& stats() const { return stats_; }
+
+  /// Record a certified equivocation observed at the commit layer's input
+  /// (called by the validator when DAG admission reports a Conflict).
+  void note_conflicting_cert() { ++stats_.conflicting_certs; }
 
   /// Forget ordered-markers for rounds below `floor` (pairs with
   /// Dag::prune_below; only prune rounds well behind last_anchor_round()).

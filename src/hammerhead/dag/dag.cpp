@@ -64,7 +64,9 @@ Dag::InsertOutcome Dag::try_insert(CertPtr cert,
     return InsertOutcome::Duplicate;
   const VertexId v = arena_.id(round, author);
   if (arena_.resolve(v) != nullptr)
-    return InsertOutcome::Duplicate;  // duplicate slot
+    // Same digest was caught above, so an occupied slot here means a
+    // conflicting certificate for this (round, author): equivocation.
+    return InsertOutcome::Conflict;
 
   // One pass over the parent digests doubles as the causal-completeness
   // check and the once-only resolution of parent digests to handles

@@ -58,7 +58,12 @@ class Dag {
   /// nullptr). The ingestion hot path uses this instead of the
   /// missing_parents() + insert() pair, which resolved every parent digest
   /// twice.
-  enum class InsertOutcome { Inserted, Duplicate, Missing, Invalid };
+  /// Conflict = the (round, author) slot is occupied by a certificate with
+  /// a DIFFERENT digest: a *certified* equivocation reached this node (two
+  /// quorums countersigned conflicting headers — impossible while < n/3
+  /// stake is Byzantine; see Validator::ingest_cert's safety counter).
+  /// Same-digest re-delivery stays Duplicate.
+  enum class InsertOutcome { Inserted, Duplicate, Conflict, Missing, Invalid };
   InsertOutcome try_insert(CertPtr cert, std::vector<Digest>* missing_out);
 
   /// True iff every parent of `cert` is present (always true at the gc

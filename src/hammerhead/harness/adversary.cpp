@@ -1,0 +1,277 @@
+#include "hammerhead/harness/adversary.h"
+
+#include <algorithm>
+
+#include "hammerhead/common/assert.h"
+
+namespace hammerhead::harness {
+
+// --- actions ----------------------------------------------------------------
+
+void AdversaryActions::set_equivocate(ValidatorIndex v, bool on) {
+  if (book_.set_equivocate(v, on)) ++stats_.directive_flips;
+}
+
+void AdversaryActions::set_withhold_votes_for(ValidatorIndex v,
+                                              ValidatorIndex target) {
+  if (book_.set_withhold_votes_for(v, target)) ++stats_.directive_flips;
+}
+
+void AdversaryActions::eclipse(ValidatorIndex victim, SimTime window) {
+  HH_ASSERT(victim < network_.num_nodes() && window > 0);
+  std::vector<ValidatorIndex> others;
+  others.reserve(network_.num_nodes() - 1);
+  for (ValidatorIndex v = 0; v < network_.num_nodes(); ++v)
+    if (v != victim) others.push_back(v);
+  network_.cut_links({victim}, others, /*symmetric=*/true);
+  ++stats_.eclipse_windows;
+  net::Network* net = &network_;
+  sim_.schedule_at(sim_.now() + window,
+                   [net, victim, others = std::move(others)]() {
+                     net->restore_links({victim}, others, /*symmetric=*/true);
+                   });
+}
+
+void AdversaryActions::delay_node(ValidatorIndex node, SimTime extra) {
+  HH_ASSERT(node < network_.num_nodes());
+  for (ValidatorIndex v = 0; v < network_.num_nodes(); ++v) {
+    if (v == node) continue;
+    network_.set_link_delay(v, node, extra);
+    network_.set_link_delay(node, v, extra);
+  }
+  ++stats_.delay_retargets;
+}
+
+void AdversaryActions::clear_link_delays() { network_.clear_link_delays(); }
+
+SimTime AdversaryActions::delta() const { return network_.config().delta; }
+
+// --- runtime ----------------------------------------------------------------
+
+AdversaryRuntime::AdversaryRuntime(
+    sim::Simulator& sim, net::Network& network,
+    const std::vector<node::Validator*>& validators,
+    const ExperimentConfig& config)
+    : sim_(sim),
+      network_(network),
+      validators_(validators),
+      duration_(config.duration),
+      // Half the round cadence: a strategy can retarget within a round.
+      tick_period_(std::max<SimTime>(millis(1), config.node.min_round_delay / 2)),
+      book_(validators.size()) {
+  for (node::Validator* v : validators_) book_.attach(*v);
+  for (const AdversarySpec& spec : config.adversaries)
+    if (spec.make) strategies_.push_back(spec.make());
+}
+
+void AdversaryRuntime::start() {
+  if (strategies_.empty()) return;
+  sim_.schedule_at(sim_.now() + tick_period_, [this]() { tick(); });
+}
+
+void AdversaryRuntime::tick() {
+  if (sim_.now() >= duration_) return;
+  const AdversaryObservation obs = observe();
+  AdversaryActions act(sim_, network_, book_, stats_);
+  for (auto& strategy : strategies_) strategy->on_tick(obs, act);
+  ++stats_.ticks;
+  const SimTime next = sim_.now() + tick_period_;
+  if (next < duration_) sim_.schedule_at(next, [this]() { tick(); });
+}
+
+AdversaryObservation AdversaryRuntime::observe() const {
+  AdversaryObservation obs;
+  obs.now = sim_.now();
+  obs.duration = duration_;
+  obs.num_validators = validators_.size();
+  const node::Validator* observer = nullptr;
+  for (const node::Validator* v : validators_)
+    if (!v->crashed()) {
+      observer = v;
+      break;
+    }
+  if (observer == nullptr) return obs;  // everyone down: nothing to observe
+  obs.frontier = observer->dag().max_round().value_or(0);
+  // The next even (anchor) round strictly above the frontier — the round
+  // whose leader's certificate honest proposers will wait on next.
+  obs.next_anchor_round =
+      obs.frontier % 2 == 0 ? obs.frontier + 2 : obs.frontier + 1;
+  obs.next_anchor_leader = observer->policy().leader(obs.next_anchor_round);
+  obs.committed_anchors = observer->committer().stats().committed_anchors;
+  obs.skipped_anchors = observer->committer().stats().skipped_anchors;
+  obs.gc_floor = observer->dag().gc_floor();
+  return obs;
+}
+
+// --- canned strategies ------------------------------------------------------
+
+namespace {
+
+bool contains(const std::vector<ValidatorIndex>& set, ValidatorIndex v) {
+  return std::find(set.begin(), set.end(), v) != set.end();
+}
+
+class EquivocateStrategy final : public AdversaryStrategy {
+ public:
+  EquivocateStrategy(std::size_t count, bool anchor_only)
+      : count_(count), anchor_only_(anchor_only) {}
+  const char* name() const override { return "equivocate"; }
+  void on_tick(const AdversaryObservation& obs,
+               AdversaryActions& act) override {
+    const auto corrupted = node::corrupted_set(obs.num_validators, count_);
+    const bool on =
+        !anchor_only_ || contains(corrupted, obs.next_anchor_leader);
+    for (ValidatorIndex v : corrupted) act.set_equivocate(v, on);
+  }
+
+ private:
+  std::size_t count_;
+  bool anchor_only_;
+};
+
+class WithholdVotesStrategy final : public AdversaryStrategy {
+ public:
+  explicit WithholdVotesStrategy(std::size_t count) : count_(count) {}
+  const char* name() const override { return "withhold-votes"; }
+  void on_tick(const AdversaryObservation& obs,
+               AdversaryActions& act) override {
+    const auto corrupted = node::corrupted_set(obs.num_validators, count_);
+    // Starve the next honest anchor of support; a corrupted leader keeps
+    // its accomplices' votes (withholding there would only help honest
+    // nodes evict it).
+    const ValidatorIndex target =
+        contains(corrupted, obs.next_anchor_leader) ? kInvalidValidator
+                                                    : obs.next_anchor_leader;
+    for (ValidatorIndex v : corrupted) act.set_withhold_votes_for(v, target);
+  }
+
+ private:
+  std::size_t count_;
+};
+
+class EclipseStrategy final : public AdversaryStrategy {
+ public:
+  EclipseStrategy(double window_frac, double period_frac,
+                  ValidatorIndex fixed_victim)
+      : window_frac_(window_frac),
+        period_frac_(period_frac),
+        fixed_victim_(fixed_victim) {}
+  const char* name() const override { return "eclipse"; }
+  void on_tick(const AdversaryObservation& obs,
+               AdversaryActions& act) override {
+    // First window after 1/8 of the run (past warmup, schedule warm).
+    if (next_at_ == 0) next_at_ = obs.duration / 8;
+    if (obs.now < next_at_) return;
+    const ValidatorIndex victim = fixed_victim_ != kInvalidValidator
+                                      ? fixed_victim_
+                                      : obs.next_anchor_leader;
+    const SimTime window = std::max<SimTime>(
+        1, static_cast<SimTime>(static_cast<double>(obs.duration) *
+                                window_frac_));
+    act.eclipse(victim, window);
+    next_at_ = obs.now + std::max<SimTime>(
+                             window + 1,
+                             static_cast<SimTime>(
+                                 static_cast<double>(obs.duration) *
+                                 period_frac_));
+  }
+
+ private:
+  double window_frac_;
+  double period_frac_;
+  ValidatorIndex fixed_victim_;
+  SimTime next_at_ = 0;
+};
+
+class DelayStrategy final : public AdversaryStrategy {
+ public:
+  explicit DelayStrategy(double delta_fraction) : fraction_(delta_fraction) {}
+  const char* name() const override { return "delay"; }
+  void on_tick(const AdversaryObservation& obs,
+               AdversaryActions& act) override {
+    const ValidatorIndex target = obs.next_anchor_leader;
+    if (target == current_target_) return;
+    act.clear_link_delays();
+    const SimTime extra = std::max<SimTime>(
+        1, static_cast<SimTime>(static_cast<double>(act.delta()) *
+                                fraction_));
+    act.delay_node(target, extra);
+    current_target_ = target;
+  }
+
+ private:
+  double fraction_;
+  ValidatorIndex current_target_ = kInvalidValidator;
+};
+
+}  // namespace
+
+AdversarySpec adversary_equivocate(std::size_t count,
+                                   bool only_when_anchor_corrupt) {
+  return AdversarySpec{
+      only_when_anchor_corrupt ? "equivocate-anchor" : "equivocate",
+      [count, only_when_anchor_corrupt]() -> std::unique_ptr<AdversaryStrategy> {
+        return std::make_unique<EquivocateStrategy>(count,
+                                                    only_when_anchor_corrupt);
+      }};
+}
+
+AdversarySpec adversary_withhold_votes(std::size_t count) {
+  return AdversarySpec{
+      "withhold-votes", [count]() -> std::unique_ptr<AdversaryStrategy> {
+        return std::make_unique<WithholdVotesStrategy>(count);
+      }};
+}
+
+AdversarySpec adversary_eclipse(double window_frac, double period_frac,
+                                ValidatorIndex fixed_victim) {
+  HH_ASSERT(window_frac > 0 && period_frac > 0);
+  return AdversarySpec{
+      "eclipse", [window_frac, period_frac,
+                  fixed_victim]() -> std::unique_ptr<AdversaryStrategy> {
+        return std::make_unique<EclipseStrategy>(window_frac, period_frac,
+                                                 fixed_victim);
+      }};
+}
+
+AdversarySpec adversary_delay(double delta_fraction) {
+  HH_ASSERT(delta_fraction > 0 && delta_fraction <= 1.0);
+  return AdversarySpec{
+      "delay", [delta_fraction]() -> std::unique_ptr<AdversaryStrategy> {
+        return std::make_unique<DelayStrategy>(delta_fraction);
+      }};
+}
+
+FaultScenario scenario_adversary(std::vector<AdversarySpec> adversaries,
+                                 std::string name) {
+  HH_ASSERT(!adversaries.empty());
+  if (name.empty()) {
+    for (const AdversarySpec& s : adversaries) {
+      if (!name.empty()) name += '+';
+      name += s.name;
+    }
+  }
+  return FaultScenario{std::move(name),
+                       [specs = std::move(adversaries)](ExperimentConfig& cfg) {
+                         for (const AdversarySpec& s : specs)
+                           cfg.adversaries.push_back(s);
+                       }};
+}
+
+void export_adversary_metrics(const AdversaryRuntime& runtime,
+                              monitor::MetricsRegistry& registry) {
+  const AdversaryStats& s = runtime.stats();
+  auto set_gauge = [&](const char* name, double v) {
+    registry.gauge(name).set(v);
+  };
+  set_gauge("hh_adv_strategies", static_cast<double>(runtime.num_strategies()));
+  set_gauge("hh_adv_ticks", static_cast<double>(s.ticks));
+  set_gauge("hh_adv_actions", static_cast<double>(s.actions()));
+  set_gauge("hh_adv_directive_flips", static_cast<double>(s.directive_flips));
+  set_gauge("hh_adv_eclipse_windows", static_cast<double>(s.eclipse_windows));
+  set_gauge("hh_adv_delay_retargets", static_cast<double>(s.delay_retargets));
+  set_gauge("hh_adv_active_directives",
+            static_cast<double>(runtime.book().active_count()));
+}
+
+}  // namespace hammerhead::harness

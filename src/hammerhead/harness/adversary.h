@@ -1,0 +1,223 @@
+// Adaptive adversary framework: strategy objects that observe protocol state
+// while a run executes and choose attack actions — the ICSSIM-style
+// composable attack-injection layer of ROADMAP "Next directions" item 2.
+//
+// An AdversaryStrategy is ticked periodically on a serial-shard event (a
+// barrier within same-timestamp batches, like every other fault-injection
+// event), reads an AdversaryObservation snapshotted from the lowest-indexed
+// live honest validator (anchor schedule, commit tallies, GC horizon) and
+// mutates the run through an AdversaryActions facade:
+//
+//  * equivocation        — flip a ByzantineDirectives::equivocate bit; the
+//                          corrupted validator proposes conflicting headers
+//                          to disjoint recipient sets (recipient-list
+//                          multicast, node/byzantine.cpp).
+//  * vote withholding    — retarget withhold_votes_for at the upcoming
+//                          anchor's author, starving its certificate of
+//                          support until honest votes alone certify it.
+//  * eclipse             — timed cut_links/restore_links windows isolating a
+//                          victim; cuts are refcounted so windows stack with
+//                          partition scenarios.
+//  * adaptive delay      — per-link extra latency via Network::set_link_delay,
+//                          applied before the partial-synchrony cap so links
+//                          stretch at most to max(GST, send) + delta.
+//
+// Determinism: strategies are pure functions of the observation (no RNG),
+// all mutation happens on serial-shard events, and directive reads from
+// validators' sharded events never overlap a write — so the PR 5 contract
+// `trace hash(jobs=1) == hash(jobs=K)` holds with adversaries active
+// (proven by tests/adversary_test.cpp and bench_sweep_matrix --verify).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hammerhead/harness/sweep.h"
+#include "hammerhead/monitor/metrics_registry.h"
+#include "hammerhead/net/network.h"
+#include "hammerhead/node/byzantine_validator.h"
+#include "hammerhead/sim/simulator.h"
+
+namespace hammerhead::harness {
+
+/// Protocol state visible to a strategy at one tick, snapshotted from the
+/// lowest-indexed live honest validator (the same observer the result
+/// collection uses). All fields are deterministic at any worker count.
+struct AdversaryObservation {
+  /// Simulated now and total run length (for fraction-of-run scheduling).
+  SimTime now = 0;
+  SimTime duration = 0;
+  /// Committee size n.
+  std::size_t num_validators = 0;
+  /// Observer's DAG frontier (max round seen; 0 before the first cert).
+  Round frontier = 0;
+  /// The next even (anchor) round at or above the frontier, and the leader
+  /// the observer's schedule assigns to it — the adversary sees the anchor
+  /// schedule exactly as honest nodes do.
+  Round next_anchor_round = 0;
+  ValidatorIndex next_anchor_leader = 0;
+  /// Observer's commit tallies (vote outcomes as materialized anchors).
+  std::uint64_t committed_anchors = 0;
+  std::uint64_t skipped_anchors = 0;
+  /// Observer's GC horizon: certificates below it are pruned, so a victim
+  /// eclipsed past it must re-enter via state sync.
+  Round gc_floor = 0;
+};
+
+/// Mutation counters for the hh_adv_* gauges and the worst-case rows.
+struct AdversaryStats {
+  std::uint64_t ticks = 0;
+  /// equivocate / withhold_votes_for directive changes applied.
+  std::uint64_t directive_flips = 0;
+  /// Eclipse windows opened (each schedules its own restore).
+  std::uint64_t eclipse_windows = 0;
+  /// Link-delay retargets (clear + re-aim of the delayed link set).
+  std::uint64_t delay_retargets = 0;
+
+  std::uint64_t actions() const {
+    return directive_flips + eclipse_windows + delay_retargets;
+  }
+};
+
+/// Mutation facade handed to strategies on each tick. All methods run on the
+/// serial shard; effects are visible to every validator event scheduled
+/// after the tick's timestamp.
+class AdversaryActions {
+ public:
+  AdversaryActions(sim::Simulator& sim, net::Network& network,
+                   node::DirectiveBook& book, AdversaryStats& stats)
+      : sim_(sim), network_(network), book_(book), stats_(stats) {}
+
+  /// Toggle equivocating proposals for validator `v`.
+  void set_equivocate(ValidatorIndex v, bool on);
+  /// Aim `v`'s vote withholding at `target` (kInvalidValidator = none).
+  void set_withhold_votes_for(ValidatorIndex v, ValidatorIndex target);
+  /// Sever every link touching `victim` for `window` (symmetric), then
+  /// restore on a scheduled serial event. Refcounted: overlapping windows
+  /// and partition scenarios compose. A restore landing past the run end
+  /// never fires — the held traffic stays counted in messages_held.
+  void eclipse(ValidatorIndex victim, SimTime window);
+  /// Add `extra` one-way delay to every link touching `node` (both
+  /// directions); 0 clears them. Capped by partial synchrony inside the
+  /// fabric. Counts one delay retarget per call.
+  void delay_node(ValidatorIndex node, SimTime extra);
+  /// Drop every per-link delay (cheaper than delay_node(v, 0) per victim).
+  void clear_link_delays();
+
+  /// The partial-synchrony bound delta of this run's fabric (the natural
+  /// unit for delay_node amounts).
+  SimTime delta() const;
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& network_;
+  node::DirectiveBook& book_;
+  AdversaryStats& stats_;
+};
+
+/// One adaptive adversary. Implementations must be deterministic functions
+/// of the observation stream (no RNG, no wall clock): the simulator asserts
+/// no Rng draws on sharded waves, and determinism across --jobs depends on
+/// it here too.
+class AdversaryStrategy {
+ public:
+  virtual ~AdversaryStrategy() = default;
+  virtual const char* name() const = 0;
+  /// Observe and act. Called every tick period from run start to run end.
+  virtual void on_tick(const AdversaryObservation& obs,
+                       AdversaryActions& act) = 0;
+};
+
+/// Owns the strategies, the DirectiveBook and the periodic tick event of one
+/// run. Constructed by run_experiment when ExperimentConfig::adversaries is
+/// non-empty; lives on the stack of the run.
+class AdversaryRuntime {
+ public:
+  /// `validators` must outlive the runtime (run_experiment owns both).
+  /// Directives are attached to every validator immediately; ticking begins
+  /// at start().
+  AdversaryRuntime(sim::Simulator& sim, net::Network& network,
+                   const std::vector<node::Validator*>& validators,
+                   const ExperimentConfig& config);
+
+  /// Schedule the periodic serial-shard tick (half the round cadence, so
+  /// strategies can react within a round).
+  void start();
+
+  const AdversaryStats& stats() const { return stats_; }
+  const node::DirectiveBook& book() const { return book_; }
+  std::size_t num_strategies() const { return strategies_.size(); }
+
+ private:
+  void tick();
+  AdversaryObservation observe() const;
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  std::vector<node::Validator*> validators_;
+  SimTime duration_;
+  SimTime tick_period_;
+  node::DirectiveBook book_;
+  std::vector<std::unique_ptr<AdversaryStrategy>> strategies_;
+  AdversaryStats stats_;
+};
+
+// --- canned strategy library ------------------------------------------------
+//
+// Every factory returns an AdversarySpec (a named per-run strategy factory)
+// that plugs into ExperimentConfig::adversaries directly or into
+// SweepSpec::adversaries as a sweep-axis value. The corrupted set is always
+// node::corrupted_set(n, count): the highest indices, capped at the largest
+// minority f = max(1, (n-1)/3), so validator 0 stays an honest observer and
+// the adversary never controls a blocking quorum.
+
+/// `count` corrupted validators (0 = the full f minority) propose
+/// conflicting headers each round. With `only_when_anchor_corrupt` the
+/// equivocation fires only while the upcoming anchor's leader is itself
+/// corrupted — conflicting *anchor* candidates are the sharpest safety
+/// stressor. Moves hh_adv_equivocations_sent / hh_equivocations_observed;
+/// hh_adv_conflicting_certs must stay 0 (vote uniqueness).
+AdversarySpec adversary_equivocate(std::size_t count = 0,
+                                   bool only_when_anchor_corrupt = false);
+
+/// `count` corrupted validators (0 = f) withhold their votes from the
+/// upcoming anchor's author, retargeting as the schedule rotates — the
+/// Section 7 strategy HammerHead's vote-frequency scoring punishes. Anchors
+/// certify on honest votes alone (n - f >= 2f + 1), so commits continue but
+/// anchor certification slows. Moves hh_adv_votes_withheld and
+/// skipped_anchors / leader_timeouts.
+AdversarySpec adversary_withhold_votes(std::size_t count = 0);
+
+/// Periodically eclipse a victim — the next anchor's leader, or
+/// `fixed_victim` when given — cutting all its links for
+/// `window_frac * duration` every `period_frac * duration`. The victim's
+/// traffic buffers and flushes at heal (reliable channels); a window longer
+/// than the GC horizon forces state-sync re-entry. Moves messages_held,
+/// hh_net_links_cut, state_syncs_completed.
+AdversarySpec adversary_eclipse(double window_frac = 0.08,
+                                double period_frac = 0.25,
+                                ValidatorIndex fixed_victim =
+                                    kInvalidValidator);
+
+/// Stretch every link touching the upcoming anchor's leader by
+/// `delta_fraction` of the fabric's partial-synchrony delta, retargeting as
+/// the schedule rotates — the worst-case message-delay adversary the
+/// synchrony model permits (delays cap at max(GST, send) + delta). Moves
+/// hh_net_links_delayed and commit latency.
+AdversarySpec adversary_delay(double delta_fraction = 0.5);
+
+/// Compose `adversaries` into one FaultScenario (they all tick every
+/// period; link cuts and directives stack). `name` defaults to the specs'
+/// names joined with '+'. The scenario appends to — not replaces — any
+/// adversaries already in the cell's config.
+FaultScenario scenario_adversary(std::vector<AdversarySpec> adversaries,
+                                 std::string name = "");
+
+/// Runtime-level hh_adv_* gauges (ticks, actions, active directives, link
+/// state); per-validator equivocation/withholding gauges ride
+/// export_validator_metrics.
+void export_adversary_metrics(const AdversaryRuntime& runtime,
+                              monitor::MetricsRegistry& registry);
+
+}  // namespace hammerhead::harness

@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "hammerhead/common/logging.h"
+#include "hammerhead/harness/adversary.h"
 #include "hammerhead/sim/simulator.h"
 #include "hammerhead/storage/store.h"
 
@@ -66,6 +67,11 @@ std::unique_ptr<net::LatencyModel> make_latency_model(
     case LatencyKind::Uniform:
       return std::make_unique<net::UniformLatencyModel>(
           config.uniform_latency_min, config.uniform_latency_max);
+    case LatencyKind::Matrix:
+      HH_ASSERT_MSG(config.latency_matrix.sites() > 0,
+                    "LatencyKind::Matrix requires a non-empty latency_matrix "
+                    "(see net::load_latency_matrix)");
+      return std::make_unique<net::MatrixLatencyModel>(config.latency_matrix);
   }
   HH_ASSERT(false);
   return nullptr;
@@ -162,7 +168,8 @@ class LoadGenerator {
 /// FNV-1a fingerprint over the deterministic fields of a finished run (the
 /// wall-clock gauges are excluded). Identical across worker counts.
 std::uint64_t compute_trace_hash(const ExperimentResult& r,
-                                 std::uint64_t latency_samples_hash) {
+                                 std::uint64_t latency_samples_hash,
+                                 bool mix_adversary) {
   Fnv1a fnv;
   fnv.mix(r.submitted);
   fnv.mix(r.committed);
@@ -175,6 +182,16 @@ std::uint64_t compute_trace_hash(const ExperimentResult& r,
   fnv.mix(r.restarts);
   fnv.mix(r.state_syncs_completed);
   fnv.mix(r.messages_held);
+  // Adversary counters join the fingerprint only when an adaptive adversary
+  // ran: historical trace hashes of adversary-free runs must reproduce.
+  if (mix_adversary) {
+    fnv.mix(r.equivocations_sent);
+    fnv.mix(r.equivocations_observed);
+    fnv.mix(r.votes_withheld);
+    fnv.mix(r.conflicting_certs);
+    fnv.mix(r.adversary_ticks);
+    fnv.mix(r.adversary_actions);
+  }
   for (const std::uint64_t a : r.anchors_by_author) fnv.mix(a);
   fnv.mix(latency_samples_hash);
   return fnv.hash;
@@ -238,6 +255,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   for (auto& validator : validators) validator->start();
+
+  // Adaptive adversary runtime: directives attach now (before any proposal),
+  // strategy ticks ride serial-shard events like every fault injection below.
+  std::unique_ptr<AdversaryRuntime> adversary;
+  bool have_adversary = false;
+  for (const AdversarySpec& spec : config.adversaries)
+    if (spec.make) have_adversary = true;
+  if (have_adversary) {
+    std::vector<node::Validator*> validator_ptrs;
+    validator_ptrs.reserve(validators.size());
+    for (auto& validator : validators)
+      validator_ptrs.push_back(validator.get());
+    adversary = std::make_unique<AdversaryRuntime>(sim, network,
+                                                   validator_ptrs, config);
+    adversary->start();
+  }
 
   // Fault injection.
   for (ValidatorIndex v : crashed_at_start) {
@@ -394,6 +427,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (const auto& validator : validators) {
     result.restarts += validator->stats().restarts;
     result.state_syncs_completed += validator->stats().state_syncs_completed;
+    result.equivocations_sent += validator->stats().equivocations_sent;
+    result.equivocations_observed +=
+        validator->stats().equivocations_observed;
+    result.votes_withheld += validator->stats().votes_withheld;
+    if (!validator->crashed())
+      result.conflicting_certs +=
+          validator->committer().stats().conflicting_certs;
+  }
+  if (adversary) {
+    result.adversary_ticks = adversary->stats().ticks;
+    result.adversary_actions = adversary->stats().actions();
   }
   result.messages_held = network.stats().messages_held;
 
@@ -401,8 +445,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // The percentile queries above already sorted the sample store, so the
   // fingerprint covers the sorted stream — every run executes this same
   // sequence, so equal traces hash equal and any divergence still differs.
-  result.trace_hash =
-      compute_trace_hash(result, metrics.latency().sample_hash());
+  result.trace_hash = compute_trace_hash(
+      result, metrics.latency().sample_hash(), have_adversary);
   return result;
 }
 

@@ -4,6 +4,8 @@
 // orchestrator (Appendix A).
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,11 +17,30 @@
 
 namespace hammerhead::harness {
 
+class AdversaryStrategy;  // harness/adversary.h
+
+/// Leader-schedule policy selector for ExperimentConfig::policy.
 enum class PolicyKind { RoundRobin, HammerHead, StaticLeader, ShoalLike };
 
 const char* policy_name(PolicyKind kind);
 
-enum class LatencyKind { Geo, Uniform };
+/// Link-latency model selector:
+///  * Geo     — great-circle WAN latency over the paper's 13 AWS regions
+///              (validator i lives in region i % 13).
+///  * Uniform — uniform in [uniform_latency_min, uniform_latency_max].
+///  * Matrix  — trace-driven site-to-site matrix (latency_matrix below),
+///              e.g. loaded from a cloudping-style measurement dump via
+///              net::load_latency_matrix().
+enum class LatencyKind { Geo, Uniform, Matrix };
+
+/// A named adversary: a factory for one AdversaryStrategy instance per run
+/// (strategies are stateful, so each run constructs its own). `name` labels
+/// sweep cells (`/adv=<name>`) and aggregate rows; an empty name is the
+/// honest sentinel the sweep driver uses for "no adversary".
+struct AdversarySpec {
+  std::string name;
+  std::function<std::unique_ptr<AdversaryStrategy>()> make;
+};
 
 /// A window during which some validators run degraded (CPU and links slowed
 /// by `factor`) — models the Sui mainnet incident from Section 1.
@@ -66,26 +87,44 @@ struct ChurnSpec {
 };
 
 struct ExperimentConfig {
+  /// Committee size n (f = (n-1)/3 tolerated crash/Byzantine faults).
   std::size_t num_validators = 10;
+  /// Root seed: keys, latency jitter, load arrivals, adversarial delays.
+  /// Equal seeds reproduce bit-identical runs at any intra_jobs.
   std::uint64_t seed = 42;
-  std::vector<Stake> stakes;  // empty = equal stake
+  /// Per-validator stake weights; empty = equal stake.
+  std::vector<Stake> stakes;
 
+  /// Leader-schedule policy under test (ignored when custom_policy is set).
   PolicyKind policy = PolicyKind::HammerHead;
-  core::HammerHeadConfig hh;            // cadence and exclusion fraction
-  ValidatorIndex static_leader = 0;     // for PolicyKind::StaticLeader
+  /// HammerHead reputation knobs (schedule-change cadence, exclusion
+  /// fraction) for PolicyKind::HammerHead.
+  core::HammerHeadConfig hh;
+  /// The fixed leader for PolicyKind::StaticLeader.
+  ValidatorIndex static_leader = 0;
   /// When set, overrides `policy`: every validator's leader schedule comes
   /// from this factory. This is the extension point for user-defined
   /// reputation policies (see examples/custom_reputation_policy.cpp).
   node::Validator::PolicyFactory custom_policy;
 
+  /// Which LatencyModel the fabric samples (see LatencyKind).
   LatencyKind latency = LatencyKind::Geo;
+  /// Bounds for LatencyKind::Uniform.
   SimTime uniform_latency_min = millis(20);
   SimTime uniform_latency_max = millis(60);
+  /// Site-to-site one-way matrix for LatencyKind::Matrix (validator i maps
+  /// to site i % sites). Must be non-empty when latency == Matrix.
+  net::LatencyMatrix latency_matrix;
+  /// Fabric knobs: GST/delta, bandwidth, delivery slotting, tree fanout.
   net::NetConfig net;
+  /// Per-validator protocol + CPU-cost-model knobs.
   node::NodeConfig node;
 
+  /// Simulated run length (measurement window = duration - warmup).
   SimTime duration = seconds(30);
+  /// Leading window excluded from throughput/latency metrics.
   SimTime warmup = seconds(5);
+  /// Offered client load, transactions per simulated second.
   double load_tps = 1'000.0;
   /// One-way client <-> validator latency (clients are colocated with the
   /// validator they submit to, like the paper's per-instance load generators).
@@ -94,13 +133,26 @@ struct ExperimentConfig {
   /// The `faults` highest-indexed validators crash at `crash_time` and stay
   /// down (the paper's Figure 2 setting, with crash_time = 0).
   std::size_t faults = 0;
+  /// When the `faults` validators go down (paper setting: 0).
   SimTime crash_time = 0;
-  std::vector<CrashEvent> crashes;      // additional explicit crash events
+  /// Additional explicit crash/recover events.
+  std::vector<CrashEvent> crashes;
+  /// Degraded-validator windows (CPU + link slowdown).
   std::vector<SlowWindow> slow_windows;
+  /// Timed (possibly asymmetric) link-cut windows.
   std::vector<PartitionWindow> partitions;
+  /// Repeating crash/recover cycles with staggered offsets.
   std::vector<ChurnSpec> churn;
-  /// Behaviour overrides for specific validators (Byzantine injection).
+  /// Static behaviour overrides for specific validators (fixed Byzantine
+  /// injection; for runtime-adaptive corruption use `adversaries`).
   std::vector<std::pair<ValidatorIndex, node::Behavior>> behaviors;
+  /// Adaptive adversaries driven while the run executes: each spec's
+  /// strategy observes protocol state on a periodic serial-shard tick and
+  /// steers equivocation/vote-withholding directives, eclipse link cuts and
+  /// per-link delays (see harness/adversary.h). Strategies compose — all of
+  /// them see every tick, and link cuts stack by refcount. Empty specs and
+  /// specs with a null `make` (the sweep's honest sentinel) are skipped.
+  std::vector<AdversarySpec> adversaries;
 
   /// Load generators only target validators that have not crashed by
   /// `crash_time` (benchmark clients connect to live nodes).
@@ -145,6 +197,23 @@ struct ExperimentResult {
   std::uint64_t state_syncs_completed = 0;
   /// Messages the fabric buffered behind cut links (partition windows).
   std::uint64_t messages_held = 0;
+  /// Adversary-framework accounting, summed over all validators (all zero
+  /// unless config.adversaries or Byzantine behaviors were active).
+  /// Conflicting header pairs proposed by corrupted validators.
+  std::uint64_t equivocations_sent = 0;
+  /// Equivocations refused at honest nodes (vote uniqueness) plus certified
+  /// conflicts observed at admission.
+  std::uint64_t equivocations_observed = 0;
+  /// Votes refused under withhold_votes_for directives.
+  std::uint64_t votes_withheld = 0;
+  /// SAFETY GAUGE: certified equivocations that reached a live committer's
+  /// input. Must stay 0 while < n/3 stake is corrupted (asserted by
+  /// tests/adversary_test.cpp).
+  std::uint64_t conflicting_certs = 0;
+  /// Adversary runtime: observation ticks taken and mutations applied
+  /// (directive flips, eclipse windows, link-delay retargets).
+  std::uint64_t adversary_ticks = 0;
+  std::uint64_t adversary_actions = 0;
   std::int64_t last_anchor_round = -2;
   /// How many committed anchors each validator authored (leader utilization
   /// per validator, from the observer's commit stream).

@@ -157,39 +157,49 @@ std::vector<SweepCell> expand_sweep(const SweepSpec& spec) {
       spec.scenarios.empty()
           ? std::vector<FaultScenario>{scenario_faultless()}
           : spec.scenarios;
+  // Empty adversary axis = one honest sentinel: the grid enumerates (and
+  // derives seeds) exactly as it did before the axis existed.
+  const std::vector<AdversarySpec> adversaries =
+      spec.adversaries.empty() ? std::vector<AdversarySpec>{AdversarySpec{}}
+                               : spec.adversaries;
 
   std::vector<SweepCell> cells;
   cells.reserve(policies.size() * sizes.size() * scenarios.size() *
-                    seeds.size() +
+                    adversaries.size() * seeds.size() +
                 spec.extra.size());
   std::size_t index = 0;
   for (PolicyKind policy : policies) {
     for (std::size_t n : sizes) {
       for (const FaultScenario& scenario : scenarios) {
-        for (std::uint64_t axis_seed : seeds) {
-          SweepCell cell;
-          cell.grid_index = index;
-          cell.policy = policy_name(policy);
-          cell.scenario = scenario.name;
-          cell.num_validators = n;
-          cell.axis_seed = axis_seed;
-          cell.label = "policy=" + cell.policy + "/n=" + std::to_string(n) +
-                       "/fault=" + scenario.name +
-                       "/seed=" + std::to_string(axis_seed);
-          cell.config = spec.base;
-          cell.config.policy = policy;
-          cell.config.num_validators = n;
-          cell.config.seed =
-              spec.derive_seeds
-                  ? derive_run_seed(spec.seed_salt, axis_seed, index)
-                  : axis_seed;
-          if (scenario.apply) scenario.apply(cell.config);
-          // The filter drops cells AFTER the seed derivation consumed this
-          // grid index, so kept cells run the exact seeds the full grid
-          // would (quick-mode subsets stay comparable with full mode).
-          if (!spec.cell_filter || spec.cell_filter(cell))
-            cells.push_back(std::move(cell));
-          ++index;
+        for (const AdversarySpec& adversary : adversaries) {
+          for (std::uint64_t axis_seed : seeds) {
+            SweepCell cell;
+            cell.grid_index = index;
+            cell.policy = policy_name(policy);
+            cell.scenario = scenario.name;
+            cell.adversary = adversary.name;
+            cell.num_validators = n;
+            cell.axis_seed = axis_seed;
+            cell.label = "policy=" + cell.policy + "/n=" + std::to_string(n) +
+                         "/fault=" + scenario.name;
+            if (!adversary.name.empty()) cell.label += "/adv=" + adversary.name;
+            cell.label += "/seed=" + std::to_string(axis_seed);
+            cell.config = spec.base;
+            cell.config.policy = policy;
+            cell.config.num_validators = n;
+            cell.config.seed =
+                spec.derive_seeds
+                    ? derive_run_seed(spec.seed_salt, axis_seed, index)
+                    : axis_seed;
+            if (scenario.apply) scenario.apply(cell.config);
+            if (adversary.make) cell.config.adversaries.push_back(adversary);
+            // The filter drops cells AFTER the seed derivation consumed this
+            // grid index, so kept cells run the exact seeds the full grid
+            // would (quick-mode subsets stay comparable with full mode).
+            if (!spec.cell_filter || spec.cell_filter(cell))
+              cells.push_back(std::move(cell));
+            ++index;
+          }
         }
       }
     }
@@ -328,6 +338,46 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     sweep.groups.push_back(std::move(g));
     i = end;
   }
+
+  // Worst-case scoring per adversary-axis value: pool EVERY successful cell
+  // that ran under a named adversary (across policies, sizes, scenarios and
+  // seeds) and keep the worst commit latency / liveness the adversary
+  // achieved anywhere in the grid. Honest-sentinel cells (empty name) carry
+  // no row: their story is told by the regular agg/ groups.
+  std::vector<std::string> adv_order;
+  for (const SweepCell& cell : sweep.cells)
+    if (!cell.adversary.empty() &&
+        std::find(adv_order.begin(), adv_order.end(), cell.adversary) ==
+            adv_order.end())
+      adv_order.push_back(cell.adversary);
+  for (const std::string& adv : adv_order) {
+    AdversaryWorstCase w;
+    w.label = "adv/" + adv;
+    double p95_sum = 0, p95_sum_sq = 0;
+    for (std::size_t j = 0; j < sweep.cells.size(); ++j) {
+      if (failed[j] || sweep.cells[j].adversary != adv) continue;
+      const ExperimentResult& r = sweep.results[j];
+      if (w.runs++ == 0) {
+        w.duration_s = r.duration_s;
+        w.offered_load_tps = r.offered_load_tps;
+        w.committed_anchors_min = static_cast<double>(r.committed_anchors);
+      }
+      w.worst_p95_latency_s = std::max(w.worst_p95_latency_s, r.p95_latency_s);
+      w.committed_anchors_min = std::min(
+          w.committed_anchors_min, static_cast<double>(r.committed_anchors));
+      w.conflicting_certs += static_cast<double>(r.conflicting_certs);
+      p95_sum += r.p95_latency_s;
+      p95_sum_sq += r.p95_latency_s * r.p95_latency_s;
+    }
+    if (w.runs == 0) continue;
+    if (w.runs >= 2) {
+      const double count = static_cast<double>(w.runs);
+      const double var = std::max(
+          0.0, (p95_sum_sq - p95_sum * p95_sum / count) / (count - 1));
+      w.worst_p95_stddev = std::sqrt(var);
+    }
+    sweep.adversary_worst.push_back(std::move(w));
+  }
   return sweep;
 }
 
@@ -384,6 +434,18 @@ std::string write_sweep_json(const SweepResult& sweep,
                  static_cast<double>(std::thread::hardware_concurrency()));
     write_json_metric(f, false, "host_sha",
                  static_cast<double>(crypto::sha::max_level()));
+    // Adversary counters only on cells that ran one: rows of adversary-free
+    // sweeps stay byte-identical to pre-adversary baselines.
+    if (!cell.config.adversaries.empty()) {
+      write_json_metric(f, false, "equivocations_sent",
+                   static_cast<double>(r.equivocations_sent));
+      write_json_metric(f, false, "votes_withheld",
+                   static_cast<double>(r.votes_withheld));
+      write_json_metric(f, false, "conflicting_certs",
+                   static_cast<double>(r.conflicting_certs));
+      write_json_metric(f, false, "adversary_actions",
+                   static_cast<double>(r.adversary_actions));
+    }
     // Exact 64-bit value, bypassing the double-valued metric writer.
     std::fprintf(f, ", \"run_seed\": %llu",
                  static_cast<unsigned long long>(cell.config.seed));
@@ -406,6 +468,18 @@ std::string write_sweep_json(const SweepResult& sweep,
     write_json_metric(f, false, "committed_anchors_stddev",
                  g.committed_anchors_stddev);
     write_json_metric(f, false, "skipped_anchors_mean", g.skipped_anchors_mean);
+    std::fprintf(f, "}}");
+  }
+  for (const AdversaryWorstCase& w : sweep.adversary_worst) {
+    begin_row(w.label);
+    write_json_metric(f, true, "runs", static_cast<double>(w.runs));
+    write_json_metric(f, false, "duration_s", w.duration_s);
+    write_json_metric(f, false, "offered_load_tps", w.offered_load_tps);
+    write_json_metric(f, false, "worst_p95_latency_s", w.worst_p95_latency_s);
+    write_json_metric(f, false, "worst_p95_stddev", w.worst_p95_stddev);
+    write_json_metric(f, false, "committed_anchors_min",
+                 w.committed_anchors_min);
+    write_json_metric(f, false, "conflicting_certs", w.conflicting_certs);
     std::fprintf(f, "}}");
   }
   std::fprintf(f, "\n]}\n");
@@ -433,6 +507,18 @@ std::string deterministic_signature(const ExperimentResult& r) {
       static_cast<unsigned long long>(r.messages_held),
       static_cast<unsigned long long>(r.sim_events));
   std::string sig = buf;
+  // Adversary counters: always appended (all-zero without an adversary), so
+  // a directive that silently fired in an honest run would flip the
+  // signature rather than hide.
+  char adv[160];
+  std::snprintf(adv, sizeof(adv), "|adv=%llu,%llu,%llu,%llu,%llu,%llu",
+                static_cast<unsigned long long>(r.equivocations_sent),
+                static_cast<unsigned long long>(r.equivocations_observed),
+                static_cast<unsigned long long>(r.votes_withheld),
+                static_cast<unsigned long long>(r.conflicting_certs),
+                static_cast<unsigned long long>(r.adversary_ticks),
+                static_cast<unsigned long long>(r.adversary_actions));
+  sig += adv;
   sig += "|trace=";
   sig += std::to_string(r.trace_hash);
   sig += "|authors=";

@@ -97,9 +97,19 @@ struct SweepSpec {
   std::vector<PolicyKind> policies;
   std::vector<std::size_t> committee_sizes;
   /// Replicate axis: each value yields one run per grid point; cross-seed
-  /// mean/stddev are aggregated per (policy, n, scenario) group.
+  /// mean/stddev are aggregated per (policy, n, scenario, adversary) group.
   std::vector<std::uint64_t> seeds;
+  /// Fault-pattern axis (scenario_* factories; empty = faultless only).
   std::vector<FaultScenario> scenarios;
+  /// Adaptive-adversary axis (adversary_* factories in harness/adversary.h).
+  /// Empty = a single honest sentinel: the grid enumerates exactly as it
+  /// did before the axis existed, so historical derived seeds, labels and
+  /// cell results reproduce byte-for-byte. A non-empty axis inserts between
+  /// scenario and seed; entries with an empty name add no label fragment.
+  /// Include AdversarySpec{} ("honest") alongside real adversaries to keep
+  /// an unattacked control group in the same sweep. Worst-case commit
+  /// latency is scored per adversary into SweepResult::adversary_worst.
+  std::vector<AdversarySpec> adversaries;
   /// Explicit configs appended after the grid (label "extra/<name>").
   std::vector<std::pair<std::string, ExperimentConfig>> extra;
   /// Mixed into every derived run seed; two sweeps with different salts
@@ -120,10 +130,16 @@ struct SweepSpec {
 /// One fully materialized run: everything a worker needs, fixed at
 /// expansion time on the driver thread.
 struct SweepCell {
+  /// Position in the FULL cartesian grid (counted before cell_filter), the
+  /// input that pins this cell's derived seed.
   std::size_t grid_index = 0;
-  std::string label;     // "policy=<p>/n=<n>/fault=<s>/seed=<axis>"
+  /// "policy=<p>/n=<n>/fault=<s>[/adv=<a>]/seed=<axis>" — the /adv=
+  /// fragment appears only for named adversary-axis values.
+  std::string label;
   std::string policy;
   std::string scenario;
+  /// Adversary-axis value name ("" = honest sentinel / no axis).
+  std::string adversary;
   std::size_t num_validators = 0;
   std::uint64_t axis_seed = 0;
   ExperimentConfig config;  // config.seed holds the derived run seed
@@ -169,6 +185,27 @@ struct SweepOptions {
   std::function<void(const SweepCell&, const ExperimentResult&)> on_cell;
 };
 
+/// Worst-case commit-latency scoring for one adversary-axis value, pooled
+/// over every cell (all policies, sizes, scenarios, seeds) that ran under
+/// it. JSON label "adv/<name>"; worst_p95_latency_s is gated by
+/// tools/bench_compare.py with worst_p95_stddev as variance context.
+struct AdversaryWorstCase {
+  std::string label;  // "adv/<adversary name>"
+  std::size_t runs = 0;
+  /// Run context (identical across the adversary's cells in one sweep).
+  double duration_s = 0;
+  double offered_load_tps = 0;
+  /// Max p95 commit latency over the adversary's cells — the worst case
+  /// this adversary inflicted anywhere in the grid.
+  double worst_p95_latency_s = 0;
+  /// Cross-cell sample stddev of p95 (the gate's variance context).
+  double worst_p95_stddev = 0;
+  /// Min committed anchors over the cells (worst-case liveness).
+  double committed_anchors_min = 0;
+  /// Summed safety counter over the cells; must be 0 (f < n/3).
+  double conflicting_certs = 0;
+};
+
 struct SweepResult {
   std::string name;
   std::size_t jobs = 1;
@@ -176,6 +213,8 @@ struct SweepResult {
   std::vector<SweepCell> cells;
   std::vector<ExperimentResult> results;  // parallel to cells
   std::vector<SweepGroupStats> groups;
+  /// Per-adversary worst-case rows (empty when no named adversary ran).
+  std::vector<AdversaryWorstCase> adversary_worst;
   /// Cells whose run threw (e.g. an invariant violation on a bad config):
   /// "<label>: <what>" plus the cell index. The failing cell's result stays
   /// default-constructed and the rest of the grid still completes; failed

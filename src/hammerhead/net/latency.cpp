@@ -1,6 +1,8 @@
 #include "hammerhead/net/latency.h"
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 #include "hammerhead/common/assert.h"
 
@@ -90,6 +92,62 @@ SimTime GeoLatencyModel::sample(ValidatorIndex from, ValidatorIndex to,
   // small. Normal in log space approximated by clamped normal.
   const double mult =
       std::max(0.6, rng.next_normal(1.0, jitter_frac_));
+  return static_cast<SimTime>(static_cast<double>(base) * mult);
+}
+
+LatencyMatrix parse_latency_matrix(const std::string& text) {
+  LatencyMatrix m;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    for (char& c : line)
+      if (c == ',') c = ' ';
+    std::istringstream fields(line);
+    std::vector<SimTime> row;
+    double ms = 0.0;
+    while (fields >> ms) {
+      HH_ASSERT(ms >= 0.0);
+      row.push_back(static_cast<SimTime>(ms * 1000.0));
+    }
+    HH_ASSERT(fields.eof());  // a non-numeric token is a malformed row
+    if (!row.empty()) m.one_way_us.push_back(std::move(row));
+  }
+  HH_ASSERT(!m.one_way_us.empty());
+  for (const auto& row : m.one_way_us)
+    HH_ASSERT(row.size() == m.one_way_us.size());
+  return m;
+}
+
+LatencyMatrix load_latency_matrix(const std::string& path) {
+  std::ifstream in(path);
+  HH_ASSERT(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_latency_matrix(buf.str());
+}
+
+MatrixLatencyModel::MatrixLatencyModel(LatencyMatrix matrix, double jitter_frac)
+    : matrix_(std::move(matrix)), jitter_frac_(jitter_frac) {
+  HH_ASSERT(matrix_.sites() > 0);
+}
+
+std::size_t MatrixLatencyModel::site_of(ValidatorIndex v) const {
+  return v % matrix_.sites();
+}
+
+SimTime MatrixLatencyModel::expected(ValidatorIndex from,
+                                     ValidatorIndex to) const {
+  // Floor at 1 us: a zero-delay link would violate the simulator's
+  // strictly-forward delivery invariant.
+  return std::max<SimTime>(1, matrix_.one_way_us[site_of(from)][site_of(to)]);
+}
+
+SimTime MatrixLatencyModel::sample(ValidatorIndex from, ValidatorIndex to,
+                                   Rng& rng) {
+  const SimTime base = expected(from, to);
+  const double mult = std::max(0.6, rng.next_normal(1.0, jitter_frac_));
   return static_cast<SimTime>(static_cast<double>(base) * mult);
 }
 

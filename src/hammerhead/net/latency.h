@@ -73,4 +73,41 @@ class GeoLatencyModel final : public LatencyModel {
   std::vector<std::vector<SimTime>> one_way_;
 };
 
+/// A square matrix of one-way site-to-site latencies, e.g. parsed from a
+/// real-world WAN measurement trace (cloudping-style RTT dumps divided by 2).
+struct LatencyMatrix {
+  /// one_way_us[a][b] = expected one-way delay from site a to site b, in
+  /// microseconds. Square; diagonal entries are the intra-site delay.
+  std::vector<std::vector<SimTime>> one_way_us;
+
+  std::size_t sites() const { return one_way_us.size(); }
+};
+
+/// Parse a latency matrix from text. Format: one row per line, entries in
+/// *milliseconds* (fractions allowed), separated by whitespace and/or commas;
+/// `#` starts a comment; blank lines ignored. The matrix must be square and
+/// every entry non-negative. Throws InvariantViolation on malformed input.
+LatencyMatrix parse_latency_matrix(const std::string& text);
+
+/// Read `path` and parse_latency_matrix() its contents. Throws
+/// InvariantViolation if the file cannot be read.
+LatencyMatrix load_latency_matrix(const std::string& path);
+
+/// Trace-driven latency: validator i lives at site i % matrix.sites(), with
+/// the same clamped-normal multiplicative jitter as GeoLatencyModel. Use with
+/// load_latency_matrix() to replay measured WAN conditions.
+class MatrixLatencyModel final : public LatencyModel {
+ public:
+  explicit MatrixLatencyModel(LatencyMatrix matrix, double jitter_frac = 0.05);
+
+  SimTime sample(ValidatorIndex from, ValidatorIndex to, Rng& rng) override;
+  SimTime expected(ValidatorIndex from, ValidatorIndex to) const override;
+
+  std::size_t site_of(ValidatorIndex v) const;
+
+ private:
+  LatencyMatrix matrix_;
+  double jitter_frac_;
+};
+
 }  // namespace hammerhead::net

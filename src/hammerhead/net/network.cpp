@@ -107,6 +107,24 @@ void Network::restore_links(const std::vector<ValidatorIndex>& from_set,
   flush_unblocked_held();
 }
 
+void Network::set_link_delay(ValidatorIndex from, ValidatorIndex to,
+                             SimTime extra) {
+  HH_ASSERT(from < sinks_.size() && to < sinks_.size());
+  if (link_delay_.empty()) {
+    if (extra == 0) return;
+    link_delay_.assign(sinks_.size() * sinks_.size(), 0);
+  }
+  SimTime& slot = link_delay_[from * sinks_.size() + to];
+  if (slot == 0 && extra != 0) ++links_delayed_;
+  if (slot != 0 && extra == 0) --links_delayed_;
+  slot = extra;
+}
+
+void Network::clear_link_delays() {
+  link_delay_.clear();
+  links_delayed_ = 0;
+}
+
 SimTime Network::compute_arrival(ValidatorIndex from, ValidatorIndex to,
                                  std::size_t size) {
   const SimTime now = sim_.now();
@@ -124,6 +142,11 @@ SimTime Network::compute_arrival(ValidatorIndex from, ValidatorIndex to,
   SimTime lat = latency_->sample(from, to, sim_.rng());
   const double factor = std::max(slowdown_[from], slowdown_[to]);
   lat = static_cast<SimTime>(static_cast<double>(lat) * factor);
+
+  // Adaptive-delay adversary: per-link extra delay, applied before the
+  // partial-synchrony cap below so it can stretch a link at most to the
+  // bound, never past it.
+  if (!link_delay_.empty()) lat += link_delay_[from * sinks_.size() + to];
 
   SimTime arrival = depart + lat;
 

@@ -178,6 +178,17 @@ class Network {
   void set_slowdown(ValidatorIndex node, double factor);
   void clear_slowdown(ValidatorIndex node);
 
+  /// Add a fixed extra one-way delay to the directed link from -> to
+  /// (adaptive-delay adversary). The extra delay is applied before the
+  /// partial-synchrony cap, so post-GST delivery still lands within
+  /// max(GST, send) + delta — an adversary can stretch a link only up to
+  /// the synchrony bound, never past it. `extra` = 0 clears the link.
+  void set_link_delay(ValidatorIndex from, ValidatorIndex to, SimTime extra);
+  /// Drop every per-link extra delay.
+  void clear_link_delays();
+  /// Directed links with a nonzero adversarial delay (gauge).
+  std::size_t links_delayed() const { return links_delayed_; }
+
   /// Sever every link from a node in `from_set` to a node in `to_set`
   /// (both directions when `symmetric`). Cuts are reference-counted per
   /// directed pair, so overlapping windows compose; self-links are ignored.
@@ -203,6 +214,7 @@ class Network {
   const NetStats& stats() const { return stats_; }
   std::size_t num_nodes() const { return sinks_.size(); }
   const LatencyModel& latency_model() const { return *latency_; }
+  const NetConfig& config() const { return config_; }
 
  private:
   /// Per-recipient delivery slot inside a fanout record. `pos` is the
@@ -314,6 +326,11 @@ class Network {
   /// Reference-counted directional cut matrix, row-major [from * n + to].
   std::vector<std::uint16_t> link_cut_;
   std::size_t links_cut_ = 0;
+  /// Per-link adversarial extra delay, row-major [from * n + to]. Allocated
+  /// lazily on the first set_link_delay() so runs without a delay adversary
+  /// pay nothing.
+  std::vector<SimTime> link_delay_;
+  std::size_t links_delayed_ = 0;
   /// Group-partition sugar state (partition()/heal()).
   std::vector<ValidatorIndex> partition_group_;
   std::vector<ValidatorIndex> partition_rest_;

@@ -34,6 +34,7 @@ void Validator::propose_equivocating(Round round, std::vector<Digest> parents,
   last_propose_time_ = sim_.now();
   meta_table().put("last_proposed", round);
   ++stats_.headers_proposed;
+  ++stats_.equivocations_sent;
 
   // The equivocator backs header A itself.
   voted_table().put({self_, round}, header_a->digest);

@@ -1,0 +1,28 @@
+#include "hammerhead/node/byzantine_validator.h"
+
+#include <algorithm>
+
+namespace hammerhead::node {
+
+void DirectiveBook::clear() {
+  for (ByzantineDirectives& d : slots_) d = ByzantineDirectives{};
+}
+
+std::size_t DirectiveBook::active_count() const {
+  std::size_t n = 0;
+  for (const ByzantineDirectives& d : slots_)
+    if (d.equivocate || d.withhold_votes_for != kInvalidValidator) ++n;
+  return n;
+}
+
+std::vector<ValidatorIndex> corrupted_set(std::size_t n, std::size_t count) {
+  const std::size_t f = std::max<std::size_t>(1, (n - 1) / 3);
+  if (count == 0 || count > f) count = f;
+  std::vector<ValidatorIndex> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(static_cast<ValidatorIndex>(n - 1 - i));
+  return out;
+}
+
+}  // namespace hammerhead::node

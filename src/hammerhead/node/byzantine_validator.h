@@ -1,0 +1,74 @@
+// Runtime-corruptible validators: the bridge between adversary strategies
+// (harness/adversary.h) and the Validator protocol hooks.
+//
+// A static Behavior is fixed at construction; an *adaptive* adversary instead
+// flips ByzantineDirectives while the run is in flight — equivocate for a few
+// rounds, retarget vote withholding at whoever the schedule picks as the next
+// anchor, then go quiet. DirectiveBook owns one directives slot per validator
+// at a stable address; validators read it through the const pointer installed
+// by attach(), and strategies mutate it from serial-shard adversary events
+// (which are barriers within a same-timestamp batch), so validator reads on
+// sharded events never race a write — the PR 5 determinism contract holds
+// with adversaries active.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hammerhead/node/validator.h"
+
+namespace hammerhead::node {
+
+/// Per-validator ByzantineDirectives storage with aggregate counters for the
+/// `hh_adv_*` gauges. Must outlive every attached validator.
+class DirectiveBook {
+ public:
+  explicit DirectiveBook(std::size_t num_validators)
+      : slots_(num_validators) {}
+
+  std::size_t size() const { return slots_.size(); }
+
+  /// Install slot `v` as validator v's directive source.
+  void attach(Validator& validator) {
+    validator.set_directives(&slots_.at(validator.index()));
+  }
+
+  const ByzantineDirectives& directives(ValidatorIndex v) const {
+    return slots_.at(v);
+  }
+
+  /// Toggle equivocation for `v`. Returns true if the flag changed.
+  bool set_equivocate(ValidatorIndex v, bool on) {
+    ByzantineDirectives& d = slots_.at(v);
+    if (d.equivocate == on) return false;
+    d.equivocate = on;
+    return true;
+  }
+
+  /// Point `v`'s vote withholding at `target` (kInvalidValidator = none).
+  /// Returns true if the target changed.
+  bool set_withhold_votes_for(ValidatorIndex v, ValidatorIndex target) {
+    ByzantineDirectives& d = slots_.at(v);
+    if (d.withhold_votes_for == target) return false;
+    d.withhold_votes_for = target;
+    return true;
+  }
+
+  /// Reset every slot to honest.
+  void clear();
+
+  /// Validators with at least one active directive (gauge).
+  std::size_t active_count() const;
+
+ private:
+  std::vector<ByzantineDirectives> slots_;
+};
+
+/// The corrupted set for an adversary controlling `count` validators in a
+/// committee of `n`: the highest indices, capped at the largest minority
+/// f = max(1, (n-1)/3) so the adversary never controls a blocking quorum
+/// (count = 0 selects exactly f). Matches the harness's crash/slow scenario
+/// convention of faulting from the top so validator 0 stays a live observer.
+std::vector<ValidatorIndex> corrupted_set(std::size_t n, std::size_t count);
+
+}  // namespace hammerhead::node

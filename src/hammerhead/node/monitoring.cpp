@@ -40,6 +40,7 @@ void export_engine_metrics(const sim::Simulator& sim, const net::Network& net,
   set_gauge("hh_net_relay_sends", static_cast<double>(ns.relay_sends));
   set_gauge("hh_net_tree_fallbacks", static_cast<double>(ns.tree_fallbacks));
   set_gauge("hh_net_links_cut", static_cast<double>(net.links_cut()));
+  set_gauge("hh_net_links_delayed", static_cast<double>(net.links_delayed()));
 
   // Read-mostly concurrency layer: epoch lifecycle and reclamation. Bytes
   // pending are snapshot tables retired but still inside a grace period.
@@ -70,6 +71,11 @@ void export_validator_metrics(const Validator& validator,
   set_gauge("hh_fetches_sent", static_cast<double>(s.fetches_sent));
   set_gauge("hh_equivocations_observed",
             static_cast<double>(s.equivocations_observed));
+  // Adversary-framework gauges (harness/adversary.h): what this validator
+  // did under Byzantine directives, and the commit-layer safety counter.
+  set_gauge("hh_adv_equivocations_sent",
+            static_cast<double>(s.equivocations_sent));
+  set_gauge("hh_adv_votes_withheld", static_cast<double>(s.votes_withheld));
   set_gauge("hh_txs_executed", static_cast<double>(s.txs_executed));
   set_gauge("hh_restarts", static_cast<double>(s.restarts));
   set_gauge("hh_state_syncs_completed",
@@ -89,6 +95,9 @@ void export_validator_metrics(const Validator& validator,
     set_gauge(
         "hh_skipped_anchors",
         static_cast<double>(validator.committer().stats().skipped_anchors));
+    set_gauge(
+        "hh_adv_conflicting_certs",
+        static_cast<double>(validator.committer().stats().conflicting_certs));
     set_gauge(
         "hh_schedule_epochs",
         validator.policy().history()

@@ -335,7 +335,10 @@ void Validator::propose(Round round) {
              static_cast<SimTime>(txs.size()) * config_.cost_per_tx_include +
              config_.cost_store_write);
 
-  if (config_.behavior == Behavior::Equivocator && round > 0) {
+  const bool equivocate =
+      config_.behavior == Behavior::Equivocator ||
+      (directives_ != nullptr && directives_->equivocate);
+  if (equivocate && round > 0) {
     propose_equivocating(round, std::move(parents), std::move(txs));
     return;
   }
@@ -445,6 +448,11 @@ void Validator::handle_header(ValidatorIndex from,
 
 void Validator::maybe_vote(ValidatorIndex from, const dag::HeaderPtr& header) {
   if (config_.behavior == Behavior::VoteWithholder) return;
+  if (directives_ != nullptr &&
+      directives_->withhold_votes_for == header->author) {
+    ++stats_.votes_withheld;
+    return;
+  }
 
   const std::pair<ValidatorIndex, Round> slot{header->author, header->round};
   if (auto prior = voted_table().get(slot)) {
@@ -515,7 +523,16 @@ void Validator::ingest_cert(const dag::CertPtr& cert, ValidatorIndex source) {
     insert_ready_cert(cert, /*inserted=*/true);
     return;
   }
-  if (outcome != dag::Dag::InsertOutcome::Missing) return;  // dup/invalid
+  if (outcome == dag::Dag::InsertOutcome::Conflict) {
+    // A *certified* equivocation: a second certificate for an occupied
+    // (round, author) slot with a different digest. Vote uniqueness makes
+    // this impossible while < n/3 stake is Byzantine, so the committer's
+    // conflicting_certs counter doubles as a safety gauge (must stay 0).
+    ++stats_.equivocations_observed;
+    committer_->note_conflicting_cert();
+    return;
+  }
+  if (outcome != dag::Dag::InsertOutcome::Missing) return;  // duplicate
 
   maybe_request_state_sync(*cert, source);
   const std::vector<Digest>& missing = missing_scratch_;

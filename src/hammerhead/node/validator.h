@@ -60,6 +60,22 @@ enum class Behavior {
   SlowProposer,
 };
 
+/// Runtime-steerable Byzantine directives, flipped by an adversary strategy
+/// while the validator runs (in contrast to Behavior, which is fixed at
+/// construction). The validator reads them through a const pointer installed
+/// with set_directives(); the harness::DirectiveBook owns the storage and
+/// adversary strategies mutate it from serial-shard events, so reads from
+/// the validator's own sharded events never race a write.
+struct ByzantineDirectives {
+  /// Propose two conflicting headers per round (split-committee recipient
+  /// sets), like Behavior::Equivocator but toggleable mid-run.
+  bool equivocate = false;
+  /// Refuse to countersign headers authored by this validator (targeted
+  /// vote withholding against e.g. the upcoming anchor's author).
+  /// kInvalidValidator = withhold from no one.
+  ValidatorIndex withhold_votes_for = kInvalidValidator;
+};
+
 struct NodeConfig {
   // Proposer.
   /// Per-header payload cap. This doubles as the coarse backpressure model:
@@ -129,6 +145,12 @@ struct ValidatorStats {
   std::uint64_t leader_timeouts = 0;
   std::uint64_t fetches_sent = 0;
   std::uint64_t equivocations_observed = 0;
+  /// Conflicting header pairs this validator itself proposed (Equivocator
+  /// behavior or an equivocate directive).
+  std::uint64_t equivocations_sent = 0;
+  /// Votes refused under a withhold_votes_for directive (the static
+  /// Behavior::VoteWithholder does not count here — it never votes at all).
+  std::uint64_t votes_withheld = 0;
   std::uint64_t txs_executed = 0;
   std::uint64_t restarts = 0;
   std::uint64_t state_syncs_requested = 0;
@@ -169,6 +191,13 @@ class Validator final : public net::MsgSink {
 
   /// Multiply every CPU cost by `factor` (degraded-node injection).
   void set_cpu_slowdown(double factor) { cpu_slowdown_ = factor; }
+
+  /// Install runtime Byzantine directives (nullptr = honest). The pointee is
+  /// owned by the caller (harness::DirectiveBook) and must outlive the
+  /// validator; writes happen on serial-shard adversary events only.
+  void set_directives(const ByzantineDirectives* directives) {
+    directives_ = directives;
+  }
 
   // Introspection for tests and metrics.
   const dag::Dag& dag() const { return *dag_; }
@@ -270,6 +299,8 @@ class Validator final : public net::MsgSink {
   NodeConfig config_;
   PolicyFactory policy_factory_;
   CommitCallback on_commit_;
+  /// Runtime adversary directives; nullptr when honest. See set_directives().
+  const ByzantineDirectives* directives_ = nullptr;
   crypto::Keypair keypair_;
   storage::Table<std::pair<Round, ValidatorIndex>, dag::CertPtr>* cert_table_;
   storage::Table<std::pair<ValidatorIndex, Round>, Digest>* voted_table_;

@@ -1,0 +1,227 @@
+// Tests: the adaptive-adversary framework (harness/adversary.h) — canned
+// strategies move their counters while safety holds (conflicting_certs
+// stays 0 under f < n/3 equivocators), withheld votes slow but never stop
+// commits, eclipse windows heal and the victim recovers, per-link delay
+// respects the partial-synchrony bound — plus the trace-hash determinism
+// contract with adversaries active (jobs=1 == jobs=K, intra_jobs=1 == K)
+// and the WAN latency-matrix loader feeding net::MatrixLatencyModel.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "hammerhead/harness/adversary.h"
+#include "hammerhead/net/latency.h"
+
+namespace hammerhead {
+namespace {
+
+using harness::AdversarySpec;
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::SweepOptions;
+using harness::SweepSpec;
+
+/// Protocol-speed 7-validator run (f = 2): long enough that every strategy
+/// fires several times, short enough for a unit-test budget.
+ExperimentConfig adversary_config(std::uint64_t seed = 11) {
+  ExperimentConfig cfg;
+  cfg.num_validators = 7;
+  cfg.seed = seed;
+  cfg.duration = seconds(12);
+  cfg.warmup = seconds(2);
+  cfg.load_tps = 300;
+  cfg.latency = harness::LatencyKind::Uniform;
+  cfg.node.model_cpu = false;
+  cfg.node.min_round_delay = millis(20);
+  cfg.node.leader_timeout = millis(400);
+  return cfg;
+}
+
+TEST(AdversaryEquivocation, DetectedAndSafe) {
+  ExperimentConfig cfg = adversary_config();
+  cfg.adversaries.push_back(harness::adversary_equivocate());
+  const ExperimentResult r = harness::run_experiment(cfg);
+  // The corrupted minority equivocated and honest nodes saw it...
+  EXPECT_GT(r.adversary_ticks, 0u);
+  EXPECT_GT(r.equivocations_sent, 0u);
+  EXPECT_GT(r.equivocations_observed, 0u);
+  // ...but vote uniqueness kept every equivocation out of the certified
+  // DAG: no slot ever held two certificates (the safety property).
+  EXPECT_EQ(r.conflicting_certs, 0u);
+  // And the honest 2f+1 majority kept committing.
+  EXPECT_GT(r.committed_anchors, 0u);
+}
+
+TEST(AdversaryWithholding, DelaysButCommits) {
+  ExperimentConfig cfg = adversary_config();
+  cfg.adversaries.push_back(harness::adversary_withhold_votes());
+  const ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_GT(r.votes_withheld, 0u);
+  // n - f = 5 >= 2f + 1 honest votes still certify every anchor: commits
+  // continue despite the starved leaders.
+  EXPECT_GT(r.committed_anchors, 0u);
+  EXPECT_EQ(r.conflicting_certs, 0u);
+}
+
+TEST(AdversaryEclipse, HealsAndRecovers) {
+  ExperimentConfig cfg = adversary_config();
+  // Fixed victim, one long window per quarter: links sever (messages are
+  // held by the reliable channels) and restore on schedule.
+  cfg.adversaries.push_back(
+      harness::adversary_eclipse(/*window_frac=*/0.1, /*period_frac=*/0.3,
+                                 /*fixed_victim=*/6));
+  const ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_GT(r.adversary_actions, 0u);
+  EXPECT_GT(r.messages_held, 0u);   // the windows actually severed links
+  EXPECT_GT(r.committed_anchors, 0u);  // quorum never included the victim
+  EXPECT_EQ(r.conflicting_certs, 0u);
+}
+
+TEST(AdversaryDelay, BoundedByPartialSynchrony) {
+  ExperimentConfig cfg = adversary_config();
+  cfg.adversaries.push_back(harness::adversary_delay(/*delta_fraction=*/1.0));
+  const ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_GT(r.adversary_actions, 0u);
+  // Even at the full delta stretch the fabric caps arrivals at
+  // max(GST, send) + delta, so rounds advance and anchors commit.
+  EXPECT_GT(r.committed_anchors, 0u);
+
+  const ExperimentResult honest = harness::run_experiment(adversary_config());
+  // The stretch is visible: worst-case latency at or above the honest run.
+  EXPECT_GE(r.p95_latency_s, honest.p95_latency_s);
+}
+
+TEST(AdversaryComposition, StrategiesStack) {
+  ExperimentConfig cfg = adversary_config();
+  // scenario_adversary composes: withholding AND delay in one scenario.
+  harness::scenario_adversary(
+      {harness::adversary_withhold_votes(), harness::adversary_delay()})
+      .apply(cfg);
+  ASSERT_EQ(cfg.adversaries.size(), 2u);
+  const ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_GT(r.votes_withheld, 0u);
+  EXPECT_GT(r.committed_anchors, 0u);
+  EXPECT_EQ(r.conflicting_certs, 0u);
+}
+
+// --- determinism contract ---------------------------------------------------
+
+TEST(AdversaryDeterminism, TraceHashInvariantAcrossIntraJobs) {
+  for (const AdversarySpec& spec :
+       {harness::adversary_equivocate(), harness::adversary_withhold_votes(),
+        harness::adversary_eclipse(), harness::adversary_delay()}) {
+    ExperimentConfig cfg = adversary_config();
+    cfg.adversaries.push_back(spec);
+    const ExperimentResult serial = harness::run_experiment(cfg);
+    cfg.intra_jobs = 4;
+    const ExperimentResult sharded = harness::run_experiment(cfg);
+    EXPECT_EQ(harness::deterministic_signature(serial),
+              harness::deterministic_signature(sharded))
+        << "adversary " << spec.name;
+  }
+}
+
+TEST(AdversaryDeterminism, SweepInvariantAcrossJobs) {
+  SweepSpec spec;
+  spec.name = "adv_determinism";
+  spec.base = adversary_config();
+  spec.base.duration = seconds(8);
+  spec.committee_sizes = {7};
+  spec.seeds = {1, 2};
+  spec.adversaries = {AdversarySpec{},  // honest control rides along
+                      harness::adversary_equivocate(),
+                      harness::adversary_withhold_votes(),
+                      harness::adversary_eclipse(),
+                      harness::adversary_delay()};
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  const auto a = harness::run_sweep(spec, serial);
+  SweepOptions wide;
+  wide.jobs = 8;
+  const auto b = harness::run_sweep(spec, wide);
+
+  ASSERT_EQ(a.results.size(), b.results.size());
+  ASSERT_TRUE(a.errors.empty()) << a.errors.front();
+  ASSERT_TRUE(b.errors.empty()) << b.errors.front();
+  for (std::size_t i = 0; i < a.results.size(); ++i)
+    EXPECT_EQ(harness::deterministic_signature(a.results[i]),
+              harness::deterministic_signature(b.results[i]))
+        << a.cells[i].label;
+  // Worst-case rows aggregate deterministically too.
+  ASSERT_EQ(a.adversary_worst.size(), 4u);
+  for (std::size_t i = 0; i < a.adversary_worst.size(); ++i) {
+    EXPECT_EQ(a.adversary_worst[i].label, b.adversary_worst[i].label);
+    EXPECT_EQ(a.adversary_worst[i].worst_p95_latency_s,
+              b.adversary_worst[i].worst_p95_latency_s);
+    EXPECT_EQ(a.adversary_worst[i].conflicting_certs, 0.0);
+  }
+}
+
+TEST(AdversarySweepAxis, HonestSentinelPreservesGrid) {
+  SweepSpec spec;
+  spec.name = "axis";
+  spec.base = adversary_config();
+  spec.committee_sizes = {7};
+  spec.seeds = {1, 2};
+
+  // No axis vs an explicit honest sentinel: identical labels and seeds.
+  const auto none = harness::expand_sweep(spec);
+  spec.adversaries = {AdversarySpec{}};
+  const auto sentinel = harness::expand_sweep(spec);
+  ASSERT_EQ(none.size(), sentinel.size());
+  for (std::size_t i = 0; i < none.size(); ++i) {
+    EXPECT_EQ(none[i].label, sentinel[i].label);
+    EXPECT_EQ(none[i].config.seed, sentinel[i].config.seed);
+    EXPECT_TRUE(sentinel[i].config.adversaries.empty());
+  }
+
+  // A named adversary adds the /adv= fragment before /seed= and lands its
+  // spec in the cell config.
+  spec.adversaries = {AdversarySpec{}, harness::adversary_delay()};
+  const auto cells = harness::expand_sweep(spec);
+  ASSERT_EQ(cells.size(), 2u * none.size());
+  EXPECT_EQ(cells[2].label, "policy=hammerhead/n=7/fault=faultless/adv=delay/seed=1");
+  EXPECT_EQ(cells[2].adversary, "delay");
+  ASSERT_EQ(cells[2].config.adversaries.size(), 1u);
+}
+
+// --- WAN latency matrix -----------------------------------------------------
+
+TEST(LatencyMatrix, ParsesTraceText) {
+  // 3 sites, one-way ms, '#' comments and blank lines ignored.
+  const net::LatencyMatrix m = net::parse_latency_matrix(
+      "# us-east  eu-west  ap-south\n"
+      "0.1  40   110\n"
+      "40   0.1  150\n"
+      "110  150  0.1\n");
+  ASSERT_EQ(m.sites(), 3u);
+  EXPECT_EQ(m.one_way_us[0][1], millis(40));
+  EXPECT_EQ(m.one_way_us[2][1], millis(150));
+  EXPECT_THROW(net::parse_latency_matrix("0 1\n2\n"), InvariantViolation);
+  EXPECT_THROW(net::parse_latency_matrix("0 x\ny 0\n"), InvariantViolation);
+}
+
+TEST(LatencyMatrix, LoadsFromFileAndDrivesRuns) {
+  const std::string path = ::testing::TempDir() + "hh_latency_matrix.txt";
+  {
+    std::ofstream out(path);
+    out << "1 30 90\n30 1 120\n90 120 1\n";
+  }
+  const net::LatencyMatrix m = net::load_latency_matrix(path);
+  ASSERT_EQ(m.sites(), 3u);
+
+  ExperimentConfig cfg = adversary_config();
+  cfg.latency = harness::LatencyKind::Matrix;
+  cfg.latency_matrix = m;
+  const ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_GT(r.committed_anchors, 0u);
+  // Trace-driven latency is deterministic like every other model.
+  const ExperimentResult again = harness::run_experiment(cfg);
+  EXPECT_EQ(r.trace_hash, again.trace_hash);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hammerhead

@@ -49,7 +49,11 @@ GATED_METRICS = ("throughput_tps", "throughput_mean")
 # baseline row carries p95_stddev (sweep aggregates do; single-seed figure
 # rows stay advisory).
 GATED_LATENCY_METRICS = (("p95_mean", "p95_stddev"),
-                         ("p95_latency_s", "p95_stddev"))
+                         ("p95_latency_s", "p95_stddev"),
+                         # Adversary sweep "adv/<name>" rows: the worst p95
+                         # any grid cell suffered under that adversary, with
+                         # cross-cell stddev as the variance context.
+                         ("worst_p95_latency_s", "worst_p95_stddev"))
 # Commit-count metrics gated only with stddev context, mirroring the latency
 # rule with the sign flipped: lower is worse, trips when the count drops
 # beyond max(threshold * base, 3 * stddev).
@@ -409,6 +413,28 @@ def self_test(threshold):
         failures += compare_payloads(
             desc, fig_p95_payload(base_p95, base_stddev),
             fig_p95_payload(cur_p95, base_stddev), expected)
+
+    # Adversary worst-case rows: same latency rule over adv/<name> rows
+    # (worst_p95_latency_s gated with worst_p95_stddev context).
+    def adv_payload(worst, stddev):
+        metrics = {"runs": 12.0, "worst_p95_latency_s": worst,
+                   "conflicting_certs": 0.0}
+        if stddev is not None:
+            metrics["worst_p95_stddev"] = stddev
+        return {"bench": "selftest",
+                "rows": [{"label": "adv/delay", "metrics": metrics}]}
+
+    for desc, base_stddev, cur_worst, expected in [
+        ("adversary worst p95 beyond allowance", tight,
+         base_p95 + 1.2 * floor, 1),
+        ("adversary worst p95 inside allowance", tight,
+         base_p95 + 0.5 * floor, 0),
+        ("adversary worst p95 without context stays advisory", None,
+         base_p95 + 3.0 * floor, 0),
+    ]:
+        failures += compare_payloads(
+            desc, adv_payload(base_p95, base_stddev),
+            adv_payload(cur_worst, base_stddev), expected)
 
     # Commit counts: lower is worse, same max(threshold, 3 sigma) rule,
     # advisory without stddev context.

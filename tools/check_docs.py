@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Documentation consistency gate.
+
+Two checks, both grep-based (no markdown parser dependency):
+
+1. Every intra-repo markdown link ``[text](path)`` in the repo's .md
+   files must resolve to an existing file (anchors are stripped;
+   external http(s)/mailto links are ignored).
+2. Every ``scenario_*`` / ``adversary_*`` factory named in
+   docs/scenarios.md must exist in the harness headers, and — the
+   reverse direction — every factory declared in the headers must be
+   documented in docs/scenarios.md. Docs that drift from the code fail
+   CI, in either direction.
+
+Usage: python3 tools/check_docs.py [repo_root]
+Exit 0 when everything resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+
+DOC_FILES = (
+    "ARCHITECTURE.md",
+    "ROADMAP.md",
+    "docs/scenarios.md",
+    "docs/benchmarks.md",
+)
+FACTORY_HEADERS = (
+    "src/hammerhead/harness/sweep.h",
+    "src/hammerhead/harness/adversary.h",
+)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FACTORY_USE_RE = re.compile(r"\b((?:scenario|adversary)_[a-z0-9_]+)\s*\(")
+FACTORY_DECL_RE = re.compile(
+    r"^(?:FaultScenario|AdversarySpec)\s+((?:scenario|adversary)_[a-z0-9_]+)\s*\(",
+    re.MULTILINE)
+
+
+def check_links(root):
+    failures = []
+    for doc in DOC_FILES:
+        path = os.path.join(root, doc)
+        if not os.path.isfile(path):
+            failures.append(f"{doc}: file missing")
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            resolved = os.path.normpath(
+                os.path.join(root, os.path.dirname(doc), rel))
+            if not os.path.exists(resolved):
+                failures.append(f"{doc}: broken link -> {target}")
+    return failures
+
+
+def check_factories(root):
+    failures = []
+    declared = set()
+    for header in FACTORY_HEADERS:
+        path = os.path.join(root, header)
+        if not os.path.isfile(path):
+            failures.append(f"{header}: header missing")
+            continue
+        with open(path, encoding="utf-8") as f:
+            declared |= set(FACTORY_DECL_RE.findall(f.read()))
+
+    doc_path = os.path.join(root, "docs", "scenarios.md")
+    if not os.path.isfile(doc_path):
+        return failures + ["docs/scenarios.md: file missing"]
+    with open(doc_path, encoding="utf-8") as f:
+        documented = set(FACTORY_USE_RE.findall(f.read()))
+
+    for name in sorted(documented - declared):
+        failures.append(
+            f"docs/scenarios.md names {name}() but no harness header "
+            "declares it")
+    for name in sorted(declared - documented):
+        failures.append(
+            f"{name}() is declared in the harness headers but "
+            "docs/scenarios.md never mentions it")
+    return failures
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = check_links(root) + check_factories(root)
+    for failure in failures:
+        print(f"check_docs: {failure}", file=sys.stderr)
+    if failures:
+        print(f"check_docs: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("check_docs: all markdown links resolve and every "
+          "scenario/adversary factory is documented and declared")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
