@@ -22,12 +22,20 @@
 // x {honest, equivocate, withhold-votes, eclipse, delay}, with worst-case
 // commit-latency rows ("adv/<name>") aggregated per adversary. Kept out of
 // the matrix sweep so the matrix baselines stay byte-identical.
+// A third mode, --checkpoint-verify, exercises the checkpoint/resume
+// subsystem (harness/checkpoint.h) at bench scale: representative cells run
+// straight-through with interval checkpoints, then every checkpoint index
+// is resumed — at --intra-jobs workers — and the final trace hash must match
+// the straight-through run (with the replayed state blob byte-compared
+// against each snapshot at its cut). Exits nonzero on any divergence.
 #include <cstring>
+#include <filesystem>
 #include <iomanip>
 #include <thread>
 
 #include "bench_util.h"
 #include "hammerhead/harness/adversary.h"
+#include "hammerhead/harness/checkpoint.h"
 #include "hammerhead/harness/sweep.h"
 
 using namespace hammerhead;
@@ -118,6 +126,87 @@ int run_and_report(const harness::SweepSpec& spec, std::size_t jobs,
   return (sweep.errors.empty() && mismatches == 0) ? 0 : 1;
 }
 
+/// --checkpoint-verify: prove the resume identity
+/// `trace hash(resume at t_k, jobs=J) == trace hash(straight-through,
+/// jobs=1)` for EVERY checkpoint index of each representative cell, at
+/// J = resume_jobs. verify_resume additionally byte-compares the replayed
+/// state blob against each snapshot at its cut, so a pass certifies both
+/// the trace identity and the serialized-state identity.
+int run_checkpoint_verify(std::size_t resume_jobs) {
+  namespace fs = std::filesystem;
+  struct Cell {
+    std::string label;
+    harness::ExperimentConfig cfg;
+  };
+  std::vector<Cell> cells;
+  {
+    harness::ExperimentConfig base = paper_config(
+        10, 1'000, /*faults=*/0, harness::PolicyKind::HammerHead);
+    base.duration = bench_duration(seconds(12));
+    base.warmup = base.duration / 4;
+    cells.push_back({"faultless_n10", base});
+
+    harness::ExperimentConfig churn = base;
+    harness::ChurnSpec spec;
+    spec.nodes = {8, 9};
+    spec.start = base.duration / 6;
+    spec.period = base.duration / 3;
+    spec.downtime = base.duration / 8;
+    churn.churn.push_back(spec);
+    cells.push_back({"churn_n10", churn});
+
+    harness::ExperimentConfig equiv = base;
+    equiv.adversaries.push_back(harness::adversary_equivocate());
+    cells.push_back({"adv_equivocate_n10", equiv});
+
+    harness::ExperimentConfig eclipse = base;
+    eclipse.adversaries.push_back(harness::adversary_eclipse());
+    cells.push_back({"adv_eclipse_n10", eclipse});
+  }
+
+  std::size_t total_resumes = 0, mismatches = 0;
+  for (Cell& cell : cells) {
+    const fs::path dir =
+        fs::temp_directory_path() / ("hh_ckptverify_" + cell.label);
+    fs::remove_all(dir);
+    cell.cfg.checkpoint.dir = dir.string();
+    cell.cfg.checkpoint.interval = cell.cfg.duration / 6;
+    const harness::ExperimentResult straight =
+        harness::run_experiment(cell.cfg);
+    std::cout << std::left << std::setw(24) << cell.label
+              << " checkpoints=" << straight.checkpoints_written
+              << " trace=" << std::hex << straight.trace_hash << std::dec
+              << "\n";
+    for (std::uint32_t k = 0; k < straight.checkpoints_written; ++k) {
+      harness::ExperimentConfig resume = cell.cfg;
+      resume.intra_jobs = resume_jobs;
+      resume.checkpoint.resume_from =
+          harness::checkpoint_path(dir.string(), k);
+      ++total_resumes;
+      try {
+        const harness::ExperimentResult r = harness::run_experiment(resume);
+        if (r.trace_hash != straight.trace_hash) {
+          ++mismatches;
+          std::cout << "MISMATCH " << cell.label << " checkpoint " << k
+                    << ": " << std::hex << r.trace_hash
+                    << " != " << straight.trace_hash << std::dec << "\n";
+        }
+      } catch (const std::exception& e) {
+        ++mismatches;
+        std::cout << "RESUME FAILED " << cell.label << " checkpoint " << k
+                  << ": " << e.what() << "\n";
+      }
+    }
+    fs::remove_all(dir);
+  }
+  std::cout << (mismatches == 0 ? "checkpoint-verify OK: "
+                                : "checkpoint-verify FAILED: ")
+            << total_resumes - mismatches << "/" << total_resumes
+            << " resumes bit-identical (resume jobs=" << resume_jobs
+            << ")\n";
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,6 +214,7 @@ int main(int argc, char** argv) {
       8, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
   std::size_t intra_jobs = 1;
   bool verify = false;
+  bool checkpoint_verify = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -138,9 +228,12 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoul(argv[i] + 13, nullptr, 10));
     else if (std::strcmp(argv[i], "--verify") == 0)
       verify = true;
+    else if (std::strcmp(argv[i], "--checkpoint-verify") == 0)
+      checkpoint_verify = true;
   }
   if (jobs == 0) jobs = 1;
   if (intra_jobs == 0) intra_jobs = 1;
+  if (checkpoint_verify) return run_checkpoint_verify(intra_jobs);
 
   harness::SweepSpec spec;
   spec.name = "matrix";

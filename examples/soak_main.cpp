@@ -1,0 +1,148 @@
+// Crash-injection soak binary: one resumable cell of the soak harness
+// (tools/soak.py). Runs a checkpointed experiment, optionally SIGKILLs
+// itself right after a chosen checkpoint lands on disk (the crash-injection
+// hook — a real uncatchable SIGKILL, no destructors, exactly what the
+// atomic-write path must survive), and on the next invocation resumes from
+// the newest valid checkpoint with byte-identity verification.
+//
+//   soak_main --dir /tmp/soak                 # fresh run to completion
+//   soak_main --dir /tmp/soak --kill-after 0  # die after checkpoint 0
+//   soak_main --dir /tmp/soak --resume        # pick up from the newest cut
+//
+// On clean exit writes `<dir>/final.json` with the run fingerprint
+// (trace_hash, commits, conflicting_certs) for the driver to compare against
+// a straight-through reference.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "hammerhead/harness/adversary.h"
+#include "hammerhead/harness/experiment.h"
+
+using namespace hammerhead;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --dir <checkpoint-dir> [options]\n"
+         "  --resume               resume from the newest checkpoint in dir\n"
+         "  --kill-after <k>       SIGKILL self after checkpoint k is on disk\n"
+         "  --seed <s>             root seed (default 77)\n"
+         "  --validators <n>       committee size (default 7)\n"
+         "  --duration-s <d>       simulated run length (default 30)\n"
+         "  --interval-s <i>       checkpoint cadence (default 2)\n"
+         "  --load <tps>           offered load (default 500)\n"
+         "  --jobs <j>             intra-run worker threads (default 1)\n"
+         "  --adversary <name>     equivocate|withhold|eclipse|delay\n"
+         "  --control <path>       bind the control socket at <path>\n"
+         "  --final-json <path>    result sink (default <dir>/final.json)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir, control, final_json, adversary;
+  bool resume = false;
+  long long kill_after = -1;
+  harness::ExperimentConfig cfg;
+  cfg.seed = 77;
+  cfg.num_validators = 7;
+  cfg.duration = seconds(30);
+  cfg.warmup = seconds(2);
+  cfg.load_tps = 500;
+  cfg.latency = harness::LatencyKind::Uniform;
+  cfg.node.model_cpu = false;
+  cfg.node.min_round_delay = millis(20);
+  cfg.node.leader_timeout = millis(400);
+  cfg.checkpoint.interval = seconds(2);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--dir") dir = next();
+    else if (arg == "--resume") resume = true;
+    else if (arg == "--kill-after") kill_after = std::atoll(next());
+    else if (arg == "--seed") cfg.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--validators")
+      cfg.num_validators = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--duration-s")
+      cfg.duration = seconds(std::atoll(next()));
+    else if (arg == "--interval-s")
+      cfg.checkpoint.interval = seconds(std::atoll(next()));
+    else if (arg == "--load") cfg.load_tps = std::strtod(next(), nullptr);
+    else if (arg == "--jobs")
+      cfg.intra_jobs = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--adversary") adversary = next();
+    else if (arg == "--control") control = next();
+    else if (arg == "--final-json") final_json = next();
+    else usage(argv[0]);
+  }
+  if (dir.empty()) usage(argv[0]);
+  if (final_json.empty()) final_json = dir + "/final.json";
+
+  cfg.checkpoint.dir = dir;
+  cfg.control_socket = control;
+  if (resume) cfg.checkpoint.resume_from = "latest";
+  if (adversary == "equivocate")
+    cfg.adversaries.push_back(harness::adversary_equivocate());
+  else if (adversary == "withhold")
+    cfg.adversaries.push_back(harness::adversary_withhold_votes());
+  else if (adversary == "eclipse")
+    cfg.adversaries.push_back(harness::adversary_eclipse());
+  else if (adversary == "delay")
+    cfg.adversaries.push_back(harness::adversary_delay());
+  else if (!adversary.empty())
+    usage(argv[0]);
+
+  if (kill_after >= 0) {
+    cfg.checkpoint.on_checkpoint = [kill_after](std::uint32_t index) {
+      if (static_cast<long long>(index) >= kill_after) {
+        // The checkpoint file is durably renamed into place; die the hard
+        // way (uncatchable, no atexit, no destructors) like a host crash.
+        std::fprintf(stderr, "soak: SIGKILL self after checkpoint %u\n",
+                     index);
+        std::fflush(nullptr);
+        ::kill(::getpid(), SIGKILL);
+      }
+    };
+  }
+
+  const harness::ExperimentResult r = harness::run_experiment(cfg);
+
+  std::FILE* f = std::fopen(final_json.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "soak: cannot write " << final_json << "\n";
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\"trace_hash\": \"%016llx\", \"submitted\": %llu, \"committed\": "
+      "%llu,\n \"committed_anchors\": %llu, \"conflicting_certs\": %llu, "
+      "\"checkpoints_written\": %llu,\n \"resumed_from\": %lld, "
+      "\"sim_events\": %llu}\n",
+      static_cast<unsigned long long>(r.trace_hash),
+      static_cast<unsigned long long>(r.submitted),
+      static_cast<unsigned long long>(r.committed),
+      static_cast<unsigned long long>(r.committed_anchors),
+      static_cast<unsigned long long>(r.conflicting_certs),
+      static_cast<unsigned long long>(r.checkpoints_written),
+      static_cast<long long>(r.resumed_from),
+      static_cast<unsigned long long>(r.sim_events));
+  std::fclose(f);
+
+  std::cout << "soak: done t=" << r.duration_s << "s committed=" << r.committed
+            << " anchors=" << r.committed_anchors
+            << " conflicting_certs=" << r.conflicting_certs
+            << " checkpoints=" << r.checkpoints_written
+            << " resumed_from=" << r.resumed_from << " trace_hash=" << std::hex
+            << r.trace_hash << std::dec << "\n";
+  return r.conflicting_certs == 0 ? 0 : 3;
+}

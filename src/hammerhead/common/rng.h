@@ -7,6 +7,7 @@
 // uniform/exponential/normal sampling on top of the raw generator.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -62,6 +63,21 @@ class Rng {
   /// Derive an independent child generator (e.g. one per node) such that
   /// adding consumers does not perturb existing streams.
   Rng fork();
+
+  /// The full xoshiro256** state word vector — the RNG stream position is
+  /// exactly these 256 bits. The checkpoint subsystem serializes it so a
+  /// resumed run can prove its generator sits at the same stream offset as
+  /// the straight-through run.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Rebuild a generator at an exact stream position captured by state().
+  static Rng from_state(const std::array<std::uint64_t, 4>& words) {
+    Rng rng(0);
+    for (int i = 0; i < 4; ++i) rng.state_[i] = words[i];
+    return rng;
+  }
 
  private:
   std::uint64_t state_[4];

@@ -1,14 +1,20 @@
-// Deterministic byte serialization used to compute content digests.
+// Deterministic byte serialization used to compute content digests — and,
+// since the checkpoint subsystem, to persist run state.
 //
-// This is not a wire format (the simulator passes shared immutable objects);
-// it only needs to be an injective encoding so that digests commit to every
-// field. Integers are encoded little-endian fixed-width; containers are
-// length-prefixed.
+// ByteWriter is not a wire format between nodes (the simulator passes shared
+// immutable objects); it only needs to be an injective encoding so that
+// digests commit to every field. Integers are encoded little-endian
+// fixed-width; containers are length-prefixed. ByteReader is the exact
+// inverse decoder, used by harness/checkpoint.{h,cpp} to read versioned
+// snapshot files back; every read is bounds-checked so a truncated or
+// corrupted snapshot fails loudly instead of reading garbage.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -90,6 +96,79 @@ class ByteWriter {
   std::uint8_t* ext_ = nullptr;
   std::size_t ext_cap_ = 0;
   std::size_t ext_len_ = 0;
+};
+
+/// Decoding error for externally supplied bytes (checkpoint files). Unlike
+/// HH_ASSERT — which flags programming errors — a SerdeError is an expected
+/// runtime condition (torn write after SIGKILL, stale format) that callers
+/// catch and recover from (e.g. fall back to the previous checkpoint).
+class SerdeError : public std::runtime_error {
+ public:
+  explicit SerdeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Bounds-checked decoder over a byte span; the exact inverse of ByteWriter.
+/// Does not own the storage. Every accessor throws SerdeError on underflow,
+/// never reads past the span, and remaining() lets callers assert that a
+/// record consumed exactly its payload.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v;
+    take(&v, 1);
+    return v;
+  }
+
+  std::uint32_t u32() { return take_le<std::uint32_t>(); }
+
+  std::uint64_t u64() { return take_le<std::uint64_t>(); }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  /// Length-prefixed byte string (inverse of ByteWriter::bytes). The
+  /// returned span aliases the underlying storage.
+  std::span<const std::uint8_t> bytes() {
+    const std::uint64_t n = u64();
+    if (n > remaining())
+      throw SerdeError("ByteReader: byte-string length " + std::to_string(n) +
+                       " exceeds remaining " + std::to_string(remaining()));
+    std::span<const std::uint8_t> out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Length-prefixed string (inverse of ByteWriter::str).
+  std::string str() {
+    std::span<const std::uint8_t> b = bytes();
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  void take(std::uint8_t* out, std::size_t n) {
+    if (n > remaining())
+      throw SerdeError("ByteReader: underflow reading " + std::to_string(n) +
+                       " byte(s) at offset " + std::to_string(pos_));
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  T take_le() {
+    std::uint8_t tmp[sizeof(T)];
+    take(tmp, sizeof(T));
+    T v;
+    std::memcpy(&v, tmp, sizeof(T));  // host is little-endian on all targets
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
 };
 
 }  // namespace hammerhead

@@ -26,6 +26,25 @@ double Dag::bytes_per_vertex() const {
   return static_cast<double>(bytes) / static_cast<double>(certs);
 }
 
+void Dag::serialize_content(ByteWriter& w) const {
+  w.u64(static_cast<std::uint64_t>(gc_floor_));
+  w.u64(arena_.size());
+  if (!max_round_) return;
+  // Walk [gc_floor, max_round] in round order; for_each_round_cert visits a
+  // round's slots in author order, so the byte stream is a canonical
+  // (round, author)-sorted encoding regardless of insertion or tiering
+  // history. Cold rounds rehydrate transparently under round_slab().
+  for (Round r = gc_floor_; r <= *max_round_; ++r) {
+    for_each_round_cert(r, [&](const CertPtr& cert) {
+      w.u64(static_cast<std::uint64_t>(cert->round()));
+      w.u32(cert->author());
+      w.bytes(cert->digest().bytes());
+      w.u64(cert->parents().size());
+      for (const Digest& p : cert->parents()) w.bytes(p.bytes());
+    });
+  }
+}
+
 bool Dag::parents_present(const Certificate& cert) const {
   if (cert.round() == 0) return true;
   if (cert.round() <= gc_floor_) return true;  // history pruned; accept

@@ -36,6 +36,7 @@
 #include <span>
 #include <vector>
 
+#include "hammerhead/common/serde.h"
 #include "hammerhead/crypto/committee.h"
 #include "hammerhead/dag/arena.h"
 #include "hammerhead/dag/index.h"
@@ -207,6 +208,14 @@ class Dag {
   /// compressed). Excludes the certificates themselves. Logical sizes, so
   /// the figure is deterministic and benchable across runs.
   double bytes_per_vertex() const;
+
+  /// Checkpoint support: serialize the DAG's logical content — every
+  /// resident vertex in (round, author) order with its digest and wire
+  /// parent digests, plus the gc floor. Representation-independent by
+  /// construction: hot and cold-tiered rounds encode to identical bytes
+  /// (cold rounds rehydrate transparently on the walk), which is exactly
+  /// what the rehydrate-after-restore checkpoint tests assert.
+  void serialize_content(ByteWriter& w) const;
 
   /// The incremental commit index (support accumulators, ancestor bitmaps,
   /// trigger-candidate rounds). The committer consumes its crossing events.

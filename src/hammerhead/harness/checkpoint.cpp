@@ -1,0 +1,316 @@
+#include "hammerhead/harness/checkpoint.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "hammerhead/harness/experiment.h"
+
+namespace hammerhead::harness {
+
+namespace fs = std::filesystem;
+
+std::uint64_t fnv1a_bytes(std::span<const std::uint8_t> data) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const std::uint8_t b : data) {
+    hash ^= b;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+namespace {
+
+void mix_double(ByteWriter& w, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  w.u64(bits);
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const ExperimentConfig& c) {
+  ByteWriter w;
+  w.u64(c.num_validators);
+  w.u64(c.seed);
+  w.u64(c.stakes.size());
+  for (const Stake s : c.stakes) w.u64(s);
+  w.u32(static_cast<std::uint32_t>(c.policy));
+  w.u32(static_cast<std::uint32_t>(c.hh.cadence.kind));
+  w.u64(c.hh.cadence.value);
+  mix_double(w, c.hh.exclude_fraction);
+  w.u32(c.static_leader);
+  // The custom-policy factory body is opaque; only its presence is mixed.
+  // Resuming a custom-policy run with a different factory is undetectable
+  // here and diverges at the replay-cut byte comparison instead.
+  w.u8(c.custom_policy ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(c.latency));
+  w.i64(c.uniform_latency_min);
+  w.i64(c.uniform_latency_max);
+  w.u64(c.latency_matrix.sites());
+  for (const auto& row : c.latency_matrix.one_way_us)
+    for (const SimTime t : row) w.i64(t);
+  w.i64(c.net.gst);
+  w.i64(c.net.delta);
+  w.i64(c.net.max_adversarial_delay);
+  mix_double(w, c.net.bandwidth_bytes_per_us);
+  w.u8(c.net.unlimited_bandwidth ? 1 : 0);
+  w.i64(c.net.delivery_slot);
+  w.u32(c.net.fanout_degree);
+  w.u64(c.node.max_batch_txs);
+  w.i64(c.node.leader_timeout);
+  w.i64(c.node.min_round_delay);
+  w.u32(static_cast<std::uint32_t>(c.node.commit_rule));
+  w.u32(static_cast<std::uint32_t>(c.node.trigger_scan));
+  w.u8(c.node.index.enabled ? 1 : 0);
+  w.u64(c.node.index.ancestor_window);
+  w.u64(c.node.index.cold_round_lag);
+  w.u64(c.node.gc_depth);
+  w.u8(c.node.gc_enabled ? 1 : 0);
+  w.i64(c.node.cost_verify_header);
+  w.i64(c.node.cost_verify_vote);
+  w.i64(c.node.cost_verify_cert);
+  w.i64(c.node.cost_verify_cert_per_signer);
+  w.i64(c.node.cost_sign);
+  w.i64(c.node.cost_store_write);
+  w.i64(c.node.cost_per_tx_include);
+  w.i64(c.node.cost_per_tx_verify);
+  w.i64(c.node.cost_per_tx_execute);
+  w.u8(c.node.model_cpu ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(c.node.behavior));
+  w.i64(c.node.slow_proposer_delay);
+  w.u64(c.node.max_fetch_response_certs);
+  w.i64(c.node.fetch_retry_delay);
+  w.i64(c.node.dispatch_slot);
+  w.i64(c.duration);
+  w.i64(c.warmup);
+  mix_double(w, c.load_tps);
+  w.i64(c.client_latency);
+  w.u64(c.faults);
+  w.i64(c.crash_time);
+  w.u64(c.crashes.size());
+  for (const CrashEvent& ev : c.crashes) {
+    w.u32(ev.node);
+    w.i64(ev.at);
+    w.i64(ev.recover_at.value_or(-1));
+  }
+  w.u64(c.slow_windows.size());
+  for (const SlowWindow& sw : c.slow_windows) {
+    w.u64(sw.nodes.size());
+    for (const ValidatorIndex v : sw.nodes) w.u32(v);
+    mix_double(w, sw.factor);
+    w.i64(sw.from);
+    w.i64(sw.to);
+  }
+  w.u64(c.partitions.size());
+  for (const PartitionWindow& p : c.partitions) {
+    w.u64(p.side_a.size());
+    for (const ValidatorIndex v : p.side_a) w.u32(v);
+    w.u64(p.side_b.size());
+    for (const ValidatorIndex v : p.side_b) w.u32(v);
+    w.i64(p.from);
+    w.i64(p.until);
+    w.u8(p.symmetric ? 1 : 0);
+  }
+  w.u64(c.churn.size());
+  for (const ChurnSpec& ch : c.churn) {
+    w.u64(ch.nodes.size());
+    for (const ValidatorIndex v : ch.nodes) w.u32(v);
+    w.i64(ch.start);
+    w.i64(ch.period);
+    w.i64(ch.downtime);
+    w.i64(ch.stagger);
+    w.u64(ch.cycles);
+  }
+  w.u64(c.behaviors.size());
+  for (const auto& [v, b] : c.behaviors) {
+    w.u32(v);
+    w.u32(static_cast<std::uint32_t>(b));
+  }
+  // Adversary strategies are identified by name (the factory body is
+  // opaque, like custom_policy); the canned library keys behaviour off the
+  // spec, so equal names replay equal strategies.
+  w.u64(c.adversaries.size());
+  for (const AdversarySpec& spec : c.adversaries) {
+    w.str(spec.name);
+    w.u8(spec.make ? 1 : 0);
+  }
+  w.u8(c.clients_avoid_crashed ? 1 : 0);
+  w.i64(c.exec_slot);
+  // intra_jobs deliberately excluded: the worker count never changes the
+  // trace (PR 5 contract), so a checkpoint taken at jobs=1 resumes at any
+  // jobs=K. Checkpoint/control plumbing is likewise excluded — whether a
+  // run was observed must not change its identity.
+  return fnv1a_bytes(w.view());
+}
+
+std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& c) {
+  ByteWriter w;
+  w.u32(kCheckpointMagic);
+  w.u32(c.version);
+  w.u64(c.config_fingerprint);
+  w.u32(c.index);
+  w.i64(c.cut_time);
+  w.u64(c.executed_events);
+  w.u64(c.seq_counter);
+  w.u64(c.submitted);
+  w.u64(c.committed);
+  w.u64(c.committed_anchors);
+  w.u64(c.conflicting_certs);
+  w.u64(c.latency_sample_hash);
+  w.bytes(c.state);
+  w.u64(c.state_hash);
+  w.u64(fnv1a_bytes(w.view()));
+  return w.data();
+}
+
+Checkpoint decode_checkpoint(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < sizeof(std::uint64_t))
+    throw SerdeError("checkpoint: file too short");
+  // Whole-file checksum first: everything before the trailing u64.
+  const std::span<const std::uint8_t> body =
+      bytes.first(bytes.size() - sizeof(std::uint64_t));
+  ByteReader tail(bytes.subspan(body.size()));
+  if (tail.u64() != fnv1a_bytes(body))
+    throw SerdeError("checkpoint: file checksum mismatch (torn write?)");
+
+  ByteReader r(body);
+  if (r.u32() != kCheckpointMagic)
+    throw SerdeError("checkpoint: bad magic (not a checkpoint file)");
+  Checkpoint c;
+  c.version = r.u32();
+  if (c.version != kCheckpointVersion)
+    throw SerdeError("checkpoint: unsupported version " +
+                     std::to_string(c.version));
+  c.config_fingerprint = r.u64();
+  c.index = r.u32();
+  c.cut_time = static_cast<SimTime>(r.i64());
+  c.executed_events = r.u64();
+  c.seq_counter = r.u64();
+  c.submitted = r.u64();
+  c.committed = r.u64();
+  c.committed_anchors = r.u64();
+  c.conflicting_certs = r.u64();
+  c.latency_sample_hash = r.u64();
+  const std::span<const std::uint8_t> state = r.bytes();
+  c.state.assign(state.begin(), state.end());
+  c.state_hash = r.u64();
+  if (!r.exhausted())
+    throw SerdeError("checkpoint: trailing garbage after state hash");
+  if (c.state_hash != fnv1a_bytes(c.state))
+    throw SerdeError("checkpoint: state blob checksum mismatch");
+  return c;
+}
+
+std::string checkpoint_path(const std::string& dir, std::uint32_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt_%06u", index);
+  return (fs::path(dir) / (std::string(name) + kCheckpointExtension))
+      .string();
+}
+
+namespace {
+
+void write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    throw std::runtime_error("checkpoint: cannot open " + tmp);
+  const std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  // Flush + fsync before the rename: the rename must never become visible
+  // ahead of the data (a SIGKILL between the two would otherwise leave a
+  // validly named file with torn contents).
+  const bool ok = written == data.size() && std::fflush(f) == 0 &&
+                  ::fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path + " failed");
+  }
+}
+
+}  // namespace
+
+void write_checkpoint_file(const std::string& path, const Checkpoint& c) {
+  fs::create_directories(fs::path(path).parent_path());
+  const std::vector<std::uint8_t> encoded = encode_checkpoint(c);
+  write_file_atomic(path, encoded);
+  // Progress sidecar for tools/soak.py: gauges only, human-greppable.
+  const std::string side = path + ".json";
+  std::FILE* f = std::fopen((side + ".tmp").c_str(), "w");
+  if (f == nullptr) return;  // sidecar is best-effort; the binary is durable
+  std::fprintf(f,
+               "{\"index\": %u, \"cut_time_us\": %lld, \"executed_events\": "
+               "%llu,\n \"submitted\": %llu, \"committed\": %llu, "
+               "\"committed_anchors\": %llu, \"conflicting_certs\": %llu}\n",
+               c.index, static_cast<long long>(c.cut_time),
+               static_cast<unsigned long long>(c.executed_events),
+               static_cast<unsigned long long>(c.submitted),
+               static_cast<unsigned long long>(c.committed),
+               static_cast<unsigned long long>(c.committed_anchors),
+               static_cast<unsigned long long>(c.conflicting_certs));
+  std::fclose(f);
+  std::rename((side + ".tmp").c_str(), side.c_str());
+}
+
+std::optional<Checkpoint> read_checkpoint_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    data.insert(data.end(), buf, buf + n);
+  std::fclose(f);
+  try {
+    return decode_checkpoint(data);
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<FoundCheckpoint> find_latest_checkpoint(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::pair<std::uint32_t, std::string>> candidates;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned index = 0;
+    if (std::sscanf(name.c_str(), "ckpt_%06u.hhcp", &index) != 1) continue;
+    if (name != fs::path(checkpoint_path(dir, index)).filename().string())
+      continue;
+    candidates.emplace_back(index, entry.path().string());
+  }
+  // Newest first; a torn newest file (SIGKILL mid-write races the atomic
+  // rename only if the tmp survived — decode still rejects it) falls back
+  // to the next index down.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [index, path] : candidates) {
+    if (std::optional<Checkpoint> c = read_checkpoint_file(path))
+      return FoundCheckpoint{path, std::move(*c)};
+  }
+  return std::nullopt;
+}
+
+void prune_checkpoints(const std::string& dir, std::uint32_t newest_index,
+                       std::size_t keep) {
+  if (keep == 0 || newest_index + 1 <= keep) return;
+  const std::uint32_t cutoff =
+      newest_index + 1 - static_cast<std::uint32_t>(keep);
+  for (std::uint32_t i = 0; i < cutoff; ++i) {
+    const std::string path = checkpoint_path(dir, i);
+    std::remove(path.c_str());
+    std::remove((path + ".json").c_str());
+  }
+}
+
+}  // namespace hammerhead::harness

@@ -1,0 +1,134 @@
+// Deterministic checkpoint/resume: versioned binary snapshots of a running
+// experiment, written at sharded-batch boundaries, plus the resume contract
+// that makes them trustworthy.
+//
+// Design — replay-cut snapshots. Live engine state contains raw function
+// pointers and std::function closures (engine events, pooled fanout
+// TreeStates) that cannot round-trip a file (see docs/checkpoint.md,
+// "State audit"). Instead of pretending to serialize them, a checkpoint
+// records every piece of *deterministic data* state — the engine's pending
+// event schedule as (time, seq, shard, kind) tuples, the RNG stream words,
+// the fabric's link-cut/delay matrices and held envelopes, each validator's
+// durable tables and volatile protocol position, DAG content across hot and
+// cold tiers, committer/reputation snapshots, adversary directive books and
+// harness metrics — together with the cut coordinates (sim time, event
+// seq). Resume reconstructs the run from the config, re-executes
+// deterministically to the cut (bit-exact by the PR 5 contract
+// `trace hash(jobs=1) == trace hash(jobs=K)`, which also holds segmented:
+// run_until(t_k) then run_until(T) executes the identical event sequence),
+// then verifies the recomputed state blob is byte-identical to the snapshot
+// before continuing. A divergence — version skew, config drift, corrupted
+// file, nondeterminism bug — fails loudly instead of silently forking the
+// trace.
+//
+// File format (all little-endian, via common/serde.h):
+//
+//   u32 magic 'HHCP' | u32 version | u64 config_fingerprint
+//   u32 index | u64 cut_time | u64 executed_events | u64 seq_counter
+//   u64 submitted | committed | committed_anchors | conflicting_certs
+//   u64 latency_sample_hash
+//   bytes state (length-prefixed serialized run state)
+//   u64 state_hash (FNV-1a of the state blob)
+//   u64 file_checksum (FNV-1a of every byte above)
+//
+// Writes are atomic (tmp file + rename) so a SIGKILL mid-write can never
+// leave a torn file under the final name; readers validate magic, version,
+// length and both checksums and throw SerdeError on any mismatch. Each
+// checkpoint also writes a `<path>.json` sidecar with the progress gauges so
+// tools/soak.py can assert monotone commit progress without decoding the
+// binary format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hammerhead/common/serde.h"
+#include "hammerhead/common/types.h"
+
+namespace hammerhead::harness {
+
+struct ExperimentConfig;  // harness/experiment.h
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x50434848;  // "HHCP"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr const char* kCheckpointExtension = ".hhcp";
+
+/// One decoded checkpoint: cut coordinates, progress gauges (inspectable
+/// without reconstructing the run) and the full serialized state blob a
+/// resumed run must reproduce byte-for-byte at the cut.
+struct Checkpoint {
+  std::uint32_t version = kCheckpointVersion;
+  /// Fingerprint of the generating ExperimentConfig (config_fingerprint()).
+  /// Resume refuses a checkpoint whose fingerprint differs from the run
+  /// config's — replaying a different config to the cut would silently
+  /// diverge. intra_jobs is excluded: worker count never changes the trace.
+  std::uint64_t config_fingerprint = 0;
+  /// k-th checkpoint of the run (cut_time = (k + 1) * interval).
+  std::uint32_t index = 0;
+  /// Simulated time of the cut; the engine has fully drained every event
+  /// with time < cut_time (batch boundary, never mid-wave).
+  SimTime cut_time = 0;
+  /// Engine position at the cut: events executed and the next event seq.
+  std::uint64_t executed_events = 0;
+  std::uint64_t seq_counter = 0;
+  /// Progress gauges at the cut, mirrored into the JSON sidecar.
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t committed_anchors = 0;
+  std::uint64_t conflicting_certs = 0;
+  std::uint64_t latency_sample_hash = 0;
+  /// The serialized run state (ExperimentRun::serialize_state) and its
+  /// FNV-1a fingerprint.
+  std::vector<std::uint8_t> state;
+  std::uint64_t state_hash = 0;
+};
+
+/// FNV-1a over a byte span — the checkpoint subsystem's one checksum
+/// primitive (same constants as harness::Fnv1a's word mixer).
+std::uint64_t fnv1a_bytes(std::span<const std::uint8_t> data);
+
+/// Identity of a config for resume compatibility: FNV-1a over every field
+/// that shapes the trace (committee, seeds, policy, latency model, fault
+/// schedule, adversaries by name, load). Excludes intra_jobs (worker count
+/// is trace-neutral), checkpoint/control plumbing, and the opaque
+/// custom_policy factory body (presence is mixed; callers resuming custom-
+/// policy runs must supply the same factory).
+std::uint64_t config_fingerprint(const ExperimentConfig& config);
+
+/// Encode to the on-disk layout (header, gauges, state, checksums).
+std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& c);
+
+/// Decode + validate; throws SerdeError on bad magic, unknown version,
+/// truncation, trailing garbage or checksum mismatch.
+Checkpoint decode_checkpoint(std::span<const std::uint8_t> bytes);
+
+/// `<dir>/ckpt_<index, zero-padded><.hhcp>`.
+std::string checkpoint_path(const std::string& dir, std::uint32_t index);
+
+/// Atomic write: encode into `<path>.tmp`, fsync, rename over `path`, then
+/// write the `<path>.json` progress sidecar. Throws std::runtime_error on
+/// I/O failure.
+void write_checkpoint_file(const std::string& path, const Checkpoint& c);
+
+/// Read + decode; nullopt (not an exception) on missing file or any
+/// validation failure — callers fall back to the previous checkpoint.
+std::optional<Checkpoint> read_checkpoint_file(const std::string& path);
+
+struct FoundCheckpoint {
+  std::string path;
+  Checkpoint checkpoint;
+};
+
+/// Highest-index checkpoint in `dir` that decodes cleanly (torn or corrupt
+/// files are skipped — exactly the SIGKILL-mid-write recovery path).
+std::optional<FoundCheckpoint> find_latest_checkpoint(const std::string& dir);
+
+/// Delete checkpoints in `dir` with index <= `newest_index - keep` (no-op
+/// when keep == 0). Bounds soak-harness disk use.
+void prune_checkpoints(const std::string& dir, std::uint32_t newest_index,
+                       std::size_t keep);
+
+}  // namespace hammerhead::harness

@@ -1,0 +1,175 @@
+#include "hammerhead/harness/control.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace hammerhead::harness {
+
+namespace {
+
+/// The command surface, cross-checked against the table in
+/// docs/checkpoint.md by tools/check_docs.py (both directions: every entry
+/// here must be documented, every documented command must exist here).
+struct CommandSpec {
+  const char* name;
+  const char* help;
+};
+
+constexpr CommandSpec kCommands[] = {
+    {"ping", "liveness probe; replies pong"},
+    {"status", "one-line progress summary (sim time, commits, events)"},
+    {"gauges", "multi-line dump of the run's metric gauges"},
+    {"checkpoint", "write a checkpoint at the current segment boundary"},
+    {"inject", "apply a fault: crash <v> | recover <v> | cut <a> <b> | "
+               "heal <a> <b> | delay <v> <us> | eclipse <v> <us>"},
+    {"stop", "end the run at the current segment boundary"},
+    {"help", "list commands"},
+};
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream is(line);
+  std::string word;
+  while (is >> word) words.push_back(word);
+  return words;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+ControlServer::ControlServer(std::string path, ControlHooks hooks)
+    : path_(std::move(path)), hooks_(std::move(hooks)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("control socket path too long: " + path_);
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("control socket: socket() failed");
+  ::unlink(path_.c_str());  // stale socket from a killed run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 4) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("control socket: cannot bind " + path_);
+  }
+  set_nonblocking(listen_fd_);
+}
+
+ControlServer::~ControlServer() {
+  for (Client& c : clients_)
+    if (c.fd >= 0) ::close(c.fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(path_.c_str());
+}
+
+void ControlServer::drop_client(Client& c) {
+  if (c.fd >= 0) ::close(c.fd);
+  c.fd = -1;
+}
+
+std::string ControlServer::handle_line(const std::string& line) {
+  const std::vector<std::string> words = split_words(line);
+  if (words.empty()) return "err empty command\n";
+  const std::string& cmd = words[0];
+  try {
+    if (cmd == "ping") return "pong\nok\n";
+    if (cmd == "help") {
+      std::ostringstream os;
+      for (const CommandSpec& spec : kCommands)
+        os << spec.name << " — " << spec.help << "\n";
+      os << "ok\n";
+      return os.str();
+    }
+    if (cmd == "status")
+      return hooks_.status ? hooks_.status() + "\nok\n" : "err no hook\n";
+    if (cmd == "gauges")
+      return hooks_.gauges ? hooks_.gauges() + "ok\n" : "err no hook\n";
+    if (cmd == "checkpoint")
+      return hooks_.checkpoint ? hooks_.checkpoint() + "\nok\n"
+                               : "err no hook\n";
+    if (cmd == "inject") {
+      if (!hooks_.inject) return "err no hook\n";
+      return hooks_.inject({words.begin() + 1, words.end()}) + "\nok\n";
+    }
+    if (cmd == "stop") {
+      if (hooks_.stop) hooks_.stop();
+      return "stopping\nok\n";
+    }
+  } catch (const std::exception& e) {
+    return std::string("err ") + e.what() + "\n";
+  }
+  return "err unknown command " + cmd + " (try help)\n";
+}
+
+std::size_t ControlServer::poll() {
+  // Accept pending operators.
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    if (clients_.size() >= kMaxClients) {
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd);
+    clients_.push_back(Client{fd, {}});
+  }
+
+  std::size_t executed = 0;
+  for (Client& c : clients_) {
+    if (c.fd < 0) continue;
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        c.buf.append(buf, static_cast<std::size_t>(n));
+        if (c.buf.size() > kMaxLine) {
+          drop_client(c);
+          break;
+        }
+        continue;
+      }
+      if (n == 0) {  // orderly shutdown
+        drop_client(c);
+      }
+      break;  // n < 0: EAGAIN (no more data) or error
+    }
+    if (c.fd < 0) continue;
+
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = c.buf.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = c.buf.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      start = nl + 1;
+      const std::string reply = handle_line(line);
+      ++executed;
+      // Short reply to a local socket; a blocked/slow reader just loses
+      // the tail (MSG_NOSIGNAL: a vanished one must not kill the run).
+      if (::send(c.fd, reply.data(), reply.size(), MSG_NOSIGNAL) < 0) {
+        drop_client(c);
+        break;
+      }
+    }
+    if (c.fd >= 0 && start > 0) c.buf.erase(0, start);
+  }
+  std::erase_if(clients_, [](const Client& c) { return c.fd < 0; });
+  return executed;
+}
+
+}  // namespace hammerhead::harness

@@ -1,0 +1,88 @@
+// Live control plane: a line-protocol UNIX-domain socket for poking a
+// running experiment — inspect progress gauges, trigger a checkpoint, inject
+// a fault scenario, or stop the run early.
+//
+// Concurrency model: the server is strictly passive. run_experiment polls it
+// between engine segments (a batch boundary on the driver thread, the same
+// serial context every fault-injection event runs in), so command handlers
+// mutate sim state with no locking and no racing wave in flight. Nothing is
+// read from the socket while the engine is inside run_until.
+//
+// Protocol: newline-terminated ASCII commands, one per line; replies are one
+// or more lines terminated by a final "ok" or "err <reason>" line. The
+// command table lives in control.cpp (kCommands) and is cross-checked
+// against docs/checkpoint.md by tools/check_docs.py in both directions.
+//
+// Determinism: connecting an operator makes a run wall-clock-dependent by
+// nature (commands land at whatever simulated boundary the poll happens to
+// hit). A run with a control socket configured but no commands sent is
+// byte-identical to one without: polling happens outside the engine and
+// touches no simulation state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hammerhead::harness {
+
+/// Callbacks from command handlers into the live run; all invoked on the
+/// driver thread between engine segments.
+struct ControlHooks {
+  /// One-line progress summary (`status`).
+  std::function<std::string()> status;
+  /// Multi-line gauge dump (`gauges`).
+  std::function<std::string()> gauges;
+  /// Write a checkpoint now; returns its path (`checkpoint`).
+  std::function<std::string()> checkpoint;
+  /// Apply a fault scenario (`inject ...` arguments after the verb);
+  /// returns a description or throws std::runtime_error on bad arguments.
+  std::function<std::string(const std::vector<std::string>&)> inject;
+  /// End the run at this segment boundary (`stop`).
+  std::function<void()> stop;
+};
+
+/// The socket server. Binds a UNIX stream socket at `path` (unlinking any
+/// stale file), accepts up to kMaxClients concurrent operators, and executes
+/// complete lines on poll(). Destruction closes everything and unlinks the
+/// socket file.
+class ControlServer {
+ public:
+  static constexpr std::size_t kMaxClients = 8;
+  /// Hard cap on a buffered command line; longer input closes the client.
+  static constexpr std::size_t kMaxLine = 4096;
+
+  /// Throws std::runtime_error if the socket cannot be bound.
+  ControlServer(std::string path, ControlHooks hooks);
+  ~ControlServer();
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  /// Accept pending connections, read available bytes, execute every
+  /// complete line, write replies. Never blocks. Returns the number of
+  /// commands executed.
+  std::size_t poll();
+
+  const std::string& path() const { return path_; }
+
+  /// Handle one already-parsed command line (exposed for tests; poll()
+  /// routes socket lines here). Returns the full reply including the
+  /// trailing "ok"/"err" line.
+  std::string handle_line(const std::string& line);
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string buf;
+  };
+
+  void drop_client(Client& c);
+
+  std::string path_;
+  ControlHooks hooks_;
+  int listen_fd_ = -1;
+  std::vector<Client> clients_;
+};
+
+}  // namespace hammerhead::harness

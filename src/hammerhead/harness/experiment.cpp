@@ -10,6 +10,8 @@
 
 #include "hammerhead/common/logging.h"
 #include "hammerhead/harness/adversary.h"
+#include "hammerhead/harness/checkpoint.h"
+#include "hammerhead/harness/control.h"
 #include "hammerhead/sim/simulator.h"
 #include "hammerhead/storage/store.h"
 
@@ -197,33 +199,75 @@ std::uint64_t compute_trace_hash(const ExperimentResult& r,
   return fnv.hash;
 }
 
-}  // namespace
-
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-  HH_ASSERT(config.num_validators >= 4);
-  HH_ASSERT(config.faults <= config.num_validators);
-
-  sim::Simulator sim(config.seed, config.intra_jobs);
-  const crypto::Committee committee =
-      config.stakes.empty()
-          ? crypto::Committee::make_equal_stake(config.num_validators,
-                                                config.seed)
-          : crypto::Committee::make_with_stakes(config.stakes, config.seed);
-
+net::NetConfig make_net_config(const ExperimentConfig& config) {
   net::NetConfig net_config = config.net;
   if (config.exec_slot > 0) net_config.delivery_slot = config.exec_slot;
-  net::Network network(sim, make_latency_model(config), net_config,
-                       config.num_validators);
+  return net_config;
+}
 
-  MetricsCollector metrics(config.warmup);
+crypto::Committee make_committee(const ExperimentConfig& config) {
+  return config.stakes.empty()
+             ? crypto::Committee::make_equal_stake(config.num_validators,
+                                                   config.seed)
+             : crypto::Committee::make_with_stakes(config.stakes,
+                                                   config.seed);
+}
+
+}  // namespace
+
+/// Everything a live run owns. Declaration order is construction order:
+/// the fabric needs the engine, validators need both plus the committee.
+struct ExperimentRun::Impl {
+  ExperimentConfig config;  // by value: the run outlives caller temporaries
+  sim::Simulator sim;
+  crypto::Committee committee;
+  net::Network network;
+  MetricsCollector metrics;
   // Leader-utilization accounting: committed-anchor authors as seen by
   // validator 0 (live in every supported fault layout — crashes target the
   // highest indices).
-  std::vector<std::uint64_t> anchors_by_author(config.num_validators, 0);
+  std::vector<std::uint64_t> anchors_by_author;
+  std::vector<std::unique_ptr<storage::Store>> stores;
+  std::vector<std::unique_ptr<node::Validator>> validators;
+  std::unique_ptr<AdversaryRuntime> adversary;
+  bool have_adversary = false;
+  std::vector<std::unique_ptr<LoadGenerator>> generators;
+  double wall_seconds = 0;  // accumulated across advance_to segments
+  bool stop_requested = false;
+  bool collected = false;
 
-  node::NodeConfig node_config = config.node;
-  node_config.key_seed = config.seed;
-  if (config.exec_slot > 0) node_config.dispatch_slot = config.exec_slot;
+  explicit Impl(const ExperimentConfig& config_in)
+      : config(config_in),
+        sim(config.seed, config.intra_jobs),
+        committee(make_committee(config)),
+        network(sim, make_latency_model(config), make_net_config(config),
+                config.num_validators),
+        metrics(config.warmup),
+        anchors_by_author(config.num_validators, 0) {
+    wire();
+  }
+
+  void wire();
+
+  /// Lowest-indexed currently-live validator (the result observer).
+  const node::Validator* observer() const {
+    for (const auto& validator : validators)
+      if (!validator->crashed()) return validator.get();
+    return nullptr;
+  }
+
+  std::uint64_t conflicting_certs_now() const {
+    std::uint64_t total = 0;
+    for (const auto& validator : validators)
+      if (!validator->crashed())
+        total += validator->committer().stats().conflicting_certs;
+    return total;
+  }
+};
+
+void ExperimentRun::Impl::wire() {
+  HH_ASSERT(config.num_validators >= 4);
+  HH_ASSERT(config.faults <= config.num_validators);
 
   // Which validators crash at crash_time (Figure 2 style): the highest
   // indices, which under the i % 13 region mapping still spread over regions.
@@ -232,8 +276,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     crashed_at_start.insert(
         static_cast<ValidatorIndex>(config.num_validators - 1 - i));
 
-  std::vector<std::unique_ptr<storage::Store>> stores;
-  std::vector<std::unique_ptr<node::Validator>> validators;
+  node::NodeConfig node_config = config.node;
+  node_config.key_seed = config.seed;
+  if (config.exec_slot > 0) node_config.dispatch_slot = config.exec_slot;
+
   stores.reserve(config.num_validators);
   validators.reserve(config.num_validators);
 
@@ -247,8 +293,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     stores.push_back(std::make_unique<storage::Store>());
     validators.push_back(std::make_unique<node::Validator>(
         sim, network, committee, v, *stores.back(), vc, policy_factory,
-        [&metrics, &anchors_by_author, client_latency](
-            ValidatorIndex self, const consensus::CommittedSubDag& sd) {
+        [this, client_latency](ValidatorIndex self,
+                               const consensus::CommittedSubDag& sd) {
           metrics.on_commit(self, sd, client_latency);
           if (self == 0) ++anchors_by_author[sd.anchor->author()];
         }));
@@ -258,8 +304,6 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   // Adaptive adversary runtime: directives attach now (before any proposal),
   // strategy ticks ride serial-shard events like every fault injection below.
-  std::unique_ptr<AdversaryRuntime> adversary;
-  bool have_adversary = false;
   for (const AdversarySpec& spec : config.adversaries)
     if (spec.make) have_adversary = true;
   if (have_adversary) {
@@ -354,7 +398,6 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     if (!avoided) targets.push_back(v);
   }
   HH_ASSERT(!targets.empty());
-  std::vector<std::unique_ptr<LoadGenerator>> generators;
   if (config.load_tps > 0) {
     const double per_target =
         config.load_tps / static_cast<double>(targets.size());
@@ -366,20 +409,243 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       generators.back()->start();
     }
   }
+}
 
+ExperimentRun::ExperimentRun(const ExperimentConfig& config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+ExperimentRun::~ExperimentRun() = default;
+
+SimTime ExperimentRun::now() const { return impl_->sim.now(); }
+
+SimTime ExperimentRun::duration() const { return impl_->config.duration; }
+
+bool ExperimentRun::finished() const {
+  return impl_->stop_requested || impl_->sim.now() >= impl_->config.duration;
+}
+
+void ExperimentRun::stop() { impl_->stop_requested = true; }
+
+void ExperimentRun::advance_to(SimTime t) {
+  Impl& im = *impl_;
+  t = std::min(t, im.config.duration);
+  if (t <= im.sim.now()) return;
   const auto wall_start = std::chrono::steady_clock::now();
-  sim.run_until(config.duration);
-  const double wall_s =
+  im.sim.run_until(t);
+  im.wall_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+}
 
-  // ---- collect results ----
+std::vector<std::uint8_t> ExperimentRun::serialize_state() const {
+  const Impl& im = *impl_;
+  ByteWriter w;
+  im.sim.serialize_state(w);
+  im.network.serialize_state(w);
+  w.u64(im.validators.size());
+  for (const auto& validator : im.validators) validator->serialize_state(w);
+  // Harness metrics: counters plus the latency sample-stream fingerprint
+  // (the stream itself is not persisted — replay regenerates it — but its
+  // hash pins the replayed stream to the recorded one).
+  w.u64(im.metrics.submitted());
+  w.u64(im.metrics.committed());
+  w.u64(im.metrics.measured_committed());
+  w.u64(im.metrics.latency().sample_hash());
+  for (const std::uint64_t a : im.anchors_by_author) w.u64(a);
+  // Adversary plane: runtime counters and the live directive book.
+  w.u8(im.adversary ? 1 : 0);
+  if (im.adversary) {
+    const AdversaryStats& stats = im.adversary->stats();
+    w.u64(stats.ticks);
+    w.u64(stats.directive_flips);
+    w.u64(stats.eclipse_windows);
+    w.u64(stats.delay_retargets);
+    const node::DirectiveBook& book = im.adversary->book();
+    w.u64(book.size());
+    for (ValidatorIndex v = 0; v < book.size(); ++v) {
+      const node::ByzantineDirectives& d = book.directives(v);
+      w.u8(d.equivocate ? 1 : 0);
+      w.u32(d.withhold_votes_for);
+    }
+  }
+  return w.data();
+}
+
+Checkpoint ExperimentRun::capture(std::uint32_t index) const {
+  const Impl& im = *impl_;
+  Checkpoint c;
+  c.config_fingerprint = config_fingerprint(im.config);
+  c.index = index;
+  c.cut_time = im.sim.now();
+  c.executed_events = im.sim.executed_events();
+  c.seq_counter = im.sim.seq_counter();
+  c.submitted = im.metrics.submitted();
+  c.committed = im.metrics.committed();
+  if (const node::Validator* obs = im.observer())
+    c.committed_anchors = obs->committer().stats().committed_anchors;
+  c.conflicting_certs = im.conflicting_certs_now();
+  c.latency_sample_hash = im.metrics.latency().sample_hash();
+  c.state = serialize_state();
+  c.state_hash = fnv1a_bytes(c.state);
+  return c;
+}
+
+std::string ExperimentRun::status_line() const {
+  const Impl& im = *impl_;
+  const node::Validator* obs = im.observer();
+  std::ostringstream os;
+  os << "t_us=" << im.sim.now() << " duration_us=" << im.config.duration
+     << " events=" << im.sim.executed_events()
+     << " submitted=" << im.metrics.submitted()
+     << " committed=" << im.metrics.committed() << " anchors="
+     << (obs ? obs->committer().stats().committed_anchors : 0)
+     << " conflicting_certs=" << im.conflicting_certs_now();
+  return os.str();
+}
+
+std::string ExperimentRun::gauges_text() const {
+  const Impl& im = *impl_;
+  const node::Validator* obs = im.observer();
+  std::uint64_t leader_timeouts = 0, restarts = 0, state_syncs = 0;
+  std::uint64_t equiv_sent = 0, equiv_observed = 0, withheld = 0;
+  for (const auto& validator : im.validators) {
+    if (!validator->crashed())
+      leader_timeouts += validator->stats().leader_timeouts;
+    restarts += validator->stats().restarts;
+    state_syncs += validator->stats().state_syncs_completed;
+    equiv_sent += validator->stats().equivocations_sent;
+    equiv_observed += validator->stats().equivocations_observed;
+    withheld += validator->stats().votes_withheld;
+  }
+  std::ostringstream os;
+  os << "sim_time_us " << im.sim.now() << "\n"
+     << "sim_events " << im.sim.executed_events() << "\n"
+     << "submitted " << im.metrics.submitted() << "\n"
+     << "committed " << im.metrics.committed() << "\n"
+     << "measured_committed " << im.metrics.measured_committed() << "\n"
+     << "committed_anchors "
+     << (obs ? obs->committer().stats().committed_anchors : 0) << "\n"
+     << "skipped_anchors "
+     << (obs ? obs->committer().stats().skipped_anchors : 0) << "\n"
+     << "conflicting_certs " << im.conflicting_certs_now() << "\n"
+     << "leader_timeouts " << leader_timeouts << "\n"
+     << "restarts " << restarts << "\n"
+     << "state_syncs_completed " << state_syncs << "\n"
+     << "equivocations_sent " << equiv_sent << "\n"
+     << "equivocations_observed " << equiv_observed << "\n"
+     << "votes_withheld " << withheld << "\n"
+     << "messages_held " << im.network.stats().messages_held << "\n"
+     << "adversary_ticks "
+     << (im.adversary ? im.adversary->stats().ticks : 0) << "\n"
+     << "adversary_actions "
+     << (im.adversary ? im.adversary->stats().actions() : 0) << "\n";
+  return os.str();
+}
+
+std::string ExperimentRun::inject(const std::vector<std::string>& args) {
+  Impl& im = *impl_;
+  auto need = [&](std::size_t n) {
+    if (args.size() != n)
+      throw std::runtime_error(
+          "usage: inject crash <v> | recover <v> | cut <a> <b> | "
+          "heal <a> <b> | delay <v> <us> | eclipse <v> <us>");
+  };
+  auto index_arg = [&](std::size_t i) {
+    const unsigned long v = std::stoul(args.at(i));
+    if (v >= im.config.num_validators)
+      throw std::runtime_error("validator index " + args.at(i) +
+                               " out of range (n=" +
+                               std::to_string(im.config.num_validators) + ")");
+    return static_cast<ValidatorIndex>(v);
+  };
+  auto time_arg = [&](std::size_t i) {
+    return static_cast<SimTime>(std::stoll(args.at(i)));
+  };
+  if (args.empty()) need(1);
+  const std::string& verb = args[0];
+  const SimTime at = im.sim.now();
+  std::ostringstream os;
+  // Every injection rides a normal scheduled event at now() — the same
+  // serial path the static fault schedule uses — so it executes inside the
+  // next engine segment in deterministic (time, seq) order.
+  if (verb == "crash" || verb == "recover") {
+    need(2);
+    node::Validator* validator = im.validators[index_arg(1)].get();
+    if (verb == "crash")
+      im.sim.schedule_at(at, [validator]() { validator->crash(); });
+    else
+      im.sim.schedule_at(at, [validator]() { validator->restart(); });
+    os << verb << " validator " << args[1] << " at t_us=" << at;
+  } else if (verb == "cut" || verb == "heal") {
+    need(3);
+    const std::vector<ValidatorIndex> a{index_arg(1)}, b{index_arg(2)};
+    net::Network* net_ptr = &im.network;
+    if (verb == "cut")
+      im.sim.schedule_at(at, [net_ptr, a, b]() {
+        net_ptr->cut_links(a, b, /*symmetric=*/true);
+      });
+    else
+      im.sim.schedule_at(at, [net_ptr, a, b]() {
+        net_ptr->restore_links(a, b, /*symmetric=*/true);
+      });
+    os << verb << " link " << args[1] << "<->" << args[2] << " at t_us=" << at;
+  } else if (verb == "delay") {
+    need(3);
+    const ValidatorIndex v = index_arg(1);
+    const SimTime extra = time_arg(2);
+    net::Network* net_ptr = &im.network;
+    const std::size_t n = im.config.num_validators;
+    im.sim.schedule_at(at, [net_ptr, v, extra, n]() {
+      for (ValidatorIndex u = 0; u < n; ++u) {
+        if (u == v) continue;
+        net_ptr->set_link_delay(u, v, extra);
+        net_ptr->set_link_delay(v, u, extra);
+      }
+    });
+    os << "delay links of validator " << args[1] << " by " << extra
+       << "us at t_us=" << at;
+  } else if (verb == "eclipse") {
+    need(3);
+    const ValidatorIndex v = index_arg(1);
+    const SimTime window = time_arg(2);
+    if (window <= 0) throw std::runtime_error("eclipse window must be > 0");
+    std::vector<ValidatorIndex> victim{v}, rest;
+    for (ValidatorIndex u = 0; u < im.config.num_validators; ++u)
+      if (u != v) rest.push_back(u);
+    net::Network* net_ptr = &im.network;
+    im.sim.schedule_at(at, [net_ptr, victim, rest]() {
+      net_ptr->cut_links(victim, rest, /*symmetric=*/true);
+    });
+    if (at + window < im.config.duration)
+      im.sim.schedule_at(at + window, [net_ptr, victim, rest]() {
+        net_ptr->restore_links(victim, rest, /*symmetric=*/true);
+      });
+    os << "eclipse validator " << args[1] << " for " << window
+       << "us at t_us=" << at;
+  } else {
+    need(0);  // unknown verb: raise the usage error
+  }
+  return os.str();
+}
+
+ExperimentResult ExperimentRun::finish() {
+  Impl& im = *impl_;
+  HH_ASSERT_MSG(!im.collected, "ExperimentRun::finish() called twice");
+  im.collected = true;
+  const ExperimentConfig& config = im.config;
+  sim::Simulator& sim = im.sim;
+  MetricsCollector& metrics = im.metrics;
+  const auto& validators = im.validators;
+  const auto& adversary = im.adversary;
+
   ExperimentResult result;
   result.sim_events = sim.executed_events();
-  result.wall_seconds = wall_s;
+  result.wall_seconds = im.wall_seconds;
   result.events_per_sec_wall =
-      wall_s > 0 ? static_cast<double>(result.sim_events) / wall_s : 0;
+      im.wall_seconds > 0
+          ? static_cast<double>(result.sim_events) / im.wall_seconds
+          : 0;
   result.allocs_per_event =
       result.sim_events > 0
           ? static_cast<double>(sim.engine_allocs()) /
@@ -439,14 +705,128 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.adversary_ticks = adversary->stats().ticks;
     result.adversary_actions = adversary->stats().actions();
   }
-  result.messages_held = network.stats().messages_held;
+  result.messages_held = im.network.stats().messages_held;
 
-  result.anchors_by_author = std::move(anchors_by_author);
+  result.anchors_by_author = std::move(im.anchors_by_author);
   // The percentile queries above already sorted the sample store, so the
   // fingerprint covers the sorted stream — every run executes this same
   // sequence, so equal traces hash equal and any divergence still differs.
   result.trace_hash = compute_trace_hash(
-      result, metrics.latency().sample_hash(), have_adversary);
+      result, metrics.latency().sample_hash(), im.have_adversary);
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  // Resolve the resume source before constructing anything: a bad file or a
+  // config mismatch must fail before we spend the replay.
+  std::optional<Checkpoint> resume;
+  if (!config.checkpoint.resume_from.empty()) {
+    if (config.checkpoint.resume_from == "latest") {
+      // Cold start when the directory has no valid checkpoint yet — the
+      // soak harness's first cycle resumes from nothing.
+      if (std::optional<FoundCheckpoint> found =
+              find_latest_checkpoint(config.checkpoint.dir))
+        resume = std::move(found->checkpoint);
+    } else {
+      resume = read_checkpoint_file(config.checkpoint.resume_from);
+      if (!resume)
+        throw std::runtime_error("cannot read checkpoint " +
+                                 config.checkpoint.resume_from);
+    }
+    if (resume && resume->config_fingerprint != config_fingerprint(config))
+      throw std::runtime_error(
+          "checkpoint was written by a different config (fingerprint "
+          "mismatch); refusing to resume — the replay would diverge");
+  }
+
+  ExperimentRun run(config);
+
+  std::uint32_t next_index = 0;
+  std::int64_t resumed_from = -1;
+  const SimTime interval = config.checkpoint.interval;
+  const bool checkpoints_on = !config.checkpoint.dir.empty() && interval > 0;
+  // Next scheduled cut, on the interval grid (manual control-socket
+  // checkpoints consume file indices but leave the grid alone).
+  SimTime next_cut = interval;
+
+  if (resume) {
+    // Deterministic replay to the cut: the engine re-executes the identical
+    // (time, seq) event sequence the original run took (PR 5 contract, which
+    // holds across run_until segmentation), reconstructing every closure and
+    // raw-pointer event a file could not carry.
+    run.advance_to(resume->cut_time);
+    if (config.checkpoint.verify_resume) {
+      const std::vector<std::uint8_t> state = run.serialize_state();
+      if (fnv1a_bytes(state) != resume->state_hash || state != resume->state)
+        throw std::runtime_error(
+            "checkpoint resume divergence at t_us=" +
+            std::to_string(resume->cut_time) +
+            ": replayed state is not byte-identical to the snapshot");
+    }
+    next_index = resume->index + 1;
+    resumed_from = resume->index;
+    if (checkpoints_on)
+      next_cut = (resume->cut_time / interval + 1) * interval;
+  }
+
+  std::uint64_t written = 0;
+  auto write_one = [&](const char* why) {
+    const std::string path =
+        checkpoint_path(config.checkpoint.dir, next_index);
+    write_checkpoint_file(path, run.capture(next_index));
+    prune_checkpoints(config.checkpoint.dir, next_index,
+                      config.checkpoint.max_keep);
+    HH_DEBUG("checkpoint " << next_index << " (" << why << ") at t_us="
+                           << run.now() << " -> " << path);
+    if (config.checkpoint.on_checkpoint)
+      config.checkpoint.on_checkpoint(next_index);
+    ++next_index;
+    ++written;
+    return path;
+  };
+
+  // Control plane binds after the replay so an operator cannot perturb the
+  // deterministic prefix.
+  std::optional<ControlServer> control;
+  if (!config.control_socket.empty()) {
+    ControlHooks hooks;
+    hooks.status = [&run] { return run.status_line(); };
+    hooks.gauges = [&run] { return run.gauges_text(); };
+    hooks.checkpoint = [&]() -> std::string {
+      if (config.checkpoint.dir.empty())
+        throw std::runtime_error("no checkpoint.dir configured");
+      return write_one("control");
+    };
+    hooks.inject = [&run](const std::vector<std::string>& args) {
+      return run.inject(args);
+    };
+    hooks.stop = [&run] { run.stop(); };
+    control.emplace(config.control_socket, std::move(hooks));
+  }
+
+  // Segment loop: run to the next cut / poll boundary, act, repeat. Cuts
+  // land strictly inside the run (a cut at duration would checkpoint a
+  // finished run). With neither plane configured this is one
+  // run_until(duration) — the exact historical path.
+  while (!run.finished()) {
+    SimTime target = run.duration();
+    if (checkpoints_on && next_cut < target) target = next_cut;
+    if (control) {
+      const SimTime poll_at = run.now() + config.control_poll_interval;
+      if (poll_at < target) target = poll_at;
+    }
+    run.advance_to(target);
+    if (checkpoints_on && run.now() == next_cut &&
+        run.now() < run.duration()) {
+      write_one("interval");
+      next_cut += interval;
+    }
+    if (control) control->poll();
+  }
+
+  ExperimentResult result = run.finish();
+  result.checkpoints_written = written;
+  result.resumed_from = resumed_from;
   return result;
 }
 

@@ -4,6 +4,7 @@
 // orchestrator (Appendix A).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "hammerhead/core/policies.h"
+#include "hammerhead/harness/checkpoint.h"
 #include "hammerhead/harness/metrics.h"
 #include "hammerhead/net/network.h"
 #include "hammerhead/node/validator.h"
@@ -84,6 +86,35 @@ struct ChurnSpec {
   static constexpr SimTime kAutoStagger = -1;
   SimTime stagger = kAutoStagger;
   std::size_t cycles = 0;  // 0 = as many as fit before the run ends
+};
+
+/// Checkpoint/resume knobs (tentpole of docs/checkpoint.md). With `dir`
+/// set, run_experiment cuts the run at every multiple of `interval`
+/// (strictly inside the run), captures a replay-cut snapshot at the batch
+/// boundary and writes it atomically as `ckpt_<k>.hhcp` plus a JSON
+/// progress sidecar. Checkpointing is trace-neutral: the checkpointed run's
+/// trace_hash equals the unobserved run's.
+struct CheckpointSettings {
+  /// Directory for checkpoint files; empty = checkpointing off.
+  std::string dir;
+  /// Simulated-time cadence between cuts.
+  SimTime interval = seconds(5);
+  /// Resume source: a checkpoint file path, or "latest" to pick the
+  /// newest valid checkpoint in `dir` (cold start when none exists — the
+  /// soak harness's first cycle). Empty = fresh run.
+  std::string resume_from;
+  /// After replaying to the cut, byte-compare the recomputed state blob
+  /// against the snapshot and fail the run on divergence. The determinism
+  /// proof; costs one extra serialization per resume.
+  bool verify_resume = true;
+  /// Keep only the newest N checkpoint files (0 = keep all).
+  std::size_t max_keep = 0;
+  /// Invoked after each checkpoint file is durably on disk (argument: its
+  /// index). The crash-injection soak harness SIGKILLs itself from here to
+  /// prove mid-run kills land after an atomic write; also usable as a
+  /// progress callback. Not part of the run's identity (config_fingerprint
+  /// ignores it).
+  std::function<void(std::uint32_t)> on_checkpoint;
 };
 
 struct ExperimentConfig {
@@ -172,6 +203,15 @@ struct ExperimentConfig {
   /// metrics) slightly, so serial and sharded rows of one comparison must
   /// use the same value.
   SimTime exec_slot = 0;
+
+  /// Checkpoint/resume (see CheckpointSettings and docs/checkpoint.md).
+  CheckpointSettings checkpoint;
+  /// UNIX-socket path for the live control plane (empty = off). The socket
+  /// is polled on the driver thread between engine segments — the same
+  /// serial context fault-injection events run in (harness/control.h).
+  std::string control_socket;
+  /// Simulated-time cadence between control-socket polls.
+  SimTime control_poll_interval = millis(100);
 };
 
 struct ExperimentResult {
@@ -238,10 +278,67 @@ struct ExperimentResult {
   std::uint64_t parallel_events = 0;
   std::uint64_t staged_ops = 0;
 
+  /// Checkpoint bookkeeping. Excluded from trace_hash like the wall-clock
+  /// gauges: whether a run was observed, checkpointed or resumed must not
+  /// change its identity (that neutrality is what the checkpoint tests
+  /// assert).
+  std::uint64_t checkpoints_written = 0;
+  /// Index of the checkpoint this run resumed from (-1 = fresh run).
+  std::int64_t resumed_from = -1;
+
   /// FNV-1a over every deterministic field above plus the raw latency
   /// sample stream: the one-number replay fingerprint the sharded-engine
   /// tests compare across worker counts (hash(jobs=1) == hash(jobs=K)).
   std::uint64_t trace_hash = 0;
+};
+
+/// A live experiment, steppable in simulated-time segments — the substrate
+/// run_experiment drives and the checkpoint/control planes hook into.
+/// Construction wires the full run (committee, fabric, validators, fault
+/// schedule, adversaries, load) exactly as run_experiment always has;
+/// advance_to() executes the engine up to a boundary; finish() collects the
+/// result. Splitting a run into segments is trace-neutral: repeated
+/// run_until(t_k) executes the identical (time, seq) event sequence as one
+/// run_until(duration) (asserted by tests/checkpoint_test.cpp).
+class ExperimentRun {
+ public:
+  explicit ExperimentRun(const ExperimentConfig& config);
+  ~ExperimentRun();
+  ExperimentRun(const ExperimentRun&) = delete;
+  ExperimentRun& operator=(const ExperimentRun&) = delete;
+
+  SimTime now() const;
+  SimTime duration() const;
+  /// True once now() reached duration() or stop() was called.
+  bool finished() const;
+  /// Run the engine to min(t, duration()); no-op when t <= now().
+  void advance_to(SimTime t);
+  /// End the run at the current segment boundary (control-plane `stop`).
+  void stop();
+
+  /// Serialize the deterministic run state at the current batch boundary:
+  /// engine schedule + RNG, fabric matrices/envelopes, every validator's
+  /// durable and volatile state, DAG content, adversary directives and
+  /// harness metrics. Read-only — capturing must not perturb the trace.
+  std::vector<std::uint8_t> serialize_state() const;
+  /// serialize_state() plus cut coordinates and progress gauges, packaged
+  /// as checkpoint number `index`.
+  Checkpoint capture(std::uint32_t index) const;
+
+  /// Control-plane views (harness/control.h): one-line summary, multi-line
+  /// gauge dump, and fault injection (`crash|recover|cut|heal|delay|eclipse`
+  /// — scheduled as ordinary serial-shard events at now()). inject()
+  /// throws std::runtime_error on bad arguments.
+  std::string status_line() const;
+  std::string gauges_text() const;
+  std::string inject(const std::vector<std::string>& args);
+
+  /// Collect the result (call once, after the run finished).
+  ExperimentResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& config);

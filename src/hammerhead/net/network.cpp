@@ -1,6 +1,7 @@
 #include "hammerhead/net/network.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "hammerhead/common/logging.h"
@@ -578,6 +579,80 @@ void Network::heal() {
   if (!partition_active_) return;
   partition_active_ = false;
   restore_links(partition_group_, partition_rest_, /*symmetric=*/true);
+}
+
+void Network::serialize_state(ByteWriter& w) const {
+  // Traffic counters (all deterministic functions of the event sequence).
+  w.u64(stats_.messages_sent);
+  w.u64(stats_.messages_delivered);
+  w.u64(stats_.messages_dropped_crash);
+  w.u64(stats_.messages_held);
+  w.u64(stats_.bytes_sent);
+  w.u64(stats_.fanouts_active);
+  w.u64(stats_.relay_sends);
+  w.u64(stats_.tree_fallbacks);
+  // Per-node fault and egress state.
+  w.u64(sinks_.size());
+  for (std::size_t v = 0; v < sinks_.size(); ++v) {
+    w.u8(crashed_[v] ? 1 : 0);
+    std::uint64_t slow_bits;
+    std::memcpy(&slow_bits, &slowdown_[v], sizeof(slow_bits));
+    w.u64(slow_bits);
+    w.i64(egress_free_at_[v]);
+  }
+  // Link-cut refcounts and adversarial per-link delays (row-major).
+  w.u64(links_cut_);
+  for (const std::uint16_t c : link_cut_) w.u32(c);
+  w.u64(links_delayed_);
+  w.u64(link_delay_.size());
+  for (const SimTime d : link_delay_) w.i64(d);
+  w.u8(partition_active_ ? 1 : 0);
+  // Held (cut-link) envelopes, in buffer order — the order they flush in.
+  w.u64(held_.size());
+  for (const Held& h : held_) {
+    w.u32(h.from);
+    w.u32(h.to);
+    w.u64(h.msg->wire_size());
+    w.u8(static_cast<std::uint8_t>(h.msg->kind()));
+  }
+  // In-flight fanout records: the (time, seq) arrival schedule of every live
+  // record, payloads as envelopes. Free-list membership marks dead records.
+  std::vector<bool> fanout_free(fanouts_.size(), false);
+  for (const std::uint32_t idx : free_fanouts_) fanout_free[idx] = true;
+  std::uint64_t live_fanouts = 0;
+  for (std::size_t i = 0; i < fanouts_.size(); ++i)
+    if (!fanout_free[i] && fanouts_[i].msg) ++live_fanouts;
+  w.u64(live_fanouts);
+  for (std::size_t i = 0; i < fanouts_.size(); ++i) {
+    if (fanout_free[i] || !fanouts_[i].msg) continue;
+    const Fanout& f = fanouts_[i];
+    w.u32(f.from);
+    w.u32(f.next);
+    w.u64(f.msg->wire_size());
+    w.u8(static_cast<std::uint8_t>(f.msg->kind()));
+    w.u64(f.arrivals.size());
+    for (const Arrival& a : f.arrivals) {
+      w.i64(a.time);
+      w.u64(a.seq);
+      w.u32(a.to);
+      w.u32(a.pos);
+    }
+  }
+  // Live tree-multicast states: origin, refcount and recipient permutation.
+  std::vector<bool> tree_free(trees_.size(), false);
+  for (const std::uint32_t idx : free_trees_) tree_free[idx] = true;
+  std::uint64_t live_trees = 0;
+  for (std::size_t i = 0; i < trees_.size(); ++i)
+    if (!tree_free[i] && trees_[i].refs > 0) ++live_trees;
+  w.u64(live_trees);
+  for (std::size_t i = 0; i < trees_.size(); ++i) {
+    if (tree_free[i] || trees_[i].refs == 0) continue;
+    const TreeState& t = trees_[i];
+    w.u32(t.origin);
+    w.u32(t.refs);
+    w.u64(t.order.size());
+    for (const ValidatorIndex v : t.order) w.u32(v);
+  }
 }
 
 void Network::flush_unblocked_held() {

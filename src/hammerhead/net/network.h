@@ -212,6 +212,18 @@ class Network {
   bool partitioned() const { return partition_active_; }
 
   const NetStats& stats() const { return stats_; }
+
+  /// Checkpoint support: serialize the fabric's deterministic state — the
+  /// traffic counters, crash/slowdown vectors, egress clocks, the refcounted
+  /// link-cut and per-link delay matrices, held (cut-link) message
+  /// envelopes, and the (time, seq) arrival schedules of every in-flight
+  /// fanout record and tree-multicast state. Message *payloads* are shared
+  /// process-local objects and are represented by their (from, to/origin,
+  /// wire_size, kind) envelope only; the checkpoint subsystem restores them
+  /// by deterministic replay and uses this encoding to verify the replayed
+  /// fabric is byte-identical (docs/checkpoint.md).
+  void serialize_state(ByteWriter& w) const;
+
   std::size_t num_nodes() const { return sinks_.size(); }
   const LatencyModel& latency_model() const { return *latency_; }
   const NetConfig& config() const { return config_; }

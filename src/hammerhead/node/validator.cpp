@@ -884,4 +884,150 @@ void Validator::run_garbage_collection() {
     it = it->first < floor ? quorum_reached_at_.erase(it) : std::next(it);
 }
 
+// ----------------------------------------------------------- checkpointing
+
+namespace {
+
+/// Sorted-key walk over an unordered map: the serialization must not depend
+/// on hash-table iteration order.
+template <typename Map, typename Fn>
+void for_each_sorted(const Map& map, Fn&& fn) {
+  std::vector<const typename Map::value_type*> entries;
+  entries.reserve(map.size());
+  for (const auto& kv : map) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* kv : entries) fn(kv->first, kv->second);
+}
+
+void write_policy_snapshot(ByteWriter& w, const core::PolicySnapshot& snap) {
+  w.u64(snap.epochs.size());
+  for (const core::PolicySnapshot::Epoch& e : snap.epochs) {
+    w.u64(e.initial_round);
+    w.u64(e.bad.size());
+    for (const ValidatorIndex v : e.bad) w.u32(v);
+    w.u64(e.good.size());
+    for (const ValidatorIndex v : e.good) w.u32(v);
+  }
+  w.u64(snap.scores.size());
+  for (const std::int64_t s : snap.scores) w.i64(s);
+  w.u64(snap.commits_in_epoch);
+}
+
+void write_committer_snapshot(ByteWriter& w,
+                              const consensus::CommitterSnapshot& snap,
+                              const consensus::CommitterStats& stats) {
+  w.i64(snap.last_anchor_round);
+  w.u64(snap.commit_index);
+  w.u64(snap.ordered_by_round.size());
+  for (const auto& [round, digests] : snap.ordered_by_round) {
+    w.u64(round);
+    w.u64(digests.size());
+    for (const Digest& d : digests) w.bytes(d.bytes());
+  }
+  w.u64(stats.committed_anchors);
+  w.u64(stats.skipped_anchors);
+  w.u64(stats.ordered_vertices);
+  w.u64(stats.schedule_changes);
+  w.u64(stats.conflicting_certs);
+}
+
+}  // namespace
+
+void Validator::serialize_state(ByteWriter& w) const {
+  w.u32(self_);
+  w.u8(crashed_ ? 1 : 0);
+  w.u8(started_ ? 1 : 0);
+  w.u64(incarnation_);
+  // Stats counters (all deterministic).
+  w.u64(stats_.headers_proposed);
+  w.u64(stats_.votes_sent);
+  w.u64(stats_.certs_formed);
+  w.u64(stats_.certs_received);
+  w.u64(stats_.leader_timeouts);
+  w.u64(stats_.fetches_sent);
+  w.u64(stats_.equivocations_observed);
+  w.u64(stats_.equivocations_sent);
+  w.u64(stats_.votes_withheld);
+  w.u64(stats_.txs_executed);
+  w.u64(stats_.restarts);
+  w.u64(stats_.state_syncs_requested);
+  w.u64(stats_.state_syncs_completed);
+  // Durable tables survive crashes; serialize them unconditionally, in key
+  // order (the Table::for_each contract).
+  cert_table_->for_each([&](const std::pair<Round, ValidatorIndex>& key,
+                            const dag::CertPtr& cert) {
+    w.u64(key.first);
+    w.u32(key.second);
+    w.bytes(cert->digest().bytes());
+  });
+  voted_table_->for_each(
+      [&](const std::pair<ValidatorIndex, Round>& key, const Digest& digest) {
+        w.u32(key.first);
+        w.u64(key.second);
+        w.bytes(digest.bytes());
+      });
+  meta_table_->for_each([&](const std::string& key, const std::uint64_t& v) {
+    w.str(key);
+    w.u64(v);
+  });
+  // A crashed node's volatile state is conceptually gone until restart():
+  // it must not contribute bytes (the replayed twin would match anyway, but
+  // the semantics of the snapshot are "what the node knows").
+  if (crashed_ || !started_) return;
+  // Protocol positioning.
+  w.u64(last_proposed_round_);
+  w.u8(proposed_anything_ ? 1 : 0);
+  w.i64(last_propose_time_);
+  w.i64(cpu_free_at_);
+  w.u8(round_delay_timer_armed_ ? 1 : 0);
+  w.u8(fetch_timer_armed_ ? 1 : 0);
+  w.u32(fetch_peer_rotation_);
+  w.i64(state_sync_retry_at_);
+  w.u64(max_quorum_round_);
+  w.u8(have_quorum_anywhere_ ? 1 : 0);
+  w.i64(leader_wait_round_ ? static_cast<std::int64_t>(*leader_wait_round_)
+                           : -1);
+  // Round bookkeeping.
+  for_each_sorted(round_stake_, [&](Round r, Stake s) {
+    w.u64(r);
+    w.u64(s);
+  });
+  for_each_sorted(quorum_reached_at_, [&](Round r, SimTime t) {
+    w.u64(r);
+    w.i64(t);
+  });
+  // Mempool (submission order).
+  w.u64(mempool_.size());
+  for (const dag::Transaction& tx : mempool_) {
+    w.u64(tx.id);
+    w.i64(tx.submit_time);
+  }
+  // Vote collection for our own headers.
+  w.u64(our_pending_.size());
+  for_each_sorted(our_pending_, [&](const Digest& d, const PendingHeader& p) {
+    w.bytes(d.bytes());
+    w.u64(p.voter_stake);
+    w.u8(p.certified ? 1 : 0);
+    std::vector<ValidatorIndex> voters(p.voters.begin(), p.voters.end());
+    std::sort(voters.begin(), voters.end());
+    w.u64(voters.size());
+    for (const ValidatorIndex v : voters) w.u32(v);
+  });
+  // Synchronizer state: buffered certificates and outstanding fetches.
+  w.u64(buffered_.size());
+  for_each_sorted(buffered_, [&](const Digest& d, const dag::CertPtr&) {
+    w.bytes(d.bytes());
+  });
+  for_each_sorted(outstanding_fetches_, [&](const Digest& d, SimTime at) {
+    w.bytes(d.bytes());
+    w.i64(at);
+  });
+  // Leader schedule, committer positioning and the DAG's logical content.
+  write_policy_snapshot(w, policy_->snapshot());
+  write_committer_snapshot(w, committer_->snapshot(dag_->gc_floor()),
+                           committer_->stats());
+  dag_->serialize_content(w);
+}
+
 }  // namespace hammerhead::node

@@ -216,6 +216,17 @@ class Validator final : public net::MsgSink {
   /// when the CPU frees up (allocation-free: pooled records + raw events).
   void deliver(ValidatorIndex from, const net::MessagePtr& msg) override;
 
+  /// Checkpoint support: serialize this node's full deterministic state —
+  /// durable store tables (certs / votes / meta), the DAG's logical content
+  /// (representation-independent across hot and cold-tiered rounds), the
+  /// committer and leader-schedule positioning, protocol round bookkeeping,
+  /// pending votes, buffered certificates, the mempool and the stats
+  /// counters. Crashed validators serialize durable state and counters only
+  /// (volatile state is conceptually gone until restart()). Used by
+  /// harness/checkpoint.{h,cpp} to prove a resumed run restored every node
+  /// byte-for-byte (docs/checkpoint.md).
+  void serialize_state(ByteWriter& w) const;
+
  private:
   // --- wiring ---------------------------------------------------------------
   /// MsgKind-switched dispatch to the typed handlers.

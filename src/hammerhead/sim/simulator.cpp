@@ -178,6 +178,39 @@ void Simulator::cancel(std::uint64_t id) {
   maybe_compact();
 }
 
+void Simulator::serialize_state(ByteWriter& w) const {
+  HH_ASSERT_MSG(tls_staging_ == nullptr,
+                "serialize_state() inside a sharded wave");
+  // Engine scalars: the drain cursor position and the RNG stream offset.
+  w.u64(static_cast<std::uint64_t>(now_));
+  w.u64(next_seq_);
+  w.u64(stats_.executed);
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+  // Pending-event schedule: live refs from every queue structure, sorted
+  // into the one (time, seq) total order the drain would pop them in.
+  std::vector<Ref> live;
+  live.reserve(live_events_);
+  auto keep_live = [&](const Ref& r) {
+    if (!stale(r)) live.push_back(r);
+  };
+  for (const std::vector<Ref>& bucket : buckets_)
+    for (const Ref& r : bucket) keep_live(r);
+  for (const Ref& r : heap_) keep_live(r);
+  for (std::size_t i = batch_pos_; i < batch_.size(); ++i) keep_live(batch_[i]);
+  std::sort(live.begin(), live.end(), [](const Ref& a, const Ref& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  w.u64(live.size());
+  for (const Ref& r : live) {
+    const Slot& s = slots_[r.slot];
+    w.u64(static_cast<std::uint64_t>(r.time));
+    w.u64(r.seq);
+    w.u32(s.shard);
+    w.u8(s.raw != nullptr ? 1 : 0);
+  }
+}
+
 void Simulator::maybe_compact() {
   // Lazy deletion keeps cancel O(1); a sweep bounds the stale-ref backlog by
   // max(live, threshold) so schedule/cancel storms run in O(1) memory.

@@ -58,6 +58,7 @@
 #include "hammerhead/common/assert.h"
 #include "hammerhead/common/epoch.h"
 #include "hammerhead/common/rng.h"
+#include "hammerhead/common/serde.h"
 #include "hammerhead/common/types.h"
 
 namespace hammerhead::sim {
@@ -201,6 +202,20 @@ class Simulator {
   /// reclaim, and memos publish immediately (epoch::current() is null).
   epoch::Domain& epoch_domain() { return epoch_; }
   const epoch::Domain& epoch_domain() const { return epoch_; }
+
+  /// Checkpoint support: serialize the pending-event *schedule* — every live
+  /// (time, seq, shard, kind) tuple across the wheel, the far heap and the
+  /// partially drained batch — in (time, seq) order, plus the engine scalars
+  /// (now, seq counter, executed count, RNG stream position). Event payloads
+  /// (std::function captures, raw fn/ctx pointers) are process-local and
+  /// cannot round-trip a file; the checkpoint subsystem restores them by
+  /// deterministic replay and uses this encoding to verify the replayed
+  /// engine reached a byte-identical queue shape (docs/checkpoint.md). Only
+  /// valid between batches (never while staging or mid-wave).
+  void serialize_state(ByteWriter& w) const;
+
+  /// Monotonic (time, seq) order-key counter (checkpoint fingerprint).
+  std::uint64_t seq_counter() const { return next_seq_; }
 
   bool empty() const { return live_events_ == 0; }
   std::size_t pending_events() const { return live_events_; }

@@ -11,6 +11,10 @@ Two checks, both grep-based (no markdown parser dependency):
    reverse direction — every factory declared in the headers must be
    documented in docs/scenarios.md. Docs that drift from the code fail
    CI, in either direction.
+3. The control-socket command table in docs/checkpoint.md must match the
+   ``kCommands`` registry in src/hammerhead/harness/control.cpp, again in
+   both directions: an undocumented command or a documented-but-removed
+   command fails.
 
 Usage: python3 tools/check_docs.py [repo_root]
 Exit 0 when everything resolves, 1 otherwise.
@@ -26,17 +30,25 @@ DOC_FILES = (
     "ROADMAP.md",
     "docs/scenarios.md",
     "docs/benchmarks.md",
+    "docs/checkpoint.md",
 )
 FACTORY_HEADERS = (
     "src/hammerhead/harness/sweep.h",
     "src/hammerhead/harness/adversary.h",
 )
+CONTROL_SOURCE = "src/hammerhead/harness/control.cpp"
+CONTROL_DOC = "docs/checkpoint.md"
+CONTROL_DOC_SECTION = "## Control socket"
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FACTORY_USE_RE = re.compile(r"\b((?:scenario|adversary)_[a-z0-9_]+)\s*\(")
 FACTORY_DECL_RE = re.compile(
     r"^(?:FaultScenario|AdversarySpec)\s+((?:scenario|adversary)_[a-z0-9_]+)\s*\(",
     re.MULTILINE)
+# kCommands entries: {"name", "help ..."} at the start of a line.
+CONTROL_DECL_RE = re.compile(r'^\s*\{"([a-z]+)",', re.MULTILINE)
+# Doc table rows in the "Control socket" section: | `name` | effect |
+CONTROL_DOC_RE = re.compile(r"^\|\s*`([a-z]+)`", re.MULTILINE)
 
 
 def check_links(root):
@@ -87,16 +99,57 @@ def check_factories(root):
     return failures
 
 
+def check_control_commands(root):
+    failures = []
+    src_path = os.path.join(root, CONTROL_SOURCE)
+    if not os.path.isfile(src_path):
+        return [f"{CONTROL_SOURCE}: file missing"]
+    with open(src_path, encoding="utf-8") as f:
+        declared = set(CONTROL_DECL_RE.findall(f.read()))
+    if not declared:
+        return [f"{CONTROL_SOURCE}: no kCommands entries found "
+                "(check CONTROL_DECL_RE)"]
+
+    doc_path = os.path.join(root, CONTROL_DOC)
+    if not os.path.isfile(doc_path):
+        return [f"{CONTROL_DOC}: file missing"]
+    with open(doc_path, encoding="utf-8") as f:
+        text = f.read()
+    # Only table rows inside the "Control socket" section count: the file
+    # has other backtick-leading tables (the on-disk format).
+    start = text.find(CONTROL_DOC_SECTION)
+    if start < 0:
+        return [f"{CONTROL_DOC}: missing '{CONTROL_DOC_SECTION}' section"]
+    end = text.find("\n## ", start + len(CONTROL_DOC_SECTION))
+    section = text[start:end if end >= 0 else len(text)]
+    documented = set(CONTROL_DOC_RE.findall(section))
+    if not documented:
+        return [f"{CONTROL_DOC}: no command table rows found in "
+                f"'{CONTROL_DOC_SECTION}' (check CONTROL_DOC_RE)"]
+
+    for name in sorted(documented - declared):
+        failures.append(
+            f"{CONTROL_DOC} documents control command `{name}` but "
+            f"{CONTROL_SOURCE} kCommands does not declare it")
+    for name in sorted(declared - documented):
+        failures.append(
+            f"control command `{name}` is in {CONTROL_SOURCE} kCommands but "
+            f"the {CONTROL_DOC} command table never mentions it")
+    return failures
+
+
 def main():
     root = sys.argv[1] if len(sys.argv) > 1 else "."
-    failures = check_links(root) + check_factories(root)
+    failures = check_links(root) + check_factories(root) \
+        + check_control_commands(root)
     for failure in failures:
         print(f"check_docs: {failure}", file=sys.stderr)
     if failures:
         print(f"check_docs: {len(failures)} failure(s)", file=sys.stderr)
         return 1
-    print("check_docs: all markdown links resolve and every "
-          "scenario/adversary factory is documented and declared")
+    print("check_docs: all markdown links resolve, every scenario/adversary "
+          "factory is documented and declared, and the control-socket "
+          "command table matches kCommands")
     return 0
 
 

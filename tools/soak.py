@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Crash-injection soak harness for the checkpoint/resume subsystem.
+
+Drives examples/soak_main.cpp through repeated SIGKILL/resume cycles and
+asserts the three robustness invariants of docs/checkpoint.md:
+
+  1. progress   — each kill/resume cycle advances the newest checkpoint
+                  index and never decreases committed transactions
+                  (read from the ckpt_*.hhcp.json sidecars);
+  2. safety     — conflicting_certs stays 0 through every cycle and in the
+                  final result (the adversary soak runs with live
+                  equivocation directives);
+  3. determinism — the final completed run's trace_hash is byte-identical
+                  to a straight-through run of the same config that was
+                  never killed (and every resume already byte-compared the
+                  replayed state blob against its snapshot: verify_resume).
+
+The kill is injected by the binary itself immediately after a checkpoint
+file is durably renamed into place (--kill-after): a real uncatchable
+SIGKILL, deterministic in placement, so the harness needs no wall-clock
+races to land kills "mid-grid".
+
+Usage:
+  tools/soak.py --binary build/soak_main [--cycles 3] [--workdir /tmp/...]
+                [--seed 77] [--validators 7] [--duration-s 30]
+                [--interval-s 2] [--load 500] [--adversary equivocate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+
+
+def run(cmd: list[str]) -> subprocess.CompletedProcess:
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def read_json(path: pathlib.Path) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def latest_sidecar(ckpt_dir: pathlib.Path) -> dict | None:
+    sidecars = sorted(ckpt_dir.glob("ckpt_*.hhcp.json"))
+    if not sidecars:
+        return None
+    return read_json(sidecars[-1])
+
+
+def fail(msg: str) -> None:
+    print(f"soak: FAIL — {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", default="build/soak_main",
+                    help="path to the soak_main binary")
+    ap.add_argument("--cycles", type=int, default=3,
+                    help="SIGKILL/resume cycles before the final run")
+    ap.add_argument("--workdir", default=None,
+                    help="scratch directory (default: a fresh tempdir)")
+    ap.add_argument("--seed", type=int, default=77)
+    ap.add_argument("--validators", type=int, default=7)
+    ap.add_argument("--duration-s", type=int, default=30)
+    ap.add_argument("--interval-s", type=int, default=2)
+    ap.add_argument("--load", type=int, default=500)
+    ap.add_argument("--adversary", default="equivocate",
+                    help="equivocate|withhold|eclipse|delay|none")
+    args = ap.parse_args()
+
+    if args.cycles * args.interval_s >= args.duration_s:
+        fail(f"{args.cycles} cycles x {args.interval_s}s interval needs a "
+             f"duration > {args.cycles * args.interval_s}s")
+
+    workdir = pathlib.Path(args.workdir or tempfile.mkdtemp(prefix="hh_soak_"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    ref_dir = workdir / "reference"
+    soak_dir = workdir / "soak"
+    for d in (ref_dir, soak_dir):
+        shutil.rmtree(d, ignore_errors=True)
+        d.mkdir(parents=True)
+
+    base = [args.binary,
+            "--seed", str(args.seed),
+            "--validators", str(args.validators),
+            "--duration-s", str(args.duration_s),
+            "--interval-s", str(args.interval_s),
+            "--load", str(args.load)]
+    if args.adversary != "none":
+        base += ["--adversary", args.adversary]
+
+    # ---- straight-through reference (never killed) ----
+    proc = run(base + ["--dir", str(ref_dir)])
+    if proc.returncode != 0:
+        fail(f"reference run failed rc={proc.returncode}\n{proc.stderr}")
+    reference = read_json(ref_dir / "final.json")
+    print(f"soak: reference trace_hash={reference['trace_hash']} "
+          f"committed={reference['committed']}")
+    if reference["conflicting_certs"] != 0:
+        fail("reference run saw conflicting certificates")
+
+    # ---- kill/resume cycles ----
+    prev_index = -1
+    prev_committed = 0
+    for cycle in range(args.cycles):
+        # Die right after the first checkpoint this cycle adds (index
+        # resumes at prev+1), so every cycle both makes progress and gets
+        # killed mid-run.
+        kill_after = prev_index + 1
+        proc = run(base + ["--dir", str(soak_dir), "--resume",
+                           "--kill-after", str(kill_after)])
+        if proc.returncode != -signal.SIGKILL:
+            fail(f"cycle {cycle}: expected SIGKILL death, rc="
+                 f"{proc.returncode}\n{proc.stdout}{proc.stderr}")
+        side = latest_sidecar(soak_dir)
+        if side is None:
+            fail(f"cycle {cycle}: no checkpoint sidecar after kill")
+        print(f"soak: cycle {cycle} killed after ckpt {side['index']} "
+              f"(t_us={side['cut_time_us']}, committed={side['committed']})")
+        if side["index"] <= prev_index:
+            fail(f"cycle {cycle}: checkpoint index did not advance "
+                 f"({prev_index} -> {side['index']})")
+        if side["committed"] < prev_committed:
+            fail(f"cycle {cycle}: committed regressed "
+                 f"({prev_committed} -> {side['committed']})")
+        if side["conflicting_certs"] != 0:
+            fail(f"cycle {cycle}: conflicting_certs = "
+                 f"{side['conflicting_certs']}")
+        prev_index = side["index"]
+        prev_committed = side["committed"]
+
+    # ---- final resume to completion ----
+    proc = run(base + ["--dir", str(soak_dir), "--resume"])
+    if proc.returncode != 0:
+        fail(f"final resume failed rc={proc.returncode}\n"
+             f"{proc.stdout}{proc.stderr}")
+    final = read_json(soak_dir / "final.json")
+    print(f"soak: final trace_hash={final['trace_hash']} "
+          f"committed={final['committed']} "
+          f"resumed_from={final['resumed_from']}")
+
+    if final["resumed_from"] != prev_index:
+        fail(f"final run resumed from {final['resumed_from']}, "
+             f"expected {prev_index}")
+    if final["conflicting_certs"] != 0:
+        fail(f"final conflicting_certs = {final['conflicting_certs']}")
+    if final["trace_hash"] != reference["trace_hash"]:
+        fail(f"trace hash diverged: {final['trace_hash']} != "
+             f"{reference['trace_hash']}")
+    for key in ("submitted", "committed", "committed_anchors", "sim_events"):
+        if final[key] != reference[key]:
+            fail(f"{key} diverged: {final[key]} != {reference[key]}")
+
+    print(f"soak: PASS — {args.cycles} SIGKILL/resume cycles, "
+          f"final state identical to the unkilled reference")
+
+
+if __name__ == "__main__":
+    main()
